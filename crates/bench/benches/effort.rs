@@ -1,0 +1,115 @@
+//! **§4.5 Ease of use** (experiment E6) — the paper reports person-days per
+//! transformation phase. Human effort is not reproducible by software; the
+//! recorded proxy is the *mechanical* size of each refinement stage: how
+//! many assignments each transformation touches, how many exchanges and
+//! messages it introduces, and how much of the final program the archetype
+//! library absorbs.
+
+use std::sync::Arc;
+
+use archetypes_core::refine::{InitFn, Pipeline};
+use archetypes_core::stencil::{
+    duplicate, observe_host, observe_partitioned, observe_replicated, partition, seed_initial,
+    sequential, with_host, StencilSpec,
+};
+use archetypes_core::to_parallel;
+use bench::print_table;
+use fdtd::par::{plan_a, plan_c};
+use fdtd::{FarFieldSpec, FarFieldStrategy, Params};
+use mesh_archetype::ReduceAlgo;
+
+fn main() {
+    // --- IR pipeline metrics over the stencil worked example ------------
+    let spec = StencilSpec { n: 24, steps: 3, a: 0.25, b: 0.5, c: 0.25 };
+    let nprocs = 4;
+    let seq = sequential(&spec);
+    let inputs: Vec<InitFn> = (0..3u64)
+        .map(|seed| {
+            Box::new(seed_initial(&spec, nprocs + 1, move |i| {
+                ((i as u64 * 13 + seed * 7) % 23) as f64 * 0.25
+            })) as InitFn
+        })
+        .collect();
+    let spec2 = spec;
+    let pipeline = Pipeline::new(observe_replicated(&spec))
+        .stage(
+            "T1: index data by process (duplicate)",
+            move |p| duplicate(p, nprocs),
+            observe_replicated(&spec),
+        )
+        .stage(
+            "T2+T4: partition into local sections, insert exchanges",
+            move |_| partition(&spec2, nprocs),
+            observe_partitioned(&spec, nprocs),
+        )
+        .stage(
+            "T3: host/grid split (scatter + gather for file I/O)",
+            move |_| with_host(&spec2, nprocs),
+            observe_host(&spec, nprocs),
+        );
+    let (final_program, metrics) = pipeline.run(&seq, &inputs).expect("pipeline refines");
+    let rows: Vec<Vec<String>> = metrics
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                m.assigns_before.to_string(),
+                m.assigns_after.to_string(),
+                m.exchanges_after.to_string(),
+                m.messages_after.to_string(),
+                m.n_procs_after.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E6a: stencil refinement pipeline (checked at every stage)",
+        &["stage", "assigns before", "after", "exchanges", "messages", "procs"],
+        &rows,
+    );
+    let pp = to_parallel(&final_program).expect("final transformation");
+    println!(
+        "final transformation: {} processes, {} instructions, {} sends — mechanical",
+        pp.n_procs(),
+        pp.instr_count(),
+        pp.send_count()
+    );
+
+    // --- Archetype absorption metrics for the FDTD plans -----------------
+    let params = Arc::new(Params::table1());
+    let plan_a_ = plan_a(&params);
+    let ff = FarFieldSpec::standard(3);
+    let plan_c_ = plan_c(&params, &ff, FarFieldStrategy::NaiveReorder(ReduceAlgo::AllToOne));
+    let rows = vec![
+        vec![
+            "version A (near field)".to_string(),
+            plan_a_.phase_count().to_string(),
+            plan_a_.comm_phase_count().to_string(),
+        ],
+        vec![
+            "version C (near + far field)".to_string(),
+            plan_c_.phase_count().to_string(),
+            plan_c_.comm_phase_count().to_string(),
+        ],
+    ];
+    print_table(
+        "E6b: archetype absorption — communication phases handled by the library",
+        &["program", "total phases", "communication phases (library-provided)"],
+        &rows,
+    );
+
+    // --- The paper's human-effort numbers, for the record ----------------
+    let rows = vec![
+        vec!["version C".into(), "2400".into(), "2".into(), "8".into(), "<1".into()],
+        vec!["version A".into(), "1400".into(), "<1".into(), "5".into(), "<1".into()],
+    ];
+    print_table(
+        "E6c: paper-reported person-days (not reproducible; recorded for reference)",
+        &["code", "approx lines", "strategy (days)", "to simulated-parallel (days)", "to message passing (days)"],
+        &rows,
+    );
+    println!(
+        "\nnote: the paper's headline — the *final* (formally justified) step is \
+         the cheapest and the most trouble-free — is mirrored mechanically: \
+         to_parallel is a total function on checked programs."
+    );
+}

@@ -1,0 +1,87 @@
+//! **Figure 2** — "Execution times and speedups for electromagnetics code
+//! (version A) for 66 by 66 by 66 grid, 512 steps, using Fortran M on the
+//! IBM SP."
+//!
+//! The figure has two panels: execution time vs processors (sequential /
+//! actual / ideal) and speedup vs processors (actual / perfect). Both are
+//! regenerated as data series on the `ibm-sp` machine model. Expected
+//! shape: near-ideal scaling for this larger problem on a real MPP switch,
+//! with mild divergence from ideal as P grows.
+
+use std::sync::Arc;
+
+use bench::{price, print_table, run_version_a, scaled_steps, secs, spd};
+use fdtd::Params;
+use machine_model::{ibm_sp, ideal_time, perfect_speedup, SpeedupSeries};
+
+fn main() {
+    let mut params = Params::figure2();
+    params.steps = scaled_steps(params.steps);
+    let params = Arc::new(params);
+    let machine = ibm_sp();
+
+    println!(
+        "Figure 2 reproduction: FDTD version A, {}x{}x{} grid, {} steps, machine = {}",
+        params.n.0, params.n.1, params.n.2, params.steps, machine.name
+    );
+
+    let (_, mut seq_point, _) = run_version_a(&params, 1);
+    price(&mut seq_point, &machine);
+    let t_seq = seq_point.modeled;
+
+    let ps = [2usize, 4, 8, 16];
+    let mut time_rows = vec![vec![
+        "1".to_string(),
+        secs(t_seq),
+        secs(ideal_time(t_seq, 1)),
+        secs(seq_point.wall),
+    ]];
+    let mut speed_rows = vec![vec!["1".to_string(), spd(1.0), spd(perfect_speedup(1))]];
+    let mut timings = Vec::new();
+    for &p in &ps {
+        let (_, mut point, _) = run_version_a(&params, p);
+        price(&mut point, &machine);
+        timings.push((p, point.modeled));
+        time_rows.push(vec![
+            p.to_string(),
+            secs(point.modeled),
+            secs(ideal_time(t_seq, p)),
+            secs(point.wall),
+        ]);
+        speed_rows.push(vec![
+            p.to_string(),
+            spd(t_seq / point.modeled),
+            spd(perfect_speedup(p)),
+        ]);
+    }
+
+    print_table(
+        "Figure 2 (left): execution time vs processors (version A, IBM SP)",
+        &["P", "actual (s)", "ideal (s)", "host wall (s)"],
+        &time_rows,
+    );
+    print_table(
+        "Figure 2 (right): speedup vs processors",
+        &["P", "actual", "perfect"],
+        &speed_rows,
+    );
+
+    let series = SpeedupSeries::new(machine.name, t_seq, &timings);
+    let eff_at_max = series.points.last().map(|pt| pt.efficiency).unwrap_or(0.0);
+    println!(
+        "\nshape: monotone speedup = {}, sublinear = {}, efficiency at P={} is {:.2}",
+        series.monotone_speedup(),
+        series.sublinear(),
+        series.points.last().map(|pt| pt.p).unwrap_or(0),
+        eff_at_max
+    );
+    println!(
+        "paper shape expected: close to ideal on the SP for the large problem \
+         (efficiency well above the Suns run) — {}",
+        if series.monotone_speedup() && series.sublinear() && eff_at_max > 0.5 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
+}

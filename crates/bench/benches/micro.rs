@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks of the substrate hot paths: the FDTD update
+//! kernels, boundary-exchange slab movement, reduction schedules, the
+//! ordered sum, and the simulated channel runtime.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use fdtd::material::{Material, MaterialSpec};
+use fdtd::update::{update_e, update_h};
+use fdtd::Fields;
+use mesh_archetype::driver::ordered_sum;
+use mesh_archetype::plan::Contribution;
+use mesh_archetype::reduce::{ReduceAlgo, ReduceOp, ReducePlan};
+use mesh_archetype::sum::{magnitude_spread_workload, SumMethod};
+use meshgrid::halo::{extract_face3, insert_ghost3, Face3};
+use meshgrid::{Block3, Grid3};
+use ssp_runtime::{ChannelId, Effect, Process, RoundRobin, Simulator, Topology};
+
+fn bench_fdtd_step(c: &mut Criterion) {
+    let n = (33, 33, 33);
+    let m = Material::build(&MaterialSpec::Vacuum, Block3 { lo: (0, 0, 0), hi: n }, 0.5);
+    let mut f = Fields::zeros(n.0, n.1, n.2);
+    f.ez.set(16, 16, 16, 1.0);
+    c.bench_function("fdtd_update_e_33cubed", |b| {
+        b.iter(|| {
+            update_e(black_box(&mut f), black_box(&m));
+        })
+    });
+    c.bench_function("fdtd_update_h_33cubed", |b| {
+        b.iter(|| {
+            update_h(black_box(&mut f), black_box(&m));
+        })
+    });
+}
+
+fn bench_halo(c: &mut Criterion) {
+    let g = Grid3::from_fn(33, 33, 33, 1, |i, j, k| (i + j + k) as f64);
+    let mut dst: Grid3<f64> = Grid3::new(33, 33, 33, 1);
+    c.bench_function("halo_extract_face_33sq", |b| {
+        b.iter(|| black_box(extract_face3(black_box(&g), Face3::XHi)))
+    });
+    let payload = extract_face3(&g, Face3::XHi);
+    c.bench_function("halo_insert_face_33sq", |b| {
+        b.iter(|| insert_ghost3(black_box(&mut dst), Face3::XLo, black_box(&payload)))
+    });
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    for (name, algo) in [
+        ("reduce_all_to_one_p8", ReduceAlgo::AllToOne),
+        ("reduce_recursive_doubling_p8", ReduceAlgo::RecursiveDoubling),
+    ] {
+        let plan = ReducePlan::build(algo, 8);
+        let partials: Vec<Vec<f64>> =
+            (0..8).map(|r| magnitude_spread_workload(512, 8, r as u64)).collect();
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || partials.clone(),
+                |mut parts| plan.execute(ReduceOp::Sum, black_box(&mut parts)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_ordered_sum(c: &mut Criterion) {
+    let contribs: Vec<Contribution> = (0..50_000u64)
+        .map(|i| Contribution {
+            bin: (i % 64) as u32,
+            order: (i * 7919) % 50_000,
+            value: (i as f64).sin() * 10f64.powi((i % 20) as i32 - 10),
+        })
+        .collect();
+    c.bench_function("ordered_sum_50k_contribs", |b| {
+        b.iter_batched(
+            || contribs.clone(),
+            |cs| black_box(ordered_sum(cs, 64, SumMethod::Naive)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// A minimal ping-pong pair for channel-runtime throughput.
+struct Pong {
+    chan_in: ChannelId,
+    chan_out: ChannelId,
+    remaining: u64,
+    first: bool,
+    is_server: bool,
+}
+
+impl Process for Pong {
+    type Msg = u64;
+    fn resume(&mut self, delivery: Option<u64>) -> Effect<u64> {
+        if let Some(v) = delivery {
+            if self.remaining == 0 {
+                return Effect::Halt;
+            }
+            self.remaining -= 1;
+            return Effect::Send { chan: self.chan_out, msg: v + 1 };
+        }
+        if self.first {
+            self.first = false;
+            if self.is_server {
+                return Effect::Send { chan: self.chan_out, msg: 0 };
+            }
+        }
+        if self.remaining == 0 {
+            Effect::Halt
+        } else {
+            Effect::Recv { chan: self.chan_in }
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        self.remaining.to_le_bytes().to_vec()
+    }
+}
+
+fn bench_channels(c: &mut Criterion) {
+    c.bench_function("sim_channel_pingpong_1000", |b| {
+        b.iter(|| {
+            let mut topo = Topology::new(2);
+            let c01 = topo.connect(0, 1);
+            let c10 = topo.connect(1, 0);
+            let procs = vec![
+                Pong { chan_in: c10, chan_out: c01, remaining: 1000, first: true, is_server: true },
+                Pong { chan_in: c01, chan_out: c10, remaining: 1000, first: true, is_server: false },
+            ];
+            let sim = Simulator::new(topo, procs);
+            black_box(sim.run(&mut RoundRobin::new()).unwrap());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fdtd_step, bench_halo, bench_reduce, bench_ordered_sum, bench_channels
+}
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Variables and expressions.
+
+use std::fmt;
+
+use crate::ir::store::Store;
+
+/// An atomic data object: a named f64 scalar in one simulated process's
+/// partition. (Arrays are modelled as name families, e.g. `u0, u1, …` —
+/// sufficient for the straight-line programs the transformations produce.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var {
+    /// Owning simulated process (partition index).
+    pub proc: usize,
+    /// Name within the partition.
+    pub name: String,
+}
+
+impl Var {
+    /// Variable `name` in process `proc`'s partition.
+    pub fn new(proc: usize, name: impl Into<String>) -> Var {
+        Var { proc, name: name.into() }
+    }
+
+    /// Shorthand for an indexed family member, e.g. `idx("u", 3)` = `u3`.
+    pub fn idx(proc: usize, family: &str, i: usize) -> Var {
+        Var { proc, name: format!("{family}{i}") }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}::{}", self.proc, self.name)
+    }
+}
+
+/// Arithmetic expressions over variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal.
+    Const(f64),
+    /// A variable read.
+    Var(Var),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division.
+    Div(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// A variable read.
+    pub fn var(v: Var) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// Evaluate in `store`. The IR is total: reads of unset variables are
+    /// 0.0 (stores are zero-initialized conceptually), division follows
+    /// IEEE (no traps).
+    pub fn eval(&self, store: &Store) -> f64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => store.get(v),
+            Expr::Add(a, b) => a.eval(store) + b.eval(store),
+            Expr::Sub(a, b) => a.eval(store) - b.eval(store),
+            Expr::Mul(a, b) => a.eval(store) * b.eval(store),
+            Expr::Div(a, b) => a.eval(store) / b.eval(store),
+            Expr::Neg(a) => -a.eval(store),
+        }
+    }
+
+    /// Collect every variable the expression reads.
+    pub fn vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Expr::Neg(a) => a.vars(out),
+        }
+    }
+
+    /// The set of partitions referenced by this expression.
+    pub fn procs(&self) -> Vec<usize> {
+        let mut vars = Vec::new();
+        self.vars(&mut vars);
+        let mut procs: Vec<usize> = vars.into_iter().map(|v| v.proc).collect();
+        procs.sort_unstable();
+        procs.dedup();
+        procs
+    }
+
+    /// Rewrite every variable with `f` (used by the refinement
+    /// transformations, e.g. re-homing variables into a partition).
+    pub fn map_vars(&self, f: &impl Fn(&Var) -> Var) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Var(v) => Expr::Var(f(v)),
+            Expr::Add(a, b) => Expr::Add(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
+            Expr::Sub(a, b) => Expr::Sub(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
+            Expr::Mul(a, b) => Expr::Mul(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
+            Expr::Div(a, b) => Expr::Div(Box::new(a.map_vars(f)), Box::new(b.map_vars(f))),
+            Expr::Neg(a) => Expr::Neg(Box::new(a.map_vars(f))),
+        }
+    }
+}
+
+/// `a + b` helper.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Add(Box::new(a), Box::new(b))
+}
+
+/// `a * b` helper.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::Mul(Box::new(a), Box::new(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_arithmetic() {
+        let mut s = Store::new();
+        let x = Var::new(0, "x");
+        s.set(&x, 3.0);
+        // (x + 2) * -x = 5 * -3 = -15
+        let e = mul(
+            add(Expr::var(x.clone()), Expr::Const(2.0)),
+            Expr::Neg(Box::new(Expr::var(x.clone()))),
+        );
+        assert_eq!(e.eval(&s), -15.0);
+    }
+
+    #[test]
+    fn unset_variables_read_zero() {
+        let s = Store::new();
+        assert_eq!(Expr::var(Var::new(1, "ghost")).eval(&s), 0.0);
+    }
+
+    #[test]
+    fn procs_are_deduped_and_sorted() {
+        let e = add(
+            add(Expr::var(Var::new(2, "a")), Expr::var(Var::new(0, "b"))),
+            Expr::var(Var::new(2, "c")),
+        );
+        assert_eq!(e.procs(), vec![0, 2]);
+    }
+
+    #[test]
+    fn map_vars_rewrites_every_leaf() {
+        let e = add(Expr::var(Var::new(0, "a")), Expr::var(Var::new(0, "b")));
+        let shifted = e.map_vars(&|v| Var::new(v.proc + 1, v.name.clone()));
+        assert_eq!(shifted.procs(), vec![1]);
+    }
+
+    #[test]
+    fn idx_builds_family_names() {
+        assert_eq!(Var::idx(1, "u", 7).name, "u7");
+    }
+}

@@ -1,0 +1,26 @@
+//! The intermediate representation of simulated-parallel programs.
+//!
+//! §2.2, Definition (*sequential simulated-parallel program*):
+//!
+//! 1. the atomic data objects are partitioned into N groups, one per
+//!    simulated process;
+//! 2. the computation is an alternating sequence of local-computation
+//!    blocks and data-exchange operations, where
+//!    * a local-computation block is a composition of N program blocks,
+//!      the i-th accessing only local data of process i, and
+//!    * a data-exchange operation is a set of assignments satisfying
+//!      restrictions (i)–(iii).
+//!
+//! [`Program`] is that object; [`check_program`] decides whether a given
+//! program actually satisfies the definition (the precondition of the
+//! paper's Theorem 1 pipeline); [`Program::run`] is the sequential
+//! interpreter.
+
+mod expr;
+mod pretty;
+mod program;
+mod store;
+
+pub use expr::{add, mul, Expr, Var};
+pub use program::{check_program, Block, ExchangeAssign, IrViolation, LocalAssign, Program};
+pub use store::Store;

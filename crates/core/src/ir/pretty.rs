@@ -1,0 +1,177 @@
+//! Human-readable rendering of IR programs.
+//!
+//! The paper's transformations were performed on visible source code; a
+//! methodology library needs its intermediate programs to be inspectable
+//! the same way. `Display` implementations render expressions with minimal
+//! parentheses, and [`Program::pretty`] lays out the alternating
+//! block/exchange structure one assignment per line.
+
+use std::fmt;
+
+use crate::ir::expr::Expr;
+use crate::ir::program::{Block, Program};
+
+/// Operator precedence for minimal parenthesisation.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => 3,
+        Expr::Neg(_) => 2,
+        Expr::Mul(_, _) | Expr::Div(_, _) => 1,
+        Expr::Add(_, _) | Expr::Sub(_, _) => 0,
+    }
+}
+
+fn fmt_expr(e: &Expr, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let p = prec(e);
+    let need_parens = p < parent;
+    if need_parens {
+        write!(f, "(")?;
+    }
+    match e {
+        Expr::Const(c) => write!(f, "{c}")?,
+        Expr::Var(v) => write!(f, "{v}")?,
+        Expr::Neg(a) => {
+            write!(f, "-")?;
+            fmt_expr(a, 2, f)?;
+        }
+        Expr::Add(a, b) => {
+            fmt_expr(a, 0, f)?;
+            write!(f, " + ")?;
+            fmt_expr(b, 1, f)?;
+        }
+        Expr::Sub(a, b) => {
+            fmt_expr(a, 0, f)?;
+            write!(f, " - ")?;
+            fmt_expr(b, 1, f)?;
+        }
+        Expr::Mul(a, b) => {
+            fmt_expr(a, 1, f)?;
+            write!(f, " * ")?;
+            fmt_expr(b, 2, f)?;
+        }
+        Expr::Div(a, b) => {
+            fmt_expr(a, 1, f)?;
+            write!(f, " / ")?;
+            fmt_expr(b, 2, f)?;
+        }
+    }
+    if need_parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, 0, f)
+    }
+}
+
+impl Program {
+    /// Render the program as text: one line per assignment, blocks
+    /// delimited and labelled.
+    pub fn pretty(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "program over {} process(es):", self.n_procs);
+        for (bi, block) in self.blocks.iter().enumerate() {
+            match block {
+                Block::Local { parts } => {
+                    let _ = writeln!(out, "  [{bi}] local computation:");
+                    for (p, part) in parts.iter().enumerate() {
+                        if part.is_empty() {
+                            continue;
+                        }
+                        let _ = writeln!(out, "    process {p}:");
+                        for a in part {
+                            let _ = writeln!(out, "      {} := {}", a.target, a.expr);
+                        }
+                    }
+                }
+                Block::Exchange { assigns } => {
+                    let _ = writeln!(out, "  [{bi}] data exchange:");
+                    for a in assigns {
+                        let _ = writeln!(out, "      {} <- {}", a.target, a.expr);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::expr::Var;
+    use crate::ir::program::{ExchangeAssign, LocalAssign};
+
+    fn v(p: usize, n: &str) -> Expr {
+        Expr::Var(Var::new(p, n))
+    }
+
+    #[test]
+    fn expressions_render_with_minimal_parens() {
+        // a + b * c — no parens needed.
+        let e = Expr::Add(
+            Box::new(v(0, "a")),
+            Box::new(Expr::Mul(Box::new(v(0, "b")), Box::new(v(0, "c")))),
+        );
+        assert_eq!(e.to_string(), "p0::a + p0::b * p0::c");
+        // (a + b) * c — parens required.
+        let e = Expr::Mul(
+            Box::new(Expr::Add(Box::new(v(0, "a")), Box::new(v(0, "b")))),
+            Box::new(v(0, "c")),
+        );
+        assert_eq!(e.to_string(), "(p0::a + p0::b) * p0::c");
+        // -(a - b) vs -a - b.
+        let e = Expr::Neg(Box::new(Expr::Sub(Box::new(v(0, "a")), Box::new(v(0, "b")))));
+        assert_eq!(e.to_string(), "-(p0::a - p0::b)");
+        let e = Expr::Sub(Box::new(Expr::Neg(Box::new(v(0, "a")))), Box::new(v(0, "b")));
+        assert_eq!(e.to_string(), "-p0::a - p0::b");
+    }
+
+    #[test]
+    fn subtraction_is_left_associative_in_rendering() {
+        // a - (b - c) must keep its parens; (a - b) - c must not.
+        let e = Expr::Sub(
+            Box::new(v(0, "a")),
+            Box::new(Expr::Sub(Box::new(v(0, "b")), Box::new(v(0, "c")))),
+        );
+        assert_eq!(e.to_string(), "p0::a - (p0::b - p0::c)");
+        let e = Expr::Sub(
+            Box::new(Expr::Sub(Box::new(v(0, "a")), Box::new(v(0, "b")))),
+            Box::new(v(0, "c")),
+        );
+        assert_eq!(e.to_string(), "p0::a - p0::b - p0::c");
+    }
+
+    #[test]
+    fn programs_pretty_print_their_structure() {
+        let p = Program {
+            n_procs: 2,
+            blocks: vec![
+                Block::Local {
+                    parts: vec![
+                        vec![LocalAssign { target: Var::new(0, "y"), expr: v(0, "x") }],
+                        vec![],
+                    ],
+                },
+                Block::Exchange {
+                    assigns: vec![ExchangeAssign {
+                        target: Var::new(1, "g"),
+                        expr: v(0, "y"),
+                    }],
+                },
+            ],
+        };
+        let text = p.pretty();
+        assert!(text.contains("program over 2 process(es):"));
+        assert!(text.contains("[0] local computation:"));
+        assert!(text.contains("p0::y := p0::x"));
+        assert!(text.contains("[1] data exchange:"));
+        assert!(text.contains("p1::g <- p0::y"));
+        // Empty parts are suppressed.
+        assert!(!text.contains("process 1:\n"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Programs: alternating local-computation blocks and data-exchange
+//! operations, with the Definition's restrictions as a checkable property.
+
+use std::collections::HashSet;
+
+use crate::ir::expr::{Expr, Var};
+use crate::ir::store::Store;
+
+/// One assignment inside process `proc`'s part of a local-computation
+/// block. Locality — every referenced variable belongs to `proc` — is a
+/// checked property, not a structural guarantee (the checker exists to
+/// catch transformation bugs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalAssign {
+    /// Target variable (must belong to the block's process).
+    pub target: Var,
+    /// Right-hand side (must reference only the block's process).
+    pub expr: Expr,
+}
+
+/// One assignment of a data-exchange operation: the left-hand side lives in
+/// one partition, the right-hand side in one (possibly different)
+/// partition — restriction (ii) structurally on the lhs, checked on the rhs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeAssign {
+    /// Target variable.
+    pub target: Var,
+    /// Right-hand side; all reads must come from a single partition.
+    pub expr: Expr,
+}
+
+/// A block of a simulated-parallel program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// A local-computation block: the composition of per-process program
+    /// blocks, executed for `i = 0..N` in index order. `parts[i]` is
+    /// process `i`'s straight-line assignment sequence.
+    Local {
+        /// Per-process assignment sequences.
+        parts: Vec<Vec<LocalAssign>>,
+    },
+    /// A data-exchange operation: a set of assignments performed with all
+    /// right-hand sides evaluated before any target is written ("all sends
+    /// before any receives"). Restriction (i) makes the result independent
+    /// of the order within the set.
+    Exchange {
+        /// The assignment set.
+        assigns: Vec<ExchangeAssign>,
+    },
+}
+
+/// A sequential simulated-parallel program (§2.2): `n_procs` simulated
+/// address spaces and an alternating sequence of blocks. A plain sequential
+/// program is the degenerate `n_procs = 1` with no exchanges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Number of simulated processes (partitions).
+    pub n_procs: usize,
+    /// Block sequence.
+    pub blocks: Vec<Block>,
+}
+
+impl Program {
+    /// An empty program over `n_procs` partitions.
+    pub fn new(n_procs: usize) -> Program {
+        Program { n_procs, blocks: Vec::new() }
+    }
+
+    /// Execute sequentially from `store`, mutating it in place. Local
+    /// blocks run their per-process parts in index order; exchanges
+    /// evaluate all right-hand sides first, then write all targets.
+    pub fn run(&self, store: &mut Store) {
+        for block in &self.blocks {
+            match block {
+                Block::Local { parts } => {
+                    for part in parts {
+                        for a in part {
+                            let v = a.expr.eval(store);
+                            store.set(&a.target, v);
+                        }
+                    }
+                }
+                Block::Exchange { assigns } => {
+                    let values: Vec<f64> =
+                        assigns.iter().map(|a| a.expr.eval(store)).collect();
+                    for (a, v) in assigns.iter().zip(values) {
+                        store.set(&a.target, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute from an empty store and return it.
+    pub fn run_from(&self, init: impl FnOnce(&mut Store)) -> Store {
+        let mut store = Store::new();
+        init(&mut store);
+        self.run(&mut store);
+        store
+    }
+
+    /// Total number of assignments (a program-size metric for the effort
+    /// accounting of experiment E6).
+    pub fn assign_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                Block::Local { parts } => parts.iter().map(Vec::len).sum(),
+                Block::Exchange { assigns } => assigns.len(),
+            })
+            .sum()
+    }
+
+    /// Number of data-exchange operations.
+    pub fn exchange_count(&self) -> usize {
+        self.blocks.iter().filter(|b| matches!(b, Block::Exchange { .. })).count()
+    }
+
+    /// Number of messages the transformed parallel program will send (one
+    /// per cross-partition exchange assignment).
+    pub fn message_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                Block::Exchange { assigns } => assigns
+                    .iter()
+                    .filter(|a| {
+                        let src = a.expr.procs();
+                        !(src.is_empty() || (src.len() == 1 && src[0] == a.target.proc))
+                    })
+                    .count(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// A violation of the §2.2 Definition found by [`check_program`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrViolation {
+    /// A local block's part for process `proc` touches another partition.
+    NonLocalAccess {
+        /// Offending process block.
+        proc: usize,
+        /// The foreign variable referenced.
+        var: Var,
+    },
+    /// A local block has the wrong number of parts.
+    WrongPartCount {
+        /// Parts found.
+        found: usize,
+        /// Parts required (`n_procs`).
+        expected: usize,
+    },
+    /// Restriction (i): an exchange target is assigned twice.
+    DuplicateTarget {
+        /// The doubly-assigned variable.
+        var: Var,
+    },
+    /// Restriction (i): an exchange target is also referenced elsewhere.
+    TargetAlsoReferenced {
+        /// The conflicted variable.
+        var: Var,
+    },
+    /// Restriction (ii): one side of an exchange assignment references
+    /// multiple partitions.
+    SideMixesPartitions {
+        /// The offending assignment's target.
+        target: Var,
+    },
+    /// Restriction (iii): process `proc` receives no assignment in an
+    /// exchange.
+    ProcessReceivesNothing {
+        /// The starved process.
+        proc: usize,
+    },
+    /// A variable's partition index is out of range.
+    ProcOutOfRange {
+        /// The offending variable.
+        var: Var,
+    },
+}
+
+/// Check a program against the Definition: locality of local blocks and
+/// restrictions (i)–(iii) on every data-exchange operation.
+pub fn check_program(p: &Program) -> Result<(), Vec<IrViolation>> {
+    let mut violations = Vec::new();
+    for block in &p.blocks {
+        match block {
+            Block::Local { parts } => {
+                if parts.len() != p.n_procs {
+                    violations.push(IrViolation::WrongPartCount {
+                        found: parts.len(),
+                        expected: p.n_procs,
+                    });
+                }
+                for (i, part) in parts.iter().enumerate() {
+                    for a in part {
+                        if a.target.proc != i {
+                            violations.push(IrViolation::NonLocalAccess {
+                                proc: i,
+                                var: a.target.clone(),
+                            });
+                        }
+                        let mut reads = Vec::new();
+                        a.expr.vars(&mut reads);
+                        for v in reads {
+                            if v.proc != i {
+                                violations
+                                    .push(IrViolation::NonLocalAccess { proc: i, var: v });
+                            }
+                        }
+                    }
+                }
+            }
+            Block::Exchange { assigns } => {
+                // (i) part 1: unique targets.
+                let mut targets: HashSet<&Var> = HashSet::new();
+                for a in assigns {
+                    if !targets.insert(&a.target) {
+                        violations
+                            .push(IrViolation::DuplicateTarget { var: a.target.clone() });
+                    }
+                    if a.target.proc >= p.n_procs {
+                        violations.push(IrViolation::ProcOutOfRange { var: a.target.clone() });
+                    }
+                }
+                // (i) part 2: no target referenced on any rhs.
+                for a in assigns {
+                    let mut reads = Vec::new();
+                    a.expr.vars(&mut reads);
+                    for v in &reads {
+                        if targets.contains(v) {
+                            violations
+                                .push(IrViolation::TargetAlsoReferenced { var: v.clone() });
+                        }
+                        if v.proc >= p.n_procs {
+                            violations.push(IrViolation::ProcOutOfRange { var: v.clone() });
+                        }
+                    }
+                    // (ii): rhs references at most one partition (lhs is a
+                    // single variable, hence a single partition already).
+                    if a.expr.procs().len() > 1 {
+                        violations.push(IrViolation::SideMixesPartitions {
+                            target: a.target.clone(),
+                        });
+                    }
+                }
+                // (iii): every process receives at least one assignment.
+                let receivers: HashSet<usize> =
+                    assigns.iter().map(|a| a.target.proc).collect();
+                for i in 0..p.n_procs {
+                    if !receivers.contains(&i) {
+                        violations.push(IrViolation::ProcessReceivesNothing { proc: i });
+                    }
+                }
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::expr::add;
+
+    fn la(proc: usize, name: &str, expr: Expr) -> LocalAssign {
+        LocalAssign { target: Var::new(proc, name), expr }
+    }
+
+    fn swap_program() -> Program {
+        // Two processes each compute y = x + 1 locally, then exchange: each
+        // writes its y into the other's ghost g.
+        Program {
+            n_procs: 2,
+            blocks: vec![
+                Block::Local {
+                    parts: vec![
+                        vec![la(0, "y", add(Expr::var(Var::new(0, "x")), Expr::Const(1.0)))],
+                        vec![la(1, "y", add(Expr::var(Var::new(1, "x")), Expr::Const(1.0)))],
+                    ],
+                },
+                Block::Exchange {
+                    assigns: vec![
+                        ExchangeAssign {
+                            target: Var::new(0, "g"),
+                            expr: Expr::var(Var::new(1, "y")),
+                        },
+                        ExchangeAssign {
+                            target: Var::new(1, "g"),
+                            expr: Expr::var(Var::new(0, "y")),
+                        },
+                    ],
+                },
+                Block::Local {
+                    parts: vec![
+                        vec![la(0, "z", add(Expr::var(Var::new(0, "y")), Expr::var(Var::new(0, "g"))))],
+                        vec![la(1, "z", add(Expr::var(Var::new(1, "y")), Expr::var(Var::new(1, "g"))))],
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn swap_program_checks_and_runs() {
+        let p = swap_program();
+        check_program(&p).unwrap();
+        let store = p.run_from(|s| {
+            s.set(&Var::new(0, "x"), 10.0);
+            s.set(&Var::new(1, "x"), 20.0);
+        });
+        // y0 = 11, y1 = 21, g0 = y1, g1 = y0, z = y + g = 32 on both.
+        assert_eq!(store.get(&Var::new(0, "z")), 32.0);
+        assert_eq!(store.get(&Var::new(1, "z")), 32.0);
+    }
+
+    #[test]
+    fn exchange_reads_pre_exchange_values() {
+        // Symmetric swap within one exchange: both targets get the *old*
+        // opposite value (all rhs evaluated before any write).
+        let p = Program {
+            n_procs: 2,
+            blocks: vec![Block::Exchange {
+                assigns: vec![
+                    ExchangeAssign { target: Var::new(0, "a"), expr: Expr::var(Var::new(1, "b")) },
+                    ExchangeAssign { target: Var::new(1, "b2"), expr: Expr::var(Var::new(0, "a2")) },
+                ],
+            }],
+        };
+        check_program(&p).unwrap();
+        let store = p.run_from(|s| {
+            s.set(&Var::new(1, "b"), 7.0);
+            s.set(&Var::new(0, "a2"), 3.0);
+        });
+        assert_eq!(store.get(&Var::new(0, "a")), 7.0);
+        assert_eq!(store.get(&Var::new(1, "b2")), 3.0);
+    }
+
+    #[test]
+    fn nonlocal_access_is_flagged() {
+        let p = Program {
+            n_procs: 2,
+            blocks: vec![Block::Local {
+                parts: vec![
+                    vec![la(0, "y", Expr::var(Var::new(1, "x")))], // reads p1!
+                    vec![],
+                ],
+            }],
+        };
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, IrViolation::NonLocalAccess { proc: 0, .. })));
+    }
+
+    #[test]
+    fn duplicate_and_referenced_targets_flagged() {
+        let p = Program {
+            n_procs: 2,
+            blocks: vec![Block::Exchange {
+                assigns: vec![
+                    ExchangeAssign { target: Var::new(0, "g"), expr: Expr::var(Var::new(1, "y")) },
+                    ExchangeAssign { target: Var::new(0, "g"), expr: Expr::var(Var::new(1, "z")) },
+                    ExchangeAssign {
+                        target: Var::new(1, "h"),
+                        expr: Expr::var(Var::new(0, "g")), // reads a target!
+                    },
+                ],
+            }],
+        };
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(v, IrViolation::DuplicateTarget { .. })));
+        assert!(errs.iter().any(|v| matches!(v, IrViolation::TargetAlsoReferenced { .. })));
+    }
+
+    #[test]
+    fn mixed_side_and_starvation_flagged() {
+        let p = Program {
+            n_procs: 3,
+            blocks: vec![Block::Exchange {
+                assigns: vec![
+                    ExchangeAssign {
+                        target: Var::new(0, "g"),
+                        expr: add(Expr::var(Var::new(1, "y")), Expr::var(Var::new(2, "y"))),
+                    },
+                    ExchangeAssign { target: Var::new(1, "g"), expr: Expr::var(Var::new(0, "y")) },
+                ],
+            }],
+        };
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(v, IrViolation::SideMixesPartitions { .. })));
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, IrViolation::ProcessReceivesNothing { proc: 2 })));
+    }
+
+    #[test]
+    fn metrics_count_structure() {
+        let p = swap_program();
+        assert_eq!(p.assign_count(), 6);
+        assert_eq!(p.exchange_count(), 1);
+        assert_eq!(p.message_count(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Stepwise-refinement pipelines.
+//!
+//! §2.2: a program is parallelized by *a sequence of small
+//! semantics-preserving transformations*, all but the last in the
+//! sequential domain. A [`Pipeline`] is such a sequence over the IR: each
+//! stage is a named transformation with an *observation function* defining
+//! which values constitute the program's observable result at that stage
+//! (refinement allows representation changes — e.g. distributing an array
+//! — as long as the observables agree).
+//!
+//! [`refines`] is the checking relation the paper uses in practice (*"the
+//! sequential-to-sequential transformations are more amenable to checking
+//! by testing and debugging"*): co-execute the two versions on the same
+//! inputs and compare observables bitwise. The pipeline also accumulates
+//! [`StageMetrics`] — the mechanical-effort proxy for the paper's §4.5
+//! person-day numbers (experiment E6).
+
+use crate::ir::{Program, Store};
+
+/// Extracts the observable result of a program's final store.
+pub type ObserveFn = Box<dyn Fn(&Store) -> Vec<f64>>;
+/// Prepares one test input (mutates an empty store).
+pub type InitFn = Box<dyn Fn(&mut Store)>;
+/// A program transformation.
+pub type TransformFn = Box<dyn Fn(&Program) -> Program>;
+
+/// Check that `concrete` refines `abstract_p`: for every provided input,
+/// running both from that input yields bitwise-equal observations.
+pub fn refines(
+    abstract_p: &Program,
+    observe_abstract: &ObserveFn,
+    concrete: &Program,
+    observe_concrete: &ObserveFn,
+    inputs: &[InitFn],
+) -> Result<(), String> {
+    for (i, init) in inputs.iter().enumerate() {
+        let a = abstract_p.run_from(|s| init(s));
+        let c = concrete.run_from(|s| init(s));
+        let oa = observe_abstract(&a);
+        let oc = observe_concrete(&c);
+        if oa.len() != oc.len() {
+            return Err(format!(
+                "input {i}: observation lengths differ ({} vs {})",
+                oa.len(),
+                oc.len()
+            ));
+        }
+        for (j, (x, y)) in oa.iter().zip(&oc).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(format!(
+                    "input {i}: observable {j} differs ({x:e} vs {y:e})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Size/effort metrics of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Stage name.
+    pub name: String,
+    /// Assignments before the transformation.
+    pub assigns_before: usize,
+    /// Assignments after.
+    pub assigns_after: usize,
+    /// Data-exchange operations after.
+    pub exchanges_after: usize,
+    /// Cross-partition messages the final transformation will emit.
+    pub messages_after: usize,
+    /// Simulated process count after.
+    pub n_procs_after: usize,
+}
+
+struct Stage {
+    name: String,
+    transform: TransformFn,
+    observe: ObserveFn,
+}
+
+/// A sequence of refinement stages applied to an initial program.
+pub struct Pipeline {
+    initial_observe: ObserveFn,
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// A pipeline whose initial program's observables are read by
+    /// `observe`.
+    pub fn new(observe: impl Fn(&Store) -> Vec<f64> + 'static) -> Pipeline {
+        Pipeline { initial_observe: Box::new(observe), stages: Vec::new() }
+    }
+
+    /// Append a stage: `transform` rewrites the program; `observe` reads
+    /// the observables of the *transformed* program.
+    pub fn stage(
+        mut self,
+        name: &str,
+        transform: impl Fn(&Program) -> Program + 'static,
+        observe: impl Fn(&Store) -> Vec<f64> + 'static,
+    ) -> Pipeline {
+        self.stages.push(Stage {
+            name: name.to_string(),
+            transform: Box::new(transform),
+            observe: Box::new(observe),
+        });
+        self
+    }
+
+    /// Run the pipeline: apply every stage to `initial`, checking each
+    /// against its predecessor on `inputs` and collecting metrics. Returns
+    /// the final program and the per-stage metrics.
+    pub fn run(
+        &self,
+        initial: &Program,
+        inputs: &[InitFn],
+    ) -> Result<(Program, Vec<StageMetrics>), String> {
+        let mut current = initial.clone();
+        let mut observe: &ObserveFn = &self.initial_observe;
+        let mut metrics = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let next = (stage.transform)(&current);
+            refines(&current, observe, &next, &stage.observe, inputs)
+                .map_err(|e| format!("stage '{}' is not a refinement: {e}", stage.name))?;
+            metrics.push(StageMetrics {
+                name: stage.name.clone(),
+                assigns_before: current.assign_count(),
+                assigns_after: next.assign_count(),
+                exchanges_after: next.exchange_count(),
+                messages_after: next.message_count(),
+                n_procs_after: next.n_procs,
+            });
+            current = next;
+            observe = &stage.observe;
+        }
+        Ok((current, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Block, Expr, LocalAssign, Var};
+
+    fn double_program() -> Program {
+        Program {
+            n_procs: 1,
+            blocks: vec![Block::Local {
+                parts: vec![vec![LocalAssign {
+                    target: Var::new(0, "y"),
+                    expr: Expr::Mul(
+                        Box::new(Expr::Var(Var::new(0, "x"))),
+                        Box::new(Expr::Const(2.0)),
+                    ),
+                }]],
+            }],
+        }
+    }
+
+    fn inputs() -> Vec<InitFn> {
+        (0..4)
+            .map(|i| {
+                let v = i as f64 * 1.25 - 1.0;
+                Box::new(move |s: &mut Store| s.set(&Var::new(0, "x"), v)) as InitFn
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_stage_refines() {
+        let p = double_program();
+        let pipeline = Pipeline::new(|s| vec![s.get(&Var::new(0, "y"))]).stage(
+            "identity",
+            |p| p.clone(),
+            |s| vec![s.get(&Var::new(0, "y"))],
+        );
+        let (out, metrics) = pipeline.run(&p, &inputs()).unwrap();
+        assert_eq!(out, p);
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].assigns_before, 1);
+    }
+
+    #[test]
+    fn representation_change_refines_via_observation() {
+        // Transform y = 2x into y' = x + x (same observable value, bitwise:
+        // 2x and x+x are identical in IEEE 754).
+        let p = double_program();
+        let pipeline = Pipeline::new(|s| vec![s.get(&Var::new(0, "y"))]).stage(
+            "strength-reduce",
+            |_| Program {
+                n_procs: 1,
+                blocks: vec![Block::Local {
+                    parts: vec![vec![LocalAssign {
+                        target: Var::new(0, "yprime"),
+                        expr: Expr::Add(
+                            Box::new(Expr::Var(Var::new(0, "x"))),
+                            Box::new(Expr::Var(Var::new(0, "x"))),
+                        ),
+                    }]],
+                }],
+            },
+            |s| vec![s.get(&Var::new(0, "yprime"))],
+        );
+        pipeline.run(&p, &inputs()).unwrap();
+    }
+
+    #[test]
+    fn broken_stage_is_rejected() {
+        let p = double_program();
+        let pipeline = Pipeline::new(|s| vec![s.get(&Var::new(0, "y"))]).stage(
+            "off-by-one",
+            |_| Program {
+                n_procs: 1,
+                blocks: vec![Block::Local {
+                    parts: vec![vec![LocalAssign {
+                        target: Var::new(0, "y"),
+                        expr: Expr::Add(
+                            Box::new(Expr::Var(Var::new(0, "x"))),
+                            Box::new(Expr::Const(2.0)),
+                        ),
+                    }]],
+                }],
+            },
+            |s| vec![s.get(&Var::new(0, "y"))],
+        );
+        let err = pipeline.run(&p, &inputs()).unwrap_err();
+        assert!(err.contains("not a refinement"), "{err}");
+    }
+}

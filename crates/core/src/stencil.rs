@@ -1,0 +1,442 @@
+//! A worked end-to-end example of the methodology: a 1-D three-point
+//! stencil taken through the paper's §4.4 transformation stages entirely
+//! inside the IR.
+//!
+//! * **Stage 0** — the original sequential program: `steps` sweeps of
+//!   `u_i ← a·u_{i−1} + b·u_i + c·u_{i+1}` over cells `1..=n` with
+//!   zero-valued boundary cells `u_0`, `u_{n+1}`.
+//! * **Stage 1** (§4.4 step 1: *"partition the data … by adding an index to
+//!   each variable; at this point all data is duplicated across all
+//!   processes"*) — [`duplicate`]: every process carries a full copy and
+//!   performs the full computation.
+//! * **Stage 2** (§4.4 steps 2/4: fit the archetype pattern, split blocks
+//!   into local sections, insert data-exchange operations) —
+//!   [`partition`]: each process keeps only its block plus ghost cells,
+//!   with a ghost-refresh exchange before every sweep.
+//! * **Stage 3** — the formally justified final transformation
+//!   ([`crate::transform::to_parallel`]) into a message-passing program.
+//!
+//! Every stage is checked to refine its predecessor by co-execution
+//! ([`crate::refine`]), and the whole pipeline's effort metrics are the E6
+//! experiment's data.
+
+use crate::ir::{Block, ExchangeAssign, Expr, LocalAssign, Program, Store, Var};
+
+/// The stencil family's parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StencilSpec {
+    /// Interior cells (`u_1 ..= u_n`).
+    pub n: usize,
+    /// Number of sweeps.
+    pub steps: usize,
+    /// Left-neighbour coefficient.
+    pub a: f64,
+    /// Self coefficient.
+    pub b: f64,
+    /// Right-neighbour coefficient.
+    pub c: f64,
+}
+
+impl StencilSpec {
+    /// A small default instance.
+    pub fn demo() -> StencilSpec {
+        StencilSpec { n: 12, steps: 4, a: 0.25, b: 0.5, c: 0.25 }
+    }
+}
+
+/// The three-point update expression for global cell `i` homed in
+/// partition `proc` (cell names are global; `proc` carries the partition).
+fn update_expr(spec: &StencilSpec, proc: usize, i: usize) -> Expr {
+    let term = |coef: f64, cell: usize| {
+        Expr::Mul(Box::new(Expr::Const(coef)), Box::new(Expr::Var(Var::idx(proc, "u", cell))))
+    };
+    Expr::Add(
+        Box::new(Expr::Add(Box::new(term(spec.a, i - 1)), Box::new(term(spec.b, i)))),
+        Box::new(term(spec.c, i + 1)),
+    )
+}
+
+/// One sweep of cells `lo..=hi` in partition `proc`: compute `v_i` for all
+/// owned cells, then promote `u_i ← v_i` (the classic two-phase sweep that
+/// keeps the stencil reads pre-update).
+fn sweep_assigns(spec: &StencilSpec, proc: usize, lo: usize, hi: usize) -> Vec<LocalAssign> {
+    let mut assigns = Vec::with_capacity(2 * (hi - lo + 1));
+    for i in lo..=hi {
+        assigns.push(LocalAssign { target: Var::idx(proc, "v", i), expr: update_expr(spec, proc, i) });
+    }
+    for i in lo..=hi {
+        assigns.push(LocalAssign {
+            target: Var::idx(proc, "u", i),
+            expr: Expr::Var(Var::idx(proc, "v", i)),
+        });
+    }
+    assigns
+}
+
+/// Stage 0: the original sequential program (one partition).
+pub fn sequential(spec: &StencilSpec) -> Program {
+    let mut blocks = Vec::with_capacity(spec.steps);
+    for _ in 0..spec.steps {
+        blocks.push(Block::Local { parts: vec![sweep_assigns(spec, 0, 1, spec.n)] });
+    }
+    Program { n_procs: 1, blocks }
+}
+
+/// Stage 1: duplicate the whole computation across `nprocs` processes —
+/// a genuine transformation of the stage-0 program (every local part is
+/// re-homed into each partition).
+pub fn duplicate(seq: &Program, nprocs: usize) -> Program {
+    assert_eq!(seq.n_procs, 1, "duplicate starts from a sequential program");
+    let blocks = seq
+        .blocks
+        .iter()
+        .map(|b| match b {
+            Block::Local { parts } => Block::Local {
+                parts: (0..nprocs)
+                    .map(|p| {
+                        parts[0]
+                            .iter()
+                            .map(|a| LocalAssign {
+                                target: Var::new(p, a.target.name.clone()),
+                                expr: a.expr.map_vars(&|v| Var::new(p, v.name.clone())),
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            },
+            Block::Exchange { .. } => unreachable!("sequential programs have no exchanges"),
+        })
+        .collect();
+    Program { n_procs: nprocs, blocks }
+}
+
+/// Balanced 1-based cell range `(lo, hi)` owned by block `p` of `nprocs`.
+pub fn owned_range(n: usize, nprocs: usize, p: usize) -> (usize, usize) {
+    let base = n / nprocs;
+    let extra = n % nprocs;
+    let lo = p * base + p.min(extra) + 1;
+    let len = base + usize::from(p < extra);
+    (lo, lo + len - 1)
+}
+
+/// Stage 2: partition cells into local sections with ghost cells and
+/// insert a ghost-refresh data-exchange operation before every sweep
+/// (the archetype's boundary exchange, specialized to one dimension).
+pub fn partition(spec: &StencilSpec, nprocs: usize) -> Program {
+    assert!(nprocs >= 1 && nprocs <= spec.n, "1 ≤ nprocs ≤ n");
+    let mut blocks = Vec::with_capacity(2 * spec.steps);
+    for _ in 0..spec.steps {
+        if nprocs > 1 {
+            // Ghost refresh: each process receives its neighbours' border
+            // cells into its own copies of those (globally-named) cells.
+            let mut assigns = Vec::new();
+            for p in 0..nprocs {
+                let (lo, hi) = owned_range(spec.n, nprocs, p);
+                if p > 0 {
+                    assigns.push(ExchangeAssign {
+                        target: Var::idx(p, "u", lo - 1),
+                        expr: Expr::Var(Var::idx(p - 1, "u", lo - 1)),
+                    });
+                }
+                if p + 1 < nprocs {
+                    assigns.push(ExchangeAssign {
+                        target: Var::idx(p, "u", hi + 1),
+                        expr: Expr::Var(Var::idx(p + 1, "u", hi + 1)),
+                    });
+                }
+            }
+            blocks.push(Block::Exchange { assigns });
+        }
+        blocks.push(Block::Local {
+            parts: (0..nprocs)
+                .map(|p| {
+                    let (lo, hi) = owned_range(spec.n, nprocs, p);
+                    sweep_assigns(spec, p, lo, hi)
+                })
+                .collect(),
+        });
+    }
+    Program { n_procs: nprocs, blocks }
+}
+
+/// Stage 2b (§4.4 step 3: *"separate each local-computation block into a
+/// simulated-host-process block and a simulated-grid-process block"*): the
+/// host/grid split. Process `ngrid` becomes the host: it owns the file-I/O
+/// copy of the data; the program begins with a *scatter* data-exchange
+/// (host → each grid process's owned cells) and ends with a *gather*
+/// (owner → host). Restriction (iii) — every process receives at least one
+/// assignment in every exchange — is satisfied by giving the non-receiving
+/// side a constant "acknowledge" assignment, the same trick a real host
+/// protocol's completion flag plays.
+pub fn with_host(spec: &StencilSpec, ngrid: usize) -> Program {
+    assert!(ngrid >= 1 && ngrid <= spec.n);
+    let host = ngrid;
+    let compute = partition(spec, ngrid);
+
+    // Scatter: every grid process receives its owned cells (and its ghost
+    // cells' initial values) from the host copy; the host receives an ack.
+    let mut scatter = Vec::new();
+    for p in 0..ngrid {
+        let (lo, hi) = owned_range(spec.n, ngrid, p);
+        // Owned cells plus the ghost cells the first exchange would not yet
+        // have refreshed (they are refreshed before every sweep anyway, but
+        // the initial ghost values must match the duplicated stages').
+        let cell_lo = lo.saturating_sub(1).max(1);
+        let cell_hi = (hi + 1).min(spec.n);
+        for i in cell_lo..=cell_hi {
+            scatter.push(ExchangeAssign {
+                target: Var::idx(p, "u", i),
+                expr: Expr::Var(Var::idx(host, "u", i)),
+            });
+        }
+    }
+    scatter.push(ExchangeAssign { target: Var::new(host, "ack"), expr: Expr::Const(1.0) });
+
+    // Gather: the host's copy is refreshed from each cell's owner; each
+    // grid process receives an ack.
+    let mut gather = Vec::new();
+    for p in 0..ngrid {
+        let (lo, hi) = owned_range(spec.n, ngrid, p);
+        for i in lo..=hi {
+            gather.push(ExchangeAssign {
+                target: Var::idx(host, "u", i),
+                expr: Expr::Var(Var::idx(p, "u", i)),
+            });
+        }
+        gather.push(ExchangeAssign { target: Var::new(p, "ack"), expr: Expr::Const(1.0) });
+    }
+
+    let mut blocks = Vec::with_capacity(compute.blocks.len() + 2);
+    blocks.push(Block::Exchange { assigns: scatter });
+    // The grid computation, widened to n_procs = ngrid + 1: local blocks
+    // gain an (empty) host part; exchange blocks gain the host ack so the
+    // host keeps receiving (restriction (iii) now quantifies over it too).
+    for b in compute.blocks {
+        match b {
+            Block::Local { mut parts } => {
+                parts.push(Vec::new()); // the host computes nothing
+                blocks.push(Block::Local { parts });
+            }
+            Block::Exchange { mut assigns } => {
+                assigns.push(ExchangeAssign {
+                    target: Var::new(host, "ack"),
+                    expr: Expr::Const(1.0),
+                });
+                blocks.push(Block::Exchange { assigns });
+            }
+        }
+    }
+    blocks.push(Block::Exchange { assigns: gather });
+    Program { n_procs: ngrid + 1, blocks }
+}
+
+/// Observation of the host/grid program: `u_1..=u_n` as the *host* copy
+/// holds them after the final gather (the file the program would write).
+pub fn observe_host(spec: &StencilSpec, ngrid: usize) -> impl Fn(&Store) -> Vec<f64> {
+    let n = spec.n;
+    move |s: &Store| (1..=n).map(|i| s.get(&Var::idx(ngrid, "u", i))).collect()
+}
+
+/// Observation of the sequential (or duplicated) program: `u_1..=u_n` of
+/// partition 0.
+pub fn observe_replicated(spec: &StencilSpec) -> impl Fn(&Store) -> Vec<f64> {
+    let n = spec.n;
+    move |s: &Store| (1..=n).map(|i| s.get(&Var::idx(0, "u", i))).collect()
+}
+
+/// Observation of the partitioned program: `u_1..=u_n`, each read from its
+/// owner partition.
+pub fn observe_partitioned(spec: &StencilSpec, nprocs: usize) -> impl Fn(&Store) -> Vec<f64> {
+    let n = spec.n;
+    move |s: &Store| {
+        (1..=n)
+            .map(|i| {
+                let owner = (0..nprocs)
+                    .find(|&p| {
+                        let (lo, hi) = owned_range(n, nprocs, p);
+                        (lo..=hi).contains(&i)
+                    })
+                    .expect("every cell has an owner");
+                s.get(&Var::idx(owner, "u", i))
+            })
+            .collect()
+    }
+}
+
+/// Seed every partition's copy of the initial condition `u_i = f(i)` (the
+/// duplicated stages need all copies; the partitioned stage reads only the
+/// owned+ghost subset, extra values are harmless).
+pub fn seed_initial(
+    spec: &StencilSpec,
+    nprocs: usize,
+    f: impl Fn(usize) -> f64,
+) -> impl Fn(&mut Store) {
+    let n = spec.n;
+    let values: Vec<f64> = (1..=n).map(f).collect();
+    move |s: &mut Store| {
+        for p in 0..nprocs {
+            for i in 1..=n {
+                s.set(&Var::idx(p, "u", i), values[i - 1]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::check_program;
+    use crate::refine::refines;
+    use crate::transform::to_parallel;
+    use ssp_runtime::RoundRobin;
+
+    fn inputs(spec: &StencilSpec, nprocs: usize) -> Vec<crate::refine::InitFn> {
+        (0..3u64)
+            .map(|seed| {
+                let spec = *spec;
+                Box::new(seed_initial(&spec, nprocs, move |i| {
+                    ((i as u64 * 37 + seed * 11) % 17) as f64 * 0.125 - 1.0
+                })) as crate::refine::InitFn
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_stages_check_against_the_definition() {
+        let spec = StencilSpec::demo();
+        check_program(&sequential(&spec)).unwrap();
+        check_program(&duplicate(&sequential(&spec), 4)).unwrap();
+        check_program(&partition(&spec, 4)).unwrap();
+    }
+
+    #[test]
+    fn duplicate_refines_sequential() {
+        let spec = StencilSpec::demo();
+        let seq = sequential(&spec);
+        let dup = duplicate(&seq, 3);
+        refines(
+            &seq,
+            &(Box::new(observe_replicated(&spec)) as crate::refine::ObserveFn),
+            &dup,
+            &(Box::new(observe_replicated(&spec)) as crate::refine::ObserveFn),
+            &inputs(&spec, 3),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn partition_refines_duplicate_for_various_p() {
+        let spec = StencilSpec::demo();
+        let seq = sequential(&spec);
+        for p in [2usize, 3, 4, 6] {
+            let dup = duplicate(&seq, p);
+            let part = partition(&spec, p);
+            refines(
+                &dup,
+                &(Box::new(observe_replicated(&spec)) as crate::refine::ObserveFn),
+                &part,
+                &(Box::new(observe_partitioned(&spec, p)) as crate::refine::ObserveFn),
+                &inputs(&spec, p),
+            )
+            .unwrap_or_else(|e| panic!("P={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn host_split_checks_and_refines_partition() {
+        let spec = StencilSpec::demo();
+        for ngrid in [2usize, 3, 4] {
+            let hosted = with_host(&spec, ngrid);
+            check_program(&hosted).unwrap();
+            assert_eq!(hosted.n_procs, ngrid + 1);
+            // Seed every partition (including the host) with the same data;
+            // the host-split program must observe (at the host, post-gather)
+            // exactly what the grid-only program observes at the owners.
+            let part = partition(&spec, ngrid);
+            crate::refine::refines(
+                &part,
+                &(Box::new(observe_partitioned(&spec, ngrid)) as crate::refine::ObserveFn),
+                &hosted,
+                &(Box::new(observe_host(&spec, ngrid)) as crate::refine::ObserveFn),
+                &inputs(&spec, ngrid + 1),
+            )
+            .unwrap_or_else(|e| panic!("ngrid={ngrid}: {e}"));
+        }
+    }
+
+    #[test]
+    fn host_split_transforms_and_runs_in_parallel() {
+        let spec = StencilSpec { n: 8, steps: 2, a: 0.25, b: 0.5, c: 0.25 };
+        let ngrid = 3;
+        let hosted = with_host(&spec, ngrid);
+        let pp = to_parallel(&hosted).unwrap();
+        assert_eq!(pp.n_procs(), ngrid + 1);
+        let init = seed_initial(&spec, ngrid + 1, |i| (i % 5) as f64 * 0.75);
+        let mut store = Store::new();
+        init(&mut store);
+        let mut simpar = store.clone();
+        hosted.run(&mut simpar);
+        let out = pp.run_simulated(&store, &mut ssp_runtime::RandomPolicy::seeded(4)).unwrap();
+        assert_eq!(out.snapshots, simpar.snapshots(ngrid + 1));
+    }
+
+    #[test]
+    fn host_split_scatter_means_grid_seeds_are_irrelevant() {
+        // Seed ONLY the host; the scatter must distribute everything the
+        // grid processes need.
+        let spec = StencilSpec { n: 9, steps: 2, a: 0.2, b: 0.6, c: 0.2 };
+        let ngrid = 3;
+        let hosted = with_host(&spec, ngrid);
+        let host = ngrid;
+        let host_only = hosted.run_from(|s| {
+            for i in 1..=spec.n {
+                s.set(&Var::idx(host, "u", i), (i * i % 7) as f64);
+            }
+        });
+        let everywhere = hosted.run_from(|s| {
+            for p in 0..=ngrid {
+                for i in 1..=spec.n {
+                    s.set(&Var::idx(p, "u", i), (i * i % 7) as f64);
+                }
+            }
+        });
+        let obs = observe_host(&spec, ngrid);
+        let a = obs(&host_only);
+        let b = obs(&everywhere);
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn owned_ranges_tile_the_cells() {
+        for n in [5usize, 12, 13] {
+            for p in 1..=5.min(n) {
+                let mut next = 1;
+                for b in 0..p {
+                    let (lo, hi) = owned_range(n, p, b);
+                    assert_eq!(lo, next);
+                    assert!(hi >= lo);
+                    next = hi + 1;
+                }
+                assert_eq!(next, n + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn final_transformation_runs_and_matches() {
+        let spec = StencilSpec::demo();
+        let p = 4;
+        let program = partition(&spec, p);
+        let pp = to_parallel(&program).unwrap();
+        let init = seed_initial(&spec, p, |i| i as f64 * 0.5);
+        let mut store = Store::new();
+        init(&mut store);
+        let mut simpar_store = store.clone();
+        program.run(&mut simpar_store);
+        let out = pp.run_simulated(&store, &mut RoundRobin::new()).unwrap();
+        assert_eq!(out.snapshots, simpar_store.snapshots(p));
+    }
+}

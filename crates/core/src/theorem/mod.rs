@@ -1,0 +1,27 @@
+//! Theorem 1, executable.
+//!
+//! > **Theorem 1.** Given deterministic processes `P_0 … P_{N−1}` with no
+//! > shared variables except single-reader single-writer channels with
+//! > infinite slack, if `I` and `I′` are two maximal interleavings of the
+//! > actions of the `P_j`s that begin in the same initial state, then `I`
+//! > and `I′` both terminate, and in the same final state.
+//!
+//! Three checks of increasing strength:
+//!
+//! * [`explore::policy_battery_agree`] — run under a diverse battery of
+//!   scheduling policies and compare final states;
+//! * [`explore::enumerate_interleavings`] — for small systems, enumerate
+//!   **every** maximal interleaving by depth-first search over the
+//!   simulator's runnable sets, verifying the final state of each;
+//! * [`permute::verify_adjacent_swaps`] — the proof's technique: permute an
+//!   interleaving toward another by adjacent transpositions, re-executing
+//!   after each and confirming the final state never changes.
+
+pub mod explore;
+pub mod permute;
+
+pub use explore::{
+    enumerate_interleavings, explore_state_graph, policy_battery_agree, ExplorationResult,
+    StateGraphResult,
+};
+pub use permute::{permute_to_match, verify_adjacent_swaps, PermutationProof};

@@ -1,0 +1,226 @@
+//! The formally justified final transformation (§3.3):
+//! simulated-parallel → parallel.
+//!
+//! *"Each collection of assignments constituting a data-exchange operation
+//! can be replaced with a collection of sends and receives. Further, it is
+//! straightforward to choose an ordering … that does not violate the
+//! restriction that we may not read from an empty channel, namely one in
+//! which all sends in a data-exchange operation are done before any
+//! receives."*
+//!
+//! Given a checked [`Program`], [`to_parallel`] emits, per process:
+//!
+//! * each local-computation part as one [`Instr::Compute`];
+//! * for each data-exchange operation, first every send this process
+//!   originates (in assignment order), then its purely-local copies, then
+//!   every receive (in assignment order).
+//!
+//! Channels are allocated one per ordered process pair on demand; FIFO
+//! order plus matching send/receive emission order makes message pairing
+//! unambiguous even when one exchange moves several values between the
+//! same two processes.
+
+use std::collections::HashMap;
+
+use ssp_runtime::{ChannelId, Topology};
+
+use crate::ir::{check_program, Block, IrViolation, LocalAssign, Program};
+use crate::parallel::{Instr, ParallelProgram};
+
+/// Transform a simulated-parallel program into its parallel form.
+///
+/// Fails (returning the violations) if the program does not satisfy the
+/// §2.2 Definition — the precondition under which Theorem 1 applies.
+pub fn to_parallel(program: &Program) -> Result<ParallelProgram, Vec<IrViolation>> {
+    check_program(program)?;
+    let n = program.n_procs;
+    let mut topo = Topology::new(n);
+    let mut chans: HashMap<(usize, usize), ChannelId> = HashMap::new();
+    let mut chan = |topo: &mut Topology, src: usize, dst: usize| {
+        *chans.entry((src, dst)).or_insert_with(|| topo.connect(src, dst))
+    };
+    let mut scripts: Vec<Vec<Instr>> = vec![Vec::new(); n];
+
+    for block in &program.blocks {
+        match block {
+            Block::Local { parts } => {
+                for (p, part) in parts.iter().enumerate() {
+                    if !part.is_empty() {
+                        scripts[p].push(Instr::Compute(part.clone()));
+                    }
+                }
+            }
+            Block::Exchange { assigns } => {
+                // Classify each assignment.
+                let mut sends: Vec<Vec<Instr>> = vec![Vec::new(); n];
+                let mut locals: Vec<Vec<LocalAssign>> = vec![Vec::new(); n];
+                let mut recvs: Vec<Vec<Instr>> = vec![Vec::new(); n];
+                for a in assigns {
+                    let dst = a.target.proc;
+                    let srcs = a.expr.procs();
+                    debug_assert!(srcs.len() <= 1, "checked: restriction (ii)");
+                    let src = srcs.first().copied().unwrap_or(dst);
+                    if src == dst {
+                        // Constant or intra-partition assignment: a local
+                        // copy at the destination, no message.
+                        locals[dst]
+                            .push(LocalAssign { target: a.target.clone(), expr: a.expr.clone() });
+                    } else {
+                        let c = chan(&mut topo, src, dst);
+                        sends[src].push(Instr::Send { chan: c, expr: a.expr.clone() });
+                        recvs[dst].push(Instr::Recv { chan: c, target: a.target.clone() });
+                    }
+                }
+                // Emission order per process: sends, local copies, receives.
+                for p in 0..n {
+                    scripts[p].append(&mut sends[p]);
+                    if !locals[p].is_empty() {
+                        scripts[p].push(Instr::Compute(std::mem::take(&mut locals[p])));
+                    }
+                    scripts[p].append(&mut recvs[p]);
+                }
+            }
+        }
+    }
+    Ok(ParallelProgram { topo, scripts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, ExchangeAssign, Store, Var};
+    use ssp_runtime::{RandomPolicy, RoundRobin};
+
+    fn la(proc: usize, name: &str, expr: Expr) -> LocalAssign {
+        LocalAssign { target: Var::new(proc, name), expr }
+    }
+
+    /// Three processes in a line shift a value left to right twice.
+    fn shift_program() -> Program {
+        let shift = Block::Exchange {
+            assigns: vec![
+                ExchangeAssign { target: Var::new(1, "in"), expr: Expr::Var(Var::new(0, "out")) },
+                ExchangeAssign { target: Var::new(2, "in"), expr: Expr::Var(Var::new(1, "out")) },
+                // Restriction (iii): process 0 must also receive something;
+                // wrap around.
+                ExchangeAssign { target: Var::new(0, "in"), expr: Expr::Var(Var::new(2, "out")) },
+            ],
+        };
+        let promote = Block::Local {
+            parts: (0..3)
+                .map(|p| vec![la(p, "out", Expr::Var(Var::new(p, "in")))])
+                .collect(),
+        };
+        Program {
+            n_procs: 3,
+            blocks: vec![shift.clone(), promote.clone(), shift, promote],
+        }
+    }
+
+    fn init_store() -> Store {
+        let mut s = Store::new();
+        s.set(&Var::new(0, "out"), 1.0);
+        s.set(&Var::new(1, "out"), 2.0);
+        s.set(&Var::new(2, "out"), 3.0);
+        s
+    }
+
+    #[test]
+    fn parallel_final_state_matches_simulated_parallel() {
+        let program = shift_program();
+        // Simulated-parallel execution.
+        let mut store = init_store();
+        program.run(&mut store);
+        let expect = store.snapshots(3);
+        // Transformed parallel execution.
+        let pp = to_parallel(&program).unwrap();
+        let out = pp.run_simulated(&init_store(), &mut RoundRobin::new()).unwrap();
+        assert_eq!(out.snapshots, expect);
+        let out = pp.run_simulated(&init_store(), &mut RandomPolicy::seeded(3)).unwrap();
+        assert_eq!(out.snapshots, expect);
+        let thr = pp.run_threaded(&init_store()).unwrap();
+        assert_eq!(thr, expect);
+    }
+
+    #[test]
+    fn sends_precede_receives_within_each_exchange() {
+        let pp = to_parallel(&shift_program()).unwrap();
+        for script in &pp.scripts {
+            // Within each exchange segment (between Computes), no Send may
+            // follow a Recv.
+            let mut seen_recv = false;
+            for i in script {
+                match i {
+                    Instr::Compute(_) => seen_recv = false,
+                    Instr::Recv { .. } => seen_recv = true,
+                    Instr::Send { .. } => {
+                        assert!(!seen_recv, "send after receive within an exchange")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected() {
+        // An exchange starving process 1.
+        let bad = Program {
+            n_procs: 2,
+            blocks: vec![Block::Exchange {
+                assigns: vec![ExchangeAssign {
+                    target: Var::new(0, "g"),
+                    expr: Expr::Var(Var::new(1, "y")),
+                }],
+            }],
+        };
+        assert!(to_parallel(&bad).is_err());
+    }
+
+    #[test]
+    fn intra_partition_assignments_become_local_copies() {
+        let program = Program {
+            n_procs: 2,
+            blocks: vec![Block::Exchange {
+                assigns: vec![
+                    ExchangeAssign { target: Var::new(0, "g"), expr: Expr::Var(Var::new(1, "y")) },
+                    ExchangeAssign { target: Var::new(1, "g"), expr: Expr::Var(Var::new(0, "y")) },
+                    // Local promotion inside partition 0 during the exchange.
+                    ExchangeAssign { target: Var::new(0, "h"), expr: Expr::Var(Var::new(0, "y")) },
+                ],
+            }],
+        };
+        let pp = to_parallel(&program).unwrap();
+        assert_eq!(pp.send_count(), 2, "only cross-partition assignments send");
+        // And the end state still matches the simulated-parallel run.
+        let mut init = Store::new();
+        init.set(&Var::new(0, "y"), 5.0);
+        init.set(&Var::new(1, "y"), 6.0);
+        let mut store = init.clone();
+        program.run(&mut store);
+        let out = pp.run_simulated(&init, &mut RoundRobin::new()).unwrap();
+        assert_eq!(out.snapshots, store.snapshots(2));
+    }
+
+    #[test]
+    fn multiple_values_between_same_pair_stay_fifo() {
+        let program = Program {
+            n_procs: 2,
+            blocks: vec![Block::Exchange {
+                assigns: vec![
+                    ExchangeAssign { target: Var::new(1, "a"), expr: Expr::Var(Var::new(0, "x")) },
+                    ExchangeAssign { target: Var::new(1, "b"), expr: Expr::Var(Var::new(0, "y")) },
+                    ExchangeAssign { target: Var::new(0, "c"), expr: Expr::Var(Var::new(1, "z")) },
+                ],
+            }],
+        };
+        let pp = to_parallel(&program).unwrap();
+        let mut init = Store::new();
+        init.set(&Var::new(0, "x"), 1.5);
+        init.set(&Var::new(0, "y"), 2.5);
+        init.set(&Var::new(1, "z"), 3.5);
+        let mut store = init.clone();
+        program.run(&mut store);
+        let out = pp.run_simulated(&init, &mut RoundRobin::new()).unwrap();
+        assert_eq!(out.snapshots, store.snapshots(2));
+    }
+}

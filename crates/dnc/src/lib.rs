@@ -1,0 +1,563 @@
+//! # dnc-archetype — the divide-and-conquer archetype
+//!
+//! §2.1 names *divide-and-conquer* as the canonical example of a
+//! *sequential* programming archetype; the conclusion lists developing
+//! additional *parallel* archetypes as future work. This crate closes that
+//! loop: binary divide-and-conquer as a parallel programming archetype in
+//! the paper's full sense —
+//!
+//! * **computational structure**: split a problem to depth `d`, solve the
+//!   `2^d` base cases, merge results pairwise back up;
+//! * **parallelization strategy**: one process per base case, with the
+//!   split tree mapped onto a binomial tree over process ranks (the node
+//!   holding a problem at level `s` keeps the left half and sends the
+//!   right half to rank `own + 2^(d-1-s)`);
+//! * **dataflow / communication structure**: `2^d − 1` messages down
+//!   (distribution), `2^d − 1` messages up (combination), on SRSW
+//!   channels.
+//!
+//! As with the mesh and pipeline archetypes, the same program runs three
+//! ways — [`run_seq`] (the original recursive program), [`run_simpar`]
+//! (the §2.2 sequential simulated-parallel version: alternating
+//! local-computation blocks and level-synchronous data-exchange
+//! operations), and [`run_msg_simulated`] / [`run_msg_threaded`] (the
+//! message-passing program of the final transformation) — and because the
+//! merge tree's shape and the left/right argument order are fixed, all
+//! three produce **bitwise identical** results even for non-associative
+//! floating-point merges.
+//!
+//! # Example
+//!
+//! ```
+//! use dnc_archetype::{run_msg_threaded, run_seq, run_simpar, Dnc};
+//!
+//! // Sum a vector by halving, with a non-associative FP merge.
+//! let d = Dnc::new(
+//!     3,
+//!     |p, _| { let m = p.len() / 2; (p[..m].to_vec(), p[m..].to_vec()) },
+//!     |p| vec![p.iter().sum::<f64>()],
+//!     |l, r| vec![l[0] + r[0]],
+//! );
+//! let data: Vec<f64> = (0..64).map(|i| (i as f64) * 0.1).collect();
+//! let seq = run_seq(&d, data.clone());
+//! let sim = run_simpar(&d, data.clone());
+//! assert_eq!(seq[0].to_bits(), sim.root[0].to_bits());
+//! let thr = run_msg_threaded(&d, data).unwrap();
+//! assert_eq!(thr, sim.snapshots());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use ssp_runtime::{
+    run_threaded, ChannelId, Effect, Process, RunError, RunOutcome, SchedulePolicy, Simulator,
+    Topology,
+};
+
+/// Splits a problem into (left, right) subproblems.
+pub type SplitFn = Arc<dyn Fn(&[f64], u32) -> (Vec<f64>, Vec<f64>) + Send + Sync>;
+/// Solves a base-case problem.
+pub type LeafFn = Arc<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>;
+/// Merges two child results (left, right) into one.
+pub type MergeFn = Arc<dyn Fn(&[f64], &[f64]) -> Vec<f64> + Send + Sync>;
+
+/// A divide-and-conquer computation: problem and result are `Vec<f64>`
+/// payloads (like the other archetypes' message type).
+#[derive(Clone)]
+pub struct Dnc {
+    /// Recursion depth: `2^depth` base cases / processes.
+    pub depth: u32,
+    /// The splitter; receives the problem and its current level (0 = root).
+    pub split: SplitFn,
+    /// The base-case solver.
+    pub leaf: LeafFn,
+    /// The combiner.
+    pub merge: MergeFn,
+}
+
+impl Dnc {
+    /// Build a computation.
+    pub fn new(
+        depth: u32,
+        split: impl Fn(&[f64], u32) -> (Vec<f64>, Vec<f64>) + Send + Sync + 'static,
+        leaf: impl Fn(&[f64]) -> Vec<f64> + Send + Sync + 'static,
+        merge: impl Fn(&[f64], &[f64]) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Dnc {
+        Dnc {
+            depth,
+            split: Arc::new(split),
+            leaf: Arc::new(leaf),
+            merge: Arc::new(merge),
+        }
+    }
+
+    /// Number of processes in the parallel form.
+    pub fn n_procs(&self) -> usize {
+        1usize << self.depth
+    }
+}
+
+/// The original sequential program: plain recursion, left subtree first.
+pub fn run_seq(dnc: &Dnc, problem: Vec<f64>) -> Vec<f64> {
+    fn go(dnc: &Dnc, problem: &[f64], level: u32) -> Vec<f64> {
+        if level == dnc.depth {
+            return (dnc.leaf)(problem);
+        }
+        let (l, r) = (dnc.split)(problem, level);
+        let lr = go(dnc, &l, level + 1);
+        let rr = go(dnc, &r, level + 1);
+        (dnc.merge)(&lr, &rr)
+    }
+    go(dnc, &problem, 0)
+}
+
+/// The sequential simulated-parallel version: `2^depth` simulated
+/// processes; `depth` level-synchronous *distribution* exchanges (each
+/// holder splits and assigns the right half into its partner's partition),
+/// one local-computation block (every process solves its base case), and
+/// `depth` *combination* exchanges (each right child assigns its result
+/// into its parent's partition, where the fixed-order merge happens).
+///
+/// Returns rank 0's final value (the root result) plus every process's
+/// result slot for snapshot comparison.
+pub fn run_simpar(dnc: &Dnc, problem: Vec<f64>) -> DncOutcome {
+    let p = dnc.n_procs();
+    // `slots[r]` is process r's current problem (distribution) or result
+    // (combination); None where the rank is not yet (or no longer) active.
+    let mut slots: Vec<Option<Vec<f64>>> = vec![None; p];
+    slots[0] = Some(problem);
+    // Distribution: at level s, holders are ranks with the low (depth-s)
+    // bits zero; each sends the right half a stride of 2^(depth-1-s) away.
+    for s in 0..dnc.depth {
+        let stride = 1usize << (dnc.depth - 1 - s);
+        // Local-computation block: each holder splits.
+        let mut outgoing: Vec<(usize, Vec<f64>)> = Vec::new();
+        for r in (0..p).step_by(stride * 2) {
+            let holder = slots[r].take().expect("holder has a problem");
+            let (l, right) = (dnc.split)(&holder, s);
+            slots[r] = Some(l);
+            outgoing.push((r + stride, right));
+        }
+        // Data-exchange operation: all right halves move at once.
+        for (dst, payload) in outgoing {
+            slots[dst] = Some(payload);
+        }
+    }
+    // Local-computation block: every process solves its base case.
+    for slot in slots.iter_mut() {
+        let problem = slot.take().expect("every rank holds a base case");
+        *slot = Some((dnc.leaf)(&problem));
+    }
+    let leaf_results: Vec<Vec<f64>> =
+        slots.iter().map(|s| s.clone().expect("leaf result")).collect();
+    // Combination: reverse schedule; right child sends to the parent.
+    for s in (0..dnc.depth).rev() {
+        let stride = 1usize << (dnc.depth - 1 - s);
+        let mut incoming: Vec<(usize, Vec<f64>)> = Vec::new();
+        for r in (0..p).step_by(stride * 2) {
+            let right = slots[r + stride].take().expect("right child has a result");
+            incoming.push((r, right));
+        }
+        for (dst, right) in incoming {
+            let left = slots[dst].take().expect("parent has its left result");
+            slots[dst] = Some((dnc.merge)(&left, &right));
+        }
+    }
+    let root = slots[0].take().expect("root result");
+    DncOutcome { root, leaf_results }
+}
+
+/// Result of a simulated-parallel or sequential-reference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DncOutcome {
+    /// The root (overall) result.
+    pub root: Vec<f64>,
+    /// Each process's base-case result (for cross-driver comparison).
+    pub leaf_results: Vec<Vec<f64>>,
+}
+
+impl DncOutcome {
+    /// Canonical per-process snapshots: every rank's leaf result; rank 0's
+    /// also carries the root result.
+    pub fn snapshots(&self) -> Vec<Vec<u8>> {
+        self.leaf_results
+            .iter()
+            .enumerate()
+            .map(|(r, leaf)| {
+                let mut buf = encode(leaf);
+                if r == 0 {
+                    buf.extend_from_slice(&encode(&self.root));
+                }
+                buf
+            })
+            .collect()
+    }
+}
+
+fn encode(xs: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + 8 * xs.len());
+    buf.extend_from_slice(&(xs.len() as u64).to_le_bytes());
+    for x in xs {
+        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    buf
+}
+
+/// One rank of the message-passing program.
+struct DncProc {
+    rank: usize,
+    dnc: Dnc,
+    /// Levels at which this rank *receives* a problem (exactly one, unless
+    /// rank 0, which starts holding it).
+    problem: Option<Vec<f64>>,
+    leaf_result: Vec<f64>,
+    root_result: Vec<f64>,
+    /// Compiled schedule of steps.
+    steps: Vec<DncStep>,
+    pc: usize,
+    /// Holds the split-off right halves pending send, most recent last.
+    accum: Option<Vec<f64>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DncStep {
+    /// Split the held problem at `level`, keep the left, send the right.
+    SplitSend { level: u32, to: usize },
+    /// Receive the problem from the parent.
+    RecvProblem { from: usize },
+    /// Solve the base case.
+    Solve,
+    /// Receive the right child's result and merge (left = own).
+    RecvMerge { from: usize },
+    /// Send own result to the parent.
+    SendResult { to: usize },
+}
+
+/// Compile rank `r`'s schedule for depth `d`.
+fn schedule(rank: usize, depth: u32) -> Vec<DncStep> {
+    let mut steps = Vec::new();
+    // Distribution: find the level at which this rank receives (the number
+    // of trailing zero strides), then split/send at every later level.
+    // Rank 0 receives nothing and splits at every level.
+    let mut recv_level: Option<u32> = None;
+    for s in 0..depth {
+        let stride = 1usize << (depth - 1 - s);
+        if rank != 0 && rank.is_multiple_of(stride) && (rank / stride) % 2 == 1 {
+            recv_level = Some(s);
+            break;
+        }
+    }
+    if let Some(s) = recv_level {
+        let stride = 1usize << (depth - 1 - s);
+        steps.push(DncStep::RecvProblem { from: rank - stride });
+    }
+    let first_split = recv_level.map_or(0, |s| s + 1);
+    for s in first_split..depth {
+        let stride = 1usize << (depth - 1 - s);
+        if rank.is_multiple_of(stride * 2) {
+            steps.push(DncStep::SplitSend { level: s, to: rank + stride });
+        }
+    }
+    steps.push(DncStep::Solve);
+    // Combination: merge at every level where this rank is the parent,
+    // then (unless root) send upward at the level where it is the child.
+    for s in (0..depth).rev() {
+        let stride = 1usize << (depth - 1 - s);
+        if rank.is_multiple_of(stride * 2) {
+            steps.push(DncStep::RecvMerge { from: rank + stride });
+        } else if rank.is_multiple_of(stride) && (rank / stride) % 2 == 1 {
+            steps.push(DncStep::SendResult { to: rank - stride });
+            break; // after sending upward this rank is done
+        }
+    }
+    steps
+}
+
+impl Process for DncProc {
+    type Msg = Vec<f64>;
+
+    fn resume(&mut self, delivery: Option<Vec<f64>>) -> Effect<Vec<f64>> {
+        if let Some(msg) = delivery {
+            match self.steps[self.pc - 1] {
+                DncStep::RecvProblem { .. } => self.problem = Some(msg),
+                DncStep::RecvMerge { .. } => {
+                    let left = self.problem.take().expect("own result held");
+                    self.problem = Some((self.dnc.merge)(&left, &msg));
+                }
+                _ => panic!("unexpected delivery"),
+            }
+        }
+        // Flush a pending send produced by the previous SplitSend.
+        if let Some(right) = self.accum.take() {
+            let to = match self.steps[self.pc - 1] {
+                DncStep::SplitSend { to, .. } => to,
+                _ => unreachable!(),
+            };
+            return Effect::Send { chan: chan_for(self.rank, to), msg: right };
+        }
+        if self.pc >= self.steps.len() {
+            if self.rank == 0 {
+                self.root_result = self.problem.clone().unwrap_or_default();
+            }
+            return Effect::Halt;
+        }
+        let step = self.steps[self.pc];
+        self.pc += 1;
+        match step {
+            DncStep::RecvProblem { from } => {
+                Effect::Recv { chan: chan_for(from, self.rank) }
+            }
+            DncStep::SplitSend { level, to: _ } => {
+                let held = self.problem.take().expect("holder has a problem");
+                let (l, r) = (self.dnc.split)(&held, level);
+                self.problem = Some(l);
+                self.accum = Some(r);
+                Effect::Compute { units: 1 }
+            }
+            DncStep::Solve => {
+                let p = self.problem.take().expect("base case held");
+                let result = (self.dnc.leaf)(&p);
+                self.leaf_result = result.clone();
+                self.problem = Some(result);
+                Effect::Compute { units: 1 }
+            }
+            DncStep::RecvMerge { from } => Effect::Recv { chan: chan_for(from, self.rank) },
+            DncStep::SendResult { to } => {
+                let result = self.problem.clone().expect("result held");
+                Effect::Send { chan: chan_for(self.rank, to), msg: result }
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut buf = encode(&self.leaf_result);
+        if self.rank == 0 {
+            buf.extend_from_slice(&encode(&self.root_result));
+        }
+        buf
+    }
+
+    fn progress(&self) -> u64 {
+        self.pc as u64
+    }
+}
+
+/// Channel id for the (src → dst) tree edge: channels are created in a
+/// fixed global order by [`build`], mirrored here.
+fn chan_for(src: usize, dst: usize) -> ChannelId {
+    // Each rank pair on the binomial tree communicates over exactly one
+    // down edge and one up edge; build() indexes them deterministically.
+    // Down edge parent→child uses id 2*child-2+... — simplest consistent
+    // mapping: down edges are even ids by child rank order, up edges odd.
+    if src < dst {
+        ChannelId(2 * (dst - 1)) // parent → child (child > 0)
+    } else {
+        ChannelId(2 * (src - 1) + 1) // child → parent
+    }
+}
+
+fn build(dnc: &Dnc, problem: Vec<f64>) -> (Topology, Vec<DncProc>) {
+    let p = dnc.n_procs();
+    let mut topo = Topology::new(p);
+    // For every non-root rank c, its parent is c - (largest power of two
+    // dividing... ) — concretely, c's parent is c with its lowest set
+    // high-stride bit cleared: parent = c - stride where stride is the
+    // largest power of two with c % (2*stride) == stride.
+    for c in 1..p {
+        let stride = 1usize << c.trailing_zeros();
+        let parent = c - stride;
+        let down = topo.connect(parent, c);
+        let up = topo.connect(c, parent);
+        debug_assert_eq!(down, ChannelId(2 * (c - 1)));
+        debug_assert_eq!(up, ChannelId(2 * (c - 1) + 1));
+    }
+    let procs = (0..p)
+        .map(|rank| DncProc {
+            rank,
+            dnc: dnc.clone(),
+            problem: if rank == 0 { Some(problem.clone()) } else { None },
+            leaf_result: Vec::new(),
+            root_result: Vec::new(),
+            steps: schedule(rank, dnc.depth),
+            pc: 0,
+            accum: None,
+        })
+        .collect();
+    (topo, procs)
+}
+
+/// Run the message-passing divide-and-conquer under the simulated
+/// scheduler.
+pub fn run_msg_simulated(
+    dnc: &Dnc,
+    problem: Vec<f64>,
+    policy: &mut dyn SchedulePolicy,
+) -> Result<RunOutcome, RunError> {
+    let (topo, procs) = build(dnc, problem);
+    Simulator::new(topo, procs).run(policy)
+}
+
+/// Run the message-passing divide-and-conquer on OS threads.
+pub fn run_msg_threaded(dnc: &Dnc, problem: Vec<f64>) -> Result<Vec<Vec<u8>>, RunError> {
+    let (topo, procs) = build(dnc, problem);
+    run_threaded(&topo, procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_runtime::{Adversary, AdversarialPolicy, RandomPolicy, RoundRobin};
+
+    /// Numerical quadrature of an oscillatory function by interval
+    /// bisection: problems are `[a, b]` intervals, leaves apply Simpson's
+    /// rule, merges add (fixed order → bitwise determinism matters).
+    fn quadrature(depth: u32) -> Dnc {
+        fn f(x: f64) -> f64 {
+            (x * 3.7).sin() * (x * x * 0.5).cos() + 1.0 / (1.0 + x * x)
+        }
+        Dnc::new(
+            depth,
+            |p, _| {
+                let (a, b) = (p[0], p[1]);
+                let m = 0.5 * (a + b);
+                (vec![a, m], vec![m, b])
+            },
+            |p| {
+                let (a, b) = (p[0], p[1]);
+                let m = 0.5 * (a + b);
+                vec![(b - a) / 6.0 * (f(a) + 4.0 * f(m) + f(b))]
+            },
+            |l, r| vec![l[0] + r[0]],
+        )
+    }
+
+    /// Mergesort: problems are unsorted runs, leaves sort small runs,
+    /// merges interleave.
+    fn mergesort(depth: u32) -> Dnc {
+        Dnc::new(
+            depth,
+            |p, _| {
+                let mid = p.len() / 2;
+                (p[..mid].to_vec(), p[mid..].to_vec())
+            },
+            |p| {
+                let mut v = p.to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v
+            },
+            |l, r| {
+                let mut out = Vec::with_capacity(l.len() + r.len());
+                let (mut i, mut j) = (0, 0);
+                while i < l.len() && j < r.len() {
+                    if l[i] <= r[j] {
+                        out.push(l[i]);
+                        i += 1;
+                    } else {
+                        out.push(r[j]);
+                        j += 1;
+                    }
+                }
+                out.extend_from_slice(&l[i..]);
+                out.extend_from_slice(&r[j..]);
+                out
+            },
+        )
+    }
+
+    #[test]
+    fn simpar_matches_sequential_bitwise() {
+        for depth in 0..5u32 {
+            let d = quadrature(depth);
+            let seq = run_seq(&d, vec![0.0, 8.0]);
+            let sim = run_simpar(&d, vec![0.0, 8.0]);
+            assert_eq!(
+                seq.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                sim.root.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn msg_matches_simpar_under_policies_and_threads() {
+        let d = quadrature(3);
+        let sim = run_simpar(&d, vec![-2.0, 6.0]);
+        let mut policies: Vec<Box<dyn SchedulePolicy>> = vec![
+            Box::new(RoundRobin::new()),
+            Box::new(AdversarialPolicy::new(Adversary::LowestFirst)),
+            Box::new(AdversarialPolicy::new(Adversary::HighestFirst)),
+            Box::new(RandomPolicy::seeded(33)),
+        ];
+        for policy in policies.iter_mut() {
+            let out = run_msg_simulated(&d, vec![-2.0, 6.0], policy.as_mut()).unwrap();
+            assert_eq!(out.snapshots, sim.snapshots(), "policy {}", policy.name());
+        }
+        let thr = run_msg_threaded(&d, vec![-2.0, 6.0]).unwrap();
+        assert_eq!(thr, sim.snapshots());
+    }
+
+    #[test]
+    fn mergesort_sorts_and_agrees_across_drivers() {
+        let d = mergesort(3);
+        let data: Vec<f64> = (0..64).map(|i| ((i * 37 + 11) % 64) as f64 - 20.0).collect();
+        let seq = run_seq(&d, data.clone());
+        let mut expect = data.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seq, expect);
+        let sim = run_simpar(&d, data.clone());
+        assert_eq!(sim.root, expect);
+        let msg = run_msg_simulated(&d, data, &mut RandomPolicy::seeded(5)).unwrap();
+        assert_eq!(msg.snapshots, sim.snapshots());
+    }
+
+    #[test]
+    fn depth_zero_runs_on_one_process() {
+        let d = quadrature(0);
+        assert_eq!(d.n_procs(), 1);
+        let seq = run_seq(&d, vec![0.0, 1.0]);
+        let sim = run_simpar(&d, vec![0.0, 1.0]);
+        assert_eq!(seq, sim.root);
+        let msg = run_msg_simulated(&d, vec![0.0, 1.0], &mut RoundRobin::new()).unwrap();
+        assert_eq!(msg.snapshots, sim.snapshots());
+    }
+
+    #[test]
+    fn message_count_matches_theory() {
+        // 2(2^d − 1) messages: one down and one up per tree edge.
+        let d = quadrature(4);
+        let out = run_msg_simulated(&d, vec![0.0, 1.0], &mut RoundRobin::new()).unwrap();
+        assert_eq!(out.trace.total_sends(), 2 * (16 - 1));
+    }
+
+    #[test]
+    fn schedules_are_consistent() {
+        // Every SplitSend has a matching RecvProblem, every RecvMerge a
+        // matching SendResult, across the whole rank set.
+        for depth in 1..6u32 {
+            let p = 1usize << depth;
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            let mut ups = Vec::new();
+            let mut merges = Vec::new();
+            for r in 0..p {
+                for s in schedule(r, depth) {
+                    match s {
+                        DncStep::SplitSend { to, .. } => sends.push((r, to)),
+                        DncStep::RecvProblem { from } => recvs.push((from, r)),
+                        DncStep::SendResult { to } => ups.push((r, to)),
+                        DncStep::RecvMerge { from } => merges.push((from, r)),
+                        DncStep::Solve => {}
+                    }
+                }
+            }
+            sends.sort_unstable();
+            recvs.sort_unstable();
+            ups.sort_unstable();
+            merges.sort_unstable();
+            assert_eq!(sends, recvs, "depth {depth}");
+            assert_eq!(ups, merges, "depth {depth}");
+            assert_eq!(sends.len(), p - 1);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests: the divide-and-conquer archetype's three
+//! executions agree bitwise for random depths, problems, and merge
+//! operators.
+
+use dnc_archetype::{run_msg_simulated, run_seq, run_simpar, Dnc};
+use proptest::prelude::*;
+use ssp_runtime::{RandomPolicy, RoundRobin};
+
+/// A family of sum-style computations whose leaves and merges do
+/// non-associative floating-point work, parameterized by a seed.
+fn weighted_sum(depth: u32, w: f64) -> Dnc {
+    Dnc::new(
+        depth,
+        |p, _| {
+            let mid = p.len() / 2;
+            (p[..mid.max(1)].to_vec(), p[mid.max(1)..].to_vec())
+        },
+        move |p| {
+            let mut acc = 0.0;
+            for (i, &x) in p.iter().enumerate() {
+                acc += x * (1.0 + w * i as f64);
+            }
+            vec![acc, p.len() as f64]
+        },
+        |l, r| vec![l[0] + r[0], l[1] + r[1]],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All three executions agree bitwise.
+    #[test]
+    fn drivers_agree_bitwise(
+        depth in 0u32..5,
+        data in prop::collection::vec(-1e6f64..1e6, 32..128),
+        w in -0.5f64..0.5,
+        seed in 0u64..300,
+    ) {
+        let d = weighted_sum(depth, w);
+        let seq = run_seq(&d, data.clone());
+        let sim = run_simpar(&d, data.clone());
+        prop_assert_eq!(
+            seq.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            sim.root.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        let rr = run_msg_simulated(&d, data.clone(), &mut RoundRobin::new()).unwrap();
+        prop_assert_eq!(&rr.snapshots, &sim.snapshots());
+        let rnd = run_msg_simulated(&d, data, &mut RandomPolicy::seeded(seed)).unwrap();
+        prop_assert_eq!(&rnd.snapshots, &sim.snapshots());
+    }
+
+    /// Element count is conserved through every split/merge path.
+    #[test]
+    fn element_count_conserved(
+        depth in 0u32..5,
+        data in prop::collection::vec(-10.0f64..10.0, 32..100),
+    ) {
+        let d = weighted_sum(depth, 0.1);
+        let n = data.len() as f64;
+        let out = run_seq(&d, data);
+        prop_assert_eq!(out[1], n);
+    }
+}

@@ -1,0 +1,117 @@
+//! The six Yee field components over one (local or global) section.
+
+use meshgrid::Grid3;
+
+/// The electromagnetic state of a section: six co-located component grids
+/// with a one-cell ghost boundary (the stencils read one neighbour in each
+/// direction). Ghost cells hold either a neighbouring process's boundary
+/// values (after an exchange) or zero (at the physical boundary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fields {
+    /// Electric field x-component.
+    pub ex: Grid3<f64>,
+    /// Electric field y-component.
+    pub ey: Grid3<f64>,
+    /// Electric field z-component.
+    pub ez: Grid3<f64>,
+    /// Magnetic field x-component.
+    pub hx: Grid3<f64>,
+    /// Magnetic field y-component.
+    pub hy: Grid3<f64>,
+    /// Magnetic field z-component.
+    pub hz: Grid3<f64>,
+}
+
+impl Fields {
+    /// Zero-initialized fields for a section of extent `(nx, ny, nz)`.
+    pub fn zeros(nx: usize, ny: usize, nz: usize) -> Fields {
+        Fields {
+            ex: Grid3::new(nx, ny, nz, 1),
+            ey: Grid3::new(nx, ny, nz, 1),
+            ez: Grid3::new(nx, ny, nz, 1),
+            hx: Grid3::new(nx, ny, nz, 1),
+            hy: Grid3::new(nx, ny, nz, 1),
+            hz: Grid3::new(nx, ny, nz, 1),
+        }
+    }
+
+    /// Interior extent.
+    pub fn extent(&self) -> (usize, usize, usize) {
+        self.ex.extent()
+    }
+
+    /// Σ(E² + H²) over the interior — a cheap energy proxy for stability
+    /// tests (exact conservation is not expected with lossy media/PEC).
+    pub fn energy(&self) -> f64 {
+        let mut e = 0.0;
+        for g in [&self.ex, &self.ey, &self.ez, &self.hx, &self.hy, &self.hz] {
+            for v in g.interior_to_vec() {
+                e += v * v;
+            }
+        }
+        e
+    }
+
+    /// Bitwise equality of all six interiors.
+    pub fn bitwise_eq(&self, other: &Fields) -> bool {
+        self.ex.interior_bitwise_eq(&other.ex)
+            && self.ey.interior_bitwise_eq(&other.ey)
+            && self.ez.interior_bitwise_eq(&other.ez)
+            && self.hx.interior_bitwise_eq(&other.hx)
+            && self.hy.interior_bitwise_eq(&other.hy)
+            && self.hz.interior_bitwise_eq(&other.hz)
+    }
+
+    /// Maximum absolute difference over all six interiors.
+    pub fn max_abs_diff(&self, other: &Fields) -> f64 {
+        [
+            self.ex.interior_max_abs_diff(&other.ex),
+            self.ey.interior_max_abs_diff(&other.ey),
+            self.ez.interior_max_abs_diff(&other.ez),
+            self.hx.interior_max_abs_diff(&other.hx),
+            self.hy.interior_max_abs_diff(&other.hy),
+            self.hz.interior_max_abs_diff(&other.hz),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+
+    /// Canonical byte snapshot of all six interiors.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for g in [&self.ex, &self.ey, &self.ez, &self.hx, &self.hy, &self.hz] {
+            buf.extend_from_slice(&meshgrid::io::grid3_to_bytes(g));
+        }
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_have_zero_energy() {
+        let f = Fields::zeros(4, 4, 4);
+        assert_eq!(f.energy(), 0.0);
+        assert_eq!(f.extent(), (4, 4, 4));
+    }
+
+    #[test]
+    fn bitwise_eq_detects_single_bit_changes() {
+        let a = Fields::zeros(3, 3, 3);
+        let mut b = a.clone();
+        assert!(a.bitwise_eq(&b));
+        b.hy.set(1, 1, 1, -0.0); // bitwise different from +0.0
+        assert!(!a.bitwise_eq(&b));
+        assert_eq!(a.max_abs_diff(&b), 0.0, "numerically equal nonetheless");
+    }
+
+    #[test]
+    fn snapshots_cover_all_components() {
+        let a = Fields::zeros(2, 2, 2);
+        let mut b = a.clone();
+        b.hz.set(0, 0, 0, 1.0);
+        assert_ne!(a.snapshot_bytes(), b.snapshot_bytes());
+    }
+}

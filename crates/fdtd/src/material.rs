@@ -1,0 +1,195 @@
+//! Material model: per-cell update coefficients.
+//!
+//! The standard lossy-material Yee coefficients, one scalar set per cell
+//! (isotropic media):
+//!
+//! ```text
+//! E ← Ca·E + Cb·curl(H)      Ca = (1 − σΔt/2ε)/(1 + σΔt/2ε)
+//!                            Cb = (Δt/ε)/(1 + σΔt/2ε)
+//! H ← Da·H − Db·curl(E)      Da = (1 − σ*Δt/2μ)/(1 + σ*Δt/2μ)
+//!                            Db = (Δt/μ)/(1 + σ*Δt/2μ)
+//! ```
+//!
+//! PEC cells are the degenerate `Ca = Cb = 0` (E pinned to zero) — the
+//! "objects of arbitrary shape and composition" of §4.1 reduce to painting
+//! these coefficients onto the grid.
+
+use meshgrid::{Block3, Grid3};
+
+/// Declarative material layout, evaluated per *global* cell so every
+/// partitioning builds identical local coefficient grids.
+#[derive(Debug, Clone)]
+pub enum MaterialSpec {
+    /// Free space everywhere.
+    Vacuum,
+    /// A lossy dielectric sphere (relative permittivity `eps_r`, electric
+    /// conductivity `sigma`) centred at `center` with radius `radius`, in
+    /// free space.
+    DielectricSphere {
+        /// Sphere centre in global cell coordinates.
+        center: (f64, f64, f64),
+        /// Sphere radius in cells.
+        radius: f64,
+        /// Relative permittivity inside the sphere.
+        eps_r: f64,
+        /// Electric conductivity inside the sphere (normalized units).
+        sigma: f64,
+    },
+    /// A PEC box spanning `lo..hi` (global cells), in free space.
+    PecBox {
+        /// Inclusive low corner.
+        lo: (usize, usize, usize),
+        /// Exclusive high corner.
+        hi: (usize, usize, usize),
+    },
+}
+
+impl MaterialSpec {
+    /// Convenience constructor for the lossy sphere.
+    pub fn dielectric_sphere(
+        center: (f64, f64, f64),
+        radius: f64,
+        eps_r: f64,
+        sigma: f64,
+    ) -> MaterialSpec {
+        MaterialSpec::DielectricSphere { center, radius, eps_r, sigma }
+    }
+
+    /// `(eps_r, sigma, mu_r, sigma_m)` of the global cell `(i, j, k)`.
+    /// PEC is encoded as `eps_r = f64::INFINITY`.
+    pub fn properties(&self, i: usize, j: usize, k: usize) -> (f64, f64, f64, f64) {
+        match self {
+            MaterialSpec::Vacuum => (1.0, 0.0, 1.0, 0.0),
+            MaterialSpec::DielectricSphere { center, radius, eps_r, sigma } => {
+                let dx = i as f64 - center.0;
+                let dy = j as f64 - center.1;
+                let dz = k as f64 - center.2;
+                if dx * dx + dy * dy + dz * dz <= radius * radius {
+                    (*eps_r, *sigma, 1.0, 0.0)
+                } else {
+                    (1.0, 0.0, 1.0, 0.0)
+                }
+            }
+            MaterialSpec::PecBox { lo, hi } => {
+                if (lo.0..hi.0).contains(&i) && (lo.1..hi.1).contains(&j) && (lo.2..hi.2).contains(&k)
+                {
+                    (f64::INFINITY, 0.0, 1.0, 0.0)
+                } else {
+                    (1.0, 0.0, 1.0, 0.0)
+                }
+            }
+        }
+    }
+}
+
+/// Per-cell update coefficients for one local section (no ghost cells —
+/// coefficients are only read at the cell being updated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    /// E self-coefficient.
+    pub ca: Grid3<f64>,
+    /// E curl coefficient.
+    pub cb: Grid3<f64>,
+    /// H self-coefficient.
+    pub da: Grid3<f64>,
+    /// H curl coefficient.
+    pub db: Grid3<f64>,
+}
+
+impl Material {
+    /// Build the coefficient grids for the local `block` of a global domain
+    /// with layout `spec` and time step `dt`.
+    pub fn build(spec: &MaterialSpec, block: Block3, dt: f64) -> Material {
+        let (nx, ny, nz) = block.extent();
+        let mut ca = Grid3::new(nx, ny, nz, 0);
+        let mut cb = Grid3::new(nx, ny, nz, 0);
+        let mut da = Grid3::new(nx, ny, nz, 0);
+        let mut db = Grid3::new(nx, ny, nz, 0);
+        for i in 0..nx {
+            for j in 0..ny {
+                for k in 0..nz {
+                    let (gi, gj, gk) = block.to_global(i, j, k);
+                    let (eps, sigma, mu, sigma_m) = spec.properties(gi, gj, gk);
+                    let (cav, cbv) = if eps.is_infinite() {
+                        (0.0, 0.0) // PEC: E forced to zero.
+                    } else {
+                        let loss = sigma * dt / (2.0 * eps);
+                        ((1.0 - loss) / (1.0 + loss), (dt / eps) / (1.0 + loss))
+                    };
+                    let lm = sigma_m * dt / (2.0 * mu);
+                    let dav = (1.0 - lm) / (1.0 + lm);
+                    let dbv = (dt / mu) / (1.0 + lm);
+                    ca.set(i as isize, j as isize, k as isize, cav);
+                    cb.set(i as isize, j as isize, k as isize, cbv);
+                    da.set(i as isize, j as isize, k as isize, dav);
+                    db.set(i as isize, j as isize, k as isize, dbv);
+                }
+            }
+        }
+        Material { ca, cb, da, db }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn whole(n: (usize, usize, usize)) -> Block3 {
+        Block3 { lo: (0, 0, 0), hi: n }
+    }
+
+    #[test]
+    fn vacuum_coefficients() {
+        let m = Material::build(&MaterialSpec::Vacuum, whole((3, 3, 3)), 0.5);
+        assert_eq!(m.ca.get(1, 1, 1), 1.0);
+        assert_eq!(m.cb.get(1, 1, 1), 0.5);
+        assert_eq!(m.da.get(0, 0, 0), 1.0);
+        assert_eq!(m.db.get(2, 2, 2), 0.5);
+    }
+
+    #[test]
+    fn sphere_has_interior_and_exterior() {
+        let spec = MaterialSpec::dielectric_sphere((4.0, 4.0, 4.0), 2.0, 4.0, 0.1);
+        let m = Material::build(&spec, whole((9, 9, 9)), 0.5);
+        // Centre cell: eps 4, sigma 0.1.
+        let loss = 0.1 * 0.5 / (2.0 * 4.0);
+        assert!((m.ca.get(4, 4, 4) - (1.0 - loss) / (1.0 + loss)).abs() < 1e-15);
+        assert!((m.cb.get(4, 4, 4) - (0.5 / 4.0) / (1.0 + loss)).abs() < 1e-15);
+        // Corner cell: vacuum.
+        assert_eq!(m.ca.get(0, 0, 0), 1.0);
+        assert_eq!(m.cb.get(0, 0, 0), 0.5);
+    }
+
+    #[test]
+    fn pec_box_pins_e() {
+        let spec = MaterialSpec::PecBox { lo: (1, 1, 1), hi: (2, 2, 2) };
+        let m = Material::build(&spec, whole((3, 3, 3)), 0.5);
+        assert_eq!(m.ca.get(1, 1, 1), 0.0);
+        assert_eq!(m.cb.get(1, 1, 1), 0.0);
+        assert_eq!(m.ca.get(0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn partitioned_build_matches_global_build() {
+        use meshgrid::ProcGrid3;
+        let spec = MaterialSpec::dielectric_sphere((5.0, 4.0, 3.0), 2.5, 3.0, 0.2);
+        let n = (10, 8, 7);
+        let global = Material::build(&spec, whole(n), 0.5);
+        let pg = ProcGrid3::choose(n, 4);
+        for r in 0..4 {
+            let b = pg.block(r);
+            let local = Material::build(&spec, b, 0.5);
+            for i in 0..b.extent().0 {
+                for j in 0..b.extent().1 {
+                    for k in 0..b.extent().2 {
+                        let (gi, gj, gk) = b.to_global(i, j, k);
+                        assert_eq!(
+                            local.ca.get(i as isize, j as isize, k as isize).to_bits(),
+                            global.ca.get(gi as isize, gj as isize, gk as isize).to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The archetype form of Versions A and C: local state + mesh-archetype
+//! plans, produced by following the §4.4 transformation guidelines.
+//!
+//! The §4.4 steps map onto this module as follows:
+//!
+//! 1. *identify distributed vs duplicated variables* — the six field
+//!    components and the material coefficients are distributed (one local
+//!    section each), the step counter and far-field results are duplicated;
+//! 2. *partition the data* — `init_*` builds each rank's local section from
+//!    its [`Env::block`];
+//! 3. *fit the archetype pattern* — each time step is local computation
+//!    (H update; E update + source + boundary condition) alternating with
+//!    boundary exchanges of the six components;
+//! 4. *boundary-specific computation* — ranks touching the global boundary
+//!    apply the outer boundary condition (their [`BoundaryFlags`]);
+//! 5. *insert archetype communication calls* — the `exchange`, `reduce` and
+//!    `ordered_reduce` phases.
+
+use std::sync::Arc;
+
+use mesh_archetype::driver::MeshLocal;
+use mesh_archetype::plan::InitFn;
+use mesh_archetype::reduce::ReduceOp;
+use mesh_archetype::{Env, Plan};
+use meshgrid::Block3;
+
+use crate::farfield::{FarFieldAccumulator, FarFieldSpec, FarFieldStrategy};
+use crate::fields::Fields;
+use crate::material::Material;
+use crate::params::{BoundaryCondition, Params};
+use crate::update::{
+    apply_bc, save_mur_layers, update_e, update_h, BoundaryFlags, MurSaved,
+    FLOPS_PER_CELL_E, FLOPS_PER_CELL_H,
+};
+
+/// Per-rank state of the archetype Version A.
+pub struct LocalA {
+    /// The rank's local field section.
+    pub fields: Fields,
+    material: Material,
+    params: Arc<Params>,
+    flags: BoundaryFlags,
+    /// Local coordinates of the source cell, if this rank owns it.
+    source_local: Option<(isize, isize, isize)>,
+    /// Duplicated step counter (advanced identically on every rank).
+    step: usize,
+}
+
+impl MeshLocal for LocalA {
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut buf = self.fields.snapshot_bytes();
+        buf.extend_from_slice(&(self.step as u64).to_le_bytes());
+        buf
+    }
+}
+
+fn boundary_flags(env: &Env) -> BoundaryFlags {
+    BoundaryFlags {
+        at_lo: [env.at_global_lo(0), env.at_global_lo(1), env.at_global_lo(2)],
+        at_hi: [env.at_global_hi(0), env.at_global_hi(1), env.at_global_hi(2)],
+    }
+}
+
+fn source_local(env: &Env, p: &Params) -> Option<(isize, isize, isize)> {
+    let (si, sj, sk) = p.source.pos;
+    if env.block.contains(si, sj, sk) {
+        let l = env.block.to_local(si, sj, sk);
+        Some((l.0 as isize, l.1 as isize, l.2 as isize))
+    } else {
+        None
+    }
+}
+
+/// Initializer for Version A local state.
+pub fn init_a(params: Arc<Params>) -> InitFn<LocalA> {
+    Arc::new(move |env: &Env| {
+        let (nx, ny, nz) = env.block.extent();
+        LocalA {
+            fields: Fields::zeros(nx, ny, nz),
+            material: Material::build(&params.material, env.block, params.dt),
+            flags: boundary_flags(env),
+            source_local: source_local(env, &params),
+            params: params.clone(),
+            step: 0,
+        }
+    })
+}
+
+/// One rank's E-side update: Mur layer save, E update, soft source,
+/// boundary condition, step advance. Shared by Versions A and C.
+fn e_side_step(fields: &mut Fields, material: &Material, params: &Params, flags: &BoundaryFlags, source_local: Option<(isize, isize, isize)>, step: &mut usize) {
+    let saved = match params.bc {
+        BoundaryCondition::Mur1 => save_mur_layers(fields, flags),
+        BoundaryCondition::Pec => MurSaved::default(),
+    };
+    update_e(fields, material);
+    if let Some((si, sj, sk)) = source_local {
+        let v = fields.ez.get(si, sj, sk) + params.source.value(*step, params.dt);
+        fields.ez.set(si, sj, sk, v);
+    }
+    apply_bc(fields, params.bc, flags, &saved, params.dt);
+    *step += 1;
+}
+
+/// Append one time step's phases (the six exchanges and two local updates)
+/// shared by Versions A and C.
+fn time_step_phases<L: 'static>(
+    b: mesh_archetype::PlanBuilder<L>,
+    fields_of: impl Fn(&mut L) -> &mut Fields + Send + Sync + Copy + 'static,
+    step_e: impl Fn(&Env, &mut L) + Send + Sync + 'static,
+    step_h: impl Fn(&Env, &mut L) + Send + Sync + 'static,
+) -> mesh_archetype::PlanBuilder<L> {
+    b.exchange("x:ex", move |l| &mut fields_of(l).ex)
+        .exchange("x:ey", move |l| &mut fields_of(l).ey)
+        .exchange("x:ez", move |l| &mut fields_of(l).ez)
+        .local_with_flops("update-h", step_h, |env, _| {
+            FLOPS_PER_CELL_H * env.block.len() as u64
+        })
+        .exchange("x:hx", move |l| &mut fields_of(l).hx)
+        .exchange("x:hy", move |l| &mut fields_of(l).hy)
+        .exchange("x:hz", move |l| &mut fields_of(l).hz)
+        .local_with_flops("update-e", step_e, |env, _| {
+            FLOPS_PER_CELL_E * env.block.len() as u64
+        })
+}
+
+/// The archetype plan for Version A (near field only).
+pub fn plan_a(params: &Params) -> Plan<LocalA> {
+    Plan::builder()
+        .loop_n(params.steps, |b| {
+            time_step_phases(
+                b,
+                |l: &mut LocalA| &mut l.fields,
+                |_, l: &mut LocalA| {
+                    e_side_step(
+                        &mut l.fields,
+                        &l.material,
+                        &l.params.clone(),
+                        &l.flags.clone(),
+                        l.source_local,
+                        &mut l.step,
+                    )
+                },
+                |_, l: &mut LocalA| update_h(&mut l.fields, &l.material),
+            )
+        })
+        .build()
+}
+
+/// Per-rank state of the archetype Version C.
+pub struct LocalC {
+    /// The near-field state.
+    pub a: LocalA,
+    /// The far-field accumulator over this rank's surface points.
+    pub acc: FarFieldAccumulator,
+    /// Duplicated result: the reduced far-field potentials.
+    pub potentials: Vec<f64>,
+}
+
+impl MeshLocal for LocalC {
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut buf = self.a.snapshot_bytes();
+        buf.extend_from_slice(&(self.potentials.len() as u64).to_le_bytes());
+        for v in &self.potentials {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        buf
+    }
+}
+
+/// Initializer for Version C local state.
+pub fn init_c(
+    params: Arc<Params>,
+    spec: FarFieldSpec,
+    strategy: FarFieldStrategy,
+) -> InitFn<LocalC> {
+    let base = init_a(params.clone());
+    Arc::new(move |env: &Env| {
+        let ordered = matches!(strategy, FarFieldStrategy::Ordered(_));
+        LocalC {
+            a: base(env),
+            acc: FarFieldAccumulator::new(
+                &spec,
+                params.n,
+                env.block,
+                params.steps,
+                params.dt,
+                ordered,
+            ),
+            potentials: Vec::new(),
+        }
+    })
+}
+
+/// The archetype plan for Version C (near + far field) under the chosen
+/// far-field combination strategy.
+pub fn plan_c(params: &Params, spec: &FarFieldSpec, strategy: FarFieldStrategy) -> Plan<LocalC> {
+    // Bin layout must be known when building the final reduction phase.
+    let probe = FarFieldAccumulator::new(
+        spec,
+        params.n,
+        Block3 { lo: (0, 0, 0), hi: params.n },
+        params.steps,
+        params.dt,
+        false,
+    );
+    let flat_len = probe.flat_len();
+
+    let b = Plan::builder().loop_n(params.steps, |b| {
+        time_step_phases(
+            b,
+            |l: &mut LocalC| &mut l.a.fields,
+            |_, l: &mut LocalC| {
+                e_side_step(
+                    &mut l.a.fields,
+                    &l.a.material,
+                    &l.a.params.clone(),
+                    &l.a.flags.clone(),
+                    l.a.source_local,
+                    &mut l.a.step,
+                )
+            },
+            |_, l: &mut LocalC| update_h(&mut l.a.fields, &l.a.material),
+        )
+        .local_with_flops(
+            "farfield-accumulate",
+            |_, l: &mut LocalC| l.acc.accumulate(&l.a.fields),
+            |_, l| l.acc.flops_per_step(),
+        )
+    });
+
+    match strategy {
+        FarFieldStrategy::NaiveReorder(algo) => b
+            .reduce(
+                "farfield-reduce",
+                ReduceOp::Sum,
+                algo,
+                |_, l: &LocalC| l.acc.flat_bins(),
+                |_, l, v| l.potentials = v.to_vec(),
+            )
+            .build(),
+        FarFieldStrategy::Ordered(method) => b
+            .ordered_reduce(
+                "farfield-ordered",
+                flat_len,
+                method,
+                |_, l: &LocalC| l.acc.log.clone(),
+                |_, l, v| l.potentials = v.to_vec(),
+            )
+            .build(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_archetype::driver::{run_simpar, SimParConfig};
+    use meshgrid::ProcGrid3;
+
+    #[test]
+    fn plan_a_runs_under_simpar() {
+        let params = Arc::new(Params::tiny());
+        let plan = plan_a(&params);
+        let pg = ProcGrid3::choose(params.n, 4);
+        let init = init_a(params.clone());
+        let out = run_simpar(&plan, pg, SimParConfig::default(), |e| init(e));
+        assert!(out.report.is_clean());
+        for l in &out.locals {
+            assert_eq!(l.step, params.steps);
+            assert!(l.fields.energy().is_finite());
+        }
+    }
+
+    #[test]
+    fn plan_structure_matches_the_archetype_shape() {
+        let params = Params::tiny();
+        let plan = plan_a(&params);
+        // One top-level loop containing 6 exchanges + 2 local updates.
+        assert_eq!(plan.phases.len(), 1);
+        assert_eq!(plan.phase_count(), 1 + 8);
+        assert_eq!(plan.comm_phase_count(), 6);
+
+        let planc = plan_c(
+            &params,
+            &FarFieldSpec::standard(2),
+            FarFieldStrategy::NaiveReorder(mesh_archetype::ReduceAlgo::AllToOne),
+        );
+        assert_eq!(planc.comm_phase_count(), 7, "six exchanges + one reduction");
+    }
+}

@@ -1,0 +1,111 @@
+//! Simulation parameters.
+
+use crate::material::MaterialSpec;
+use crate::source::Source;
+
+/// Outer-boundary treatment of the computational box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryCondition {
+    /// Perfect electric conductor: tangential E pinned to zero on the outer
+    /// faces (a reflecting metal box).
+    Pec,
+    /// First-order Mur absorbing boundary on tangential E — the radiating
+    /// outer boundary scattering codes actually use. Requires every local
+    /// section to be at least two cells wide on each axis.
+    Mur1,
+}
+
+/// Full description of one FDTD run. Units are normalized: `dx = dy = dz
+/// = 1`, `c = 1`, so the Courant-stable time step is `dt < 1/√3 ≈ 0.577`.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Global grid extent in cells.
+    pub n: (usize, usize, usize),
+    /// Number of time steps.
+    pub steps: usize,
+    /// Time step (normalized); default 0.5 satisfies the 3-D Courant bound.
+    pub dt: f64,
+    /// Outer boundary condition.
+    pub bc: BoundaryCondition,
+    /// The excitation.
+    pub source: Source,
+    /// The material layout.
+    pub material: MaterialSpec,
+}
+
+impl Params {
+    /// The paper's Table 1 workload: Version C on a 33×33×33 grid for 128
+    /// steps (source and scatterer chosen to exercise the same code paths).
+    pub fn table1() -> Params {
+        let n = (33, 33, 33);
+        Params {
+            n,
+            steps: 128,
+            dt: 0.5,
+            bc: BoundaryCondition::Pec,
+            source: Source::gaussian_at((16, 16, 16), 1.0, 30.0, 8.0),
+            material: MaterialSpec::dielectric_sphere((22.0, 16.0, 16.0), 5.0, 4.0, 0.02),
+        }
+    }
+
+    /// The paper's Figure 2 workload: Version A on a 66×66×66 grid for 512
+    /// steps.
+    pub fn figure2() -> Params {
+        let n = (66, 66, 66);
+        Params {
+            n,
+            steps: 512,
+            dt: 0.5,
+            bc: BoundaryCondition::Pec,
+            source: Source::gaussian_at((33, 33, 33), 1.0, 60.0, 16.0),
+            material: MaterialSpec::dielectric_sphere((44.0, 33.0, 33.0), 10.0, 4.0, 0.02),
+        }
+    }
+
+    /// A small workload for tests: fast, but exercising every code path.
+    pub fn tiny() -> Params {
+        let n = (12, 11, 10);
+        Params {
+            n,
+            steps: 16,
+            dt: 0.5,
+            bc: BoundaryCondition::Pec,
+            source: Source::gaussian_at((6, 5, 5), 1.0, 6.0, 2.0),
+            material: MaterialSpec::dielectric_sphere((8.0, 5.0, 5.0), 2.5, 3.0, 0.05),
+        }
+    }
+
+    /// Courant stability check.
+    pub fn is_stable(&self) -> bool {
+        self.dt < 1.0 / 3f64.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_courant_stable() {
+        assert!(Params::table1().is_stable());
+        assert!(Params::figure2().is_stable());
+        assert!(Params::tiny().is_stable());
+    }
+
+    #[test]
+    fn presets_match_paper_workloads() {
+        let t1 = Params::table1();
+        assert_eq!(t1.n, (33, 33, 33));
+        assert_eq!(t1.steps, 128);
+        let f2 = Params::figure2();
+        assert_eq!(f2.n, (66, 66, 66));
+        assert_eq!(f2.steps, 512);
+    }
+
+    #[test]
+    fn instability_detected() {
+        let mut p = Params::tiny();
+        p.dt = 0.7;
+        assert!(!p.is_stable());
+    }
+}

@@ -1,0 +1,152 @@
+//! The *original sequential programs* — the starting point of the paper's
+//! transformation process. Plain time-step loops over global arrays,
+//! calling the same kernels the archetype plans call.
+
+use meshgrid::Block3;
+
+use crate::farfield::{FarFieldAccumulator, FarFieldSpec};
+use crate::fields::Fields;
+use crate::material::Material;
+use crate::params::{BoundaryCondition, Params};
+use crate::update::{
+    apply_bc, save_mur_layers, update_e, update_h, BoundaryFlags, MurSaved,
+};
+
+/// Output of the sequential Version A run.
+pub struct SeqOutputA {
+    /// Final field state.
+    pub fields: Fields,
+    /// `Ez` at the source cell after every step (a cheap waveform probe).
+    pub probe: Vec<f64>,
+}
+
+/// Run Version A (near-field only) sequentially.
+pub fn run_seq_version_a(p: &Params) -> SeqOutputA {
+    let whole = Block3 { lo: (0, 0, 0), hi: p.n };
+    let mut fields = Fields::zeros(p.n.0, p.n.1, p.n.2);
+    let material = Material::build(&p.material, whole, p.dt);
+    let flags = BoundaryFlags::whole();
+    let mut probe = Vec::with_capacity(p.steps);
+    for step in 0..p.steps {
+        step_once(&mut fields, &material, p, &flags, step);
+        let (si, sj, sk) = p.source.pos;
+        probe.push(fields.ez.get(si as isize, sj as isize, sk as isize));
+    }
+    SeqOutputA { fields, probe }
+}
+
+/// One full time step: H update, E update, source, boundary condition —
+/// in exactly the order the archetype plan performs them.
+pub(crate) fn step_once(
+    fields: &mut Fields,
+    material: &Material,
+    p: &Params,
+    flags: &BoundaryFlags,
+    step: usize,
+) {
+    update_h(fields, material);
+    let saved = match p.bc {
+        BoundaryCondition::Mur1 => save_mur_layers(fields, flags),
+        BoundaryCondition::Pec => MurSaved::default(),
+    };
+    update_e(fields, material);
+    // Soft source into Ez.
+    let (si, sj, sk) = p.source.pos;
+    let (si, sj, sk) = (si as isize, sj as isize, sk as isize);
+    let v = fields.ez.get(si, sj, sk) + p.source.value(step, p.dt);
+    fields.ez.set(si, sj, sk, v);
+    apply_bc(fields, p.bc, flags, &saved, p.dt);
+}
+
+/// Output of the sequential Version C run.
+pub struct SeqOutputC {
+    /// Final field state (identical to Version A's on the same parameters).
+    pub fields: Fields,
+    /// Far-field potentials, flattened `[dir0·A | dir0·F | …]`.
+    pub potentials: Vec<f64>,
+    /// Bins per direction.
+    pub n_bins: usize,
+    /// Number of observation directions.
+    pub n_dirs: usize,
+}
+
+/// Run Version C (near + far field) sequentially. The far-field double sum
+/// is accumulated in global (time-step, surface-point) order — the
+/// reference order every parallel strategy is judged against.
+pub fn run_seq_version_c(p: &Params, spec: &FarFieldSpec) -> SeqOutputC {
+    let whole = Block3 { lo: (0, 0, 0), hi: p.n };
+    let mut fields = Fields::zeros(p.n.0, p.n.1, p.n.2);
+    let material = Material::build(&p.material, whole, p.dt);
+    let flags = BoundaryFlags::whole();
+    let mut acc = FarFieldAccumulator::new(spec, p.n, whole, p.steps, p.dt, false);
+    for step in 0..p.steps {
+        step_once(&mut fields, &material, p, &flags, step);
+        acc.accumulate(&fields);
+    }
+    SeqOutputC {
+        fields,
+        potentials: acc.flat_bins(),
+        n_bins: acc.n_bins(),
+        n_dirs: acc.n_dirs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_a_runs_and_excites_fields() {
+        let p = Params::tiny();
+        let out = run_seq_version_a(&p);
+        assert!(out.fields.energy() > 0.0, "source must inject energy");
+        assert!(out.fields.energy().is_finite());
+        assert_eq!(out.probe.len(), p.steps);
+        // The probe sees the Gaussian rise.
+        let peak = out.probe.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak > 0.1);
+    }
+
+    #[test]
+    fn version_a_is_deterministic() {
+        let p = Params::tiny();
+        let a = run_seq_version_a(&p);
+        let b = run_seq_version_a(&p);
+        assert!(a.fields.bitwise_eq(&b.fields));
+        assert_eq!(
+            a.probe.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.probe.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn version_c_matches_version_a_on_near_field() {
+        let p = Params::tiny();
+        let a = run_seq_version_a(&p);
+        let c = run_seq_version_c(&p, &FarFieldSpec::standard(2));
+        assert!(a.fields.bitwise_eq(&c.fields), "far field must not perturb near field");
+        assert!(c.potentials.iter().any(|&v| v != 0.0), "far field accumulated");
+        assert_eq!(c.potentials.len(), 2 * c.n_dirs * c.n_bins);
+    }
+
+    #[test]
+    fn version_c_potentials_span_orders_of_magnitude() {
+        // The regime of the paper's footnote 2: contributions range over
+        // many orders of magnitude, so their sum is order-sensitive.
+        let p = Params::tiny();
+        let c = run_seq_version_c(&p, &FarFieldSpec::standard(2));
+        let nonzero: Vec<f64> =
+            c.potentials.iter().cloned().filter(|v| *v != 0.0).map(f64::abs).collect();
+        let max = nonzero.iter().cloned().fold(0.0f64, f64::max);
+        let min = nonzero.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1e6, "spread {max}/{min}");
+    }
+
+    #[test]
+    fn mur_version_runs_stably() {
+        let mut p = Params::tiny();
+        p.bc = BoundaryCondition::Mur1;
+        let out = run_seq_version_a(&p);
+        assert!(out.fields.energy().is_finite());
+    }
+}

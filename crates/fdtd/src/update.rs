@@ -1,0 +1,400 @@
+//! The Yee update kernels and boundary conditions.
+//!
+//! These functions are the *shared* computational core: the plain
+//! sequential drivers ([`crate::seq`]) and the archetype plans
+//! ([`crate::par`]) call exactly these, on global and on local sections
+//! respectively, so every execution performs bitwise-identical per-cell
+//! arithmetic — the property behind the paper's "results identical to those
+//! of the original sequential code" for the near-field calculations.
+//!
+//! Differencing convention (normalized `dx = dy = dz = 1`):
+//!
+//! * `update_e` uses *backward* differences — reads the low-side ghost
+//!   layer of H;
+//! * `update_h` uses *forward* differences — reads the high-side ghost
+//!   layer of E.
+//!
+//! Hence the exchange pattern of one time step: exchange E → update H →
+//! exchange H → update E.
+
+use crate::fields::Fields;
+use crate::material::Material;
+use crate::params::BoundaryCondition;
+
+/// Flops per cell of one E update (3 components × (2 mul + 3 sub + 1 add)).
+pub const FLOPS_PER_CELL_E: u64 = 18;
+/// Flops per cell of one H update.
+pub const FLOPS_PER_CELL_H: u64 = 18;
+
+/// Which global boundaries this section touches (low/high per axis) — the
+/// §4.4 "calculations that must be done differently in different grid
+/// processes".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundaryFlags {
+    /// `at_lo[a]`: the section touches the global low boundary on axis `a`.
+    pub at_lo: [bool; 3],
+    /// `at_hi[a]`: the section touches the global high boundary on axis `a`.
+    pub at_hi: [bool; 3],
+}
+
+impl BoundaryFlags {
+    /// Flags for a single section covering the whole domain.
+    pub fn whole() -> BoundaryFlags {
+        BoundaryFlags { at_lo: [true; 3], at_hi: [true; 3] }
+    }
+}
+
+/// Advance E one step: `E ← Ca·E + Cb·curl(H)`.
+pub fn update_e(f: &mut Fields, m: &Material) {
+    let (nx, ny, nz) = f.extent();
+    for i in 0..nx as isize {
+        for j in 0..ny as isize {
+            for k in 0..nz as isize {
+                let ca = m.ca.get(i, j, k);
+                let cb = m.cb.get(i, j, k);
+                let ex = ca * f.ex.get(i, j, k)
+                    + cb * ((f.hz.get(i, j, k) - f.hz.get(i, j - 1, k))
+                        - (f.hy.get(i, j, k) - f.hy.get(i, j, k - 1)));
+                let ey = ca * f.ey.get(i, j, k)
+                    + cb * ((f.hx.get(i, j, k) - f.hx.get(i, j, k - 1))
+                        - (f.hz.get(i, j, k) - f.hz.get(i - 1, j, k)));
+                let ez = ca * f.ez.get(i, j, k)
+                    + cb * ((f.hy.get(i, j, k) - f.hy.get(i - 1, j, k))
+                        - (f.hx.get(i, j, k) - f.hx.get(i, j - 1, k)));
+                f.ex.set(i, j, k, ex);
+                f.ey.set(i, j, k, ey);
+                f.ez.set(i, j, k, ez);
+            }
+        }
+    }
+}
+
+/// Advance H one half-step: `H ← Da·H − Db·curl(E)`.
+pub fn update_h(f: &mut Fields, m: &Material) {
+    let (nx, ny, nz) = f.extent();
+    for i in 0..nx as isize {
+        for j in 0..ny as isize {
+            for k in 0..nz as isize {
+                let da = m.da.get(i, j, k);
+                let db = m.db.get(i, j, k);
+                let hx = da * f.hx.get(i, j, k)
+                    - db * ((f.ez.get(i, j + 1, k) - f.ez.get(i, j, k))
+                        - (f.ey.get(i, j, k + 1) - f.ey.get(i, j, k)));
+                let hy = da * f.hy.get(i, j, k)
+                    - db * ((f.ex.get(i, j, k + 1) - f.ex.get(i, j, k))
+                        - (f.ez.get(i + 1, j, k) - f.ez.get(i, j, k)));
+                let hz = da * f.hz.get(i, j, k)
+                    - db * ((f.ey.get(i + 1, j, k) - f.ey.get(i, j, k))
+                        - (f.ex.get(i, j + 1, k) - f.ex.get(i, j, k)));
+                f.hx.set(i, j, k, hx);
+                f.hy.set(i, j, k, hy);
+                f.hz.set(i, j, k, hz);
+            }
+        }
+    }
+}
+
+/// Pin tangential E to zero on the touched global boundary faces (PEC box).
+pub fn apply_pec(f: &mut Fields, flags: &BoundaryFlags) {
+    let (nx, ny, nz) = f.extent();
+    let (nxi, nyi, nzi) = (nx as isize, ny as isize, nz as isize);
+    // x faces: tangential components ey, ez.
+    for (cond, i) in [(flags.at_lo[0], 0), (flags.at_hi[0], nxi - 1)] {
+        if cond {
+            for j in 0..nyi {
+                for k in 0..nzi {
+                    f.ey.set(i, j, k, 0.0);
+                    f.ez.set(i, j, k, 0.0);
+                }
+            }
+        }
+    }
+    // y faces: ex, ez.
+    for (cond, j) in [(flags.at_lo[1], 0), (flags.at_hi[1], nyi - 1)] {
+        if cond {
+            for i in 0..nxi {
+                for k in 0..nzi {
+                    f.ex.set(i, j, k, 0.0);
+                    f.ez.set(i, j, k, 0.0);
+                }
+            }
+        }
+    }
+    // z faces: ex, ey.
+    for (cond, k) in [(flags.at_lo[2], 0), (flags.at_hi[2], nzi - 1)] {
+        if cond {
+            for i in 0..nxi {
+                for j in 0..nyi {
+                    f.ex.set(i, j, k, 0.0);
+                    f.ey.set(i, j, k, 0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Saved pre-update boundary layers for the first-order Mur ABC: for each
+/// touched face, copies of the two outermost layers of the tangential E
+/// components taken *before* `update_e`.
+#[derive(Debug, Clone, Default)]
+pub struct MurSaved {
+    ex: Vec<(isize, isize, isize, f64)>,
+    ey: Vec<(isize, isize, isize, f64)>,
+    ez: Vec<(isize, isize, isize, f64)>,
+}
+
+/// Record the layers [`apply_mur`] will need. Call immediately before
+/// `update_e`. Requires every touched axis to span at least two cells.
+pub fn save_mur_layers(f: &Fields, flags: &BoundaryFlags) -> MurSaved {
+    let (nx, ny, nz) = f.extent();
+    let (nxi, nyi, nzi) = (nx as isize, ny as isize, nz as isize);
+    let mut saved = MurSaved::default();
+    let mut grab = |comp: usize, i: isize, j: isize, k: isize, v: f64| match comp {
+        0 => saved.ex.push((i, j, k, v)),
+        1 => saved.ey.push((i, j, k, v)),
+        _ => saved.ez.push((i, j, k, v)),
+    };
+    // x faces (tangential ey, ez): layers i = {0, 1} and {n-1, n-2}.
+    for (cond, layers) in [(flags.at_lo[0], [0, 1]), (flags.at_hi[0], [nxi - 1, nxi - 2])] {
+        if cond {
+            assert!(nxi >= 2, "Mur needs sections at least 2 cells wide");
+            for &i in &layers {
+                for j in 0..nyi {
+                    for k in 0..nzi {
+                        grab(1, i, j, k, f.ey.get(i, j, k));
+                        grab(2, i, j, k, f.ez.get(i, j, k));
+                    }
+                }
+            }
+        }
+    }
+    for (cond, layers) in [(flags.at_lo[1], [0, 1]), (flags.at_hi[1], [nyi - 1, nyi - 2])] {
+        if cond {
+            assert!(nyi >= 2, "Mur needs sections at least 2 cells wide");
+            for &j in &layers {
+                for i in 0..nxi {
+                    for k in 0..nzi {
+                        grab(0, i, j, k, f.ex.get(i, j, k));
+                        grab(2, i, j, k, f.ez.get(i, j, k));
+                    }
+                }
+            }
+        }
+    }
+    for (cond, layers) in [(flags.at_lo[2], [0, 1]), (flags.at_hi[2], [nzi - 1, nzi - 2])] {
+        if cond {
+            assert!(nzi >= 2, "Mur needs sections at least 2 cells wide");
+            for &k in &layers {
+                for i in 0..nxi {
+                    for j in 0..nyi {
+                        grab(0, i, j, k, f.ex.get(i, j, k));
+                        grab(1, i, j, k, f.ey.get(i, j, k));
+                    }
+                }
+            }
+        }
+    }
+    saved
+}
+
+fn saved_lookup(saved: &[(isize, isize, isize, f64)], i: isize, j: isize, k: isize) -> f64 {
+    saved
+        .iter()
+        .find(|&&(si, sj, sk, _)| si == i && sj == j && sk == k)
+        .map(|&(_, _, _, v)| v)
+        .expect("Mur layer was saved")
+}
+
+/// Apply the first-order Mur condition to the tangential E components of
+/// every touched face. Call immediately after `update_e` (and the source):
+///
+/// ```text
+/// E_tan^{n+1}(boundary) = E_tan^n(inner) + k · (E_tan^{n+1}(inner) − E_tan^n(boundary))
+/// k = (c·Δt − Δx)/(c·Δt + Δx)
+/// ```
+pub fn apply_mur(f: &mut Fields, saved: &MurSaved, flags: &BoundaryFlags, dt: f64) {
+    let kc = (dt - 1.0) / (dt + 1.0);
+    let (nx, ny, nz) = f.extent();
+    let (nxi, nyi, nzi) = (nx as isize, ny as isize, nz as isize);
+    // x faces.
+    for (cond, b, inner) in [(flags.at_lo[0], 0, 1), (flags.at_hi[0], nxi - 1, nxi - 2)] {
+        if cond {
+            for j in 0..nyi {
+                for k in 0..nzi {
+                    let old_b = saved_lookup(&saved.ey, b, j, k);
+                    let old_i = saved_lookup(&saved.ey, inner, j, k);
+                    let v = old_i + kc * (f.ey.get(inner, j, k) - old_b);
+                    f.ey.set(b, j, k, v);
+                    let old_b = saved_lookup(&saved.ez, b, j, k);
+                    let old_i = saved_lookup(&saved.ez, inner, j, k);
+                    let v = old_i + kc * (f.ez.get(inner, j, k) - old_b);
+                    f.ez.set(b, j, k, v);
+                }
+            }
+        }
+    }
+    // y faces.
+    for (cond, b, inner) in [(flags.at_lo[1], 0, 1), (flags.at_hi[1], nyi - 1, nyi - 2)] {
+        if cond {
+            for i in 0..nxi {
+                for k in 0..nzi {
+                    let old_b = saved_lookup(&saved.ex, i, b, k);
+                    let old_i = saved_lookup(&saved.ex, i, inner, k);
+                    let v = old_i + kc * (f.ex.get(i, inner, k) - old_b);
+                    f.ex.set(i, b, k, v);
+                    let old_b = saved_lookup(&saved.ez, i, b, k);
+                    let old_i = saved_lookup(&saved.ez, i, inner, k);
+                    let v = old_i + kc * (f.ez.get(i, inner, k) - old_b);
+                    f.ez.set(i, b, k, v);
+                }
+            }
+        }
+    }
+    // z faces.
+    for (cond, b, inner) in [(flags.at_lo[2], 0, 1), (flags.at_hi[2], nzi - 1, nzi - 2)] {
+        if cond {
+            for i in 0..nxi {
+                for j in 0..nyi {
+                    let old_b = saved_lookup(&saved.ex, i, j, b);
+                    let old_i = saved_lookup(&saved.ex, i, j, inner);
+                    let v = old_i + kc * (f.ex.get(i, j, inner) - old_b);
+                    f.ex.set(i, j, b, v);
+                    let old_b = saved_lookup(&saved.ey, i, j, b);
+                    let old_i = saved_lookup(&saved.ey, i, j, inner);
+                    let v = old_i + kc * (f.ey.get(i, j, inner) - old_b);
+                    f.ey.set(i, j, b, v);
+                }
+            }
+        }
+    }
+}
+
+/// Apply the configured outer boundary condition after an E update.
+/// For Mur, `saved` must come from [`save_mur_layers`] taken before the
+/// update.
+pub fn apply_bc(
+    f: &mut Fields,
+    bc: BoundaryCondition,
+    flags: &BoundaryFlags,
+    saved: &MurSaved,
+    dt: f64,
+) {
+    match bc {
+        BoundaryCondition::Pec => apply_pec(f, flags),
+        BoundaryCondition::Mur1 => apply_mur(f, saved, flags, dt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::{Material, MaterialSpec};
+    use meshgrid::Block3;
+
+    fn vacuum(n: (usize, usize, usize)) -> Material {
+        Material::build(&MaterialSpec::Vacuum, Block3 { lo: (0, 0, 0), hi: n }, 0.5)
+    }
+
+    #[test]
+    fn zero_fields_stay_zero() {
+        let n = (5, 5, 5);
+        let mut f = Fields::zeros(n.0, n.1, n.2);
+        let m = vacuum(n);
+        update_h(&mut f, &m);
+        update_e(&mut f, &m);
+        assert_eq!(f.energy(), 0.0);
+    }
+
+    #[test]
+    fn point_excitation_spreads_causally() {
+        let n = (9, 9, 9);
+        let mut f = Fields::zeros(n.0, n.1, n.2);
+        let m = vacuum(n);
+        f.ez.set(4, 4, 4, 1.0);
+        update_h(&mut f, &m);
+        update_e(&mut f, &m);
+        // After one step the disturbance reaches only nearest neighbours.
+        assert_ne!(f.hx.get(4, 3, 4), 0.0);
+        assert_eq!(f.hx.get(4, 0, 4), 0.0, "far cells untouched after one step");
+        assert!(f.energy() > 0.0);
+    }
+
+    #[test]
+    fn energy_stays_bounded_under_pec() {
+        // 200 steps in a PEC box: the scheme must not blow up.
+        let n = (8, 8, 8);
+        let mut f = Fields::zeros(n.0, n.1, n.2);
+        let m = vacuum(n);
+        f.ez.set(4, 4, 4, 1.0);
+        let flags = BoundaryFlags::whole();
+        let mut peak: f64 = 0.0;
+        for _ in 0..200 {
+            update_h(&mut f, &m);
+            update_e(&mut f, &m);
+            apply_pec(&mut f, &flags);
+            peak = peak.max(f.energy());
+        }
+        assert!(f.energy().is_finite());
+        assert!(peak < 100.0, "bounded energy, got peak {peak}");
+    }
+
+    #[test]
+    fn pec_zeroes_tangential_components_only() {
+        let n = (4, 4, 4);
+        let mut f = Fields::zeros(n.0, n.1, n.2);
+        for g in [&mut f.ex, &mut f.ey, &mut f.ez] {
+            g.for_each_interior(|_, _, _, v| *v = 1.0);
+        }
+        apply_pec(&mut f, &BoundaryFlags::whole());
+        // x = 0 face: ey, ez zero; ex untouched.
+        assert_eq!(f.ey.get(0, 2, 2), 0.0);
+        assert_eq!(f.ez.get(0, 2, 2), 0.0);
+        assert_eq!(f.ex.get(0, 2, 2), 1.0);
+        // Interior untouched.
+        assert_eq!(f.ey.get(2, 2, 2), 1.0);
+    }
+
+    #[test]
+    fn mur_absorbs_better_than_pec() {
+        // A pulse launched in a box: after enough steps for the wave to hit
+        // the walls and come back, Mur should retain much less energy than
+        // the perfectly reflecting PEC.
+        let n = (12, 12, 12);
+        let m = vacuum(n);
+        let run = |bc: BoundaryCondition| {
+            let mut f = Fields::zeros(n.0, n.1, n.2);
+            f.ez.set(6, 6, 6, 1.0);
+            let flags = BoundaryFlags::whole();
+            for _ in 0..60 {
+                let saved = match bc {
+                    BoundaryCondition::Mur1 => save_mur_layers(&f, &flags),
+                    BoundaryCondition::Pec => MurSaved::default(),
+                };
+                update_h(&mut f, &m);
+                update_e(&mut f, &m);
+                apply_bc(&mut f, bc, &flags, &saved, 0.5);
+            }
+            f.energy()
+        };
+        let pec = run(BoundaryCondition::Pec);
+        let mur = run(BoundaryCondition::Mur1);
+        assert!(mur < pec * 0.5, "Mur {mur} vs PEC {pec}");
+        assert!(mur.is_finite() && mur >= 0.0);
+    }
+
+    #[test]
+    fn updates_are_deterministic() {
+        let n = (6, 5, 4);
+        let m = vacuum(n);
+        let mut a = Fields::zeros(n.0, n.1, n.2);
+        a.ey.set(2, 2, 2, 0.125);
+        let mut b = a.clone();
+        for _ in 0..10 {
+            update_h(&mut a, &m);
+            update_e(&mut a, &m);
+            update_h(&mut b, &m);
+            update_e(&mut b, &m);
+        }
+        assert!(a.bitwise_eq(&b));
+    }
+}

@@ -1,0 +1,98 @@
+//! Result comparison utilities — the measuring instruments of the paper's
+//! correctness experiments (§4.5).
+
+/// Bitwise equality of two f64 series.
+pub fn series_bitwise_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Units-in-the-last-place distance between two finite doubles (saturating;
+/// `u64::MAX` for sign mismatches of non-zero values or non-finite input).
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a.to_bits() == b.to_bits() {
+        return 0;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return u64::MAX;
+    }
+    // Map to a monotone integer line: negative floats reflect below zero.
+    fn key(x: f64) -> i128 {
+        let bits = x.to_bits() as i128;
+        if x.is_sign_negative() {
+            -(bits & 0x7fff_ffff_ffff_ffff)
+        } else {
+            bits
+        }
+    }
+    let d = (key(a) - key(b)).unsigned_abs();
+    u64::try_from(d).unwrap_or(u64::MAX)
+}
+
+/// Maximum ULP distance over two series.
+pub fn max_ulp_diff(a: &[f64], b: &[f64]) -> u64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| ulp_diff(x, y)).max().unwrap_or(0)
+}
+
+/// Maximum relative error over two series (scale floor avoids 0/0).
+pub fn max_rel_err(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let scale = x.abs().max(y.abs());
+            if scale == 0.0 {
+                0.0
+            } else {
+                (x - y).abs() / scale
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Count of positions where the two series differ bitwise.
+pub fn count_bitwise_diffs(a: &[f64], b: &[f64]) -> usize {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).filter(|(x, y)| x.to_bits() != y.to_bits()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwise_eq_is_exact() {
+        assert!(series_bitwise_eq(&[1.0, -0.0], &[1.0, -0.0]));
+        assert!(!series_bitwise_eq(&[0.0], &[-0.0]));
+        assert!(!series_bitwise_eq(&[1.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn ulp_adjacent_values() {
+        let a = 1.0f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_diff(a, b), 1);
+        assert_eq!(ulp_diff(a, a), 0);
+        assert_eq!(ulp_diff(0.0, -0.0), 0, "signed zeros are 0 ulps apart");
+    }
+
+    #[test]
+    fn ulp_across_zero_is_small() {
+        let tiny = f64::from_bits(1); // smallest subnormal
+        assert_eq!(ulp_diff(tiny, -tiny), 2);
+    }
+
+    #[test]
+    fn non_finite_saturates() {
+        assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_diff(f64::INFINITY, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn rel_err_and_diff_count() {
+        let a = [1.0, 2.0, 0.0];
+        let b = [1.0, 2.2, 0.0];
+        assert_eq!(count_bitwise_diffs(&a, &b), 1);
+        assert!((max_rel_err(&a, &b) - 0.2 / 2.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! The cost model and the two calibrated machine presets.
+
+use mesh_archetype::trace::{CommTrace, PhaseCost};
+use serde::{Deserialize, Serialize};
+
+/// An analytic distributed-memory machine: uniform nodes on a uniform
+/// interconnect, LogGP-flavoured.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Human-readable machine name for report rows.
+    pub name: &'static str,
+    /// Seconds per floating-point operation (sustained, not peak).
+    pub t_flop: f64,
+    /// Per-message latency/overhead α in seconds (software + wire).
+    pub alpha: f64,
+    /// Per-byte transfer time β in seconds (inverse sustained bandwidth).
+    pub beta: f64,
+}
+
+impl MachineModel {
+    /// Modeled time of one phase: critical-path computation plus
+    /// critical-endpoint communication.
+    pub fn price_phase(&self, phase: &PhaseCost, nprocs: usize) -> f64 {
+        let t_comp = phase.flops.iter().copied().max().unwrap_or(0) as f64 * self.t_flop;
+        let mut msgs = vec![0u64; nprocs];
+        let mut bytes = vec![0u64; nprocs];
+        for m in &phase.msgs {
+            msgs[m.src] += 1;
+            bytes[m.src] += m.bytes;
+            msgs[m.dst] += 1;
+            bytes[m.dst] += m.bytes;
+        }
+        let t_comm = (0..nprocs)
+            .map(|r| msgs[r] as f64 * self.alpha + bytes[r] as f64 * self.beta)
+            .fold(0.0f64, f64::max);
+        t_comp + t_comm
+    }
+
+    /// Modeled execution time of a whole run.
+    pub fn price_trace(&self, trace: &CommTrace) -> f64 {
+        trace.phases.iter().map(|p| self.price_phase(p, trace.nprocs)).sum()
+    }
+
+    /// Modeled communication-only time of a run (for comm/comp breakdowns).
+    pub fn price_comm_only(&self, trace: &CommTrace) -> f64 {
+        trace
+            .phases
+            .iter()
+            .map(|p| {
+                let stripped =
+                    PhaseCost { name: p.name.clone(), flops: vec![0; trace.nprocs], ..p.clone() };
+                self.price_phase(&stripped, trace.nprocs)
+            })
+            .sum()
+    }
+
+    /// Modeled computation-only time: per-phase critical rank, summed —
+    /// the same barrier-per-phase discipline [`MachineModel::price_trace`]
+    /// uses, so `price_trace = price_comp_only + price_comm_only` exactly.
+    /// (A looser bound with cross-phase pipelining would be
+    /// `CommTrace::critical_flops × t_flop`.)
+    pub fn price_comp_only(&self, trace: &CommTrace) -> f64 {
+        trace
+            .phases
+            .iter()
+            .map(|p| p.flops.iter().copied().max().unwrap_or(0) as f64 * self.t_flop)
+            .sum()
+    }
+}
+
+/// The network of Sun workstations of the paper's Table 1: early-90s
+/// SPARC workstations (sustained ~2 Mflop/s on memory-bound Fortran
+/// stencil code) on 10 Mbit Ethernet through a portability layer
+/// (Fortran M over sockets) — roughly half a millisecond of per-message
+/// software latency and ~1 MB/s of effective bandwidth.
+pub fn network_of_suns() -> MachineModel {
+    MachineModel { name: "network-of-suns", t_flop: 5.0e-7, alpha: 5.0e-4, beta: 1.0e-6 }
+}
+
+/// The IBM SP of the paper's Figure 2: Power2-era nodes (sustained
+/// ~40 Mflop/s on stencil code) with the SP switch — tens of microseconds
+/// of latency and ~35 MB/s sustained bandwidth.
+pub fn ibm_sp() -> MachineModel {
+    MachineModel { name: "ibm-sp", t_flop: 2.5e-8, alpha: 4.0e-5, beta: 2.9e-8 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_archetype::trace::MsgRecord;
+
+    fn trace2() -> CommTrace {
+        let mut t = CommTrace::new(2);
+        t.push(PhaseCost::compute("work", vec![1_000_000, 2_000_000]));
+        t.push(PhaseCost {
+            name: "halo".into(),
+            flops: vec![0, 0],
+            msgs: vec![
+                MsgRecord { src: 0, dst: 1, bytes: 8_000 },
+                MsgRecord { src: 1, dst: 0, bytes: 8_000 },
+            ],
+            rounds: 1,
+        });
+        t
+    }
+
+    #[test]
+    fn phase_pricing_takes_critical_rank() {
+        let m = MachineModel { name: "unit", t_flop: 1.0, alpha: 0.0, beta: 0.0 };
+        let t = trace2();
+        assert_eq!(m.price_phase(&t.phases[0], 2), 2_000_000.0);
+    }
+
+    #[test]
+    fn comm_pricing_counts_both_endpoints() {
+        let m = MachineModel { name: "unit", t_flop: 0.0, alpha: 1.0, beta: 0.0 };
+        let t = trace2();
+        // Each rank touches 2 messages (1 send + 1 recv).
+        assert_eq!(m.price_phase(&t.phases[1], 2), 2.0);
+        let m = MachineModel { name: "unit", t_flop: 0.0, alpha: 0.0, beta: 1.0 };
+        assert_eq!(m.price_phase(&t.phases[1], 2), 16_000.0);
+    }
+
+    #[test]
+    fn totals_decompose() {
+        let m = network_of_suns();
+        let t = trace2();
+        let total = m.price_trace(&t);
+        let comm = m.price_comm_only(&t);
+        let comp = m.price_comp_only(&t);
+        assert!(total > comm && total > comp);
+        assert!((total - (comm + comp)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suns_are_slower_than_the_sp() {
+        let suns = network_of_suns();
+        let sp = ibm_sp();
+        let t = trace2();
+        assert!(suns.price_trace(&t) > sp.price_trace(&t));
+        // Worse at communication relative to compute, and much worse at
+        // communication in absolute terms.
+        let suns_ratio = suns.price_comm_only(&t) / suns.price_comp_only(&t);
+        let sp_ratio = sp.price_comm_only(&t) / sp.price_comp_only(&t);
+        assert!(suns_ratio > sp_ratio);
+        assert!(suns.price_comm_only(&t) > 10.0 * sp.price_comm_only(&t));
+    }
+}

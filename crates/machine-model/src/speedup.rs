@@ -1,0 +1,102 @@
+//! Speedup series in the paper's terms.
+//!
+//! §4.5 footnote 3: *"We define speedup as execution time for the original
+//! sequential code divided by execution time for the parallel code."* The
+//! "ideal" execution-time curve of Figure 2 is `T_seq / P`, and the
+//! "perfect" speedup curve is `P`.
+
+use serde::{Deserialize, Serialize};
+
+/// One (P, time) measurement with its derived quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    /// Number of processes.
+    pub p: usize,
+    /// Modeled (or measured) parallel execution time in seconds.
+    pub time: f64,
+    /// `t_seq / time` — the paper's speedup definition.
+    pub speedup: f64,
+    /// `speedup / p` — parallel efficiency.
+    pub efficiency: f64,
+}
+
+/// A named series of speedup points against one sequential baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupSeries {
+    /// Label (machine or variant name).
+    pub label: String,
+    /// Sequential baseline time in seconds.
+    pub t_seq: f64,
+    /// Measurements in ascending `p`.
+    pub points: Vec<SpeedupPoint>,
+}
+
+impl SpeedupSeries {
+    /// Build a series from `(p, time)` pairs.
+    pub fn new(label: &str, t_seq: f64, timings: &[(usize, f64)]) -> Self {
+        let points = timings
+            .iter()
+            .map(|&(p, time)| SpeedupPoint {
+                p,
+                time,
+                speedup: t_seq / time,
+                efficiency: t_seq / time / p as f64,
+            })
+            .collect();
+        SpeedupSeries { label: label.to_string(), t_seq, points }
+    }
+
+    /// True if speedup grows monotonically with P (the qualitative property
+    /// both of the paper's experiments exhibit over their measured range).
+    pub fn monotone_speedup(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].speedup >= w[0].speedup)
+    }
+
+    /// True if every point is sublinear (speedup < P) — real programs pay
+    /// for communication.
+    pub fn sublinear(&self) -> bool {
+        self.points.iter().all(|pt| pt.speedup < pt.p as f64)
+    }
+}
+
+/// Figure 2's "ideal" execution time at `p` processes.
+pub fn ideal_time(t_seq: f64, p: usize) -> f64 {
+    t_seq / p as f64
+}
+
+/// Figure 2's "perfect" speedup at `p` processes.
+pub fn perfect_speedup(p: usize) -> f64 {
+    p as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_derives_speedup_and_efficiency() {
+        let s = SpeedupSeries::new("m", 100.0, &[(2, 60.0), (4, 35.0), (8, 25.0)]);
+        assert!((s.points[0].speedup - 100.0 / 60.0).abs() < 1e-12);
+        assert!((s.points[2].efficiency - 0.5).abs() < 1e-12);
+        assert!(s.monotone_speedup());
+        assert!(s.sublinear());
+    }
+
+    #[test]
+    fn ideal_and_perfect_curves() {
+        assert_eq!(ideal_time(100.0, 4), 25.0);
+        assert_eq!(perfect_speedup(8), 8.0);
+    }
+
+    #[test]
+    fn non_monotone_detected() {
+        let s = SpeedupSeries::new("m", 100.0, &[(2, 50.0), (4, 60.0)]);
+        assert!(!s.monotone_speedup());
+    }
+
+    #[test]
+    fn superlinear_detected() {
+        let s = SpeedupSeries::new("m", 100.0, &[(2, 40.0)]);
+        assert!(!s.sublinear());
+    }
+}

@@ -1,0 +1,35 @@
+//! The three executions of a mesh-archetype plan.
+//!
+//! | driver | paper artifact | address spaces | communication |
+//! |---|---|---|---|
+//! | [`run_seq`] | degenerate P = 1 | one | none |
+//! | [`run_simpar`] | sequential simulated-parallel version (§2.2) | N simulated | assignments, validated |
+//! | [`run_msg_simulated`] | message-passing program under a simulated scheduler (§3.1) | N | sends/receives on SRSW channels |
+//! | [`run_msg_threaded`] | message-passing program on real threads | N | sends/blocking receives |
+//!
+//! All four execute floating-point operations in identical order, so their
+//! results are bitwise identical — the experimental observation of §4.5
+//! ("the message-passing programs produced results identical to those of
+//! the corresponding sequential simulated-parallel versions, on the first
+//! and every execution"), here guaranteed by construction and verified by
+//! the integration tests.
+
+mod msg;
+mod seq;
+mod simpar;
+
+pub use msg::{
+    build_msg_processes, build_msg_processes_hosted, run_msg_simulated,
+    run_msg_simulated_hosted, run_msg_threaded, MeshMsg, MsgProcess,
+};
+pub use seq::run_seq;
+pub use simpar::{ordered_sum, run_simpar, HostMode, SimParConfig, SimParOutcome, ValidationLevel};
+
+/// Local state of a mesh process: anything sendable with a canonical byte
+/// snapshot. Snapshots are how final states are compared across drivers and
+/// across interleavings (bitwise, per the paper's standard of "identical
+/// results").
+pub trait MeshLocal: Send + 'static {
+    /// Canonical byte encoding of the observable final state.
+    fn snapshot_bytes(&self) -> Vec<u8>;
+}

@@ -1,0 +1,690 @@
+//! The message-passing driver: the paper's final, formally justified
+//! transformation applied to a mesh-archetype plan.
+//!
+//! Each simulated process of the simulated-parallel version becomes a real
+//! [`ssp_runtime::Process`]; each data-exchange assignment becomes a
+//! send/receive pair on a single-reader single-writer channel, with **all
+//! sends of an exchange performed before any receives** (§3.3) so no
+//! process ever reads an empty channel that will never be written. The plan
+//! is compiled per rank into a flat list of [`Op`]s with explicit control
+//! flow; the resulting processes run unchanged on the simulated scheduler
+//! (any interleaving policy) or on real OS threads.
+//!
+//! Floating-point operations are performed in exactly the order the
+//! simulated-parallel driver performs them — same reduction schedules, same
+//! stable ordered-sum, same slab encodings — so the two drivers' snapshots
+//! are bitwise identical: Theorem 1 made concrete.
+
+use ssp_runtime::{
+    ChannelId, Effect, Process, RunError, RunOutcome, SchedulePolicy, Simulator, Topology,
+};
+
+use meshgrid::halo::{extract_face3, insert_ghost3};
+use meshgrid::{Grid3, ProcGrid3};
+
+use crate::driver::simpar::{ordered_sum, HostMode};
+use crate::driver::MeshLocal;
+use crate::env::Env;
+use crate::exchange::{face_links, FaceLink};
+use crate::plan::{
+    Contribution, ExchangeSpec, GatherSpec, LocalStep, OrderedReduceSpec, Phase, Plan, PredFn,
+    ReduceSpec, ScatterSpec,
+};
+use crate::plan::{BroadcastSpec, InitFn};
+use crate::reduce::{ReduceOp, ReducePlan};
+
+/// The default host rank under [`HostMode::GridRank0`]; under
+/// [`HostMode::Separate`] the host is the extra rank `pg.nprocs()`.
+pub const HOST: usize = 0;
+
+/// Messages carried on the mesh program's channels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeshMsg {
+    /// A halo face slab.
+    Halo(Vec<f64>),
+    /// A reduction partial / broadcast payload / result vector.
+    Vec(Vec<f64>),
+    /// Ordered-reduction contributions.
+    Contribs(Vec<Contribution>),
+    /// A gathered/scattered block of a global grid (interior, lexicographic).
+    Block(Vec<f64>),
+}
+
+/// One instruction of the compiled per-rank program.
+enum Op<L> {
+    /// Run a local-computation block (one `Compute` action).
+    Local(LocalStep<L>),
+    /// Send this rank's boundary slab through `link`.
+    SendFace { spec: ExchangeSpec<L>, link: FaceLink },
+    /// Receive the neighbour's slab through `link` into the ghost region.
+    RecvFace { spec: ExchangeSpec<L>, link: FaceLink },
+    /// `scratch ← extract(local)`.
+    ReduceExtract { spec: ReduceSpec<L> },
+    /// Send the current scratch to `dst`.
+    ReduceSend { dst: usize },
+    /// Receive a partial from `src` and combine it into scratch.
+    ReduceRecvCombine { src: usize, op: ReduceOp },
+    /// Receive a finished result from `src`, replacing scratch.
+    ReduceRecvReplace { src: usize },
+    /// `inject(local, scratch)`.
+    ReduceInject { spec: ReduceSpec<L> },
+    /// `contribs ← extract(local)` (appending to the gather buffer).
+    OrdExtract { spec: OrderedReduceSpec<L> },
+    /// Send this rank's contributions to the host.
+    OrdSendContribs { dst: usize },
+    /// Host: receive and append `src`'s contributions.
+    OrdRecvContribs { src: usize },
+    /// Host: sort, sum per bin, leave the result in scratch.
+    OrdFinish { spec: OrderedReduceSpec<L> },
+    /// Host: send the result vector to `dst`.
+    OrdSendResult { dst: usize },
+    /// Non-host: receive the result vector from the host.
+    OrdRecvResult { src: usize },
+    /// `inject(local, scratch)`.
+    OrdInject { spec: OrderedReduceSpec<L> },
+    /// Root: `scratch ← get(local)`.
+    BcastGet { spec: BroadcastSpec<L> },
+    /// Root: send scratch to `dst`.
+    BcastSend { dst: usize },
+    /// Non-root: receive the payload into scratch.
+    BcastRecv { root: usize },
+    /// `set(local, scratch)` (runs on every rank).
+    BcastSet { spec: BroadcastSpec<L> },
+    /// Non-host: send this rank's field interior to the host.
+    GatherSend { spec: GatherSpec<L>, dst: usize },
+    /// Host: start assembling — allocate the global grid and insert own
+    /// block.
+    GatherInit { spec: GatherSpec<L> },
+    /// Host: receive and insert `src`'s block.
+    GatherRecvBlock { src: usize },
+    /// Host: deliver the assembled grid to the sink.
+    GatherFinish { spec: GatherSpec<L> },
+    /// Host: build the global source grid.
+    ScatterInit { spec: ScatterSpec<L> },
+    /// Host: send `dst`'s block of the source grid.
+    ScatterSendBlock { dst: usize },
+    /// Host: copy own block into the field.
+    ScatterSelf { spec: ScatterSpec<L> },
+    /// Non-host: receive this rank's block into the field.
+    ScatterRecvBlock { spec: ScatterSpec<L>, src: usize },
+    /// Push a loop counter; if `count == 0` jump straight to `exit`.
+    LoopStart { count: usize, exit: usize },
+    /// Decrement the innermost loop counter; jump to `body` if non-zero,
+    /// else pop it.
+    LoopEnd { body: usize },
+    /// Push a while-iteration budget.
+    WhileStart { max_iters: u64 },
+    /// Evaluate the predicate; jump to `target` when it equals `when`.
+    CondJump { pred: PredFn<L>, when: bool, target: usize },
+    /// Decrement the innermost while budget (abort when exhausted) and jump
+    /// back to the predicate check.
+    WhileEnd { check: usize },
+    /// Pop the innermost while budget.
+    WhilePop,
+}
+
+/// Compile `plan` into the per-rank instruction list. `host` is `Some(h)`
+/// when a separate host process (rank `h = pg.nprocs()`) participates.
+fn flatten<L>(
+    phases: &[Phase<L>],
+    env: &Env,
+    pg: &ProcGrid3,
+    host: Option<usize>,
+    ops: &mut Vec<Op<L>>,
+) {
+    let rank = env.rank;
+    let n = pg.nprocs();
+    let total = n + usize::from(host.is_some());
+    let h = host.unwrap_or(HOST);
+    let is_host = env.is_host();
+    for phase in phases {
+        match phase {
+            Phase::Local(step) => {
+                if !is_host {
+                    ops.push(Op::Local(step.clone()));
+                }
+            }
+            Phase::Exchange(spec) => {
+                if n == 1 || is_host {
+                    continue;
+                }
+                let links = face_links(pg, rank);
+                // All sends before any receives (§3.3).
+                for link in &links {
+                    ops.push(Op::SendFace { spec: spec.clone(), link: *link });
+                }
+                for link in &links {
+                    ops.push(Op::RecvFace { spec: spec.clone(), link: *link });
+                }
+            }
+            Phase::Reduce(spec) => {
+                if is_host {
+                    // A separate host only receives the finished result
+                    // (from grid rank 0) to keep its replicated globals
+                    // consistent.
+                    ops.push(Op::ReduceRecvReplace { src: 0 });
+                    ops.push(Op::ReduceInject { spec: spec.clone() });
+                    continue;
+                }
+                ops.push(Op::ReduceExtract { spec: spec.clone() });
+                let rplan = ReducePlan::build(spec.algo, n);
+                for stage in &rplan.stages {
+                    // Per stage: this rank's sends first (they carry the
+                    // pre-stage partial), then its receives in step order.
+                    for step in stage {
+                        if step.src() == rank {
+                            ops.push(Op::ReduceSend { dst: step.dst() });
+                        }
+                    }
+                    for step in stage {
+                        if step.dst() == rank {
+                            match step {
+                                crate::reduce::ReduceStep::Combine { src, .. } => ops
+                                    .push(Op::ReduceRecvCombine { src: *src, op: spec.op }),
+                                crate::reduce::ReduceStep::Copy { src, .. } => {
+                                    ops.push(Op::ReduceRecvReplace { src: *src })
+                                }
+                            }
+                        }
+                    }
+                }
+                if host.is_some() && rank == 0 {
+                    ops.push(Op::ReduceSend { dst: h });
+                }
+                ops.push(Op::ReduceInject { spec: spec.clone() });
+            }
+            Phase::OrderedReduce(spec) => {
+                if rank == h {
+                    if !is_host {
+                        // Grid rank 0 doubling as host contributes its own
+                        // surface points first (grid-rank order).
+                        ops.push(Op::OrdExtract { spec: spec.clone() });
+                    }
+                    for src in (0..n).filter(|&s| s != h) {
+                        ops.push(Op::OrdRecvContribs { src });
+                    }
+                    ops.push(Op::OrdFinish { spec: spec.clone() });
+                    for dst in (0..n).filter(|&d| d != h) {
+                        ops.push(Op::OrdSendResult { dst });
+                    }
+                } else {
+                    ops.push(Op::OrdExtract { spec: spec.clone() });
+                    ops.push(Op::OrdSendContribs { dst: h });
+                    ops.push(Op::OrdRecvResult { src: h });
+                }
+                ops.push(Op::OrdInject { spec: spec.clone() });
+            }
+            Phase::Broadcast(spec) => {
+                if rank == spec.root {
+                    ops.push(Op::BcastGet { spec: spec.clone() });
+                    for dst in (0..total).filter(|&d| d != spec.root) {
+                        ops.push(Op::BcastSend { dst });
+                    }
+                } else {
+                    ops.push(Op::BcastRecv { root: spec.root });
+                }
+                ops.push(Op::BcastSet { spec: spec.clone() });
+            }
+            Phase::GatherGrid(spec) => {
+                if rank == h {
+                    ops.push(Op::GatherInit { spec: spec.clone() });
+                    for src in (0..n).filter(|&s| s != h) {
+                        ops.push(Op::GatherRecvBlock { src });
+                    }
+                    ops.push(Op::GatherFinish { spec: spec.clone() });
+                } else {
+                    ops.push(Op::GatherSend { spec: spec.clone(), dst: h });
+                }
+            }
+            Phase::ScatterGrid(spec) => {
+                if rank == h {
+                    ops.push(Op::ScatterInit { spec: spec.clone() });
+                    for dst in (0..n).filter(|&d| d != h) {
+                        ops.push(Op::ScatterSendBlock { dst });
+                    }
+                    ops.push(Op::ScatterSelf { spec: spec.clone() });
+                } else {
+                    ops.push(Op::ScatterRecvBlock { spec: spec.clone(), src: h });
+                }
+            }
+            Phase::Loop { count, body } => {
+                let start_idx = ops.len();
+                ops.push(Op::LoopStart { count: *count, exit: usize::MAX }); // patched
+                let body_idx = ops.len();
+                flatten(body, env, pg, host, ops);
+                ops.push(Op::LoopEnd { body: body_idx });
+                let exit = ops.len();
+                if let Op::LoopStart { exit: e, .. } = &mut ops[start_idx] {
+                    *e = exit;
+                }
+            }
+            Phase::While { pred, body, max_iters, .. } => {
+                ops.push(Op::WhileStart { max_iters: *max_iters });
+                let check = ops.len();
+                ops.push(Op::CondJump { pred: pred.clone(), when: false, target: usize::MAX });
+                flatten(body, env, pg, host, ops);
+                ops.push(Op::WhileEnd { check });
+                let exit = ops.len();
+                ops.push(Op::WhilePop);
+                if let Op::CondJump { target, .. } = &mut ops[check] {
+                    *target = exit;
+                }
+            }
+        }
+    }
+}
+
+/// A mesh process: one rank of the compiled message-passing program.
+pub struct MsgProcess<L> {
+    env: Env,
+    local: L,
+    ops: Vec<Op<L>>,
+    pc: usize,
+    /// Channel to send to `dst`: `chan_to[dst]`.
+    chan_to: Vec<Option<ChannelId>>,
+    /// Channel to receive from `src`: `chan_from[src]`.
+    chan_from: Vec<Option<ChannelId>>,
+    scratch: Vec<f64>,
+    contribs: Vec<Contribution>,
+    global: Option<Grid3<f64>>,
+    loop_stack: Vec<usize>,
+    while_stack: Vec<u64>,
+    /// Describes how to consume the next delivery (set when a Recv effect
+    /// is emitted; the op pointer has already advanced).
+    pending: Option<PendingRecv<L>>,
+}
+
+enum PendingRecv<L> {
+    Face { spec: ExchangeSpec<L>, link: FaceLink },
+    Combine { op: ReduceOp },
+    Replace,
+    Contribs,
+    Result,
+    Bcast,
+    GatherBlock { src: usize },
+    ScatterBlock { spec: ScatterSpec<L> },
+}
+
+impl<L: MeshLocal> MsgProcess<L> {
+    fn insert_block(&mut self, src: usize, data: &[f64]) {
+        let block = self.env.pg.block(src);
+        let global = self.global.as_mut().expect("gather in progress");
+        let mut it = data.iter();
+        for li in 0..block.extent().0 {
+            for lj in 0..block.extent().1 {
+                for lk in 0..block.extent().2 {
+                    let (gi, gj, gk) = block.to_global(li, lj, lk);
+                    global.set(gi as isize, gj as isize, gk as isize, *it.next().unwrap());
+                }
+            }
+        }
+    }
+
+    fn block_of_global(&self, dst: usize) -> Vec<f64> {
+        let block = self.env.pg.block(dst);
+        let global = self.global.as_ref().expect("scatter in progress");
+        let mut out = Vec::with_capacity(block.len());
+        for li in 0..block.extent().0 {
+            for lj in 0..block.extent().1 {
+                for lk in 0..block.extent().2 {
+                    let (gi, gj, gk) = block.to_global(li, lj, lk);
+                    out.push(global.get(gi as isize, gj as isize, gk as isize));
+                }
+            }
+        }
+        out
+    }
+
+    fn chan_to_rank(&self, dst: usize) -> ChannelId {
+        self.chan_to[dst].expect("channel to dst exists")
+    }
+
+    fn chan_from_rank(&self, src: usize) -> ChannelId {
+        self.chan_from[src].expect("channel from src exists")
+    }
+
+    /// Execute ops until one produces a runtime effect.
+    fn advance(&mut self) -> Effect<MeshMsg> {
+        loop {
+            if self.pc >= self.ops.len() {
+                return Effect::Halt;
+            }
+            let pc = self.pc;
+            self.pc += 1;
+            // Split the borrow: temporarily take the op out.
+            match &self.ops[pc] {
+                Op::Local(step) => {
+                    let step = step.clone();
+                    let units = (step.flops)(&self.env, &self.local);
+                    (step.f)(&self.env, &mut self.local);
+                    return Effect::Compute { units };
+                }
+                Op::SendFace { spec, link } => {
+                    let (spec, link) = (spec.clone(), *link);
+                    let payload = extract_face3((spec.field)(&mut self.local), link.face);
+                    return Effect::Send {
+                        chan: self.chan_to_rank(link.neighbor),
+                        msg: MeshMsg::Halo(payload),
+                    };
+                }
+                Op::RecvFace { spec, link } => {
+                    let (spec, link) = (spec.clone(), *link);
+                    let chan = self.chan_from_rank(link.neighbor);
+                    self.pending = Some(PendingRecv::Face { spec, link });
+                    return Effect::Recv { chan };
+                }
+                Op::ReduceExtract { spec } => {
+                    let spec = spec.clone();
+                    self.scratch = (spec.extract)(&self.env, &self.local);
+                }
+                Op::ReduceSend { dst } => {
+                    let dst = *dst;
+                    return Effect::Send {
+                        chan: self.chan_to_rank(dst),
+                        msg: MeshMsg::Vec(self.scratch.clone()),
+                    };
+                }
+                Op::ReduceRecvCombine { src, op } => {
+                    let (src, op) = (*src, *op);
+                    self.pending = Some(PendingRecv::Combine { op });
+                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                }
+                Op::ReduceRecvReplace { src } => {
+                    let src = *src;
+                    self.pending = Some(PendingRecv::Replace);
+                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                }
+                Op::ReduceInject { spec } => {
+                    let spec = spec.clone();
+                    (spec.inject)(&self.env, &mut self.local, &self.scratch);
+                }
+                Op::OrdExtract { spec } => {
+                    let spec = spec.clone();
+                    self.contribs = (spec.extract)(&self.env, &self.local);
+                }
+                Op::OrdSendContribs { dst } => {
+                    let dst = *dst;
+                    let msg = MeshMsg::Contribs(std::mem::take(&mut self.contribs));
+                    return Effect::Send { chan: self.chan_to_rank(dst), msg };
+                }
+                Op::OrdRecvContribs { src } => {
+                    let src = *src;
+                    self.pending = Some(PendingRecv::Contribs);
+                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                }
+                Op::OrdFinish { spec } => {
+                    let spec = spec.clone();
+                    let contribs = std::mem::take(&mut self.contribs);
+                    self.scratch = ordered_sum(contribs, spec.n_bins, spec.method);
+                }
+                Op::OrdSendResult { dst } => {
+                    let dst = *dst;
+                    return Effect::Send {
+                        chan: self.chan_to_rank(dst),
+                        msg: MeshMsg::Vec(self.scratch.clone()),
+                    };
+                }
+                Op::OrdRecvResult { src } => {
+                    let src = *src;
+                    self.pending = Some(PendingRecv::Result);
+                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                }
+                Op::OrdInject { spec } => {
+                    let spec = spec.clone();
+                    (spec.inject)(&self.env, &mut self.local, &self.scratch);
+                }
+                Op::BcastGet { spec } => {
+                    let spec = spec.clone();
+                    self.scratch = (spec.get)(&self.env, &self.local);
+                }
+                Op::BcastSend { dst } => {
+                    let dst = *dst;
+                    return Effect::Send {
+                        chan: self.chan_to_rank(dst),
+                        msg: MeshMsg::Vec(self.scratch.clone()),
+                    };
+                }
+                Op::BcastRecv { root } => {
+                    let root = *root;
+                    self.pending = Some(PendingRecv::Bcast);
+                    return Effect::Recv { chan: self.chan_from_rank(root) };
+                }
+                Op::BcastSet { spec } => {
+                    let spec = spec.clone();
+                    (spec.set)(&self.env, &mut self.local, &self.scratch);
+                }
+                Op::GatherSend { spec, dst } => {
+                    let (spec, dst) = (spec.clone(), *dst);
+                    let data = (spec.field)(&mut self.local).interior_to_vec();
+                    return Effect::Send { chan: self.chan_to_rank(dst), msg: MeshMsg::Block(data) };
+                }
+                Op::GatherInit { spec } => {
+                    let spec = spec.clone();
+                    let n = self.env.pg.n;
+                    self.global = Some(Grid3::new(n.0, n.1, n.2, 0));
+                    // A separate host owns no block; a grid rank doubling
+                    // as host inserts its own section first.
+                    if !self.env.is_host() {
+                        let own = (spec.field)(&mut self.local).interior_to_vec();
+                        let rank = self.env.rank;
+                        self.insert_block(rank, &own);
+                    }
+                }
+                Op::GatherRecvBlock { src } => {
+                    let src = *src;
+                    self.pending = Some(PendingRecv::GatherBlock { src });
+                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                }
+                Op::GatherFinish { spec } => {
+                    let spec = spec.clone();
+                    let global = self.global.take().expect("gather in progress");
+                    (spec.sink)(&mut self.local, &global);
+                }
+                Op::ScatterInit { spec } => {
+                    let spec = spec.clone();
+                    let g = (spec.source)(&self.local);
+                    assert_eq!(g.extent(), self.env.pg.n, "scatter source must be global");
+                    self.global = Some(g);
+                }
+                Op::ScatterSendBlock { dst } => {
+                    let dst = *dst;
+                    let data = self.block_of_global(dst);
+                    return Effect::Send { chan: self.chan_to_rank(dst), msg: MeshMsg::Block(data) };
+                }
+                Op::ScatterSelf { spec } => {
+                    let spec = spec.clone();
+                    // A separate host keeps nothing for itself.
+                    if !self.env.is_host() {
+                        let rank = self.env.rank;
+                        let data = self.block_of_global(rank);
+                        let field = (spec.field)(&mut self.local);
+                        field.interior_from_slice(&data);
+                    }
+                    self.global = None;
+                }
+                Op::ScatterRecvBlock { spec, src } => {
+                    let (spec, src) = (spec.clone(), *src);
+                    self.pending = Some(PendingRecv::ScatterBlock { spec });
+                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                }
+                Op::LoopStart { count, exit } => {
+                    if *count == 0 {
+                        self.pc = *exit;
+                    } else {
+                        self.loop_stack.push(*count);
+                    }
+                }
+                Op::LoopEnd { body } => {
+                    let body = *body;
+                    let top = self.loop_stack.last_mut().expect("inside a loop");
+                    *top -= 1;
+                    if *top > 0 {
+                        self.pc = body;
+                    } else {
+                        self.loop_stack.pop();
+                    }
+                }
+                Op::WhileStart { max_iters } => self.while_stack.push(*max_iters),
+                Op::CondJump { pred, when, target } => {
+                    let (when, target) = (*when, *target);
+                    if pred(&self.local) == when {
+                        self.pc = target;
+                    }
+                }
+                Op::WhileEnd { check } => {
+                    let check = *check;
+                    let budget = self.while_stack.last_mut().expect("inside a while");
+                    assert!(*budget > 0, "while loop exceeded its max_iters budget");
+                    *budget -= 1;
+                    self.pc = check;
+                }
+                Op::WhilePop => {
+                    self.while_stack.pop().expect("inside a while");
+                }
+            }
+        }
+    }
+}
+
+impl<L: MeshLocal> Process for MsgProcess<L> {
+    type Msg = MeshMsg;
+
+    fn resume(&mut self, delivery: Option<MeshMsg>) -> Effect<MeshMsg> {
+        if let Some(msg) = delivery {
+            let pending = self.pending.take().expect("delivery without a pending recv");
+            match (pending, msg) {
+                (PendingRecv::Face { spec, link }, MeshMsg::Halo(payload)) => {
+                    // `link.face` is *this* rank's face toward the sender:
+                    // the ghost slab to fill. (The sender extracted from the
+                    // opposite face of its own section.)
+                    insert_ghost3((spec.field)(&mut self.local), link.face, &payload);
+                }
+                (PendingRecv::Combine { op }, MeshMsg::Vec(partial)) => {
+                    op.combine_vec(&mut self.scratch, &partial);
+                }
+                (PendingRecv::Replace, MeshMsg::Vec(result)) => self.scratch = result,
+                (PendingRecv::Contribs, MeshMsg::Contribs(mut c)) => {
+                    self.contribs.append(&mut c);
+                }
+                (PendingRecv::Result, MeshMsg::Vec(result)) => self.scratch = result,
+                (PendingRecv::Bcast, MeshMsg::Vec(payload)) => self.scratch = payload,
+                (PendingRecv::GatherBlock { src }, MeshMsg::Block(data)) => {
+                    self.insert_block(src, &data);
+                }
+                (PendingRecv::ScatterBlock { spec }, MeshMsg::Block(data)) => {
+                    (spec.field)(&mut self.local).interior_from_slice(&data);
+                }
+                (_, other) => panic!(
+                    "process {} received a message of unexpected kind: {:?}",
+                    self.env.rank,
+                    std::mem::discriminant(&other)
+                ),
+            }
+        }
+        self.advance()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.local.snapshot_bytes()
+    }
+
+    fn progress(&self) -> u64 {
+        let mut h = self.pc as u64;
+        for &c in &self.loop_stack {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(c as u64 + 1);
+        }
+        for &c in &self.while_stack {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(c.wrapping_add(1));
+        }
+        h
+    }
+}
+
+/// Compile `plan` into the channel topology and the per-rank processes of
+/// the message-passing program (grid rank 0 doubling as host).
+pub fn build_msg_processes<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+) -> (Topology, Vec<MsgProcess<L>>) {
+    build_msg_processes_hosted(plan, pg, init, HostMode::GridRank0)
+}
+
+/// Compile `plan` with an explicit host placement. Under
+/// [`HostMode::Separate`] the program has `pg.nprocs() + 1` processes, the
+/// last being the dedicated host.
+pub fn build_msg_processes_hosted<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+    host_mode: HostMode,
+) -> (Topology, Vec<MsgProcess<L>>) {
+    let n = pg.nprocs();
+    let host = match host_mode {
+        HostMode::GridRank0 => None,
+        HostMode::Separate => Some(n),
+    };
+    let total = n + usize::from(host.is_some());
+    let topo = Topology::fully_connected(total);
+    let procs = (0..total)
+        .map(|rank| {
+            let env = if rank < n { Env::new(pg, rank) } else { Env::new_host(pg) };
+            let mut ops = Vec::new();
+            flatten(&plan.phases, &env, &pg, host, &mut ops);
+            let chan_to: Vec<Option<ChannelId>> =
+                (0..total).map(|d| topo.find(rank, d)).collect();
+            let chan_from: Vec<Option<ChannelId>> =
+                (0..total).map(|s| topo.find(s, rank)).collect();
+            MsgProcess {
+                env,
+                local: init(&env),
+                ops,
+                pc: 0,
+                chan_to,
+                chan_from,
+                scratch: Vec::new(),
+                contribs: Vec::new(),
+                global: None,
+                loop_stack: Vec::new(),
+                while_stack: Vec::new(),
+                pending: None,
+            }
+        })
+        .collect();
+    (topo, procs)
+}
+
+/// Run the message-passing program under the simulated scheduler with the
+/// given interleaving policy.
+pub fn run_msg_simulated<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+    policy: &mut dyn SchedulePolicy,
+) -> Result<RunOutcome, RunError> {
+    let (topo, procs) = build_msg_processes(plan, pg, init);
+    Simulator::new(topo, procs).run(policy)
+}
+
+/// Run the message-passing program with an explicit host placement.
+pub fn run_msg_simulated_hosted<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+    host_mode: HostMode,
+    policy: &mut dyn SchedulePolicy,
+) -> Result<RunOutcome, RunError> {
+    let (topo, procs) = build_msg_processes_hosted(plan, pg, init, host_mode);
+    Simulator::new(topo, procs).run(policy)
+}
+
+/// Run the message-passing program on real OS threads. Returns per-rank
+/// snapshots.
+pub fn run_msg_threaded<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+) -> Result<Vec<Vec<u8>>, RunError> {
+    let (topo, procs) = build_msg_processes(plan, pg, init);
+    ssp_runtime::run_threaded(&topo, procs)
+}

@@ -1,0 +1,472 @@
+//! The sequential simulated-parallel driver (§2.2).
+//!
+//! One address space per simulated process (`Vec<L>`); local-computation
+//! blocks run for `i = 0..N` in index order; data-exchange operations are
+//! performed as assignments between the simulated address spaces — with all
+//! "sends" (payload extractions) performed before any "receives" (ghost
+//! insertions), the ordering §3.3 prescribes — and validated against the
+//! Definition's restrictions. Every message that the corresponding
+//! message-passing program would send is recorded in a [`CommTrace`] for
+//! the machine model.
+
+use meshgrid::halo::{extract_face3, insert_ghost3};
+use meshgrid::{Grid3, ProcGrid3};
+
+use crate::driver::MeshLocal;
+use crate::env::Env;
+use crate::exchange::face_links;
+use crate::plan::{
+    Contribution, ExchangeSpec, GatherSpec, OrderedReduceSpec, Phase, Plan, ReduceSpec,
+    ScatterSpec,
+};
+use crate::reduce::ReducePlan;
+use crate::sum::SumMethod;
+use crate::trace::{CommTrace, MsgRecord, PhaseCost};
+use crate::validate::{check_exchange, ExchangeAssign, ValidationReport};
+
+/// How thoroughly exchanges are checked against the §2.2 restrictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationLevel {
+    /// No restriction checking (fastest; for production-size runs).
+    Off,
+    /// One abstract object per exchanged face slab (cheap, catches
+    /// duplicate-slab writes and starved processes).
+    Slab,
+    /// One abstract object per ghost cell (exhaustive; for tests).
+    Cell,
+}
+
+/// Who plays host for file I/O, ordered reductions and result collection
+/// (§4.2 offers both options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HostMode {
+    /// Grid rank 0 doubles as host (no extra process).
+    #[default]
+    GridRank0,
+    /// A dedicated host process (rank `nprocs`) owning no grid block: it
+    /// performs only the host side of gathers/scatters/ordered reductions
+    /// and receives every replicated-global injection, at the cost of one
+    /// extra message per collective.
+    Separate,
+}
+
+/// Configuration of a simulated-parallel run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimParConfig {
+    /// Restriction-checking granularity.
+    pub validation: ValidationLevel,
+    /// Whether to record the communication/computation trace.
+    pub record_trace: bool,
+    /// Host placement.
+    pub host_mode: HostMode,
+}
+
+impl Default for SimParConfig {
+    fn default() -> Self {
+        SimParConfig {
+            validation: ValidationLevel::Slab,
+            record_trace: true,
+            host_mode: HostMode::GridRank0,
+        }
+    }
+}
+
+/// Result of a simulated-parallel run.
+pub struct SimParOutcome<L> {
+    /// Final local state of every simulated process.
+    pub locals: Vec<L>,
+    /// Per-process byte snapshots (comparable with message-passing runs).
+    pub snapshots: Vec<Vec<u8>>,
+    /// Recorded communication/computation costs.
+    pub trace: CommTrace,
+    /// Restriction-checking results.
+    pub report: ValidationReport,
+}
+
+impl<L> SimParOutcome<L> {
+    /// Reassemble a distributed field into a global grid (for comparison
+    /// against the original sequential program's output).
+    pub fn assemble_global(
+        &mut self,
+        pg: &ProcGrid3,
+        mut field: impl FnMut(&mut L) -> &mut Grid3<f64>,
+    ) -> Grid3<f64> {
+        let n = pg.n;
+        let mut global: Grid3<f64> = Grid3::new(n.0, n.1, n.2, 0);
+        for r in 0..pg.nprocs() {
+            let block = pg.block(r);
+            let local = field(&mut self.locals[r]);
+            for li in 0..block.extent().0 {
+                for lj in 0..block.extent().1 {
+                    for lk in 0..block.extent().2 {
+                        let (gi, gj, gk) = block.to_global(li, lj, lk);
+                        global.set(
+                            gi as isize,
+                            gj as isize,
+                            gk as isize,
+                            local.get(li as isize, lj as isize, lk as isize),
+                        );
+                    }
+                }
+            }
+        }
+        global
+    }
+}
+
+/// The deterministic global-order summation shared verbatim by this driver
+/// and the message-passing driver (bitwise agreement by construction):
+/// contributions are concatenated in rank order, stably sorted by
+/// `(bin, order)`, and each bin summed with `method`.
+pub fn ordered_sum(mut contribs: Vec<Contribution>, n_bins: usize, method: SumMethod) -> Vec<f64> {
+    contribs.sort_by_key(|a| (a.bin, a.order));
+    let mut bins: Vec<Vec<f64>> = vec![Vec::new(); n_bins];
+    for c in contribs {
+        bins[c.bin as usize].push(c.value);
+    }
+    bins.into_iter().map(|b| method.sum(&b)).collect()
+}
+
+struct SimPar<'p, L> {
+    pg: ProcGrid3,
+    grid_n: usize,
+    envs: Vec<Env>,
+    locals: Vec<L>,
+    cfg: SimParConfig,
+    trace: CommTrace,
+    report: ValidationReport,
+    _plan: std::marker::PhantomData<&'p ()>,
+}
+
+/// Run `plan` as a sequential simulated-parallel program over the process
+/// topology `pg`, with initial local states built by `init`.
+pub fn run_simpar<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    cfg: SimParConfig,
+    init: impl Fn(&Env) -> L,
+) -> SimParOutcome<L> {
+    let grid_n = pg.nprocs();
+    let mut envs: Vec<Env> = (0..grid_n).map(|r| Env::new(pg, r)).collect();
+    if cfg.host_mode == HostMode::Separate {
+        envs.push(Env::new_host(pg));
+    }
+    let locals: Vec<L> = envs.iter().map(&init).collect();
+    let total = locals.len();
+    let mut driver = SimPar {
+        pg,
+        grid_n,
+        envs,
+        locals,
+        cfg,
+        trace: CommTrace::new(total),
+        report: ValidationReport::default(),
+        _plan: std::marker::PhantomData,
+    };
+    driver.run_phases(&plan.phases);
+    let snapshots = driver.locals.iter().map(|l| l.snapshot_bytes()).collect();
+    SimParOutcome {
+        locals: driver.locals,
+        snapshots,
+        trace: driver.trace,
+        report: driver.report,
+    }
+}
+
+impl<L: MeshLocal> SimPar<'_, L> {
+    /// Total simulated processes (grid + optional separate host).
+    fn n(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// The rank playing host.
+    fn host_rank(&self) -> usize {
+        match self.cfg.host_mode {
+            HostMode::GridRank0 => 0,
+            HostMode::Separate => self.grid_n,
+        }
+    }
+
+    fn run_phases(&mut self, phases: &[Phase<L>]) {
+        for phase in phases {
+            match phase {
+                Phase::Local(step) => {
+                    let mut flops = vec![0u64; self.n()];
+                    for (i, f) in flops.iter_mut().enumerate().take(self.grid_n) {
+                        *f = (step.flops)(&self.envs[i], &self.locals[i]);
+                        (step.f)(&self.envs[i], &mut self.locals[i]);
+                    }
+                    if self.cfg.record_trace {
+                        self.trace.push(PhaseCost::compute(&step.name, flops));
+                    }
+                }
+                Phase::Exchange(spec) => self.exchange(spec),
+                Phase::Reduce(spec) => self.reduce(spec),
+                Phase::OrderedReduce(spec) => self.ordered_reduce(spec),
+                Phase::Broadcast(spec) => {
+                    let payload = (spec.get)(&self.envs[spec.root], &self.locals[spec.root]);
+                    let mut msgs = Vec::new();
+                    for i in 0..self.n() {
+                        (spec.set)(&self.envs[i], &mut self.locals[i], &payload);
+                        if i != spec.root {
+                            msgs.push(MsgRecord {
+                                src: spec.root,
+                                dst: i,
+                                bytes: 8 * payload.len() as u64,
+                            });
+                        }
+                    }
+                    if self.cfg.record_trace {
+                        self.trace.push(PhaseCost {
+                            name: spec.name.clone(),
+                            flops: vec![0; self.n()],
+                            msgs,
+                            rounds: 1,
+                        });
+                    }
+                }
+                Phase::GatherGrid(spec) => self.gather(spec),
+                Phase::ScatterGrid(spec) => self.scatter(spec),
+                Phase::Loop { count, body } => {
+                    for _ in 0..*count {
+                        self.run_phases(body);
+                    }
+                }
+                Phase::While { name, pred, body, max_iters } => {
+                    let mut iters = 0u64;
+                    loop {
+                        // Replicated predicate: every rank must agree.
+                        let votes: Vec<bool> = self.locals.iter().map(|l| pred(l)).collect();
+                        self.report.predicates_checked += 1;
+                        let head = votes[0];
+                        if votes.iter().any(|&v| v != head) {
+                            self.report.diverged_predicates.push(name.clone());
+                        }
+                        if !head {
+                            break;
+                        }
+                        if iters >= *max_iters {
+                            self.report.diverged_predicates.push(format!(
+                                "{name}: exceeded max_iters {max_iters}"
+                            ));
+                            break;
+                        }
+                        iters += 1;
+                        self.run_phases(body);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Boundary exchange as a data-exchange operation: all payload
+    /// extractions ("sends"), then all ghost insertions ("receives").
+    fn exchange(&mut self, spec: &ExchangeSpec<L>) {
+        let n = self.grid_n;
+        if n == 1 {
+            // Degenerate: no neighbours, no exchange.
+            return;
+        }
+        // Sends: extract every payload from the pre-exchange state.
+        let mut payloads: Vec<(usize, usize, meshgrid::halo::Face3, Vec<f64>)> = Vec::new();
+        for r in 0..n {
+            for link in face_links(&self.pg, r) {
+                let payload = extract_face3((spec.field)(&mut self.locals[r]), link.face);
+                payloads.push((r, link.neighbor, link.face, payload));
+            }
+        }
+        // Validation of the §2.2 restrictions.
+        if self.cfg.validation != ValidationLevel::Off {
+            let assigns: Vec<ExchangeAssign> = payloads
+                .iter()
+                .flat_map(|(src, dst, face, payload)| {
+                    let face_code = *face as u64;
+                    match self.cfg.validation {
+                        ValidationLevel::Slab => vec![ExchangeAssign {
+                            dst_rank: *dst,
+                            // Ghost slab objects live in the high-bit space
+                            // so they can never alias interior sources.
+                            dst_slot: (1 << 63) | face_code,
+                            src_rank: *src,
+                            src_slots: vec![face_code],
+                        }],
+                        ValidationLevel::Cell => (0..payload.len() as u64)
+                            .map(|c| ExchangeAssign {
+                                dst_rank: *dst,
+                                dst_slot: (1 << 63) | (face_code << 48) | c,
+                                src_rank: *src,
+                                src_slots: vec![(face_code << 48) | c],
+                            })
+                            .collect(),
+                        ValidationLevel::Off => unreachable!(),
+                    }
+                })
+                .collect();
+            self.report.exchanges_checked += 1;
+            if let Err(violations) = check_exchange(n, &assigns) {
+                for v in violations {
+                    self.report.violations.push((spec.name.clone(), v));
+                }
+            }
+        }
+        // Receives: insert into destination ghosts. The destination's name
+        // for the shared face is the opposite of the sender's.
+        let mut msgs = Vec::with_capacity(payloads.len());
+        for (src, dst, face, payload) in payloads {
+            let bytes = 8 * payload.len() as u64;
+            insert_ghost3((spec.field)(&mut self.locals[dst]), face.opposite(), &payload);
+            msgs.push(MsgRecord { src, dst, bytes });
+        }
+        if self.cfg.record_trace {
+            self.trace.push(PhaseCost {
+                name: spec.name.clone(),
+                flops: vec![0; self.n()],
+                msgs,
+                rounds: 1,
+            });
+        }
+    }
+
+    fn reduce(&mut self, spec: &ReduceSpec<L>) {
+        let n = self.grid_n;
+        let mut partials: Vec<Vec<f64>> = (0..n)
+            .map(|r| (spec.extract)(&self.envs[r], &self.locals[r]))
+            .collect();
+        let len = partials[0].len();
+        let rplan = ReducePlan::build(spec.algo, n);
+        debug_assert!(rplan.validate().is_ok());
+        rplan.execute(spec.op, &mut partials);
+        let mut msgs = Vec::new();
+        if self.cfg.record_trace {
+            for stage in &rplan.stages {
+                for step in stage {
+                    msgs.push(MsgRecord {
+                        src: step.src(),
+                        dst: step.dst(),
+                        bytes: 8 * len as u64,
+                    });
+                }
+            }
+        }
+        for (r, partial) in partials.iter().enumerate().take(n) {
+            (spec.inject)(&self.envs[r], &mut self.locals[r], partial);
+        }
+        // A separate host receives the result from grid rank 0 so its copy
+        // of the replicated global stays consistent.
+        if self.cfg.host_mode == HostMode::Separate {
+            let h = self.host_rank();
+            let result = partials[0].clone();
+            (spec.inject)(&self.envs[h], &mut self.locals[h], &result);
+            if self.cfg.record_trace {
+                msgs.push(MsgRecord { src: 0, dst: h, bytes: 8 * len as u64 });
+            }
+        }
+        if self.cfg.record_trace {
+            self.trace.push(PhaseCost {
+                name: spec.name.clone(),
+                flops: vec![0; self.n()],
+                msgs,
+                rounds: rplan.depth() as u32,
+            });
+        }
+    }
+
+    fn ordered_reduce(&mut self, spec: &OrderedReduceSpec<L>) {
+        let host = self.host_rank();
+        // Gather contributions to the host in grid-rank order.
+        let mut all: Vec<Contribution> = Vec::new();
+        let mut msgs = Vec::new();
+        for r in 0..self.grid_n {
+            let contribs = (spec.extract)(&self.envs[r], &self.locals[r]);
+            if r != host && self.cfg.record_trace {
+                // A contribution wires (bin: u32, order: u64, value: f64).
+                msgs.push(MsgRecord { src: r, dst: host, bytes: 20 * contribs.len() as u64 });
+            }
+            all.extend(contribs);
+        }
+        let result = ordered_sum(all, spec.n_bins, spec.method);
+        for r in 0..self.n() {
+            (spec.inject)(&self.envs[r], &mut self.locals[r], &result);
+            if r != host && self.cfg.record_trace {
+                msgs.push(MsgRecord { src: host, dst: r, bytes: 8 * result.len() as u64 });
+            }
+        }
+        if self.cfg.record_trace {
+            self.trace.push(PhaseCost {
+                name: spec.name.clone(),
+                flops: vec![0; self.n()],
+                msgs,
+                rounds: 2,
+            });
+        }
+    }
+
+    fn gather(&mut self, spec: &GatherSpec<L>) {
+        let host = self.host_rank();
+        let global_n = self.pg.n;
+        let mut global: Grid3<f64> = Grid3::new(global_n.0, global_n.1, global_n.2, 0);
+        let mut msgs = Vec::new();
+        for r in 0..self.grid_n {
+            let block = self.pg.block(r);
+            let data = (spec.field)(&mut self.locals[r]).interior_to_vec();
+            if r != host && self.cfg.record_trace {
+                msgs.push(MsgRecord { src: r, dst: host, bytes: 8 * data.len() as u64 });
+            }
+            let mut it = data.into_iter();
+            for li in 0..block.extent().0 {
+                for lj in 0..block.extent().1 {
+                    for lk in 0..block.extent().2 {
+                        let (gi, gj, gk) = block.to_global(li, lj, lk);
+                        global.set(gi as isize, gj as isize, gk as isize, it.next().unwrap());
+                    }
+                }
+            }
+        }
+        let host = self.host_rank();
+        (spec.sink)(&mut self.locals[host], &global);
+        if self.cfg.record_trace {
+            self.trace.push(PhaseCost {
+                name: spec.name.clone(),
+                flops: vec![0; self.n()],
+                msgs,
+                rounds: 1,
+            });
+        }
+    }
+
+    fn scatter(&mut self, spec: &ScatterSpec<L>) {
+        let host = self.host_rank();
+        let global = (spec.source)(&self.locals[host]);
+        assert_eq!(global.extent(), self.pg.n, "scatter source must be the global grid");
+        let mut msgs = Vec::new();
+        for r in 0..self.grid_n {
+            let block = self.pg.block(r);
+            if r != host && self.cfg.record_trace {
+                msgs.push(MsgRecord { src: host, dst: r, bytes: 8 * block.len() as u64 });
+            }
+            let field = (spec.field)(&mut self.locals[r]);
+            assert_eq!(field.extent(), block.extent(), "scatter target sized to block");
+            for li in 0..block.extent().0 {
+                for lj in 0..block.extent().1 {
+                    for lk in 0..block.extent().2 {
+                        let (gi, gj, gk) = block.to_global(li, lj, lk);
+                        field.set(
+                            li as isize,
+                            lj as isize,
+                            lk as isize,
+                            global.get(gi as isize, gj as isize, gk as isize),
+                        );
+                    }
+                }
+            }
+        }
+        if self.cfg.record_trace {
+            self.trace.push(PhaseCost {
+                name: spec.name.clone(),
+                flops: vec![0; self.n()],
+                msgs,
+                rounds: 1,
+            });
+        }
+    }
+}

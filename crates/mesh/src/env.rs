@@ -1,0 +1,97 @@
+//! Per-process environment: who am I, what do I own.
+
+use meshgrid::{Block3, ProcGrid3};
+
+/// Everything a local-computation block may know about its place in the
+//  parallel machine: its rank, the process topology, and the block of the
+/// global grid it owns. Local steps receive `&Env` plus their mutable local
+/// state — and nothing else, which is what makes them *local*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Env {
+    /// This process's rank, `0..nprocs`.
+    pub rank: usize,
+    /// The Cartesian process topology over the global grid.
+    pub pg: ProcGrid3,
+    /// The block of the global grid this process owns.
+    pub block: Block3,
+}
+
+impl Env {
+    /// Build the environment for grid `rank` under topology `pg`.
+    pub fn new(pg: ProcGrid3, rank: usize) -> Self {
+        Env { rank, pg, block: pg.block(rank) }
+    }
+
+    /// Build the environment of a *separate host process* (§4.2: "define a
+    /// separate host process responsible for file I/O"): rank `nprocs`,
+    /// owning an empty block — it performs no grid computation, only the
+    /// host side of gathers, scatters, ordered reductions and result
+    /// injections.
+    pub fn new_host(pg: ProcGrid3) -> Self {
+        Env {
+            rank: pg.nprocs(),
+            pg,
+            block: meshgrid::Block3 { lo: pg.n, hi: pg.n },
+        }
+    }
+
+    /// True if this is the separate host process.
+    pub fn is_host(&self) -> bool {
+        self.rank >= self.pg.nprocs()
+    }
+
+    /// Number of *grid* processes (excluding any separate host).
+    pub fn nprocs(&self) -> usize {
+        self.pg.nprocs()
+    }
+
+    /// True if this process's block touches the *physical* (global) low
+    /// boundary on `axis` — where boundary conditions, not exchanges, apply.
+    pub fn at_global_lo(&self, axis: usize) -> bool {
+        match axis {
+            0 => self.block.lo.0 == 0,
+            1 => self.block.lo.1 == 0,
+            2 => self.block.lo.2 == 0,
+            _ => panic!("axis {axis} out of range"),
+        }
+    }
+
+    /// True if this process's block touches the physical high boundary on
+    /// `axis`.
+    pub fn at_global_hi(&self, axis: usize) -> bool {
+        match axis {
+            0 => self.block.hi.0 == self.pg.n.0,
+            1 => self.block.hi.1 == self.pg.n.1,
+            2 => self.block.hi.2 == self.pg.n.2,
+            _ => panic!("axis {axis} out of range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_reports_physical_boundaries() {
+        let pg = ProcGrid3::new((8, 8, 8), (2, 2, 1));
+        let e0 = Env::new(pg, 0);
+        assert!(e0.at_global_lo(0) && e0.at_global_lo(1) && e0.at_global_lo(2));
+        assert!(!e0.at_global_hi(0) && !e0.at_global_hi(1));
+        assert!(e0.at_global_hi(2), "single process on z spans the whole axis");
+
+        let last = Env::new(pg, pg.nprocs() - 1);
+        assert!(last.at_global_hi(0) && last.at_global_hi(1));
+        assert!(!last.at_global_lo(0));
+    }
+
+    #[test]
+    fn env_block_matches_topology() {
+        let pg = ProcGrid3::new((33, 33, 33), (2, 2, 2));
+        for r in 0..8 {
+            let e = Env::new(pg, r);
+            assert_eq!(e.block, pg.block(r));
+            assert_eq!(e.nprocs(), 8);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Boundary-exchange geometry shared by all drivers.
+//!
+//! For a given rank, which faces of its local section abut a neighbouring
+//! process (as opposed to the physical grid boundary), who the neighbour
+//! is, and the canonical order in which face messages are sent and
+//! received. Both the simulated-parallel and message-passing drivers use
+//! exactly this order, so the two executions perform the same assignments
+//! in the same sequence.
+
+use meshgrid::halo::Face3;
+use meshgrid::ProcGrid3;
+
+/// One leg of a boundary exchange: the local face through which data flows
+/// and the neighbouring rank on the other side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaceLink {
+    /// The face of *this* rank's local section.
+    pub face: Face3,
+    /// The rank on the other side of the face.
+    pub neighbor: usize,
+}
+
+/// The face links of `rank` under `pg`, in the canonical [`Face3::ALL`]
+/// order. Faces on the physical boundary (no neighbour) are omitted — the
+/// archetype leaves those ghost cells to the application's boundary-
+/// condition steps.
+pub fn face_links(pg: &ProcGrid3, rank: usize) -> Vec<FaceLink> {
+    Face3::ALL
+        .iter()
+        .filter_map(|&face| {
+            let (axis, dir) = face.axis_dir();
+            pg.neighbor(rank, axis, dir).map(|neighbor| FaceLink { face, neighbor })
+        })
+        .collect()
+}
+
+/// Total number of messages one full boundary exchange sends across all
+/// ranks (each link is one message).
+pub fn exchange_message_count(pg: &ProcGrid3) -> usize {
+    (0..pg.nprocs()).map(|r| face_links(pg, r).len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_rank_has_six_links() {
+        let pg = ProcGrid3::new((27, 27, 27), (3, 3, 3));
+        let center = pg.rank_of((1, 1, 1));
+        assert_eq!(face_links(&pg, center).len(), 6);
+    }
+
+    #[test]
+    fn corner_rank_has_three_links() {
+        let pg = ProcGrid3::new((27, 27, 27), (3, 3, 3));
+        assert_eq!(face_links(&pg, 0).len(), 3);
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let pg = ProcGrid3::new((16, 16, 8), (2, 4, 2));
+        for r in 0..pg.nprocs() {
+            for link in face_links(&pg, r) {
+                let back = face_links(&pg, link.neighbor);
+                assert!(
+                    back.iter().any(|l| l.face == link.face.opposite() && l.neighbor == r),
+                    "rank {r} face {:?} -> {} has no mirror",
+                    link.face,
+                    link.neighbor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_count_matches_cut_surfaces() {
+        // 2x1x1 over any grid: exactly one cut, two messages.
+        let pg = ProcGrid3::new((8, 8, 8), (2, 1, 1));
+        assert_eq!(exchange_message_count(&pg), 2);
+        // 2x2x1: four ranks, each with two links.
+        let pg = ProcGrid3::new((8, 8, 8), (2, 2, 1));
+        assert_eq!(exchange_message_count(&pg), 8);
+    }
+
+    #[test]
+    fn single_rank_has_no_links() {
+        let pg = ProcGrid3::new((8, 8, 8), (1, 1, 1));
+        assert!(face_links(&pg, 0).is_empty());
+        assert_eq!(exchange_message_count(&pg), 0);
+    }
+}

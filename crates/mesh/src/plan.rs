@@ -1,0 +1,527 @@
+//! The archetype program representation: a [`Plan`] of [`Phase`]s.
+//!
+//! A mesh-archetype program is *"an alternating sequence of local-computation
+//! blocks and data-exchange operations"* (§2.2), where the data-exchange
+//! operations are drawn from the archetype's fixed menu (§4.2): boundary
+//! exchange, reduction, broadcast, and host↔grid redistribution for file
+//! I/O. A [`Plan`] is that sequence, written once and executed by any of the
+//! three drivers ([`crate::driver`]). Control structure is limited to what
+//! the archetype admits: fixed-count loops and loops governed by a
+//! *replicated* global predicate (e.g. "iterate until the residual reduction
+//! falls below ε").
+
+use std::sync::Arc;
+
+use meshgrid::Grid3;
+
+use crate::env::Env;
+use crate::reduce::{ReduceAlgo, ReduceOp};
+use crate::sum::SumMethod;
+
+/// A local-computation body: may read the environment and mutate only this
+/// process's local state.
+pub type LocalFn<L> = Arc<dyn Fn(&Env, &mut L) + Send + Sync>;
+/// Reports the abstract cost (flops) of one execution of a local step.
+pub type FlopsFn<L> = Arc<dyn Fn(&Env, &L) -> u64 + Send + Sync>;
+/// Accessor selecting the exchanged/gathered grid field inside `L`.
+pub type FieldFn<L> = Arc<dyn Fn(&mut L) -> &mut Grid3<f64> + Send + Sync>;
+/// Extracts this process's contribution vector to a reduction or broadcast.
+pub type ExtractFn<L> = Arc<dyn Fn(&Env, &L) -> Vec<f64> + Send + Sync>;
+/// Installs a reduction/broadcast result into local state (all ranks — copy
+/// consistency for replicated globals).
+pub type InjectFn<L> = Arc<dyn Fn(&Env, &mut L, &[f64]) + Send + Sync>;
+/// Extracts globally-indexed contributions for an ordered reduction.
+pub type ContribFn<L> = Arc<dyn Fn(&Env, &L) -> Vec<Contribution> + Send + Sync>;
+/// A loop predicate over replicated local state; must evaluate identically
+/// on every rank (validated by the simulated-parallel driver).
+pub type PredFn<L> = Arc<dyn Fn(&L) -> bool + Send + Sync>;
+/// Produces the global grid to scatter (called on the host rank only).
+pub type GridSourceFn<L> = Arc<dyn Fn(&L) -> Grid3<f64> + Send + Sync>;
+/// Consumes the assembled global grid (called on the host rank only).
+pub type GridSinkFn<L> = Arc<dyn Fn(&mut L, &Grid3<f64>) + Send + Sync>;
+/// Builds each rank's initial local state.
+pub type InitFn<L> = Arc<dyn Fn(&Env) -> L + Send + Sync>;
+
+/// One globally-ordered addend of an ordered reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contribution {
+    /// Which output bin (e.g. far-field time-step) the value adds into.
+    pub bin: u32,
+    /// Global ordering key (e.g. lexicographic surface-point index); the
+    /// ordered reduction sums each bin's values in ascending `order`, so the
+    /// result is independent of how points were distributed over processes.
+    pub order: u64,
+    /// The addend.
+    pub value: f64,
+}
+
+/// A named local-computation block.
+pub struct LocalStep<L> {
+    /// Name for traces and reports.
+    pub name: String,
+    /// The computation.
+    pub f: LocalFn<L>,
+    /// Cost estimate for the machine model.
+    pub flops: FlopsFn<L>,
+}
+
+impl<L> Clone for LocalStep<L> {
+    fn clone(&self) -> Self {
+        LocalStep { name: self.name.clone(), f: self.f.clone(), flops: self.flops.clone() }
+    }
+}
+
+/// A boundary-exchange operation on one grid field.
+pub struct ExchangeSpec<L> {
+    /// Name for traces.
+    pub name: String,
+    /// The field whose ghost boundary is refreshed.
+    pub field: FieldFn<L>,
+}
+
+impl<L> Clone for ExchangeSpec<L> {
+    fn clone(&self) -> Self {
+        ExchangeSpec { name: self.name.clone(), field: self.field.clone() }
+    }
+}
+
+/// An elementwise reduction over per-rank contribution vectors.
+pub struct ReduceSpec<L> {
+    /// Name for traces.
+    pub name: String,
+    /// Combining operator.
+    pub op: ReduceOp,
+    /// Communication pattern.
+    pub algo: ReduceAlgo,
+    /// Per-rank partial.
+    pub extract: ExtractFn<L>,
+    /// Result installation (runs on every rank).
+    pub inject: InjectFn<L>,
+}
+
+impl<L> Clone for ReduceSpec<L> {
+    fn clone(&self) -> Self {
+        ReduceSpec {
+            name: self.name.clone(),
+            op: self.op,
+            algo: self.algo,
+            extract: self.extract.clone(),
+            inject: self.inject.clone(),
+        }
+    }
+}
+
+/// A deterministic-order sum: contributions are gathered to the host rank,
+/// sorted by `(bin, order)`, summed per bin with `method`, and the per-bin
+/// totals distributed to every rank. The result is *independent of the
+/// process count* — with `method = Naive` it bitwise-matches the sequential
+/// program that sums the same contributions in the same global order. This
+/// is the repo's implementation of the "more sophisticated strategy" §4.5
+/// leaves as future work.
+pub struct OrderedReduceSpec<L> {
+    /// Name for traces.
+    pub name: String,
+    /// Number of output bins.
+    pub n_bins: usize,
+    /// Summation arithmetic.
+    pub method: SumMethod,
+    /// Per-rank globally-indexed contributions.
+    pub extract: ContribFn<L>,
+    /// Result installation (`&[f64]` of length `n_bins`, every rank).
+    pub inject: InjectFn<L>,
+}
+
+impl<L> Clone for OrderedReduceSpec<L> {
+    fn clone(&self) -> Self {
+        OrderedReduceSpec {
+            name: self.name.clone(),
+            n_bins: self.n_bins,
+            method: self.method,
+            extract: self.extract.clone(),
+            inject: self.inject.clone(),
+        }
+    }
+}
+
+/// Broadcast of replicated global data from one rank to all.
+pub struct BroadcastSpec<L> {
+    /// Name for traces.
+    pub name: String,
+    /// The rank whose copy is authoritative.
+    pub root: usize,
+    /// Reads the payload on the root.
+    pub get: ExtractFn<L>,
+    /// Installs the payload (every rank, including the root — idempotence
+    /// keeps the code path uniform).
+    pub set: InjectFn<L>,
+}
+
+impl<L> Clone for BroadcastSpec<L> {
+    fn clone(&self) -> Self {
+        BroadcastSpec {
+            name: self.name.clone(),
+            root: self.root,
+            get: self.get.clone(),
+            set: self.set.clone(),
+        }
+    }
+}
+
+/// Gather a distributed field to the host rank as a global grid (the file-
+/// *output* redistribution of §4.2).
+pub struct GatherSpec<L> {
+    /// Name for traces.
+    pub name: String,
+    /// The distributed field.
+    pub field: FieldFn<L>,
+    /// Receives the assembled global grid on the host rank.
+    pub sink: GridSinkFn<L>,
+}
+
+impl<L> Clone for GatherSpec<L> {
+    fn clone(&self) -> Self {
+        GatherSpec { name: self.name.clone(), field: self.field.clone(), sink: self.sink.clone() }
+    }
+}
+
+/// Scatter a global grid from the host rank into a distributed field (the
+/// file-*input* redistribution of §4.2).
+pub struct ScatterSpec<L> {
+    /// Name for traces.
+    pub name: String,
+    /// Produces the global grid on the host rank.
+    pub source: GridSourceFn<L>,
+    /// The distributed destination field.
+    pub field: FieldFn<L>,
+}
+
+impl<L> Clone for ScatterSpec<L> {
+    fn clone(&self) -> Self {
+        ScatterSpec {
+            name: self.name.clone(),
+            source: self.source.clone(),
+            field: self.field.clone(),
+        }
+    }
+}
+
+/// One phase of a mesh-archetype program.
+pub enum Phase<L> {
+    /// A local-computation block.
+    Local(LocalStep<L>),
+    /// A boundary exchange.
+    Exchange(ExchangeSpec<L>),
+    /// An elementwise reduction.
+    Reduce(ReduceSpec<L>),
+    /// A deterministic-global-order reduction.
+    OrderedReduce(OrderedReduceSpec<L>),
+    /// A broadcast from one rank.
+    Broadcast(BroadcastSpec<L>),
+    /// Gather a field to the host rank.
+    GatherGrid(GatherSpec<L>),
+    /// Scatter a grid from the host rank.
+    ScatterGrid(ScatterSpec<L>),
+    /// A fixed-count loop over a sub-plan.
+    Loop {
+        /// Iteration count (known to all ranks).
+        count: usize,
+        /// Loop body.
+        body: Vec<Phase<L>>,
+    },
+    /// A loop governed by a replicated-global predicate: body repeats while
+    /// `pred` holds. The predicate must evaluate identically on every rank;
+    /// the simulated-parallel driver checks this (§4.2's "simple control
+    /// structures based on these global variables").
+    While {
+        /// Name for traces and error messages.
+        name: String,
+        /// Replicated predicate.
+        pred: PredFn<L>,
+        /// Loop body.
+        body: Vec<Phase<L>>,
+        /// Safety bound on iterations (a diverged predicate would otherwise
+        /// hang the message-passing program).
+        max_iters: u64,
+    },
+}
+
+impl<L> Clone for Phase<L> {
+    fn clone(&self) -> Self {
+        match self {
+            Phase::Local(s) => Phase::Local(s.clone()),
+            Phase::Exchange(s) => Phase::Exchange(s.clone()),
+            Phase::Reduce(s) => Phase::Reduce(s.clone()),
+            Phase::OrderedReduce(s) => Phase::OrderedReduce(s.clone()),
+            Phase::Broadcast(s) => Phase::Broadcast(s.clone()),
+            Phase::GatherGrid(s) => Phase::GatherGrid(s.clone()),
+            Phase::ScatterGrid(s) => Phase::ScatterGrid(s.clone()),
+            Phase::Loop { count, body } => Phase::Loop { count: *count, body: body.clone() },
+            Phase::While { name, pred, body, max_iters } => Phase::While {
+                name: name.clone(),
+                pred: pred.clone(),
+                body: body.clone(),
+                max_iters: *max_iters,
+            },
+        }
+    }
+}
+
+impl<L> Phase<L> {
+    /// The phase's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Phase::Local(s) => &s.name,
+            Phase::Exchange(s) => &s.name,
+            Phase::Reduce(s) => &s.name,
+            Phase::OrderedReduce(s) => &s.name,
+            Phase::Broadcast(s) => &s.name,
+            Phase::GatherGrid(s) => &s.name,
+            Phase::ScatterGrid(s) => &s.name,
+            Phase::Loop { .. } => "loop",
+            Phase::While { name, .. } => name,
+        }
+    }
+}
+
+/// A complete mesh-archetype program.
+pub struct Plan<L> {
+    /// Top-level phase sequence.
+    pub phases: Vec<Phase<L>>,
+}
+
+impl<L> Clone for Plan<L> {
+    fn clone(&self) -> Self {
+        Plan { phases: self.phases.clone() }
+    }
+}
+
+impl<L> Plan<L> {
+    /// Start building a plan.
+    pub fn builder() -> PlanBuilder<L> {
+        PlanBuilder { phases: Vec::new() }
+    }
+
+    /// Count phases recursively (loop bodies counted once, not per
+    /// iteration) — a proxy for "program length" used by effort metrics.
+    pub fn phase_count(&self) -> usize {
+        fn count<L>(phases: &[Phase<L>]) -> usize {
+            phases
+                .iter()
+                .map(|p| match p {
+                    Phase::Loop { body, .. } | Phase::While { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.phases)
+    }
+
+    /// Count communication phases recursively — the part of the program the
+    /// archetype library absorbs (ease-of-use proxy, experiment E6).
+    pub fn comm_phase_count(&self) -> usize {
+        fn count<L>(phases: &[Phase<L>]) -> usize {
+            phases
+                .iter()
+                .map(|p| match p {
+                    Phase::Loop { body, .. } | Phase::While { body, .. } => count(body),
+                    Phase::Local(_) => 0,
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.phases)
+    }
+}
+
+/// Fluent builder for [`Plan`]s.
+pub struct PlanBuilder<L> {
+    phases: Vec<Phase<L>>,
+}
+
+impl<L> PlanBuilder<L> {
+    /// Append a local-computation block with zero cost estimate.
+    pub fn local(self, name: &str, f: impl Fn(&Env, &mut L) + Send + Sync + 'static) -> Self {
+        self.local_with_flops(name, f, |_, _| 0)
+    }
+
+    /// Append a local-computation block with a cost estimate for the
+    /// machine model.
+    pub fn local_with_flops(
+        mut self,
+        name: &str,
+        f: impl Fn(&Env, &mut L) + Send + Sync + 'static,
+        flops: impl Fn(&Env, &L) -> u64 + Send + Sync + 'static,
+    ) -> Self {
+        self.phases.push(Phase::Local(LocalStep {
+            name: name.to_string(),
+            f: Arc::new(f),
+            flops: Arc::new(flops),
+        }));
+        self
+    }
+
+    /// Append a boundary exchange of the field selected by `field`.
+    pub fn exchange(
+        mut self,
+        name: &str,
+        field: impl Fn(&mut L) -> &mut Grid3<f64> + Send + Sync + 'static,
+    ) -> Self {
+        self.phases
+            .push(Phase::Exchange(ExchangeSpec { name: name.to_string(), field: Arc::new(field) }));
+        self
+    }
+
+    /// Append an elementwise reduction.
+    pub fn reduce(
+        mut self,
+        name: &str,
+        op: ReduceOp,
+        algo: ReduceAlgo,
+        extract: impl Fn(&Env, &L) -> Vec<f64> + Send + Sync + 'static,
+        inject: impl Fn(&Env, &mut L, &[f64]) + Send + Sync + 'static,
+    ) -> Self {
+        self.phases.push(Phase::Reduce(ReduceSpec {
+            name: name.to_string(),
+            op,
+            algo,
+            extract: Arc::new(extract),
+            inject: Arc::new(inject),
+        }));
+        self
+    }
+
+    /// Append a deterministic-global-order reduction.
+    pub fn ordered_reduce(
+        mut self,
+        name: &str,
+        n_bins: usize,
+        method: SumMethod,
+        extract: impl Fn(&Env, &L) -> Vec<Contribution> + Send + Sync + 'static,
+        inject: impl Fn(&Env, &mut L, &[f64]) + Send + Sync + 'static,
+    ) -> Self {
+        self.phases.push(Phase::OrderedReduce(OrderedReduceSpec {
+            name: name.to_string(),
+            n_bins,
+            method,
+            extract: Arc::new(extract),
+            inject: Arc::new(inject),
+        }));
+        self
+    }
+
+    /// Append a broadcast from `root`.
+    pub fn broadcast(
+        mut self,
+        name: &str,
+        root: usize,
+        get: impl Fn(&Env, &L) -> Vec<f64> + Send + Sync + 'static,
+        set: impl Fn(&Env, &mut L, &[f64]) + Send + Sync + 'static,
+    ) -> Self {
+        self.phases.push(Phase::Broadcast(BroadcastSpec {
+            name: name.to_string(),
+            root,
+            get: Arc::new(get),
+            set: Arc::new(set),
+        }));
+        self
+    }
+
+    /// Append a gather of `field` to the host rank, delivered to `sink`.
+    pub fn gather_grid(
+        mut self,
+        name: &str,
+        field: impl Fn(&mut L) -> &mut Grid3<f64> + Send + Sync + 'static,
+        sink: impl Fn(&mut L, &Grid3<f64>) + Send + Sync + 'static,
+    ) -> Self {
+        self.phases.push(Phase::GatherGrid(GatherSpec {
+            name: name.to_string(),
+            field: Arc::new(field),
+            sink: Arc::new(sink),
+        }));
+        self
+    }
+
+    /// Append a scatter of the host's `source` grid into `field`.
+    pub fn scatter_grid(
+        mut self,
+        name: &str,
+        source: impl Fn(&L) -> Grid3<f64> + Send + Sync + 'static,
+        field: impl Fn(&mut L) -> &mut Grid3<f64> + Send + Sync + 'static,
+    ) -> Self {
+        self.phases.push(Phase::ScatterGrid(ScatterSpec {
+            name: name.to_string(),
+            source: Arc::new(source),
+            field: Arc::new(field),
+        }));
+        self
+    }
+
+    /// Append a fixed-count loop whose body is built by `build`.
+    pub fn loop_n(mut self, count: usize, build: impl FnOnce(PlanBuilder<L>) -> PlanBuilder<L>) -> Self {
+        let body = build(PlanBuilder { phases: Vec::new() }).phases;
+        self.phases.push(Phase::Loop { count, body });
+        self
+    }
+
+    /// Append a replicated-predicate loop.
+    pub fn while_loop(
+        mut self,
+        name: &str,
+        pred: impl Fn(&L) -> bool + Send + Sync + 'static,
+        max_iters: u64,
+        build: impl FnOnce(PlanBuilder<L>) -> PlanBuilder<L>,
+    ) -> Self {
+        let body = build(PlanBuilder { phases: Vec::new() }).phases;
+        self.phases.push(Phase::While {
+            name: name.to_string(),
+            pred: Arc::new(pred),
+            body,
+            max_iters,
+        });
+        self
+    }
+
+    /// Finish the plan.
+    pub fn build(self) -> Plan<L> {
+        Plan { phases: self.phases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+
+    #[test]
+    fn builder_produces_named_phases_in_order() {
+        let plan: Plan<Dummy> = Plan::builder()
+            .local("init", |_, _| {})
+            .loop_n(3, |b| {
+                b.local("step", |_, _| {}).exchange("halo", |_l| {
+                    unreachable!("accessor not called in this test")
+                })
+            })
+            .reduce(
+                "norm",
+                ReduceOp::Sum,
+                ReduceAlgo::AllToOne,
+                |_, _| vec![],
+                |_, _, _| {},
+            )
+            .build();
+        assert_eq!(plan.phases.len(), 3);
+        assert_eq!(plan.phases[0].name(), "init");
+        assert_eq!(plan.phases[1].name(), "loop");
+        assert_eq!(plan.phases[2].name(), "norm");
+        assert_eq!(plan.phase_count(), 5);
+        assert_eq!(plan.comm_phase_count(), 2);
+    }
+
+    #[test]
+    fn plans_are_cloneable() {
+        let plan: Plan<Dummy> = Plan::builder().local("a", |_, _| {}).build();
+        let plan2 = plan.clone();
+        assert_eq!(plan2.phases.len(), 1);
+    }
+}

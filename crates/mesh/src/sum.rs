@@ -1,0 +1,245 @@
+//! Floating-point summation strategies.
+//!
+//! The paper's §4.5 punchline: *"Our original assumption that we could
+//! regard floating-point addition as associative and thus reorder the
+//! required summations without markedly changing their results proved to be
+//! incorrect"* — the far-field values *"ranged over many orders of
+//! magnitude"*. These strategies are the toolbox for studying and fixing
+//! that: naive left-to-right accumulation (the sequential reference order),
+//! Kahan compensated summation, and fixed-shape pairwise summation. The
+//! ordered-reduction phase uses them to sum contributions in deterministic
+//! global order regardless of the process count.
+
+/// How a sequence of addends is summed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SumMethod {
+    /// Plain left-to-right accumulation — the order the original sequential
+    /// program uses, hence the bitwise reference.
+    Naive,
+    /// Kahan compensated summation: O(1) extra state, error nearly
+    /// independent of length and magnitude spread. Not bitwise-compatible
+    /// with `Naive`, but far more accurate.
+    Kahan,
+    /// Fixed-shape pairwise (tree) summation: the tree shape depends only on
+    /// the length, so the result is reproducible for a fixed input order,
+    /// and the error grows as O(log n) instead of O(n).
+    Pairwise,
+}
+
+impl SumMethod {
+    /// Sum `xs` with this method.
+    pub fn sum(self, xs: &[f64]) -> f64 {
+        match self {
+            SumMethod::Naive => sum_naive(xs),
+            SumMethod::Kahan => sum_kahan(xs),
+            SumMethod::Pairwise => sum_pairwise(xs),
+        }
+    }
+
+    /// All methods, for sweeps.
+    pub const ALL: [SumMethod; 3] = [SumMethod::Naive, SumMethod::Kahan, SumMethod::Pairwise];
+
+    /// Short name for report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            SumMethod::Naive => "naive",
+            SumMethod::Kahan => "kahan",
+            SumMethod::Pairwise => "pairwise",
+        }
+    }
+}
+
+/// Left-to-right accumulation.
+pub fn sum_naive(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Kahan (compensated) summation.
+pub fn sum_kahan(xs: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for &x in xs {
+        let y = x - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// A running Kahan accumulator, for streaming use (the far-field
+/// accumulation adds one surface contribution at a time over thousands of
+/// time steps — rebuilding a slice each step would be wasteful).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanAcc {
+    sum: f64,
+    c: f64,
+}
+
+impl KahanAcc {
+    /// Fresh accumulator at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let y = x - self.c;
+        let t = self.sum + y;
+        self.c = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn value(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Fixed-shape pairwise summation (recursive halving).
+pub fn sum_pairwise(xs: &[f64]) -> f64 {
+    const CUTOFF: usize = 8;
+    if xs.len() <= CUTOFF {
+        return sum_naive(xs);
+    }
+    let mid = xs.len() / 2;
+    sum_pairwise(&xs[..mid]) + sum_pairwise(&xs[mid..])
+}
+
+/// Sum `xs` in every order reachable by partitioning into `p` contiguous
+/// chunks and adding the per-chunk naive sums left-to-right — the exact
+/// reordering the naive parallelization of the far-field performs. Used by
+/// tests and the ablation bench to measure reordering sensitivity.
+pub fn sum_chunked(xs: &[f64], p: usize) -> f64 {
+    assert!(p > 0);
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let p = p.min(xs.len());
+    let mut acc = 0.0;
+    for b in 0..p {
+        let (lo, hi) = meshgrid::partition::block_range(xs.len(), p, b);
+        acc += sum_naive(&xs[lo..hi]);
+    }
+    acc
+}
+
+/// A workload whose addends span `spread` orders of magnitude — the regime
+/// footnote 2 of the paper identifies as the cause of the far-field
+/// discrepancy. Deterministic in `seed`.
+pub fn magnitude_spread_workload(n: usize, spread: i32, seed: u64) -> Vec<f64> {
+    // Small hand-rolled xorshift so the substrate crates stay
+    // dependency-free; statistical quality is irrelevant here.
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..n)
+        .map(|_| {
+            let mantissa = (next() >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+            let exp = (next() % (2 * spread as u64 + 1)) as i32 - spread;
+            let sign = if next() % 2 == 0 { 1.0 } else { -1.0 };
+            sign * mantissa * 10f64.powi(exp)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methods_agree_on_benign_data() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let expect = 5050.0;
+        for m in SumMethod::ALL {
+            assert_eq!(m.sum(&xs), expect, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn naive_reordering_changes_wide_spread_sums() {
+        let xs = magnitude_spread_workload(10_000, 12, 42);
+        let seq = sum_naive(&xs);
+        let mut any_differ = false;
+        for p in [2usize, 4, 8] {
+            if sum_chunked(&xs, p).to_bits() != seq.to_bits() {
+                any_differ = true;
+            }
+        }
+        assert!(
+            any_differ,
+            "chunked reordering should perturb a 24-orders-of-magnitude sum"
+        );
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_adversarial_data() {
+        // 1.0 followed by many tiny values that naive summation drops
+        // entirely but Kahan captures.
+        let mut xs = vec![1.0f64];
+        xs.extend(std::iter::repeat_n(1e-16, 10_000));
+        let exact = 1.0 + 1e-16 * 10_000.0;
+        let naive_err = (sum_naive(&xs) - exact).abs();
+        let kahan_err = (sum_kahan(&xs) - exact).abs();
+        assert!(kahan_err < naive_err / 100.0, "kahan {kahan_err} vs naive {naive_err}");
+        assert_eq!(sum_kahan(&xs), exact);
+    }
+
+    #[test]
+    fn streaming_kahan_matches_slice_kahan() {
+        let xs = magnitude_spread_workload(5_000, 10, 7);
+        let mut acc = KahanAcc::new();
+        for &x in &xs {
+            acc.add(x);
+        }
+        assert_eq!(acc.value().to_bits(), sum_kahan(&xs).to_bits());
+    }
+
+    #[test]
+    fn pairwise_is_deterministic_in_input_order() {
+        let xs = magnitude_spread_workload(4_097, 8, 3);
+        assert_eq!(sum_pairwise(&xs).to_bits(), sum_pairwise(&xs).to_bits());
+        let mut rev = xs.clone();
+        rev.reverse();
+        // Not required to equal the forward sum (order changed) — just both
+        // finite and close.
+        assert!((sum_pairwise(&rev) - sum_pairwise(&xs)).abs() < 1e-6 * xs.len() as f64);
+    }
+
+    #[test]
+    fn chunked_with_p1_is_naive() {
+        let xs = magnitude_spread_workload(1_000, 10, 5);
+        assert_eq!(sum_chunked(&xs, 1).to_bits(), sum_naive(&xs).to_bits());
+    }
+
+    #[test]
+    fn empty_and_single_sums() {
+        for m in SumMethod::ALL {
+            assert_eq!(m.sum(&[]), 0.0);
+            assert_eq!(m.sum(&[3.5]), 3.5);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_spreads() {
+        let a = magnitude_spread_workload(1000, 12, 9);
+        let b = magnitude_spread_workload(1000, 12, 9);
+        assert_eq!(a, b);
+        let max = a.iter().cloned().fold(0.0f64, |m, x| m.max(x.abs()));
+        let min = a
+            .iter()
+            .cloned()
+            .filter(|x| *x != 0.0)
+            .fold(f64::INFINITY, |m, x| m.min(x.abs()));
+        assert!(max / min > 1e10, "spread {max}/{min}");
+    }
+}

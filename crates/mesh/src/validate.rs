@@ -1,0 +1,206 @@
+//! Dynamic validation of the Definition §2.2 restrictions.
+//!
+//! A data-exchange operation is *a set of assignment statements* such that:
+//!
+//! * **(i)** if an atomic data object is the target of an assignment, it is
+//!   not referenced in any other assignment;
+//! * **(ii)** no left-hand or right-hand side may reference atomic data
+//!   objects belonging to more than one of the N simulated-local-data
+//!   partitions (though the two sides may belong to *different* partitions);
+//! * **(iii)** for each simulated process `i`, at least one assignment must
+//!   assign a value to a variable in `i`'s local data.
+//!
+//! The simulated-parallel driver reports each exchange it performs as a set
+//! of [`ExchangeAssign`] records and runs them through this checker — the
+//! paper's precondition for the mechanical conversion to message passing,
+//! enforced at runtime rather than assumed.
+
+use std::collections::HashSet;
+
+/// An abstract view of one assignment inside a data-exchange operation:
+/// `partition dst_rank, object dst_slot  ←  f(partition src_rank, objects src_slots)`.
+///
+/// Slots are opaque identifiers, unique per (rank, atomic object) within one
+/// exchange — e.g. "ghost cell (f, i, j, k) of field 2".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeAssign {
+    /// Partition (simulated process) owning the target object.
+    pub dst_rank: usize,
+    /// The target atomic object within the destination partition.
+    pub dst_slot: u64,
+    /// Partition owning every object on the right-hand side.
+    pub src_rank: usize,
+    /// The source atomic objects within the source partition.
+    pub src_slots: Vec<u64>,
+}
+
+/// A violation of the Definition's restrictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExchangeViolation {
+    /// Restriction (i): the same target object assigned more than once.
+    DuplicateTarget {
+        /// Offending partition.
+        rank: usize,
+        /// Offending object.
+        slot: u64,
+    },
+    /// Restriction (i): an object is both a target and a source.
+    TargetAlsoRead {
+        /// Offending partition.
+        rank: usize,
+        /// Offending object.
+        slot: u64,
+    },
+    /// Restriction (iii): a process receives no assignment.
+    ProcessReceivesNothing {
+        /// The starved process.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for ExchangeViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeViolation::DuplicateTarget { rank, slot } => {
+                write!(f, "restriction (i): object {slot} of process {rank} assigned twice")
+            }
+            ExchangeViolation::TargetAlsoRead { rank, slot } => write!(
+                f,
+                "restriction (i): object {slot} of process {rank} is both target and source"
+            ),
+            ExchangeViolation::ProcessReceivesNothing { rank } => write!(
+                f,
+                "restriction (iii): process {rank} receives no assignment in the exchange"
+            ),
+        }
+    }
+}
+
+/// Check one data-exchange operation against restrictions (i) and (iii).
+/// Restriction (ii) — each side references a single partition — is
+/// structural in [`ExchangeAssign`] (`src_rank`/`dst_rank` are scalars), so
+/// it cannot be violated by construction; the record type *is* the check.
+///
+/// `nprocs` is the number of simulated processes participating.
+pub fn check_exchange(
+    nprocs: usize,
+    assigns: &[ExchangeAssign],
+) -> Result<(), Vec<ExchangeViolation>> {
+    let mut violations = Vec::new();
+
+    // (i) part 1: each target assigned at most once.
+    let mut targets: HashSet<(usize, u64)> = HashSet::new();
+    for a in assigns {
+        if !targets.insert((a.dst_rank, a.dst_slot)) {
+            violations.push(ExchangeViolation::DuplicateTarget {
+                rank: a.dst_rank,
+                slot: a.dst_slot,
+            });
+        }
+    }
+
+    // (i) part 2: no target is also read.
+    for a in assigns {
+        for &s in &a.src_slots {
+            if targets.contains(&(a.src_rank, s)) {
+                violations.push(ExchangeViolation::TargetAlsoRead {
+                    rank: a.src_rank,
+                    slot: s,
+                });
+            }
+        }
+    }
+
+    // (iii): every process receives at least one assignment.
+    let receivers: HashSet<usize> = assigns.iter().map(|a| a.dst_rank).collect();
+    for r in 0..nprocs {
+        if !receivers.contains(&r) {
+            violations.push(ExchangeViolation::ProcessReceivesNothing { rank: r });
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Accumulates validation results over a whole simulated-parallel run.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Number of data-exchange operations checked.
+    pub exchanges_checked: u64,
+    /// All violations found, tagged with the phase name.
+    pub violations: Vec<(String, ExchangeViolation)>,
+    /// Number of replicated-predicate evaluations checked for agreement.
+    pub predicates_checked: u64,
+    /// Names of while-loops whose predicate diverged across ranks.
+    pub diverged_predicates: Vec<String>,
+}
+
+impl ValidationReport {
+    /// True if the run satisfied every checked restriction.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.diverged_predicates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(dst_rank: usize, dst_slot: u64, src_rank: usize, src_slots: &[u64]) -> ExchangeAssign {
+        ExchangeAssign { dst_rank, dst_slot, src_rank, src_slots: src_slots.to_vec() }
+    }
+
+    #[test]
+    fn clean_symmetric_exchange_passes() {
+        // Two processes swap boundary values into each other's ghosts:
+        // ghost slots 100.., interior slots 0..
+        let assigns = vec![a(0, 100, 1, &[0]), a(1, 100, 0, &[3])];
+        assert!(check_exchange(2, &assigns).is_ok());
+    }
+
+    #[test]
+    fn duplicate_target_is_flagged() {
+        let assigns = vec![a(0, 100, 1, &[0]), a(0, 100, 1, &[1]), a(1, 100, 0, &[0])];
+        let errs = check_exchange(2, &assigns).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, ExchangeViolation::DuplicateTarget { rank: 0, slot: 100 })));
+    }
+
+    #[test]
+    fn target_also_read_is_flagged() {
+        // Process 1's slot 100 is written, and process 0 reads 1's slot 100.
+        let assigns = vec![a(1, 100, 0, &[5]), a(0, 7, 1, &[100])];
+        let errs = check_exchange(2, &assigns).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, ExchangeViolation::TargetAlsoRead { rank: 1, slot: 100 })));
+    }
+
+    #[test]
+    fn starved_process_is_flagged() {
+        let assigns = vec![a(0, 1, 1, &[0]), a(1, 1, 0, &[0])];
+        let errs = check_exchange(3, &assigns).unwrap_err();
+        assert_eq!(errs, vec![ExchangeViolation::ProcessReceivesNothing { rank: 2 }]);
+    }
+
+    #[test]
+    fn reading_own_partition_is_fine() {
+        // Both sides may be the same partition — restriction (ii) only bars
+        // *mixing* partitions within one side.
+        let assigns = vec![a(0, 10, 0, &[0, 1]), a(1, 10, 1, &[2])];
+        assert!(check_exchange(2, &assigns).is_ok());
+    }
+
+    #[test]
+    fn report_cleanliness() {
+        let mut r = ValidationReport::default();
+        assert!(r.is_clean());
+        r.diverged_predicates.push("loop".into());
+        assert!(!r.is_clean());
+    }
+}

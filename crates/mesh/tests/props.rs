@@ -1,0 +1,129 @@
+//! Property-based tests of the archetype's reduction schedules, summation
+//! strategies, and ordered-sum determinism.
+
+use mesh_archetype::driver::ordered_sum;
+use mesh_archetype::plan::Contribution;
+use mesh_archetype::reduce::{rank_order_reduce, ReduceAlgo, ReduceOp, ReducePlan};
+use mesh_archetype::sum::{sum_chunked, sum_kahan, sum_naive, sum_pairwise, SumMethod};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(prop::num::f64::NORMAL | prop::num::f64::ZERO, len)
+        .prop_map(|v| v.into_iter().map(|x| x.clamp(-1e100, 1e100)).collect())
+}
+
+proptest! {
+    /// Every reduction schedule is structurally valid and leaves every rank
+    /// with an identical (bitwise) result vector.
+    #[test]
+    fn reduce_plans_converge_all_ranks(
+        p in 1usize..20,
+        len in 1usize..16,
+        seed in 0u64..500,
+        algo_idx in 0usize..2,
+    ) {
+        let algo = [ReduceAlgo::AllToOne, ReduceAlgo::RecursiveDoubling][algo_idx];
+        let plan = ReducePlan::build(algo, p);
+        prop_assert!(plan.validate().is_ok());
+        let mut parts: Vec<Vec<f64>> = (0..p)
+            .map(|r| {
+                mesh_archetype::sum::magnitude_spread_workload(len, 9, seed * 31 + r as u64)
+            })
+            .collect();
+        plan.execute(ReduceOp::Sum, &mut parts);
+        for r in 1..p {
+            let a: Vec<u64> = parts[0].iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u64> = parts[r].iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// All-to-one exactly reproduces the rank-order reference combine.
+    #[test]
+    fn all_to_one_is_rank_order(p in 1usize..16, seed in 0u64..300) {
+        let parts: Vec<Vec<f64>> = (0..p)
+            .map(|r| mesh_archetype::sum::magnitude_spread_workload(8, 8, seed + r as u64))
+            .collect();
+        let reference = rank_order_reduce(ReduceOp::Sum, &parts);
+        let mut got = parts;
+        ReducePlan::build(ReduceAlgo::AllToOne, p).execute(ReduceOp::Sum, &mut got);
+        let a: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u64> = got[0].iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Max/Min reductions are exact under any schedule (they are true
+    /// semilattice operations, insensitive to ordering).
+    #[test]
+    fn max_reduce_is_schedule_independent(p in 2usize..12, xs in finite_vec(24)) {
+        let parts: Vec<Vec<f64>> = xs.chunks(24 / 12).take(p)
+            .map(|c| c.to_vec())
+            .collect();
+        let p = parts.len();
+        prop_assume!(p >= 1);
+        let len = parts[0].len();
+        prop_assume!(parts.iter().all(|q| q.len() == len));
+        let mut a = parts.clone();
+        let mut b = parts;
+        ReducePlan::build(ReduceAlgo::AllToOne, p).execute(ReduceOp::Max, &mut a);
+        ReducePlan::build(ReduceAlgo::RecursiveDoubling, p).execute(ReduceOp::Max, &mut b);
+        let x: Vec<u64> = a[0].iter().map(|v| v.to_bits()).collect();
+        let y: Vec<u64> = b[0].iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(x, y);
+    }
+
+    /// All summation methods agree to within a modest bound (they compute
+    /// the same mathematical value, differently rounded).
+    #[test]
+    fn summation_methods_agree_numerically(xs in finite_vec(200)) {
+        let n = sum_naive(&xs);
+        let k = sum_kahan(&xs);
+        let p = sum_pairwise(&xs);
+        let scale = xs.iter().map(|x| x.abs()).sum::<f64>().max(1e-300);
+        prop_assert!((n - k).abs() <= 1e-9 * scale, "naive {n} vs kahan {k}");
+        prop_assert!((n - p).abs() <= 1e-9 * scale, "naive {n} vs pairwise {p}");
+    }
+
+    /// Chunked (reordered) summation equals naive for p = 1 and stays
+    /// numerically close for any p.
+    #[test]
+    fn chunked_sum_close(xs in finite_vec(100), p in 1usize..12) {
+        let seq = sum_naive(&xs);
+        let par = sum_chunked(&xs, p);
+        prop_assert_eq!(sum_chunked(&xs, 1).to_bits(), seq.to_bits());
+        let scale = xs.iter().map(|x| x.abs()).sum::<f64>().max(1e-300);
+        prop_assert!((seq - par).abs() <= 1e-9 * scale);
+    }
+
+    /// The ordered sum is invariant under any permutation of the
+    /// contribution list — the property that makes the far-field result
+    /// independent of the data distribution.
+    #[test]
+    fn ordered_sum_is_permutation_invariant(
+        vals in prop::collection::vec(-1e6f64..1e6, 1..60),
+        seed in 0u64..100,
+    ) {
+        let n_bins = 4usize;
+        let contribs: Vec<Contribution> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Contribution {
+                bin: (i % n_bins) as u32,
+                order: i as u64,
+                value: v,
+            })
+            .collect();
+        let reference = ordered_sum(contribs.clone(), n_bins, SumMethod::Naive);
+        // A deterministic shuffle.
+        let mut shuffled = contribs;
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for i in (1..shuffled.len()).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            shuffled.swap(i, (s as usize) % (i + 1));
+        }
+        let got = ordered_sum(shuffled, n_bins, SumMethod::Naive);
+        let a: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+}

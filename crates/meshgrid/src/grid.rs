@@ -1,0 +1,521 @@
+//! Dense 1/2/3-D grids with ghost boundaries.
+//!
+//! Each grid has an *interior* of the stated extent plus `ghost` extra
+//! layers on every side. Interior cells are addressed `0..n` per axis;
+//! ghost cells at signed offsets `-ghost..0` and `n..n+ghost`. Stencil code
+//! can therefore read `g[[i - 1, j, k]]` at `i == 0` without special-casing
+//! the subgrid boundary — the boundary-exchange operation keeps those ghost
+//! cells equal to the neighbouring process's boundary values.
+
+/// A 3-D dense grid with ghost boundary, row-major (`z` fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3<T> {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    ghost: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Grid3<T> {
+    /// A grid with interior extent `nx × ny × nz` and `ghost` layers per
+    /// side, filled with `T::default()`.
+    pub fn new(nx: usize, ny: usize, nz: usize, ghost: usize) -> Self {
+        let sx = nx + 2 * ghost;
+        let sy = ny + 2 * ghost;
+        let sz = nz + 2 * ghost;
+        Grid3 { nx, ny, nz, ghost, data: vec![T::default(); sx * sy * sz] }
+    }
+
+    /// A grid filled from a function of interior coordinates (ghost cells
+    /// default).
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        ghost: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
+        let mut g = Self::new(nx, ny, nz, ghost);
+        for i in 0..nx {
+            for j in 0..ny {
+                for k in 0..nz {
+                    g.set(i as isize, j as isize, k as isize, f(i, j, k));
+                }
+            }
+        }
+        g
+    }
+
+    /// Interior extent `(nx, ny, nz)`.
+    pub fn extent(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Ghost width per side.
+    pub fn ghost(&self) -> usize {
+        self.ghost
+    }
+
+    /// Number of interior cells.
+    pub fn interior_len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    #[inline]
+    fn offset(&self, i: isize, j: isize, k: isize) -> usize {
+        let g = self.ghost as isize;
+        debug_assert!(
+            i >= -g
+                && i < self.nx as isize + g
+                && j >= -g
+                && j < self.ny as isize + g
+                && k >= -g
+                && k < self.nz as isize + g,
+            "index ({i},{j},{k}) out of range for {}x{}x{} grid with ghost {}",
+            self.nx,
+            self.ny,
+            self.nz,
+            self.ghost
+        );
+        let sy = self.ny + 2 * self.ghost;
+        let sz = self.nz + 2 * self.ghost;
+        (((i + g) as usize) * sy + (j + g) as usize) * sz + (k + g) as usize
+    }
+
+    /// Read a cell (interior or ghost).
+    #[inline]
+    pub fn get(&self, i: isize, j: isize, k: isize) -> T {
+        self.data[self.offset(i, j, k)]
+    }
+
+    /// Write a cell (interior or ghost).
+    #[inline]
+    pub fn set(&mut self, i: isize, j: isize, k: isize, v: T) {
+        let o = self.offset(i, j, k);
+        self.data[o] = v;
+    }
+
+    /// Fill every cell (including ghosts) with `v`.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+
+    /// Visit every interior cell in `(i, j, k)` lexicographic order.
+    pub fn for_each_interior(&mut self, mut f: impl FnMut(usize, usize, usize, &mut T)) {
+        let g = self.ghost;
+        let sy = self.ny + 2 * g;
+        let sz = self.nz + 2 * g;
+        for i in 0..self.nx {
+            for j in 0..self.ny {
+                let row = ((i + g) * sy + (j + g)) * sz + g;
+                for k in 0..self.nz {
+                    f(i, j, k, &mut self.data[row + k]);
+                }
+            }
+        }
+    }
+
+    /// Copy the interior cells into a flat vector in lexicographic order
+    /// (used by reductions, snapshots and the host I/O path).
+    pub fn interior_to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.interior_len());
+        for i in 0..self.nx as isize {
+            for j in 0..self.ny as isize {
+                for k in 0..self.nz as isize {
+                    out.push(self.get(i, j, k));
+                }
+            }
+        }
+        out
+    }
+
+    /// Overwrite the interior from a flat lexicographic vector.
+    pub fn interior_from_slice(&mut self, src: &[T]) {
+        assert_eq!(src.len(), self.interior_len(), "interior size mismatch");
+        let mut it = src.iter();
+        for i in 0..self.nx as isize {
+            for j in 0..self.ny as isize {
+                for k in 0..self.nz as isize {
+                    self.set(i, j, k, *it.next().unwrap());
+                }
+            }
+        }
+    }
+
+    /// Raw storage (including ghost cells), mainly for bitwise comparisons.
+    pub fn raw(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl Grid3<f64> {
+    /// Bitwise equality of the *interior* cells — the paper's standard of
+    /// "identical results". Ghost cells are excluded: they are shadow
+    /// copies, not part of the program's observable state.
+    pub fn interior_bitwise_eq(&self, other: &Grid3<f64>) -> bool {
+        if self.extent() != other.extent() {
+            return false;
+        }
+        for i in 0..self.nx as isize {
+            for j in 0..self.ny as isize {
+                for k in 0..self.nz as isize {
+                    if self.get(i, j, k).to_bits() != other.get(i, j, k).to_bits() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute difference over interior cells (∞-norm), for
+    /// quantifying the far-field reordering error.
+    pub fn interior_max_abs_diff(&self, other: &Grid3<f64>) -> f64 {
+        assert_eq!(self.extent(), other.extent());
+        let mut m: f64 = 0.0;
+        for i in 0..self.nx as isize {
+            for j in 0..self.ny as isize {
+                for k in 0..self.nz as isize {
+                    m = m.max((self.get(i, j, k) - other.get(i, j, k)).abs());
+                }
+            }
+        }
+        m
+    }
+}
+
+impl<T: Copy + Default> std::ops::Index<[isize; 3]> for Grid3<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, idx: [isize; 3]) -> &T {
+        &self.data[self.offset(idx[0], idx[1], idx[2])]
+    }
+}
+
+impl<T: Copy + Default> std::ops::IndexMut<[isize; 3]> for Grid3<T> {
+    #[inline]
+    fn index_mut(&mut self, idx: [isize; 3]) -> &mut T {
+        let o = self.offset(idx[0], idx[1], idx[2]);
+        &mut self.data[o]
+    }
+}
+
+/// A 2-D dense grid with ghost boundary, row-major (`y` fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2<T> {
+    nx: usize,
+    ny: usize,
+    ghost: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Grid2<T> {
+    /// A grid with interior extent `nx × ny` and `ghost` layers per side.
+    pub fn new(nx: usize, ny: usize, ghost: usize) -> Self {
+        let sx = nx + 2 * ghost;
+        let sy = ny + 2 * ghost;
+        Grid2 { nx, ny, ghost, data: vec![T::default(); sx * sy] }
+    }
+
+    /// A grid filled from a function of interior coordinates.
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        ghost: usize,
+        mut f: impl FnMut(usize, usize) -> T,
+    ) -> Self {
+        let mut g = Self::new(nx, ny, ghost);
+        for i in 0..nx {
+            for j in 0..ny {
+                g.set(i as isize, j as isize, f(i, j));
+            }
+        }
+        g
+    }
+
+    /// Interior extent `(nx, ny)`.
+    pub fn extent(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Ghost width per side.
+    pub fn ghost(&self) -> usize {
+        self.ghost
+    }
+
+    /// Number of interior cells.
+    pub fn interior_len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    #[inline]
+    fn offset(&self, i: isize, j: isize) -> usize {
+        let g = self.ghost as isize;
+        debug_assert!(
+            i >= -g && i < self.nx as isize + g && j >= -g && j < self.ny as isize + g,
+            "index ({i},{j}) out of range for {}x{} grid with ghost {}",
+            self.nx,
+            self.ny,
+            self.ghost
+        );
+        let sy = self.ny + 2 * self.ghost;
+        ((i + g) as usize) * sy + (j + g) as usize
+    }
+
+    /// Read a cell (interior or ghost).
+    #[inline]
+    pub fn get(&self, i: isize, j: isize) -> T {
+        self.data[self.offset(i, j)]
+    }
+
+    /// Write a cell (interior or ghost).
+    #[inline]
+    pub fn set(&mut self, i: isize, j: isize, v: T) {
+        let o = self.offset(i, j);
+        self.data[o] = v;
+    }
+
+    /// Copy the interior cells into a flat lexicographic vector.
+    pub fn interior_to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.interior_len());
+        for i in 0..self.nx as isize {
+            for j in 0..self.ny as isize {
+                out.push(self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Overwrite the interior from a flat lexicographic vector.
+    pub fn interior_from_slice(&mut self, src: &[T]) {
+        assert_eq!(src.len(), self.interior_len(), "interior size mismatch");
+        let mut it = src.iter();
+        for i in 0..self.nx as isize {
+            for j in 0..self.ny as isize {
+                self.set(i, j, *it.next().unwrap());
+            }
+        }
+    }
+}
+
+impl Grid2<f64> {
+    /// Bitwise equality of the interior cells.
+    pub fn interior_bitwise_eq(&self, other: &Grid2<f64>) -> bool {
+        if self.extent() != other.extent() {
+            return false;
+        }
+        for i in 0..self.nx as isize {
+            for j in 0..self.ny as isize {
+                if self.get(i, j).to_bits() != other.get(i, j).to_bits() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<T: Copy + Default> std::ops::Index<[isize; 2]> for Grid2<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, idx: [isize; 2]) -> &T {
+        &self.data[self.offset(idx[0], idx[1])]
+    }
+}
+
+impl<T: Copy + Default> std::ops::IndexMut<[isize; 2]> for Grid2<T> {
+    #[inline]
+    fn index_mut(&mut self, idx: [isize; 2]) -> &mut T {
+        let o = self.offset(idx[0], idx[1]);
+        &mut self.data[o]
+    }
+}
+
+/// A 1-D dense grid with ghost boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid1<T> {
+    nx: usize,
+    ghost: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Grid1<T> {
+    /// A grid with interior extent `nx` and `ghost` cells per side.
+    pub fn new(nx: usize, ghost: usize) -> Self {
+        Grid1 { nx, ghost, data: vec![T::default(); nx + 2 * ghost] }
+    }
+
+    /// A grid filled from a function of the interior coordinate.
+    pub fn from_fn(nx: usize, ghost: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        let mut g = Self::new(nx, ghost);
+        for i in 0..nx {
+            g.set(i as isize, f(i));
+        }
+        g
+    }
+
+    /// Interior extent.
+    pub fn extent(&self) -> usize {
+        self.nx
+    }
+
+    /// Ghost width per side.
+    pub fn ghost(&self) -> usize {
+        self.ghost
+    }
+
+    #[inline]
+    fn offset(&self, i: isize) -> usize {
+        let g = self.ghost as isize;
+        debug_assert!(
+            i >= -g && i < self.nx as isize + g,
+            "index {i} out of range for {}-cell grid with ghost {}",
+            self.nx,
+            self.ghost
+        );
+        (i + g) as usize
+    }
+
+    /// Read a cell (interior or ghost).
+    #[inline]
+    pub fn get(&self, i: isize) -> T {
+        self.data[self.offset(i)]
+    }
+
+    /// Write a cell (interior or ghost).
+    #[inline]
+    pub fn set(&mut self, i: isize, v: T) {
+        let o = self.offset(i);
+        self.data[o] = v;
+    }
+
+    /// Copy the interior into a vector.
+    pub fn interior_to_vec(&self) -> Vec<T> {
+        (0..self.nx as isize).map(|i| self.get(i)).collect()
+    }
+
+    /// Overwrite the interior from a slice.
+    pub fn interior_from_slice(&mut self, src: &[T]) {
+        assert_eq!(src.len(), self.nx, "interior size mismatch");
+        for (i, &v) in src.iter().enumerate() {
+            self.set(i as isize, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid3_roundtrips_interior_and_ghost() {
+        let mut g: Grid3<f64> = Grid3::new(3, 4, 5, 2);
+        assert_eq!(g.extent(), (3, 4, 5));
+        assert_eq!(g.interior_len(), 60);
+        g.set(0, 0, 0, 1.5);
+        g.set(-2, -2, -2, 2.5); // far ghost corner
+        g.set(4, 5, 6, 3.5); // opposite ghost corner
+        assert_eq!(g.get(0, 0, 0), 1.5);
+        assert_eq!(g.get(-2, -2, -2), 2.5);
+        assert_eq!(g.get(4, 5, 6), 3.5);
+        assert_eq!(g[[0, 0, 0]], 1.5);
+        g[[1, 2, 3]] = 7.0;
+        assert_eq!(g.get(1, 2, 3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)]
+    fn grid3_out_of_range_panics_in_debug() {
+        let g: Grid3<f64> = Grid3::new(2, 2, 2, 1);
+        g.get(3, 0, 0);
+    }
+
+    #[test]
+    fn grid3_from_fn_and_interior_vec_roundtrip() {
+        let g = Grid3::from_fn(3, 2, 4, 1, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        let v = g.interior_to_vec();
+        assert_eq!(v.len(), 24);
+        assert_eq!(v[0], 0.0);
+        // Lexicographic: last element is (2,1,3).
+        assert_eq!(*v.last().unwrap(), 213.0);
+        let mut h: Grid3<f64> = Grid3::new(3, 2, 4, 1);
+        h.interior_from_slice(&v);
+        assert!(g.interior_bitwise_eq(&h));
+    }
+
+    #[test]
+    fn grid3_bitwise_eq_ignores_ghosts() {
+        let mut a: Grid3<f64> = Grid3::new(2, 2, 2, 1);
+        let mut b: Grid3<f64> = Grid3::new(2, 2, 2, 1);
+        a.set(-1, 0, 0, 9.0);
+        b.set(-1, 0, 0, -9.0);
+        assert!(a.interior_bitwise_eq(&b));
+        b.set(0, 0, 0, 1e-300);
+        assert!(!a.interior_bitwise_eq(&b));
+    }
+
+    #[test]
+    fn grid3_max_abs_diff() {
+        let a = Grid3::from_fn(2, 2, 2, 0, |_, _, _| 1.0);
+        let mut b = a.clone();
+        b.set(1, 1, 1, 1.25);
+        assert_eq!(a.interior_max_abs_diff(&b), 0.25);
+    }
+
+    #[test]
+    fn grid3_for_each_interior_visits_every_cell_once() {
+        let mut g: Grid3<i64> = Grid3::new(3, 3, 3, 1);
+        let mut count = 0;
+        g.for_each_interior(|_, _, _, c| {
+            *c += 1;
+            count += 1;
+        });
+        assert_eq!(count, 27);
+        assert!(g.interior_to_vec().iter().all(|&v| v == 1));
+        // Ghosts untouched.
+        assert_eq!(g.get(-1, 0, 0), 0);
+    }
+
+    #[test]
+    fn for_each_interior_offsets_match_get() {
+        let mut g: Grid3<f64> = Grid3::new(2, 3, 4, 2);
+        g.for_each_interior(|i, j, k, c| *c = (i * 100 + j * 10 + k) as f64);
+        for i in 0..2isize {
+            for j in 0..3isize {
+                for k in 0..4isize {
+                    assert_eq!(g.get(i, j, k), (i * 100 + j * 10 + k) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid2_roundtrip() {
+        let g = Grid2::from_fn(4, 3, 1, |i, j| (i * 10 + j) as f64);
+        assert_eq!(g.get(3, 2), 32.0);
+        let v = g.interior_to_vec();
+        let mut h: Grid2<f64> = Grid2::new(4, 3, 1);
+        h.interior_from_slice(&v);
+        assert!(g.interior_bitwise_eq(&h));
+    }
+
+    #[test]
+    fn grid1_roundtrip() {
+        let mut g: Grid1<f64> = Grid1::from_fn(5, 1, |i| i as f64);
+        g.set(-1, -1.0);
+        g.set(5, 5.0);
+        assert_eq!(g.get(-1), -1.0);
+        assert_eq!(g.get(2), 2.0);
+        assert_eq!(g.interior_to_vec(), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_ghost_grids_work() {
+        let g: Grid3<f64> = Grid3::new(2, 2, 2, 0);
+        assert_eq!(g.raw().len(), 8);
+        let g2: Grid2<u8> = Grid2::new(3, 3, 0);
+        assert_eq!(g2.interior_len(), 9);
+    }
+}

@@ -1,0 +1,392 @@
+//! Ghost-boundary (halo) slab extraction and insertion.
+//!
+//! A boundary exchange (§4.2, "Exchange of boundary values") moves, for each
+//! face shared by two neighbouring local sections, a slab of boundary cells
+//! of depth `ghost` from one process's *interior* into the other process's
+//! *ghost region*. These routines produce and consume the flat `Vec<f64>`
+//! payloads the communication layers carry; the mesh archetype contexts
+//! decide who sends what to whom.
+
+use crate::grid::{Grid1, Grid2, Grid3};
+
+/// A face of a 3-D local section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Face3 {
+    /// Low-x face (axis 0, direction −1).
+    XLo,
+    /// High-x face (axis 0, direction +1).
+    XHi,
+    /// Low-y face.
+    YLo,
+    /// High-y face.
+    YHi,
+    /// Low-z face.
+    ZLo,
+    /// High-z face.
+    ZHi,
+}
+
+impl Face3 {
+    /// All six faces in a fixed canonical order.
+    pub const ALL: [Face3; 6] =
+        [Face3::XLo, Face3::XHi, Face3::YLo, Face3::YHi, Face3::ZLo, Face3::ZHi];
+
+    /// `(axis, dir)` of the face.
+    pub fn axis_dir(self) -> (usize, isize) {
+        match self {
+            Face3::XLo => (0, -1),
+            Face3::XHi => (0, 1),
+            Face3::YLo => (1, -1),
+            Face3::YHi => (1, 1),
+            Face3::ZLo => (2, -1),
+            Face3::ZHi => (2, 1),
+        }
+    }
+
+    /// The face seen from the other side (what the neighbour calls it).
+    pub fn opposite(self) -> Face3 {
+        match self {
+            Face3::XLo => Face3::XHi,
+            Face3::XHi => Face3::XLo,
+            Face3::YLo => Face3::YHi,
+            Face3::YHi => Face3::YLo,
+            Face3::ZLo => Face3::ZHi,
+            Face3::ZHi => Face3::ZLo,
+        }
+    }
+
+    /// Construct from `(axis, dir)`.
+    pub fn from_axis_dir(axis: usize, dir: isize) -> Face3 {
+        match (axis, dir) {
+            (0, -1) => Face3::XLo,
+            (0, 1) => Face3::XHi,
+            (1, -1) => Face3::YLo,
+            (1, 1) => Face3::YHi,
+            (2, -1) => Face3::ZLo,
+            (2, 1) => Face3::ZHi,
+            _ => panic!("invalid (axis, dir) = ({axis}, {dir})"),
+        }
+    }
+}
+
+/// Index ranges (per axis, in signed local coordinates) of the slab of depth
+/// `width` adjacent to `face`. `interior = true` selects the interior cells
+/// to *send*; `false` selects the ghost cells to *fill*.
+fn slab_ranges3(
+    extent: (usize, usize, usize),
+    width: usize,
+    face: Face3,
+    interior: bool,
+) -> [(isize, isize); 3] {
+    let (nx, ny, nz) = (extent.0 as isize, extent.1 as isize, extent.2 as isize);
+    let w = width as isize;
+    let full = [(0, nx), (0, ny), (0, nz)];
+    let (axis, dir) = face.axis_dir();
+    let n_axis = full[axis].1;
+    let r = if interior {
+        if dir < 0 {
+            (0, w)
+        } else {
+            (n_axis - w, n_axis)
+        }
+    } else if dir < 0 {
+        (-w, 0)
+    } else {
+        (n_axis, n_axis + w)
+    };
+    let mut out = full;
+    out[axis] = r;
+    out
+}
+
+/// Number of cells in the slab for `face` at depth `width`.
+pub fn slab_len3(extent: (usize, usize, usize), width: usize, face: Face3) -> usize {
+    let r = slab_ranges3(extent, width, face, true);
+    r.iter().map(|(lo, hi)| (hi - lo) as usize).product()
+}
+
+/// Extract the interior boundary slab adjacent to `face` (depth = the grid's
+/// ghost width) as a flat payload in lexicographic order.
+pub fn extract_face3(g: &Grid3<f64>, face: Face3) -> Vec<f64> {
+    let r = slab_ranges3(g.extent(), g.ghost(), face, true);
+    let mut out = Vec::with_capacity(slab_len3(g.extent(), g.ghost(), face));
+    for i in r[0].0..r[0].1 {
+        for j in r[1].0..r[1].1 {
+            for k in r[2].0..r[2].1 {
+                out.push(g.get(i, j, k));
+            }
+        }
+    }
+    out
+}
+
+/// Insert a payload (produced by the *neighbour's* [`extract_face3`] on the
+/// opposite face) into the ghost slab adjacent to `face`.
+pub fn insert_ghost3(g: &mut Grid3<f64>, face: Face3, payload: &[f64]) {
+    let r = slab_ranges3(g.extent(), g.ghost(), face, false);
+    let expect: usize = r.iter().map(|(lo, hi)| (hi - lo) as usize).product();
+    assert_eq!(payload.len(), expect, "halo payload size mismatch on {face:?}");
+    let mut it = payload.iter();
+    for i in r[0].0..r[0].1 {
+        for j in r[1].0..r[1].1 {
+            for k in r[2].0..r[2].1 {
+                g.set(i, j, k, *it.next().unwrap());
+            }
+        }
+    }
+}
+
+/// A face of a 2-D local section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Face2 {
+    /// Low-x face.
+    XLo,
+    /// High-x face.
+    XHi,
+    /// Low-y face.
+    YLo,
+    /// High-y face.
+    YHi,
+}
+
+impl Face2 {
+    /// All four faces in canonical order.
+    pub const ALL: [Face2; 4] = [Face2::XLo, Face2::XHi, Face2::YLo, Face2::YHi];
+
+    /// `(axis, dir)` of the face.
+    pub fn axis_dir(self) -> (usize, isize) {
+        match self {
+            Face2::XLo => (0, -1),
+            Face2::XHi => (0, 1),
+            Face2::YLo => (1, -1),
+            Face2::YHi => (1, 1),
+        }
+    }
+
+    /// The neighbour's name for this shared face.
+    pub fn opposite(self) -> Face2 {
+        match self {
+            Face2::XLo => Face2::XHi,
+            Face2::XHi => Face2::XLo,
+            Face2::YLo => Face2::YHi,
+            Face2::YHi => Face2::YLo,
+        }
+    }
+
+    /// Construct from `(axis, dir)`.
+    pub fn from_axis_dir(axis: usize, dir: isize) -> Face2 {
+        match (axis, dir) {
+            (0, -1) => Face2::XLo,
+            (0, 1) => Face2::XHi,
+            (1, -1) => Face2::YLo,
+            (1, 1) => Face2::YHi,
+            _ => panic!("invalid (axis, dir) = ({axis}, {dir})"),
+        }
+    }
+}
+
+fn slab_ranges2(
+    extent: (usize, usize),
+    width: usize,
+    face: Face2,
+    interior: bool,
+) -> [(isize, isize); 2] {
+    let (nx, ny) = (extent.0 as isize, extent.1 as isize);
+    let w = width as isize;
+    let full = [(0, nx), (0, ny)];
+    let (axis, dir) = face.axis_dir();
+    let n_axis = full[axis].1;
+    let r = if interior {
+        if dir < 0 {
+            (0, w)
+        } else {
+            (n_axis - w, n_axis)
+        }
+    } else if dir < 0 {
+        (-w, 0)
+    } else {
+        (n_axis, n_axis + w)
+    };
+    let mut out = full;
+    out[axis] = r;
+    out
+}
+
+/// Extract the interior boundary slab adjacent to `face`.
+pub fn extract_face2(g: &Grid2<f64>, face: Face2) -> Vec<f64> {
+    let r = slab_ranges2(g.extent(), g.ghost(), face, true);
+    let mut out = Vec::new();
+    for i in r[0].0..r[0].1 {
+        for j in r[1].0..r[1].1 {
+            out.push(g.get(i, j));
+        }
+    }
+    out
+}
+
+/// Insert a neighbour's payload into the ghost slab adjacent to `face`.
+pub fn insert_ghost2(g: &mut Grid2<f64>, face: Face2, payload: &[f64]) {
+    let r = slab_ranges2(g.extent(), g.ghost(), face, false);
+    let expect: usize = r.iter().map(|(lo, hi)| (hi - lo) as usize).product();
+    assert_eq!(payload.len(), expect, "halo payload size mismatch on {face:?}");
+    let mut it = payload.iter();
+    for i in r[0].0..r[0].1 {
+        for j in r[1].0..r[1].1 {
+            g.set(i, j, *it.next().unwrap());
+        }
+    }
+}
+
+/// A face (end) of a 1-D local section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Face1 {
+    /// Low end.
+    Lo,
+    /// High end.
+    Hi,
+}
+
+impl Face1 {
+    /// Both ends in canonical order.
+    pub const ALL: [Face1; 2] = [Face1::Lo, Face1::Hi];
+
+    /// The neighbour's name for this shared end.
+    pub fn opposite(self) -> Face1 {
+        match self {
+            Face1::Lo => Face1::Hi,
+            Face1::Hi => Face1::Lo,
+        }
+    }
+}
+
+/// Extract the boundary cells adjacent to `face`.
+pub fn extract_face1(g: &Grid1<f64>, face: Face1) -> Vec<f64> {
+    let n = g.extent() as isize;
+    let w = g.ghost() as isize;
+    match face {
+        Face1::Lo => (0..w).map(|i| g.get(i)).collect(),
+        Face1::Hi => (n - w..n).map(|i| g.get(i)).collect(),
+    }
+}
+
+/// Insert a neighbour's payload into the ghost cells adjacent to `face`.
+pub fn insert_ghost1(g: &mut Grid1<f64>, face: Face1, payload: &[f64]) {
+    let n = g.extent() as isize;
+    let w = g.ghost() as isize;
+    assert_eq!(payload.len(), w as usize, "halo payload size mismatch");
+    match face {
+        Face1::Lo => {
+            for (off, &v) in payload.iter().enumerate() {
+                g.set(-w + off as isize, v);
+            }
+        }
+        Face1::Hi => {
+            for (off, &v) in payload.iter().enumerate() {
+                g.set(n + off as isize, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid3;
+
+    #[test]
+    fn opposite_faces_pair_up() {
+        for f in Face3::ALL {
+            assert_eq!(f.opposite().opposite(), f);
+            let (axis, dir) = f.axis_dir();
+            let (oaxis, odir) = f.opposite().axis_dir();
+            assert_eq!(axis, oaxis);
+            assert_eq!(dir, -odir);
+            assert_eq!(Face3::from_axis_dir(axis, dir), f);
+        }
+    }
+
+    #[test]
+    fn slab_len_matches_extraction() {
+        let g = Grid3::from_fn(4, 5, 6, 2, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        for f in Face3::ALL {
+            let payload = extract_face3(&g, f);
+            assert_eq!(payload.len(), slab_len3(g.extent(), g.ghost(), f));
+        }
+        assert_eq!(slab_len3((4, 5, 6), 2, Face3::XLo), 2 * 5 * 6);
+        assert_eq!(slab_len3((4, 5, 6), 1, Face3::ZHi), 4 * 5);
+    }
+
+    #[test]
+    fn exchange_between_two_grids_matches_global_truth() {
+        // Two 4-wide sections of a global 8-cell x-axis, ghost width 1.
+        // Global value at (i,j,k) = i*100 + j*10 + k.
+        let left = Grid3::from_fn(4, 3, 3, 1, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        let right =
+            Grid3::from_fn(4, 3, 3, 1, |i, j, k| ((i + 4) * 100 + j * 10 + k) as f64);
+
+        // left's XHi ghost should become right's XLo interior slab and vice
+        // versa.
+        let mut left2 = left.clone();
+        let mut right2 = right.clone();
+        let from_right = extract_face3(&right, Face3::XLo);
+        let from_left = extract_face3(&left, Face3::XHi);
+        insert_ghost3(&mut left2, Face3::XHi, &from_right);
+        insert_ghost3(&mut right2, Face3::XLo, &from_left);
+
+        for j in 0..3isize {
+            for k in 0..3isize {
+                // left ghost cell at i=4 holds global i=4 = right's local 0.
+                assert_eq!(left2.get(4, j, k), (400 + j * 10 + k) as f64);
+                // right ghost at i=-1 holds global i=3 = left's local 3.
+                assert_eq!(right2.get(-1, j, k), (300 + j * 10 + k) as f64);
+            }
+        }
+        // Interiors untouched by the exchange.
+        assert!(left2.interior_bitwise_eq(&left));
+        assert!(right2.interior_bitwise_eq(&right));
+    }
+
+    #[test]
+    fn ghost_width_two_slabs_round_trip() {
+        let g = Grid3::from_fn(5, 4, 3, 2, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        let payload = extract_face3(&g, Face3::YHi);
+        assert_eq!(payload.len(), 5 * 2 * 3);
+        let mut h: Grid3<f64> = Grid3::new(5, 4, 3, 2);
+        insert_ghost3(&mut h, Face3::YLo, &payload);
+        // h's YLo ghost at j=-2 should hold g's interior j=2 (the deeper of
+        // the two sent layers), j=-1 holds j=3.
+        for i in 0..5isize {
+            for k in 0..3isize {
+                assert_eq!(h.get(i, -2, k), (i * 100 + 20 + k) as f64);
+                assert_eq!(h.get(i, -1, k), (i * 100 + 30 + k) as f64);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_payload_size_panics() {
+        let mut g: Grid3<f64> = Grid3::new(2, 2, 2, 1);
+        insert_ghost3(&mut g, Face3::XLo, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn face2_exchange() {
+        let a = Grid2::from_fn(3, 3, 1, |i, j| (i * 10 + j) as f64);
+        let mut b: Grid2<f64> = Grid2::new(3, 3, 1);
+        insert_ghost2(&mut b, Face2::XLo, &extract_face2(&a, Face2::XHi));
+        for j in 0..3isize {
+            assert_eq!(b.get(-1, j), (20 + j) as f64);
+        }
+    }
+
+    #[test]
+    fn face1_exchange() {
+        let a = Grid1::from_fn(4, 1, |i| i as f64);
+        let mut b: Grid1<f64> = Grid1::new(4, 1);
+        insert_ghost1(&mut b, Face1::Lo, &extract_face1(&a, Face1::Hi));
+        assert_eq!(b.get(-1), 3.0);
+        insert_ghost1(&mut b, Face1::Hi, &extract_face1(&a, Face1::Lo));
+        assert_eq!(b.get(4), 0.0);
+    }
+}

@@ -1,0 +1,485 @@
+//! # pipeline-archetype — a second parallel-programming archetype
+//!
+//! The paper's conclusion lists *"identifying and developing additional
+//! archetypes"* as the principal future work. This crate develops one: the
+//! **linear pipeline** archetype, whose computational pattern is a stream
+//! of data items flowing through a fixed sequence of stateful stages.
+//!
+//! Following the paper's recipe (§2.1), the archetype is the combination of
+//!
+//! * **computational structure** — `outputs = stageN(… stage1(stage0(item)))`
+//!   applied to every item of a stream, where each stage carries private
+//!   state updated as items pass through;
+//! * **parallelization strategy** — one process per stage;
+//! * **dataflow / communication structure** — a chain of single-reader
+//!   single-writer channels, one between each pair of adjacent stages.
+//!
+//! And following §2.2, the crate provides the *same program* in three
+//! executable forms:
+//!
+//! * [`run_seq`] — the original sequential program (item-major loop);
+//! * [`run_simpar`] — the sequential simulated-parallel version: a systolic
+//!   schedule alternating local-computation blocks (every stage transforms
+//!   the item it holds) with data-exchange operations (every item shifts
+//!   one stage rightward); restrictions (i)–(iii) hold by construction —
+//!   each exchange writes each stage's input slot exactly once, never reads
+//!   a written slot, and assigns into *every* stage's partition (stage 0
+//!   receives the next stream item from its own input queue, an
+//!   intra-partition assignment the Definition explicitly allows);
+//! * [`run_msg_simulated`] / [`run_msg_threaded`] — the message-passing
+//!   program produced by the paper's final transformation, runnable under
+//!   any interleaving policy or on OS threads.
+//!
+//! All three produce bitwise-identical stage states and outputs, for the
+//! same reason the mesh archetype's drivers do: the floating-point
+//! operations are performed in the same order in every execution.
+//!
+//! # Example
+//!
+//! ```
+//! use pipeline_archetype::{run_msg_threaded, run_seq, run_simpar, Pipeline, Stage};
+//!
+//! let p = Pipeline::new(vec![
+//!     Stage::stateless("double", |mut v| { for x in &mut v { *x += *x; } v }),
+//!     Stage::stateful("running-sum", vec![0.0], |s, mut v| {
+//!         for x in &mut v { s[0] += *x; *x = s[0]; }
+//!         v
+//!     }),
+//! ]);
+//! let items: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 0.5]).collect();
+//!
+//! let seq = run_seq(&p, items.clone());
+//! let sim = run_simpar(&p, items.clone());
+//! assert_eq!(seq.snapshots(), sim.snapshots());
+//! let thr = run_msg_threaded(&p, items).unwrap();
+//! assert_eq!(thr, sim.snapshots());
+//! ```
+#![warn(missing_docs)]
+
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use ssp_runtime::{
+    run_threaded, ChannelId, Effect, Process, RunError, RunOutcome, SchedulePolicy, Simulator,
+    Topology,
+};
+
+/// A stage function: consumes an item, may update the stage's private
+/// state, and produces the transformed item.
+pub type StageFn = Arc<dyn Fn(&mut Vec<f64>, Vec<f64>) -> Vec<f64> + Send + Sync>;
+
+/// One pipeline stage: a name, an initial private state, and the transform.
+#[derive(Clone)]
+pub struct Stage {
+    /// Stage name (for reports).
+    pub name: String,
+    /// Initial private state.
+    pub init_state: Vec<f64>,
+    /// The item transform.
+    pub f: StageFn,
+}
+
+impl Stage {
+    /// A stateless stage.
+    pub fn stateless(
+        name: &str,
+        f: impl Fn(Vec<f64>) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Stage {
+        Stage {
+            name: name.to_string(),
+            init_state: Vec::new(),
+            f: Arc::new(move |_s, item| f(item)),
+        }
+    }
+
+    /// A stateful stage.
+    pub fn stateful(
+        name: &str,
+        init_state: Vec<f64>,
+        f: impl Fn(&mut Vec<f64>, Vec<f64>) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Stage {
+        Stage { name: name.to_string(), init_state, f: Arc::new(f) }
+    }
+}
+
+/// A pipeline program: the stage sequence.
+#[derive(Clone)]
+pub struct Pipeline {
+    /// Stages in flow order.
+    pub stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Build from stages.
+    pub fn new(stages: Vec<Stage>) -> Pipeline {
+        assert!(!stages.is_empty(), "a pipeline needs at least one stage");
+        Pipeline { stages }
+    }
+
+    /// Number of stages (= processes in the parallel form).
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Result of a pipeline run: the transformed items (in input order) and
+/// each stage's final private state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutput {
+    /// One output per input item, in order.
+    pub outputs: Vec<Vec<f64>>,
+    /// Final state of each stage.
+    pub states: Vec<Vec<f64>>,
+}
+
+impl PipelineOutput {
+    /// Canonical byte snapshots, one per stage, for cross-driver
+    /// comparison. Stage `k`'s snapshot covers its final state; the last
+    /// stage's snapshot also covers the collected outputs.
+    pub fn snapshots(&self) -> Vec<Vec<u8>> {
+        let n = self.states.len();
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let mut buf = encode(s);
+                if k == n - 1 {
+                    buf.extend_from_slice(&(self.outputs.len() as u64).to_le_bytes());
+                    for o in &self.outputs {
+                        buf.extend_from_slice(&encode(o));
+                    }
+                }
+                buf
+            })
+            .collect()
+    }
+}
+
+fn encode(xs: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + 8 * xs.len());
+    buf.extend_from_slice(&(xs.len() as u64).to_le_bytes());
+    for x in xs {
+        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    buf
+}
+
+/// The original sequential program: item-major, each item folded through
+/// every stage before the next item starts. Stage states evolve in item
+/// order — exactly as in the parallel forms, where stage `k` also sees
+/// items in input order.
+pub fn run_seq(pipeline: &Pipeline, items: Vec<Vec<f64>>) -> PipelineOutput {
+    let mut states: Vec<Vec<f64>> =
+        pipeline.stages.iter().map(|s| s.init_state.clone()).collect();
+    let mut outputs = Vec::with_capacity(items.len());
+    for item in items {
+        let mut cur = item;
+        for (k, stage) in pipeline.stages.iter().enumerate() {
+            cur = (stage.f)(&mut states[k], cur);
+        }
+        outputs.push(cur);
+    }
+    PipelineOutput { outputs, states }
+}
+
+/// The sequential simulated-parallel version: a systolic schedule. At
+/// tick `t`, stage `k` holds item `t − k` (if in range); the
+/// local-computation block transforms every held item, then the
+/// data-exchange operation shifts items rightward and feeds the next input
+/// into stage 0.
+pub fn run_simpar(pipeline: &Pipeline, items: Vec<Vec<f64>>) -> PipelineOutput {
+    let n = pipeline.n_stages();
+    let n_items = items.len();
+    let mut input: VecDeque<Vec<f64>> = items.into();
+    let mut states: Vec<Vec<f64>> =
+        pipeline.stages.iter().map(|s| s.init_state.clone()).collect();
+    // `slots[k]` is the item stage k currently holds (its "input variable").
+    let mut slots: Vec<Option<Vec<f64>>> = vec![None; n];
+    let mut outputs = Vec::with_capacity(n_items);
+
+    // Prime stage 0 (the first exchange of the steady-state loop below
+    // would otherwise have nothing to compute on).
+    if let Some(first) = input.pop_front() {
+        slots[0] = Some(first);
+    }
+    let total_ticks = n_items + n - 1;
+    for _tick in 0..total_ticks {
+        // Local-computation block: every stage transforms its held item
+        // in place (stage index order — each part touches only its own
+        // state and slot).
+        let mut produced: Vec<Option<Vec<f64>>> = vec![None; n];
+        for k in 0..n {
+            if let Some(item) = slots[k].take() {
+                produced[k] = Some((pipeline.stages[k].f)(&mut states[k], item));
+            }
+        }
+        // Data-exchange operation: all right-hand sides are the `produced`
+        // values (computed before any write), every stage's input slot is
+        // written at most once, and stage 0's new item comes from its own
+        // input queue.
+        if let Some(out) = produced[n - 1].take() {
+            outputs.push(out);
+        }
+        for k in (1..n).rev() {
+            slots[k] = produced[k - 1].take();
+        }
+        slots[0] = input.pop_front();
+    }
+    debug_assert_eq!(outputs.len(), n_items);
+    PipelineOutput { outputs, states }
+}
+
+/// Messages of the parallel pipeline.
+#[derive(Debug, Clone, PartialEq)]
+enum PipeMsg {
+    Item(Vec<f64>),
+    /// End-of-stream marker, forwarded stage to stage.
+    Eos,
+}
+
+/// One stage as a deterministic process.
+struct StageProc {
+    stage: Stage,
+    state: Vec<f64>,
+    /// `None` for stage 0, which owns the input queue directly.
+    inp: Option<ChannelId>,
+    /// `None` for the last stage, which collects outputs locally.
+    out: Option<ChannelId>,
+    /// Stage 0's input queue / last stage's output collection.
+    queue: VecDeque<Vec<f64>>,
+    outputs: Vec<Vec<f64>>,
+    is_last: bool,
+    /// Pending transformed item to send.
+    pending_send: Option<Vec<f64>>,
+    eos_seen: bool,
+    eos_sent: bool,
+}
+
+impl Process for StageProc {
+    type Msg = PipeMsg;
+
+    fn resume(&mut self, delivery: Option<PipeMsg>) -> Effect<PipeMsg> {
+        match delivery {
+            Some(PipeMsg::Item(item)) => {
+                let out = (self.stage.f)(&mut self.state, item);
+                if self.is_last {
+                    self.outputs.push(out);
+                } else {
+                    self.pending_send = Some(out);
+                }
+            }
+            Some(PipeMsg::Eos) => self.eos_seen = true,
+            None => {}
+        }
+        // Send a transformed item onward if one is ready.
+        if let Some(item) = self.pending_send.take() {
+            return Effect::Send {
+                chan: self.out.expect("non-last stages have an output channel"),
+                msg: PipeMsg::Item(item),
+            };
+        }
+        // Stage 0 drains its own queue.
+        if self.inp.is_none() {
+            if let Some(item) = self.queue.pop_front() {
+                let out = (self.stage.f)(&mut self.state, item);
+                if self.is_last {
+                    self.outputs.push(out);
+                    return Effect::Compute { units: 1 };
+                }
+                self.pending_send = Some(out);
+                return Effect::Compute { units: 1 };
+            }
+            self.eos_seen = true;
+        }
+        if self.eos_seen {
+            if !self.eos_sent && !self.is_last {
+                self.eos_sent = true;
+                return Effect::Send {
+                    chan: self.out.expect("non-last stage"),
+                    msg: PipeMsg::Eos,
+                };
+            }
+            return Effect::Halt;
+        }
+        Effect::Recv { chan: self.inp.expect("non-first stages have an input channel") }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut buf = encode(&self.state);
+        if self.is_last {
+            buf.extend_from_slice(&(self.outputs.len() as u64).to_le_bytes());
+            for o in &self.outputs {
+                buf.extend_from_slice(&encode(o));
+            }
+        }
+        buf
+    }
+}
+
+fn build_procs(pipeline: &Pipeline, items: Vec<Vec<f64>>) -> (Topology, Vec<StageProc>) {
+    let n = pipeline.n_stages();
+    let mut topo = Topology::new(n);
+    let chans: Vec<ChannelId> = (0..n.saturating_sub(1)).map(|k| topo.connect(k, k + 1)).collect();
+    let procs = (0..n)
+        .map(|k| StageProc {
+            stage: pipeline.stages[k].clone(),
+            state: pipeline.stages[k].init_state.clone(),
+            inp: if k == 0 { None } else { Some(chans[k - 1]) },
+            out: if k + 1 == n { None } else { Some(chans[k]) },
+            queue: if k == 0 { items.clone().into() } else { VecDeque::new() },
+            outputs: Vec::new(),
+            is_last: k + 1 == n,
+            pending_send: None,
+            eos_seen: false,
+            eos_sent: false,
+        })
+        .collect();
+    (topo, procs)
+}
+
+/// Run the message-passing pipeline under the simulated scheduler.
+pub fn run_msg_simulated(
+    pipeline: &Pipeline,
+    items: Vec<Vec<f64>>,
+    policy: &mut dyn SchedulePolicy,
+) -> Result<RunOutcome, RunError> {
+    let (topo, procs) = build_procs(pipeline, items);
+    Simulator::new(topo, procs).run(policy)
+}
+
+/// Run the message-passing pipeline on OS threads; returns per-stage
+/// snapshots.
+pub fn run_msg_threaded(
+    pipeline: &Pipeline,
+    items: Vec<Vec<f64>>,
+) -> Result<Vec<Vec<u8>>, RunError> {
+    let (topo, procs) = build_procs(pipeline, items);
+    run_threaded(&topo, procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_runtime::{Adversary, AdversarialPolicy, RandomPolicy, RoundRobin};
+
+    /// A small signal-processing chain: window scale, 3-tap FIR (stateful),
+    /// rectify, running-energy meter (stateful).
+    fn dsp_pipeline() -> Pipeline {
+        Pipeline::new(vec![
+            Stage::stateless("scale", |mut item| {
+                for x in &mut item {
+                    *x *= 0.5;
+                }
+                item
+            }),
+            Stage::stateful("fir3", vec![0.0, 0.0], |state, item| {
+                let mut out = Vec::with_capacity(item.len());
+                for &x in &item {
+                    let y = 0.5 * x + 0.3 * state[0] + 0.2 * state[1];
+                    state[1] = state[0];
+                    state[0] = x;
+                    out.push(y);
+                }
+                out
+            }),
+            Stage::stateless("rectify", |mut item| {
+                for x in &mut item {
+                    *x = x.abs();
+                }
+                item
+            }),
+            Stage::stateful("energy", vec![0.0], |state, item| {
+                let e: f64 = item.iter().map(|x| x * x).sum();
+                state[0] += e;
+                vec![e, state[0]]
+            }),
+        ])
+    }
+
+    fn items(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..8).map(|j| ((i * 8 + j) as f64 * 0.7).sin()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn simpar_matches_sequential_bitwise() {
+        let p = dsp_pipeline();
+        for n in [0usize, 1, 2, 5, 17] {
+            let seq = run_seq(&p, items(n));
+            let sim = run_simpar(&p, items(n));
+            assert_eq!(seq.snapshots(), sim.snapshots(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn msg_matches_simpar_under_policies() {
+        let p = dsp_pipeline();
+        let sim = run_simpar(&p, items(9));
+        let mut policies: Vec<Box<dyn SchedulePolicy>> = vec![
+            Box::new(RoundRobin::new()),
+            Box::new(AdversarialPolicy::new(Adversary::LowestFirst)),
+            Box::new(AdversarialPolicy::new(Adversary::HighestFirst)),
+            Box::new(RandomPolicy::seeded(5)),
+        ];
+        for policy in policies.iter_mut() {
+            let out = run_msg_simulated(&p, items(9), policy.as_mut()).unwrap();
+            assert_eq!(out.snapshots, sim.snapshots(), "policy {}", policy.name());
+        }
+    }
+
+    #[test]
+    fn msg_threaded_matches_simpar() {
+        let p = dsp_pipeline();
+        let sim = run_simpar(&p, items(7));
+        for _ in 0..3 {
+            let snaps = run_msg_threaded(&p, items(7)).unwrap();
+            assert_eq!(snaps, sim.snapshots());
+        }
+    }
+
+    #[test]
+    fn single_stage_pipeline_works() {
+        let p = Pipeline::new(vec![Stage::stateless("id", |i| i)]);
+        let seq = run_seq(&p, items(4));
+        let sim = run_simpar(&p, items(4));
+        assert_eq!(seq.snapshots(), sim.snapshots());
+        let msg = run_msg_simulated(&p, items(4), &mut RoundRobin::new()).unwrap();
+        assert_eq!(msg.snapshots, sim.snapshots());
+    }
+
+    #[test]
+    fn empty_stream_works() {
+        let p = dsp_pipeline();
+        let seq = run_seq(&p, vec![]);
+        assert!(seq.outputs.is_empty());
+        let msg = run_msg_simulated(&p, vec![], &mut RoundRobin::new()).unwrap();
+        assert_eq!(msg.snapshots, run_simpar(&p, vec![]).snapshots());
+    }
+
+    #[test]
+    fn stateful_stages_see_items_in_input_order() {
+        // The energy stage's running total is order-sensitive; equality
+        // with sequential proves FIFO item delivery end to end.
+        let p = dsp_pipeline();
+        let seq = run_seq(&p, items(12));
+        let sim = run_simpar(&p, items(12));
+        assert_eq!(
+            seq.states[3][0].to_bits(),
+            sim.states[3][0].to_bits(),
+            "running energy must match bitwise"
+        );
+        // And the outputs arrive in input order.
+        assert_eq!(seq.outputs.len(), 12);
+        for (a, b) in seq.outputs.iter().zip(&sim.outputs) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_rejected() {
+        Pipeline::new(vec![]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests: the pipeline archetype's three executions agree
+//! bitwise for random stage chains and random streams.
+
+use pipeline_archetype::{run_msg_simulated, run_seq, run_simpar, Pipeline, Stage};
+use proptest::prelude::*;
+use ssp_runtime::{RandomPolicy, RoundRobin};
+
+/// Build a random-but-deterministic pipeline from a compact description:
+/// each stage id selects one of four behaviours.
+fn pipeline_from(ids: &[u8]) -> Pipeline {
+    let stages = ids
+        .iter()
+        .map(|&id| match id % 4 {
+            0 => Stage::stateless("neg", |mut v| {
+                for x in &mut v {
+                    *x = -*x;
+                }
+                v
+            }),
+            1 => Stage::stateful("prefix-sum", vec![0.0], |s, mut v| {
+                for x in &mut v {
+                    s[0] += *x;
+                    *x = s[0];
+                }
+                v
+            }),
+            2 => Stage::stateful("delay1", vec![0.0], |s, mut v| {
+                for x in &mut v {
+                    std::mem::swap(&mut s[0], &mut *x);
+                }
+                v
+            }),
+            _ => Stage::stateless("square", |mut v| {
+                for x in &mut v {
+                    *x *= *x;
+                }
+                v
+            }),
+        })
+        .collect();
+    Pipeline::new(stages)
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, 1..5),
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sequential and simulated-parallel executions agree bitwise.
+    #[test]
+    fn simpar_equals_seq(ids in prop::collection::vec(0u8..4, 1..6), items in stream_strategy()) {
+        let p = pipeline_from(&ids);
+        let seq = run_seq(&p, items.clone());
+        let sim = run_simpar(&p, items);
+        prop_assert_eq!(seq.snapshots(), sim.snapshots());
+    }
+
+    /// The message-passing execution agrees under round-robin and random
+    /// scheduling.
+    #[test]
+    fn msg_equals_simpar(
+        ids in prop::collection::vec(0u8..4, 1..6),
+        items in stream_strategy(),
+        seed in 0u64..500,
+    ) {
+        let p = pipeline_from(&ids);
+        let sim = run_simpar(&p, items.clone());
+        let rr = run_msg_simulated(&p, items.clone(), &mut RoundRobin::new()).unwrap();
+        prop_assert_eq!(&rr.snapshots, &sim.snapshots());
+        let rnd = run_msg_simulated(&p, items, &mut RandomPolicy::seeded(seed)).unwrap();
+        prop_assert_eq!(&rnd.snapshots, &sim.snapshots());
+    }
+
+    /// Output count always equals input count, in order.
+    #[test]
+    fn stream_is_preserved(ids in prop::collection::vec(0u8..4, 1..5), items in stream_strategy()) {
+        let p = pipeline_from(&ids);
+        let n = items.len();
+        let seq = run_seq(&p, items.clone());
+        let sim = run_simpar(&p, items);
+        prop_assert_eq!(seq.outputs.len(), n);
+        prop_assert_eq!(sim.outputs.len(), n);
+    }
+}

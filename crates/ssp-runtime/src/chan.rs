@@ -1,0 +1,278 @@
+//! Channel declarations and the single-reader single-writer topology.
+//!
+//! The paper's model (§3.1) restricts interaction to *single-reader
+//! single-writer channels with infinite slack*. Channels here are declared
+//! up front in a [`Topology`], which makes the SRSW property a static check
+//! on the system rather than a dynamic convention, and gives both runners a
+//! common description of who may touch which queue.
+
+use crate::error::RunError;
+use crate::proc::ProcId;
+
+/// Index of a channel within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub usize);
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// Declaration of one channel: exactly one writer, exactly one reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// The only process allowed to send on this channel.
+    pub writer: ProcId,
+    /// The only process allowed to receive from this channel.
+    pub reader: ProcId,
+    /// `None` means infinite slack (the paper's model). `Some(k)` bounds the
+    /// queue at `k` messages, which is *not* the paper's model and exists to
+    /// demonstrate (in tests/benches) that bounded channels admit deadlocks
+    /// the theorem's hypotheses exclude.
+    pub capacity: Option<usize>,
+}
+
+impl ChannelSpec {
+    /// An infinite-slack channel from `writer` to `reader`.
+    pub fn unbounded(writer: ProcId, reader: ProcId) -> Self {
+        ChannelSpec { writer, reader, capacity: None }
+    }
+
+    /// A bounded channel (not part of the paper's model; see field docs).
+    pub fn bounded(writer: ProcId, reader: ProcId, capacity: usize) -> Self {
+        ChannelSpec { writer, reader, capacity: Some(capacity) }
+    }
+}
+
+/// The static communication structure of a system: `n_procs` processes and a
+/// set of SRSW channels between them.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    n_procs: usize,
+    specs: Vec<ChannelSpec>,
+}
+
+impl Topology {
+    /// A topology over `n_procs` processes with no channels yet.
+    pub fn new(n_procs: usize) -> Self {
+        Topology { n_procs, specs: Vec::new() }
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Number of channels.
+    pub fn n_channels(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Add a channel, returning its id. Panics if either endpoint is out of
+    /// range; self-loops (writer == reader) are permitted by the model (a
+    /// process may buffer data to itself) though rarely useful.
+    pub fn add(&mut self, spec: ChannelSpec) -> ChannelId {
+        assert!(
+            spec.writer < self.n_procs && spec.reader < self.n_procs,
+            "channel endpoint out of range: {:?} with {} processes",
+            spec,
+            self.n_procs
+        );
+        let id = ChannelId(self.specs.len());
+        self.specs.push(spec);
+        id
+    }
+
+    /// Convenience: add an unbounded channel `writer -> reader`.
+    pub fn connect(&mut self, writer: ProcId, reader: ProcId) -> ChannelId {
+        self.add(ChannelSpec::unbounded(writer, reader))
+    }
+
+    /// Look up a channel's declaration.
+    pub fn spec(&self, id: ChannelId) -> &ChannelSpec {
+        &self.specs[id.0]
+    }
+
+    /// All channel declarations in id order.
+    pub fn specs(&self) -> &[ChannelSpec] {
+        &self.specs
+    }
+
+    /// Build a fully connected topology: one unbounded channel in each
+    /// direction between every ordered pair of distinct processes. The
+    /// channel from `a` to `b` can then be found with
+    /// [`Topology::find`]`(a, b)`. This is the "tagged point-to-point
+    /// messages" structure §3.3 mentions for simulating channels on a
+    /// message-passing machine.
+    pub fn fully_connected(n_procs: usize) -> Self {
+        let mut t = Topology::new(n_procs);
+        for a in 0..n_procs {
+            for b in 0..n_procs {
+                if a != b {
+                    t.connect(a, b);
+                }
+            }
+        }
+        t
+    }
+
+    /// Build a unidirectional ring: channel `i` connects `i → (i+1) mod n`.
+    pub fn ring(n_procs: usize) -> Self {
+        let mut t = Topology::new(n_procs);
+        for i in 0..n_procs {
+            t.connect(i, (i + 1) % n_procs);
+        }
+        t
+    }
+
+    /// Build a star around `hub`: one channel each way between the hub and
+    /// every other process (the all-to-one/one-to-all dataflow of §4.2's
+    /// host-mediated operations). Channels are added spoke by spoke,
+    /// hub→spoke before spoke→hub.
+    pub fn star(n_procs: usize, hub: ProcId) -> Self {
+        assert!(hub < n_procs, "hub out of range");
+        let mut t = Topology::new(n_procs);
+        for p in 0..n_procs {
+            if p != hub {
+                t.connect(hub, p);
+                t.connect(p, hub);
+            }
+        }
+        t
+    }
+
+    /// Build a bidirectional line (the 1-D mesh dataflow): channels both
+    /// ways between each adjacent pair.
+    pub fn line(n_procs: usize) -> Self {
+        let mut t = Topology::new(n_procs);
+        for i in 0..n_procs.saturating_sub(1) {
+            t.connect(i, i + 1);
+            t.connect(i + 1, i);
+        }
+        t
+    }
+
+    /// Find the first channel from `writer` to `reader`, if any.
+    pub fn find(&self, writer: ProcId, reader: ProcId) -> Option<ChannelId> {
+        self.specs
+            .iter()
+            .position(|s| s.writer == writer && s.reader == reader)
+            .map(ChannelId)
+    }
+
+    /// Check that `proc` may send on `chan`.
+    pub fn check_writer(&self, chan: ChannelId, proc: ProcId) -> Result<(), RunError> {
+        let spec = self
+            .specs
+            .get(chan.0)
+            .ok_or(RunError::UnknownChannel { chan, proc })?;
+        if spec.writer != proc {
+            return Err(RunError::NotWriter { chan, proc, writer: spec.writer });
+        }
+        Ok(())
+    }
+
+    /// Check that `proc` may receive from `chan`.
+    pub fn check_reader(&self, chan: ChannelId, proc: ProcId) -> Result<(), RunError> {
+        let spec = self
+            .specs
+            .get(chan.0)
+            .ok_or(RunError::UnknownChannel { chan, proc })?;
+        if spec.reader != proc {
+            return Err(RunError::NotReader { chan, proc, reader: spec.reader });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_assigns_sequential_ids() {
+        let mut t = Topology::new(3);
+        let a = t.connect(0, 1);
+        let b = t.connect(1, 2);
+        assert_eq!(a, ChannelId(0));
+        assert_eq!(b, ChannelId(1));
+        assert_eq!(t.n_channels(), 2);
+    }
+
+    #[test]
+    fn srsw_checks_reject_wrong_endpoints() {
+        let mut t = Topology::new(2);
+        let c = t.connect(0, 1);
+        assert!(t.check_writer(c, 0).is_ok());
+        assert!(t.check_writer(c, 1).is_err());
+        assert!(t.check_reader(c, 1).is_ok());
+        assert!(t.check_reader(c, 0).is_err());
+    }
+
+    #[test]
+    fn unknown_channel_is_an_error() {
+        let t = Topology::new(2);
+        assert!(matches!(
+            t.check_writer(ChannelId(7), 0),
+            Err(RunError::UnknownChannel { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_panics() {
+        let mut t = Topology::new(2);
+        t.connect(0, 5);
+    }
+
+    #[test]
+    fn ring_topology_shape() {
+        let t = Topology::ring(4);
+        assert_eq!(t.n_channels(), 4);
+        for i in 0..4 {
+            assert!(t.find(i, (i + 1) % 4).is_some());
+            assert!(t.find((i + 1) % 4, i).is_none(), "rings are unidirectional");
+        }
+    }
+
+    #[test]
+    fn star_topology_shape() {
+        let t = Topology::star(5, 2);
+        assert_eq!(t.n_channels(), 8);
+        for p in 0..5 {
+            if p != 2 {
+                assert!(t.find(2, p).is_some());
+                assert!(t.find(p, 2).is_some());
+            }
+        }
+        assert!(t.find(0, 1).is_none(), "spokes are not connected to each other");
+    }
+
+    #[test]
+    fn line_topology_shape() {
+        let t = Topology::line(4);
+        assert_eq!(t.n_channels(), 6);
+        assert!(t.find(0, 1).is_some() && t.find(1, 0).is_some());
+        assert!(t.find(0, 2).is_none());
+        // Degenerate lines.
+        assert_eq!(Topology::line(1).n_channels(), 0);
+    }
+
+    #[test]
+    fn fully_connected_has_all_pairs() {
+        let t = Topology::fully_connected(4);
+        assert_eq!(t.n_channels(), 4 * 3);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    let c = t.find(a, b).expect("channel exists");
+                    assert_eq!(t.spec(c).writer, a);
+                    assert_eq!(t.spec(c).reader, b);
+                } else {
+                    assert_eq!(t.find(a, b), None);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Errors raised by the runners.
+
+use crate::chan::ChannelId;
+use crate::proc::ProcId;
+
+/// Failure modes of a simulated or threaded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A process referenced a channel id not in the topology.
+    UnknownChannel {
+        /// The unknown channel.
+        chan: ChannelId,
+        /// The offending process.
+        proc: ProcId,
+    },
+    /// A process tried to send on a channel it is not the writer of.
+    NotWriter {
+        /// The channel.
+        chan: ChannelId,
+        /// The offending process.
+        proc: ProcId,
+        /// The channel's sole writer.
+        writer: ProcId,
+    },
+    /// A process tried to receive from a channel it is not the reader of.
+    NotReader {
+        /// The channel.
+        chan: ChannelId,
+        /// The offending process.
+        proc: ProcId,
+        /// The channel's sole reader.
+        reader: ProcId,
+    },
+    /// No process can take a step but not all have halted. `blocked` lists
+    /// the processes stuck on a receive (or, for bounded channels, a send)
+    /// together with the channel each is waiting on.
+    Deadlock {
+        /// The blocked processes and the channel each waits on.
+        blocked: Vec<(ProcId, ChannelId)>,
+    },
+    /// The step limit given to the simulator was exhausted before all
+    /// processes halted — the interleaving was not maximal.
+    StepLimit {
+        /// The limit that was exhausted.
+        limit: u64,
+    },
+    /// A thread panicked in the threaded runner.
+    ThreadPanic {
+        /// The process whose thread panicked.
+        proc: ProcId,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnknownChannel { chan, proc } => {
+                write!(f, "process {proc} referenced unknown channel {chan}")
+            }
+            RunError::NotWriter { chan, proc, writer } => write!(
+                f,
+                "process {proc} sent on {chan}, whose sole writer is {writer}"
+            ),
+            RunError::NotReader { chan, proc, reader } => write!(
+                f,
+                "process {proc} received from {chan}, whose sole reader is {reader}"
+            ),
+            RunError::Deadlock { blocked } => {
+                write!(f, "deadlock; blocked: ")?;
+                for (i, (p, c)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "process {p} on {c}")?;
+                }
+                Ok(())
+            }
+            RunError::StepLimit { limit } => {
+                write!(f, "step limit {limit} exhausted before termination")
+            }
+            RunError::ThreadPanic { proc } => {
+                write!(f, "process {proc} panicked in the threaded runner")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offenders() {
+        let e = RunError::NotWriter { chan: ChannelId(3), proc: 1, writer: 0 };
+        let s = e.to_string();
+        assert!(s.contains("ch3") && s.contains("process 1") && s.contains('0'));
+
+        let e = RunError::Deadlock { blocked: vec![(0, ChannelId(1)), (2, ChannelId(4))] };
+        let s = e.to_string();
+        assert!(s.contains("process 0 on ch1") && s.contains("process 2 on ch4"));
+    }
+}

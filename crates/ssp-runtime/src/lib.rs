@@ -1,0 +1,60 @@
+//! # ssp-runtime — processes and channels for simulated-parallel programs
+//!
+//! This crate is the execution substrate for the parallelization methodology
+//! of Massingill's *"Experiments with Program Parallelization Using
+//! Archetypes and Stepwise Refinement"* (IPPS 1998). The paper's target
+//! parallel program (§3.1) is:
+//!
+//! 1. a collection of `N` sequential, **deterministic** processes;
+//! 2. processes do not share variables; each has a distinct address space;
+//! 3. processes interact only through sends and blocking receives on
+//!    **single-reader single-writer channels with infinite slack**
+//!    (i.e. unbounded capacity);
+//! 4. an execution is a fair interleaving of actions from processes.
+//!
+//! The crate provides exactly that model, twice:
+//!
+//! * [`sim::Simulator`] — a deterministic *simulated* runner that interleaves
+//!   process actions one at a time under a pluggable [`policy::SchedulePolicy`]
+//!   (round-robin, seeded-random, adversarial, or a fixed replayed schedule).
+//!   This is the tool with which Theorem 1 — *all maximal interleavings from
+//!   the same initial state terminate in the same final state* — is exercised:
+//!   run the same process collection under many different policies and compare
+//!   the final state snapshots.
+//! * [`threaded::run_threaded`] — a real OS-thread runner in which each
+//!   process executes on its own thread and receives block on a condition
+//!   variable, corresponding to the parallel program the paper ultimately
+//!   produces.
+//!
+//! Processes are written once, as implementations of [`proc::Process`], and
+//! run unchanged on either runner. A process is a resumable state machine:
+//! each call to [`proc::Process::resume`] performs one atomic action and
+//! returns an [`proc::Effect`] telling the runner what happened (a local
+//! computation, a send, a receive request, or termination).
+//!
+//! Channels are declared up front in a [`chan::Topology`], which statically
+//! checks the single-reader single-writer restriction. Channels have infinite
+//! slack by default; a bounded capacity can be requested per channel to
+//! demonstrate (in tests and benches) why the paper's infinite-slack
+//! assumption matters — bounded channels admit deadlocks that unbounded ones
+//! do not.
+#![warn(missing_docs)]
+
+
+pub mod chan;
+pub mod error;
+pub mod policy;
+pub mod proc;
+pub mod sim;
+pub mod threaded;
+pub mod trace;
+
+pub use chan::{ChannelId, ChannelSpec, Topology};
+pub use error::RunError;
+pub use policy::{
+    Adversary, AdversarialPolicy, FixedSchedule, RandomPolicy, RoundRobin, SchedulePolicy,
+};
+pub use proc::{Effect, ProcId, Process};
+pub use sim::{RunOutcome, Simulator};
+pub use threaded::run_threaded;
+pub use trace::{Event, EventKind, Trace};

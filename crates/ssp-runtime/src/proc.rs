@@ -1,0 +1,151 @@
+//! The deterministic-process abstraction.
+//!
+//! A [`Process`] is a resumable state machine over a private address space.
+//! The runner repeatedly calls [`Process::resume`]; each call performs at
+//! most one *atomic action* of the paper's model and reports it as an
+//! [`Effect`]. Determinism — the requirement of Theorem 1 — means the
+//! sequence of effects a process produces is a function only of its initial
+//! state and the messages delivered to it, never of scheduling.
+
+use crate::chan::ChannelId;
+
+/// Index of a process within a process collection (`0..n_procs`).
+pub type ProcId = usize;
+
+/// The outcome of resuming a process: the single atomic action it performed
+/// or now requires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect<M> {
+    /// The process performed a block of local computation (mutating only its
+    /// own address space). `units` is a process-reported cost in abstract
+    /// work units (e.g. flops), used by cost models; it does not affect
+    /// semantics.
+    Compute {
+        /// Process-reported cost in abstract work units.
+        units: u64,
+    },
+    /// The process sent `msg` on `chan`. The runner enqueues it; sends never
+    /// block on an infinite-slack channel.
+    Send {
+        /// Channel sent on.
+        chan: ChannelId,
+        /// The message.
+        msg: M,
+    },
+    /// The process wants to receive from `chan`. The runner will deliver the
+    /// message as the `delivery` argument of the *next* `resume` call, which
+    /// may be arbitrarily delayed if the channel is empty (a blocking
+    /// receive).
+    Recv {
+        /// Channel to receive from.
+        chan: ChannelId,
+    },
+    /// The process has terminated. `resume` must not be called again.
+    Halt,
+}
+
+impl<M> Effect<M> {
+    /// True if this effect ends the process.
+    pub fn is_halt(&self) -> bool {
+        matches!(self, Effect::Halt)
+    }
+}
+
+/// A sequential, deterministic process with a private address space.
+///
+/// The contract with the runner:
+///
+/// * The first call is `resume(None)`.
+/// * After the process returns [`Effect::Recv`], the next call is
+///   `resume(Some(msg))` with the message popped from the requested channel
+///   (in FIFO order). After any other effect, the next call is `resume(None)`.
+/// * After [`Effect::Halt`], `resume` is never called again.
+///
+/// Implementations must be deterministic: no clocks, no randomness that is
+/// not fixed by the initial state, no reads of anything outside the private
+/// state and the delivered messages.
+pub trait Process: Send {
+    /// Message type carried on this system's channels.
+    type Msg: Send;
+
+    /// Perform the next atomic action. See the trait docs for the
+    /// `delivery` protocol.
+    fn resume(&mut self, delivery: Option<Self::Msg>) -> Effect<Self::Msg>;
+
+    /// A byte snapshot of the process's observable final state, used to
+    /// compare outcomes across interleavings (Theorem 1) and across runners.
+    /// Two runs are considered to end in "the same final state" iff every
+    /// process's snapshot is byte-identical.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// A control-position fingerprint (e.g. a program counter). Two
+    /// mid-execution process states are identical only if both their
+    /// [`Process::snapshot`] *and* their `progress` agree — the snapshot
+    /// alone may omit control state that is equal at termination but
+    /// differs mid-run. Used by state-graph exploration to deduplicate
+    /// soundly; the default (constant 0) is safe only for processes whose
+    /// snapshot fully determines their continuation.
+    fn progress(&self) -> u64 {
+        0
+    }
+}
+
+/// Extend a snapshot buffer with an `f64` in a canonical (bit-exact,
+/// little-endian) encoding. `-0.0` and `0.0` are distinct, as are NaN
+/// payloads: snapshot equality is *bitwise* equality, the strongest
+/// notion of "identical results" and the one the paper reports.
+pub fn push_f64(buf: &mut Vec<u8>, x: f64) {
+    buf.extend_from_slice(&x.to_bits().to_le_bytes());
+}
+
+/// Extend a snapshot buffer with a `u64`.
+pub fn push_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Extend a snapshot buffer with every element of an `f64` slice.
+pub fn push_f64_slice(buf: &mut Vec<u8>, xs: &[f64]) {
+    push_u64(buf, xs.len() as u64);
+    for &x in xs {
+        push_f64(buf, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_encoding_is_bitwise() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        push_f64(&mut a, 0.0);
+        push_f64(&mut b, -0.0);
+        assert_ne!(a, b, "snapshots distinguish +0.0 from -0.0");
+
+        let mut c = Vec::new();
+        let mut d = Vec::new();
+        push_f64(&mut c, 1.5);
+        push_f64(&mut d, 1.5);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn slice_encoding_includes_length() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        // [0.0] and [] followed by a raw 0.0 must not collide.
+        push_f64_slice(&mut a, &[0.0]);
+        push_f64_slice(&mut b, &[]);
+        push_f64(&mut b, 0.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn halt_is_halt() {
+        let e: Effect<()> = Effect::Halt;
+        assert!(e.is_halt());
+        let e: Effect<()> = Effect::Compute { units: 3 };
+        assert!(!e.is_halt());
+    }
+}

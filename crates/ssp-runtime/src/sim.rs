@@ -1,0 +1,543 @@
+//! The deterministic simulated runner.
+//!
+//! [`Simulator`] interleaves atomic actions of a process collection one at a
+//! time under a [`SchedulePolicy`], maintaining channel queues in its own
+//! address space — the executable counterpart of the paper's §3.1 recipe for
+//! simulating a parallel program:
+//!
+//! 1. simulate concurrent execution by interleaving actions from processes;
+//! 2. simulate separate address spaces with distinct data structures;
+//! 3. represent channels as queues, never reading from an empty one.
+//!
+//! A run terminates when every process has halted; the interleaving taken is
+//! then *maximal* and the final state is the vector of process snapshots.
+//! Running the same collection under different policies and comparing
+//! outcomes is the empirical form of Theorem 1.
+
+use std::collections::VecDeque;
+
+use crate::chan::{ChannelId, Topology};
+use crate::error::RunError;
+use crate::policy::SchedulePolicy;
+use crate::proc::{Effect, ProcId, Process};
+use crate::trace::{Event, EventKind, Trace};
+
+/// Result of a terminated simulated run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Byte snapshot of each process's final state, indexed by process id.
+    pub snapshots: Vec<Vec<u8>>,
+    /// The maximal interleaving that was executed.
+    pub trace: Trace,
+    /// The exact pick sequence the policy produced. This is a superset of
+    /// [`Trace::schedule`]: a pick that merely *declares* a blocking
+    /// receive performs no visible action and records no trace event, but
+    /// still consumed a scheduling slot. Feeding `picks` to
+    /// [`crate::policy::FixedSchedule`] replays the run exactly.
+    pub picks: Vec<ProcId>,
+    /// Number of atomic actions taken (equals `trace.len()`).
+    pub steps: u64,
+    /// High-water mark of total queued messages across all channels — the
+    /// "slack" the run actually used. Infinite-slack channels make this
+    /// unbounded in principle; observing it shows how adversarial schedules
+    /// inflate buffering.
+    pub max_queued: usize,
+}
+
+impl RunOutcome {
+    /// True if `self` and `other` ended in the same final state
+    /// (bitwise-identical snapshots for every process) — the equivalence
+    /// Theorem 1 guarantees.
+    pub fn same_final_state(&self, other: &RunOutcome) -> bool {
+        self.snapshots == other.snapshots
+    }
+}
+
+enum Status<M> {
+    /// Can be resumed with `None`.
+    Ready,
+    /// Waiting for a message on the channel; runnable iff queue non-empty.
+    BlockedRecv(ChannelId),
+    /// Waiting for space on a bounded channel; holds the undelivered
+    /// message. Only possible for bounded (non-paper-model) channels.
+    BlockedSend(ChannelId, M),
+    /// Terminated.
+    Halted,
+}
+
+/// Simulated executor for one process collection over one topology.
+pub struct Simulator<P: Process> {
+    topo: Topology,
+    procs: Vec<P>,
+    status: Vec<Status<P::Msg>>,
+    queues: Vec<VecDeque<P::Msg>>,
+    /// Maximum atomic actions before aborting with [`RunError::StepLimit`].
+    pub step_limit: u64,
+}
+
+impl<P: Process + Clone> Clone for Simulator<P>
+where
+    P::Msg: Clone,
+{
+    fn clone(&self) -> Self {
+        Simulator {
+            topo: self.topo.clone(),
+            procs: self.procs.clone(),
+            status: self
+                .status
+                .iter()
+                .map(|s| match s {
+                    Status::Ready => Status::Ready,
+                    Status::BlockedRecv(c) => Status::BlockedRecv(*c),
+                    Status::BlockedSend(c, m) => Status::BlockedSend(*c, m.clone()),
+                    Status::Halted => Status::Halted,
+                })
+                .collect(),
+            queues: self.queues.clone(),
+            step_limit: self.step_limit,
+        }
+    }
+}
+
+impl<P: Process> Simulator<P> {
+    /// Build a simulator. `procs[i]` is process `i`; its length must match
+    /// the topology's process count.
+    pub fn new(topo: Topology, procs: Vec<P>) -> Self {
+        assert_eq!(
+            procs.len(),
+            topo.n_procs(),
+            "process count must match topology"
+        );
+        let n_chans = topo.n_channels();
+        let n_procs = procs.len();
+        Simulator {
+            topo,
+            procs,
+            status: (0..n_procs).map(|_| Status::Ready).collect(),
+            queues: (0..n_chans).map(|_| VecDeque::new()).collect(),
+            step_limit: u64::MAX,
+        }
+    }
+
+    /// Set the step limit (builder style).
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    fn is_runnable(&self, p: ProcId) -> bool {
+        match &self.status[p] {
+            Status::Ready => true,
+            Status::BlockedRecv(c) => !self.queues[c.0].is_empty(),
+            Status::BlockedSend(c, _) => {
+                let cap = self.topo.spec(*c).capacity;
+                match cap {
+                    None => true, // cannot actually happen: unbounded sends never block
+                    Some(k) => self.queues[c.0].len() < k,
+                }
+            }
+            Status::Halted => false,
+        }
+    }
+
+    fn runnable_set(&self) -> Vec<ProcId> {
+        (0..self.procs.len()).filter(|&p| self.is_runnable(p)).collect()
+    }
+
+    fn all_halted(&self) -> bool {
+        self.status.iter().all(|s| matches!(s, Status::Halted))
+    }
+
+    fn blocked_list(&self) -> Vec<(ProcId, ChannelId)> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter_map(|(p, s)| match s {
+                Status::BlockedRecv(c) => Some((p, *c)),
+                Status::BlockedSend(c, _) => Some((p, *c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Handle the effect a process returned from `resume`, updating its
+    /// status and the queues, and record the corresponding event.
+    fn apply_effect(
+        &mut self,
+        p: ProcId,
+        eff: Effect<P::Msg>,
+        trace: &mut Trace,
+    ) -> Result<(), RunError> {
+        match eff {
+            Effect::Compute { units } => {
+                trace.push(Event { proc: p, kind: EventKind::Computed { units } });
+                self.status[p] = Status::Ready;
+            }
+            Effect::Send { chan, msg } => {
+                self.topo.check_writer(chan, p)?;
+                let cap = self.topo.spec(chan).capacity;
+                let full = cap.is_some_and(|k| self.queues[chan.0].len() >= k);
+                if full {
+                    // Bounded channel (non-paper model): hold the message and
+                    // block until the reader makes space.
+                    self.status[p] = Status::BlockedSend(chan, msg);
+                } else {
+                    self.queues[chan.0].push_back(msg);
+                    trace.push(Event { proc: p, kind: EventKind::Sent { chan } });
+                    self.status[p] = Status::Ready;
+                }
+            }
+            Effect::Recv { chan } => {
+                self.topo.check_reader(chan, p)?;
+                // The receive itself (delivery) is a separate atomic action,
+                // taken when this process is next scheduled and the queue is
+                // non-empty.
+                self.status[p] = Status::BlockedRecv(chan);
+            }
+            Effect::Halt => {
+                trace.push(Event { proc: p, kind: EventKind::Halted });
+                self.status[p] = Status::Halted;
+            }
+        }
+        Ok(())
+    }
+
+    /// Take one atomic step for process `p` (which must be runnable).
+    fn step(&mut self, p: ProcId, trace: &mut Trace) -> Result<(), RunError> {
+        // Temporarily replace the status to take ownership of any held message.
+        let status = std::mem::replace(&mut self.status[p], Status::Ready);
+        match status {
+            Status::Ready => {
+                let eff = self.procs[p].resume(None);
+                self.apply_effect(p, eff, trace)?;
+            }
+            Status::BlockedRecv(chan) => {
+                let msg = self.queues[chan.0]
+                    .pop_front()
+                    .expect("scheduled a recv-blocked process with empty queue");
+                trace.push(Event { proc: p, kind: EventKind::Received { chan } });
+                let eff = self.procs[p].resume(Some(msg));
+                self.apply_effect(p, eff, trace)?;
+            }
+            Status::BlockedSend(chan, msg) => {
+                // Space is now available: complete the pending send. The
+                // process is not resumed this step; the send is the action.
+                self.queues[chan.0].push_back(msg);
+                trace.push(Event { proc: p, kind: EventKind::Sent { chan } });
+                self.status[p] = Status::Ready;
+            }
+            Status::Halted => unreachable!("halted processes are never scheduled"),
+        }
+        Ok(())
+    }
+
+    /// The currently runnable processes (empty + not all halted ⇒ deadlock).
+    /// Public for interactive exploration: exhaustive interleaving
+    /// enumeration branches on exactly this set.
+    pub fn runnable(&self) -> Vec<ProcId> {
+        self.runnable_set()
+    }
+
+    /// True when every process has halted (the interleaving is maximal).
+    pub fn is_done(&self) -> bool {
+        self.all_halted()
+    }
+
+    /// Take one atomic step for runnable process `p`, appending its event to
+    /// `trace`. Public counterpart of the internal stepper, for interactive
+    /// exploration.
+    pub fn step_process(&mut self, p: ProcId, trace: &mut Trace) -> Result<(), RunError> {
+        assert!(self.is_runnable(p), "step_process requires a runnable process");
+        self.step(p, trace)
+    }
+
+    /// Snapshot every process's current state (meaningful once
+    /// [`Simulator::is_done`], but callable at any point).
+    pub fn snapshots_now(&self) -> Vec<Vec<u8>> {
+        self.procs.iter().map(|p| p.snapshot()).collect()
+    }
+
+    /// A canonical fingerprint of the *entire* simulator state — process
+    /// snapshots and progress counters, statuses, and queue contents
+    /// (encoded by `msg_bytes`). Two simulators with equal fingerprints are
+    /// behaviourally identical, so state-graph exploration may merge them.
+    pub fn state_fingerprint(&self, msg_bytes: impl Fn(&P::Msg) -> Vec<u8>) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for p in &self.procs {
+            let snap = p.snapshot();
+            buf.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&snap);
+            buf.extend_from_slice(&p.progress().to_le_bytes());
+        }
+        for s in &self.status {
+            match s {
+                Status::Ready => buf.push(0),
+                Status::BlockedRecv(c) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&(c.0 as u64).to_le_bytes());
+                }
+                Status::BlockedSend(c, m) => {
+                    buf.push(2);
+                    buf.extend_from_slice(&(c.0 as u64).to_le_bytes());
+                    let mb = msg_bytes(m);
+                    buf.extend_from_slice(&(mb.len() as u64).to_le_bytes());
+                    buf.extend_from_slice(&mb);
+                }
+                Status::Halted => buf.push(3),
+            }
+        }
+        for q in &self.queues {
+            buf.extend_from_slice(&(q.len() as u64).to_le_bytes());
+            for m in q {
+                let mb = msg_bytes(m);
+                buf.extend_from_slice(&(mb.len() as u64).to_le_bytes());
+                buf.extend_from_slice(&mb);
+            }
+        }
+        buf
+    }
+
+    /// Run to termination under `policy`, producing the maximal interleaving
+    /// taken and the final state.
+    pub fn run(mut self, policy: &mut dyn SchedulePolicy) -> Result<RunOutcome, RunError> {
+        let mut trace = Trace::new();
+        let mut picks = Vec::new();
+        let mut steps: u64 = 0;
+        let mut max_queued = 0usize;
+        while !self.all_halted() {
+            let runnable = self.runnable_set();
+            if runnable.is_empty() {
+                return Err(RunError::Deadlock { blocked: self.blocked_list() });
+            }
+            if steps >= self.step_limit {
+                return Err(RunError::StepLimit { limit: self.step_limit });
+            }
+            let p = policy.pick(&runnable);
+            debug_assert!(runnable.contains(&p), "policy must pick a runnable process");
+            picks.push(p);
+            self.step(p, &mut trace)?;
+            steps += 1;
+            let queued: usize = self.queues.iter().map(|q| q.len()).sum();
+            max_queued = max_queued.max(queued);
+        }
+        let snapshots = self.procs.iter().map(|p| p.snapshot()).collect();
+        Ok(RunOutcome { snapshots, trace, steps, max_queued, picks })
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_simulated<P: Process>(
+    topo: Topology,
+    procs: Vec<P>,
+    policy: &mut dyn SchedulePolicy,
+) -> Result<RunOutcome, RunError> {
+    Simulator::new(topo, procs).run(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chan::ChannelSpec;
+    use crate::policy::{Adversary, AdversarialPolicy, RandomPolicy, RoundRobin};
+    use crate::proc::{push_f64, push_u64};
+
+    /// A process that sends `count` increasing integers then halts, or
+    /// receives `count` integers, sums them, then halts.
+    enum PingPong {
+        Sender { chan: ChannelId, next: u64, count: u64 },
+        Receiver { chan: ChannelId, got: u64, sum: u64, count: u64 },
+    }
+
+    impl Process for PingPong {
+        type Msg = u64;
+
+        fn resume(&mut self, delivery: Option<u64>) -> Effect<u64> {
+            match self {
+                PingPong::Sender { chan, next, count } => {
+                    if *next < *count {
+                        let msg = *next;
+                        *next += 1;
+                        Effect::Send { chan: *chan, msg }
+                    } else {
+                        Effect::Halt
+                    }
+                }
+                PingPong::Receiver { chan, got, sum, count } => {
+                    if let Some(m) = delivery {
+                        *sum = sum.wrapping_mul(31).wrapping_add(m);
+                        *got += 1;
+                    }
+                    if *got < *count {
+                        Effect::Recv { chan: *chan }
+                    } else {
+                        Effect::Halt
+                    }
+                }
+            }
+        }
+
+        fn snapshot(&self) -> Vec<u8> {
+            let mut buf = Vec::new();
+            match self {
+                PingPong::Sender { next, .. } => push_u64(&mut buf, *next),
+                PingPong::Receiver { sum, .. } => push_u64(&mut buf, *sum),
+            }
+            buf
+        }
+    }
+
+    fn pair(count: u64) -> (Topology, Vec<PingPong>) {
+        let mut topo = Topology::new(2);
+        let c = topo.connect(0, 1);
+        let procs = vec![
+            PingPong::Sender { chan: c, next: 0, count },
+            PingPong::Receiver { chan: c, got: 0, sum: 0, count },
+        ];
+        (topo, procs)
+    }
+
+    #[test]
+    fn messages_arrive_in_fifo_order() {
+        let (topo, procs) = pair(10);
+        let out = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap();
+        // The receiver's order-sensitive hash must equal the in-order hash.
+        let mut expect: u64 = 0;
+        for m in 0..10u64 {
+            expect = expect.wrapping_mul(31).wrapping_add(m);
+        }
+        let mut buf = Vec::new();
+        push_u64(&mut buf, expect);
+        assert_eq!(out.snapshots[1], buf);
+    }
+
+    #[test]
+    fn all_policies_agree_on_final_state() {
+        let run = |policy: &mut dyn SchedulePolicy| {
+            let (topo, procs) = pair(25);
+            run_simulated(topo, procs, policy).unwrap()
+        };
+        let reference = run(&mut RoundRobin::new());
+        let outcomes = [
+            run(&mut AdversarialPolicy::new(Adversary::LowestFirst)),
+            run(&mut AdversarialPolicy::new(Adversary::HighestFirst)),
+            run(&mut AdversarialPolicy::new(Adversary::PingPong)),
+            run(&mut RandomPolicy::seeded(1)),
+            run(&mut RandomPolicy::seeded(2)),
+        ];
+        for o in &outcomes {
+            assert!(reference.same_final_state(o));
+        }
+    }
+
+    #[test]
+    fn lowest_first_maximizes_queueing() {
+        // Under LowestFirst the sender (process 0) runs to completion before
+        // the receiver ever drains: the queue peaks at the full message count.
+        let (topo, procs) = pair(25);
+        let out = run_simulated(
+            topo,
+            procs,
+            &mut AdversarialPolicy::new(Adversary::LowestFirst),
+        )
+        .unwrap();
+        assert_eq!(out.max_queued, 25);
+
+        // Round-robin drains as it goes: strictly less buffering.
+        let (topo, procs) = pair(25);
+        let rr = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap();
+        assert!(rr.max_queued < 25);
+    }
+
+    #[test]
+    fn recv_from_never_written_channel_deadlocks() {
+        let mut topo = Topology::new(2);
+        let c = topo.connect(0, 1);
+        // Sender sends nothing; receiver expects one message.
+        let procs = vec![
+            PingPong::Sender { chan: c, next: 0, count: 0 },
+            PingPong::Receiver { chan: c, got: 0, sum: 0, count: 1 },
+        ];
+        let err = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap_err();
+        match err {
+            RunError::Deadlock { blocked } => assert_eq!(blocked, vec![(1, c)]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_channels_block_senders_but_still_complete_here() {
+        // With capacity 1 and an eager sender, the sender blocks between
+        // messages; the run still completes because the receiver drains.
+        let mut topo = Topology::new(2);
+        let c = topo.add(ChannelSpec::bounded(0, 1, 1));
+        let procs = vec![
+            PingPong::Sender { chan: c, next: 0, count: 8 },
+            PingPong::Receiver { chan: c, got: 0, sum: 0, count: 8 },
+        ];
+        let out = run_simulated(
+            topo,
+            procs,
+            &mut AdversarialPolicy::new(Adversary::LowestFirst),
+        )
+        .unwrap();
+        assert_eq!(out.max_queued, 1, "capacity bound respected");
+    }
+
+    #[test]
+    fn step_limit_aborts_long_runs() {
+        let (topo, procs) = pair(100);
+        let err = Simulator::new(topo, procs)
+            .with_step_limit(5)
+            .run(&mut RoundRobin::new())
+            .unwrap_err();
+        assert_eq!(err, RunError::StepLimit { limit: 5 });
+    }
+
+    /// Two processes that each send one message to the other and then
+    /// receive — the safe "all sends before any receives" ordering of §3.3.
+    struct ExchangeOk {
+        out: ChannelId,
+        inp: ChannelId,
+        sent: bool,
+        value: f64,
+        received: Option<f64>,
+    }
+
+    impl Process for ExchangeOk {
+        type Msg = f64;
+        fn resume(&mut self, delivery: Option<f64>) -> Effect<f64> {
+            if let Some(v) = delivery {
+                self.received = Some(v);
+                return Effect::Halt;
+            }
+            if !self.sent {
+                self.sent = true;
+                Effect::Send { chan: self.out, msg: self.value }
+            } else {
+                Effect::Recv { chan: self.inp }
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            let mut buf = Vec::new();
+            push_f64(&mut buf, self.received.unwrap_or(f64::NAN));
+            buf
+        }
+    }
+
+    #[test]
+    fn symmetric_exchange_sends_before_receives_terminates() {
+        let mut topo = Topology::new(2);
+        let c01 = topo.connect(0, 1);
+        let c10 = topo.connect(1, 0);
+        let procs = vec![
+            ExchangeOk { out: c01, inp: c10, sent: false, value: 1.0, received: None },
+            ExchangeOk { out: c10, inp: c01, sent: false, value: 2.0, received: None },
+        ];
+        let out = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap();
+        let mut b0 = Vec::new();
+        push_f64(&mut b0, 2.0);
+        let mut b1 = Vec::new();
+        push_f64(&mut b1, 1.0);
+        assert_eq!(out.snapshots, vec![b0, b1]);
+    }
+}

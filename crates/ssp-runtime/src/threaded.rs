@@ -1,0 +1,287 @@
+//! The real parallel runner: one OS thread per process, blocking receives.
+//!
+//! This is the target of the paper's final transformation — the "real
+//! parallel" left-hand side of its Figure 1. Processes written against
+//! [`crate::proc::Process`] run here unchanged; the scheduler is the OS's,
+//! so the interleaving is whatever the machine produces. Theorem 1 is what
+//! licenses not caring: the final state equals the simulated runs' final
+//! state, which the integration tests and the `theorem1` bench confirm.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::chan::Topology;
+use crate::error::RunError;
+use crate::proc::{Effect, Process};
+
+/// A single-reader single-writer queue with (optionally bounded) slack.
+struct SharedChan<M> {
+    queue: Mutex<VecDeque<M>>,
+    /// Signalled when a message is pushed (wakes the reader).
+    nonempty: Condvar,
+    /// Signalled when a message is popped (wakes a bounded-channel writer).
+    nonfull: Condvar,
+    capacity: Option<usize>,
+}
+
+impl<M> SharedChan<M> {
+    fn new(capacity: Option<usize>) -> Self {
+        SharedChan {
+            queue: Mutex::new(VecDeque::new()),
+            nonempty: Condvar::new(),
+            nonfull: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn send(&self, msg: M) {
+        let mut q = self.queue.lock();
+        if let Some(k) = self.capacity {
+            while q.len() >= k {
+                self.nonfull.wait(&mut q);
+            }
+        }
+        q.push_back(msg);
+        self.nonempty.notify_one();
+    }
+
+    fn recv(&self) -> M {
+        let mut q = self.queue.lock();
+        while q.is_empty() {
+            self.nonempty.wait(&mut q);
+        }
+        let msg = q.pop_front().expect("non-empty after wait");
+        self.nonfull.notify_one();
+        msg
+    }
+}
+
+/// Run a process collection on real threads to termination and return each
+/// process's final snapshot, indexed by process id.
+///
+/// Channel endpoint violations (a process sending on a channel it does not
+/// own) are detected and reported as errors, exactly as in the simulated
+/// runner. Deadlocked programs block forever — the threaded runner performs
+/// no deadlock detection; validate programs under [`crate::sim::Simulator`]
+/// first.
+pub fn run_threaded<P>(topo: &Topology, procs: Vec<P>) -> Result<Vec<Vec<u8>>, RunError>
+where
+    P: Process + 'static,
+{
+    assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
+    let chans: Vec<Arc<SharedChan<P::Msg>>> = topo
+        .specs()
+        .iter()
+        .map(|s| Arc::new(SharedChan::new(s.capacity)))
+        .collect();
+
+    let mut handles = Vec::with_capacity(procs.len());
+    for (pid, mut proc) in procs.into_iter().enumerate() {
+        let chans = chans.clone();
+        let topo = topo.clone();
+        handles.push(std::thread::spawn(move || -> Result<Vec<u8>, RunError> {
+            let mut delivery: Option<P::Msg> = None;
+            loop {
+                match proc.resume(delivery.take()) {
+                    Effect::Compute { .. } => {}
+                    Effect::Send { chan, msg } => {
+                        topo.check_writer(chan, pid)?;
+                        chans[chan.0].send(msg);
+                    }
+                    Effect::Recv { chan } => {
+                        topo.check_reader(chan, pid)?;
+                        delivery = Some(chans[chan.0].recv());
+                    }
+                    Effect::Halt => return Ok(proc.snapshot()),
+                }
+            }
+        }));
+    }
+
+    let mut snapshots = Vec::with_capacity(handles.len());
+    let mut first_err: Option<RunError> = None;
+    for (pid, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(snap)) => snapshots.push(snap),
+            Ok(Err(e)) => {
+                snapshots.push(Vec::new());
+                first_err.get_or_insert(e);
+            }
+            Err(_) => {
+                snapshots.push(Vec::new());
+                first_err.get_or_insert(RunError::ThreadPanic { proc: pid });
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(snapshots),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chan::ChannelId;
+    use crate::policy::RoundRobin;
+    use crate::proc::push_u64;
+    use crate::sim::run_simulated;
+
+    /// A ring of processes circulating an incrementing token. Node 0 injects
+    /// the token with value 1; every node forwards `token + 1`; each node
+    /// handles the token `laps` times, and node 0 keeps (rather than
+    /// forwards) the final token. The final token value is `n * laps`.
+    struct RingNode {
+        id: usize,
+        laps: u64,
+        inp: ChannelId,
+        out: ChannelId,
+        sent_initial: bool,
+        handled: u64,
+        state: u64,
+    }
+
+    impl Process for RingNode {
+        type Msg = u64;
+        fn resume(&mut self, delivery: Option<u64>) -> Effect<u64> {
+            if let Some(tok) = delivery {
+                self.handled += 1;
+                if self.id == 0 && self.handled == self.laps {
+                    self.state = tok;
+                    return Effect::Halt;
+                }
+                return Effect::Send { chan: self.out, msg: tok + 1 };
+            }
+            if self.id == 0 && !self.sent_initial {
+                self.sent_initial = true;
+                return Effect::Send { chan: self.out, msg: 1 };
+            }
+            if self.handled < self.laps {
+                Effect::Recv { chan: self.inp }
+            } else {
+                Effect::Halt
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            let mut b = Vec::new();
+            push_u64(&mut b, self.state);
+            b
+        }
+    }
+
+    fn ring(n: usize, laps: u64) -> (Topology, Vec<RingNode>) {
+        let mut topo = Topology::new(n);
+        let mut outs = Vec::new();
+        for i in 0..n {
+            outs.push(topo.connect(i, (i + 1) % n));
+        }
+        let procs = (0..n)
+            .map(|i| RingNode {
+                id: i,
+                laps,
+                inp: outs[(i + n - 1) % n],
+                out: outs[i],
+                sent_initial: false,
+                handled: 0,
+                state: 0,
+            })
+            .collect();
+        (topo, procs)
+    }
+
+    #[test]
+    fn ring_token_value_is_n_times_laps() {
+        let (topo, procs) = ring(4, 3);
+        let out = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap();
+        let mut expect = Vec::new();
+        push_u64(&mut expect, 4 * 3);
+        assert_eq!(out.snapshots[0], expect);
+    }
+
+    #[test]
+    fn threaded_matches_simulated_on_a_token_ring() {
+        let (topo, procs) = ring(4, 3);
+        let sim = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap();
+
+        let (topo2, procs2) = ring(4, 3);
+        let thr = run_threaded(&topo2, procs2).unwrap();
+        assert_eq!(sim.snapshots, thr);
+    }
+
+    #[test]
+    fn threaded_bounded_channels_block_and_wake() {
+        // A bounded channel in the threaded runner: the sender must block
+        // when the queue is full and be woken as the receiver drains —
+        // the run completes and the receiver sees FIFO order.
+        use crate::chan::ChannelSpec;
+        enum Role {
+            Burst { out: ChannelId, n: u64, sent: u64 },
+            Drain { inp: ChannelId, n: u64, got: u64, sum: u64 },
+        }
+        impl Process for Role {
+            type Msg = u64;
+            fn resume(&mut self, d: Option<u64>) -> Effect<u64> {
+                match self {
+                    Role::Burst { out, n, sent } => {
+                        if *sent < *n {
+                            *sent += 1;
+                            Effect::Send { chan: *out, msg: *sent }
+                        } else {
+                            Effect::Halt
+                        }
+                    }
+                    Role::Drain { inp, n, got, sum } => {
+                        if let Some(v) = d {
+                            *got += 1;
+                            // Order-sensitive fold proves FIFO.
+                            *sum = sum.wrapping_mul(31).wrapping_add(v);
+                        }
+                        if *got < *n {
+                            Effect::Recv { chan: *inp }
+                        } else {
+                            Effect::Halt
+                        }
+                    }
+                }
+            }
+            fn snapshot(&self) -> Vec<u8> {
+                match self {
+                    Role::Burst { sent, .. } => sent.to_le_bytes().to_vec(),
+                    Role::Drain { sum, .. } => sum.to_le_bytes().to_vec(),
+                }
+            }
+        }
+        let n = 200u64;
+        let mut topo = Topology::new(2);
+        let c = topo.add(ChannelSpec::bounded(0, 1, 2)); // tiny capacity
+        let snaps = run_threaded(
+            &topo,
+            vec![
+                Role::Burst { out: c, n, sent: 0 },
+                Role::Drain { inp: c, n, got: 0, sum: 0 },
+            ],
+        )
+        .unwrap();
+        let mut expect: u64 = 0;
+        for v in 1..=n {
+            expect = expect.wrapping_mul(31).wrapping_add(v);
+        }
+        assert_eq!(snaps[1], expect.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn threaded_repeated_runs_are_identical() {
+        // "…identical to those of the corresponding sequential
+        // simulated-parallel versions, on the first and every execution."
+        let reference = {
+            let (topo, procs) = ring(5, 2);
+            run_threaded(&topo, procs).unwrap()
+        };
+        for _ in 0..10 {
+            let (topo, procs) = ring(5, 2);
+            assert_eq!(run_threaded(&topo, procs).unwrap(), reference);
+        }
+    }
+}

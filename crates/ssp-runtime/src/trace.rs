@@ -1,0 +1,171 @@
+//! Execution traces: the sequence of atomic actions an interleaving took.
+//!
+//! Traces serve three purposes: they *are* the interleaving (Theorem 1
+//! quantifies over them), they can be replayed exactly with
+//! [`crate::policy::FixedSchedule`], and they feed the permutation argument
+//! in `archetypes-core::theorem` that mirrors the paper's proof technique.
+
+use crate::chan::ChannelId;
+use crate::proc::ProcId;
+
+/// What a single scheduled step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A local-computation action of the given abstract cost.
+    Computed {
+        /// Abstract work units reported by the process.
+        units: u64,
+    },
+    /// A send on `chan` (never blocks on infinite-slack channels).
+    Sent {
+        /// The channel sent on.
+        chan: ChannelId,
+    },
+    /// A receive from `chan` completed (the message was delivered).
+    Received {
+        /// The channel received from.
+        chan: ChannelId,
+    },
+    /// The process halted.
+    Halted,
+}
+
+/// One atomic action in an interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Which process acted.
+    pub proc: ProcId,
+    /// What it did.
+    pub kind: EventKind,
+}
+
+/// A complete interleaving: the ordered list of atomic actions of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// The events in execution order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of atomic actions taken.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no actions were taken.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The *schedule* of this trace: the sequence of process ids in the
+    /// order they acted. Feeding this to
+    /// [`crate::policy::FixedSchedule`] replays the identical interleaving
+    /// (processes are deterministic, so the schedule determines the trace).
+    pub fn schedule(&self) -> Vec<ProcId> {
+        self.events.iter().map(|e| e.proc).collect()
+    }
+
+    /// Per-process counts of (computes, sends, receives) — useful for
+    /// verifying that two interleavings are permutations of the same
+    /// multiset of actions, the first step of the paper's proof argument.
+    pub fn action_counts(&self, n_procs: usize) -> Vec<(u64, u64, u64)> {
+        let mut counts = vec![(0u64, 0u64, 0u64); n_procs];
+        for e in &self.events {
+            let c = &mut counts[e.proc];
+            match e.kind {
+                EventKind::Computed { .. } => c.0 += 1,
+                EventKind::Sent { .. } => c.1 += 1,
+                EventKind::Received { .. } => c.2 += 1,
+                EventKind::Halted => {}
+            }
+        }
+        counts
+    }
+
+    /// The projection of the trace onto one process: its subsequence of
+    /// events. Theorem 1's proof relies on every interleaving having the
+    /// *same* per-process projection (determinism), differing only in how
+    /// projections are merged.
+    pub fn projection(&self, proc: ProcId) -> Vec<Event> {
+        self.events.iter().copied().filter(|e| e.proc == proc).collect()
+    }
+
+    /// Total abstract compute units across all processes.
+    pub fn total_compute_units(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Computed { units } => units,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total number of messages sent.
+    pub fn total_sends(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Sent { .. }))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(proc: ProcId, kind: EventKind) -> Event {
+        Event { proc, kind }
+    }
+
+    #[test]
+    fn schedule_extracts_actor_order() {
+        let mut t = Trace::new();
+        t.push(ev(0, EventKind::Computed { units: 1 }));
+        t.push(ev(1, EventKind::Sent { chan: ChannelId(0) }));
+        t.push(ev(0, EventKind::Halted));
+        assert_eq!(t.schedule(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn projections_partition_the_trace() {
+        let mut t = Trace::new();
+        t.push(ev(0, EventKind::Computed { units: 1 }));
+        t.push(ev(1, EventKind::Sent { chan: ChannelId(0) }));
+        t.push(ev(0, EventKind::Received { chan: ChannelId(1) }));
+        t.push(ev(1, EventKind::Halted));
+        let p0 = t.projection(0);
+        let p1 = t.projection(1);
+        assert_eq!(p0.len() + p1.len(), t.len());
+        assert!(p0.iter().all(|e| e.proc == 0));
+        assert!(p1.iter().all(|e| e.proc == 1));
+    }
+
+    #[test]
+    fn action_counts_tally_by_kind() {
+        let mut t = Trace::new();
+        t.push(ev(0, EventKind::Computed { units: 5 }));
+        t.push(ev(0, EventKind::Sent { chan: ChannelId(0) }));
+        t.push(ev(0, EventKind::Sent { chan: ChannelId(0) }));
+        t.push(ev(1, EventKind::Received { chan: ChannelId(0) }));
+        let counts = t.action_counts(2);
+        assert_eq!(counts[0], (1, 2, 0));
+        assert_eq!(counts[1], (0, 0, 1));
+        assert_eq!(t.total_compute_units(), 5);
+        assert_eq!(t.total_sends(), 2);
+    }
+}

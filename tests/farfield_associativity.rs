@@ -1,0 +1,114 @@
+//! Experiment E4 at the umbrella level: the far-field negative result and
+//! its resolution, plus the synthetic analysis of the paper's footnote 2.
+
+use std::sync::Arc;
+
+use archetypes::fdtd::par::{init_c, plan_c};
+use archetypes::fdtd::verify::{count_bitwise_diffs, max_rel_err, series_bitwise_eq};
+use archetypes::fdtd::{run_seq_version_c, FarFieldSpec, FarFieldStrategy, Params};
+use archetypes::grid::ProcGrid3;
+use archetypes::mesh::driver::{run_simpar, SimParConfig};
+use archetypes::mesh::sum::{magnitude_spread_workload, sum_chunked, sum_naive};
+use archetypes::mesh::{ReduceAlgo, SumMethod};
+
+fn run_strategy(
+    params: &Arc<Params>,
+    spec: &FarFieldSpec,
+    strategy: FarFieldStrategy,
+    p: usize,
+) -> Vec<f64> {
+    let plan = plan_c(params, spec, strategy);
+    let pg = ProcGrid3::choose(params.n, p);
+    let init = init_c(params.clone(), spec.clone(), strategy);
+    run_simpar(&plan, pg, SimParConfig::default(), |e| init(e)).locals[0]
+        .potentials
+        .clone()
+}
+
+#[test]
+fn the_paper_negative_result_and_the_fix() {
+    let params = Arc::new(Params::tiny());
+    let spec = FarFieldSpec::standard(2);
+    let seq = run_seq_version_c(&params, &spec);
+
+    // The naive strategy: numerically close, bitwise different somewhere.
+    let mut naive_diff_total = 0usize;
+    for p in [2usize, 4, 8] {
+        let naive =
+            run_strategy(&params, &spec, FarFieldStrategy::NaiveReorder(ReduceAlgo::AllToOne), p);
+        assert!(max_rel_err(&naive, &seq.potentials) < 1e-6);
+        naive_diff_total += count_bitwise_diffs(&naive, &seq.potentials);
+    }
+    assert!(naive_diff_total > 0, "reordering must perturb some bits");
+
+    // The ordered strategy: bitwise identical at every P.
+    for p in [2usize, 4, 8] {
+        let ordered = run_strategy(&params, &spec, FarFieldStrategy::Ordered(SumMethod::Naive), p);
+        assert!(series_bitwise_eq(&ordered, &seq.potentials), "ordered diverged at P={p}");
+    }
+}
+
+/// A workload whose addends span seventeen orders of magnitude with
+/// cancellation: a huge pair brackets a run of small values, so any
+/// left-to-right order that crosses the bracket absorbs (loses) the small
+/// values inside it, while orders that sum the small values separately
+/// keep them — a distilled version of the far-field's early-time/late-time
+/// magnitude disparity.
+fn cancelling_workload() -> Vec<f64> {
+    let mut v = vec![0.1; 1000];
+    v.push(1e16);
+    v.extend(std::iter::repeat_n(0.1, 1000));
+    v.push(-1e16);
+    v.extend(std::iter::repeat_n(0.1, 1000));
+    v
+}
+
+#[test]
+fn footnote_2_in_isolation() {
+    // "Analysis of the values involved showed that they ranged over many
+    // orders of magnitude, so it is not surprising that the result of the
+    // summation was markedly affected by the order of summation."
+    let benign = magnitude_spread_workload(20_000, 0, 11)
+        .into_iter()
+        .map(f64::abs)
+        .collect::<Vec<_>>();
+    let wild = cancelling_workload();
+    let perturb = |xs: &[f64]| {
+        let seq = sum_naive(xs);
+        [2usize, 3, 4, 8]
+            .iter()
+            .map(|&p| {
+                let d = (sum_chunked(xs, p) - seq).abs();
+                if seq != 0.0 {
+                    d / seq.abs()
+                } else {
+                    d
+                }
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let benign_err = perturb(&benign);
+    let wild_err = perturb(&wild);
+    assert!(
+        wild_err > 1e3 * benign_err.max(1e-18),
+        "cancellation across many orders of magnitude must be markedly more \
+         order-sensitive: {wild_err:e} vs {benign_err:e}"
+    );
+}
+
+#[test]
+fn ordered_strategies_are_p_independent_even_when_not_sequential_equal() {
+    let params = Arc::new(Params::tiny());
+    let spec = FarFieldSpec::standard(2);
+    for method in [SumMethod::Kahan, SumMethod::Pairwise] {
+        let strategy = FarFieldStrategy::Ordered(method);
+        let reference = run_strategy(&params, &spec, strategy, 2);
+        for p in [4usize, 8] {
+            let got = run_strategy(&params, &spec, strategy, p);
+            assert!(
+                series_bitwise_eq(&got, &reference),
+                "{method:?} result varied between P=2 and P={p}"
+            );
+        }
+    }
+}
