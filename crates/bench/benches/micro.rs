@@ -1,10 +1,15 @@
-//! Criterion microbenchmarks of the substrate hot paths: the FDTD update
-//! kernels, boundary-exchange slab movement, reduction schedules, the
-//! ordered sum, and the simulated channel runtime.
+//! Microbenchmarks of the substrate hot paths: the FDTD update kernels,
+//! boundary-exchange slab movement, reduction schedules, the ordered sum,
+//! and the simulated channel runtime.
+//!
+//! Self-contained timing harness (median-of-samples over a calibrated
+//! batch size) — the build environment is offline, so no external
+//! benchmarking framework is used.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
+use bench::print_table;
 use fdtd::material::{Material, MaterialSpec};
 use fdtd::update::{update_e, update_h};
 use fdtd::Fields;
@@ -16,36 +21,70 @@ use meshgrid::halo::{extract_face3, insert_ghost3, Face3};
 use meshgrid::{Block3, Grid3};
 use ssp_runtime::{ChannelId, Effect, Process, RoundRobin, Simulator, Topology};
 
-fn bench_fdtd_step(c: &mut Criterion) {
+/// Time `f` with enough iterations per sample to dwarf timer noise, and
+/// report the median per-iteration time over `samples` samples.
+fn measure(mut f: impl FnMut()) -> Duration {
+    // Calibrate: grow the batch until one batch takes >= 2 ms.
+    let mut batch = 1u32;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if t0.elapsed() >= Duration::from_millis(2) || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 4;
+    }
+    let samples = 9;
+    let mut per_iter: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed() / batch
+        })
+        .collect();
+    per_iter.sort();
+    per_iter[samples / 2]
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    }
+}
+
+fn bench_fdtd_step(rows: &mut Vec<Vec<String>>) {
     let n = (33, 33, 33);
     let m = Material::build(&MaterialSpec::Vacuum, Block3 { lo: (0, 0, 0), hi: n }, 0.5);
     let mut f = Fields::zeros(n.0, n.1, n.2);
     f.ez.set(16, 16, 16, 1.0);
-    c.bench_function("fdtd_update_e_33cubed", |b| {
-        b.iter(|| {
-            update_e(black_box(&mut f), black_box(&m));
-        })
-    });
-    c.bench_function("fdtd_update_h_33cubed", |b| {
-        b.iter(|| {
-            update_h(black_box(&mut f), black_box(&m));
-        })
-    });
+    let t = measure(|| update_e(black_box(&mut f), black_box(&m)));
+    rows.push(vec!["fdtd_update_e_33cubed".into(), fmt(t)]);
+    let t = measure(|| update_h(black_box(&mut f), black_box(&m)));
+    rows.push(vec!["fdtd_update_h_33cubed".into(), fmt(t)]);
 }
 
-fn bench_halo(c: &mut Criterion) {
+fn bench_halo(rows: &mut Vec<Vec<String>>) {
     let g = Grid3::from_fn(33, 33, 33, 1, |i, j, k| (i + j + k) as f64);
     let mut dst: Grid3<f64> = Grid3::new(33, 33, 33, 1);
-    c.bench_function("halo_extract_face_33sq", |b| {
-        b.iter(|| black_box(extract_face3(black_box(&g), Face3::XHi)))
+    let t = measure(|| {
+        black_box(extract_face3(black_box(&g), Face3::XHi));
     });
+    rows.push(vec!["halo_extract_face_33sq".into(), fmt(t)]);
     let payload = extract_face3(&g, Face3::XHi);
-    c.bench_function("halo_insert_face_33sq", |b| {
-        b.iter(|| insert_ghost3(black_box(&mut dst), Face3::XLo, black_box(&payload)))
-    });
+    let t = measure(|| insert_ghost3(black_box(&mut dst), Face3::XLo, black_box(&payload)));
+    rows.push(vec!["halo_insert_face_33sq".into(), fmt(t)]);
 }
 
-fn bench_reduce(c: &mut Criterion) {
+fn bench_reduce(rows: &mut Vec<Vec<String>>) {
     for (name, algo) in [
         ("reduce_all_to_one_p8", ReduceAlgo::AllToOne),
         ("reduce_recursive_doubling_p8", ReduceAlgo::RecursiveDoubling),
@@ -53,17 +92,15 @@ fn bench_reduce(c: &mut Criterion) {
         let plan = ReducePlan::build(algo, 8);
         let partials: Vec<Vec<f64>> =
             (0..8).map(|r| magnitude_spread_workload(512, 8, r as u64)).collect();
-        c.bench_function(name, |b| {
-            b.iter_batched(
-                || partials.clone(),
-                |mut parts| plan.execute(ReduceOp::Sum, black_box(&mut parts)),
-                BatchSize::SmallInput,
-            )
+        let t = measure(|| {
+            let mut parts = partials.clone();
+            plan.execute(ReduceOp::Sum, black_box(&mut parts));
         });
+        rows.push(vec![name.into(), fmt(t)]);
     }
 }
 
-fn bench_ordered_sum(c: &mut Criterion) {
+fn bench_ordered_sum(rows: &mut Vec<Vec<String>>) {
     let contribs: Vec<Contribution> = (0..50_000u64)
         .map(|i| Contribution {
             bin: (i % 64) as u32,
@@ -71,13 +108,10 @@ fn bench_ordered_sum(c: &mut Criterion) {
             value: (i as f64).sin() * 10f64.powi((i % 20) as i32 - 10),
         })
         .collect();
-    c.bench_function("ordered_sum_50k_contribs", |b| {
-        b.iter_batched(
-            || contribs.clone(),
-            |cs| black_box(ordered_sum(cs, 64, SumMethod::Naive)),
-            BatchSize::SmallInput,
-        )
+    let t = measure(|| {
+        black_box(ordered_sum(contribs.clone(), 64, SumMethod::Naive));
     });
+    rows.push(vec!["ordered_sum_50k_contribs".into(), fmt(t)]);
 }
 
 /// A minimal ping-pong pair for channel-runtime throughput.
@@ -116,25 +150,27 @@ impl Process for Pong {
     }
 }
 
-fn bench_channels(c: &mut Criterion) {
-    c.bench_function("sim_channel_pingpong_1000", |b| {
-        b.iter(|| {
-            let mut topo = Topology::new(2);
-            let c01 = topo.connect(0, 1);
-            let c10 = topo.connect(1, 0);
-            let procs = vec![
-                Pong { chan_in: c10, chan_out: c01, remaining: 1000, first: true, is_server: true },
-                Pong { chan_in: c01, chan_out: c10, remaining: 1000, first: true, is_server: false },
-            ];
-            let sim = Simulator::new(topo, procs);
-            black_box(sim.run(&mut RoundRobin::new()).unwrap());
-        })
+fn bench_channels(rows: &mut Vec<Vec<String>>) {
+    let t = measure(|| {
+        let mut topo = Topology::new(2);
+        let c01 = topo.connect(0, 1);
+        let c10 = topo.connect(1, 0);
+        let procs = vec![
+            Pong { chan_in: c10, chan_out: c01, remaining: 1000, first: true, is_server: true },
+            Pong { chan_in: c01, chan_out: c10, remaining: 1000, first: true, is_server: false },
+        ];
+        let sim = Simulator::new(topo, procs);
+        black_box(sim.run(&mut RoundRobin::new()).unwrap());
     });
+    rows.push(vec!["sim_channel_pingpong_1000".into(), fmt(t)]);
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_fdtd_step, bench_halo, bench_reduce, bench_ordered_sum, bench_channels
+fn main() {
+    let mut rows = Vec::new();
+    bench_fdtd_step(&mut rows);
+    bench_halo(&mut rows);
+    bench_reduce(&mut rows);
+    bench_ordered_sum(&mut rows);
+    bench_channels(&mut rows);
+    print_table("micro: substrate hot paths (median per iteration)", &["benchmark", "time"], &rows);
 }
-criterion_main!(benches);

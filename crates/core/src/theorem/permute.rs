@@ -6,8 +6,7 @@
 //! independent actions. This module performs exactly such perturbations on
 //! real schedules and re-executes after each, confirming the invariant.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ssp_runtime::rng::SplitMix64;
 use ssp_runtime::{FixedSchedule, ProcId, RoundRobin};
 
 use crate::ir::Store;
@@ -47,12 +46,12 @@ pub fn verify_adjacent_swaps(
     if schedule.len() < 2 {
         return Ok(SwapStats { swaps: 0, deviations: 0 });
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut stats = SwapStats { swaps: 0, deviations: 0 };
     for _ in 0..n_swaps {
         // Pick an adjacent pair of *different* processes (swapping equal
         // entries is a no-op).
-        let i = rng.gen_range(0..schedule.len() - 1);
+        let i = rng.gen_range(schedule.len() - 1);
         if schedule[i] == schedule[i + 1] {
             continue;
         }

@@ -55,9 +55,22 @@ impl MeshLocal for LocalA {
 }
 
 fn boundary_flags(env: &Env) -> BoundaryFlags {
+    // Axes are the literals 0..3, so the out-of-range error is unreachable;
+    // the expect documents that rather than discarding the Result.
+    let flag = |r: Result<bool, mesh_archetype::AxisOutOfRange>| {
+        r.expect("axes 0, 1, 2 are always in range")
+    };
     BoundaryFlags {
-        at_lo: [env.at_global_lo(0), env.at_global_lo(1), env.at_global_lo(2)],
-        at_hi: [env.at_global_hi(0), env.at_global_hi(1), env.at_global_hi(2)],
+        at_lo: [
+            flag(env.at_global_lo(0)),
+            flag(env.at_global_lo(1)),
+            flag(env.at_global_lo(2)),
+        ],
+        at_hi: [
+            flag(env.at_global_hi(0)),
+            flag(env.at_global_hi(1)),
+            flag(env.at_global_hi(2)),
+        ],
     }
 }
 

@@ -1,11 +1,9 @@
 //! The cost model and the two calibrated machine presets.
 
 use mesh_archetype::trace::{CommTrace, PhaseCost};
-use serde::{Deserialize, Serialize};
-
 /// An analytic distributed-memory machine: uniform nodes on a uniform
 /// interconnect, LogGP-flavoured.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineModel {
     /// Human-readable machine name for report rows.
     pub name: &'static str,

@@ -5,10 +5,8 @@
 //! "ideal" execution-time curve of Figure 2 is `T_seq / P`, and the
 //! "perfect" speedup curve is `P`.
 
-use serde::{Deserialize, Serialize};
-
 /// One (P, time) measurement with its derived quantities.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpeedupPoint {
     /// Number of processes.
     pub p: usize,
@@ -21,7 +19,7 @@ pub struct SpeedupPoint {
 }
 
 /// A named series of speedup points against one sequential baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedupSeries {
     /// Label (machine or variant name).
     pub label: String,

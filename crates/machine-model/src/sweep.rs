@@ -3,12 +3,10 @@
 //! network of Suns flattens where the IBM SP keeps scaling.
 
 use mesh_archetype::trace::CommTrace;
-use serde::{Deserialize, Serialize};
-
 use crate::model::MachineModel;
 
 /// One point of a machine-parameter sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// The swept parameter's value.
     pub value: f64,

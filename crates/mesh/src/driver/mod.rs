@@ -19,11 +19,15 @@ mod seq;
 mod simpar;
 
 pub use msg::{
-    build_msg_processes, build_msg_processes_hosted, run_msg_simulated,
-    run_msg_simulated_hosted, run_msg_threaded, MeshMsg, MsgProcess,
+    build_msg_processes, build_msg_processes_hosted, build_msg_processes_with_slack,
+    run_msg_simulated, run_msg_simulated_hosted, run_msg_simulated_slack, run_msg_threaded,
+    run_msg_threaded_slack, MeshMsg, MsgProcess,
 };
 pub use seq::run_seq;
-pub use simpar::{ordered_sum, run_simpar, HostMode, SimParConfig, SimParOutcome, ValidationLevel};
+pub use simpar::{
+    ordered_sum, run_simpar, try_run_simpar, GatherShapeError, HostMode, SimParConfig,
+    SimParOutcome, ValidationLevel,
+};
 
 /// Local state of a mesh process: anything sendable with a canonical byte
 /// snapshot. Snapshots are how final states are compared across drivers and

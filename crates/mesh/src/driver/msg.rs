@@ -50,6 +50,29 @@ pub enum MeshMsg {
     Block(Vec<f64>),
 }
 
+impl MeshMsg {
+    /// The variant name, for protocol-violation diagnostics.
+    fn kind(&self) -> &'static str {
+        match self {
+            MeshMsg::Halo(_) => "Halo",
+            MeshMsg::Vec(_) => "Vec",
+            MeshMsg::Contribs(_) => "Contribs",
+            MeshMsg::Block(_) => "Block",
+        }
+    }
+
+    /// Wire size of the payload: 8 bytes per `f64`; a contribution wires
+    /// `(bin: u32, order: u64, value: f64)` = 20 bytes, matching the
+    /// simulated-parallel driver's [`MsgRecord`] accounting so the two
+    /// drivers' byte profiles agree.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            MeshMsg::Halo(v) | MeshMsg::Vec(v) | MeshMsg::Block(v) => 8 * v.len() as u64,
+            MeshMsg::Contribs(c) => 20 * c.len() as u64,
+        }
+    }
+}
+
 /// One instruction of the compiled per-rank program.
 enum Op<L> {
     /// Run a local-computation block (one `Compute` action).
@@ -305,19 +328,46 @@ enum PendingRecv<L> {
     ScatterBlock { spec: ScatterSpec<L> },
 }
 
+impl<L> PendingRecv<L> {
+    /// The [`MeshMsg`] variant this pending receive is allowed to consume.
+    fn expected_kind(&self) -> &'static str {
+        match self {
+            PendingRecv::Face { .. } => "Halo",
+            PendingRecv::Combine { .. }
+            | PendingRecv::Replace
+            | PendingRecv::Result
+            | PendingRecv::Bcast => "Vec",
+            PendingRecv::Contribs => "Contribs",
+            PendingRecv::GatherBlock { .. } | PendingRecv::ScatterBlock { .. } => "Block",
+        }
+    }
+}
+
 impl<L: MeshLocal> MsgProcess<L> {
-    fn insert_block(&mut self, src: usize, data: &[f64]) {
+    fn insert_block(&mut self, src: usize, data: &[f64]) -> Result<(), RunError> {
         let block = self.env.pg.block(src);
+        if data.len() != block.len() {
+            return Err(RunError::Protocol {
+                proc: self.env.rank,
+                detail: format!(
+                    "gather block from rank {src} carries {} values, its block holds {}",
+                    data.len(),
+                    block.len()
+                ),
+            });
+        }
         let global = self.global.as_mut().expect("gather in progress");
         let mut it = data.iter();
         for li in 0..block.extent().0 {
             for lj in 0..block.extent().1 {
                 for lk in 0..block.extent().2 {
                     let (gi, gj, gk) = block.to_global(li, lj, lk);
-                    global.set(gi as isize, gj as isize, gk as isize, *it.next().unwrap());
+                    let v = *it.next().expect("length checked against block above");
+                    global.set(gi as isize, gj as isize, gk as isize, v);
                 }
             }
         }
+        Ok(())
     }
 
     fn block_of_global(&self, dst: usize) -> Vec<f64> {
@@ -467,7 +517,9 @@ impl<L: MeshLocal> MsgProcess<L> {
                     if !self.env.is_host() {
                         let own = (spec.field)(&mut self.local).interior_to_vec();
                         let rank = self.env.rank;
-                        self.insert_block(rank, &own);
+                        if let Err(error) = self.insert_block(rank, &own) {
+                            return Effect::Fault { error };
+                        }
                     }
                 }
                 Op::GatherRecvBlock { src } => {
@@ -551,7 +603,20 @@ impl<L: MeshLocal> Process for MsgProcess<L> {
 
     fn resume(&mut self, delivery: Option<MeshMsg>) -> Effect<MeshMsg> {
         if let Some(msg) = delivery {
-            let pending = self.pending.take().expect("delivery without a pending recv");
+            let pending = match self.pending.take() {
+                Some(p) => p,
+                None => {
+                    return Effect::Fault {
+                        error: RunError::Protocol {
+                            proc: self.env.rank,
+                            detail: format!(
+                                "a {} message was delivered with no receive pending",
+                                msg.kind()
+                            ),
+                        },
+                    }
+                }
+            };
             match (pending, msg) {
                 (PendingRecv::Face { spec, link }, MeshMsg::Halo(payload)) => {
                     // `link.face` is *this* rank's face toward the sender:
@@ -569,19 +634,32 @@ impl<L: MeshLocal> Process for MsgProcess<L> {
                 (PendingRecv::Result, MeshMsg::Vec(result)) => self.scratch = result,
                 (PendingRecv::Bcast, MeshMsg::Vec(payload)) => self.scratch = payload,
                 (PendingRecv::GatherBlock { src }, MeshMsg::Block(data)) => {
-                    self.insert_block(src, &data);
+                    if let Err(error) = self.insert_block(src, &data) {
+                        return Effect::Fault { error };
+                    }
                 }
                 (PendingRecv::ScatterBlock { spec }, MeshMsg::Block(data)) => {
                     (spec.field)(&mut self.local).interior_from_slice(&data);
                 }
-                (_, other) => panic!(
-                    "process {} received a message of unexpected kind: {:?}",
-                    self.env.rank,
-                    std::mem::discriminant(&other)
-                ),
+                (pending, other) => {
+                    return Effect::Fault {
+                        error: RunError::Protocol {
+                            proc: self.env.rank,
+                            detail: format!(
+                                "expected a {} message, received {}",
+                                pending.expected_kind(),
+                                other.kind()
+                            ),
+                        },
+                    }
+                }
             }
         }
         self.advance()
+    }
+
+    fn msg_size_bytes(msg: &MeshMsg) -> u64 {
+        msg.size_bytes()
     }
 
     fn snapshot(&self) -> Vec<u8> {
@@ -654,6 +732,21 @@ pub fn build_msg_processes_hosted<L: MeshLocal>(
     (topo, procs)
 }
 
+/// Compile `plan` with every channel's slack bounded to `slack` pending
+/// messages (`None` restores the paper's infinite-slack model). Because the
+/// compiled program performs all sends of an exchange before any receives
+/// (§3.3), it stays deadlock-free down to `slack = 1`.
+pub fn build_msg_processes_with_slack<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+    host_mode: HostMode,
+    slack: Option<usize>,
+) -> (Topology, Vec<MsgProcess<L>>) {
+    let (topo, procs) = build_msg_processes_hosted(plan, pg, init, host_mode);
+    (topo.with_uniform_capacity(slack), procs)
+}
+
 /// Run the message-passing program under the simulated scheduler with the
 /// given interleaving policy.
 pub fn run_msg_simulated<L: MeshLocal>(
@@ -663,6 +756,21 @@ pub fn run_msg_simulated<L: MeshLocal>(
     policy: &mut dyn SchedulePolicy,
 ) -> Result<RunOutcome, RunError> {
     let (topo, procs) = build_msg_processes(plan, pg, init);
+    Simulator::new(topo, procs).run(policy)
+}
+
+/// Run the message-passing program under the simulated scheduler with
+/// bounded channel slack. The returned [`RunOutcome`]'s `metrics` carry the
+/// per-channel/per-process communication profile (dumpable as JSON).
+pub fn run_msg_simulated_slack<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+    slack: Option<usize>,
+    policy: &mut dyn SchedulePolicy,
+) -> Result<RunOutcome, RunError> {
+    let (topo, procs) =
+        build_msg_processes_with_slack(plan, pg, init, HostMode::GridRank0, slack);
     Simulator::new(topo, procs).run(policy)
 }
 
@@ -687,4 +795,121 @@ pub fn run_msg_threaded<L: MeshLocal>(
 ) -> Result<Vec<Vec<u8>>, RunError> {
     let (topo, procs) = build_msg_processes(plan, pg, init);
     ssp_runtime::run_threaded(&topo, procs)
+}
+
+/// Run the message-passing program on real OS threads with bounded channel
+/// slack and an optional deadlock watchdog ([`ssp_runtime::ThreadedConfig`]).
+/// Returns the full [`ssp_runtime::ThreadedOutcome`] with snapshots and the
+/// communication profile.
+pub fn run_msg_threaded_slack<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+    slack: Option<usize>,
+    cfg: ssp_runtime::ThreadedConfig,
+) -> Result<ssp_runtime::ThreadedOutcome, RunError> {
+    let (topo, procs) =
+        build_msg_processes_with_slack(plan, pg, init, HostMode::GridRank0, slack);
+    ssp_runtime::run_threaded_with(&topo, procs, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::MeshLocal;
+    use std::sync::Arc;
+
+    struct One {
+        u: Grid3<f64>,
+    }
+
+    impl MeshLocal for One {
+        fn snapshot_bytes(&self) -> Vec<u8> {
+            meshgrid::io::grid3_to_bytes(&self.u)
+        }
+    }
+
+    fn tiny_plan() -> Plan<One> {
+        Plan::builder()
+            .gather_grid("collect", |l: &mut One| &mut l.u, |_, _| {})
+            .build()
+    }
+
+    fn init_fn() -> InitFn<One> {
+        Arc::new(|env: &Env| {
+            let (nx, ny, nz) = env.block.extent();
+            One { u: Grid3::new(nx, ny, nz, 1) }
+        })
+    }
+
+    /// Drive a process by hand until it asks to receive.
+    fn drive_to_recv(p: &mut MsgProcess<One>) {
+        loop {
+            match p.resume(None) {
+                Effect::Recv { .. } => return,
+                Effect::Halt => panic!("halted before reaching a receive"),
+                Effect::Fault { error } => panic!("unexpected fault: {error}"),
+                _ => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn unexpected_message_kind_is_a_protocol_fault_not_a_panic() {
+        let pg = meshgrid::ProcGrid3::new((4, 4, 4), (2, 1, 1));
+        let init = init_fn();
+        let (_topo, mut procs) = build_msg_processes(&tiny_plan(), pg, &init);
+        // Rank 0 (the host) first waits for rank 1's gathered block; hand it
+        // a reduction vector instead.
+        let host = &mut procs[0];
+        drive_to_recv(host);
+        match host.resume(Some(MeshMsg::Vec(vec![1.0]))) {
+            Effect::Fault { error: RunError::Protocol { proc, detail } } => {
+                assert_eq!(proc, 0);
+                assert!(detail.contains("Block") && detail.contains("Vec"), "{detail}");
+            }
+            other => panic!("expected a protocol fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_length_gather_block_is_a_protocol_fault() {
+        let pg = meshgrid::ProcGrid3::new((4, 4, 4), (2, 1, 1));
+        let init = init_fn();
+        let (_topo, mut procs) = build_msg_processes(&tiny_plan(), pg, &init);
+        let host = &mut procs[0];
+        drive_to_recv(host);
+        // Rank 1's block holds 32 cells; deliver 3 values.
+        match host.resume(Some(MeshMsg::Block(vec![0.0; 3]))) {
+            Effect::Fault { error: RunError::Protocol { proc, detail } } => {
+                assert_eq!(proc, 0);
+                assert!(detail.contains("3") && detail.contains("32"), "{detail}");
+            }
+            other => panic!("expected a protocol fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delivery_without_pending_recv_is_a_protocol_fault() {
+        let pg = meshgrid::ProcGrid3::new((4, 4, 4), (2, 1, 1));
+        let init = init_fn();
+        let (_topo, mut procs) = build_msg_processes(&tiny_plan(), pg, &init);
+        // Rank 0 has not asked for anything yet.
+        match procs[0].resume(Some(MeshMsg::Halo(vec![0.0]))) {
+            Effect::Fault { error: RunError::Protocol { proc, detail } } => {
+                assert_eq!(proc, 0);
+                assert!(detail.contains("no receive pending"), "{detail}");
+            }
+            other => panic!("expected a protocol fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mesh_messages_price_their_payloads() {
+        assert_eq!(MeshMsg::Halo(vec![0.0; 4]).size_bytes(), 32);
+        assert_eq!(MeshMsg::Vec(vec![0.0; 2]).size_bytes(), 16);
+        assert_eq!(MeshMsg::Block(vec![0.0; 5]).size_bytes(), 40);
+        let c = Contribution { bin: 0, order: 0, value: 1.0 };
+        assert_eq!(MeshMsg::Contribs(vec![c; 3]).size_bytes(), 60);
+    }
 }

@@ -71,6 +71,31 @@ impl Default for SimParConfig {
     }
 }
 
+/// A gather found a rank's field interior sized differently from the block
+/// that rank owns — the assembled global grid would be missing or
+/// double-writing cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatherShapeError {
+    /// The rank whose field was mis-sized.
+    pub rank: usize,
+    /// Number of values the field interior actually holds.
+    pub got: usize,
+    /// Number of cells the rank's block owns.
+    pub expected: usize,
+}
+
+impl std::fmt::Display for GatherShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gather from rank {}: field interior holds {} values, its block holds {}",
+            self.rank, self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for GatherShapeError {}
+
 /// Result of a simulated-parallel run.
 pub struct SimParOutcome<L> {
     /// Final local state of every simulated process.
@@ -140,12 +165,26 @@ struct SimPar<'p, L> {
 
 /// Run `plan` as a sequential simulated-parallel program over the process
 /// topology `pg`, with initial local states built by `init`.
+///
+/// Panics if a gather finds a mis-sized field (a malformed plan); use
+/// [`try_run_simpar`] for the typed error instead.
 pub fn run_simpar<L: MeshLocal>(
     plan: &Plan<L>,
     pg: ProcGrid3,
     cfg: SimParConfig,
     init: impl Fn(&Env) -> L,
 ) -> SimParOutcome<L> {
+    try_run_simpar(plan, pg, cfg, init).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`run_simpar`], but a malformed plan surfaces as a typed
+/// [`GatherShapeError`] instead of a panic.
+pub fn try_run_simpar<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    cfg: SimParConfig,
+    init: impl Fn(&Env) -> L,
+) -> Result<SimParOutcome<L>, GatherShapeError> {
     let grid_n = pg.nprocs();
     let mut envs: Vec<Env> = (0..grid_n).map(|r| Env::new(pg, r)).collect();
     if cfg.host_mode == HostMode::Separate {
@@ -163,14 +202,14 @@ pub fn run_simpar<L: MeshLocal>(
         report: ValidationReport::default(),
         _plan: std::marker::PhantomData,
     };
-    driver.run_phases(&plan.phases);
+    driver.run_phases(&plan.phases)?;
     let snapshots = driver.locals.iter().map(|l| l.snapshot_bytes()).collect();
-    SimParOutcome {
+    Ok(SimParOutcome {
         locals: driver.locals,
         snapshots,
         trace: driver.trace,
         report: driver.report,
-    }
+    })
 }
 
 impl<L: MeshLocal> SimPar<'_, L> {
@@ -187,7 +226,7 @@ impl<L: MeshLocal> SimPar<'_, L> {
         }
     }
 
-    fn run_phases(&mut self, phases: &[Phase<L>]) {
+    fn run_phases(&mut self, phases: &[Phase<L>]) -> Result<(), GatherShapeError> {
         for phase in phases {
             match phase {
                 Phase::Local(step) => {
@@ -225,11 +264,11 @@ impl<L: MeshLocal> SimPar<'_, L> {
                         });
                     }
                 }
-                Phase::GatherGrid(spec) => self.gather(spec),
+                Phase::GatherGrid(spec) => self.gather(spec)?,
                 Phase::ScatterGrid(spec) => self.scatter(spec),
                 Phase::Loop { count, body } => {
                     for _ in 0..*count {
-                        self.run_phases(body);
+                        self.run_phases(body)?;
                     }
                 }
                 Phase::While { name, pred, body, max_iters } => {
@@ -252,11 +291,12 @@ impl<L: MeshLocal> SimPar<'_, L> {
                             break;
                         }
                         iters += 1;
-                        self.run_phases(body);
+                        self.run_phases(body)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Boundary exchange as a data-exchange operation: all payload
@@ -401,7 +441,7 @@ impl<L: MeshLocal> SimPar<'_, L> {
         }
     }
 
-    fn gather(&mut self, spec: &GatherSpec<L>) {
+    fn gather(&mut self, spec: &GatherSpec<L>) -> Result<(), GatherShapeError> {
         let host = self.host_rank();
         let global_n = self.pg.n;
         let mut global: Grid3<f64> = Grid3::new(global_n.0, global_n.1, global_n.2, 0);
@@ -409,6 +449,9 @@ impl<L: MeshLocal> SimPar<'_, L> {
         for r in 0..self.grid_n {
             let block = self.pg.block(r);
             let data = (spec.field)(&mut self.locals[r]).interior_to_vec();
+            if data.len() != block.len() {
+                return Err(GatherShapeError { rank: r, got: data.len(), expected: block.len() });
+            }
             if r != host && self.cfg.record_trace {
                 msgs.push(MsgRecord { src: r, dst: host, bytes: 8 * data.len() as u64 });
             }
@@ -417,7 +460,8 @@ impl<L: MeshLocal> SimPar<'_, L> {
                 for lj in 0..block.extent().1 {
                     for lk in 0..block.extent().2 {
                         let (gi, gj, gk) = block.to_global(li, lj, lk);
-                        global.set(gi as isize, gj as isize, gk as isize, it.next().unwrap());
+                        let v = it.next().expect("length checked against block above");
+                        global.set(gi as isize, gj as isize, gk as isize, v);
                     }
                 }
             }
@@ -432,6 +476,7 @@ impl<L: MeshLocal> SimPar<'_, L> {
                 rounds: 1,
             });
         }
+        Ok(())
     }
 
     fn scatter(&mut self, spec: &ScatterSpec<L>) {

@@ -2,6 +2,21 @@
 
 use meshgrid::{Block3, ProcGrid3};
 
+/// An axis index outside the valid range `0..3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxisOutOfRange {
+    /// The offending axis index.
+    pub axis: usize,
+}
+
+impl std::fmt::Display for AxisOutOfRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "axis {} out of range (valid axes are 0, 1, 2)", self.axis)
+    }
+}
+
+impl std::error::Error for AxisOutOfRange {}
+
 /// Everything a local-computation block may know about its place in the
 //  parallel machine: its rank, the process topology, and the block of the
 /// global grid it owns. Local steps receive `&Env` plus their mutable local
@@ -47,23 +62,24 @@ impl Env {
 
     /// True if this process's block touches the *physical* (global) low
     /// boundary on `axis` — where boundary conditions, not exchanges, apply.
-    pub fn at_global_lo(&self, axis: usize) -> bool {
+    /// Errors (rather than panicking) on an axis outside `0..3`.
+    pub fn at_global_lo(&self, axis: usize) -> Result<bool, AxisOutOfRange> {
         match axis {
-            0 => self.block.lo.0 == 0,
-            1 => self.block.lo.1 == 0,
-            2 => self.block.lo.2 == 0,
-            _ => panic!("axis {axis} out of range"),
+            0 => Ok(self.block.lo.0 == 0),
+            1 => Ok(self.block.lo.1 == 0),
+            2 => Ok(self.block.lo.2 == 0),
+            _ => Err(AxisOutOfRange { axis }),
         }
     }
 
     /// True if this process's block touches the physical high boundary on
-    /// `axis`.
-    pub fn at_global_hi(&self, axis: usize) -> bool {
+    /// `axis`. Errors (rather than panicking) on an axis outside `0..3`.
+    pub fn at_global_hi(&self, axis: usize) -> Result<bool, AxisOutOfRange> {
         match axis {
-            0 => self.block.hi.0 == self.pg.n.0,
-            1 => self.block.hi.1 == self.pg.n.1,
-            2 => self.block.hi.2 == self.pg.n.2,
-            _ => panic!("axis {axis} out of range"),
+            0 => Ok(self.block.hi.0 == self.pg.n.0),
+            1 => Ok(self.block.hi.1 == self.pg.n.1),
+            2 => Ok(self.block.hi.2 == self.pg.n.2),
+            _ => Err(AxisOutOfRange { axis }),
         }
     }
 }
@@ -76,13 +92,25 @@ mod tests {
     fn env_reports_physical_boundaries() {
         let pg = ProcGrid3::new((8, 8, 8), (2, 2, 1));
         let e0 = Env::new(pg, 0);
-        assert!(e0.at_global_lo(0) && e0.at_global_lo(1) && e0.at_global_lo(2));
-        assert!(!e0.at_global_hi(0) && !e0.at_global_hi(1));
-        assert!(e0.at_global_hi(2), "single process on z spans the whole axis");
+        let lo = |e: &Env, a| e.at_global_lo(a).unwrap();
+        let hi = |e: &Env, a| e.at_global_hi(a).unwrap();
+        assert!(lo(&e0, 0) && lo(&e0, 1) && lo(&e0, 2));
+        assert!(!hi(&e0, 0) && !hi(&e0, 1));
+        assert!(hi(&e0, 2), "single process on z spans the whole axis");
 
         let last = Env::new(pg, pg.nprocs() - 1);
-        assert!(last.at_global_hi(0) && last.at_global_hi(1));
-        assert!(!last.at_global_lo(0));
+        assert!(hi(&last, 0) && hi(&last, 1));
+        assert!(!lo(&last, 0));
+    }
+
+    #[test]
+    fn out_of_range_axis_is_a_typed_error_not_a_panic() {
+        let pg = ProcGrid3::new((8, 8, 8), (2, 2, 1));
+        let e = Env::new(pg, 0);
+        assert_eq!(e.at_global_lo(3), Err(AxisOutOfRange { axis: 3 }));
+        assert_eq!(e.at_global_hi(99), Err(AxisOutOfRange { axis: 99 }));
+        let msg = e.at_global_hi(7).unwrap_err().to_string();
+        assert!(msg.contains("axis 7"), "error names the offending axis: {msg}");
     }
 
     #[test]

@@ -124,8 +124,11 @@ pub mod sum;
 pub mod trace;
 pub mod validate;
 
-pub use driver::{run_msg_simulated, run_msg_threaded, run_seq, run_simpar, SimParOutcome};
-pub use env::Env;
+pub use driver::{
+    run_msg_simulated, run_msg_simulated_slack, run_msg_threaded, run_msg_threaded_slack,
+    run_seq, run_simpar, try_run_simpar, GatherShapeError, SimParOutcome,
+};
+pub use env::{AxisOutOfRange, Env};
 pub use plan::{Contribution, Phase, Plan, PlanBuilder};
 pub use reduce::{ReduceAlgo, ReduceOp, ReducePlan, ReduceStep};
 pub use sum::SumMethod;

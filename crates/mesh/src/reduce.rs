@@ -30,12 +30,27 @@ pub enum ReduceOp {
 
 impl ReduceOp {
     /// Combine two values.
+    ///
+    /// Max and Min use IEEE-754 *total order* (`f64::total_cmp`), not
+    /// `f64::max`/`min`: the latter may return either operand for
+    /// `max(+0.0, -0.0)`, which would make the reduction's *bit pattern*
+    /// depend on combine order and break the archetype's bitwise
+    /// schedule-independence guarantee. Under total order (-0.0 < +0.0,
+    /// NaNs ordered by payload) Max/Min are true semilattice operations on
+    /// bit patterns: associative, commutative, idempotent.
     #[inline]
     pub fn combine(self, a: f64, b: f64) -> f64 {
+        use std::cmp::Ordering;
         match self {
             ReduceOp::Sum => a + b,
-            ReduceOp::Max => a.max(b),
-            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => match a.total_cmp(&b) {
+                Ordering::Less => b,
+                _ => a,
+            },
+            ReduceOp::Min => match a.total_cmp(&b) {
+                Ordering::Greater => b,
+                _ => a,
+            },
         }
     }
 
@@ -281,6 +296,17 @@ mod tests {
         (0..p)
             .map(|r| magnitude_spread_workload(len, 10, seed.wrapping_add(r as u64)))
             .collect()
+    }
+
+    #[test]
+    fn max_and_min_are_order_insensitive_on_signed_zero() {
+        // f64::max(+0.0, -0.0) may return either operand, which would make
+        // Max/Min results depend on combination order at the bit level.
+        // total_cmp fixes an order: -0.0 < +0.0.
+        assert_eq!(ReduceOp::Max.combine(0.0, -0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(ReduceOp::Max.combine(-0.0, 0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(ReduceOp::Min.combine(0.0, -0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(ReduceOp::Min.combine(-0.0, 0.0).to_bits(), (-0.0f64).to_bits());
     }
 
     #[test]

@@ -6,10 +6,8 @@
 //! (network-of-Suns, IBM SP), which is how this repo regenerates the
 //! paper's Table 1 and Figure 2 without 1998 hardware.
 
-use serde::{Deserialize, Serialize};
-
 /// One recorded message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsgRecord {
     /// Sending rank.
     pub src: usize,
@@ -21,7 +19,7 @@ pub struct MsgRecord {
 
 /// The cost record of one executed phase (one loop iteration of a phase
 /// produces one record).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseCost {
     /// Phase name (from the plan).
     pub name: String,
@@ -50,7 +48,7 @@ impl PhaseCost {
 }
 
 /// A complete run trace: every phase execution, in order.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommTrace {
     /// Number of ranks in the run.
     pub nprocs: usize,

@@ -153,6 +153,18 @@ impl Topology {
         t
     }
 
+    /// The same topology with every channel's capacity replaced by `cap`
+    /// (`None` restores infinite slack). This is the knob for slack-sweep
+    /// experiments: build a topology once, then run it at slack 1, slack
+    /// k, and unbounded without touching the construction code.
+    pub fn with_uniform_capacity(&self, cap: Option<usize>) -> Self {
+        let mut t = self.clone();
+        for spec in &mut t.specs {
+            spec.capacity = cap;
+        }
+        t
+    }
+
     /// Find the first channel from `writer` to `reader`, if any.
     pub fn find(&self, writer: ProcId, reader: ProcId) -> Option<ChannelId> {
         self.specs
@@ -257,6 +269,19 @@ mod tests {
         assert!(t.find(0, 2).is_none());
         // Degenerate lines.
         assert_eq!(Topology::line(1).n_channels(), 0);
+    }
+
+    #[test]
+    fn with_uniform_capacity_rewrites_every_channel() {
+        let t = Topology::ring(3);
+        assert!(t.specs().iter().all(|s| s.capacity.is_none()));
+        let bounded = t.with_uniform_capacity(Some(2));
+        assert!(bounded.specs().iter().all(|s| s.capacity == Some(2)));
+        // Endpoints are untouched and the original is not mutated.
+        assert_eq!(bounded.spec(ChannelId(0)).writer, t.spec(ChannelId(0)).writer);
+        assert!(t.specs().iter().all(|s| s.capacity.is_none()));
+        let back = bounded.with_uniform_capacity(None);
+        assert!(back.specs().iter().all(|s| s.capacity.is_none()));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::chan::ChannelId;
 use crate::proc::ProcId;
+use crate::waitgraph::WaitFor;
 
 /// Failure modes of a simulated or threaded run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,11 +33,26 @@ pub enum RunError {
         reader: ProcId,
     },
     /// No process can take a step but not all have halted. `blocked` lists
-    /// the processes stuck on a receive (or, for bounded channels, a send)
-    /// together with the channel each is waiting on.
+    /// every process stuck on a receive (or, for bounded channels, a send)
+    /// with the channel it waits on and the peer that could unblock it;
+    /// `cycle` names one wait-for cycle among them, or is empty when the
+    /// deadlock is acyclic (a wait on an already-halted peer).
     Deadlock {
-        /// The blocked processes and the channel each waits on.
-        blocked: Vec<(ProcId, ChannelId)>,
+        /// Every blocked process, its channel, side, and peer.
+        blocked: Vec<WaitFor>,
+        /// One wait-for cycle (`cycle[i].on == cycle[(i+1) % len].proc`),
+        /// empty if the wait-for graph is acyclic.
+        cycle: Vec<WaitFor>,
+    },
+    /// A process received a message that violates the communication
+    /// protocol its driver established (e.g. a mesh worker expecting a halo
+    /// got a scatter block). Replaces what was previously a panic inside
+    /// the process body.
+    Protocol {
+        /// The process that observed the violation.
+        proc: ProcId,
+        /// Human-readable description of what was expected vs received.
+        detail: String,
     },
     /// The step limit given to the simulator was exhausted before all
     /// processes halted — the interleaving was not maximal.
@@ -65,15 +81,27 @@ impl std::fmt::Display for RunError {
                 f,
                 "process {proc} received from {chan}, whose sole reader is {reader}"
             ),
-            RunError::Deadlock { blocked } => {
+            RunError::Deadlock { blocked, cycle } => {
                 write!(f, "deadlock; blocked: ")?;
-                for (i, (p, c)) in blocked.iter().enumerate() {
+                for (i, w) in blocked.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;
                     }
-                    write!(f, "process {p} on {c}")?;
+                    write!(f, "{w}")?;
+                }
+                if !cycle.is_empty() {
+                    write!(f, "; wait-for cycle: ")?;
+                    for (i, w) in cycle.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{w}")?;
+                    }
                 }
                 Ok(())
+            }
+            RunError::Protocol { proc, detail } => {
+                write!(f, "protocol violation in process {proc}: {detail}")
             }
             RunError::StepLimit { limit } => {
                 write!(f, "step limit {limit} exhausted before termination")
@@ -93,12 +121,25 @@ mod tests {
 
     #[test]
     fn display_mentions_offenders() {
+        use crate::waitgraph::BlockKind;
+
         let e = RunError::NotWriter { chan: ChannelId(3), proc: 1, writer: 0 };
         let s = e.to_string();
         assert!(s.contains("ch3") && s.contains("process 1") && s.contains('0'));
 
-        let e = RunError::Deadlock { blocked: vec![(0, ChannelId(1)), (2, ChannelId(4))] };
+        let w0 = WaitFor { proc: 0, chan: ChannelId(1), kind: BlockKind::Recv, on: 2 };
+        let w2 = WaitFor { proc: 2, chan: ChannelId(4), kind: BlockKind::Send, on: 0 };
+        let e = RunError::Deadlock { blocked: vec![w0, w2], cycle: vec![w0, w2] };
         let s = e.to_string();
-        assert!(s.contains("process 0 on ch1") && s.contains("process 2 on ch4"));
+        assert!(s.contains("process 0 -recv ch1-> process 2"), "got: {s}");
+        assert!(s.contains("process 2 -send ch4-> process 0"), "got: {s}");
+        assert!(s.contains("wait-for cycle"), "got: {s}");
+
+        let e = RunError::Deadlock { blocked: vec![w0], cycle: vec![] };
+        assert!(!e.to_string().contains("cycle"), "acyclic deadlocks omit the cycle clause");
+
+        let e = RunError::Protocol { proc: 3, detail: "expected Halo, got Block".into() };
+        let s = e.to_string();
+        assert!(s.contains("process 3") && s.contains("expected Halo"));
     }
 }

@@ -34,10 +34,16 @@
 //!
 //! Channels are declared up front in a [`chan::Topology`], which statically
 //! checks the single-reader single-writer restriction. Channels have infinite
-//! slack by default; a bounded capacity can be requested per channel to
-//! demonstrate (in tests and benches) why the paper's infinite-slack
-//! assumption matters — bounded channels admit deadlocks that unbounded ones
-//! do not.
+//! slack by default; a bounded capacity can be requested per channel (or
+//! uniformly via [`chan::Topology::with_uniform_capacity`]) to demonstrate
+//! why the paper's infinite-slack assumption matters — bounded channels admit
+//! deadlocks that unbounded ones do not. Deadlocks are never silent: the
+//! simulator reports the wait-for cycle as a typed
+//! [`error::RunError::Deadlock`], and the threaded runner can do the same via
+//! a watchdog ([`threaded::ThreadedConfig::watchdog`]). Both runners also
+//! produce a [`trace::RunMetrics`] communication profile (message counts,
+//! payload bytes, queue-depth high-water marks, block time), dumpable as
+//! JSON.
 #![warn(missing_docs)]
 
 
@@ -45,9 +51,11 @@ pub mod chan;
 pub mod error;
 pub mod policy;
 pub mod proc;
+pub mod rng;
 pub mod sim;
 pub mod threaded;
 pub mod trace;
+pub mod waitgraph;
 
 pub use chan::{ChannelId, ChannelSpec, Topology};
 pub use error::RunError;
@@ -56,5 +64,6 @@ pub use policy::{
 };
 pub use proc::{Effect, ProcId, Process};
 pub use sim::{RunOutcome, Simulator};
-pub use threaded::run_threaded;
-pub use trace::{Event, EventKind, Trace};
+pub use threaded::{run_threaded, run_threaded_with, ThreadedConfig, ThreadedOutcome};
+pub use trace::{ChannelMetrics, Event, EventKind, ProcMetrics, RunMetrics, Trace};
+pub use waitgraph::{BlockKind, WaitFor};

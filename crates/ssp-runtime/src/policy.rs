@@ -8,8 +8,7 @@
 //! terminates: a maximal interleaving is one that cannot be extended.
 
 use crate::proc::ProcId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Chooses the next process to step from the runnable set.
 ///
@@ -61,19 +60,19 @@ impl SchedulePolicy for RoundRobin {
 /// seed. Distinct seeds explore distinct interleavings.
 #[derive(Debug)]
 pub struct RandomPolicy {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl RandomPolicy {
     /// A random policy with the given seed.
     pub fn seeded(seed: u64) -> Self {
-        RandomPolicy { rng: StdRng::seed_from_u64(seed) }
+        RandomPolicy { rng: SplitMix64::seed_from_u64(seed) }
     }
 }
 
 impl SchedulePolicy for RandomPolicy {
     fn pick(&mut self, runnable: &[ProcId]) -> ProcId {
-        runnable[self.rng.gen_range(0..runnable.len())]
+        runnable[self.rng.gen_range(runnable.len())]
     }
 
     fn name(&self) -> &'static str {

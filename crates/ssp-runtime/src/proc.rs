@@ -8,6 +8,7 @@
 //! state and the messages delivered to it, never of scheduling.
 
 use crate::chan::ChannelId;
+use crate::error::RunError;
 
 /// Index of a process within a process collection (`0..n_procs`).
 pub type ProcId = usize;
@@ -42,6 +43,15 @@ pub enum Effect<M> {
     },
     /// The process has terminated. `resume` must not be called again.
     Halt,
+    /// The process detected an unrecoverable error (typically a protocol
+    /// violation: a message of an unexpected kind). The runner aborts the
+    /// run and surfaces `error` as the run's result; `resume` must not be
+    /// called again. This is the structured alternative to panicking
+    /// inside a process body.
+    Fault {
+        /// The error to surface from the run.
+        error: RunError,
+    },
 }
 
 impl<M> Effect<M> {
@@ -86,6 +96,16 @@ pub trait Process: Send {
     /// soundly; the default (constant 0) is safe only for processes whose
     /// snapshot fully determines their continuation.
     fn progress(&self) -> u64 {
+        0
+    }
+
+    /// Approximate payload size of a message in bytes, used by the
+    /// execution-metrics layer to attribute traffic volume per channel.
+    /// Purely observational — it never affects semantics. The default of 0
+    /// means "unknown"; override it to get meaningful byte counts in
+    /// [`crate::trace::RunMetrics`].
+    fn msg_size_bytes(msg: &Self::Msg) -> u64 {
+        let _ = msg;
         0
     }
 }

@@ -1,0 +1,89 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The runtime needs randomness in exactly one place — seeded-random
+//! scheduling policies — and the theorem machinery in `archetypes-core`
+//! needs it for random adjacent transpositions. Both require *seeded
+//! reproducibility*, not cryptographic quality, so a self-contained
+//! SplitMix64 keeps the workspace free of external dependencies (the build
+//! environment has no crates.io access).
+
+/// SplitMix64 (Steele, Lea & Flood 2014): passes BigCrush, one `u64` of
+/// state, and bit-for-bit reproducible from its seed on every platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses rejection sampling (Lemire-style threshold on the low word) so
+    /// the distribution is exactly uniform for every `n`.
+    pub fn gen_range(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_range requires a non-empty range");
+        let n = n as u64;
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = (((x as u128 * n as u128) >> 64) as u64, (x.wrapping_mul(n)));
+            if lo >= threshold {
+                return hi as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = SplitMix64::seed_from_u64(123);
+        let mut b = SplitMix64::seed_from_u64(123);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(2);
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_everything() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.gen_range(5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn gen_range_rejects_zero() {
+        SplitMix64::seed_from_u64(0).gen_range(0);
+    }
+}

@@ -20,7 +20,8 @@ use crate::chan::{ChannelId, Topology};
 use crate::error::RunError;
 use crate::policy::SchedulePolicy;
 use crate::proc::{Effect, ProcId, Process};
-use crate::trace::{Event, EventKind, Trace};
+use crate::trace::{Event, EventKind, RunMetrics, Trace};
+use crate::waitgraph::{self, BlockKind};
 
 /// Result of a terminated simulated run.
 #[derive(Debug)]
@@ -42,6 +43,9 @@ pub struct RunOutcome {
     /// unbounded in principle; observing it shows how adversarial schedules
     /// inflate buffering.
     pub max_queued: usize,
+    /// Per-channel and per-process execution metrics (message counts,
+    /// payload bytes, queue-depth high-water marks, block accounting).
+    pub metrics: RunMetrics,
 }
 
 impl RunOutcome {
@@ -71,6 +75,7 @@ pub struct Simulator<P: Process> {
     procs: Vec<P>,
     status: Vec<Status<P::Msg>>,
     queues: Vec<VecDeque<P::Msg>>,
+    metrics: RunMetrics,
     /// Maximum atomic actions before aborting with [`RunError::StepLimit`].
     pub step_limit: u64,
 }
@@ -94,6 +99,7 @@ where
                 })
                 .collect(),
             queues: self.queues.clone(),
+            metrics: self.metrics.clone(),
             step_limit: self.step_limit,
         }
     }
@@ -110,11 +116,13 @@ impl<P: Process> Simulator<P> {
         );
         let n_chans = topo.n_channels();
         let n_procs = procs.len();
+        let metrics = RunMetrics::for_topology(&topo);
         Simulator {
             topo,
             procs,
             status: (0..n_procs).map(|_| Status::Ready).collect(),
             queues: (0..n_chans).map(|_| VecDeque::new()).collect(),
+            metrics,
             step_limit: u64::MAX,
         }
     }
@@ -148,13 +156,13 @@ impl<P: Process> Simulator<P> {
         self.status.iter().all(|s| matches!(s, Status::Halted))
     }
 
-    fn blocked_list(&self) -> Vec<(ProcId, ChannelId)> {
+    fn blocked_list(&self) -> Vec<(ProcId, ChannelId, BlockKind)> {
         self.status
             .iter()
             .enumerate()
             .filter_map(|(p, s)| match s {
-                Status::BlockedRecv(c) => Some((p, *c)),
-                Status::BlockedSend(c, _) => Some((p, *c)),
+                Status::BlockedRecv(c) => Some((p, *c, BlockKind::Recv)),
+                Status::BlockedSend(c, _) => Some((p, *c, BlockKind::Send)),
                 _ => None,
             })
             .collect()
@@ -171,6 +179,7 @@ impl<P: Process> Simulator<P> {
         match eff {
             Effect::Compute { units } => {
                 trace.push(Event { proc: p, kind: EventKind::Computed { units } });
+                self.metrics.procs[p].compute_units += units;
                 self.status[p] = Status::Ready;
             }
             Effect::Send { chan, msg } => {
@@ -182,7 +191,9 @@ impl<P: Process> Simulator<P> {
                     // block until the reader makes space.
                     self.status[p] = Status::BlockedSend(chan, msg);
                 } else {
+                    let bytes = P::msg_size_bytes(&msg);
                     self.queues[chan.0].push_back(msg);
+                    self.metrics.on_send(chan, bytes, self.queues[chan.0].len());
                     trace.push(Event { proc: p, kind: EventKind::Sent { chan } });
                     self.status[p] = Status::Ready;
                 }
@@ -198,6 +209,12 @@ impl<P: Process> Simulator<P> {
                 trace.push(Event { proc: p, kind: EventKind::Halted });
                 self.status[p] = Status::Halted;
             }
+            Effect::Fault { error } => {
+                // The process detected an unrecoverable condition; mark it
+                // halted so it is never resumed again and abort the run.
+                self.status[p] = Status::Halted;
+                return Err(error);
+            }
         }
         Ok(())
     }
@@ -206,6 +223,7 @@ impl<P: Process> Simulator<P> {
     fn step(&mut self, p: ProcId, trace: &mut Trace) -> Result<(), RunError> {
         // Temporarily replace the status to take ownership of any held message.
         let status = std::mem::replace(&mut self.status[p], Status::Ready);
+        self.metrics.procs[p].steps += 1;
         match status {
             Status::Ready => {
                 let eff = self.procs[p].resume(None);
@@ -216,13 +234,16 @@ impl<P: Process> Simulator<P> {
                     .pop_front()
                     .expect("scheduled a recv-blocked process with empty queue");
                 trace.push(Event { proc: p, kind: EventKind::Received { chan } });
+                self.metrics.on_recv(chan);
                 let eff = self.procs[p].resume(Some(msg));
                 self.apply_effect(p, eff, trace)?;
             }
             Status::BlockedSend(chan, msg) => {
                 // Space is now available: complete the pending send. The
                 // process is not resumed this step; the send is the action.
+                let bytes = P::msg_size_bytes(&msg);
                 self.queues[chan.0].push_back(msg);
+                self.metrics.on_send(chan, bytes, self.queues[chan.0].len());
                 trace.push(Event { proc: p, kind: EventKind::Sent { chan } });
                 self.status[p] = Status::Ready;
             }
@@ -307,7 +328,7 @@ impl<P: Process> Simulator<P> {
         while !self.all_halted() {
             let runnable = self.runnable_set();
             if runnable.is_empty() {
-                return Err(RunError::Deadlock { blocked: self.blocked_list() });
+                return Err(waitgraph::deadlock_error(&self.topo, &self.blocked_list()));
             }
             if steps >= self.step_limit {
                 return Err(RunError::StepLimit { limit: self.step_limit });
@@ -315,13 +336,21 @@ impl<P: Process> Simulator<P> {
             let p = policy.pick(&runnable);
             debug_assert!(runnable.contains(&p), "policy must pick a runnable process");
             picks.push(p);
+            // Every blocked, non-runnable process loses this scheduling slot:
+            // one blocked step of virtual time.
+            for (q, _, _) in self.blocked_list() {
+                if !self.is_runnable(q) {
+                    self.metrics.procs[q].blocked_steps += 1;
+                }
+            }
             self.step(p, &mut trace)?;
             steps += 1;
             let queued: usize = self.queues.iter().map(|q| q.len()).sum();
             max_queued = max_queued.max(queued);
         }
         let snapshots = self.procs.iter().map(|p| p.snapshot()).collect();
-        Ok(RunOutcome { snapshots, trace, steps, max_queued, picks })
+        let metrics = std::mem::take(&mut self.metrics);
+        Ok(RunOutcome { snapshots, trace, steps, max_queued, picks, metrics })
     }
 }
 
@@ -459,7 +488,13 @@ mod tests {
         ];
         let err = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap_err();
         match err {
-            RunError::Deadlock { blocked } => assert_eq!(blocked, vec![(1, c)]),
+            RunError::Deadlock { blocked, cycle } => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!((blocked[0].proc, blocked[0].chan), (1, c));
+                assert_eq!(blocked[0].kind, BlockKind::Recv);
+                assert_eq!(blocked[0].on, 0, "waiting on the channel's writer");
+                assert!(cycle.is_empty(), "writer halted: no wait-for cycle");
+            }
             other => panic!("expected deadlock, got {other:?}"),
         }
     }
@@ -539,5 +574,152 @@ mod tests {
         let mut b1 = Vec::new();
         push_f64(&mut b1, 1.0);
         assert_eq!(out.snapshots, vec![b0, b1]);
+    }
+
+    /// The *undisciplined* exchange: receive first, then send — the ordering
+    /// §3.3 warns against. Fine with infinite slack? No — even with infinite
+    /// slack this deadlocks, since neither process ever reaches its send.
+    struct ExchangeBad {
+        out: ChannelId,
+        inp: ChannelId,
+        received: Option<f64>,
+        value: f64,
+        sent: bool,
+    }
+
+    impl Process for ExchangeBad {
+        type Msg = f64;
+        fn resume(&mut self, delivery: Option<f64>) -> Effect<f64> {
+            if let Some(v) = delivery {
+                self.received = Some(v);
+            }
+            if self.received.is_none() {
+                return Effect::Recv { chan: self.inp };
+            }
+            if !self.sent {
+                self.sent = true;
+                return Effect::Send { chan: self.out, msg: self.value };
+            }
+            Effect::Halt
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            let mut buf = Vec::new();
+            push_f64(&mut buf, self.received.unwrap_or(f64::NAN));
+            buf
+        }
+    }
+
+    #[test]
+    fn receive_before_send_exchange_reports_the_wait_for_cycle() {
+        let mut topo = Topology::new(2);
+        let c01 = topo.connect(0, 1);
+        let c10 = topo.connect(1, 0);
+        let procs = vec![
+            ExchangeBad { out: c01, inp: c10, received: None, value: 1.0, sent: false },
+            ExchangeBad { out: c10, inp: c01, received: None, value: 2.0, sent: false },
+        ];
+        let err = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap_err();
+        let RunError::Deadlock { blocked, cycle } = err else {
+            panic!("expected a typed deadlock");
+        };
+        assert_eq!(blocked.len(), 2);
+        assert_eq!(cycle.len(), 2, "0 waits on 1 waits on 0");
+        assert!(cycle.iter().all(|w| w.kind == BlockKind::Recv));
+        assert_eq!(cycle[0].on, cycle[1].proc);
+        assert_eq!(cycle[1].on, cycle[0].proc);
+    }
+
+    #[test]
+    fn send_side_deadlock_names_the_cycle_at_slack_one() {
+        // Both processes send TWO messages before receiving any, over
+        // capacity-1 channels: the second send blocks each process, and the
+        // deadlock is on the send side.
+        struct TwoSends {
+            out: ChannelId,
+            inp: ChannelId,
+            sent: u64,
+            got: u64,
+        }
+        impl Process for TwoSends {
+            type Msg = u64;
+            fn resume(&mut self, delivery: Option<u64>) -> Effect<u64> {
+                if delivery.is_some() {
+                    self.got += 1;
+                }
+                if self.sent < 2 {
+                    self.sent += 1;
+                    return Effect::Send { chan: self.out, msg: self.sent };
+                }
+                if self.got < 2 {
+                    return Effect::Recv { chan: self.inp };
+                }
+                Effect::Halt
+            }
+            fn snapshot(&self) -> Vec<u8> {
+                let mut buf = Vec::new();
+                push_u64(&mut buf, self.got);
+                buf
+            }
+        }
+        let mut topo = Topology::new(2);
+        let c01 = topo.add(ChannelSpec::bounded(0, 1, 1));
+        let c10 = topo.add(ChannelSpec::bounded(1, 0, 1));
+        let procs = vec![
+            TwoSends { out: c01, inp: c10, sent: 0, got: 0 },
+            TwoSends { out: c10, inp: c01, sent: 0, got: 0 },
+        ];
+        let err = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap_err();
+        let RunError::Deadlock { cycle, .. } = err else {
+            panic!("expected a typed deadlock");
+        };
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.iter().all(|w| w.kind == BlockKind::Send));
+    }
+
+    #[test]
+    fn metrics_profile_a_simple_run() {
+        let (topo, procs) = pair(10);
+        let out = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap();
+        let m = &out.metrics;
+        assert_eq!(m.channels[0].messages, 10);
+        assert_eq!(m.procs[0].sends, 10);
+        assert_eq!(m.procs[1].receives, 10);
+        assert_eq!(m.total_messages(), 10);
+        assert!(m.max_queue_depth() >= 1);
+        assert_eq!(m.max_queue_depth(), out.max_queued, "single channel: marks agree");
+        // PingPong messages are u64 but msg_size_bytes is not overridden.
+        assert_eq!(m.total_bytes(), 0);
+        let json = m.to_json();
+        assert!(json.contains("\"messages\":10"));
+
+        // Under HighestFirst the receiver runs first, blocks on the empty
+        // channel, and loses scheduling slots while the sender catches up.
+        let (topo, procs) = pair(10);
+        let out = run_simulated(
+            topo,
+            procs,
+            &mut AdversarialPolicy::new(Adversary::HighestFirst),
+        )
+        .unwrap();
+        assert!(out.metrics.procs[1].blocked_steps > 0);
+    }
+
+    #[test]
+    fn fault_effect_aborts_the_run_with_its_error() {
+        struct Faulty;
+        impl Process for Faulty {
+            type Msg = ();
+            fn resume(&mut self, _d: Option<()>) -> Effect<()> {
+                Effect::Fault {
+                    error: RunError::Protocol { proc: 0, detail: "bad message".into() },
+                }
+            }
+            fn snapshot(&self) -> Vec<u8> {
+                Vec::new()
+            }
+        }
+        let topo = Topology::new(1);
+        let err = run_simulated(topo, vec![Faulty], &mut RoundRobin::new()).unwrap_err();
+        assert_eq!(err, RunError::Protocol { proc: 0, detail: "bad message".into() });
     }
 }

@@ -6,19 +6,78 @@
 //! so the interleaving is whatever the machine produces. Theorem 1 is what
 //! licenses not caring: the final state equals the simulated runs' final
 //! state, which the integration tests and the `theorem1` bench confirm.
+//!
+//! Unlike the simulator, real threads cannot inspect each other's state to
+//! prove a deadlock, so detection here is a *watchdog*: when
+//! [`ThreadedConfig::watchdog`] is set, a monitor thread samples the run
+//! and, if every live process has been blocked with no message traffic for
+//! the configured window, poisons the run and reports the same typed
+//! [`RunError::Deadlock`] (with its wait-for cycle) the simulator would
+//! have produced — instead of hanging forever. Without a watchdog,
+//! deadlocked programs block forever, as before; validate programs under
+//! [`crate::sim::Simulator`] first.
+//!
+//! The runner is built on `std::sync` only (no external lock crates): a
+//! `Mutex`/`Condvar` pair per channel, with bounded-capacity channels
+//! blocking their writer until the reader drains.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
-
-use crate::chan::Topology;
+use crate::chan::{ChannelId, Topology};
 use crate::error::RunError;
-use crate::proc::{Effect, Process};
+use crate::proc::{Effect, ProcId, Process};
+use crate::trace::{ProcMetrics, RunMetrics};
+use crate::waitgraph::{self, BlockKind};
+
+/// How long a blocked thread sleeps between re-checks of its wait
+/// condition. Wakes also happen eagerly via notify; this only bounds how
+/// stale a poison check can get.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// Options for [`run_threaded_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedConfig {
+    /// If set, a watchdog thread declares a deadlock after the whole system
+    /// has been blocked with zero progress for this long, aborting the run
+    /// with a typed [`RunError::Deadlock`] instead of hanging. Choose a
+    /// window comfortably longer than any legitimate compute step (the
+    /// watchdog only fires when *every* live process is blocked on a
+    /// channel, so compute-heavy phases cannot trigger it spuriously).
+    pub watchdog: Option<Duration>,
+}
+
+impl ThreadedConfig {
+    /// Config with a deadlock watchdog of the given window.
+    pub fn with_watchdog(window: Duration) -> Self {
+        ThreadedConfig { watchdog: Some(window) }
+    }
+}
+
+/// Result of a successful threaded run.
+#[derive(Debug)]
+pub struct ThreadedOutcome {
+    /// Byte snapshot of each process's final state, indexed by process id.
+    pub snapshots: Vec<Vec<u8>>,
+    /// Per-channel and per-process execution metrics. `blocked_nanos` is
+    /// real wall-clock blocking; `blocked_steps` counts wait episodes.
+    pub metrics: RunMetrics,
+}
+
+/// Counters and traffic stats protected by one channel's lock.
+struct ChanState<M> {
+    queue: VecDeque<M>,
+    messages: u64,
+    bytes: u64,
+    max_depth: usize,
+}
 
 /// A single-reader single-writer queue with (optionally bounded) slack.
 struct SharedChan<M> {
-    queue: Mutex<VecDeque<M>>,
+    id: ChannelId,
+    state: Mutex<ChanState<M>>,
     /// Signalled when a message is pushed (wakes the reader).
     nonempty: Condvar,
     /// Signalled when a message is popped (wakes a bounded-channel writer).
@@ -26,99 +85,324 @@ struct SharedChan<M> {
     capacity: Option<usize>,
 }
 
+/// Run-wide coordination shared by every process thread and the watchdog.
+struct Control {
+    /// Set when the run is aborted (deadlock declared, a process faulted,
+    /// or a thread panicked). Blocked threads observe it and exit.
+    poisoned: AtomicBool,
+    /// Bumped on every completed send and receive; the watchdog's notion
+    /// of "the system is still moving".
+    progress: AtomicU64,
+    /// Number of threads currently inside a blocking wait.
+    blocked_count: AtomicUsize,
+    /// Number of threads that have exited (halted, faulted, or panicked).
+    finished: AtomicUsize,
+    /// What each blocked thread is waiting on (`None` = not blocked).
+    waits: Mutex<Vec<Option<(ChannelId, BlockKind)>>>,
+    /// The error that aborted the run, if any. First writer wins.
+    verdict: Mutex<Option<RunError>>,
+}
+
+impl Control {
+    fn new(n_procs: usize) -> Self {
+        Control {
+            poisoned: AtomicBool::new(false),
+            progress: AtomicU64::new(0),
+            blocked_count: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+            waits: Mutex::new(vec![None; n_procs]),
+            verdict: Mutex::new(None),
+        }
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn enter_wait(&self, pid: ProcId, chan: ChannelId, kind: BlockKind) {
+        self.waits.lock().unwrap()[pid] = Some((chan, kind));
+        self.blocked_count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn leave_wait(&self, pid: ProcId) {
+        self.waits.lock().unwrap()[pid] = None;
+        self.blocked_count.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Abort the run with `err` (first error wins) and wake every waiter so
+    /// blocked threads can observe the poison and exit.
+    fn fail<M>(&self, err: RunError, chans: &[Arc<SharedChan<M>>]) {
+        self.verdict.lock().unwrap().get_or_insert(err);
+        self.poisoned.store(true, Ordering::SeqCst);
+        for c in chans {
+            c.nonempty.notify_all();
+            c.nonfull.notify_all();
+        }
+    }
+}
+
 impl<M> SharedChan<M> {
-    fn new(capacity: Option<usize>) -> Self {
+    fn new(id: ChannelId, capacity: Option<usize>) -> Self {
         SharedChan {
-            queue: Mutex::new(VecDeque::new()),
+            id,
+            state: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                messages: 0,
+                bytes: 0,
+                max_depth: 0,
+            }),
             nonempty: Condvar::new(),
             nonfull: Condvar::new(),
             capacity,
         }
     }
 
-    fn send(&self, msg: M) {
-        let mut q = self.queue.lock();
+    /// Send, blocking while a bounded channel is full. Returns `false` if
+    /// the run was poisoned while waiting (the message is dropped — the run
+    /// is aborting anyway).
+    fn send(&self, msg: M, bytes: u64, ctl: &Control, pid: ProcId, pm: &mut ProcMetrics) -> bool {
+        let mut st = self.state.lock().unwrap();
         if let Some(k) = self.capacity {
-            while q.len() >= k {
-                self.nonfull.wait(&mut q);
+            if st.queue.len() >= k {
+                ctl.enter_wait(pid, self.id, BlockKind::Send);
+                pm.blocked_steps += 1;
+                let t0 = Instant::now();
+                while st.queue.len() >= k {
+                    if ctl.is_poisoned() {
+                        pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
+                        ctl.leave_wait(pid);
+                        return false;
+                    }
+                    let (guard, _) = self.nonfull.wait_timeout(st, WAIT_SLICE).unwrap();
+                    st = guard;
+                }
+                pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
+                ctl.leave_wait(pid);
             }
         }
-        q.push_back(msg);
+        st.queue.push_back(msg);
+        st.messages += 1;
+        st.bytes += bytes;
+        st.max_depth = st.max_depth.max(st.queue.len());
         self.nonempty.notify_one();
+        ctl.progress.fetch_add(1, Ordering::SeqCst);
+        true
     }
 
-    fn recv(&self) -> M {
-        let mut q = self.queue.lock();
-        while q.is_empty() {
-            self.nonempty.wait(&mut q);
+    /// Receive, blocking while the queue is empty. Returns `None` if the
+    /// run was poisoned while waiting.
+    fn recv(&self, ctl: &Control, pid: ProcId, pm: &mut ProcMetrics) -> Option<M> {
+        let mut st = self.state.lock().unwrap();
+        if st.queue.is_empty() {
+            ctl.enter_wait(pid, self.id, BlockKind::Recv);
+            pm.blocked_steps += 1;
+            let t0 = Instant::now();
+            while st.queue.is_empty() {
+                if ctl.is_poisoned() {
+                    pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
+                    ctl.leave_wait(pid);
+                    return None;
+                }
+                let (guard, _) = self.nonempty.wait_timeout(st, WAIT_SLICE).unwrap();
+                st = guard;
+            }
+            pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
+            ctl.leave_wait(pid);
         }
-        let msg = q.pop_front().expect("non-empty after wait");
+        let msg = st.queue.pop_front().expect("non-empty after wait");
         self.nonfull.notify_one();
-        msg
+        ctl.progress.fetch_add(1, Ordering::SeqCst);
+        Some(msg)
+    }
+}
+
+/// Runs on drop — including during a panic unwind — so the run-wide
+/// accounting stays correct and peers are released no matter how a process
+/// thread exits.
+struct ExitGuard<M> {
+    pid: ProcId,
+    ctl: Arc<Control>,
+    chans: Vec<Arc<SharedChan<M>>>,
+}
+
+impl<M> Drop for ExitGuard<M> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.ctl.fail(RunError::ThreadPanic { proc: self.pid }, &self.chans);
+        }
+        self.ctl.finished.fetch_add(1, Ordering::SeqCst);
     }
 }
 
 /// Run a process collection on real threads to termination and return each
-/// process's final snapshot, indexed by process id.
-///
-/// Channel endpoint violations (a process sending on a channel it does not
-/// own) are detected and reported as errors, exactly as in the simulated
-/// runner. Deadlocked programs block forever — the threaded runner performs
-/// no deadlock detection; validate programs under [`crate::sim::Simulator`]
-/// first.
+/// process's final snapshot, indexed by process id (legacy entry point,
+/// equivalent to [`run_threaded_with`] with a default config: no watchdog).
 pub fn run_threaded<P>(topo: &Topology, procs: Vec<P>) -> Result<Vec<Vec<u8>>, RunError>
 where
     P: Process + 'static,
 {
+    run_threaded_with(topo, procs, ThreadedConfig::default()).map(|o| o.snapshots)
+}
+
+/// Run a process collection on real threads to termination.
+///
+/// Channel endpoint violations, [`Effect::Fault`]s, thread panics, and
+/// (with [`ThreadedConfig::watchdog`]) deadlocks all abort the run with a
+/// typed error and wake every blocked peer, so an erroneous run returns
+/// instead of hanging.
+pub fn run_threaded_with<P>(
+    topo: &Topology,
+    procs: Vec<P>,
+    config: ThreadedConfig,
+) -> Result<ThreadedOutcome, RunError>
+where
+    P: Process + 'static,
+{
     assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
+    let n = procs.len();
     let chans: Vec<Arc<SharedChan<P::Msg>>> = topo
         .specs()
         .iter()
-        .map(|s| Arc::new(SharedChan::new(s.capacity)))
+        .enumerate()
+        .map(|(i, s)| Arc::new(SharedChan::new(ChannelId(i), s.capacity)))
         .collect();
+    let ctl = Arc::new(Control::new(n));
 
-    let mut handles = Vec::with_capacity(procs.len());
+    let mut handles = Vec::with_capacity(n);
     for (pid, mut proc) in procs.into_iter().enumerate() {
         let chans = chans.clone();
         let topo = topo.clone();
-        handles.push(std::thread::spawn(move || -> Result<Vec<u8>, RunError> {
-            let mut delivery: Option<P::Msg> = None;
-            loop {
-                match proc.resume(delivery.take()) {
-                    Effect::Compute { .. } => {}
-                    Effect::Send { chan, msg } => {
-                        topo.check_writer(chan, pid)?;
-                        chans[chan.0].send(msg);
+        let ctl = Arc::clone(&ctl);
+        handles.push(std::thread::spawn(
+            move || -> Result<(Vec<u8>, ProcMetrics), RunError> {
+                let _guard = ExitGuard { pid, ctl: Arc::clone(&ctl), chans: chans.clone() };
+                let mut pm = ProcMetrics::default();
+                let mut delivery: Option<P::Msg> = None;
+                loop {
+                    if ctl.is_poisoned() {
+                        // The run is aborting; the verdict carries the error.
+                        return Ok((Vec::new(), pm));
                     }
-                    Effect::Recv { chan } => {
-                        topo.check_reader(chan, pid)?;
-                        delivery = Some(chans[chan.0].recv());
+                    pm.steps += 1;
+                    match proc.resume(delivery.take()) {
+                        Effect::Compute { units } => pm.compute_units += units,
+                        Effect::Send { chan, msg } => {
+                            if let Err(e) = topo.check_writer(chan, pid) {
+                                ctl.fail(e.clone(), &chans);
+                                return Err(e);
+                            }
+                            let bytes = P::msg_size_bytes(&msg);
+                            if !chans[chan.0].send(msg, bytes, &ctl, pid, &mut pm) {
+                                return Ok((Vec::new(), pm));
+                            }
+                            pm.sends += 1;
+                        }
+                        Effect::Recv { chan } => {
+                            if let Err(e) = topo.check_reader(chan, pid) {
+                                ctl.fail(e.clone(), &chans);
+                                return Err(e);
+                            }
+                            match chans[chan.0].recv(&ctl, pid, &mut pm) {
+                                Some(m) => {
+                                    pm.receives += 1;
+                                    delivery = Some(m);
+                                }
+                                None => return Ok((Vec::new(), pm)),
+                            }
+                        }
+                        Effect::Halt => return Ok((proc.snapshot(), pm)),
+                        Effect::Fault { error } => {
+                            ctl.fail(error.clone(), &chans);
+                            return Err(error);
+                        }
                     }
-                    Effect::Halt => return Ok(proc.snapshot()),
                 }
-            }
-        }));
+            },
+        ));
     }
 
-    let mut snapshots = Vec::with_capacity(handles.len());
+    let watchdog = config.watchdog.map(|window| {
+        let ctl = Arc::clone(&ctl);
+        let chans = chans.clone();
+        let topo = topo.clone();
+        std::thread::spawn(move || {
+            let poll = (window / 4).clamp(Duration::from_millis(1), WAIT_SLICE);
+            let mut last_progress = ctl.progress.load(Ordering::SeqCst);
+            let mut stalled_since: Option<Instant> = None;
+            loop {
+                std::thread::sleep(poll);
+                if ctl.is_poisoned() || ctl.finished.load(Ordering::SeqCst) == n {
+                    return;
+                }
+                let progress = ctl.progress.load(Ordering::SeqCst);
+                let blocked = ctl.blocked_count.load(Ordering::SeqCst);
+                let finished = ctl.finished.load(Ordering::SeqCst);
+                let wedged = progress == last_progress && blocked > 0 && blocked + finished == n;
+                if !wedged {
+                    last_progress = progress;
+                    stalled_since = None;
+                    continue;
+                }
+                let t0 = *stalled_since.get_or_insert_with(Instant::now);
+                if t0.elapsed() < window {
+                    continue;
+                }
+                // Declare the deadlock: snapshot the wait set, re-verify
+                // nothing moved while we took the lock, and poison the run.
+                let waits: Vec<(ProcId, ChannelId, BlockKind)> = {
+                    let w = ctl.waits.lock().unwrap();
+                    w.iter()
+                        .enumerate()
+                        .filter_map(|(p, e)| e.map(|(c, k)| (p, c, k)))
+                        .collect()
+                };
+                if ctl.progress.load(Ordering::SeqCst) != last_progress
+                    || waits.len() + ctl.finished.load(Ordering::SeqCst) != n
+                {
+                    stalled_since = None;
+                    continue;
+                }
+                ctl.fail(waitgraph::deadlock_error(&topo, &waits), &chans);
+                return;
+            }
+        })
+    });
+
+    let mut snapshots = vec![Vec::new(); n];
+    let mut metrics = RunMetrics::for_topology(topo);
     let mut first_err: Option<RunError> = None;
     for (pid, h) in handles.into_iter().enumerate() {
         match h.join() {
-            Ok(Ok(snap)) => snapshots.push(snap),
+            Ok(Ok((snap, pm))) => {
+                snapshots[pid] = snap;
+                metrics.procs[pid] = pm;
+            }
             Ok(Err(e)) => {
-                snapshots.push(Vec::new());
                 first_err.get_or_insert(e);
             }
             Err(_) => {
-                snapshots.push(Vec::new());
                 first_err.get_or_insert(RunError::ThreadPanic { proc: pid });
             }
         }
     }
-    match first_err {
-        Some(e) => Err(e),
-        None => Ok(snapshots),
+    if let Some(h) = watchdog {
+        let _ = h.join();
     }
+    // A watchdog- or fault-declared verdict describes the root cause better
+    // than whatever secondary error the individual threads exited with.
+    if let Some(v) = ctl.verdict.lock().unwrap().take() {
+        return Err(v);
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    for (i, c) in chans.iter().enumerate() {
+        let st = c.state.lock().unwrap();
+        metrics.channels[i].messages = st.messages;
+        metrics.channels[i].bytes = st.bytes;
+        metrics.channels[i].max_queue_depth = st.max_depth;
+    }
+    Ok(ThreadedOutcome { snapshots, metrics })
 }
 
 #[cfg(test)]
@@ -252,23 +536,33 @@ mod tests {
                     Role::Drain { sum, .. } => sum.to_le_bytes().to_vec(),
                 }
             }
+            fn msg_size_bytes(_msg: &u64) -> u64 {
+                8
+            }
         }
         let n = 200u64;
         let mut topo = Topology::new(2);
         let c = topo.add(ChannelSpec::bounded(0, 1, 2)); // tiny capacity
-        let snaps = run_threaded(
+        let out = run_threaded_with(
             &topo,
             vec![
                 Role::Burst { out: c, n, sent: 0 },
                 Role::Drain { inp: c, n, got: 0, sum: 0 },
             ],
+            ThreadedConfig::default(),
         )
         .unwrap();
         let mut expect: u64 = 0;
         for v in 1..=n {
             expect = expect.wrapping_mul(31).wrapping_add(v);
         }
-        assert_eq!(snaps[1], expect.to_le_bytes().to_vec());
+        assert_eq!(out.snapshots[1], expect.to_le_bytes().to_vec());
+        // Metrics: 200 messages of 8 bytes, queue never above capacity.
+        assert_eq!(out.metrics.channels[0].messages, 200);
+        assert_eq!(out.metrics.channels[0].bytes, 1600);
+        assert!(out.metrics.channels[0].max_queue_depth <= 2);
+        assert_eq!(out.metrics.procs[0].sends, 200);
+        assert_eq!(out.metrics.procs[1].receives, 200);
     }
 
     #[test]
@@ -283,5 +577,103 @@ mod tests {
             let (topo, procs) = ring(5, 2);
             assert_eq!(run_threaded(&topo, procs).unwrap(), reference);
         }
+    }
+
+    /// Receive-first symmetric exchange: deadlocks in any runtime.
+    struct RecvFirst {
+        out: ChannelId,
+        inp: ChannelId,
+        received: Option<u64>,
+        sent: bool,
+    }
+
+    impl Process for RecvFirst {
+        type Msg = u64;
+        fn resume(&mut self, d: Option<u64>) -> Effect<u64> {
+            if let Some(v) = d {
+                self.received = Some(v);
+            }
+            if self.received.is_none() {
+                return Effect::Recv { chan: self.inp };
+            }
+            if !self.sent {
+                self.sent = true;
+                return Effect::Send { chan: self.out, msg: 7 };
+            }
+            Effect::Halt
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn watchdog_turns_a_threaded_deadlock_into_a_typed_error() {
+        let mut topo = Topology::new(2);
+        let c01 = topo.connect(0, 1);
+        let c10 = topo.connect(1, 0);
+        let procs = vec![
+            RecvFirst { out: c01, inp: c10, received: None, sent: false },
+            RecvFirst { out: c10, inp: c01, received: None, sent: false },
+        ];
+        let err = run_threaded_with(
+            &topo,
+            procs,
+            ThreadedConfig::with_watchdog(Duration::from_millis(100)),
+        )
+        .unwrap_err();
+        let RunError::Deadlock { blocked, cycle } = err else {
+            panic!("expected a typed deadlock, not a hang");
+        };
+        assert_eq!(blocked.len(), 2);
+        assert_eq!(cycle.len(), 2, "the 0↔1 receive cycle is named");
+        assert!(cycle.iter().all(|w| w.kind == BlockKind::Recv));
+    }
+
+    #[test]
+    fn watchdog_does_not_fire_on_a_healthy_run() {
+        let (topo, procs) = ring(4, 3);
+        let out = run_threaded_with(
+            &topo,
+            procs,
+            ThreadedConfig::with_watchdog(Duration::from_millis(200)),
+        )
+        .unwrap();
+        let mut expect = Vec::new();
+        push_u64(&mut expect, 4 * 3);
+        assert_eq!(out.snapshots[0], expect);
+    }
+
+    #[test]
+    fn fault_poisons_the_run_and_releases_blocked_peers() {
+        // Process 0 faults immediately; process 1 blocks receiving from it.
+        // Without poisoning, 1 would hang forever.
+        enum Pair {
+            Faulty,
+            Waiter { inp: ChannelId },
+        }
+        impl Process for Pair {
+            type Msg = u64;
+            fn resume(&mut self, _d: Option<u64>) -> Effect<u64> {
+                match self {
+                    Pair::Faulty => Effect::Fault {
+                        error: RunError::Protocol { proc: 0, detail: "bad".into() },
+                    },
+                    Pair::Waiter { inp } => Effect::Recv { chan: *inp },
+                }
+            }
+            fn snapshot(&self) -> Vec<u8> {
+                Vec::new()
+            }
+        }
+        let mut topo = Topology::new(2);
+        let c = topo.connect(0, 1);
+        let err = run_threaded_with(
+            &topo,
+            vec![Pair::Faulty, Pair::Waiter { inp: c }],
+            ThreadedConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::Protocol { proc: 0, detail: "bad".into() });
     }
 }

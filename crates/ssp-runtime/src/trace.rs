@@ -1,11 +1,17 @@
-//! Execution traces: the sequence of atomic actions an interleaving took.
+//! Execution traces and metrics: what an interleaving did, and how much.
 //!
 //! Traces serve three purposes: they *are* the interleaving (Theorem 1
 //! quantifies over them), they can be replayed exactly with
 //! [`crate::policy::FixedSchedule`], and they feed the permutation argument
 //! in `archetypes-core::theorem` that mirrors the paper's proof technique.
+//!
+//! [`RunMetrics`] is the quantitative companion: per-channel message
+//! counts, payload volume, and queue-depth high-water marks, plus
+//! per-process step/block accounting — the data behind a Figure-2-style
+//! communication profile. Both runners populate it; [`RunMetrics::to_json`]
+//! dumps it without any serialization dependency.
 
-use crate::chan::ChannelId;
+use crate::chan::{ChannelId, Topology};
 use crate::proc::ProcId;
 
 /// What a single scheduled step did.
@@ -124,6 +130,152 @@ impl Trace {
     }
 }
 
+/// Communication metrics for one channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelMetrics {
+    /// The channel's declared writer (copied from the topology so a dumped
+    /// profile is self-describing).
+    pub writer: ProcId,
+    /// The channel's declared reader.
+    pub reader: ProcId,
+    /// The channel's capacity (`None` = infinite slack).
+    pub capacity: Option<usize>,
+    /// Messages sent on this channel.
+    pub messages: u64,
+    /// Total payload bytes sent, as reported by
+    /// [`crate::proc::Process::msg_size_bytes`] (0 unless overridden).
+    pub bytes: u64,
+    /// High-water mark of the channel's queue depth.
+    pub max_queue_depth: usize,
+}
+
+/// Execution metrics for one process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcMetrics {
+    /// Atomic actions this process performed.
+    pub steps: u64,
+    /// Abstract compute units it reported.
+    pub compute_units: u64,
+    /// Messages it sent.
+    pub sends: u64,
+    /// Messages it received.
+    pub receives: u64,
+    /// Time spent blocked. In the simulator this counts *scheduler steps*
+    /// during which the process was blocked while another process acted; in
+    /// the threaded runner it counts *block episodes* (condvar waits
+    /// entered).
+    pub blocked_steps: u64,
+    /// Wall-clock nanoseconds spent blocked (threaded runner only; always 0
+    /// in the simulator, whose virtual time has no wall-clock meaning).
+    pub blocked_nanos: u64,
+}
+
+/// Quantitative profile of a run: per-channel traffic and queue pressure,
+/// per-process work and blocking. Populated by both runners.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// One entry per channel, indexed by [`ChannelId`].
+    pub channels: Vec<ChannelMetrics>,
+    /// One entry per process, indexed by [`ProcId`].
+    pub procs: Vec<ProcMetrics>,
+}
+
+impl RunMetrics {
+    /// Zeroed metrics shaped for `topo`, with channel endpoints and
+    /// capacities pre-filled.
+    pub fn for_topology(topo: &Topology) -> Self {
+        RunMetrics {
+            channels: topo
+                .specs()
+                .iter()
+                .map(|s| ChannelMetrics {
+                    writer: s.writer,
+                    reader: s.reader,
+                    capacity: s.capacity,
+                    ..ChannelMetrics::default()
+                })
+                .collect(),
+            procs: vec![ProcMetrics::default(); topo.n_procs()],
+        }
+    }
+
+    /// Record a send of `bytes` payload bytes on `chan` by its writer,
+    /// after which the queue holds `depth_after` messages.
+    pub fn on_send(&mut self, chan: ChannelId, bytes: u64, depth_after: usize) {
+        let c = &mut self.channels[chan.0];
+        c.messages += 1;
+        c.bytes += bytes;
+        c.max_queue_depth = c.max_queue_depth.max(depth_after);
+        let writer = c.writer;
+        self.procs[writer].sends += 1;
+    }
+
+    /// Record a completed receive on `chan` by its reader.
+    pub fn on_recv(&mut self, chan: ChannelId) {
+        let reader = self.channels[chan.0].reader;
+        self.procs[reader].receives += 1;
+    }
+
+    /// Total messages across all channels.
+    pub fn total_messages(&self) -> u64 {
+        self.channels.iter().map(|c| c.messages).sum()
+    }
+
+    /// Total payload bytes across all channels.
+    pub fn total_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Largest queue-depth high-water mark over all channels.
+    pub fn max_queue_depth(&self) -> usize {
+        self.channels.iter().map(|c| c.max_queue_depth).max().unwrap_or(0)
+    }
+
+    /// Dump the profile as a JSON object (hand-rolled: every value is a
+    /// number, `null`, or an array of objects, so no escaping or external
+    /// serializer is needed).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        s.push_str("{\"channels\":[");
+        for (i, c) in self.channels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let cap = match c.capacity {
+                Some(k) => k.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                s,
+                "{{\"id\":{i},\"writer\":{},\"reader\":{},\"capacity\":{cap},\
+                 \"messages\":{},\"bytes\":{},\"max_queue_depth\":{}}}",
+                c.writer, c.reader, c.messages, c.bytes, c.max_queue_depth
+            );
+        }
+        s.push_str("],\"procs\":[");
+        for (i, p) in self.procs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"id\":{i},\"steps\":{},\"compute_units\":{},\"sends\":{},\
+                 \"receives\":{},\"blocked_steps\":{},\"blocked_nanos\":{}}}",
+                p.steps, p.compute_units, p.sends, p.receives, p.blocked_steps, p.blocked_nanos
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"total_messages\":{},\"total_bytes\":{},\"max_queue_depth\":{}}}",
+            self.total_messages(),
+            self.total_bytes(),
+            self.max_queue_depth()
+        );
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +305,45 @@ mod tests {
         assert_eq!(p0.len() + p1.len(), t.len());
         assert!(p0.iter().all(|e| e.proc == 0));
         assert!(p1.iter().all(|e| e.proc == 1));
+    }
+
+    #[test]
+    fn metrics_accumulate_and_dump_as_json() {
+        let mut t = Topology::new(2);
+        let c = t.connect(0, 1);
+        let mut m = RunMetrics::for_topology(&t);
+        m.on_send(c, 16, 1);
+        m.on_send(c, 16, 2);
+        m.on_recv(c);
+        m.procs[0].steps = 3;
+        m.procs[1].blocked_steps = 2;
+
+        assert_eq!(m.channels[0].messages, 2);
+        assert_eq!(m.channels[0].bytes, 32);
+        assert_eq!(m.channels[0].max_queue_depth, 2);
+        assert_eq!(m.procs[0].sends, 2);
+        assert_eq!(m.procs[1].receives, 1);
+        assert_eq!(m.total_messages(), 2);
+        assert_eq!(m.total_bytes(), 32);
+        assert_eq!(m.max_queue_depth(), 2);
+
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"capacity\":null"));
+        assert!(json.contains("\"messages\":2"));
+        assert!(json.contains("\"total_bytes\":32"));
+        // Balanced braces — cheap structural sanity without a parser.
+        let open = json.chars().filter(|&c| c == '{').count();
+        let close = json.chars().filter(|&c| c == '}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn bounded_capacity_appears_in_json() {
+        let mut t = Topology::new(2);
+        t.add(crate::chan::ChannelSpec::bounded(0, 1, 4));
+        let m = RunMetrics::for_topology(&t);
+        assert!(m.to_json().contains("\"capacity\":4"));
     }
 
     #[test]

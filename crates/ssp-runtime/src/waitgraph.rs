@@ -1,0 +1,186 @@
+//! Wait-for graphs over blocked processes, and cycle extraction.
+//!
+//! Under the paper's infinite-slack model a process can wait only on a
+//! *receive*; with bounded slack (this runtime's extension) it can also
+//! wait on a *send* into a full channel. Either way each blocked process
+//! waits on exactly one channel, and the single-reader single-writer
+//! restriction means exactly one *peer* process can unblock it: the
+//! channel's writer (for a blocked receive) or its reader (for a blocked
+//! send). The blocked processes therefore form a functional graph — at
+//! most one out-edge per node — and a deadlock is either a cycle in that
+//! graph or a chain ending at a halted (or error-exited) peer.
+
+use crate::chan::{ChannelId, Topology};
+use crate::error::RunError;
+use crate::proc::ProcId;
+
+/// Which side of a channel a process is blocked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Blocked sending into a full bounded channel.
+    Send,
+    /// Blocked receiving from an empty channel.
+    Recv,
+}
+
+/// One blocked process: what it waits on and who could unblock it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitFor {
+    /// The blocked process.
+    pub proc: ProcId,
+    /// The channel it is blocked on.
+    pub chan: ChannelId,
+    /// Send-side or receive-side.
+    pub kind: BlockKind,
+    /// The peer whose action would unblock `proc`: the channel's writer
+    /// for a blocked receive, its reader for a blocked send.
+    pub on: ProcId,
+}
+
+impl std::fmt::Display for WaitFor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let side = match self.kind {
+            BlockKind::Send => "send",
+            BlockKind::Recv => "recv",
+        };
+        write!(f, "process {} -{side} {}-> process {}", self.proc, self.chan, self.on)
+    }
+}
+
+/// Build the [`RunError::Deadlock`] for a set of blocked processes.
+///
+/// `waits` lists every blocked process with its channel and side; the
+/// topology supplies the peer for each. The returned error carries both
+/// the full blocked list and the first wait-for cycle found (empty when
+/// the deadlock is acyclic — e.g. a receive from a channel whose writer
+/// already halted).
+pub fn deadlock_error(topo: &Topology, waits: &[(ProcId, ChannelId, BlockKind)]) -> RunError {
+    let blocked: Vec<WaitFor> = waits
+        .iter()
+        .map(|&(proc, chan, kind)| {
+            let spec = topo.spec(chan);
+            let on = match kind {
+                BlockKind::Recv => spec.writer,
+                BlockKind::Send => spec.reader,
+            };
+            WaitFor { proc, chan, kind, on }
+        })
+        .collect();
+    let cycle = find_cycle(&blocked);
+    RunError::Deadlock { blocked, cycle }
+}
+
+/// Find one cycle in the functional wait-for graph, as the sequence of
+/// edges traversed (`cycle[i].on == cycle[(i + 1) % len].proc`). Returns
+/// an empty vector if every wait chain leaves the blocked set.
+fn find_cycle(blocked: &[WaitFor]) -> Vec<WaitFor> {
+    use std::collections::HashMap;
+    let by_proc: HashMap<ProcId, &WaitFor> = blocked.iter().map(|w| (w.proc, w)).collect();
+    // 0 = unvisited, 1 = on the current path, 2 = exhausted.
+    let mut state: HashMap<ProcId, u8> = HashMap::new();
+    for start in blocked {
+        if state.get(&start.proc).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut path: Vec<&WaitFor> = Vec::new();
+        let mut cur = start.proc;
+        // When the chain leaves the blocked set, the peer is runnable or
+        // halted: no cycle along this path.
+        while let Some(w) = by_proc.get(&cur) {
+            match state.get(&cur).copied().unwrap_or(0) {
+                1 => {
+                    // `cur` is on the current path: close the cycle.
+                    let from = path.iter().position(|e| e.proc == cur).expect("on path");
+                    return path[from..].iter().map(|e| **e).collect();
+                }
+                2 => break, // already proven cycle-free
+                _ => {
+                    state.insert(cur, 1);
+                    path.push(w);
+                    cur = w.on;
+                }
+            }
+        }
+        for e in path {
+            state.insert(e.proc, 2);
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo_ring2() -> (Topology, ChannelId, ChannelId) {
+        let mut t = Topology::new(2);
+        let c01 = t.connect(0, 1);
+        let c10 = t.connect(1, 0);
+        (t, c01, c10)
+    }
+
+    #[test]
+    fn recv_recv_cycle_is_found() {
+        let (topo, c01, c10) = topo_ring2();
+        // 0 waits to receive on c10 (writer 1); 1 waits to receive on c01
+        // (writer 0): a 2-cycle.
+        let err = deadlock_error(
+            &topo,
+            &[(0, c10, BlockKind::Recv), (1, c01, BlockKind::Recv)],
+        );
+        let RunError::Deadlock { blocked, cycle } = err else { panic!("not a deadlock") };
+        assert_eq!(blocked.len(), 2);
+        assert_eq!(cycle.len(), 2);
+        assert_eq!(cycle[0].on, cycle[1].proc);
+        assert_eq!(cycle[1].on, cycle[0].proc);
+    }
+
+    #[test]
+    fn send_send_cycle_is_found() {
+        let (topo, c01, c10) = topo_ring2();
+        // Both blocked sending into full channels: 0 waits on c01's reader
+        // (1), 1 waits on c10's reader (0).
+        let err = deadlock_error(
+            &topo,
+            &[(0, c01, BlockKind::Send), (1, c10, BlockKind::Send)],
+        );
+        let RunError::Deadlock { cycle, .. } = err else { panic!("not a deadlock") };
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.iter().all(|w| w.kind == BlockKind::Send));
+    }
+
+    #[test]
+    fn halted_peer_yields_no_cycle() {
+        let (topo, c01, _) = topo_ring2();
+        // Only process 1 is blocked, on a channel whose writer (0) is not
+        // blocked (it halted): acyclic deadlock.
+        let err = deadlock_error(&topo, &[(1, c01, BlockKind::Recv)]);
+        let RunError::Deadlock { blocked, cycle } = err else { panic!("not a deadlock") };
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].on, 0);
+        assert!(cycle.is_empty());
+    }
+
+    #[test]
+    fn chain_into_cycle_reports_only_the_cycle() {
+        // 0 -> 1 -> 2 -> 1: process 0 waits on 1, while 1 and 2 wait on
+        // each other. The cycle is {1, 2}.
+        let mut t = Topology::new(3);
+        let c10 = t.connect(1, 0);
+        let c21 = t.connect(2, 1);
+        let c12 = t.connect(1, 2);
+        let err = deadlock_error(
+            &t,
+            &[
+                (0, c10, BlockKind::Recv),
+                (1, c21, BlockKind::Recv),
+                (2, c12, BlockKind::Recv),
+            ],
+        );
+        let RunError::Deadlock { blocked, cycle } = err else { panic!("not a deadlock") };
+        assert_eq!(blocked.len(), 3);
+        assert_eq!(cycle.len(), 2);
+        let members: Vec<ProcId> = cycle.iter().map(|w| w.proc).collect();
+        assert!(members.contains(&1) && members.contains(&2));
+    }
+}
