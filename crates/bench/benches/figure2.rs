@@ -8,14 +8,16 @@
 //! shape: near-ideal scaling for this larger problem on a real MPP switch,
 //! with mild divergence from ideal as P grows.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 
-use bench::{price, print_table, run_version_a, scaled_steps, secs, spd};
+use bench::{price, print_table, run_version_a, scaled_steps, secs, spd, RunPoint};
 use fdtd::par::{init_a, plan_a};
 use fdtd::Params;
-use machine_model::{ibm_sp, ideal_time, perfect_speedup, SpeedupSeries};
-use mesh_archetype::run_msg_simulated_slack;
+use machine_model::{ibm_sp, ideal_time, network_of_suns, perfect_speedup, SpeedupSeries};
+use mesh_archetype::{run_msg_predicted, run_msg_simulated_slack};
 use meshgrid::ProcGrid3;
+use perf_sim::DesOutcome;
 use ssp_runtime::RoundRobin;
 
 fn main() {
@@ -34,6 +36,7 @@ fn main() {
     let t_seq = seq_point.modeled;
 
     let ps = [2usize, 4, 8, 16];
+    let mut measured_points: Vec<RunPoint> = vec![seq_point.clone()];
     let mut time_rows = vec![vec![
         "1".to_string(),
         secs(t_seq),
@@ -45,6 +48,7 @@ fn main() {
     for &p in &ps {
         let (_, mut point, _) = run_version_a(&params, p);
         price(&mut point, &machine);
+        measured_points.push(point.clone());
         timings.push((p, point.modeled));
         time_rows.push(vec![
             p.to_string(),
@@ -89,7 +93,127 @@ fn main() {
         }
     );
 
+    let predictions = predicted_curves(&params);
+    write_bench_json(&params, machine.name, &measured_points, &predictions);
+
     comm_profile();
+}
+
+/// Predicted speedup curves from the discrete-event backend: the *actual*
+/// version-A message-passing execution placed on each paper machine's
+/// virtual clock, with the critical path explaining where each predicted
+/// second goes. This is the §4 methodology run forward: the bend of the
+/// curve arrives with its cause (compute / latency / bandwidth / blocked)
+/// attached.
+fn predicted_curves(params: &Arc<Params>) -> Vec<(&'static str, Vec<(usize, DesOutcome)>)> {
+    let plan = plan_a(params);
+    let init = init_a(params.clone());
+    let pred_ps = [1usize, 2, 4, 8, 16];
+    let mut predictions = Vec::new();
+    for machine in [network_of_suns(), ibm_sp()] {
+        let mut points: Vec<(usize, DesOutcome)> = Vec::new();
+        for &p in &pred_ps {
+            let pg = ProcGrid3::choose(params.n, p);
+            let out = run_msg_predicted(&plan, pg, &init, &machine)
+                .expect("infinite-slack message-passing plans cannot deadlock");
+            points.push((p, out));
+        }
+        let t1 = points[0].1.makespan;
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|(p, out)| {
+                let bd = out.critical.breakdown;
+                vec![
+                    p.to_string(),
+                    secs(out.makespan),
+                    secs(ideal_time(t1, *p)),
+                    spd(t1 / out.makespan),
+                    spd(perfect_speedup(*p)),
+                    secs(bd.compute),
+                    secs(bd.latency),
+                    secs(bd.bandwidth),
+                    secs(bd.blocked),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "predicted speedup curve (discrete-event, version A as message passing) on {}",
+                machine.name
+            ),
+            &[
+                "P",
+                "predicted (s)",
+                "ideal (s)",
+                "speedup",
+                "perfect",
+                "cp compute",
+                "cp latency",
+                "cp bandwidth",
+                "cp blocked",
+            ],
+            &rows,
+        );
+        predictions.push((machine.name, points));
+    }
+    predictions
+}
+
+/// Write the run's measured and predicted numbers as JSON when `BENCH_JSON`
+/// names an output path (`scripts/bench.sh` sets it to
+/// `BENCH_figure2.json`). Hand-rolled writer, like the rest of the
+/// workspace's JSON.
+fn write_bench_json(
+    params: &Arc<Params>,
+    machine_name: &str,
+    measured: &[RunPoint],
+    predictions: &[(&'static str, Vec<(usize, DesOutcome)>)],
+) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"bench\":\"figure2\",\"grid\":[{},{},{}],\"steps\":{},\"machine\":\"{machine_name}\",\
+         \"measured\":[",
+        params.n.0, params.n.1, params.n.2, params.steps
+    );
+    for (i, pt) in measured.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"p\":{},\"modeled\":{},\"wall\":{}}}",
+            pt.p, pt.modeled, pt.wall
+        );
+    }
+    s.push_str("],\"predicted\":[");
+    for (i, (name, points)) in predictions.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"machine\":\"{name}\",\"points\":[");
+        for (j, (p, out)) in points.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let bd = out.critical.breakdown;
+            let _ = write!(
+                s,
+                "{{\"p\":{p},\"time\":{},\"compute\":{},\"latency\":{},\"bandwidth\":{},\
+                 \"blocked\":{}}}",
+                out.makespan, bd.compute, bd.latency, bd.bandwidth, bd.blocked
+            );
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}");
+    match std::fs::write(&path, &s) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
 }
 
 /// Figure-2-style communication profile: the same version-A program run as

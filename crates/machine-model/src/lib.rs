@@ -27,7 +27,9 @@
 pub mod model;
 pub mod speedup;
 pub mod sweep;
+pub mod trace;
 
 pub use model::{ibm_sp, network_of_suns, MachineModel};
 pub use speedup::{ideal_time, perfect_speedup, SpeedupPoint, SpeedupSeries};
 pub use sweep::{sweep_alpha, sweep_beta, SweepPoint};
+pub use trace::{CommTrace, MsgRecord, PhaseCost};

@@ -1,6 +1,6 @@
 //! The cost model and the two calibrated machine presets.
 
-use mesh_archetype::trace::{CommTrace, PhaseCost};
+use crate::trace::{CommTrace, PhaseCost};
 /// An analytic distributed-memory machine: uniform nodes on a uniform
 /// interconnect, LogGP-flavoured.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -13,9 +13,40 @@ pub struct MachineModel {
     pub alpha: f64,
     /// Per-byte transfer time β in seconds (inverse sustained bandwidth).
     pub beta: f64,
+    /// Sender-side CPU occupancy of one send, in seconds. Used only by the
+    /// discrete-event backend (`perf-sim`): the closed-form
+    /// [`MachineModel::price_phase`] folds all software overhead into α.
+    pub o_send: f64,
+    /// Receiver-side CPU occupancy of one completed receive, in seconds.
+    /// Discrete-event backend only, like [`MachineModel::o_send`].
+    pub o_recv: f64,
 }
 
 impl MachineModel {
+    /// A machine with the given α/β/t_flop and zero send/recv occupancy —
+    /// the pure latency/bandwidth model the closed-form pricer uses.
+    pub fn custom(name: &'static str, t_flop: f64, alpha: f64, beta: f64) -> Self {
+        MachineModel { name, t_flop, alpha, beta, o_send: 0.0, o_recv: 0.0 }
+    }
+
+    /// The same machine with explicit per-send/per-recv CPU occupancies
+    /// (builder style), for the discrete-event backend.
+    pub fn with_overheads(mut self, o_send: f64, o_recv: f64) -> Self {
+        self.o_send = o_send;
+        self.o_recv = o_recv;
+        self
+    }
+
+    /// Virtual-clock cost of `units` abstract work units (flops).
+    pub fn compute_time(&self, units: u64) -> f64 {
+        units as f64 * self.t_flop
+    }
+
+    /// Virtual-clock transit time of one message of `bytes` payload bytes:
+    /// wire latency plus serialization, excluding endpoint occupancies.
+    pub fn transit_time(&self, bytes: u64) -> f64 {
+        self.alpha + bytes as f64 * self.beta
+    }
     /// Modeled time of one phase: critical-path computation plus
     /// critical-endpoint communication.
     pub fn price_phase(&self, phase: &PhaseCost, nprocs: usize) -> f64 {
@@ -72,20 +103,22 @@ impl MachineModel {
 /// (Fortran M over sockets) — roughly half a millisecond of per-message
 /// software latency and ~1 MB/s of effective bandwidth.
 pub fn network_of_suns() -> MachineModel {
-    MachineModel { name: "network-of-suns", t_flop: 5.0e-7, alpha: 5.0e-4, beta: 1.0e-6 }
+    // Socket-stack software occupancy is a real fraction of the half-
+    // millisecond α on this machine: 100 µs at each endpoint.
+    MachineModel::custom("network-of-suns", 5.0e-7, 5.0e-4, 1.0e-6).with_overheads(1.0e-4, 1.0e-4)
 }
 
 /// The IBM SP of the paper's Figure 2: Power2-era nodes (sustained
 /// ~40 Mflop/s on stencil code) with the SP switch — tens of microseconds
 /// of latency and ~35 MB/s sustained bandwidth.
 pub fn ibm_sp() -> MachineModel {
-    MachineModel { name: "ibm-sp", t_flop: 2.5e-8, alpha: 4.0e-5, beta: 2.9e-8 }
+    MachineModel::custom("ibm-sp", 2.5e-8, 4.0e-5, 2.9e-8).with_overheads(5.0e-6, 5.0e-6)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh_archetype::trace::MsgRecord;
+    use crate::trace::MsgRecord;
 
     fn trace2() -> CommTrace {
         let mut t = CommTrace::new(2);
@@ -104,18 +137,18 @@ mod tests {
 
     #[test]
     fn phase_pricing_takes_critical_rank() {
-        let m = MachineModel { name: "unit", t_flop: 1.0, alpha: 0.0, beta: 0.0 };
+        let m = MachineModel::custom("unit", 1.0, 0.0, 0.0);
         let t = trace2();
         assert_eq!(m.price_phase(&t.phases[0], 2), 2_000_000.0);
     }
 
     #[test]
     fn comm_pricing_counts_both_endpoints() {
-        let m = MachineModel { name: "unit", t_flop: 0.0, alpha: 1.0, beta: 0.0 };
+        let m = MachineModel::custom("unit", 0.0, 1.0, 0.0);
         let t = trace2();
         // Each rank touches 2 messages (1 send + 1 recv).
         assert_eq!(m.price_phase(&t.phases[1], 2), 2.0);
-        let m = MachineModel { name: "unit", t_flop: 0.0, alpha: 0.0, beta: 1.0 };
+        let m = MachineModel::custom("unit", 0.0, 0.0, 1.0);
         assert_eq!(m.price_phase(&t.phases[1], 2), 16_000.0);
     }
 

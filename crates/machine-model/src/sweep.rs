@@ -2,8 +2,8 @@
 //! responds to interconnect latency and bandwidth, explaining *why* the
 //! network of Suns flattens where the IBM SP keeps scaling.
 
-use mesh_archetype::trace::CommTrace;
 use crate::model::MachineModel;
+use crate::trace::CommTrace;
 
 /// One point of a machine-parameter sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,7 +54,7 @@ pub fn sweep_beta(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh_archetype::trace::{MsgRecord, PhaseCost};
+    use crate::trace::{MsgRecord, PhaseCost};
 
     fn trace() -> CommTrace {
         let mut t = CommTrace::new(2);

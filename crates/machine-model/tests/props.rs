@@ -1,8 +1,8 @@
 //! Property-based tests of the analytic machine model: monotonicity in
 //! every parameter, additive decomposition, and scale invariances.
 
+use machine_model::trace::{CommTrace, MsgRecord, PhaseCost};
 use machine_model::{ibm_sp, network_of_suns, MachineModel};
-use mesh_archetype::trace::{CommTrace, MsgRecord, PhaseCost};
 use proptest::prelude::*;
 
 fn arb_trace() -> impl Strategy<Value = CommTrace> {

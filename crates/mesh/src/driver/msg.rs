@@ -19,6 +19,7 @@ use ssp_runtime::{
     ChannelId, Effect, Process, RunError, RunOutcome, SchedulePolicy, Simulator, Topology,
 };
 
+use machine_model::MachineModel;
 use meshgrid::halo::{extract_face3, insert_ghost3};
 use meshgrid::{Grid3, ProcGrid3};
 
@@ -784,6 +785,36 @@ pub fn run_msg_simulated_hosted<L: MeshLocal>(
 ) -> Result<RunOutcome, RunError> {
     let (topo, procs) = build_msg_processes_hosted(plan, pg, init, host_mode);
     Simulator::new(topo, procs).run(policy)
+}
+
+/// Run the message-passing program under the discrete-event performance
+/// simulator: the same execution as [`run_msg_simulated`], placed on the
+/// virtual clock of `model`. The outcome carries the predicted makespan,
+/// per-rank timed [`perf_sim::Timeline`]s, and the critical path with its
+/// cost breakdown — and a final state bitwise identical to the untimed
+/// runners' (Theorem 1).
+pub fn run_msg_predicted<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+    model: &MachineModel,
+) -> Result<perf_sim::DesOutcome, RunError> {
+    run_msg_predicted_slack(plan, pg, init, model, None)
+}
+
+/// [`run_msg_predicted`] with every channel's slack bounded to `slack`:
+/// shows what buffer back-pressure costs on `model` (the critical path's
+/// `blocked` component) without changing any result byte.
+pub fn run_msg_predicted_slack<L: MeshLocal>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+    model: &MachineModel,
+    slack: Option<usize>,
+) -> Result<perf_sim::DesOutcome, RunError> {
+    let (topo, procs) =
+        build_msg_processes_with_slack(plan, pg, init, HostMode::GridRank0, slack);
+    perf_sim::run_des_default(topo, procs, model)
 }
 
 /// Run the message-passing program on real OS threads. Returns per-rank

@@ -49,6 +49,8 @@
 
 pub mod chan;
 pub mod error;
+pub mod json;
+pub mod observer;
 pub mod policy;
 pub mod proc;
 pub mod rng;
@@ -59,6 +61,8 @@ pub mod waitgraph;
 
 pub use chan::{ChannelId, ChannelSpec, Topology};
 pub use error::RunError;
+pub use json::JsonValue;
+pub use observer::{NoopObserver, RecordingObserver, StepEvent, StepObserver};
 pub use policy::{
     Adversary, AdversarialPolicy, FixedSchedule, RandomPolicy, RoundRobin, SchedulePolicy,
 };

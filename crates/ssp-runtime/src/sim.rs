@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 
 use crate::chan::{ChannelId, Topology};
 use crate::error::RunError;
+use crate::observer::{NoopObserver, StepEvent, StepObserver};
 use crate::policy::SchedulePolicy;
 use crate::proc::{Effect, ProcId, Process};
 use crate::trace::{Event, EventKind, RunMetrics, Trace};
@@ -175,27 +176,31 @@ impl<P: Process> Simulator<P> {
         p: ProcId,
         eff: Effect<P::Msg>,
         trace: &mut Trace,
+        obs: &mut dyn StepObserver,
     ) -> Result<(), RunError> {
         match eff {
             Effect::Compute { units } => {
                 trace.push(Event { proc: p, kind: EventKind::Computed { units } });
                 self.metrics.procs[p].compute_units += units;
                 self.status[p] = Status::Ready;
+                obs.on_event(StepEvent::Computed { proc: p, units });
             }
             Effect::Send { chan, msg } => {
                 self.topo.check_writer(chan, p)?;
                 let cap = self.topo.spec(chan).capacity;
                 let full = cap.is_some_and(|k| self.queues[chan.0].len() >= k);
+                let bytes = P::msg_size_bytes(&msg);
                 if full {
                     // Bounded channel (non-paper model): hold the message and
                     // block until the reader makes space.
                     self.status[p] = Status::BlockedSend(chan, msg);
+                    obs.on_event(StepEvent::SendBlocked { proc: p, chan, bytes });
                 } else {
-                    let bytes = P::msg_size_bytes(&msg);
                     self.queues[chan.0].push_back(msg);
                     self.metrics.on_send(chan, bytes, self.queues[chan.0].len());
                     trace.push(Event { proc: p, kind: EventKind::Sent { chan } });
                     self.status[p] = Status::Ready;
+                    obs.on_event(StepEvent::Sent { proc: p, chan, bytes });
                 }
             }
             Effect::Recv { chan } => {
@@ -204,10 +209,12 @@ impl<P: Process> Simulator<P> {
                 // taken when this process is next scheduled and the queue is
                 // non-empty.
                 self.status[p] = Status::BlockedRecv(chan);
+                obs.on_event(StepEvent::RecvPosted { proc: p, chan });
             }
             Effect::Halt => {
                 trace.push(Event { proc: p, kind: EventKind::Halted });
                 self.status[p] = Status::Halted;
+                obs.on_event(StepEvent::Halted { proc: p });
             }
             Effect::Fault { error } => {
                 // The process detected an unrecoverable condition; mark it
@@ -220,14 +227,19 @@ impl<P: Process> Simulator<P> {
     }
 
     /// Take one atomic step for process `p` (which must be runnable).
-    fn step(&mut self, p: ProcId, trace: &mut Trace) -> Result<(), RunError> {
+    fn step(
+        &mut self,
+        p: ProcId,
+        trace: &mut Trace,
+        obs: &mut dyn StepObserver,
+    ) -> Result<(), RunError> {
         // Temporarily replace the status to take ownership of any held message.
         let status = std::mem::replace(&mut self.status[p], Status::Ready);
         self.metrics.procs[p].steps += 1;
         match status {
             Status::Ready => {
                 let eff = self.procs[p].resume(None);
-                self.apply_effect(p, eff, trace)?;
+                self.apply_effect(p, eff, trace, obs)?;
             }
             Status::BlockedRecv(chan) => {
                 let msg = self.queues[chan.0]
@@ -235,8 +247,9 @@ impl<P: Process> Simulator<P> {
                     .expect("scheduled a recv-blocked process with empty queue");
                 trace.push(Event { proc: p, kind: EventKind::Received { chan } });
                 self.metrics.on_recv(chan);
+                obs.on_event(StepEvent::Received { proc: p, chan });
                 let eff = self.procs[p].resume(Some(msg));
-                self.apply_effect(p, eff, trace)?;
+                self.apply_effect(p, eff, trace, obs)?;
             }
             Status::BlockedSend(chan, msg) => {
                 // Space is now available: complete the pending send. The
@@ -246,6 +259,7 @@ impl<P: Process> Simulator<P> {
                 self.metrics.on_send(chan, bytes, self.queues[chan.0].len());
                 trace.push(Event { proc: p, kind: EventKind::Sent { chan } });
                 self.status[p] = Status::Ready;
+                obs.on_event(StepEvent::Sent { proc: p, chan, bytes });
             }
             Status::Halted => unreachable!("halted processes are never scheduled"),
         }
@@ -268,8 +282,38 @@ impl<P: Process> Simulator<P> {
     /// `trace`. Public counterpart of the internal stepper, for interactive
     /// exploration.
     pub fn step_process(&mut self, p: ProcId, trace: &mut Trace) -> Result<(), RunError> {
+        self.step_process_with(p, trace, &mut NoopObserver)
+    }
+
+    /// [`Simulator::step_process`] with a [`StepObserver`] that is told
+    /// exactly what the step did (including the non-actions a trace omits:
+    /// posted receives and blocked sends). External steppers — notably the
+    /// `perf-sim` discrete-event engine — use this to reuse the simulator's
+    /// semantics instead of reimplementing them.
+    pub fn step_process_with(
+        &mut self,
+        p: ProcId,
+        trace: &mut Trace,
+        obs: &mut dyn StepObserver,
+    ) -> Result<(), RunError> {
         assert!(self.is_runnable(p), "step_process requires a runnable process");
-        self.step(p, trace)
+        self.step(p, trace, obs)
+    }
+
+    /// The typed deadlock error describing the *current* blocked
+    /// configuration (every process blocked, none runnable). External
+    /// steppers call this when [`Simulator::runnable`] comes back empty
+    /// before [`Simulator::is_done`], so they report the same wait-for
+    /// cycles [`Simulator::run`] would.
+    pub fn deadlock_error(&self) -> RunError {
+        waitgraph::deadlock_error(&self.topo, &self.blocked_list())
+    }
+
+    /// The communication metrics accumulated so far (complete once
+    /// [`Simulator::is_done`]). External steppers read these instead of
+    /// re-counting traffic themselves.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
     }
 
     /// Snapshot every process's current state (meaningful once
@@ -320,7 +364,16 @@ impl<P: Process> Simulator<P> {
 
     /// Run to termination under `policy`, producing the maximal interleaving
     /// taken and the final state.
-    pub fn run(mut self, policy: &mut dyn SchedulePolicy) -> Result<RunOutcome, RunError> {
+    pub fn run(self, policy: &mut dyn SchedulePolicy) -> Result<RunOutcome, RunError> {
+        self.run_observed(policy, &mut NoopObserver)
+    }
+
+    /// [`Simulator::run`] with every atomic action reported to `obs`.
+    pub fn run_observed(
+        mut self,
+        policy: &mut dyn SchedulePolicy,
+        obs: &mut dyn StepObserver,
+    ) -> Result<RunOutcome, RunError> {
         let mut trace = Trace::new();
         let mut picks = Vec::new();
         let mut steps: u64 = 0;
@@ -343,7 +396,7 @@ impl<P: Process> Simulator<P> {
                     self.metrics.procs[q].blocked_steps += 1;
                 }
             }
-            self.step(p, &mut trace)?;
+            self.step(p, &mut trace, obs)?;
             steps += 1;
             let queued: usize = self.queues.iter().map(|q| q.len()).sum();
             max_queued = max_queued.max(queued);
@@ -702,6 +755,53 @@ mod tests {
         )
         .unwrap();
         assert!(out.metrics.procs[1].blocked_steps > 0);
+    }
+
+    #[test]
+    fn observer_sees_every_action_with_matching_counts() {
+        use crate::observer::{RecordingObserver, StepEvent};
+        let (topo, procs) = pair(5);
+        let mut rec = RecordingObserver::default();
+        let out = Simulator::new(topo, procs)
+            .run_observed(&mut RoundRobin::new(), &mut rec)
+            .unwrap();
+
+        let count = |f: &dyn Fn(&StepEvent) -> bool| rec.events.iter().filter(|e| f(e)).count();
+        let sent = count(&|e| matches!(e, StepEvent::Sent { .. }));
+        let received = count(&|e| matches!(e, StepEvent::Received { .. }));
+        let posted = count(&|e| matches!(e, StepEvent::RecvPosted { .. }));
+        let halted = count(&|e| matches!(e, StepEvent::Halted { .. }));
+        assert_eq!(sent as u64, out.metrics.total_messages());
+        assert_eq!(received as u64, out.metrics.procs[1].receives);
+        assert_eq!(posted, received, "every delivery was awaited first");
+        assert_eq!(halted, 2);
+        // Observation is strictly richer than the trace: posted receives are
+        // not interleaving actions, so they appear only here.
+        assert_eq!(rec.events.len(), out.trace.len() + posted);
+    }
+
+    #[test]
+    fn observer_reports_blocked_sends_on_bounded_channels() {
+        use crate::observer::{RecordingObserver, StepEvent};
+        let mut topo = Topology::new(2);
+        let c = topo.add(ChannelSpec::bounded(0, 1, 1));
+        let procs = vec![
+            PingPong::Sender { chan: c, next: 0, count: 3 },
+            PingPong::Receiver { chan: c, got: 0, sum: 0, count: 3 },
+        ];
+        let mut rec = RecordingObserver::default();
+        // LowestFirst drives the sender into the full channel immediately.
+        Simulator::new(topo, procs)
+            .run_observed(&mut AdversarialPolicy::new(Adversary::LowestFirst), &mut rec)
+            .unwrap();
+        let blocked = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, StepEvent::SendBlocked { proc: 0, .. }))
+            .count();
+        let sent = rec.events.iter().filter(|e| matches!(e, StepEvent::Sent { .. })).count();
+        assert!(blocked >= 1, "capacity-1 channel must block the eager sender");
+        assert_eq!(sent, 3, "every blocked send eventually completes as Sent");
     }
 
     #[test]

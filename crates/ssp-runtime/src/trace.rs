@@ -274,6 +274,80 @@ impl RunMetrics {
         );
         s
     }
+
+    /// Parse a profile previously dumped by [`RunMetrics::to_json`].
+    ///
+    /// Inverse of the writer: `from_json(&m.to_json()) == Ok(m)`. Entries
+    /// must appear in id order (the writer emits them that way); the
+    /// redundant totals are cross-checked against the per-channel sums so a
+    /// hand-edited or truncated file is rejected rather than misread.
+    pub fn from_json(input: &str) -> Result<Self, crate::json::JsonError> {
+        use crate::json::{parse, JsonError, JsonValue};
+        fn field(v: &JsonValue, key: &str) -> Result<u64, JsonError> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| JsonError { msg: format!("missing or non-integer '{key}'"), at: 0 })
+        }
+        let doc = parse(input)?;
+        let bad = |msg: &str| JsonError { msg: msg.to_string(), at: 0 };
+
+        let mut channels = Vec::new();
+        for (i, c) in doc
+            .get("channels")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| bad("missing 'channels' array"))?
+            .iter()
+            .enumerate()
+        {
+            if c.get("id").and_then(JsonValue::as_usize) != Some(i) {
+                return Err(bad("channel ids must be dense and in order"));
+            }
+            let cap = c.get("capacity").ok_or_else(|| bad("missing 'capacity'"))?;
+            let capacity = if cap.is_null() {
+                None
+            } else {
+                Some(cap.as_usize().ok_or_else(|| bad("non-integer 'capacity'"))?)
+            };
+            channels.push(ChannelMetrics {
+                writer: field(c, "writer")? as ProcId,
+                reader: field(c, "reader")? as ProcId,
+                capacity,
+                messages: field(c, "messages")?,
+                bytes: field(c, "bytes")?,
+                max_queue_depth: field(c, "max_queue_depth")? as usize,
+            });
+        }
+
+        let mut procs = Vec::new();
+        for (i, p) in doc
+            .get("procs")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| bad("missing 'procs' array"))?
+            .iter()
+            .enumerate()
+        {
+            if p.get("id").and_then(JsonValue::as_usize) != Some(i) {
+                return Err(bad("proc ids must be dense and in order"));
+            }
+            procs.push(ProcMetrics {
+                steps: field(p, "steps")?,
+                compute_units: field(p, "compute_units")?,
+                sends: field(p, "sends")?,
+                receives: field(p, "receives")?,
+                blocked_steps: field(p, "blocked_steps")?,
+                blocked_nanos: field(p, "blocked_nanos")?,
+            });
+        }
+
+        let m = RunMetrics { channels, procs };
+        if field(&doc, "total_messages")? != m.total_messages()
+            || field(&doc, "total_bytes")? != m.total_bytes()
+            || field(&doc, "max_queue_depth")? as usize != m.max_queue_depth()
+        {
+            return Err(bad("totals disagree with per-channel entries"));
+        }
+        Ok(m)
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +418,62 @@ mod tests {
         t.add(crate::chan::ChannelSpec::bounded(0, 1, 4));
         let m = RunMetrics::for_topology(&t);
         assert!(m.to_json().contains("\"capacity\":4"));
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json() {
+        let mut t = Topology::new(3);
+        let c0 = t.connect(0, 1);
+        t.add(crate::chan::ChannelSpec::bounded(1, 2, 4));
+        let mut m = RunMetrics::for_topology(&t);
+        m.on_send(c0, 16, 1);
+        m.on_send(c0, 24, 2);
+        m.on_recv(c0);
+        m.on_send(ChannelId(1), 8, 1);
+        m.on_recv(ChannelId(1));
+        m.procs[0].steps = 5;
+        m.procs[0].compute_units = 123;
+        m.procs[1].blocked_steps = 2;
+        m.procs[2].blocked_nanos = 987;
+
+        assert_eq!(RunMetrics::from_json(&m.to_json()), Ok(m));
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_profiles() {
+        let mut t = Topology::new(2);
+        let c = t.connect(0, 1);
+        let mut m = RunMetrics::for_topology(&t);
+        m.on_send(c, 16, 1);
+        let good = m.to_json();
+
+        // A tampered total must be caught, not silently accepted.
+        let bad = good.replace("\"total_bytes\":16", "\"total_bytes\":17");
+        assert_ne!(bad, good);
+        assert!(RunMetrics::from_json(&bad).is_err());
+        // Structural damage is caught too.
+        assert!(RunMetrics::from_json("{\"channels\":[]}").is_err());
+        assert!(RunMetrics::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        // Golden check: downstream tooling (scripts/bench.sh, the figure2
+        // bench) reads these exact key names; renaming a field must fail
+        // here first.
+        let mut t = Topology::new(2);
+        let c = t.connect(0, 1);
+        let mut m = RunMetrics::for_topology(&t);
+        m.on_send(c, 8, 1);
+        m.procs[0].steps = 1;
+        let expected = "{\"channels\":[{\"id\":0,\"writer\":0,\"reader\":1,\"capacity\":null,\
+                        \"messages\":1,\"bytes\":8,\"max_queue_depth\":1}],\
+                        \"procs\":[{\"id\":0,\"steps\":1,\"compute_units\":0,\"sends\":1,\
+                        \"receives\":0,\"blocked_steps\":0,\"blocked_nanos\":0},\
+                        {\"id\":1,\"steps\":0,\"compute_units\":0,\"sends\":0,\"receives\":0,\
+                        \"blocked_steps\":0,\"blocked_nanos\":0}],\
+                        \"total_messages\":1,\"total_bytes\":8,\"max_queue_depth\":1}";
+        assert_eq!(m.to_json(), expected);
     }
 
     #[test]

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run the figure2 bench and capture its numbers as BENCH_figure2.json at the
+# repo root: measured (closed-form-priced) times, DES-predicted times with
+# the critical-path breakdown per machine, the machine preset, and the grid.
+#
+# Modes:
+#   scripts/bench.sh          quick run  (REPRO_SCALE=0.1 unless set)
+#   scripts/bench.sh smoke    fastest run (REPRO_SCALE=0.02), for CI
+#   scripts/bench.sh full     the paper's full 512-step workload
+#
+# REPRO_SCALE can always be overridden from the environment.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-quick}"
+case "$mode" in
+  smoke) scale="${REPRO_SCALE:-0.02}" ;;
+  quick) scale="${REPRO_SCALE:-0.1}" ;;
+  full)  scale="${REPRO_SCALE:-1.0}" ;;
+  *) echo "usage: $0 [quick|smoke|full]" >&2; exit 2 ;;
+esac
+
+out="$PWD/BENCH_figure2.json"
+echo "bench.sh: mode=$mode REPRO_SCALE=$scale -> $out"
+# Absolute path: cargo runs bench binaries from the package directory.
+REPRO_SCALE="$scale" BENCH_JSON="$out" cargo bench -p bench --bench figure2
+
+test -s "$out" || { echo "bench.sh: $out was not written" >&2; exit 1; }
+echo "bench.sh: wrote $out"
