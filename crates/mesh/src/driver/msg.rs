@@ -16,11 +16,12 @@
 //! are bitwise identical: Theorem 1 made concrete.
 
 use ssp_runtime::{
-    ChannelId, Effect, Process, RunError, RunOutcome, SchedulePolicy, Simulator, Topology,
+    ChannelId, Effect, FaultPlan, Process, RecoveryConfig, RecoveryOutcome, RunError,
+    RunOutcome, SchedulePolicy, Simulator, Topology,
 };
 
 use machine_model::MachineModel;
-use meshgrid::halo::{extract_face3, insert_ghost3};
+use meshgrid::halo::{extract_face3, try_insert_ghost3};
 use meshgrid::{Grid3, ProcGrid3};
 
 use crate::driver::simpar::{ordered_sum, HostMode};
@@ -75,6 +76,11 @@ impl MeshMsg {
 }
 
 /// One instruction of the compiled per-rank program.
+///
+/// `Clone` (specs are `Arc`-backed, so cloning is cheap) makes the whole
+/// process cloneable, which is what lets the recovery supervisor snapshot a
+/// mesh program mid-run.
+#[derive(Clone)]
 enum Op<L> {
     /// Run a local-computation block (one `Compute` action).
     Local(LocalStep<L>),
@@ -299,6 +305,10 @@ fn flatten<L>(
 }
 
 /// A mesh process: one rank of the compiled message-passing program.
+///
+/// `Clone` (for `L: Clone`) is what makes mesh programs checkpointable: the
+/// recovery supervisor snapshots every rank by cloning it.
+#[derive(Clone)]
 pub struct MsgProcess<L> {
     env: Env,
     local: L,
@@ -318,6 +328,7 @@ pub struct MsgProcess<L> {
     pending: Option<PendingRecv<L>>,
 }
 
+#[derive(Clone)]
 enum PendingRecv<L> {
     Face { spec: ExchangeSpec<L>, link: FaceLink },
     Combine { op: ReduceOp },
@@ -622,8 +633,22 @@ impl<L: MeshLocal> Process for MsgProcess<L> {
                 (PendingRecv::Face { spec, link }, MeshMsg::Halo(payload)) => {
                     // `link.face` is *this* rank's face toward the sender:
                     // the ghost slab to fill. (The sender extracted from the
-                    // opposite face of its own section.)
-                    insert_ghost3((spec.field)(&mut self.local), link.face, &payload);
+                    // opposite face of its own section.) A wrong-sized slab
+                    // arrived over a channel, so it surfaces as a protocol
+                    // fault, not a panic.
+                    if let Err(e) =
+                        try_insert_ghost3((spec.field)(&mut self.local), link.face, &payload)
+                    {
+                        return Effect::Fault {
+                            error: RunError::Protocol {
+                                proc: self.env.rank,
+                                detail: format!(
+                                    "halo from rank {}: {e}",
+                                    link.neighbor
+                                ),
+                            },
+                        };
+                    }
                 }
                 (PendingRecv::Combine { op }, MeshMsg::Vec(partial)) => {
                     op.combine_vec(&mut self.scratch, &partial);
@@ -785,6 +810,29 @@ pub fn run_msg_simulated_hosted<L: MeshLocal>(
 ) -> Result<RunOutcome, RunError> {
     let (topo, procs) = build_msg_processes_hosted(plan, pg, init, host_mode);
     Simulator::new(topo, procs).run(policy)
+}
+
+/// Run the message-passing program under the crash-recovery supervisor:
+/// the run suffers the (deterministic) faults of `faults`, checkpoints
+/// every `cfg.checkpoint_every` steps, and restarts from the latest
+/// checkpoint on every injected crash — converging, by Theorem 1, to a
+/// final state bitwise identical to the uninjected
+/// [`run_msg_simulated_slack`]. The returned
+/// [`ssp_runtime::RecoveryOutcome`] carries the recovery accounting
+/// (restarts, checkpoints taken, steps re-executed) next to the usual
+/// snapshots and metrics.
+pub fn run_msg_recovering<L: MeshLocal + Clone>(
+    plan: &Plan<L>,
+    pg: ProcGrid3,
+    init: &InitFn<L>,
+    slack: Option<usize>,
+    faults: FaultPlan,
+    policy: &mut dyn SchedulePolicy,
+    cfg: RecoveryConfig,
+) -> Result<RecoveryOutcome, RunError> {
+    let (topo, procs) =
+        build_msg_processes_with_slack(plan, pg, init, HostMode::GridRank0, slack);
+    ssp_runtime::run_recovering(topo, procs, faults, policy, cfg)
 }
 
 /// Run the message-passing program under the discrete-event performance

@@ -35,7 +35,12 @@ pub struct ExchangeAssign {
 }
 
 /// A violation of the Definition's restrictions.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Ord` gives violations a canonical order (by kind, then rank, then
+/// slot), which [`check_exchange`] uses to report a sorted, deduplicated
+/// list — the same input always yields the same report, regardless of
+/// assignment order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ExchangeViolation {
     /// Restriction (i): the same target object assigned more than once.
     DuplicateTarget {
@@ -81,6 +86,12 @@ impl std::fmt::Display for ExchangeViolation {
 /// structural in [`ExchangeAssign`] (`src_rank`/`dst_rank` are scalars), so
 /// it cannot be violated by construction; the record type *is* the check.
 ///
+/// The returned violations are sorted (by kind, then rank, then slot) and
+/// deduplicated: an object assigned three times is one `DuplicateTarget`,
+/// not two, and a target read by several assignments is one
+/// `TargetAlsoRead`. Reordering the assignment set never changes the
+/// report, so [`ValidationReport`] counts are stable across runs.
+///
 /// `nprocs` is the number of simulated processes participating.
 pub fn check_exchange(
     nprocs: usize,
@@ -119,6 +130,8 @@ pub fn check_exchange(
         }
     }
 
+    violations.sort();
+    violations.dedup();
     if violations.is_empty() {
         Ok(())
     } else {
@@ -186,6 +199,32 @@ mod tests {
         let assigns = vec![a(0, 1, 1, &[0]), a(1, 1, 0, &[0])];
         let errs = check_exchange(3, &assigns).unwrap_err();
         assert_eq!(errs, vec![ExchangeViolation::ProcessReceivesNothing { rank: 2 }]);
+    }
+
+    #[test]
+    fn reports_are_sorted_deduped_and_order_independent() {
+        // Slot (0, 100) assigned three times AND read twice; rank 2 starves.
+        let assigns = vec![
+            a(0, 100, 1, &[0]),
+            a(0, 100, 1, &[1]),
+            a(0, 100, 1, &[2]),
+            a(1, 5, 0, &[100]),
+            a(1, 6, 0, &[100]),
+        ];
+        let errs = check_exchange(3, &assigns).unwrap_err();
+        assert_eq!(
+            errs,
+            vec![
+                ExchangeViolation::DuplicateTarget { rank: 0, slot: 100 },
+                ExchangeViolation::TargetAlsoRead { rank: 0, slot: 100 },
+                ExchangeViolation::ProcessReceivesNothing { rank: 2 },
+            ],
+            "one entry per distinct violation, in canonical order"
+        );
+        // Any permutation of the assignment set yields the same report.
+        let mut reversed = assigns.clone();
+        reversed.reverse();
+        assert_eq!(check_exchange(3, &reversed).unwrap_err(), errs);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Typed errors for partitioning and halo operations.
+//!
+//! The original grid routines `panic!`ed on malformed inputs — fine for
+//! programming errors inside one process, but wrong for values that arrive
+//! over a channel (a halo payload of the wrong length must surface as a
+//! protocol fault the runtime can report, not tear the thread down). Every
+//! panicking entry point now has a `try_*` twin returning one of these
+//! errors; the panicking originals delegate to the `try_*` form and panic
+//! with the error's `Display` text, so existing callers and messages are
+//! unchanged.
+
+use std::fmt;
+
+/// Errors from block decomposition and process-grid construction / lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `block >= nblocks` (or `nblocks == 0`) in a block-range query.
+    BlockOutOfRange {
+        /// The requested block index.
+        block: usize,
+        /// The number of blocks in the decomposition.
+        nblocks: usize,
+    },
+    /// A global cell index past the end of the axis in an owner query.
+    CellOutOfRange {
+        /// The requested cell.
+        cell: usize,
+        /// The axis extent.
+        extent: usize,
+    },
+    /// A process grid with a zero-extent axis (or zero processes total).
+    EmptyProcessGrid,
+    /// More processes than cells along some axis: blocks would be empty.
+    TooManyProcesses {
+        /// Global grid extent.
+        n: (usize, usize, usize),
+        /// Requested process counts per axis.
+        p: (usize, usize, usize),
+    },
+    /// No factorization of `nprocs` fits the grid.
+    NoArrangement {
+        /// The requested process count.
+        nprocs: usize,
+        /// Global grid extent.
+        n: (usize, usize, usize),
+    },
+    /// An axis index outside the grid's dimensionality.
+    AxisOutOfRange {
+        /// The requested axis.
+        axis: usize,
+        /// The grid's dimensionality.
+        dims: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PartitionError::BlockOutOfRange { block, nblocks } => {
+                write!(f, "block {block} of {nblocks} invalid")
+            }
+            PartitionError::CellOutOfRange { cell, extent } => {
+                write!(f, "cell {cell} out of range {extent}")
+            }
+            PartitionError::EmptyProcessGrid => write!(f, "empty process grid"),
+            PartitionError::TooManyProcesses { n, p } => {
+                write!(f, "more processes than cells on some axis: n={n:?} p={p:?}")
+            }
+            PartitionError::NoArrangement { nprocs, n } => {
+                write!(f, "cannot arrange {nprocs} processes over grid {n:?}")
+            }
+            PartitionError::AxisOutOfRange { axis, dims } => {
+                write!(f, "axis {axis} out of range for a {dims}-D process grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Errors from halo slab insertion and face construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaloError {
+    /// `(axis, dir)` does not name a face of the section.
+    InvalidFace {
+        /// The requested axis.
+        axis: usize,
+        /// The requested direction.
+        dir: isize,
+    },
+    /// A halo payload whose length does not match the ghost slab it is
+    /// meant to fill — the classic symptom of a mis-paired exchange.
+    PayloadSizeMismatch {
+        /// The face being filled (its `Debug` name).
+        face: &'static str,
+        /// The payload length received.
+        got: usize,
+        /// The slab length the face requires.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for HaloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HaloError::InvalidFace { axis, dir } => {
+                write!(f, "invalid (axis, dir) = ({axis}, {dir})")
+            }
+            HaloError::PayloadSizeMismatch { face, got, expected } => {
+                write!(
+                    f,
+                    "halo payload size mismatch on {face}: payload holds {got} values, \
+                     the ghost slab holds {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HaloError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_the_legacy_panic_phrases() {
+        // The panicking wrappers panic with these Display texts; existing
+        // #[should_panic(expected = ...)] tests match on the substrings.
+        let e = PartitionError::BlockOutOfRange { block: 5, nblocks: 4 };
+        assert!(e.to_string().contains("block 5 of 4 invalid"));
+        assert!(PartitionError::EmptyProcessGrid.to_string().contains("empty process grid"));
+        let e = HaloError::PayloadSizeMismatch { face: "XLo", got: 3, expected: 4 };
+        assert!(e.to_string().contains("size mismatch"), "{e}");
+        let e = HaloError::InvalidFace { axis: 7, dir: 0 };
+        assert!(e.to_string().contains("invalid (axis, dir) = (7, 0)"));
+    }
+}

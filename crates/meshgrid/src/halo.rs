@@ -7,6 +7,7 @@
 //! payloads the communication layers carry; the mesh archetype contexts
 //! decide who sends what to whom.
 
+use crate::error::HaloError;
 use crate::grid::{Grid1, Grid2, Grid3};
 
 /// A face of a 3-D local section.
@@ -56,15 +57,36 @@ impl Face3 {
     }
 
     /// Construct from `(axis, dir)`.
+    ///
+    /// Panics on an invalid pair; [`Face3::try_from_axis_dir`] is the
+    /// fallible form.
     pub fn from_axis_dir(axis: usize, dir: isize) -> Face3 {
+        Self::try_from_axis_dir(axis, dir).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Face3::from_axis_dir`] returning a typed error instead of
+    /// panicking.
+    pub fn try_from_axis_dir(axis: usize, dir: isize) -> Result<Face3, HaloError> {
         match (axis, dir) {
-            (0, -1) => Face3::XLo,
-            (0, 1) => Face3::XHi,
-            (1, -1) => Face3::YLo,
-            (1, 1) => Face3::YHi,
-            (2, -1) => Face3::ZLo,
-            (2, 1) => Face3::ZHi,
-            _ => panic!("invalid (axis, dir) = ({axis}, {dir})"),
+            (0, -1) => Ok(Face3::XLo),
+            (0, 1) => Ok(Face3::XHi),
+            (1, -1) => Ok(Face3::YLo),
+            (1, 1) => Ok(Face3::YHi),
+            (2, -1) => Ok(Face3::ZLo),
+            (2, 1) => Ok(Face3::ZHi),
+            _ => Err(HaloError::InvalidFace { axis, dir }),
+        }
+    }
+
+    /// The face's name, as used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Face3::XLo => "XLo",
+            Face3::XHi => "XHi",
+            Face3::YLo => "YLo",
+            Face3::YHi => "YHi",
+            Face3::ZLo => "ZLo",
+            Face3::ZHi => "ZHi",
         }
     }
 }
@@ -122,10 +144,29 @@ pub fn extract_face3(g: &Grid3<f64>, face: Face3) -> Vec<f64> {
 
 /// Insert a payload (produced by the *neighbour's* [`extract_face3`] on the
 /// opposite face) into the ghost slab adjacent to `face`.
+///
+/// Panics on a size mismatch; [`try_insert_ghost3`] is the fallible form
+/// used where the payload arrived over a channel.
 pub fn insert_ghost3(g: &mut Grid3<f64>, face: Face3, payload: &[f64]) {
+    try_insert_ghost3(g, face, payload).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`insert_ghost3`] returning a typed error instead of panicking. On
+/// error the grid is untouched.
+pub fn try_insert_ghost3(
+    g: &mut Grid3<f64>,
+    face: Face3,
+    payload: &[f64],
+) -> Result<(), HaloError> {
     let r = slab_ranges3(g.extent(), g.ghost(), face, false);
     let expect: usize = r.iter().map(|(lo, hi)| (hi - lo) as usize).product();
-    assert_eq!(payload.len(), expect, "halo payload size mismatch on {face:?}");
+    if payload.len() != expect {
+        return Err(HaloError::PayloadSizeMismatch {
+            face: face.name(),
+            got: payload.len(),
+            expected: expect,
+        });
+    }
     let mut it = payload.iter();
     for i in r[0].0..r[0].1 {
         for j in r[1].0..r[1].1 {
@@ -134,6 +175,7 @@ pub fn insert_ghost3(g: &mut Grid3<f64>, face: Face3, payload: &[f64]) {
             }
         }
     }
+    Ok(())
 }
 
 /// A face of a 2-D local section.
@@ -174,13 +216,32 @@ impl Face2 {
     }
 
     /// Construct from `(axis, dir)`.
+    ///
+    /// Panics on an invalid pair; [`Face2::try_from_axis_dir`] is the
+    /// fallible form.
     pub fn from_axis_dir(axis: usize, dir: isize) -> Face2 {
+        Self::try_from_axis_dir(axis, dir).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Face2::from_axis_dir`] returning a typed error instead of
+    /// panicking.
+    pub fn try_from_axis_dir(axis: usize, dir: isize) -> Result<Face2, HaloError> {
         match (axis, dir) {
-            (0, -1) => Face2::XLo,
-            (0, 1) => Face2::XHi,
-            (1, -1) => Face2::YLo,
-            (1, 1) => Face2::YHi,
-            _ => panic!("invalid (axis, dir) = ({axis}, {dir})"),
+            (0, -1) => Ok(Face2::XLo),
+            (0, 1) => Ok(Face2::XHi),
+            (1, -1) => Ok(Face2::YLo),
+            (1, 1) => Ok(Face2::YHi),
+            _ => Err(HaloError::InvalidFace { axis, dir }),
+        }
+    }
+
+    /// The face's name, as used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Face2::XLo => "XLo",
+            Face2::XHi => "XHi",
+            Face2::YLo => "YLo",
+            Face2::YHi => "YHi",
         }
     }
 }
@@ -225,16 +286,35 @@ pub fn extract_face2(g: &Grid2<f64>, face: Face2) -> Vec<f64> {
 }
 
 /// Insert a neighbour's payload into the ghost slab adjacent to `face`.
+///
+/// Panics on a size mismatch; [`try_insert_ghost2`] is the fallible form.
 pub fn insert_ghost2(g: &mut Grid2<f64>, face: Face2, payload: &[f64]) {
+    try_insert_ghost2(g, face, payload).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`insert_ghost2`] returning a typed error instead of panicking. On
+/// error the grid is untouched.
+pub fn try_insert_ghost2(
+    g: &mut Grid2<f64>,
+    face: Face2,
+    payload: &[f64],
+) -> Result<(), HaloError> {
     let r = slab_ranges2(g.extent(), g.ghost(), face, false);
     let expect: usize = r.iter().map(|(lo, hi)| (hi - lo) as usize).product();
-    assert_eq!(payload.len(), expect, "halo payload size mismatch on {face:?}");
+    if payload.len() != expect {
+        return Err(HaloError::PayloadSizeMismatch {
+            face: face.name(),
+            got: payload.len(),
+            expected: expect,
+        });
+    }
     let mut it = payload.iter();
     for i in r[0].0..r[0].1 {
         for j in r[1].0..r[1].1 {
             g.set(i, j, *it.next().unwrap());
         }
     }
+    Ok(())
 }
 
 /// A face (end) of a 1-D local section.
@@ -270,10 +350,32 @@ pub fn extract_face1(g: &Grid1<f64>, face: Face1) -> Vec<f64> {
 }
 
 /// Insert a neighbour's payload into the ghost cells adjacent to `face`.
+///
+/// Panics on a size mismatch; [`try_insert_ghost1`] is the fallible form.
 pub fn insert_ghost1(g: &mut Grid1<f64>, face: Face1, payload: &[f64]) {
+    try_insert_ghost1(g, face, payload).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`insert_ghost1`] returning a typed error instead of panicking. On
+/// error the grid is untouched.
+pub fn try_insert_ghost1(
+    g: &mut Grid1<f64>,
+    face: Face1,
+    payload: &[f64],
+) -> Result<(), HaloError> {
     let n = g.extent() as isize;
     let w = g.ghost() as isize;
-    assert_eq!(payload.len(), w as usize, "halo payload size mismatch");
+    if payload.len() != w as usize {
+        let face = match face {
+            Face1::Lo => "Lo",
+            Face1::Hi => "Hi",
+        };
+        return Err(HaloError::PayloadSizeMismatch {
+            face,
+            got: payload.len(),
+            expected: w as usize,
+        });
+    }
     match face {
         Face1::Lo => {
             for (off, &v) in payload.iter().enumerate() {
@@ -286,6 +388,7 @@ pub fn insert_ghost1(g: &mut Grid1<f64>, face: Face1, payload: &[f64]) {
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -368,6 +471,31 @@ mod tests {
     fn wrong_payload_size_panics() {
         let mut g: Grid3<f64> = Grid3::new(2, 2, 2, 1);
         insert_ghost3(&mut g, Face3::XLo, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn fallible_insertion_reports_the_mismatch_and_leaves_the_grid_alone() {
+        use crate::error::HaloError;
+        let mut g: Grid3<f64> = Grid3::new(2, 2, 2, 1);
+        let before = g.clone();
+        let err = try_insert_ghost3(&mut g, Face3::XLo, &[1.0, 2.0, 3.0]).unwrap_err();
+        assert_eq!(
+            err,
+            HaloError::PayloadSizeMismatch { face: "XLo", got: 3, expected: 4 }
+        );
+        assert_eq!(g, before, "failed insertion must not partially write");
+        // The happy path matches the panicking original.
+        try_insert_ghost3(&mut g, Face3::XLo, &[1.0; 4]).unwrap();
+
+        let mut g2: Grid2<f64> = Grid2::new(3, 3, 1);
+        assert!(try_insert_ghost2(&mut g2, Face2::YHi, &[0.0; 2]).is_err());
+        let mut g1: Grid1<f64> = Grid1::new(4, 1);
+        assert!(try_insert_ghost1(&mut g1, Face1::Lo, &[0.0, 0.0]).is_err());
+        assert_eq!(
+            Face3::try_from_axis_dir(0, 2),
+            Err(HaloError::InvalidFace { axis: 0, dir: 2 })
+        );
+        assert_eq!(Face2::try_from_axis_dir(1, 1), Ok(Face2::YHi));
     }
 
     #[test]

@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 
+pub mod error;
 pub mod grid;
 pub mod halo;
 pub mod io;
 pub mod partition;
 
+pub use error::{HaloError, PartitionError};
 pub use grid::{Grid1, Grid2, Grid3};
 pub use halo::{Face1, Face2, Face3};
 pub use partition::{Block1, Block2, Block3, ProcGrid1, ProcGrid2, ProcGrid3};

@@ -6,28 +6,48 @@
 //! processes; each rank owns one contiguous block of the global index space,
 //! with blocks balanced to within one cell per axis.
 
+use crate::error::PartitionError;
+
 /// Balanced 1-D block decomposition: cell range owned by block `b` of `p`
 /// blocks over `n` cells. The first `n % p` blocks get one extra cell.
 /// Returns `lo..hi` (half-open).
+///
+/// Panics on an invalid block; [`try_block_range`] is the fallible form.
 pub fn block_range(n: usize, p: usize, b: usize) -> (usize, usize) {
-    assert!(p > 0 && b < p, "block {b} of {p} invalid");
+    try_block_range(n, p, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`block_range`] returning a typed error instead of panicking.
+pub fn try_block_range(n: usize, p: usize, b: usize) -> Result<(usize, usize), PartitionError> {
+    if p == 0 || b >= p {
+        return Err(PartitionError::BlockOutOfRange { block: b, nblocks: p });
+    }
     let base = n / p;
     let extra = n % p;
     let lo = b * base + b.min(extra);
     let len = base + usize::from(b < extra);
-    (lo, lo + len)
+    Ok((lo, lo + len))
 }
 
 /// Inverse of [`block_range`]: which block owns global cell `i`.
+///
+/// Panics on an out-of-range cell; [`try_owner_block`] is the fallible form.
 pub fn owner_block(n: usize, p: usize, i: usize) -> usize {
-    assert!(i < n, "cell {i} out of range {n}");
+    try_owner_block(n, p, i).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`owner_block`] returning a typed error instead of panicking.
+pub fn try_owner_block(n: usize, p: usize, i: usize) -> Result<usize, PartitionError> {
+    if i >= n {
+        return Err(PartitionError::CellOutOfRange { cell: i, extent: n });
+    }
     let base = n / p;
     let extra = n % p;
     let fat = (base + 1) * extra; // cells covered by the fat blocks
     if base + 1 > 0 && i < fat {
-        i / (base + 1)
+        Ok(i / (base + 1))
     } else {
-        extra + (i - fat) / base.max(1)
+        Ok(extra + (i - fat) / base.max(1))
     }
 }
 
@@ -88,13 +108,25 @@ pub struct ProcGrid3 {
 
 impl ProcGrid3 {
     /// A topology with an explicit process arrangement.
+    ///
+    /// Panics on an unusable arrangement; [`ProcGrid3::try_new`] is the
+    /// fallible form.
     pub fn new(n: (usize, usize, usize), p: (usize, usize, usize)) -> Self {
-        assert!(p.0 > 0 && p.1 > 0 && p.2 > 0, "empty process grid");
-        assert!(
-            p.0 <= n.0.max(1) && p.1 <= n.1.max(1) && p.2 <= n.2.max(1),
-            "more processes than cells on some axis: n={n:?} p={p:?}"
-        );
-        ProcGrid3 { n, p }
+        Self::try_new(n, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ProcGrid3::new`] returning a typed error instead of panicking.
+    pub fn try_new(
+        n: (usize, usize, usize),
+        p: (usize, usize, usize),
+    ) -> Result<Self, PartitionError> {
+        if p.0 == 0 || p.1 == 0 || p.2 == 0 {
+            return Err(PartitionError::EmptyProcessGrid);
+        }
+        if p.0 > n.0.max(1) || p.1 > n.1.max(1) || p.2 > n.2.max(1) {
+            return Err(PartitionError::TooManyProcesses { n, p });
+        }
+        Ok(ProcGrid3 { n, p })
     }
 
     /// Choose a process arrangement for `nprocs` ranks that (greedily)
@@ -102,7 +134,17 @@ impl ProcGrid3 {
     /// of a boundary exchange. Deterministic, so every run of an experiment
     /// partitions identically.
     pub fn choose(n: (usize, usize, usize), nprocs: usize) -> Self {
-        assert!(nprocs > 0);
+        Self::try_choose(n, nprocs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ProcGrid3::choose`] returning a typed error instead of panicking.
+    pub fn try_choose(
+        n: (usize, usize, usize),
+        nprocs: usize,
+    ) -> Result<Self, PartitionError> {
+        if nprocs == 0 {
+            return Err(PartitionError::EmptyProcessGrid);
+        }
         let mut best: Option<((usize, usize, usize), u128)> = None;
         for px in 1..=nprocs {
             if !nprocs.is_multiple_of(px) || px > n.0 {
@@ -126,10 +168,8 @@ impl ProcGrid3 {
                 }
             }
         }
-        let (p, _) = best.unwrap_or_else(|| {
-            panic!("cannot arrange {nprocs} processes over grid {n:?}")
-        });
-        ProcGrid3::new(n, p)
+        let (p, _) = best.ok_or(PartitionError::NoArrangement { nprocs, n })?;
+        ProcGrid3::try_new(n, p)
     }
 
     /// A 2-D problem embedded in the 3-D machinery (the archetype covers
@@ -184,20 +224,37 @@ impl ProcGrid3 {
 
     /// Neighbor of `rank` one step along `axis` (0, 1 or 2) in direction
     /// `dir` (−1 or +1); `None` at the physical boundary of the grid.
+    ///
+    /// Panics on a bad axis; [`ProcGrid3::try_neighbor`] is the fallible
+    /// form.
     pub fn neighbor(&self, rank: usize, axis: usize, dir: isize) -> Option<usize> {
+        self.try_neighbor(rank, axis, dir).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ProcGrid3::neighbor`] returning a typed error for a bad axis
+    /// (`Ok(None)` still means "physical boundary").
+    pub fn try_neighbor(
+        &self,
+        rank: usize,
+        axis: usize,
+        dir: isize,
+    ) -> Result<Option<usize>, PartitionError> {
         let mut c = self.coords_of(rank);
         let (coord, pmax) = match axis {
             0 => (&mut c.0, self.p.0),
             1 => (&mut c.1, self.p.1),
             2 => (&mut c.2, self.p.2),
-            _ => panic!("axis {axis} out of range"),
+            _ => return Err(PartitionError::AxisOutOfRange { axis, dims: 3 }),
         };
-        let next = coord.checked_add_signed(dir)?;
+        let next = match coord.checked_add_signed(dir) {
+            Some(next) => next,
+            None => return Ok(None),
+        };
         if next >= pmax {
-            return None;
+            return Ok(None);
         }
         *coord = next;
-        Some(self.rank_of(c))
+        Ok(Some(self.rank_of(c)))
     }
 }
 
@@ -244,13 +301,31 @@ pub struct ProcGrid2 {
 
 impl ProcGrid2 {
     /// A topology with an explicit arrangement.
+    ///
+    /// Panics on an empty arrangement; [`ProcGrid2::try_new`] is the
+    /// fallible form.
     pub fn new(n: (usize, usize), p: (usize, usize)) -> Self {
-        assert!(p.0 > 0 && p.1 > 0, "empty process grid");
-        ProcGrid2 { n, p }
+        Self::try_new(n, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ProcGrid2::new`] returning a typed error instead of panicking.
+    pub fn try_new(n: (usize, usize), p: (usize, usize)) -> Result<Self, PartitionError> {
+        if p.0 == 0 || p.1 == 0 {
+            return Err(PartitionError::EmptyProcessGrid);
+        }
+        Ok(ProcGrid2 { n, p })
     }
 
     /// Choose an arrangement minimizing exchange surface.
     pub fn choose(n: (usize, usize), nprocs: usize) -> Self {
+        Self::try_choose(n, nprocs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ProcGrid2::choose`] returning a typed error instead of panicking.
+    pub fn try_choose(n: (usize, usize), nprocs: usize) -> Result<Self, PartitionError> {
+        if nprocs == 0 {
+            return Err(PartitionError::EmptyProcessGrid);
+        }
         let mut best: Option<((usize, usize), u128)> = None;
         for px in 1..=nprocs {
             if !nprocs.is_multiple_of(px) || px > n.0 {
@@ -265,9 +340,9 @@ impl ProcGrid2 {
                 best = Some(((px, py), cost));
             }
         }
-        let (p, _) =
-            best.unwrap_or_else(|| panic!("cannot arrange {nprocs} processes over {n:?}"));
-        ProcGrid2::new(n, p)
+        let (p, _) = best
+            .ok_or(PartitionError::NoArrangement { nprocs, n: (n.0, n.1, 1) })?;
+        ProcGrid2::try_new(n, p)
     }
 
     /// Total ranks.
@@ -294,19 +369,35 @@ impl ProcGrid2 {
     }
 
     /// Neighbor along `axis` in direction `dir`, if any.
+    ///
+    /// Panics on a bad axis; [`ProcGrid2::try_neighbor`] is the fallible
+    /// form.
     pub fn neighbor(&self, rank: usize, axis: usize, dir: isize) -> Option<usize> {
+        self.try_neighbor(rank, axis, dir).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ProcGrid2::neighbor`] returning a typed error for a bad axis.
+    pub fn try_neighbor(
+        &self,
+        rank: usize,
+        axis: usize,
+        dir: isize,
+    ) -> Result<Option<usize>, PartitionError> {
         let mut c = self.coords_of(rank);
         let (coord, pmax) = match axis {
             0 => (&mut c.0, self.p.0),
             1 => (&mut c.1, self.p.1),
-            _ => panic!("axis {axis} out of range"),
+            _ => return Err(PartitionError::AxisOutOfRange { axis, dims: 2 }),
         };
-        let next = coord.checked_add_signed(dir)?;
+        let next = match coord.checked_add_signed(dir) {
+            Some(next) => next,
+            None => return Ok(None),
+        };
         if next >= pmax {
-            return None;
+            return Ok(None);
         }
         *coord = next;
-        Some(self.rank_of(c))
+        Ok(Some(self.rank_of(c)))
     }
 }
 
@@ -342,9 +433,19 @@ pub struct ProcGrid1 {
 
 impl ProcGrid1 {
     /// A 1-D decomposition.
+    ///
+    /// Panics on zero processes; [`ProcGrid1::try_new`] is the fallible
+    /// form.
     pub fn new(n: usize, p: usize) -> Self {
-        assert!(p > 0, "empty process grid");
-        ProcGrid1 { n, p }
+        Self::try_new(n, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ProcGrid1::new`] returning a typed error instead of panicking.
+    pub fn try_new(n: usize, p: usize) -> Result<Self, PartitionError> {
+        if p == 0 {
+            return Err(PartitionError::EmptyProcessGrid);
+        }
+        Ok(ProcGrid1 { n, p })
     }
 
     /// The block owned by `rank`.
@@ -514,6 +615,57 @@ mod tests {
             }
         }
         assert!(owned.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn fallible_forms_return_typed_errors_where_the_originals_panicked() {
+        use crate::error::PartitionError;
+        assert_eq!(
+            try_block_range(10, 4, 4),
+            Err(PartitionError::BlockOutOfRange { block: 4, nblocks: 4 })
+        );
+        assert_eq!(try_block_range(10, 4, 3), Ok(block_range(10, 4, 3)));
+        assert_eq!(
+            try_owner_block(10, 4, 10),
+            Err(PartitionError::CellOutOfRange { cell: 10, extent: 10 })
+        );
+        assert_eq!(
+            ProcGrid3::try_new((4, 4, 4), (0, 1, 1)),
+            Err(PartitionError::EmptyProcessGrid)
+        );
+        assert_eq!(
+            ProcGrid3::try_new((2, 2, 2), (3, 1, 1)),
+            Err(PartitionError::TooManyProcesses { n: (2, 2, 2), p: (3, 1, 1) })
+        );
+        assert_eq!(
+            ProcGrid3::try_choose((1, 1, 1), 5),
+            Err(PartitionError::NoArrangement { nprocs: 5, n: (1, 1, 1) })
+        );
+        let pg = ProcGrid3::new((8, 8, 8), (2, 2, 2));
+        assert_eq!(
+            pg.try_neighbor(0, 3, 1),
+            Err(PartitionError::AxisOutOfRange { axis: 3, dims: 3 })
+        );
+        assert_eq!(pg.try_neighbor(0, 0, -1), Ok(None), "boundary is not an error");
+        assert_eq!(pg.try_neighbor(0, 0, 1), Ok(pg.neighbor(0, 0, 1)));
+        let pg2 = ProcGrid2::new((8, 8), (2, 2));
+        assert_eq!(
+            pg2.try_neighbor(0, 2, 1),
+            Err(PartitionError::AxisOutOfRange { axis: 2, dims: 2 })
+        );
+        assert_eq!(ProcGrid1::try_new(8, 0), Err(PartitionError::EmptyProcessGrid));
+    }
+
+    #[test]
+    #[should_panic(expected = "block 4 of 4 invalid")]
+    fn panicking_block_range_keeps_its_message() {
+        block_range(10, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis 3 out of range")]
+    fn panicking_neighbor_keeps_its_message() {
+        ProcGrid3::new((8, 8, 8), (2, 2, 2)).neighbor(0, 3, 1);
     }
 
     #[test]

@@ -65,6 +65,17 @@ pub enum RunError {
         /// The process whose thread panicked.
         proc: ProcId,
     },
+    /// A deterministic fault-injection plan ([`crate::fault::FaultPlan`])
+    /// killed the process: the crash fired when the process was about to
+    /// take its `step`-th own atomic step. This is the *expected* error of a
+    /// chaos run; the recovery supervisor ([`crate::recover`]) catches it,
+    /// restores the latest checkpoint, and re-runs.
+    Injected {
+        /// The process that was killed.
+        proc: ProcId,
+        /// The process-local step count (1-based) the crash fired at.
+        step: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -109,6 +120,9 @@ impl std::fmt::Display for RunError {
             RunError::ThreadPanic { proc } => {
                 write!(f, "process {proc} panicked in the threaded runner")
             }
+            RunError::Injected { proc, step } => {
+                write!(f, "injected crash killed process {proc} at its step {step}")
+            }
         }
     }
 }
@@ -141,5 +155,9 @@ mod tests {
         let e = RunError::Protocol { proc: 3, detail: "expected Halo, got Block".into() };
         let s = e.to_string();
         assert!(s.contains("process 3") && s.contains("expected Halo"));
+
+        let e = RunError::Injected { proc: 2, step: 40 };
+        let s = e.to_string();
+        assert!(s.contains("process 2") && s.contains("40"), "got: {s}");
     }
 }

@@ -1,4 +1,4 @@
-//! A minimal JSON reader, dependency-free like the writer.
+//! A minimal JSON reader *and* writer, dependency-free.
 //!
 //! [`crate::trace::RunMetrics::to_json`] dumps execution profiles that
 //! tooling (the `figure2` bench's `COMM_PROFILE_JSON=1`, `scripts/bench.sh`)
@@ -6,6 +6,12 @@
 //! module parses general JSON into a small [`JsonValue`] tree — enough for
 //! round-trip tests and for downstream scripts' outputs to be re-read —
 //! while staying within the workspace's zero-external-dependency rule.
+//!
+//! The tree can also be serialized back out ([`JsonValue::to_json`], also
+//! the `Display` impl): this is the wire format of the recovery layer's
+//! checkpoint manifests ([`crate::recover::Checkpoint`]), which must survive
+//! a round trip bit-for-bit — `parse(v.to_json()) == v` for every tree whose
+//! numbers are finite.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -73,6 +79,77 @@ impl JsonValue {
     pub fn is_null(&self) -> bool {
         matches!(self, JsonValue::Null)
     }
+
+    /// Serialize as a compact JSON document. Numbers use Rust's
+    /// shortest-round-trip formatting (integral values print without a
+    /// fraction); non-finite numbers, which JSON cannot represent, are
+    /// written as `null`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_to(&mut s);
+        s
+    }
+
+    fn write_to(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_json_string(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_to(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// Write `s` as a JSON string literal, escaping quotes, backslashes, and
+/// control characters.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A parse failure: what was expected, and the byte offset it happened at.
@@ -323,6 +400,34 @@ mod tests {
         assert_eq!(parse("7.5").unwrap().as_u64(), None);
         assert_eq!(parse("-7").unwrap().as_u64(), None);
         assert_eq!(parse("7").unwrap().as_usize(), Some(7));
+    }
+
+    #[test]
+    fn writer_round_trips_through_parse() {
+        let mut obj = BTreeMap::new();
+        obj.insert("step".to_string(), JsonValue::Num(42.0));
+        obj.insert("pi".to_string(), JsonValue::Num(0.1 + 0.2));
+        obj.insert("name".to_string(), JsonValue::Str("a\"b\\c\nd\u{1}é".into()));
+        obj.insert("flags".to_string(), JsonValue::Arr(vec![
+            JsonValue::Bool(true),
+            JsonValue::Null,
+            JsonValue::Num(-7.0),
+        ]));
+        obj.insert("empty_arr".to_string(), JsonValue::Arr(vec![]));
+        obj.insert("empty_obj".to_string(), JsonValue::Obj(BTreeMap::new()));
+        let v = JsonValue::Obj(obj);
+        let text = v.to_json();
+        assert_eq!(parse(&text).unwrap(), v, "round trip failed for {text}");
+        // Integral numbers print without a fraction.
+        assert!(text.contains("\"step\":42"), "got {text}");
+        // Display agrees with to_json.
+        assert_eq!(format!("{v}"), text);
+    }
+
+    #[test]
+    fn writer_maps_non_finite_numbers_to_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_json(), "null");
     }
 
     #[test]

@@ -49,10 +49,12 @@
 
 pub mod chan;
 pub mod error;
+pub mod fault;
 pub mod json;
 pub mod observer;
 pub mod policy;
 pub mod proc;
+pub mod recover;
 pub mod rng;
 pub mod sim;
 pub mod threaded;
@@ -61,13 +63,20 @@ pub mod waitgraph;
 
 pub use chan::{ChannelId, ChannelSpec, Topology};
 pub use error::RunError;
+pub use fault::{Crash, FaultPlan, Stall};
 pub use json::JsonValue;
-pub use observer::{NoopObserver, RecordingObserver, StepEvent, StepObserver};
+pub use observer::{NoopObserver, RecordingObserver, StepEvent, StepObserver, Tee};
 pub use policy::{
     Adversary, AdversarialPolicy, FixedSchedule, RandomPolicy, RoundRobin, SchedulePolicy,
 };
 pub use proc::{Effect, ProcId, Process};
-pub use sim::{RunOutcome, Simulator};
-pub use threaded::{run_threaded, run_threaded_with, ThreadedConfig, ThreadedOutcome};
+pub use recover::{
+    replay_checkpoint, run_recovering, run_recovering_observed, run_threaded_recovering,
+    Checkpoint, RecoveryConfig, RecoveryOutcome, RecoveryStats,
+};
+pub use sim::{run_simulated, RunOutcome, Simulator};
+pub use threaded::{
+    run_threaded, run_threaded_faulted, run_threaded_with, ThreadedConfig, ThreadedOutcome,
+};
 pub use trace::{ChannelMetrics, Event, EventKind, ProcMetrics, RunMetrics, Trace};
 pub use waitgraph::{BlockKind, WaitFor};

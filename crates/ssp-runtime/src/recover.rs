@@ -1,0 +1,396 @@
+//! Checkpoint/restart: crash-consistent execution on top of Theorem 1.
+//!
+//! The paper's Theorem 1 (§3.2) says every maximal interleaving of a
+//! program in the §3.1 model reaches the same final state. A crashed and
+//! restarted run *is* just another interleaving: the steps before the crash
+//! plus the steps after the restore form a prefix-consistent execution of
+//! the same deterministic processes, so checkpoint/restart is
+//! semantics-preserving **by construction** — no fsync ordering arguments,
+//! no idempotence audits. The tests assert the strongest form of this:
+//! recovered final states are *bitwise identical* to uninjected runs.
+//!
+//! Three pieces:
+//!
+//! * [`Checkpoint`] — a consistent snapshot of the whole system (process
+//!   states, statuses, in-flight channel contents, the executed pick
+//!   prefix, and the fault plan's bookkeeping), taken every *K* steps by
+//!   the supervisor. In memory it is a [`Simulator`] clone (fast restore);
+//!   on the wire it is a JSON manifest ([`Checkpoint::to_json`]) carrying
+//!   the *data plane* — the code plane (process closures) is rebuilt from
+//!   source and re-validated against the manifest's fingerprint by
+//!   [`replay_checkpoint`], which replays the pick prefix through a fresh
+//!   simulator. Determinism is what makes that replay sound.
+//! * [`run_recovering`] — the supervisor: steps the simulator under a
+//!   [`FaultPlan`], checkpoints every `checkpoint_every` steps, and on an
+//!   injected crash (or a deadlock) restores the latest checkpoint and
+//!   re-runs. Fired crashes stay consumed across restores (the plan lives
+//!   outside the checkpointed state), so recovery cannot livelock on the
+//!   same fault; `max_restarts` bounds genuinely recurring failures.
+//! * [`run_threaded_recovering`] — the threaded counterpart. OS threads
+//!   cannot be snapshotted mid-flight, so the only checkpoint is the
+//!   initial state; Theorem 1 makes restart-from-start equivalent to any
+//!   finer-grained recovery, just costlier (all steps re-execute).
+
+use crate::chan::Topology;
+use crate::error::RunError;
+use crate::fault::{Crash, FaultPlan};
+use crate::json::{parse, JsonValue};
+use crate::observer::{NoopObserver, StepObserver};
+use crate::policy::SchedulePolicy;
+use crate::proc::{ProcId, Process};
+use crate::sim::Simulator;
+use crate::threaded::{run_threaded_faulted, ThreadedConfig, ThreadedOutcome};
+use crate::trace::{RunMetrics, Trace};
+
+/// Supervisor tuning: how often to checkpoint and how many restarts to
+/// tolerate before giving up.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// Take a checkpoint after every this-many executed steps (≥ 1).
+    pub checkpoint_every: u64,
+    /// Abort (returning the triggering error) after this many restarts.
+    pub max_restarts: usize,
+}
+
+impl RecoveryConfig {
+    /// A config checkpointing every `k` steps with the default restart
+    /// budget.
+    pub fn every(k: u64) -> Self {
+        RecoveryConfig { checkpoint_every: k.max(1), max_restarts: 8 }
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig::every(64)
+    }
+}
+
+/// What recovery cost: the numbers `perf-sim` prices into overhead spans.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStats {
+    /// How many times the supervisor restored a checkpoint and re-ran.
+    pub restarts: u64,
+    /// Checkpoints taken (excluding the implicit step-0 one).
+    pub checkpoints_taken: u64,
+    /// Steps that were executed, lost to a crash, and executed again.
+    pub steps_reexecuted: u64,
+    /// The errors that triggered each restart, in order.
+    pub faults_fired: Vec<RunError>,
+}
+
+/// Result of a recovered run: the same final state any uninjected run
+/// reaches (Theorem 1), plus the recovery cost accounting.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// Byte snapshot of each process's final state, indexed by process id.
+    pub snapshots: Vec<Vec<u8>>,
+    /// The pick sequence of the final (successful) lineage: the latest
+    /// checkpoint's prefix plus everything executed after it.
+    pub picks: Vec<ProcId>,
+    /// Steps of the final lineage (not counting steps lost to crashes).
+    pub steps: u64,
+    /// Execution metrics of the final lineage.
+    pub metrics: RunMetrics,
+    /// The interleaving of the final lineage.
+    pub trace: Trace,
+    /// Restart/checkpoint/re-execution accounting.
+    pub stats: RecoveryStats,
+}
+
+/// A consistent snapshot of a run in progress: everything needed to resume
+/// as if the steps after it never happened.
+pub struct Checkpoint<P: Process + Clone>
+where
+    P::Msg: Clone,
+{
+    step: u64,
+    picks: Vec<ProcId>,
+    sim: Simulator<P>,
+    faults: FaultPlan,
+    trace: Trace,
+}
+
+impl<P: Process + Clone> Checkpoint<P>
+where
+    P::Msg: Clone,
+{
+    /// Snapshot the current state of a run: `picks` is the pick prefix that
+    /// produced `sim` (length `step`), `faults` the plan with its
+    /// bookkeeping as of now.
+    pub fn take(
+        step: u64,
+        picks: &[ProcId],
+        sim: &Simulator<P>,
+        faults: &FaultPlan,
+        trace: &Trace,
+    ) -> Self {
+        Checkpoint {
+            step,
+            picks: picks.to_vec(),
+            sim: sim.clone(),
+            faults: faults.clone(),
+            trace: trace.clone(),
+        }
+    }
+
+    /// The global step count this checkpoint was taken at.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// The pick prefix that reproduces this checkpoint's state from the
+    /// initial state (feed to [`crate::policy::FixedSchedule`] or
+    /// [`replay_checkpoint`]).
+    pub fn picks(&self) -> &[ProcId] {
+        &self.picks
+    }
+
+    /// Fast in-memory restore: a clone of the checkpointed simulator.
+    pub fn restore_sim(&self) -> Simulator<P> {
+        self.sim.clone()
+    }
+
+    /// The fault plan as of the checkpoint (bookkeeping included).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The trace prefix as of the checkpoint.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The wire form: a JSON manifest carrying the schedule prefix and the
+    /// full data plane ([`Simulator::state_manifest`]) — statuses, queued
+    /// messages, snapshots, and the state fingerprint the replay restore
+    /// path re-validates against.
+    pub fn manifest(&self, msg_bytes: impl Fn(&P::Msg) -> Vec<u8>) -> JsonValue {
+        use std::collections::BTreeMap;
+        let mut top = BTreeMap::new();
+        top.insert("version".to_string(), JsonValue::Num(1.0));
+        top.insert("step".to_string(), JsonValue::Num(self.step as f64));
+        top.insert(
+            "picks".to_string(),
+            JsonValue::Arr(self.picks.iter().map(|&p| JsonValue::Num(p as f64)).collect()),
+        );
+        top.insert("state".to_string(), self.sim.state_manifest(msg_bytes));
+        JsonValue::Obj(top)
+    }
+
+    /// [`Checkpoint::manifest`] serialized as a JSON document.
+    pub fn to_json(&self, msg_bytes: impl Fn(&P::Msg) -> Vec<u8>) -> String {
+        self.manifest(msg_bytes).to_json()
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> RunError {
+    RunError::Protocol { proc: 0, detail: detail.into() }
+}
+
+/// Restore a checkpoint from its JSON manifest by *replay*: rebuild the
+/// initial processes from source (`procs` must be a fresh initial
+/// collection for `topo`), re-execute the manifest's pick prefix, and
+/// verify the resulting state's fingerprint bitwise against the manifest.
+///
+/// This is the fully serializable restore path: only data crosses the wire;
+/// the code plane is reconstructed and *proven* equivalent (determinism,
+/// Theorem 1) rather than trusted. Returns the positioned simulator and the
+/// replayed pick prefix. A corrupt or mismatched manifest yields
+/// [`RunError::Protocol`].
+pub fn replay_checkpoint<P: Process>(
+    json_text: &str,
+    topo: Topology,
+    procs: Vec<P>,
+    msg_bytes: impl Fn(&P::Msg) -> Vec<u8>,
+) -> Result<(Simulator<P>, Vec<ProcId>), RunError> {
+    let manifest = parse(json_text).map_err(|e| corrupt(format!("checkpoint manifest: {e}")))?;
+    let picks: Vec<ProcId> = manifest
+        .get("picks")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| corrupt("checkpoint manifest: missing picks"))?
+        .iter()
+        .map(|v| v.as_usize().ok_or_else(|| corrupt("checkpoint manifest: bad pick")))
+        .collect::<Result<_, _>>()?;
+    let want: Vec<u8> = manifest
+        .get("state")
+        .and_then(|s| s.get("fingerprint"))
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| corrupt("checkpoint manifest: missing fingerprint"))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .filter(|&b| b < 256)
+                .map(|b| b as u8)
+                .ok_or_else(|| corrupt("checkpoint manifest: bad fingerprint byte"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut sim = Simulator::new(topo, procs);
+    let mut trace = Trace::new();
+    for (i, &p) in picks.iter().enumerate() {
+        if !sim.runnable().contains(&p) {
+            return Err(corrupt(format!(
+                "checkpoint replay: pick #{i} names non-runnable process {p}"
+            )));
+        }
+        sim.step_process(p, &mut trace)?;
+    }
+    let got = sim.state_fingerprint(&msg_bytes);
+    if got != want {
+        return Err(corrupt(
+            "checkpoint replay: state fingerprint mismatch (wrong initial processes, \
+             wrong topology, or a corrupt manifest)",
+        ));
+    }
+    Ok((sim, picks))
+}
+
+/// Run `procs` over `topo` under `policy` with `faults` injected,
+/// checkpointing every [`RecoveryConfig::checkpoint_every`] steps and
+/// recovering from crashes (and deadlocks) by restoring the latest
+/// checkpoint and re-running — to completion, or until
+/// [`RecoveryConfig::max_restarts`] is exhausted.
+///
+/// By Theorem 1 the recovered final state is bitwise identical to any
+/// uninjected run's. Unrecoverable errors (protocol violations, step-limit
+/// exhaustion — both of which would deterministically recur) abort
+/// immediately.
+pub fn run_recovering<P>(
+    topo: Topology,
+    procs: Vec<P>,
+    faults: FaultPlan,
+    policy: &mut dyn SchedulePolicy,
+    cfg: RecoveryConfig,
+) -> Result<RecoveryOutcome, RunError>
+where
+    P: Process + Clone,
+    P::Msg: Clone,
+{
+    run_recovering_observed(topo, procs, faults, policy, cfg, &mut NoopObserver)
+}
+
+/// [`run_recovering`] with every atomic action of every lineage (including
+/// steps later lost to a crash) reported to `obs`.
+pub fn run_recovering_observed<P>(
+    topo: Topology,
+    procs: Vec<P>,
+    mut faults: FaultPlan,
+    policy: &mut dyn SchedulePolicy,
+    cfg: RecoveryConfig,
+    obs: &mut dyn StepObserver,
+) -> Result<RecoveryOutcome, RunError>
+where
+    P: Process + Clone,
+    P::Msg: Clone,
+{
+    let every = cfg.checkpoint_every.max(1);
+    let mut sim = Simulator::new(topo, procs);
+    let mut trace = Trace::new();
+    let mut picks: Vec<ProcId> = Vec::new();
+    let mut steps: u64 = 0;
+    let mut stats = RecoveryStats::default();
+    let mut fired: Vec<Crash> = Vec::new();
+    let mut latest = Checkpoint::take(0, &picks, &sim, &faults, &trace);
+
+    while !sim.is_done() {
+        let failure = {
+            let runnable = sim.runnable_under(&faults);
+            if runnable.is_empty() {
+                Some(sim.deadlock_error())
+            } else if steps >= sim.step_limit {
+                // Would recur on every re-run: not recoverable.
+                return Err(RunError::StepLimit { limit: sim.step_limit });
+            } else {
+                let p = policy.pick(&runnable);
+                match sim.step_process_injected(p, &mut faults, &mut trace, obs) {
+                    Ok(()) => {
+                        picks.push(p);
+                        steps += 1;
+                        if steps.is_multiple_of(every) {
+                            latest = Checkpoint::take(steps, &picks, &sim, &faults, &trace);
+                            stats.checkpoints_taken += 1;
+                        }
+                        None
+                    }
+                    Err(e @ RunError::Injected { .. }) => {
+                        if let RunError::Injected { proc, step } = e {
+                            fired.push(Crash { proc, at_step: step });
+                        }
+                        Some(e)
+                    }
+                    // Protocol violations etc. are deterministic program
+                    // bugs: re-running reproduces them, so don't.
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        if let Some(e) = failure {
+            stats.faults_fired.push(e.clone());
+            stats.restarts += 1;
+            if stats.restarts as usize > cfg.max_restarts {
+                return Err(e);
+            }
+            // Restore the latest checkpoint. The fault plan rolls back with
+            // it — except that every crash that has *ever* fired stays
+            // consumed, else the same proc-local trigger would re-fire on
+            // every lineage and recovery would livelock.
+            sim = latest.restore_sim();
+            faults = latest.faults().clone();
+            for c in &fired {
+                faults.remove_crash(*c);
+            }
+            trace = latest.trace().clone();
+            picks = latest.picks().to_vec();
+            stats.steps_reexecuted += steps - latest.step();
+            steps = latest.step();
+        }
+    }
+
+    Ok(RecoveryOutcome {
+        snapshots: sim.snapshots_now(),
+        picks,
+        steps,
+        metrics: sim.metrics().clone(),
+        trace,
+        stats,
+    })
+}
+
+/// Crash recovery for the threaded backend: run under `faults`; on an
+/// injected crash (or a watchdog-declared deadlock) consume the fired fault
+/// and restart from the initial state — the only checkpoint OS threads
+/// admit. Theorem 1 makes the restarted run's final state identical to an
+/// uninjected one's; the price is that every step re-executes, which is
+/// exactly the trade [`run_recovering`]'s periodic checkpoints exist to
+/// avoid on the simulated backend.
+pub fn run_threaded_recovering<P, F>(
+    topo: &Topology,
+    make_procs: F,
+    faults: FaultPlan,
+    config: ThreadedConfig,
+    max_restarts: usize,
+) -> Result<(ThreadedOutcome, RecoveryStats), RunError>
+where
+    P: Process + 'static,
+    F: Fn() -> Vec<P>,
+{
+    let mut faults = faults;
+    let mut stats = RecoveryStats::default();
+    loop {
+        match run_threaded_faulted(topo, make_procs(), config, &faults) {
+            Ok(out) => return Ok((out, stats)),
+            Err(e @ (RunError::Injected { .. } | RunError::Deadlock { .. })) => {
+                stats.faults_fired.push(e.clone());
+                stats.restarts += 1;
+                if stats.restarts as usize > max_restarts {
+                    return Err(e);
+                }
+                if let RunError::Injected { proc, step } = e {
+                    faults.remove_crash(Crash { proc, at_step: step });
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

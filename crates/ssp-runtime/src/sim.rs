@@ -18,6 +18,8 @@ use std::collections::VecDeque;
 
 use crate::chan::{ChannelId, Topology};
 use crate::error::RunError;
+use crate::fault::FaultPlan;
+use crate::json::JsonValue;
 use crate::observer::{NoopObserver, StepEvent, StepObserver};
 use crate::policy::SchedulePolicy;
 use crate::proc::{Effect, ProcId, Process};
@@ -273,6 +275,31 @@ impl<P: Process> Simulator<P> {
         self.runnable_set()
     }
 
+    /// [`Simulator::runnable`] under a fault plan: processes whose pending
+    /// delivery is withheld by an active channel stall are excluded.
+    ///
+    /// A stall may delay deliveries but must never fabricate a deadlock
+    /// (Theorem 1: stalls cannot change outcomes, so they cannot *create*
+    /// a stuck state): if filtering would empty a non-empty runnable set,
+    /// the stalls are released for this step and the unfiltered set is
+    /// returned.
+    pub fn runnable_under(&self, faults: &FaultPlan) -> Vec<ProcId> {
+        let base = self.runnable_set();
+        let filtered: Vec<ProcId> = base
+            .iter()
+            .copied()
+            .filter(|&p| {
+                !matches!(&self.status[p],
+                          Status::BlockedRecv(c) if faults.delivery_withheld(*c))
+            })
+            .collect();
+        if filtered.is_empty() {
+            base
+        } else {
+            filtered
+        }
+    }
+
     /// True when every process has halted (the interleaving is maximal).
     pub fn is_done(&self) -> bool {
         self.all_halted()
@@ -298,6 +325,39 @@ impl<P: Process> Simulator<P> {
     ) -> Result<(), RunError> {
         assert!(self.is_runnable(p), "step_process requires a runnable process");
         self.step(p, trace, obs)
+    }
+
+    /// [`Simulator::step_process_with`] under a fault plan.
+    ///
+    /// If the plan holds a crash for `p` at the step it is about to take
+    /// (its own, process-local step count — schedule-independent by the
+    /// paper's model), the process is marked halted, the crash is consumed
+    /// from the plan, and [`RunError::Injected`] is returned. Otherwise the
+    /// step proceeds normally and the plan's stall bookkeeping (global tick
+    /// count, per-channel delivery counts) is advanced.
+    pub fn step_process_injected(
+        &mut self,
+        p: ProcId,
+        faults: &mut FaultPlan,
+        trace: &mut Trace,
+        obs: &mut dyn StepObserver,
+    ) -> Result<(), RunError> {
+        assert!(self.is_runnable(p), "step_process requires a runnable process");
+        let local_step = self.metrics.procs[p].steps + 1;
+        if let Some(crash) = faults.take_crash(p, local_step) {
+            self.status[p] = Status::Halted;
+            return Err(RunError::Injected { proc: p, step: crash.at_step });
+        }
+        let delivering = match &self.status[p] {
+            Status::BlockedRecv(c) if !self.queues[c.0].is_empty() => Some(*c),
+            _ => None,
+        };
+        let r = self.step(p, trace, obs);
+        faults.tick();
+        if let Some(c) = delivering {
+            faults.note_recv(c);
+        }
+        r
     }
 
     /// The typed deadlock error describing the *current* blocked
@@ -362,10 +422,109 @@ impl<P: Process> Simulator<P> {
         buf
     }
 
+    /// A structured JSON view of the *entire* simulator state — per-process
+    /// snapshot, progress counter, and status, every queued message (encoded
+    /// by `msg_bytes`), and the [`Simulator::state_fingerprint`]. This is
+    /// the data plane of a checkpoint manifest
+    /// ([`crate::recover::Checkpoint`]): the code plane (the processes
+    /// themselves) is rebuilt from source and re-validated against the
+    /// fingerprint on restore.
+    pub fn state_manifest(&self, msg_bytes: impl Fn(&P::Msg) -> Vec<u8>) -> JsonValue {
+        use std::collections::BTreeMap;
+        fn bytes_arr(b: &[u8]) -> JsonValue {
+            JsonValue::Arr(b.iter().map(|&x| JsonValue::Num(x as f64)).collect())
+        }
+        let procs: Vec<JsonValue> = self
+            .procs
+            .iter()
+            .zip(&self.status)
+            .map(|(p, s)| {
+                let mut m = BTreeMap::new();
+                m.insert("snapshot".to_string(), bytes_arr(&p.snapshot()));
+                m.insert("progress".to_string(), bytes_arr(&p.progress().to_le_bytes()));
+                let mut sm = BTreeMap::new();
+                match s {
+                    Status::Ready => {
+                        sm.insert("tag".to_string(), JsonValue::Str("ready".into()));
+                    }
+                    Status::BlockedRecv(c) => {
+                        sm.insert("tag".to_string(), JsonValue::Str("blocked_recv".into()));
+                        sm.insert("chan".to_string(), JsonValue::Num(c.0 as f64));
+                    }
+                    Status::BlockedSend(c, msg) => {
+                        sm.insert("tag".to_string(), JsonValue::Str("blocked_send".into()));
+                        sm.insert("chan".to_string(), JsonValue::Num(c.0 as f64));
+                        sm.insert("msg".to_string(), bytes_arr(&msg_bytes(msg)));
+                    }
+                    Status::Halted => {
+                        sm.insert("tag".to_string(), JsonValue::Str("halted".into()));
+                    }
+                }
+                m.insert("status".to_string(), JsonValue::Obj(sm));
+                JsonValue::Obj(m)
+            })
+            .collect();
+        let queues: Vec<JsonValue> = self
+            .queues
+            .iter()
+            .map(|q| JsonValue::Arr(q.iter().map(|m| bytes_arr(&msg_bytes(m))).collect()))
+            .collect();
+        let mut top = BTreeMap::new();
+        top.insert("procs".to_string(), JsonValue::Arr(procs));
+        top.insert("queues".to_string(), JsonValue::Arr(queues));
+        top.insert(
+            "fingerprint".to_string(),
+            bytes_arr(&self.state_fingerprint(&msg_bytes)),
+        );
+        JsonValue::Obj(top)
+    }
+
     /// Run to termination under `policy`, producing the maximal interleaving
     /// taken and the final state.
     pub fn run(self, policy: &mut dyn SchedulePolicy) -> Result<RunOutcome, RunError> {
         self.run_observed(policy, &mut NoopObserver)
+    }
+
+    /// [`Simulator::run`] under a fault plan: channel stalls delay
+    /// deliveries (without changing the final state — Theorem 1), and the
+    /// first crash that fires aborts the run with [`RunError::Injected`].
+    /// For crash *recovery* rather than mere injection, use
+    /// [`crate::recover::run_recovering`], which wraps this stepping with
+    /// checkpoints and a restart supervisor.
+    pub fn run_injected(
+        mut self,
+        policy: &mut dyn SchedulePolicy,
+        faults: &mut FaultPlan,
+    ) -> Result<RunOutcome, RunError> {
+        let mut trace = Trace::new();
+        let mut picks = Vec::new();
+        let mut steps: u64 = 0;
+        let mut max_queued = 0usize;
+        let mut obs = NoopObserver;
+        while !self.all_halted() {
+            let runnable = self.runnable_under(faults);
+            if runnable.is_empty() {
+                return Err(waitgraph::deadlock_error(&self.topo, &self.blocked_list()));
+            }
+            if steps >= self.step_limit {
+                return Err(RunError::StepLimit { limit: self.step_limit });
+            }
+            let p = policy.pick(&runnable);
+            debug_assert!(runnable.contains(&p), "policy must pick a runnable process");
+            picks.push(p);
+            for (q, _, _) in self.blocked_list() {
+                if !self.is_runnable(q) {
+                    self.metrics.procs[q].blocked_steps += 1;
+                }
+            }
+            self.step_process_injected(p, faults, &mut trace, &mut obs)?;
+            steps += 1;
+            let queued: usize = self.queues.iter().map(|q| q.len()).sum();
+            max_queued = max_queued.max(queued);
+        }
+        let snapshots = self.procs.iter().map(|p| p.snapshot()).collect();
+        let metrics = std::mem::take(&mut self.metrics);
+        Ok(RunOutcome { snapshots, trace, steps, max_queued, picks, metrics })
     }
 
     /// [`Simulator::run`] with every atomic action reported to `obs`.
@@ -821,5 +980,80 @@ mod tests {
         let topo = Topology::new(1);
         let err = run_simulated(topo, vec![Faulty], &mut RoundRobin::new()).unwrap_err();
         assert_eq!(err, RunError::Protocol { proc: 0, detail: "bad message".into() });
+    }
+
+    #[test]
+    fn injected_crash_aborts_with_typed_error_and_is_consumed() {
+        use crate::fault::FaultPlan;
+        let (topo, procs) = pair(10);
+        let mut faults = FaultPlan::none().crash(0, 3);
+        let err = Simulator::new(topo, procs)
+            .run_injected(&mut RoundRobin::new(), &mut faults)
+            .unwrap_err();
+        assert_eq!(err, RunError::Injected { proc: 0, step: 3 });
+        assert!(faults.crashes().is_empty(), "a fired crash is one-shot");
+
+        // With the crash consumed, a fresh run under the same plan completes
+        // and matches an entirely uninjected run.
+        let (topo, procs) = pair(10);
+        let redo = Simulator::new(topo, procs)
+            .run_injected(&mut RoundRobin::new(), &mut faults)
+            .unwrap();
+        let (topo, procs) = pair(10);
+        let clean = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap();
+        assert!(redo.same_final_state(&clean));
+    }
+
+    #[test]
+    fn channel_stalls_delay_delivery_but_never_change_the_final_state() {
+        use crate::fault::FaultPlan;
+        let (topo, procs) = pair(10);
+        let c = ChannelId(0);
+        // Stall the first and the fifth delivery, generously.
+        let mut faults = FaultPlan::none().stall(c, 0, 7).stall(c, 4, 9);
+        let stalled = Simulator::new(topo, procs)
+            .run_injected(&mut RoundRobin::new(), &mut faults)
+            .expect("stalls must not deadlock or abort");
+        let (topo, procs) = pair(10);
+        let clean = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap();
+        assert!(stalled.same_final_state(&clean), "Theorem 1: stalls are harmless");
+        // The stalled run is a different interleaving (delivery was pushed
+        // later), but still maximal.
+        assert!(stalled.steps >= clean.steps);
+    }
+
+    #[test]
+    fn stalls_never_fabricate_a_deadlock_when_only_the_reader_can_move() {
+        use crate::fault::FaultPlan;
+        // Sender finishes everything, then only the receiver remains — and
+        // its one pending delivery is stalled "forever". The auto-release
+        // rule must let the run complete.
+        let (topo, procs) = pair(1);
+        let mut faults = FaultPlan::none().stall(ChannelId(0), 0, u64::MAX / 2);
+        let out = Simulator::new(topo, procs)
+            .run_injected(&mut RoundRobin::new(), &mut faults)
+            .expect("stall on the only runnable process must auto-release");
+        let (topo, procs) = pair(1);
+        let clean = run_simulated(topo, procs, &mut RoundRobin::new()).unwrap();
+        assert!(out.same_final_state(&clean));
+    }
+
+    #[test]
+    fn state_manifest_round_trips_and_fingerprint_tracks_state() {
+        use crate::json::parse;
+        let (topo, procs) = pair(3);
+        let sim = Simulator::new(topo, procs);
+        let man = sim.state_manifest(|m| m.to_le_bytes().to_vec());
+        let text = man.to_json();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, man, "manifest survives its own wire format");
+        assert_eq!(back.get("procs").unwrap().as_arr().unwrap().len(), 2);
+        // Fingerprints differ once any process steps.
+        let f0 = sim.state_fingerprint(|m| m.to_le_bytes().to_vec());
+        let mut sim = sim;
+        let mut trace = Trace::new();
+        sim.step_process(0, &mut trace).unwrap();
+        let f1 = sim.state_fingerprint(|m| m.to_le_bytes().to_vec());
+        assert_ne!(f0, f1);
     }
 }

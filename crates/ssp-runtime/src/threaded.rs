@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use crate::chan::{ChannelId, Topology};
 use crate::error::RunError;
+use crate::fault::FaultPlan;
 use crate::proc::{Effect, ProcId, Process};
 use crate::trace::{ProcMetrics, RunMetrics};
 use crate::waitgraph::{self, BlockKind};
@@ -258,7 +259,29 @@ pub fn run_threaded_with<P>(
 where
     P: Process + 'static,
 {
+    run_threaded_faulted(topo, procs, config, &FaultPlan::none())
+}
+
+/// [`run_threaded_with`] under a deterministic [`FaultPlan`].
+///
+/// A crash keyed to a process's own step count fires at the same point of
+/// that process's action sequence as on the simulated backend (the
+/// sequence is schedule-independent in the paper's model): the thread
+/// aborts the run with [`RunError::Injected`] and wakes every blocked peer.
+/// A channel stall makes the reader sleep before the matching delivery —
+/// delaying, never changing, the result. For automatic restart after an
+/// injected crash, see [`crate::recover::run_threaded_recovering`].
+pub fn run_threaded_faulted<P>(
+    topo: &Topology,
+    procs: Vec<P>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+) -> Result<ThreadedOutcome, RunError>
+where
+    P: Process + 'static,
+{
     assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
+    let faults = Arc::new(faults.clone());
     let n = procs.len();
     let chans: Vec<Arc<SharedChan<P::Msg>>> = topo
         .specs()
@@ -273,17 +296,27 @@ where
         let chans = chans.clone();
         let topo = topo.clone();
         let ctl = Arc::clone(&ctl);
+        let faults = Arc::clone(&faults);
         handles.push(std::thread::spawn(
             move || -> Result<(Vec<u8>, ProcMetrics), RunError> {
                 let _guard = ExitGuard { pid, ctl: Arc::clone(&ctl), chans: chans.clone() };
                 let mut pm = ProcMetrics::default();
                 let mut delivery: Option<P::Msg> = None;
+                // Per-channel deliveries completed by this thread, for
+                // matching stall ordinals (this thread is each input
+                // channel's sole reader, so a local count is exact).
+                let mut recvs_done = vec![0u64; chans.len()];
                 loop {
                     if ctl.is_poisoned() {
                         // The run is aborting; the verdict carries the error.
                         return Ok((Vec::new(), pm));
                     }
                     pm.steps += 1;
+                    if faults.crash_at(pid, pm.steps) {
+                        let e = RunError::Injected { proc: pid, step: pm.steps };
+                        ctl.fail(e.clone(), &chans);
+                        return Err(e);
+                    }
                     match proc.resume(delivery.take()) {
                         Effect::Compute { units } => pm.compute_units += units,
                         Effect::Send { chan, msg } => {
@@ -302,9 +335,16 @@ where
                                 ctl.fail(e.clone(), &chans);
                                 return Err(e);
                             }
+                            // An injected stall delays this delivery; the
+                            // message still arrives, so the result cannot
+                            // change (Theorem 1).
+                            if let Some(d) = faults.stall_sleep(chan, recvs_done[chan.0]) {
+                                std::thread::sleep(d);
+                            }
                             match chans[chan.0].recv(&ctl, pid, &mut pm) {
                                 Some(m) => {
                                     pm.receives += 1;
+                                    recvs_done[chan.0] += 1;
                                     delivery = Some(m);
                                 }
                                 None => return Ok((Vec::new(), pm)),
@@ -642,6 +682,40 @@ mod tests {
         let mut expect = Vec::new();
         push_u64(&mut expect, 4 * 3);
         assert_eq!(out.snapshots[0], expect);
+    }
+
+    #[test]
+    fn injected_crash_aborts_the_threaded_run_with_typed_error() {
+        let (topo, procs) = ring(4, 3);
+        // Node 2's second resume is a blocking receive; kill it there. The
+        // other nodes block on the broken ring and must be released.
+        let faults = FaultPlan::none().crash(2, 2);
+        let err = run_threaded_faulted(&topo, procs, ThreadedConfig::default(), &faults)
+            .unwrap_err();
+        assert_eq!(err, RunError::Injected { proc: 2, step: 2 });
+    }
+
+    #[test]
+    fn threaded_recovery_restarts_to_the_uninjected_final_state() {
+        use crate::recover::run_threaded_recovering;
+        let reference = {
+            let (topo, procs) = ring(4, 3);
+            run_threaded(&topo, procs).unwrap()
+        };
+        let (topo, _) = ring(4, 3);
+        // One crash plus a (harmless) delivery stall on channel 0.
+        let faults = FaultPlan::none().crash(1, 3).stall(ChannelId(0), 0, 10);
+        let (out, stats) = run_threaded_recovering(
+            &topo,
+            || ring(4, 3).1,
+            faults,
+            ThreadedConfig::default(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(out.snapshots, reference, "Theorem 1: restart reaches the same state");
+        assert_eq!(stats.restarts, 1);
+        assert!(matches!(stats.faults_fired[0], RunError::Injected { proc: 1, step: 3 }));
     }
 
     #[test]
