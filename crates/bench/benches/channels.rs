@@ -1,0 +1,282 @@
+//! Head-to-head microbenchmark of the two threaded channel designs:
+//! the old mutex-protected `VecDeque` with two condvars (replicated here
+//! verbatim) against the lock-free SPSC ring the threaded runner now uses
+//! ([`ssp_runtime::SpscRing`] plus [`ssp_runtime::ParkSlot`] blocking,
+//! exactly the runner's send/recv protocol minus metrics).
+//!
+//! Two shapes, both on real OS threads:
+//!
+//! * **ping-pong latency** — two slack-1 channels, one message bouncing
+//!   2·N times; dominated by the handoff cost of a single message.
+//! * **streaming throughput** — one slack-1024 channel, N messages pushed
+//!   as fast as the consumer drains them; dominated by per-message
+//!   synchronization when the queue is neither empty nor full — the case
+//!   the lock-free fast path is for.
+//!
+//! Self-contained timing harness (median-of-samples over a calibrated
+//! batch), same style as `micro.rs`.
+
+use std::collections::VecDeque;
+use std::hint::black_box;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bench::print_table;
+use ssp_runtime::{ParkSlot, SpscRing};
+
+/// See `micro.rs`: calibrated batch, median of 9 samples.
+fn measure(mut f: impl FnMut()) -> Duration {
+    let mut batch = 1u32;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if t0.elapsed() >= Duration::from_millis(2) || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 4;
+    }
+    let samples = 9;
+    let mut per_iter: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed() / batch
+        })
+        .collect();
+    per_iter.sort();
+    per_iter[samples / 2]
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    }
+}
+
+/// The pre-SPSC channel: every send and receive takes the one mutex, and
+/// blocking either way goes through a condvar.
+struct MutexChan<T> {
+    queue: Mutex<VecDeque<T>>,
+    cap: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> MutexChan<T> {
+    fn new(cap: usize) -> Self {
+        MutexChan {
+            queue: Mutex::new(VecDeque::new()),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn send(&self, v: T) {
+        let mut q = self.queue.lock().unwrap();
+        while q.len() >= self.cap {
+            q = self.not_full.wait(q).unwrap();
+        }
+        q.push_back(v);
+        drop(q);
+        self.not_empty.notify_one();
+    }
+
+    fn recv(&self) -> T {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.not_full.notify_one();
+                return v;
+            }
+            q = self.not_empty.wait(q).unwrap();
+        }
+    }
+}
+
+/// How long a parked endpoint sleeps between re-checks; mirrors the
+/// runner's `WAIT_SLICE` (an eager unpark arrives long before this).
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// The new channel: the runner's blocking protocol over the lock-free ring.
+struct RingChan<T> {
+    ring: SpscRing<T>,
+    reader: ParkSlot,
+    writer: ParkSlot,
+}
+
+impl<T: Send> RingChan<T> {
+    fn new(cap: usize) -> Self {
+        RingChan { ring: SpscRing::new(Some(cap)), reader: ParkSlot::new(), writer: ParkSlot::new() }
+    }
+
+    fn send(&self, v: T) {
+        let mut v = match self.ring.try_push(v) {
+            Ok(_) => {
+                self.reader.wake();
+                return;
+            }
+            Err(back) => back,
+        };
+        loop {
+            self.writer.prepare_park();
+            match self.ring.try_push(v) {
+                Ok(_) => {
+                    self.writer.cancel_park();
+                    self.reader.wake();
+                    return;
+                }
+                Err(back) => v = back,
+            }
+            self.writer.park(WAIT_SLICE);
+        }
+    }
+
+    fn recv(&self) -> T {
+        if let Some(v) = self.ring.try_pop() {
+            self.writer.wake();
+            return v;
+        }
+        loop {
+            self.reader.prepare_park();
+            if let Some(v) = self.ring.try_pop() {
+                self.reader.cancel_park();
+                self.writer.wake();
+                return v;
+            }
+            self.reader.park(WAIT_SLICE);
+        }
+    }
+}
+
+/// One message bouncing 2·`bounces` times across a pair of channels.
+/// `send`/`recv` are closures so both channel types share one driver.
+fn pingpong<C: Send + Sync + 'static>(
+    chans: (Arc<C>, Arc<C>),
+    bounces: u64,
+    send: impl Fn(&C, u64) + Send + Sync + Copy + 'static,
+    recv: impl Fn(&C) -> u64 + Send + Sync + Copy + 'static,
+    register: impl Fn(&C, &C) + Send + Sync + Copy + 'static,
+) {
+    let (c01, c10) = chans;
+    let (a, b) = (Arc::clone(&c01), Arc::clone(&c10));
+    let server = thread::spawn(move || {
+        register(&b, &a); // reads c10, writes c01
+        send(&a, 0);
+        for _ in 0..bounces {
+            let v = recv(&b);
+            send(&a, v + 1);
+        }
+        recv(&b)
+    });
+    register(&c01, &c10); // reads c01, writes c10
+    for _ in 0..=bounces {
+        let v = recv(&c01);
+        send(&c10, v + 1);
+    }
+    black_box(server.join().unwrap());
+}
+
+/// `count` messages through one channel, producer racing consumer.
+fn stream<C: Send + Sync + 'static>(
+    chan: Arc<C>,
+    count: u64,
+    send: impl Fn(&C, u64) + Send + Sync + Copy + 'static,
+    recv: impl Fn(&C) -> u64 + Send + Sync + Copy + 'static,
+    register_producer: impl Fn(&C) + Send + Sync + Copy + 'static,
+    register_consumer: impl Fn(&C) + Send + Sync + Copy + 'static,
+) {
+    let producer_chan = Arc::clone(&chan);
+    let producer = thread::spawn(move || {
+        register_producer(&producer_chan);
+        for i in 0..count {
+            send(&producer_chan, i);
+        }
+    });
+    register_consumer(&chan);
+    let mut sum = 0u64;
+    for _ in 0..count {
+        sum = sum.wrapping_add(recv(&chan));
+    }
+    black_box(sum);
+    producer.join().unwrap();
+}
+
+fn main() {
+    const BOUNCES: u64 = 1_000;
+    const STREAM: u64 = 100_000;
+    const STREAM_CAP: usize = 1024;
+    let mut rows = Vec::new();
+
+    // --- ping-pong latency: two slack-1 channels ---
+    let t = measure(|| {
+        let chans = (Arc::new(MutexChan::<u64>::new(1)), Arc::new(MutexChan::<u64>::new(1)));
+        pingpong(chans, BOUNCES, |c, v| c.send(v), |c| c.recv(), |_, _| {});
+    });
+    rows.push(vec![
+        format!("mutex_pingpong_{BOUNCES}"),
+        fmt(t),
+        fmt(t / (2 * BOUNCES as u32)),
+    ]);
+
+    let t = measure(|| {
+        let chans = (Arc::new(RingChan::<u64>::new(1)), Arc::new(RingChan::<u64>::new(1)));
+        pingpong(
+            chans,
+            BOUNCES,
+            |c, v| c.send(v),
+            |c| c.recv(),
+            |read, write| {
+                read.reader.register();
+                write.writer.register();
+            },
+        );
+    });
+    rows.push(vec![
+        format!("spsc_pingpong_{BOUNCES}"),
+        fmt(t),
+        fmt(t / (2 * BOUNCES as u32)),
+    ]);
+
+    // --- streaming throughput: one slack-1024 channel ---
+    let t = measure(|| {
+        stream(
+            Arc::new(MutexChan::<u64>::new(STREAM_CAP)),
+            STREAM,
+            |c, v| c.send(v),
+            |c| c.recv(),
+            |_| {},
+            |_| {},
+        );
+    });
+    rows.push(vec![format!("mutex_stream_{STREAM}"), fmt(t), fmt(t / STREAM as u32)]);
+
+    let t = measure(|| {
+        stream(
+            Arc::new(RingChan::<u64>::new(STREAM_CAP)),
+            STREAM,
+            |c, v| c.send(v),
+            |c| c.recv(),
+            |c| c.writer.register(),
+            |c| c.reader.register(),
+        );
+    });
+    rows.push(vec![format!("spsc_stream_{STREAM}"), fmt(t), fmt(t / STREAM as u32)]);
+
+    print_table(
+        "channels: mutex/condvar vs lock-free SPSC ring (median)",
+        &["benchmark", "total", "per message"],
+        &rows,
+    );
+}

@@ -94,7 +94,8 @@ fn main() {
     );
 
     let predictions = predicted_curves(&params);
-    write_bench_json(&params, machine.name, &measured_points, &predictions);
+    let threaded = measured_threaded(&params);
+    write_bench_json(&params, machine.name, &measured_points, &predictions, &threaded);
 
     comm_profile();
 
@@ -161,6 +162,46 @@ fn predicted_curves(params: &Arc<Params>) -> Vec<(&'static str, Vec<(usize, DesO
     predictions
 }
 
+/// Measured wall-clock times of the *real threaded* execution — version A
+/// compiled to message passing and run on OS threads over the lock-free
+/// SPSC rings — at each processor count. This is the series the paper
+/// measures (its Figure 2 "actual" curve), as opposed to the modeled and
+/// predicted series above. Single-machine numbers: on a multi-core host
+/// the wall time falls with P until the cores run out; on a single-core
+/// host the curve is flat-plus-overhead (see EXPERIMENTS.md E11). The
+/// core count is printed and recorded so the JSON is interpretable.
+fn measured_threaded(params: &Arc<Params>) -> Vec<(usize, f64)> {
+    let plan = plan_a(params);
+    let init = init_a(params.clone());
+    let cfg = ssp_runtime::ThreadedConfig::with_watchdog(std::time::Duration::from_secs(60));
+    let mut points = Vec::new();
+    for &p in &[1usize, 2, 4, 8, 16] {
+        let pg = ProcGrid3::choose(params.n, p);
+        let t0 = std::time::Instant::now();
+        let out = mesh_archetype::run_msg_threaded_slack(&plan, pg, &init, None, cfg)
+            .expect("infinite-slack message-passing plans cannot deadlock");
+        let wall = t0.elapsed().as_secs_f64();
+        std::hint::black_box(out.snapshots);
+        points.push((p, wall));
+    }
+    let t1 = points[0].1;
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(p, w)| vec![p.to_string(), secs(*w), spd(t1 / w)])
+        .collect();
+    print_table(
+        "measured threaded execution (SPSC rings, this machine)",
+        &["P", "wall (s)", "speedup"],
+        &rows,
+    );
+    println!("cores available on this machine: {}", cores());
+    points
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// Write the run's measured and predicted numbers as JSON when `BENCH_JSON`
 /// names an output path (`scripts/bench.sh` sets it to
 /// `BENCH_figure2.json`). Hand-rolled writer, like the rest of the
@@ -170,6 +211,7 @@ fn write_bench_json(
     machine_name: &str,
     measured: &[RunPoint],
     predictions: &[(&'static str, Vec<(usize, DesOutcome)>)],
+    threaded: &[(usize, f64)],
 ) {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
@@ -190,6 +232,13 @@ fn write_bench_json(
             "{{\"p\":{},\"modeled\":{},\"wall\":{}}}",
             pt.p, pt.modeled, pt.wall
         );
+    }
+    let _ = write!(s, "],\"threaded_cores\":{},\"threaded\":[", cores());
+    for (i, (p, wall)) in threaded.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"p\":{p},\"wall\":{wall}}}");
     }
     s.push_str("],\"predicted\":[");
     for (i, (name, points)) in predictions.iter().enumerate() {

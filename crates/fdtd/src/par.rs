@@ -149,11 +149,12 @@ pub fn plan_a(params: &Params) -> Plan<LocalA> {
                 b,
                 |l: &mut LocalA| &mut l.fields,
                 |_, l: &mut LocalA| {
+                    // Disjoint field borrows: no per-step Arc/flags clones.
                     e_side_step(
                         &mut l.fields,
                         &l.material,
-                        &l.params.clone(),
-                        &l.flags.clone(),
+                        &l.params,
+                        &l.flags,
                         l.source_local,
                         &mut l.step,
                     )
@@ -231,8 +232,8 @@ pub fn plan_c(params: &Params, spec: &FarFieldSpec, strategy: FarFieldStrategy) 
                 e_side_step(
                     &mut l.a.fields,
                     &l.a.material,
-                    &l.a.params.clone(),
-                    &l.a.flags.clone(),
+                    &l.a.params,
+                    &l.a.flags,
                     l.a.source_local,
                     &mut l.a.step,
                 )

@@ -15,13 +15,15 @@
 //! stable ordered-sum, same slab encodings — so the two drivers' snapshots
 //! are bitwise identical: Theorem 1 made concrete.
 
+use std::sync::Arc;
+
 use ssp_runtime::{
-    ChannelId, Effect, FaultPlan, Process, RecoveryConfig, RecoveryOutcome, RunError,
+    BufPool, ChannelId, Effect, FaultPlan, Process, RecoveryConfig, RecoveryOutcome, RunError,
     RunOutcome, SchedulePolicy, Simulator, Topology,
 };
 
 use machine_model::MachineModel;
-use meshgrid::halo::{extract_face3, try_insert_ghost3};
+use meshgrid::halo::{extract_face3_into, slab_len3, try_insert_ghost3};
 use meshgrid::{Grid3, ProcGrid3};
 
 use crate::driver::simpar::{ordered_sum, HostMode};
@@ -77,10 +79,10 @@ impl MeshMsg {
 
 /// One instruction of the compiled per-rank program.
 ///
-/// `Clone` (specs are `Arc`-backed, so cloning is cheap) makes the whole
-/// process cloneable, which is what lets the recovery supervisor snapshot a
-/// mesh program mid-run.
-#[derive(Clone)]
+/// Specs are cloned into ops once, at compile ([`flatten`]) time; the
+/// finished program is frozen behind an `Arc` that every execution step —
+/// and every checkpoint clone — merely shares. Steady-state interpretation
+/// never clones a spec.
 enum Op<L> {
     /// Run a local-computation block (one `Compute` action).
     Local(LocalStep<L>),
@@ -312,7 +314,10 @@ fn flatten<L>(
 pub struct MsgProcess<L> {
     env: Env,
     local: L,
-    ops: Vec<Op<L>>,
+    /// The compiled program, frozen and shared: checkpoint clones bump the
+    /// refcount instead of copying the instruction list, and the
+    /// interpreter borrows ops independently of the mutable state.
+    ops: Arc<[Op<L>]>,
     pc: usize,
     /// Channel to send to `dst`: `chan_to[dst]`.
     chan_to: Vec<Option<ChannelId>>,
@@ -323,24 +328,31 @@ pub struct MsgProcess<L> {
     global: Option<Grid3<f64>>,
     loop_stack: Vec<usize>,
     while_stack: Vec<u64>,
+    /// Recycled `f64` payload buffers (take-on-send / put-on-receive; see
+    /// [`BufPool`]). Clones start cold — a pool is a cache, not state.
+    pool: BufPool<f64>,
     /// Describes how to consume the next delivery (set when a Recv effect
     /// is emitted; the op pointer has already advanced).
-    pending: Option<PendingRecv<L>>,
+    pending: Option<PendingRecv>,
 }
 
+/// How to consume the next delivery. Spec-carrying receives reference the
+/// op that issued them by program index instead of cloning the spec: the
+/// program is immutable, so the index stays valid for the process's (and
+/// any checkpoint clone's) entire life.
 #[derive(Clone)]
-enum PendingRecv<L> {
-    Face { spec: ExchangeSpec<L>, link: FaceLink },
+enum PendingRecv {
+    Face { op: usize, link: FaceLink },
     Combine { op: ReduceOp },
     Replace,
     Contribs,
     Result,
     Bcast,
     GatherBlock { src: usize },
-    ScatterBlock { spec: ScatterSpec<L> },
+    ScatterBlock { op: usize },
 }
 
-impl<L> PendingRecv<L> {
+impl PendingRecv {
     /// The [`MeshMsg`] variant this pending receive is allowed to consume.
     fn expected_kind(&self) -> &'static str {
         match self {
@@ -382,10 +394,12 @@ impl<L: MeshLocal> MsgProcess<L> {
         Ok(())
     }
 
-    fn block_of_global(&self, dst: usize) -> Vec<f64> {
+    /// Append `dst`'s block of the in-progress global grid to `out`
+    /// (lexicographic), packing straight into a recycled buffer.
+    fn block_of_global_into(&self, dst: usize, out: &mut Vec<f64>) {
         let block = self.env.pg.block(dst);
         let global = self.global.as_ref().expect("scatter in progress");
-        let mut out = Vec::with_capacity(block.len());
+        out.reserve(block.len());
         for li in 0..block.extent().0 {
             for lj in 0..block.extent().1 {
                 for lk in 0..block.extent().2 {
@@ -394,7 +408,6 @@ impl<L: MeshLocal> MsgProcess<L> {
                 }
             }
         }
-        out
     }
 
     fn chan_to_rank(&self, dst: usize) -> ChannelId {
@@ -406,170 +419,178 @@ impl<L: MeshLocal> MsgProcess<L> {
     }
 
     /// Execute ops until one produces a runtime effect.
+    ///
+    /// The program lives behind an `Arc`, so one refcount bump up front
+    /// buys a borrow of every op that is independent of `&mut self`: no op
+    /// is cloned to split the borrow, and sends carry pooled buffers —
+    /// steady-state iteration performs zero heap allocation.
     fn advance(&mut self) -> Effect<MeshMsg> {
+        let ops = Arc::clone(&self.ops);
         loop {
-            if self.pc >= self.ops.len() {
+            if self.pc >= ops.len() {
                 return Effect::Halt;
             }
             let pc = self.pc;
             self.pc += 1;
-            // Split the borrow: temporarily take the op out.
-            match &self.ops[pc] {
+            match &ops[pc] {
                 Op::Local(step) => {
-                    let step = step.clone();
                     let units = (step.flops)(&self.env, &self.local);
                     (step.f)(&self.env, &mut self.local);
                     return Effect::Compute { units };
                 }
                 Op::SendFace { spec, link } => {
-                    let (spec, link) = (spec.clone(), *link);
-                    let payload = extract_face3((spec.field)(&mut self.local), link.face);
+                    // Pack the face straight from grid storage into a
+                    // recycled buffer (no intermediate allocation).
+                    let field = (spec.field)(&mut self.local);
+                    let n = slab_len3(field.extent(), field.ghost(), link.face);
+                    let mut buf = self.pool.take(n);
+                    extract_face3_into(field, link.face, &mut buf);
                     return Effect::Send {
                         chan: self.chan_to_rank(link.neighbor),
-                        msg: MeshMsg::Halo(payload),
+                        msg: MeshMsg::Halo(buf),
                     };
                 }
-                Op::RecvFace { spec, link } => {
-                    let (spec, link) = (spec.clone(), *link);
+                Op::RecvFace { link, .. } => {
                     let chan = self.chan_from_rank(link.neighbor);
-                    self.pending = Some(PendingRecv::Face { spec, link });
+                    self.pending = Some(PendingRecv::Face { op: pc, link: *link });
                     return Effect::Recv { chan };
                 }
                 Op::ReduceExtract { spec } => {
-                    let spec = spec.clone();
-                    self.scratch = (spec.extract)(&self.env, &self.local);
+                    let v = (spec.extract)(&self.env, &self.local);
+                    self.pool.put(std::mem::replace(&mut self.scratch, v));
                 }
                 Op::ReduceSend { dst } => {
-                    let dst = *dst;
+                    let mut buf = self.pool.take(self.scratch.len());
+                    buf.extend_from_slice(&self.scratch);
                     return Effect::Send {
-                        chan: self.chan_to_rank(dst),
-                        msg: MeshMsg::Vec(self.scratch.clone()),
+                        chan: self.chan_to_rank(*dst),
+                        msg: MeshMsg::Vec(buf),
                     };
                 }
                 Op::ReduceRecvCombine { src, op } => {
-                    let (src, op) = (*src, *op);
-                    self.pending = Some(PendingRecv::Combine { op });
-                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                    self.pending = Some(PendingRecv::Combine { op: *op });
+                    return Effect::Recv { chan: self.chan_from_rank(*src) };
                 }
                 Op::ReduceRecvReplace { src } => {
-                    let src = *src;
                     self.pending = Some(PendingRecv::Replace);
-                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                    return Effect::Recv { chan: self.chan_from_rank(*src) };
                 }
                 Op::ReduceInject { spec } => {
-                    let spec = spec.clone();
                     (spec.inject)(&self.env, &mut self.local, &self.scratch);
                 }
                 Op::OrdExtract { spec } => {
-                    let spec = spec.clone();
                     self.contribs = (spec.extract)(&self.env, &self.local);
                 }
                 Op::OrdSendContribs { dst } => {
-                    let dst = *dst;
                     let msg = MeshMsg::Contribs(std::mem::take(&mut self.contribs));
-                    return Effect::Send { chan: self.chan_to_rank(dst), msg };
+                    return Effect::Send { chan: self.chan_to_rank(*dst), msg };
                 }
                 Op::OrdRecvContribs { src } => {
-                    let src = *src;
                     self.pending = Some(PendingRecv::Contribs);
-                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                    return Effect::Recv { chan: self.chan_from_rank(*src) };
                 }
                 Op::OrdFinish { spec } => {
-                    let spec = spec.clone();
                     let contribs = std::mem::take(&mut self.contribs);
-                    self.scratch = ordered_sum(contribs, spec.n_bins, spec.method);
+                    let v = ordered_sum(contribs, spec.n_bins, spec.method);
+                    self.pool.put(std::mem::replace(&mut self.scratch, v));
                 }
                 Op::OrdSendResult { dst } => {
-                    let dst = *dst;
+                    let mut buf = self.pool.take(self.scratch.len());
+                    buf.extend_from_slice(&self.scratch);
                     return Effect::Send {
-                        chan: self.chan_to_rank(dst),
-                        msg: MeshMsg::Vec(self.scratch.clone()),
+                        chan: self.chan_to_rank(*dst),
+                        msg: MeshMsg::Vec(buf),
                     };
                 }
                 Op::OrdRecvResult { src } => {
-                    let src = *src;
                     self.pending = Some(PendingRecv::Result);
-                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                    return Effect::Recv { chan: self.chan_from_rank(*src) };
                 }
                 Op::OrdInject { spec } => {
-                    let spec = spec.clone();
                     (spec.inject)(&self.env, &mut self.local, &self.scratch);
                 }
                 Op::BcastGet { spec } => {
-                    let spec = spec.clone();
-                    self.scratch = (spec.get)(&self.env, &self.local);
+                    let v = (spec.get)(&self.env, &self.local);
+                    self.pool.put(std::mem::replace(&mut self.scratch, v));
                 }
                 Op::BcastSend { dst } => {
-                    let dst = *dst;
+                    let mut buf = self.pool.take(self.scratch.len());
+                    buf.extend_from_slice(&self.scratch);
                     return Effect::Send {
-                        chan: self.chan_to_rank(dst),
-                        msg: MeshMsg::Vec(self.scratch.clone()),
+                        chan: self.chan_to_rank(*dst),
+                        msg: MeshMsg::Vec(buf),
                     };
                 }
                 Op::BcastRecv { root } => {
-                    let root = *root;
                     self.pending = Some(PendingRecv::Bcast);
-                    return Effect::Recv { chan: self.chan_from_rank(root) };
+                    return Effect::Recv { chan: self.chan_from_rank(*root) };
                 }
                 Op::BcastSet { spec } => {
-                    let spec = spec.clone();
                     (spec.set)(&self.env, &mut self.local, &self.scratch);
                 }
                 Op::GatherSend { spec, dst } => {
-                    let (spec, dst) = (spec.clone(), *dst);
-                    let data = (spec.field)(&mut self.local).interior_to_vec();
-                    return Effect::Send { chan: self.chan_to_rank(dst), msg: MeshMsg::Block(data) };
+                    let field = (spec.field)(&mut self.local);
+                    let n = field.interior_len();
+                    let mut buf = self.pool.take(n);
+                    field.interior_append_to(&mut buf);
+                    return Effect::Send {
+                        chan: self.chan_to_rank(*dst),
+                        msg: MeshMsg::Block(buf),
+                    };
                 }
                 Op::GatherInit { spec } => {
-                    let spec = spec.clone();
                     let n = self.env.pg.n;
                     self.global = Some(Grid3::new(n.0, n.1, n.2, 0));
                     // A separate host owns no block; a grid rank doubling
                     // as host inserts its own section first.
                     if !self.env.is_host() {
-                        let own = (spec.field)(&mut self.local).interior_to_vec();
+                        let mut own = self.pool.take(0);
+                        (spec.field)(&mut self.local).interior_append_to(&mut own);
                         let rank = self.env.rank;
-                        if let Err(error) = self.insert_block(rank, &own) {
+                        let res = self.insert_block(rank, &own);
+                        self.pool.put(own);
+                        if let Err(error) = res {
                             return Effect::Fault { error };
                         }
                     }
                 }
                 Op::GatherRecvBlock { src } => {
-                    let src = *src;
-                    self.pending = Some(PendingRecv::GatherBlock { src });
-                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                    self.pending = Some(PendingRecv::GatherBlock { src: *src });
+                    return Effect::Recv { chan: self.chan_from_rank(*src) };
                 }
                 Op::GatherFinish { spec } => {
-                    let spec = spec.clone();
                     let global = self.global.take().expect("gather in progress");
                     (spec.sink)(&mut self.local, &global);
                 }
                 Op::ScatterInit { spec } => {
-                    let spec = spec.clone();
                     let g = (spec.source)(&self.local);
                     assert_eq!(g.extent(), self.env.pg.n, "scatter source must be global");
                     self.global = Some(g);
                 }
                 Op::ScatterSendBlock { dst } => {
                     let dst = *dst;
-                    let data = self.block_of_global(dst);
-                    return Effect::Send { chan: self.chan_to_rank(dst), msg: MeshMsg::Block(data) };
+                    let mut buf = self.pool.take(self.env.pg.block(dst).len());
+                    self.block_of_global_into(dst, &mut buf);
+                    return Effect::Send {
+                        chan: self.chan_to_rank(dst),
+                        msg: MeshMsg::Block(buf),
+                    };
                 }
                 Op::ScatterSelf { spec } => {
-                    let spec = spec.clone();
                     // A separate host keeps nothing for itself.
                     if !self.env.is_host() {
                         let rank = self.env.rank;
-                        let data = self.block_of_global(rank);
+                        let mut buf = self.pool.take(self.env.pg.block(rank).len());
+                        self.block_of_global_into(rank, &mut buf);
                         let field = (spec.field)(&mut self.local);
-                        field.interior_from_slice(&data);
+                        field.interior_from_slice(&buf);
+                        self.pool.put(buf);
                     }
                     self.global = None;
                 }
-                Op::ScatterRecvBlock { spec, src } => {
-                    let (spec, src) = (spec.clone(), *src);
-                    self.pending = Some(PendingRecv::ScatterBlock { spec });
-                    return Effect::Recv { chan: self.chan_from_rank(src) };
+                Op::ScatterRecvBlock { src, .. } => {
+                    self.pending = Some(PendingRecv::ScatterBlock { op: pc });
+                    return Effect::Recv { chan: self.chan_from_rank(*src) };
                 }
                 Op::LoopStart { count, exit } => {
                     if *count == 0 {
@@ -590,9 +611,8 @@ impl<L: MeshLocal> MsgProcess<L> {
                 }
                 Op::WhileStart { max_iters } => self.while_stack.push(*max_iters),
                 Op::CondJump { pred, when, target } => {
-                    let (when, target) = (*when, *target);
-                    if pred(&self.local) == when {
-                        self.pc = target;
+                    if pred(&self.local) == *when {
+                        self.pc = *target;
                     }
                 }
                 Op::WhileEnd { check } => {
@@ -630,7 +650,11 @@ impl<L: MeshLocal> Process for MsgProcess<L> {
                 }
             };
             match (pending, msg) {
-                (PendingRecv::Face { spec, link }, MeshMsg::Halo(payload)) => {
+                (PendingRecv::Face { op, link }, MeshMsg::Halo(payload)) => {
+                    let ops = Arc::clone(&self.ops);
+                    let Op::RecvFace { spec, .. } = &ops[op] else {
+                        unreachable!("Face pending always points at its RecvFace op")
+                    };
                     // `link.face` is *this* rank's face toward the sender:
                     // the ghost slab to fill. (The sender extracted from the
                     // opposite face of its own section.) A wrong-sized slab
@@ -649,23 +673,37 @@ impl<L: MeshLocal> Process for MsgProcess<L> {
                             },
                         };
                     }
+                    self.pool.put(payload);
                 }
                 (PendingRecv::Combine { op }, MeshMsg::Vec(partial)) => {
                     op.combine_vec(&mut self.scratch, &partial);
+                    self.pool.put(partial);
                 }
-                (PendingRecv::Replace, MeshMsg::Vec(result)) => self.scratch = result,
+                (PendingRecv::Replace, MeshMsg::Vec(result)) => {
+                    self.pool.put(std::mem::replace(&mut self.scratch, result));
+                }
                 (PendingRecv::Contribs, MeshMsg::Contribs(mut c)) => {
                     self.contribs.append(&mut c);
                 }
-                (PendingRecv::Result, MeshMsg::Vec(result)) => self.scratch = result,
-                (PendingRecv::Bcast, MeshMsg::Vec(payload)) => self.scratch = payload,
+                (PendingRecv::Result, MeshMsg::Vec(result)) => {
+                    self.pool.put(std::mem::replace(&mut self.scratch, result));
+                }
+                (PendingRecv::Bcast, MeshMsg::Vec(payload)) => {
+                    self.pool.put(std::mem::replace(&mut self.scratch, payload));
+                }
                 (PendingRecv::GatherBlock { src }, MeshMsg::Block(data)) => {
                     if let Err(error) = self.insert_block(src, &data) {
                         return Effect::Fault { error };
                     }
+                    self.pool.put(data);
                 }
-                (PendingRecv::ScatterBlock { spec }, MeshMsg::Block(data)) => {
+                (PendingRecv::ScatterBlock { op }, MeshMsg::Block(data)) => {
+                    let ops = Arc::clone(&self.ops);
+                    let Op::ScatterRecvBlock { spec, .. } = &ops[op] else {
+                        unreachable!("ScatterBlock pending always points at its op")
+                    };
                     (spec.field)(&mut self.local).interior_from_slice(&data);
+                    self.pool.put(data);
                 }
                 (pending, other) => {
                     return Effect::Fault {
@@ -742,7 +780,7 @@ pub fn build_msg_processes_hosted<L: MeshLocal>(
             MsgProcess {
                 env,
                 local: init(&env),
-                ops,
+                ops: ops.into(),
                 pc: 0,
                 chan_to,
                 chan_from,
@@ -751,6 +789,7 @@ pub fn build_msg_processes_hosted<L: MeshLocal>(
                 global: None,
                 loop_stack: Vec::new(),
                 while_stack: Vec::new(),
+                pool: BufPool::new(),
                 pending: None,
             }
         })
@@ -980,6 +1019,64 @@ mod tests {
                 assert!(detail.contains("no receive pending"), "{detail}");
             }
             other => panic!("expected a protocol fault, got {other:?}"),
+        }
+    }
+
+    /// End-to-end buffer-pool discipline: after the first exchange round
+    /// warms the pool, every later halo send reuses a buffer recycled from
+    /// a received payload instead of allocating a fresh one.
+    #[test]
+    fn received_halo_buffers_are_recycled_into_the_pool() {
+        let pg = meshgrid::ProcGrid3::new((4, 4, 4), (2, 1, 1));
+        let plan = Plan::builder()
+            .loop_n(3, |b| b.exchange("halo", |l: &mut One| &mut l.u))
+            .build();
+        let init = init_fn();
+        let (topo, mut procs) = build_msg_processes(&plan, pg, &init);
+
+        // A minimal hand-rolled fair scheduler, so the processes stay in
+        // our hands and their pools are inspectable after the run.
+        let mut queues: Vec<std::collections::VecDeque<MeshMsg>> =
+            (0..topo.n_channels()).map(|_| Default::default()).collect();
+        let mut pending: Vec<Option<ChannelId>> = vec![None; procs.len()];
+        let mut halted = vec![false; procs.len()];
+        while halted.iter().any(|h| !h) {
+            let mut progressed = false;
+            for p in 0..procs.len() {
+                if halted[p] {
+                    continue;
+                }
+                let delivery = match pending[p] {
+                    Some(c) => match queues[c.0].pop_front() {
+                        Some(m) => {
+                            pending[p] = None;
+                            Some(m)
+                        }
+                        None => continue,
+                    },
+                    None => None,
+                };
+                match procs[p].resume(delivery) {
+                    Effect::Send { chan, msg } => queues[chan.0].push_back(msg),
+                    Effect::Recv { chan } => pending[p] = Some(chan),
+                    Effect::Halt => halted[p] = true,
+                    Effect::Fault { error } => panic!("unexpected fault: {error}"),
+                    Effect::Compute { .. } => {}
+                }
+                progressed = true;
+            }
+            assert!(progressed, "hand-rolled scheduler wedged");
+        }
+
+        for (rank, p) in procs.iter().enumerate() {
+            assert!(
+                p.pool.misses > 0,
+                "rank {rank} never allocated (no traffic reached it?)"
+            );
+            assert!(
+                p.pool.hits > 0,
+                "rank {rank} never recycled a received buffer into a later send"
+            );
         }
     }
 

@@ -119,7 +119,15 @@ impl<T: Copy + Default> Grid3<T> {
     /// Copy the interior cells into a flat vector in lexicographic order
     /// (used by reductions, snapshots and the host I/O path).
     pub fn interior_to_vec(&self) -> Vec<T> {
-        let mut out = Vec::with_capacity(self.interior_len());
+        let mut out = Vec::new();
+        self.interior_append_to(&mut out);
+        out
+    }
+
+    /// [`Grid3::interior_to_vec`] appending into a caller-supplied buffer,
+    /// so gather payloads can reuse a recycled allocation.
+    pub fn interior_append_to(&self, out: &mut Vec<T>) {
+        out.reserve(self.interior_len());
         for i in 0..self.nx as isize {
             for j in 0..self.ny as isize {
                 for k in 0..self.nz as isize {
@@ -127,7 +135,6 @@ impl<T: Copy + Default> Grid3<T> {
                 }
             }
         }
-        out
     }
 
     /// Overwrite the interior from a flat lexicographic vector.

@@ -130,8 +130,17 @@ pub fn slab_len3(extent: (usize, usize, usize), width: usize, face: Face3) -> us
 /// Extract the interior boundary slab adjacent to `face` (depth = the grid's
 /// ghost width) as a flat payload in lexicographic order.
 pub fn extract_face3(g: &Grid3<f64>, face: Face3) -> Vec<f64> {
+    let mut out = Vec::new();
+    extract_face3_into(g, face, &mut out);
+    out
+}
+
+/// [`extract_face3`] packing into a caller-supplied buffer (appended; same
+/// lexicographic order), so a recycled buffer can carry the slab without a
+/// fresh allocation per exchange.
+pub fn extract_face3_into(g: &Grid3<f64>, face: Face3, out: &mut Vec<f64>) {
     let r = slab_ranges3(g.extent(), g.ghost(), face, true);
-    let mut out = Vec::with_capacity(slab_len3(g.extent(), g.ghost(), face));
+    out.reserve(slab_len3(g.extent(), g.ghost(), face));
     for i in r[0].0..r[0].1 {
         for j in r[1].0..r[1].1 {
             for k in r[2].0..r[2].1 {
@@ -139,7 +148,6 @@ pub fn extract_face3(g: &Grid3<f64>, face: Face3) -> Vec<f64> {
             }
         }
     }
-    out
 }
 
 /// Insert a payload (produced by the *neighbour's* [`extract_face3`] on the

@@ -22,9 +22,10 @@
 //!   run the same process collection under many different policies and compare
 //!   the final state snapshots.
 //! * [`threaded::run_threaded`] — a real OS-thread runner in which each
-//!   process executes on its own thread and receives block on a condition
-//!   variable, corresponding to the parallel program the paper ultimately
-//!   produces.
+//!   process executes on its own thread and channels are lock-free SPSC
+//!   rings ([`spsc::SpscRing`]; blocking only on the empty/full edges via
+//!   park/unpark), corresponding to the parallel program the paper
+//!   ultimately produces.
 //!
 //! Processes are written once, as implementations of [`proc::Process`], and
 //! run unchanged on either runner. A process is a resumable state machine:
@@ -53,10 +54,12 @@ pub mod fault;
 pub mod json;
 pub mod observer;
 pub mod policy;
+pub mod pool;
 pub mod proc;
 pub mod recover;
 pub mod rng;
 pub mod sim;
+pub mod spsc;
 pub mod threaded;
 pub mod trace;
 pub mod waitgraph;
@@ -69,7 +72,9 @@ pub use observer::{NoopObserver, RecordingObserver, StepEvent, StepObserver, Tee
 pub use policy::{
     Adversary, AdversarialPolicy, FixedSchedule, RandomPolicy, RoundRobin, SchedulePolicy,
 };
+pub use pool::BufPool;
 pub use proc::{Effect, ProcId, Process};
+pub use spsc::{ParkSlot, SpscRing};
 pub use recover::{
     replay_checkpoint, run_recovering, run_recovering_observed, run_threaded_recovering,
     Checkpoint, RecoveryConfig, RecoveryOutcome, RecoveryStats,

@@ -1,0 +1,150 @@
+//! Per-process buffer pools: recycle message payloads instead of
+//! allocating a fresh `Vec` per exchange.
+//!
+//! The ownership discipline (DESIGN.md §10) is take-on-send /
+//! put-on-receive: a process *takes* a buffer from its pool, packs the
+//! outgoing payload directly into it, and sends — ownership of the buffer
+//! moves through the channel with the message. The receiver consumes the
+//! payload and *puts* the spent buffer into **its own** pool. In the
+//! symmetric exchanges of the mesh archetype (every send on link `l` is
+//! matched by a receive on `l`'s twin) the pools balance: after warm-up,
+//! steady-state iteration allocates nothing.
+//!
+//! Because a channel has exactly one writer and one reader, a buffer is
+//! owned by exactly one process at every instant — the pool itself needs
+//! no synchronization and lives as a plain field of the process state.
+
+/// A recycling pool of `Vec<T>` buffers.
+///
+/// `Clone` produces an **empty** pool: a pool is a cache, not state, so a
+/// cloned process (checkpointing, restarts) starts cold and re-warms in one
+/// round of exchanges. This keeps `#[derive(Clone)]` on process structs
+/// working without duplicating cached capacity.
+#[derive(Debug)]
+pub struct BufPool<T> {
+    free: Vec<Vec<T>>,
+    /// Retention cap: `put` beyond this many free buffers drops the buffer
+    /// instead, bounding worst-case memory held by an idle process.
+    max_retained: usize,
+    /// Number of `take` calls served from the free list.
+    pub hits: u64,
+    /// Number of `take` calls that had to allocate.
+    pub misses: u64,
+}
+
+/// Default retention cap: comfortably above the number of in-flight
+/// buffers any one mesh process needs (6 faces × slack + collectives).
+const DEFAULT_MAX_RETAINED: usize = 32;
+
+impl<T> BufPool<T> {
+    /// An empty pool with the default retention cap.
+    pub fn new() -> Self {
+        BufPool::with_max_retained(DEFAULT_MAX_RETAINED)
+    }
+
+    /// An empty pool retaining at most `max_retained` free buffers.
+    pub fn with_max_retained(max_retained: usize) -> Self {
+        BufPool { free: Vec::new(), max_retained, hits: 0, misses: 0 }
+    }
+
+    /// Take a cleared buffer with capacity at least `cap`, recycling a
+    /// pooled one when possible (first fit by capacity; falls back to the
+    /// largest available, which `Vec` will grow in place if needed).
+    pub fn take(&mut self, cap: usize) -> Vec<T> {
+        if let Some(i) = self.free.iter().position(|b| b.capacity() >= cap) {
+            self.hits += 1;
+            let mut b = self.free.swap_remove(i);
+            b.clear();
+            b.reserve(cap.saturating_sub(b.capacity()));
+            b
+        } else if let Some(mut b) = self.free.pop() {
+            self.hits += 1;
+            b.clear();
+            b.reserve(cap);
+            b
+        } else {
+            self.misses += 1;
+            Vec::with_capacity(cap)
+        }
+    }
+
+    /// Return a spent buffer to the pool (its contents are discarded).
+    /// Buffers beyond the retention cap are dropped.
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        if self.free.len() < self.max_retained && buf.capacity() > 0 {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of free buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl<T> Default for BufPool<T> {
+    fn default() -> Self {
+        BufPool::new()
+    }
+}
+
+impl<T> Clone for BufPool<T> {
+    fn clone(&self) -> Self {
+        // A pool is a cache: clones start cold (see type docs).
+        BufPool::with_max_retained(self.max_retained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_a_put_buffer() {
+        let mut pool: BufPool<f64> = BufPool::new();
+        let mut a = pool.take(16);
+        assert_eq!(pool.misses, 1);
+        a.extend([1.0; 16]);
+        let ptr = a.as_ptr();
+        pool.put(a);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.take(10);
+        assert_eq!(pool.hits, 1, "second take is served from the pool");
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+        assert!(b.capacity() >= 16);
+        assert_eq!(b.as_ptr(), ptr, "same allocation, no new heap memory");
+    }
+
+    #[test]
+    fn undersized_buffers_are_grown_not_leaked() {
+        let mut pool: BufPool<u8> = BufPool::new();
+        pool.put(Vec::with_capacity(4));
+        let b = pool.take(64);
+        assert!(b.capacity() >= 64);
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(pool.hits, 1);
+    }
+
+    #[test]
+    fn retention_cap_bounds_pooled_memory() {
+        let mut pool: BufPool<u8> = BufPool::with_max_retained(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.pooled(), 2);
+        // Zero-capacity buffers are not worth retaining.
+        pool.put(Vec::new());
+        assert_eq!(pool.pooled(), 2);
+    }
+
+    #[test]
+    fn clone_is_cold() {
+        let mut pool: BufPool<f64> = BufPool::with_max_retained(7);
+        pool.put(Vec::with_capacity(8));
+        let clone = pool.clone();
+        assert_eq!(clone.pooled(), 0);
+        assert_eq!(clone.max_retained, 7);
+        assert_eq!(pool.pooled(), 1, "original keeps its cache");
+    }
+}

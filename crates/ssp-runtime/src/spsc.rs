@@ -1,0 +1,577 @@
+//! Lock-free single-producer single-consumer channels: the threaded
+//! runner's fast path.
+//!
+//! Theorem 1's premise is exactly *single-reader single-writer* channels
+//! (§3.2): every channel in a [`crate::chan::Topology`] has one declared
+//! writer and one declared reader, statically checked before every send and
+//! receive. That restriction is what lets the threaded backend drop the
+//! `Mutex`/`Condvar` pair per channel entirely: a SPSC FIFO needs no lock,
+//! only one release/acquire pair per transfer.
+//!
+//! Two queue shapes live here, unified behind [`SpscRing`]:
+//!
+//! - **bounded** (`capacity = Some(k)`, the bounded-slack model): a
+//!   fixed-size ring buffer. Head and tail are monotonically increasing
+//!   counters; `index = count % capacity`. The producer caches the head and
+//!   refreshes it only when the ring looks full, the consumer caches the
+//!   tail and refreshes it only when the ring looks empty, so in steady
+//!   state each side touches only its own cache line plus the slot.
+//! - **unbounded** (`capacity = None`, the paper's infinite-slack model): a
+//!   linked list of fixed-size segments. The producer appends segments as
+//!   it outruns the consumer; the consumer frees them as it drains. Pushes
+//!   never fail, preserving the "sends never block" semantics the paper's
+//!   model (and [`crate::sim::Simulator`]) gives unbounded channels.
+//!
+//! The memory-ordering argument (DESIGN.md §10): the producer writes the
+//! slot, *then* stores the new tail with `Release`; the consumer loads the
+//! tail with `Acquire`, so the slot write happens-before the consumer's
+//! read. Symmetrically the consumer's `Release` store of head after reading
+//! a slot happens-before the producer's `Acquire` reload when it re-checks
+//! fullness, so a slot is never overwritten while still being read. No
+//! other synchronization is required *because* there is exactly one
+//! producer and one consumer — the SRSW restriction is doing real work.
+//!
+//! Blocking (only on the empty/full edges) is park/unpark via [`ParkSlot`],
+//! not a condvar: each side registers its [`std::thread::Thread`] handle
+//! once, advertises that it is about to park with an atomic flag, re-checks
+//! the queue, and parks with a timeout. The peer, after every transfer,
+//! wakes the other side only if the flag is set — a single relaxed load in
+//! the common (nobody-parked) case. The unpark token makes the
+//! publish-flag / re-check / park dance race-free: an unpark delivered
+//! between the re-check and the park makes the park return immediately.
+//!
+//! # Safety contract
+//!
+//! [`SpscRing::try_push`] must only ever be called from one thread at a
+//! time, and [`SpscRing::try_pop`] from one thread at a time (they may be
+//! different threads, and may change over the ring's lifetime as long as a
+//! happens-before edge separates the handover). The threaded runner
+//! upholds this by checking [`crate::chan::Topology::check_writer`] /
+//! `check_reader` before every operation: the declared endpoints are the
+//! only threads that touch a ring.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread::Thread;
+use std::time::Duration;
+
+/// Pads and aligns a value to 128 bytes so producer- and consumer-owned
+/// state never share a cache line (two lines: some CPUs prefetch pairs).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// Segment length of the unbounded queue: long enough to amortize the
+/// per-segment allocation over many pushes, short enough that a mostly
+/// drained channel does not pin much memory.
+const SEG_SLOTS: usize = 64;
+
+fn slot_array<T>(n: usize) -> Box<[UnsafeCell<MaybeUninit<T>>]> {
+    (0..n).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect()
+}
+
+/// Fixed-capacity ring. Counters grow monotonically; `count % cap` indexes.
+struct Bounded<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    /// Total messages popped (consumer-advanced, `Release` on store).
+    head: CachePadded<AtomicUsize>,
+    /// Total messages pushed (producer-advanced, `Release` on store).
+    tail: CachePadded<AtomicUsize>,
+    /// Producer's stale copy of `head` (producer-only).
+    head_cache: CachePadded<UnsafeCell<usize>>,
+    /// Consumer's stale copy of `tail` (consumer-only).
+    tail_cache: CachePadded<UnsafeCell<usize>>,
+}
+
+impl<T> Bounded<T> {
+    fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "bounded SPSC ring needs capacity >= 1");
+        Bounded {
+            slots: slot_array(cap),
+            cap,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            head_cache: CachePadded(UnsafeCell::new(0)),
+            tail_cache: CachePadded(UnsafeCell::new(0)),
+        }
+    }
+
+    /// Producer-only. On success returns the queue depth right after the
+    /// push *as the producer sees it* (an upper bound on the instantaneous
+    /// depth, never above `cap`) for high-water accounting.
+    fn try_push(&self, v: T) -> Result<usize, T> {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        // SAFETY: single producer — only this thread touches head_cache.
+        let head_cache = unsafe { &mut *self.head_cache.0.get() };
+        if tail - *head_cache >= self.cap {
+            *head_cache = self.head.0.load(Ordering::Acquire);
+            if tail - *head_cache >= self.cap {
+                return Err(v);
+            }
+        }
+        // SAFETY: the slot at `tail` is vacant: the consumer has popped
+        // everything below `head >= *head_cache > tail - cap`, and the
+        // Acquire reload above orders its last read before this write.
+        unsafe { (*self.slots[tail % self.cap].get()).write(v) };
+        self.tail.0.store(tail + 1, Ordering::Release);
+        Ok(tail + 1 - *head_cache)
+    }
+
+    /// Consumer-only.
+    fn try_pop(&self) -> Option<T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        // SAFETY: single consumer — only this thread touches tail_cache.
+        let tail_cache = unsafe { &mut *self.tail_cache.0.get() };
+        if head == *tail_cache {
+            *tail_cache = self.tail.0.load(Ordering::Acquire);
+            if head == *tail_cache {
+                return None;
+            }
+        }
+        // SAFETY: head < tail, and the Acquire load of tail ordered the
+        // producer's slot write before this read.
+        let v = unsafe { (*self.slots[head % self.cap].get()).assume_init_read() };
+        self.head.0.store(head + 1, Ordering::Release);
+        Some(v)
+    }
+}
+
+impl<T> Drop for Bounded<T> {
+    fn drop(&mut self) {
+        // &mut self: no concurrent access; drop whatever is still queued.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        for pos in head..tail {
+            // SAFETY: positions in [head, tail) hold initialized values.
+            unsafe { (*self.slots[pos % self.cap].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// One segment of the unbounded queue.
+struct Seg<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    next: AtomicPtr<Seg<T>>,
+}
+
+impl<T> Seg<T> {
+    fn alloc() -> *mut Seg<T> {
+        Box::into_raw(Box::new(Seg {
+            slots: slot_array(SEG_SLOTS),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }))
+    }
+}
+
+/// A side's position in the segment list (owned by exactly one thread).
+struct Cursor<T> {
+    seg: *mut Seg<T>,
+    idx: usize,
+    /// Consumer: stale copy of `tail`. Producer: unused.
+    cache: usize,
+}
+
+/// Growable segmented queue: pushes always succeed.
+struct Unbounded<T> {
+    /// Total popped (consumer-advanced).
+    head: CachePadded<AtomicUsize>,
+    /// Total pushed (producer-advanced).
+    tail: CachePadded<AtomicUsize>,
+    /// Producer-only cursor.
+    prod: CachePadded<UnsafeCell<Cursor<T>>>,
+    /// Consumer-only cursor.
+    cons: CachePadded<UnsafeCell<Cursor<T>>>,
+}
+
+impl<T> Unbounded<T> {
+    fn new() -> Self {
+        let first = Seg::alloc();
+        Unbounded {
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            prod: CachePadded(UnsafeCell::new(Cursor { seg: first, idx: 0, cache: 0 })),
+            cons: CachePadded(UnsafeCell::new(Cursor { seg: first, idx: 0, cache: 0 })),
+        }
+    }
+
+    /// Producer-only. Returns the approximate depth after the push.
+    fn push(&self, v: T) -> usize {
+        // SAFETY: single producer — only this thread touches prod.
+        let p = unsafe { &mut *self.prod.0.get() };
+        if p.idx == SEG_SLOTS {
+            let fresh = Seg::alloc();
+            // Publish the new segment *before* the tail count that makes
+            // its first slot visible (both Release; see try_pop).
+            // SAFETY: p.seg is the live tail segment, owned by the producer.
+            unsafe { (*p.seg).next.store(fresh, Ordering::Release) };
+            p.seg = fresh;
+            p.idx = 0;
+        }
+        // SAFETY: slots at idx >= the published tail within this segment
+        // have never been visible to the consumer.
+        unsafe { (*(*p.seg).slots[p.idx].get()).write(v) };
+        p.idx += 1;
+        let tail = self.tail.0.load(Ordering::Relaxed) + 1;
+        self.tail.0.store(tail, Ordering::Release);
+        tail.saturating_sub(self.head.0.load(Ordering::Relaxed))
+    }
+
+    /// Consumer-only.
+    fn try_pop(&self) -> Option<T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        // SAFETY: single consumer — only this thread touches cons.
+        let c = unsafe { &mut *self.cons.0.get() };
+        if head == c.cache {
+            c.cache = self.tail.0.load(Ordering::Acquire);
+            if head == c.cache {
+                return None;
+            }
+        }
+        if c.idx == SEG_SLOTS {
+            // head < tail and the current segment is exhausted, so the
+            // producer has linked a successor: its `next` store is
+            // sequenced before the tail store our Acquire load observed.
+            // SAFETY: c.seg is the live head segment, owned by the consumer.
+            let next = unsafe { (*c.seg).next.load(Ordering::Acquire) };
+            debug_assert!(!next.is_null(), "tail count covers the next segment");
+            // SAFETY: every slot of the old segment has been consumed and
+            // the producer moved on long ago; no other reference remains.
+            unsafe { drop(Box::from_raw(c.seg)) };
+            c.seg = next;
+            c.idx = 0;
+        }
+        // SAFETY: the Acquire load of tail ordered the slot write (and any
+        // segment link) before this read.
+        let v = unsafe { (*(*c.seg).slots[c.idx].get()).assume_init_read() };
+        c.idx += 1;
+        self.head.0.store(head + 1, Ordering::Release);
+        Some(v)
+    }
+}
+
+impl<T> Drop for Unbounded<T> {
+    fn drop(&mut self) {
+        // &mut self: drain queued values, then free the segment chain.
+        while self.try_pop().is_some() {}
+        let c = unsafe { &mut *self.cons.0.get() };
+        let mut seg = c.seg;
+        while !seg.is_null() {
+            // SAFETY: segments from the consumer cursor onward are only
+            // reachable here; their remaining slots are uninitialized
+            // (everything initialized was drained above).
+            let boxed = unsafe { Box::from_raw(seg) };
+            seg = boxed.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+enum Inner<T> {
+    Bounded(Bounded<T>),
+    Unbounded(Unbounded<T>),
+}
+
+/// A lock-free SPSC queue with (optionally bounded) slack — the threaded
+/// runner's channel representation. See the module docs for the safety
+/// contract (one pushing thread, one popping thread).
+pub struct SpscRing<T> {
+    inner: Inner<T>,
+}
+
+// SAFETY: values of T cross from the producer thread to the consumer
+// thread (so T: Send); all shared mutable state is either atomic or
+// confined to exactly one side per the SPSC contract.
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// A ring with the given slack bound (`None` = infinite slack: pushes
+    /// never fail).
+    pub fn new(capacity: Option<usize>) -> Self {
+        SpscRing {
+            inner: match capacity {
+                Some(cap) => Inner::Bounded(Bounded::new(cap)),
+                None => Inner::Unbounded(Unbounded::new()),
+            },
+        }
+    }
+
+    /// Producer-only. `Err(v)` returns the value when a bounded ring is
+    /// full; `Ok(depth)` reports the producer-observed depth after the push
+    /// (an upper bound on the instantaneous depth, and never above the
+    /// capacity of a bounded ring) for high-water accounting.
+    pub fn try_push(&self, v: T) -> Result<usize, T> {
+        match &self.inner {
+            Inner::Bounded(b) => b.try_push(v),
+            Inner::Unbounded(u) => Ok(u.push(v)),
+        }
+    }
+
+    /// Consumer-only.
+    pub fn try_pop(&self) -> Option<T> {
+        match &self.inner {
+            Inner::Bounded(b) => b.try_pop(),
+            Inner::Unbounded(u) => u.try_pop(),
+        }
+    }
+
+    /// The slack bound this ring was built with.
+    pub fn capacity(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Bounded(b) => Some(b.cap),
+            Inner::Unbounded(_) => None,
+        }
+    }
+
+    /// Number of queued messages (racy snapshot; exact when either side is
+    /// quiescent).
+    pub fn len(&self) -> usize {
+        let (head, tail) = match &self.inner {
+            Inner::Bounded(b) => (&b.head.0, &b.tail.0),
+            Inner::Unbounded(u) => (&u.head.0, &u.tail.0),
+        };
+        tail.load(Ordering::Acquire).saturating_sub(head.load(Ordering::Acquire))
+    }
+
+    /// True when no message is queued (racy snapshot, like [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One side's parking state: a "somebody may need to wake me" flag plus the
+/// registered thread handle. The flag keeps the peer's steady-state cost at
+/// one relaxed load; the unpark token makes the publish/re-check/park
+/// sequence immune to lost wakeups.
+#[derive(Default)]
+pub struct ParkSlot {
+    parked: AtomicBool,
+    thread: OnceLock<Thread>,
+}
+
+impl ParkSlot {
+    /// A slot with no registered thread (wakes are no-ops until
+    /// [`ParkSlot::register`]).
+    pub fn new() -> Self {
+        ParkSlot::default()
+    }
+
+    /// Bind this slot to the calling thread. Call once, from the side that
+    /// will park on it.
+    pub fn register(&self) {
+        let _ = self.thread.set(std::thread::current());
+    }
+
+    /// Announce the intent to park. Must be followed by a re-check of the
+    /// wait condition before [`ParkSlot::park`].
+    pub fn prepare_park(&self) {
+        self.parked.store(true, Ordering::SeqCst);
+    }
+
+    /// Withdraw the announcement (the re-check found work).
+    pub fn cancel_park(&self) {
+        self.parked.store(false, Ordering::Relaxed);
+    }
+
+    /// Park the calling thread for at most `timeout` and clear the flag.
+    /// May return early or spuriously; callers loop on their condition.
+    pub fn park(&self, timeout: Duration) {
+        std::thread::park_timeout(timeout);
+        self.parked.store(false, Ordering::Relaxed);
+    }
+
+    /// Wake the slot's thread if (and only if) it announced a park. Called
+    /// by the peer after every transfer: a relaxed load when nobody waits.
+    pub fn wake(&self) {
+        if self.parked.load(Ordering::Relaxed) && self.parked.swap(false, Ordering::SeqCst) {
+            if let Some(t) = self.thread.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Unconditionally wake the slot's thread (poison/abort path: blocked
+    /// peers must observe the verdict even if the flag race is lost).
+    pub fn force_wake(&self) {
+        self.parked.store(false, Ordering::SeqCst);
+        if let Some(t) = self.thread.get() {
+            t.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_ring_wraps_around_many_times() {
+        // Capacity 3 (not a power of two: exercises the modulo indexing),
+        // pushed/popped far past the counter's first few wraps.
+        let ring = SpscRing::new(Some(3));
+        assert_eq!(ring.capacity(), Some(3));
+        let mut popped = Vec::new();
+        let mut next = 0u64;
+        for _ in 0..1000 {
+            // Fill to capacity, then drain two, forcing constant wrapping.
+            while let Ok(depth) = ring.try_push(next) {
+                assert!(depth <= 3);
+                next += 1;
+            }
+            assert_eq!(ring.len(), 3);
+            popped.push(ring.try_pop().unwrap());
+            popped.push(ring.try_pop().unwrap());
+        }
+        while let Some(v) = ring.try_pop() {
+            popped.push(v);
+        }
+        assert!(ring.is_empty());
+        let expect: Vec<u64> = (0..next).collect();
+        assert_eq!(popped, expect, "FIFO order across wrap-arounds");
+    }
+
+    #[test]
+    fn bounded_full_rejects_and_returns_the_value() {
+        let ring = SpscRing::new(Some(1));
+        assert!(ring.try_push(7u32).is_ok());
+        assert_eq!(ring.try_push(8), Err(8));
+        assert_eq!(ring.try_pop(), Some(7));
+        assert!(ring.try_push(9).is_ok());
+        assert_eq!(ring.try_pop(), Some(9));
+        assert_eq!(ring.try_pop(), None);
+    }
+
+    #[test]
+    fn unbounded_grows_across_segments_in_order() {
+        let ring = SpscRing::new(None);
+        assert_eq!(ring.capacity(), None);
+        let n = SEG_SLOTS * 5 + 17; // several segment boundaries
+        for i in 0..n {
+            assert_eq!(ring.try_push(i), Ok(i + 1));
+        }
+        assert_eq!(ring.len(), n);
+        for i in 0..n {
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert_eq!(ring.try_pop(), None);
+        // Interleaved push/pop across a boundary.
+        for i in 0..(3 * SEG_SLOTS) {
+            ring.try_push(i).unwrap();
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert!(ring.is_empty());
+    }
+
+    /// Counts drops, to prove queued messages are freed with the ring.
+    struct DropTick(Arc<Counter>);
+    impl Drop for DropTick {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn dropping_a_ring_drops_queued_messages() {
+        let drops = Arc::new(Counter::new(0));
+        for cap in [Some(4), None] {
+            drops.store(0, Ordering::SeqCst);
+            let ring = SpscRing::new(cap);
+            for _ in 0..3 {
+                ring.try_push(DropTick(Arc::clone(&drops))).ok().unwrap();
+            }
+            drop(ring.try_pop()); // one consumed...
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+            drop(ring); // ...two freed with the ring
+            assert_eq!(drops.load(Ordering::SeqCst), 3, "cap {cap:?}");
+        }
+    }
+
+    #[test]
+    fn two_thread_stream_preserves_fifo_and_values() {
+        for cap in [Some(1), Some(4), None] {
+            let ring = Arc::new(SpscRing::new(cap));
+            let n = 20_000u64;
+            let producer = {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..n {
+                        let mut v = i;
+                        loop {
+                            match ring.try_push(v) {
+                                Ok(_) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            };
+            let mut sum = 0u64;
+            let mut got = 0u64;
+            while got < n {
+                match ring.try_pop() {
+                    Some(v) => {
+                        assert_eq!(v, got, "FIFO under concurrency (cap {cap:?})");
+                        sum = sum.wrapping_mul(31).wrapping_add(v);
+                        got += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+            producer.join().unwrap();
+            let mut expect = 0u64;
+            for v in 0..n {
+                expect = expect.wrapping_mul(31).wrapping_add(v);
+            }
+            assert_eq!(sum, expect);
+        }
+    }
+
+    #[test]
+    fn park_slot_wake_only_fires_after_prepare() {
+        let slot = ParkSlot::new();
+        slot.register();
+        // wake() without a prepared park is a no-op (flag stays false)...
+        slot.wake();
+        slot.prepare_park();
+        // ...and with one, consumes the flag.
+        slot.wake();
+        assert!(!slot.parked.load(Ordering::SeqCst));
+        // A pending unpark token makes the next park return immediately
+        // (no timeout wait): this is the lost-wakeup defense.
+        let t0 = std::time::Instant::now();
+        slot.prepare_park();
+        slot.wake(); // token issued before the park
+        slot.park(Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_secs(4), "park consumed the pending token");
+    }
+
+    #[test]
+    fn parked_consumer_is_woken_by_a_push() {
+        let ring: Arc<SpscRing<u64>> = Arc::new(SpscRing::new(Some(2)));
+        let reader = Arc::new(ParkSlot::new());
+        let handle = {
+            let (ring, reader) = (Arc::clone(&ring), Arc::clone(&reader));
+            std::thread::spawn(move || {
+                reader.register();
+                loop {
+                    reader.prepare_park();
+                    if let Some(v) = ring.try_pop() {
+                        reader.cancel_park();
+                        return v;
+                    }
+                    reader.park(Duration::from_secs(10));
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        ring.try_push(42).unwrap();
+        reader.wake();
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+}

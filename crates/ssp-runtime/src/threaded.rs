@@ -17,24 +17,28 @@
 //! deadlocked programs block forever, as before; validate programs under
 //! [`crate::sim::Simulator`] first.
 //!
-//! The runner is built on `std::sync` only (no external lock crates): a
-//! `Mutex`/`Condvar` pair per channel, with bounded-capacity channels
-//! blocking their writer until the reader drains.
+//! Channels are lock-free SPSC rings ([`crate::spsc::SpscRing`]) — the
+//! single-reader single-writer restriction Theorem 1 already demands means
+//! no channel ever has contending senders or receivers, so the hot path is
+//! one release/acquire pair per transfer with no `Mutex` or `Condvar` at
+//! all. Threads park only on the empty/full edges and are unparked by
+//! their peer's next transfer (see `spsc.rs` and DESIGN.md §10). Still
+//! `std::sync` only: no external lock crates.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::chan::{ChannelId, Topology};
 use crate::error::RunError;
 use crate::fault::FaultPlan;
 use crate::proc::{Effect, ProcId, Process};
+use crate::spsc::{ParkSlot, SpscRing};
 use crate::trace::{ProcMetrics, RunMetrics};
 use crate::waitgraph::{self, BlockKind};
 
-/// How long a blocked thread sleeps between re-checks of its wait
-/// condition. Wakes also happen eagerly via notify; this only bounds how
+/// How long a parked thread sleeps between re-checks of its wait
+/// condition. Wakes also happen eagerly via unpark; this only bounds how
 /// stale a poison check can get.
 const WAIT_SLICE: Duration = Duration::from_millis(50);
 
@@ -67,23 +71,19 @@ pub struct ThreadedOutcome {
     pub metrics: RunMetrics,
 }
 
-/// Counters and traffic stats protected by one channel's lock.
-struct ChanState<M> {
-    queue: VecDeque<M>,
-    messages: u64,
-    bytes: u64,
-    max_depth: usize,
-}
-
-/// A single-reader single-writer queue with (optionally bounded) slack.
-struct SharedChan<M> {
+/// A single-reader single-writer channel: a lock-free ring plus park slots
+/// for the two endpoints and relaxed traffic counters (only the writer
+/// bumps `messages`/`bytes`/`max_depth`, so relaxed ordering is exact).
+struct SpscChan<M> {
     id: ChannelId,
-    state: Mutex<ChanState<M>>,
-    /// Signalled when a message is pushed (wakes the reader).
-    nonempty: Condvar,
-    /// Signalled when a message is popped (wakes a bounded-channel writer).
-    nonfull: Condvar,
-    capacity: Option<usize>,
+    ring: SpscRing<M>,
+    /// Parking state of the channel's reader (woken after each push).
+    reader: ParkSlot,
+    /// Parking state of the channel's writer (woken after each pop).
+    writer: ParkSlot,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    max_depth: AtomicUsize,
 }
 
 /// Run-wide coordination shared by every process thread and the watchdog.
@@ -132,87 +132,106 @@ impl Control {
 
     /// Abort the run with `err` (first error wins) and wake every waiter so
     /// blocked threads can observe the poison and exit.
-    fn fail<M>(&self, err: RunError, chans: &[Arc<SharedChan<M>>]) {
+    fn fail<M>(&self, err: RunError, chans: &[Arc<SpscChan<M>>]) {
         self.verdict.lock().unwrap().get_or_insert(err);
         self.poisoned.store(true, Ordering::SeqCst);
         for c in chans {
-            c.nonempty.notify_all();
-            c.nonfull.notify_all();
+            c.reader.force_wake();
+            c.writer.force_wake();
         }
     }
 }
 
-impl<M> SharedChan<M> {
+impl<M> SpscChan<M> {
     fn new(id: ChannelId, capacity: Option<usize>) -> Self {
-        SharedChan {
+        SpscChan {
             id,
-            state: Mutex::new(ChanState {
-                queue: VecDeque::new(),
-                messages: 0,
-                bytes: 0,
-                max_depth: 0,
-            }),
-            nonempty: Condvar::new(),
-            nonfull: Condvar::new(),
-            capacity,
+            ring: SpscRing::new(capacity),
+            reader: ParkSlot::new(),
+            writer: ParkSlot::new(),
+            messages: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            max_depth: AtomicUsize::new(0),
         }
     }
 
-    /// Send, blocking while a bounded channel is full. Returns `false` if
+    /// Send, parking while a bounded channel is full. Returns `false` if
     /// the run was poisoned while waiting (the message is dropped — the run
-    /// is aborting anyway).
+    /// is aborting anyway). Only the declared writer thread may call this.
     fn send(&self, msg: M, bytes: u64, ctl: &Control, pid: ProcId, pm: &mut ProcMetrics) -> bool {
-        let mut st = self.state.lock().unwrap();
-        if let Some(k) = self.capacity {
-            if st.queue.len() >= k {
+        let depth = match self.ring.try_push(msg) {
+            Ok(depth) => depth,
+            Err(mut msg) => {
+                // Full: publish the park intent, re-check, park. The
+                // reader's wake after its next pop cannot be lost (unpark
+                // token), and WAIT_SLICE bounds poison-check staleness.
                 ctl.enter_wait(pid, self.id, BlockKind::Send);
                 pm.blocked_steps += 1;
                 let t0 = Instant::now();
-                while st.queue.len() >= k {
-                    if ctl.is_poisoned() {
-                        pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
-                        ctl.leave_wait(pid);
-                        return false;
+                let depth = loop {
+                    self.writer.prepare_park();
+                    match self.ring.try_push(msg) {
+                        Ok(depth) => {
+                            self.writer.cancel_park();
+                            break Some(depth);
+                        }
+                        Err(back) => msg = back,
                     }
-                    let (guard, _) = self.nonfull.wait_timeout(st, WAIT_SLICE).unwrap();
-                    st = guard;
-                }
+                    if ctl.is_poisoned() {
+                        self.writer.cancel_park();
+                        break None;
+                    }
+                    self.writer.park(WAIT_SLICE);
+                };
                 pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
                 ctl.leave_wait(pid);
+                match depth {
+                    Some(d) => d,
+                    None => return false,
+                }
             }
+        };
+        // Writer-side counters: exact under relaxed ordering (single
+        // writer); `depth` is the producer-observed high-water bound.
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if depth > self.max_depth.load(Ordering::Relaxed) {
+            self.max_depth.store(depth, Ordering::Relaxed);
         }
-        st.queue.push_back(msg);
-        st.messages += 1;
-        st.bytes += bytes;
-        st.max_depth = st.max_depth.max(st.queue.len());
-        self.nonempty.notify_one();
-        ctl.progress.fetch_add(1, Ordering::SeqCst);
+        self.reader.wake();
+        ctl.progress.fetch_add(1, Ordering::Relaxed);
         true
     }
 
-    /// Receive, blocking while the queue is empty. Returns `None` if the
-    /// run was poisoned while waiting.
+    /// Receive, parking while the queue is empty. Returns `None` if the
+    /// run was poisoned while waiting. Only the declared reader thread may
+    /// call this.
     fn recv(&self, ctl: &Control, pid: ProcId, pm: &mut ProcMetrics) -> Option<M> {
-        let mut st = self.state.lock().unwrap();
-        if st.queue.is_empty() {
-            ctl.enter_wait(pid, self.id, BlockKind::Recv);
-            pm.blocked_steps += 1;
-            let t0 = Instant::now();
-            while st.queue.is_empty() {
-                if ctl.is_poisoned() {
-                    pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
-                    ctl.leave_wait(pid);
-                    return None;
-                }
-                let (guard, _) = self.nonempty.wait_timeout(st, WAIT_SLICE).unwrap();
-                st = guard;
+        let msg = match self.ring.try_pop() {
+            Some(m) => m,
+            None => {
+                ctl.enter_wait(pid, self.id, BlockKind::Recv);
+                pm.blocked_steps += 1;
+                let t0 = Instant::now();
+                let msg = loop {
+                    self.reader.prepare_park();
+                    if let Some(m) = self.ring.try_pop() {
+                        self.reader.cancel_park();
+                        break Some(m);
+                    }
+                    if ctl.is_poisoned() {
+                        self.reader.cancel_park();
+                        break None;
+                    }
+                    self.reader.park(WAIT_SLICE);
+                };
+                pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
+                ctl.leave_wait(pid);
+                msg?
             }
-            pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
-            ctl.leave_wait(pid);
-        }
-        let msg = st.queue.pop_front().expect("non-empty after wait");
-        self.nonfull.notify_one();
-        ctl.progress.fetch_add(1, Ordering::SeqCst);
+        };
+        self.writer.wake();
+        ctl.progress.fetch_add(1, Ordering::Relaxed);
         Some(msg)
     }
 }
@@ -223,7 +242,7 @@ impl<M> SharedChan<M> {
 struct ExitGuard<M> {
     pid: ProcId,
     ctl: Arc<Control>,
-    chans: Vec<Arc<SharedChan<M>>>,
+    chans: Vec<Arc<SpscChan<M>>>,
 }
 
 impl<M> Drop for ExitGuard<M> {
@@ -283,11 +302,11 @@ where
     assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
     let faults = Arc::new(faults.clone());
     let n = procs.len();
-    let chans: Vec<Arc<SharedChan<P::Msg>>> = topo
+    let chans: Vec<Arc<SpscChan<P::Msg>>> = topo
         .specs()
         .iter()
         .enumerate()
-        .map(|(i, s)| Arc::new(SharedChan::new(ChannelId(i), s.capacity)))
+        .map(|(i, s)| Arc::new(SpscChan::new(ChannelId(i), s.capacity)))
         .collect();
     let ctl = Arc::new(Control::new(n));
 
@@ -300,6 +319,18 @@ where
         handles.push(std::thread::spawn(
             move || -> Result<(Vec<u8>, ProcMetrics), RunError> {
                 let _guard = ExitGuard { pid, ctl: Arc::clone(&ctl), chans: chans.clone() };
+                // Bind this thread's park slots: it is the sole reader of
+                // its input channels and sole writer of its outputs (the
+                // SRSW declarations in the topology), so registration here
+                // is what makes peer wakes reach the right thread.
+                for (i, spec) in topo.specs().iter().enumerate() {
+                    if spec.reader == pid {
+                        chans[i].reader.register();
+                    }
+                    if spec.writer == pid {
+                        chans[i].writer.register();
+                    }
+                }
                 let mut pm = ProcMetrics::default();
                 let mut delivery: Option<P::Msg> = None;
                 // Per-channel deliveries completed by this thread, for
@@ -437,10 +468,9 @@ where
         return Err(e);
     }
     for (i, c) in chans.iter().enumerate() {
-        let st = c.state.lock().unwrap();
-        metrics.channels[i].messages = st.messages;
-        metrics.channels[i].bytes = st.bytes;
-        metrics.channels[i].max_queue_depth = st.max_depth;
+        metrics.channels[i].messages = c.messages.load(Ordering::Relaxed);
+        metrics.channels[i].bytes = c.bytes.load(Ordering::Relaxed);
+        metrics.channels[i].max_queue_depth = c.max_depth.load(Ordering::Relaxed);
     }
     Ok(ThreadedOutcome { snapshots, metrics })
 }
