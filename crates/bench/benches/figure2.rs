@@ -162,39 +162,83 @@ fn predicted_curves(params: &Arc<Params>) -> Vec<(&'static str, Vec<(usize, DesO
     predictions
 }
 
+/// One measured point of the real threaded execution: rank count, wall
+/// time, and the scheduler configuration that produced it (worker-pool
+/// size and steal count), so the curve is interpretable from the JSON
+/// alone — a near-flat curve with `workers:1` is a one-core host, not a
+/// scheduling bug.
+struct ThreadedPoint {
+    p: usize,
+    wall: f64,
+    workers: usize,
+    steals: u64,
+}
+
 /// Measured wall-clock times of the *real threaded* execution — version A
-/// compiled to message passing and run on OS threads over the lock-free
-/// SPSC rings — at each processor count. This is the series the paper
-/// measures (its Figure 2 "actual" curve), as opposed to the modeled and
-/// predicted series above. Single-machine numbers: on a multi-core host
-/// the wall time falls with P until the cores run out; on a single-core
-/// host the curve is flat-plus-overhead (see EXPERIMENTS.md E11). The
-/// core count is printed and recorded so the JSON is interpretable.
-fn measured_threaded(params: &Arc<Params>) -> Vec<(usize, f64)> {
+/// compiled to message passing and run as rank tasks on the M:N
+/// work-stealing pool over the lock-free SPSC rings — at each rank count.
+/// This is the series the paper measures (its Figure 2 "actual" curve),
+/// as opposed to the modeled and predicted series above. Single-machine
+/// numbers: on a multi-core host the wall time falls with P until the
+/// cores run out; on a single-core host the curve stays near the P=1
+/// wall (graceful oversubscription: rank tasks share one worker instead
+/// of paying per-rank context-switch tax; see EXPERIMENTS.md E12). The
+/// pool shape is printed and recorded so the JSON is interpretable.
+fn measured_threaded(params: &Arc<Params>) -> Vec<ThreadedPoint> {
     let plan = plan_a(params);
     let init = init_a(params.clone());
     let cfg = ssp_runtime::ThreadedConfig::with_watchdog(std::time::Duration::from_secs(60));
     let mut points = Vec::new();
     for &p in &[1usize, 2, 4, 8, 16] {
         let pg = ProcGrid3::choose(params.n, p);
-        let t0 = std::time::Instant::now();
-        let out = mesh_archetype::run_msg_threaded_slack(&plan, pg, &init, None, cfg)
-            .expect("infinite-slack message-passing plans cannot deadlock");
-        let wall = t0.elapsed().as_secs_f64();
-        std::hint::black_box(out.snapshots);
-        points.push((p, wall));
+        // One discarded warmup run (page-in, allocator, branch warmup),
+        // then median of three: single-shot walls on a shared host are
+        // ±20% noisy, which is larger than the effects this series is
+        // meant to show.
+        let mut walls = Vec::new();
+        let mut sched = ssp_runtime::SchedMetrics::default();
+        for rep in 0..4 {
+            let t0 = std::time::Instant::now();
+            let out = mesh_archetype::run_msg_threaded_slack(&plan, pg, &init, None, cfg)
+                .expect("infinite-slack message-passing plans cannot deadlock");
+            let wall = t0.elapsed().as_secs_f64();
+            std::hint::black_box(out.snapshots);
+            if rep > 0 {
+                walls.push(wall);
+                sched = out.metrics.sched;
+            }
+        }
+        walls.sort_by(f64::total_cmp);
+        points.push(ThreadedPoint {
+            p,
+            wall: walls[walls.len() / 2],
+            workers: sched.workers,
+            steals: sched.steals,
+        });
     }
-    let t1 = points[0].1;
+    let t1 = points[0].wall;
     let rows: Vec<Vec<String>> = points
         .iter()
-        .map(|(p, w)| vec![p.to_string(), secs(*w), spd(t1 / w)])
+        .map(|pt| {
+            vec![
+                pt.p.to_string(),
+                secs(pt.wall),
+                spd(t1 / pt.wall),
+                pt.workers.to_string(),
+                pt.steals.to_string(),
+            ]
+        })
         .collect();
     print_table(
-        "measured threaded execution (SPSC rings, this machine)",
-        &["P", "wall (s)", "speedup"],
+        "measured threaded execution (M:N pool on SPSC rings, this machine)",
+        &["P", "wall (s)", "speedup", "workers", "steals"],
         &rows,
     );
-    println!("cores available on this machine: {}", cores());
+    println!(
+        "cores available on this machine: {} (scheduler: {})",
+        cores(),
+        ssp_runtime::sched::SCHED_MODE
+    );
     points
 }
 
@@ -211,7 +255,7 @@ fn write_bench_json(
     machine_name: &str,
     measured: &[RunPoint],
     predictions: &[(&'static str, Vec<(usize, DesOutcome)>)],
-    threaded: &[(usize, f64)],
+    threaded: &[ThreadedPoint],
 ) {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
@@ -234,11 +278,21 @@ fn write_bench_json(
         );
     }
     let _ = write!(s, "],\"threaded_cores\":{},\"threaded\":[", cores());
-    for (i, (p, wall)) in threaded.iter().enumerate() {
+    for (i, pt) in threaded.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
-        let _ = write!(s, "{{\"p\":{p},\"wall\":{wall}}}");
+        // Scheduler config per point: without it a flat curve on a small
+        // host is indistinguishable from a broken scheduler.
+        let _ = write!(
+            s,
+            "{{\"p\":{},\"wall\":{},\"workers\":{},\"sched\":\"{}\",\"steals\":{}}}",
+            pt.p,
+            pt.wall,
+            pt.workers,
+            ssp_runtime::sched::SCHED_MODE,
+            pt.steals
+        );
     }
     s.push_str("],\"predicted\":[");
     for (i, (name, points)) in predictions.iter().enumerate() {

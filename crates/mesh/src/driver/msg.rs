@@ -1068,7 +1068,7 @@ mod tests {
             assert!(progressed, "hand-rolled scheduler wedged");
         }
 
-        for (rank, p) in procs.iter().enumerate() {
+        for (rank, p) in procs.iter_mut().enumerate() {
             assert!(
                 p.pool.misses > 0,
                 "rank {rank} never allocated (no traffic reached it?)"
@@ -1076,6 +1076,23 @@ mod tests {
             assert!(
                 p.pool.hits > 0,
                 "rank {rank} never recycled a received buffer into a later send"
+            );
+            // The retention cap held throughout the run…
+            let cap = p.pool.max_retained();
+            assert!(
+                p.pool.pooled() <= cap,
+                "rank {rank} retains {} free buffers, above the cap of {cap}",
+                p.pool.pooled()
+            );
+            // …and `put` beyond the cap drops rather than hoards: flooding
+            // the pool cannot push it past `max_retained`.
+            for _ in 0..cap + 8 {
+                p.pool.put(vec![0.0; 8]);
+            }
+            assert_eq!(
+                p.pool.pooled(),
+                cap,
+                "rank {rank}: a flooded pool must saturate exactly at its cap"
             );
         }
     }

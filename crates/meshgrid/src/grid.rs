@@ -101,6 +101,20 @@ impl<T: Copy + Default> Grid3<T> {
         self.data.fill(v);
     }
 
+    /// The contiguous storage run `k0..k1` of row `(i, j)` — z is the
+    /// contiguous axis, so slab pack/unpack can move whole rows with
+    /// slice copies instead of per-cell index arithmetic.
+    pub(crate) fn row(&self, i: isize, j: isize, k0: isize, k1: isize) -> &[T] {
+        let lo = self.offset(i, j, k0);
+        &self.data[lo..lo + (k1 - k0) as usize]
+    }
+
+    /// Mutable form of [`Grid3::row`].
+    pub(crate) fn row_mut(&mut self, i: isize, j: isize, k0: isize, k1: isize) -> &mut [T] {
+        let lo = self.offset(i, j, k0);
+        &mut self.data[lo..lo + (k1 - k0) as usize]
+    }
+
     /// Visit every interior cell in `(i, j, k)` lexicographic order.
     pub fn for_each_interior(&mut self, mut f: impl FnMut(usize, usize, usize, &mut T)) {
         let g = self.ghost;
@@ -130,9 +144,7 @@ impl<T: Copy + Default> Grid3<T> {
         out.reserve(self.interior_len());
         for i in 0..self.nx as isize {
             for j in 0..self.ny as isize {
-                for k in 0..self.nz as isize {
-                    out.push(self.get(i, j, k));
-                }
+                out.extend_from_slice(self.row(i, j, 0, self.nz as isize));
             }
         }
     }
@@ -140,12 +152,12 @@ impl<T: Copy + Default> Grid3<T> {
     /// Overwrite the interior from a flat lexicographic vector.
     pub fn interior_from_slice(&mut self, src: &[T]) {
         assert_eq!(src.len(), self.interior_len(), "interior size mismatch");
-        let mut it = src.iter();
+        let nz = self.nz;
         for i in 0..self.nx as isize {
             for j in 0..self.ny as isize {
-                for k in 0..self.nz as isize {
-                    self.set(i, j, k, *it.next().unwrap());
-                }
+                let off = (i as usize * self.ny + j as usize) * nz;
+                self.row_mut(i, j, 0, nz as isize)
+                    .copy_from_slice(&src[off..off + nz]);
             }
         }
     }

@@ -141,11 +141,11 @@ pub fn extract_face3(g: &Grid3<f64>, face: Face3) -> Vec<f64> {
 pub fn extract_face3_into(g: &Grid3<f64>, face: Face3, out: &mut Vec<f64>) {
     let r = slab_ranges3(g.extent(), g.ghost(), face, true);
     out.reserve(slab_len3(g.extent(), g.ghost(), face));
+    // z is the storage-contiguous axis, so each (i, j) row of the slab is
+    // one slice copy; for x/y faces that is the whole cross-section row.
     for i in r[0].0..r[0].1 {
         for j in r[1].0..r[1].1 {
-            for k in r[2].0..r[2].1 {
-                out.push(g.get(i, j, k));
-            }
+            out.extend_from_slice(g.row(i, j, r[2].0, r[2].1));
         }
     }
 }
@@ -175,12 +175,13 @@ pub fn try_insert_ghost3(
             expected: expect,
         });
     }
-    let mut it = payload.iter();
+    let row = (r[2].1 - r[2].0) as usize;
+    let mut off = 0;
     for i in r[0].0..r[0].1 {
         for j in r[1].0..r[1].1 {
-            for k in r[2].0..r[2].1 {
-                g.set(i, j, k, *it.next().unwrap());
-            }
+            g.row_mut(i, j, r[2].0, r[2].1)
+                .copy_from_slice(&payload[off..off + row]);
+            off += row;
         }
     }
     Ok(())

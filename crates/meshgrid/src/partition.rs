@@ -145,7 +145,10 @@ impl ProcGrid3 {
         if nprocs == 0 {
             return Err(PartitionError::EmptyProcessGrid);
         }
-        let mut best: Option<((usize, usize, usize), u128)> = None;
+        // (surface, pz, py): minimize exchange surface, then prefer long
+        // contiguous rows (see the tie-break comment below).
+        type Cost3 = (u128, usize, usize);
+        let mut best: Option<((usize, usize, usize), Cost3)> = None;
         for px in 1..=nprocs {
             if !nprocs.is_multiple_of(px) || px > n.0 {
                 continue;
@@ -160,9 +163,15 @@ impl ProcGrid3 {
                     continue;
                 }
                 // Surface ∝ sum over axes of (cuts on axis) × (cross-section).
-                let cost = (px as u128 - 1) * (n.1 as u128 * n.2 as u128)
+                let surface = (px as u128 - 1) * (n.1 as u128 * n.2 as u128)
                     + (py as u128 - 1) * (n.0 as u128 * n.2 as u128)
                     + (pz as u128 - 1) * (n.0 as u128 * n.1 as u128);
+                // Equal-surface ties (e.g. every permutation of (2, 2, 4) on
+                // a cube) are broken toward cutting the slowest-varying axis:
+                // z is the storage-contiguous axis, so keeping z (then y)
+                // extents long preserves long unit-stride runs for stencil
+                // kernels and slab pack/unpack.
+                let cost = (surface, pz, py);
                 if best.is_none_or(|(_, c)| cost < c) {
                     best = Some(((px, py, pz), cost));
                 }
@@ -326,7 +335,7 @@ impl ProcGrid2 {
         if nprocs == 0 {
             return Err(PartitionError::EmptyProcessGrid);
         }
-        let mut best: Option<((usize, usize), u128)> = None;
+        let mut best: Option<((usize, usize), (u128, usize))> = None;
         for px in 1..=nprocs {
             if !nprocs.is_multiple_of(px) || px > n.0 {
                 continue;
@@ -335,7 +344,9 @@ impl ProcGrid2 {
             if py > n.1 {
                 continue;
             }
-            let cost = (px as u128 - 1) * n.1 as u128 + (py as u128 - 1) * n.0 as u128;
+            let surface = (px as u128 - 1) * n.1 as u128 + (py as u128 - 1) * n.0 as u128;
+            // Tie-break toward cutting x: y is the contiguous storage axis.
+            let cost = (surface, py);
             if best.is_none_or(|(_, c)| cost < c) {
                 best = Some(((px, py), cost));
             }
@@ -569,6 +580,19 @@ mod tests {
         // A cube with 8 procs: 2x2x2 beats 8x1x1.
         let pg = ProcGrid3::choose((64, 64, 64), 8);
         assert_eq!(pg.p, (2, 2, 2));
+    }
+
+    #[test]
+    fn choose_breaks_surface_ties_toward_long_contiguous_rows() {
+        // Every permutation of (2, 2, 4) has the same surface on a cube,
+        // but they differ 2x in stencil-kernel speed: z is the contiguous
+        // storage axis, so the chooser must keep z blocks longest.
+        let pg = ProcGrid3::choose((66, 66, 66), 16);
+        assert_eq!(pg.p, (4, 2, 2));
+        let pg = ProcGrid3::choose((64, 64, 64), 4);
+        assert_eq!(pg.p, (2, 2, 1));
+        let pg = ProcGrid2::choose((32, 32), 2);
+        assert_eq!(pg.p, (2, 1));
     }
 
     #[test]

@@ -21,11 +21,14 @@
 //!   the same initial state terminate in the same final state* — is exercised:
 //!   run the same process collection under many different policies and compare
 //!   the final state snapshots.
-//! * [`threaded::run_threaded`] — a real OS-thread runner in which each
-//!   process executes on its own thread and channels are lock-free SPSC
-//!   rings ([`spsc::SpscRing`]; blocking only on the empty/full edges via
-//!   park/unpark), corresponding to the parallel program the paper
-//!   ultimately produces.
+//! * [`threaded::run_threaded`] — a real parallel runner in which the `N`
+//!   ranks execute as lightweight tasks multiplexed over a core-sized pool
+//!   of worker threads with work stealing ([`sched`]), and channels are
+//!   lock-free SPSC rings ([`spsc::SpscRing`]; a rank blocking on an
+//!   empty/full edge parks its *task*, returning the worker to the pool).
+//!   This corresponds to the parallel program the paper ultimately
+//!   produces, with rank count a program-structure choice rather than a
+//!   hardware one.
 //!
 //! Processes are written once, as implementations of [`proc::Process`], and
 //! run unchanged on either runner. A process is a resumable state machine:
@@ -58,6 +61,7 @@ pub mod pool;
 pub mod proc;
 pub mod recover;
 pub mod rng;
+pub mod sched;
 pub mod sim;
 pub mod spsc;
 pub mod threaded;
@@ -83,5 +87,5 @@ pub use sim::{run_simulated, RunOutcome, Simulator};
 pub use threaded::{
     run_threaded, run_threaded_faulted, run_threaded_with, ThreadedConfig, ThreadedOutcome,
 };
-pub use trace::{ChannelMetrics, Event, EventKind, ProcMetrics, RunMetrics, Trace};
+pub use trace::{ChannelMetrics, Event, EventKind, ProcMetrics, RunMetrics, SchedMetrics, Trace};
 pub use waitgraph::{BlockKind, WaitFor};

@@ -77,6 +77,11 @@ impl<T> BufPool<T> {
         }
     }
 
+    /// The retention cap: `put` drops buffers once this many are free.
+    pub fn max_retained(&self) -> usize {
+        self.max_retained
+    }
+
     /// Number of free buffers currently pooled.
     pub fn pooled(&self) -> usize {
         self.free.len()

@@ -1,0 +1,879 @@
+//! M:N work-stealing rank scheduler — the threaded runner's execution core.
+//!
+//! The paper's target program fixes the *number of processes* from the
+//! problem decomposition, not from the machine; a 64-rank mesh is a
+//! perfectly good program on a 4-core host. One OS thread per rank makes
+//! that structure expensive: oversubscription pays context-switch tax on
+//! every blocking receive instead of hiding latency. This module runs the
+//! same process collection as `N` lightweight *tasks* multiplexed over `M`
+//! worker threads (`M` ≈ cores), with per-worker deques and work stealing.
+//!
+//! Theorem 1 is what licenses the whole design: every maximal fair
+//! interleaving of the processes reaches the same final state, so the
+//! scheduler may interleave rank tasks arbitrarily — run them to their next
+//! blocking edge, requeue them in steal order, migrate them across workers
+//! — and the snapshots are still bitwise identical to the simulator's.
+//! (The `spsc_invariance` suite pins exactly that.)
+//!
+//! The task model is cheap because a [`Process`] is already a resumable
+//! state machine: a rank's continuation is simply its `Process` value plus
+//! a possible pending channel operation, boxed in a per-rank slot. No stack
+//! switching, no unsafe continuation capture.
+//!
+//! ## Yield-on-block protocol
+//!
+//! A rank that cannot complete a channel operation (recv on an empty ring,
+//! send on a full bounded ring) *parks the task, not the worker*:
+//!
+//! 1. record the pending operation and the wait edge, and return the task
+//!    box to its slot;
+//! 2. raise the channel-side waiting flag ([`Chan::reader_waiting`] /
+//!    `writer_waiting`), then re-check the ring non-destructively;
+//! 3. if still not ready, CAS the rank's state `RUN → PARKED` and hand the
+//!    worker back to the pool.
+//!
+//! The peer's transfer does the mirror image — push/pop, fence, consume the
+//! waiting flag, [`Shared::wake_task`] — so a wake can only be lost if both
+//! sides' re-checks miss, which the SeqCst fences forbid (Dekker pattern).
+//! A `RUN/PARKED/NOTIFIED` state machine makes wakes exactly-once: only the
+//! CAS winner enqueues the rank, and a wake that races a running task
+//! leaves a `NOTIFIED` token that forces one spurious (harmless) re-check
+//! at the task's next park attempt. As defense in depth, idle workers and
+//! the watchdog run a *rescue sweep* ([`Shared::rescue`]) that requeues any
+//! parked rank whose wait condition is already satisfied — sound because it
+//! wakes only genuinely ready ranks, so it can never mask a real deadlock.
+//!
+//! ## Watchdog under M:N
+//!
+//! "No progress for the window" is no longer evidence of deadlock: with
+//! more ranks than workers, runnable ranks sit *queued* while nothing
+//! happens to the progress counter. The revised firing condition is:
+//! progress unchanged for the window **and** every unfinished rank is
+//! `PARKED` on a channel edge **and** the run queues are empty — i.e. no
+//! rank can run and none ever will. A rescue sweep runs first; if it
+//! requeues anything the stall clock resets instead of firing.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::chan::{ChannelId, Topology};
+use crate::error::RunError;
+use crate::fault::FaultPlan;
+use crate::proc::{Effect, ProcId, Process};
+use crate::spsc::{ParkSlot, SpscRing};
+use crate::threaded::{ThreadedConfig, ThreadedOutcome};
+use crate::trace::{ProcMetrics, RunMetrics};
+use crate::waitgraph::{self, BlockKind};
+
+/// Scheduler-mode tag recorded in benchmark JSON so a scaling curve is
+/// interpretable from the file alone.
+pub const SCHED_MODE: &str = "mn-steal";
+
+/// Environment variable overriding the worker-pool size (useful for CI on
+/// single-core runners, where stealing would otherwise never be exercised).
+pub const WORKERS_ENV: &str = "SSP_WORKERS";
+
+/// How long an idle worker sleeps between re-checks when the system is
+/// quiescent; bounds the staleness of poison/done checks exactly like the
+/// old per-thread wait slice.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// Consecutive actions a rank may take before yielding its worker, so a
+/// compute-heavy rank cannot starve queued peers (the fairness half of
+/// "maximal *fair* interleaving").
+const YIELD_BUDGET: u32 = 64;
+
+/// Task states for the exactly-once wake protocol.
+const RUN: u8 = 0;
+const PARKED: u8 = 1;
+const NOTIFIED: u8 = 2;
+
+/// Lock that tolerates poisoning: a panicking worker must not wedge
+/// harvest or peer workers (the run is aborting via the verdict anyway).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Pick the worker-pool size: explicit config, then the `SSP_WORKERS`
+/// environment variable, then the host's available parallelism; always at
+/// least 1 and never more than the number of ranks.
+fn resolve_workers(configured: Option<usize>, n_ranks: usize) -> usize {
+    let w = configured
+        .or_else(|| std::env::var(WORKERS_ENV).ok().and_then(|v| v.parse().ok()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    w.clamp(1, n_ranks.max(1))
+}
+
+/// A channel operation a parked rank retries when rescheduled.
+enum Pending<M> {
+    Recv { chan: ChannelId },
+    Send { chan: ChannelId, msg: M, bytes: u64 },
+}
+
+/// One rank as a schedulable task: the process (its own continuation), the
+/// pending delivery/operation, and its private accounting. Owned by
+/// whichever worker popped the rank's id from a queue; stored in
+/// [`Shared::slots`] while parked or queued.
+struct Task<P: Process> {
+    proc: P,
+    delivery: Option<P::Msg>,
+    pending: Option<Pending<P::Msg>>,
+    pm: ProcMetrics,
+    /// Per-channel deliveries completed, for stall-fault ordinals.
+    recvs_done: Vec<u64>,
+    /// Set when the task parks; drained into `blocked_nanos` on resume.
+    parked_since: Option<Instant>,
+    /// Final snapshot, filled at [`Effect::Halt`].
+    result: Option<Vec<u8>>,
+}
+
+/// A single-reader single-writer channel: lock-free ring, the two endpoint
+/// ranks, their task-level waiting flags, and relaxed traffic counters
+/// (only the writer bumps them, so relaxed ordering is exact).
+struct Chan<M> {
+    ring: SpscRing<M>,
+    writer: ProcId,
+    reader: ProcId,
+    /// The reader rank parked (or is about to park) on the empty edge.
+    reader_waiting: AtomicBool,
+    /// The writer rank parked (or is about to park) on the full edge.
+    writer_waiting: AtomicBool,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    max_depth: AtomicUsize,
+}
+
+impl<M> Chan<M> {
+    /// Non-destructive "a push would succeed" check. Sound for the parked
+    /// writer's re-check: only that writer can push, so space cannot be
+    /// consumed out from under it.
+    fn has_space(&self) -> bool {
+        match self.ring.capacity() {
+            Some(cap) => self.ring.len() < cap,
+            None => true,
+        }
+    }
+}
+
+/// One worker's scheduling state: its deque (owner pops the front,
+/// stealers pop the back) and the OS-level park slot it sleeps on when the
+/// whole system is quiescent.
+struct WorkerState {
+    deque: Mutex<VecDeque<ProcId>>,
+    park: ParkSlot,
+}
+
+/// Everything shared between workers and the watchdog.
+struct Shared<P: Process> {
+    topo: Topology,
+    chans: Vec<Chan<P::Msg>>,
+    /// Task boxes, one per rank. Possession of a rank id popped from a
+    /// queue grants exclusive run rights; the mutex is the (uncontended)
+    /// handoff point that moves the box between workers.
+    slots: Vec<Mutex<Option<Task<P>>>>,
+    /// Per-rank `RUN`/`PARKED`/`NOTIFIED` for the wake protocol.
+    states: Vec<AtomicU8>,
+    /// What each rank is blocked on; meaningful only while the rank's
+    /// state is `PARKED` (written before the parking CAS publishes it).
+    waits: Mutex<Vec<Option<(ChannelId, BlockKind)>>>,
+    workers: Vec<WorkerState>,
+    /// Overflow queue for wakes issued by non-worker threads.
+    injector: Mutex<VecDeque<ProcId>>,
+    faults: FaultPlan,
+    /// Set when the run is aborted; workers drop their task and exit.
+    poisoned: AtomicBool,
+    /// Set when the run is over (all ranks halted, or aborted).
+    done: AtomicBool,
+    /// Bumped on every completed transfer: the watchdog's notion of "the
+    /// system is still moving".
+    progress: AtomicU64,
+    /// Ranks that have halted (reached [`Effect::Halt`]).
+    finished: AtomicUsize,
+    /// Workers currently in the idle dance; enqueuers wake the pool only
+    /// when this is nonzero, keeping the busy-path cost one load.
+    idle_workers: AtomicUsize,
+    steals: AtomicU64,
+    yields: AtomicU64,
+    task_parks: AtomicU64,
+    /// The error that aborted the run, if any. First writer wins.
+    verdict: Mutex<Option<RunError>>,
+    /// Where the watchdog sleeps between polls; `finish` force-wakes it so
+    /// run teardown never waits out a poll interval.
+    watchdog_park: ParkSlot,
+}
+
+impl<P: Process> Shared<P> {
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Abort the run with `err` (first error wins) and release the pool.
+    fn fail(&self, err: RunError) {
+        lock(&self.verdict).get_or_insert(err);
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.finish();
+    }
+
+    /// Mark the run over and wake every worker so it can observe that.
+    fn finish(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        for w in &self.workers {
+            w.park.force_wake();
+        }
+        self.watchdog_park.force_wake();
+    }
+
+    /// Put a runnable rank on a queue: the waking worker's own deque when
+    /// known (locality), the injector otherwise. Wakes sleeping workers.
+    fn enqueue(&self, rank: ProcId, home: Option<usize>) {
+        match home {
+            Some(w) => lock(&self.workers[w].deque).push_back(rank),
+            None => lock(&self.injector).push_back(rank),
+        }
+        if self.idle_workers.load(Ordering::SeqCst) > 0 {
+            for w in &self.workers {
+                w.park.wake();
+            }
+        }
+    }
+
+    /// Make a parked rank runnable, exactly once. Returns `true` if this
+    /// call won the `PARKED → RUN` transition (and enqueued the rank);
+    /// a wake racing a running task leaves a `NOTIFIED` token instead,
+    /// which the task consumes at its next park attempt.
+    fn wake_task(&self, rank: ProcId, home: Option<usize>) -> bool {
+        loop {
+            match self.states[rank].compare_exchange(
+                PARKED,
+                RUN,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.enqueue(rank, home);
+                    return true;
+                }
+                Err(NOTIFIED) => return false,
+                Err(_) => {
+                    // RUN: leave a token; retry if the task parked meanwhile.
+                    if self.states[rank]
+                        .compare_exchange(RUN, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Requeue every parked rank whose wait condition is already satisfied.
+    /// Defense in depth against a lost wake; sound because only genuinely
+    /// ready ranks move, so a real deadlock is never masked. Returns how
+    /// many ranks it woke.
+    fn rescue(&self) -> usize {
+        let waits: Vec<Option<(ChannelId, BlockKind)>> = lock(&self.waits).clone();
+        let mut woken = 0;
+        for (rank, wait) in waits.iter().enumerate() {
+            let Some((chan, kind)) = *wait else { continue };
+            if self.states[rank].load(Ordering::SeqCst) != PARKED {
+                continue;
+            }
+            let c = &self.chans[chan.0];
+            let ready = match kind {
+                BlockKind::Recv => !c.ring.is_empty(),
+                BlockKind::Send => c.has_space(),
+            };
+            if ready && self.wake_task(rank, None) {
+                woken += 1;
+            }
+        }
+        woken
+    }
+
+    /// Total ranks sitting in run queues right now (racy snapshot).
+    fn queued_tasks(&self) -> usize {
+        let mut q = lock(&self.injector).len();
+        for w in &self.workers {
+            q += lock(&w.deque).len();
+        }
+        q
+    }
+
+    /// Reclaim the task box after a failed park (lost race or `NOTIFIED`).
+    fn reclaim(&self, rank: ProcId) -> Task<P> {
+        let mut task = lock(&self.slots[rank])
+            .take()
+            .expect("rank still owned by this worker");
+        task.pending = None;
+        if let Some(t0) = task.parked_since.take() {
+            task.pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
+        }
+        task
+    }
+}
+
+/// What a channel-operation attempt left the worker with.
+enum After<P: Process> {
+    /// The operation completed; keep running this rank.
+    Run(Task<P>),
+    /// The rank parked (task re-slotted) or the run ended; the worker
+    /// should look for other work.
+    Release,
+}
+
+/// Entry point: run `procs` over a worker pool. Called by
+/// [`crate::threaded::run_threaded_faulted`]; same contract.
+pub(crate) fn run_scheduled<P>(
+    topo: &Topology,
+    procs: Vec<P>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+) -> Result<ThreadedOutcome, RunError>
+where
+    P: Process + 'static,
+{
+    assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
+    let n = procs.len();
+    if n == 0 {
+        return Ok(ThreadedOutcome {
+            snapshots: Vec::new(),
+            metrics: RunMetrics::for_topology(topo),
+        });
+    }
+    let n_workers = resolve_workers(config.workers, n);
+
+    let chans: Vec<Chan<P::Msg>> = topo
+        .specs()
+        .iter()
+        .map(|s| Chan {
+            ring: SpscRing::new(s.capacity),
+            writer: s.writer,
+            reader: s.reader,
+            reader_waiting: AtomicBool::new(false),
+            writer_waiting: AtomicBool::new(false),
+            messages: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            max_depth: AtomicUsize::new(0),
+        })
+        .collect();
+    let n_chans = chans.len();
+
+    let shared = Arc::new(Shared {
+        topo: topo.clone(),
+        chans,
+        slots: procs
+            .into_iter()
+            .map(|proc| {
+                Mutex::new(Some(Task {
+                    proc,
+                    delivery: None,
+                    pending: None,
+                    pm: ProcMetrics::default(),
+                    recvs_done: vec![0; n_chans],
+                    parked_since: None,
+                    result: None,
+                }))
+            })
+            .collect(),
+        states: (0..n).map(|_| AtomicU8::new(RUN)).collect(),
+        waits: Mutex::new(vec![None; n]),
+        workers: (0..n_workers)
+            .map(|_| WorkerState { deque: Mutex::new(VecDeque::new()), park: ParkSlot::new() })
+            .collect(),
+        injector: Mutex::new(VecDeque::new()),
+        faults: faults.clone(),
+        poisoned: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        progress: AtomicU64::new(0),
+        finished: AtomicUsize::new(0),
+        idle_workers: AtomicUsize::new(0),
+        steals: AtomicU64::new(0),
+        yields: AtomicU64::new(0),
+        task_parks: AtomicU64::new(0),
+        verdict: Mutex::new(None),
+        watchdog_park: ParkSlot::new(),
+    });
+
+    // Seed the deques round-robin so every worker starts with local work.
+    for rank in 0..n {
+        lock(&shared.workers[rank % n_workers].deque).push_back(rank);
+    }
+
+    let handles: Vec<_> = (0..n_workers)
+        .map(|w| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                // A panic here would be a scheduler bug, not a process
+                // panic (those are caught per-resume); still convert it to
+                // a verdict so sibling workers and harvest are released.
+                if catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, w))).is_err() {
+                    shared.fail(RunError::ThreadPanic { proc: 0 });
+                }
+            })
+        })
+        .collect();
+
+    let watchdog = config.watchdog.map(|window| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || watchdog_loop(&shared, window))
+    });
+
+    for h in handles {
+        let _ = h.join();
+    }
+    if let Some(h) = watchdog {
+        let _ = h.join();
+    }
+
+    // Harvest. The verdict describes the root cause better than any
+    // secondary state the tasks were left in.
+    if let Some(v) = lock(&shared.verdict).take() {
+        return Err(v);
+    }
+    let mut metrics = RunMetrics::for_topology(topo);
+    metrics.sched.workers = n_workers;
+    metrics.sched.steals = shared.steals.load(Ordering::Relaxed);
+    metrics.sched.yields = shared.yields.load(Ordering::Relaxed);
+    metrics.sched.task_parks = shared.task_parks.load(Ordering::Relaxed);
+    let mut snapshots = vec![Vec::new(); n];
+    for (rank, snap_slot) in snapshots.iter_mut().enumerate() {
+        if let Some(mut task) = lock(&shared.slots[rank]).take() {
+            if let Some(t0) = task.parked_since.take() {
+                task.pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
+            }
+            metrics.procs[rank] = task.pm;
+            if let Some(snap) = task.result.take() {
+                *snap_slot = snap;
+            }
+        }
+    }
+    for (i, c) in shared.chans.iter().enumerate() {
+        metrics.channels[i].messages = c.messages.load(Ordering::Relaxed);
+        metrics.channels[i].bytes = c.bytes.load(Ordering::Relaxed);
+        metrics.channels[i].max_queue_depth = c.max_depth.load(Ordering::Relaxed);
+    }
+    Ok(ThreadedOutcome { snapshots, metrics })
+}
+
+fn worker_loop<P: Process>(shared: &Shared<P>, me: usize) {
+    shared.workers[me].park.register();
+    loop {
+        if shared.done.load(Ordering::SeqCst) {
+            return;
+        }
+        match find_task(shared, me) {
+            Some(rank) => run_task(shared, me, rank),
+            None => idle(shared, me),
+        }
+    }
+}
+
+/// Own deque first (FIFO — the fairness order), then the injector, then
+/// steal from the back of a sibling's deque.
+fn find_task<P: Process>(shared: &Shared<P>, me: usize) -> Option<ProcId> {
+    if let Some(r) = lock(&shared.workers[me].deque).pop_front() {
+        return Some(r);
+    }
+    if let Some(r) = lock(&shared.injector).pop_front() {
+        return Some(r);
+    }
+    let n = shared.workers.len();
+    for i in 1..n {
+        if let Some(r) = lock(&shared.workers[(me + i) % n].deque).pop_back() {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// The idle dance: publish the intent to sleep, re-check for work (the
+/// enqueue side checks `idle_workers` *after* pushing, so one of the two
+/// sides always notices), run a rescue sweep, then park briefly.
+fn idle<P: Process>(shared: &Shared<P>, me: usize) {
+    shared.idle_workers.fetch_add(1, Ordering::SeqCst);
+    let park = &shared.workers[me].park;
+    park.prepare_park();
+    if shared.done.load(Ordering::SeqCst) || shared.queued_tasks() > 0 || shared.rescue() > 0 {
+        park.cancel_park();
+    } else {
+        park.park(WAIT_SLICE);
+    }
+    shared.idle_workers.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Run one rank until it parks, halts, faults, exhausts its yield budget,
+/// or the run is poisoned.
+fn run_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId) {
+    let mut task = lock(&shared.slots[rank])
+        .take()
+        .expect("a queued rank always has its task in the slot");
+    if let Some(t0) = task.parked_since.take() {
+        task.pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
+    }
+    let mut budget = YIELD_BUDGET;
+    loop {
+        if shared.is_poisoned() {
+            *lock(&shared.slots[rank]) = Some(task);
+            return;
+        }
+        // A pending operation is retried without re-stepping the process:
+        // the rank's action sequence (and so its step count, which keys
+        // fault injection) is identical to the thread-per-rank runner's.
+        let after = match task.pending.take() {
+            Some(Pending::Recv { chan }) => attempt_recv(shared, me, rank, task, chan, false),
+            Some(Pending::Send { chan, msg, bytes }) => {
+                attempt_send(shared, me, rank, task, chan, msg, bytes, false)
+            }
+            None => step_task(shared, me, rank, task),
+        };
+        match after {
+            After::Run(t) => task = t,
+            After::Release => return,
+        }
+        budget -= 1;
+        if budget == 0 {
+            // Yield: requeue at the back of our own deque so queued peers
+            // get the worker (fair interleaving under oversubscription).
+            shared.yields.fetch_add(1, Ordering::Relaxed);
+            *lock(&shared.slots[rank]) = Some(task);
+            shared.enqueue(rank, Some(me));
+            return;
+        }
+    }
+}
+
+/// Perform the rank's next atomic action and dispatch its effect.
+fn step_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId, mut task: Task<P>) -> After<P> {
+    task.pm.steps += 1;
+    if shared.faults.crash_at(rank, task.pm.steps) {
+        let step = task.pm.steps;
+        *lock(&shared.slots[rank]) = Some(task);
+        shared.fail(RunError::Injected { proc: rank, step });
+        return After::Release;
+    }
+    let delivery = task.delivery.take();
+    let effect = match catch_unwind(AssertUnwindSafe(|| task.proc.resume(delivery))) {
+        Ok(e) => e,
+        Err(_) => {
+            *lock(&shared.slots[rank]) = Some(task);
+            shared.fail(RunError::ThreadPanic { proc: rank });
+            return After::Release;
+        }
+    };
+    match effect {
+        Effect::Compute { units } => {
+            task.pm.compute_units += units;
+            After::Run(task)
+        }
+        Effect::Send { chan, msg } => {
+            if let Err(e) = shared.topo.check_writer(chan, rank) {
+                *lock(&shared.slots[rank]) = Some(task);
+                shared.fail(e);
+                return After::Release;
+            }
+            let bytes = P::msg_size_bytes(&msg);
+            attempt_send(shared, me, rank, task, chan, msg, bytes, true)
+        }
+        Effect::Recv { chan } => {
+            if let Err(e) = shared.topo.check_reader(chan, rank) {
+                *lock(&shared.slots[rank]) = Some(task);
+                shared.fail(e);
+                return After::Release;
+            }
+            // An injected stall delays this delivery; the message still
+            // arrives, so the result cannot change (Theorem 1). The sleep
+            // briefly occupies the worker, which is exactly the latency
+            // the stealing pool is there to hide.
+            if let Some(d) = shared.faults.stall_sleep(chan, task.recvs_done[chan.0]) {
+                std::thread::sleep(d);
+            }
+            attempt_recv(shared, me, rank, task, chan, true)
+        }
+        Effect::Halt => {
+            match catch_unwind(AssertUnwindSafe(|| task.proc.snapshot())) {
+                Ok(snap) => task.result = Some(snap),
+                Err(_) => {
+                    *lock(&shared.slots[rank]) = Some(task);
+                    shared.fail(RunError::ThreadPanic { proc: rank });
+                    return After::Release;
+                }
+            }
+            *lock(&shared.slots[rank]) = Some(task);
+            if shared.finished.fetch_add(1, Ordering::SeqCst) + 1 == shared.topo.n_procs() {
+                shared.finish();
+            }
+            After::Release
+        }
+        Effect::Fault { error } => {
+            *lock(&shared.slots[rank]) = Some(task);
+            shared.fail(error);
+            After::Release
+        }
+    }
+}
+
+/// Try to deliver from `chan`; park the task on the empty edge.
+fn attempt_recv<P: Process>(
+    shared: &Shared<P>,
+    me: usize,
+    rank: ProcId,
+    mut task: Task<P>,
+    chan: ChannelId,
+    fresh: bool,
+) -> After<P> {
+    let c = &shared.chans[chan.0];
+    // A block "episode" is counted once, on the fresh attempt that first
+    // finds the ring empty — same accounting as the thread-per-rank runner.
+    let mut count_block = fresh;
+    loop {
+        if let Some(m) = c.ring.try_pop() {
+            task.pm.receives += 1;
+            task.recvs_done[chan.0] += 1;
+            task.delivery = Some(m);
+            // Release the writer if it parked (or is parking) on the full
+            // edge: pop, fence, consume the flag — the Dekker mirror of
+            // the parking sequence below.
+            fence(Ordering::SeqCst);
+            if c.writer_waiting.swap(false, Ordering::SeqCst) {
+                shared.wake_task(c.writer, Some(me));
+            }
+            shared.progress.fetch_add(1, Ordering::Relaxed);
+            return After::Run(task);
+        }
+        if count_block {
+            task.pm.blocked_steps += 1;
+            count_block = false;
+        }
+        // Park the task: publish the wait edge and the pending op, return
+        // the box to its slot (it may be stolen the instant the CAS below
+        // lands), raise the flag, re-check, CAS RUN → PARKED.
+        lock(&shared.waits)[rank] = Some((chan, BlockKind::Recv));
+        task.pending = Some(Pending::Recv { chan });
+        task.parked_since = Some(Instant::now());
+        *lock(&shared.slots[rank]) = Some(task);
+        c.reader_waiting.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if !c.ring.is_empty() {
+            // Lost race: the message landed between check and flag.
+            c.reader_waiting.store(false, Ordering::SeqCst);
+            task = shared.reclaim(rank);
+            continue;
+        }
+        match shared.states[rank].compare_exchange(RUN, PARKED, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {
+                shared.task_parks.fetch_add(1, Ordering::Relaxed);
+                return After::Release;
+            }
+            Err(_) => {
+                // NOTIFIED: a wake raced us; consume the token and retry.
+                shared.states[rank].store(RUN, Ordering::SeqCst);
+                task = shared.reclaim(rank);
+            }
+        }
+    }
+}
+
+/// Try to push onto `chan`; park the task on the full edge.
+#[allow(clippy::too_many_arguments)]
+fn attempt_send<P: Process>(
+    shared: &Shared<P>,
+    me: usize,
+    rank: ProcId,
+    mut task: Task<P>,
+    chan: ChannelId,
+    mut msg: P::Msg,
+    bytes: u64,
+    fresh: bool,
+) -> After<P> {
+    let c = &shared.chans[chan.0];
+    let mut count_block = fresh;
+    loop {
+        match c.ring.try_push(msg) {
+            Ok(depth) => {
+                // Writer-side counters: exact under relaxed ordering
+                // (single writer); `depth` is the producer-observed bound.
+                c.messages.fetch_add(1, Ordering::Relaxed);
+                c.bytes.fetch_add(bytes, Ordering::Relaxed);
+                if depth > c.max_depth.load(Ordering::Relaxed) {
+                    c.max_depth.store(depth, Ordering::Relaxed);
+                }
+                task.pm.sends += 1;
+                fence(Ordering::SeqCst);
+                if c.reader_waiting.swap(false, Ordering::SeqCst) {
+                    shared.wake_task(c.reader, Some(me));
+                }
+                shared.progress.fetch_add(1, Ordering::Relaxed);
+                return After::Run(task);
+            }
+            Err(back) => {
+                msg = back;
+                if count_block {
+                    task.pm.blocked_steps += 1;
+                    count_block = false;
+                }
+                lock(&shared.waits)[rank] = Some((chan, BlockKind::Send));
+                task.pending = Some(Pending::Send { chan, msg, bytes });
+                task.parked_since = Some(Instant::now());
+                *lock(&shared.slots[rank]) = Some(task);
+                c.writer_waiting.store(true, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                if c.has_space() {
+                    c.writer_waiting.store(false, Ordering::SeqCst);
+                    task = shared.reclaim(rank);
+                    let Some(Pending::Send { msg: m, .. }) = task.pending.take() else {
+                        unreachable!("reclaimed task keeps its pending send")
+                    };
+                    msg = m;
+                    continue;
+                }
+                match shared.states[rank].compare_exchange(
+                    RUN,
+                    PARKED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        shared.task_parks.fetch_add(1, Ordering::Relaxed);
+                        return After::Release;
+                    }
+                    Err(_) => {
+                        shared.states[rank].store(RUN, Ordering::SeqCst);
+                        task = shared.reclaim(rank);
+                        let Some(Pending::Send { msg: m, .. }) = task.pending.take() else {
+                            unreachable!("reclaimed task keeps its pending send")
+                        };
+                        msg = m;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deadlock watchdog for the M:N pool. Fires only when progress has been
+/// flat for the whole window *and* every unfinished rank is `PARKED` *and*
+/// the run queues are empty — queued-but-runnable ranks (oversubscription)
+/// never trip it. A rescue sweep gets the last word before declaring.
+fn watchdog_loop<P: Process>(shared: &Shared<P>, window: Duration) {
+    let poll = (window / 4).clamp(Duration::from_millis(1), WAIT_SLICE);
+    shared.watchdog_park.register();
+    let n = shared.topo.n_procs();
+    let mut last_progress = shared.progress.load(Ordering::SeqCst);
+    let mut stalled_since: Option<Instant> = None;
+    loop {
+        shared.watchdog_park.prepare_park();
+        if shared.done.load(Ordering::SeqCst) {
+            shared.watchdog_park.cancel_park();
+            return;
+        }
+        shared.watchdog_park.park(poll);
+        if shared.done.load(Ordering::SeqCst) {
+            return;
+        }
+        let progress = shared.progress.load(Ordering::SeqCst);
+        let parked =
+            (0..n).filter(|&r| shared.states[r].load(Ordering::SeqCst) == PARKED).count();
+        let finished = shared.finished.load(Ordering::SeqCst);
+        let wedged = progress == last_progress
+            && parked + finished == n
+            && shared.queued_tasks() == 0;
+        if !wedged {
+            last_progress = progress;
+            stalled_since = None;
+            continue;
+        }
+        let t0 = *stalled_since.get_or_insert_with(Instant::now);
+        if t0.elapsed() < window {
+            continue;
+        }
+        // Last line of defense against a lost wake: requeue any parked
+        // rank whose channel is actually ready. A real deadlock has none.
+        if shared.rescue() > 0 {
+            stalled_since = None;
+            continue;
+        }
+        // Declare it: snapshot the wait edges (valid while PARKED — they
+        // are written before the parking CAS), re-verify nothing moved,
+        // and poison the run with the same typed error the simulator
+        // produces.
+        let waits: Vec<(ProcId, ChannelId, BlockKind)> = {
+            let w = lock(&shared.waits);
+            (0..n)
+                .filter(|&r| shared.states[r].load(Ordering::SeqCst) == PARKED)
+                .filter_map(|r| w[r].map(|(c, k)| (r, c, k)))
+                .collect()
+        };
+        if shared.progress.load(Ordering::SeqCst) != last_progress
+            || waits.len() + shared.finished.load(Ordering::SeqCst) != n
+            || shared.queued_tasks() != 0
+        {
+            stalled_since = None;
+            continue;
+        }
+        shared.fail(waitgraph::deadlock_error(&shared.topo, &waits));
+        return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal process for scheduler-internal tests.
+    struct Nop;
+    impl Process for Nop {
+        type Msg = u64;
+        fn resume(&mut self, _d: Option<u64>) -> Effect<u64> {
+            Effect::Halt
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn resolve_workers_clamps_to_rank_count() {
+        assert_eq!(resolve_workers(Some(8), 3), 3);
+        assert_eq!(resolve_workers(Some(0), 3), 1);
+        assert_eq!(resolve_workers(Some(2), 64), 2);
+    }
+
+    #[test]
+    fn wake_protocol_is_exactly_once() {
+        // Two wakes of a parked rank enqueue it exactly once; the second
+        // leaves at most a NOTIFIED token.
+        let shared: Shared<Nop> = Shared {
+            topo: Topology::new(1),
+            chans: Vec::new(),
+            slots: vec![Mutex::new(None)],
+            states: vec![AtomicU8::new(PARKED)],
+            waits: Mutex::new(vec![None]),
+            workers: vec![WorkerState {
+                deque: Mutex::new(VecDeque::new()),
+                park: ParkSlot::new(),
+            }],
+            injector: Mutex::new(VecDeque::new()),
+            faults: FaultPlan::none(),
+            poisoned: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            progress: AtomicU64::new(0),
+            finished: AtomicUsize::new(0),
+            idle_workers: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            yields: AtomicU64::new(0),
+            task_parks: AtomicU64::new(0),
+            verdict: Mutex::new(None),
+            watchdog_park: ParkSlot::new(),
+        };
+        assert!(shared.wake_task(0, None));
+        assert!(!shared.wake_task(0, None));
+        assert_eq!(shared.queued_tasks(), 1);
+        assert_eq!(shared.states[0].load(Ordering::SeqCst), NOTIFIED);
+    }
+}

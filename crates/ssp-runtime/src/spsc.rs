@@ -31,14 +31,18 @@
 //! other synchronization is required *because* there is exactly one
 //! producer and one consumer — the SRSW restriction is doing real work.
 //!
-//! Blocking (only on the empty/full edges) is park/unpark via [`ParkSlot`],
-//! not a condvar: each side registers its [`std::thread::Thread`] handle
-//! once, advertises that it is about to park with an atomic flag, re-checks
-//! the queue, and parks with a timeout. The peer, after every transfer,
-//! wakes the other side only if the flag is set — a single relaxed load in
-//! the common (nobody-parked) case. The unpark token makes the
-//! publish-flag / re-check / park dance race-free: an unpark delivered
-//! between the re-check and the park makes the park return immediately.
+//! OS-level blocking is park/unpark via [`ParkSlot`], not a condvar: a
+//! thread registers its [`std::thread::Thread`] handle once, advertises
+//! that it is about to park with an atomic flag, re-checks its wait
+//! condition, and parks with a timeout. The waking side unparks only if
+//! the flag is set — a single relaxed load in the common (nobody-parked)
+//! case. The unpark token makes the publish-flag / re-check / park dance
+//! race-free: an unpark delivered between the re-check and the park makes
+//! the park return immediately. Under the M:N scheduler
+//! ([`crate::sched`]) a `ParkSlot` belongs to each pool *worker* (a rank
+//! blocking on a channel edge parks its lightweight task, not a thread);
+//! the channel-edge wake protocol itself lives in `sched.rs`, built from
+//! the same publish/fence/re-check pattern.
 //!
 //! # Safety contract
 //!
@@ -47,8 +51,10 @@
 //! different threads, and may change over the ring's lifetime as long as a
 //! happens-before edge separates the handover). The threaded runner
 //! upholds this by checking [`crate::chan::Topology::check_writer`] /
-//! `check_reader` before every operation: the declared endpoints are the
-//! only threads that touch a ring.
+//! `check_reader` before every operation, and its scheduler hands a rank's
+//! task to one worker at a time (a mutex-guarded slot per rank separates
+//! successive owners): the declared endpoints are the only tasks that
+//! touch a ring, and each runs on one worker at a time.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;

@@ -1,63 +1,73 @@
-//! The real parallel runner: one OS thread per process, blocking receives.
+//! The real parallel runner: rank tasks on an M:N work-stealing pool.
 //!
 //! This is the target of the paper's final transformation — the "real
 //! parallel" left-hand side of its Figure 1. Processes written against
-//! [`crate::proc::Process`] run here unchanged; the scheduler is the OS's,
-//! so the interleaving is whatever the machine produces. Theorem 1 is what
-//! licenses not caring: the final state equals the simulated runs' final
-//! state, which the integration tests and the `theorem1` bench confirm.
-//!
-//! Unlike the simulator, real threads cannot inspect each other's state to
-//! prove a deadlock, so detection here is a *watchdog*: when
-//! [`ThreadedConfig::watchdog`] is set, a monitor thread samples the run
-//! and, if every live process has been blocked with no message traffic for
-//! the configured window, poisons the run and reports the same typed
-//! [`RunError::Deadlock`] (with its wait-for cycle) the simulator would
-//! have produced — instead of hanging forever. Without a watchdog,
-//! deadlocked programs block forever, as before; validate programs under
-//! [`crate::sim::Simulator`] first.
+//! [`crate::proc::Process`] run here unchanged. Since PR 6 the execution
+//! model is M:N: the `N` ranks of the program are lightweight tasks
+//! multiplexed over a core-sized pool of worker threads with per-worker
+//! deques and work stealing (see [`crate::sched`]), so rank count is a
+//! *program-structure* choice and oversubscription hides latency instead
+//! of paying per-rank context-switch tax. Theorem 1 is what licenses not
+//! caring which worker runs which rank when: the final state equals the
+//! simulated runs' final state, which the `spsc_invariance` suite pins
+//! bitwise.
 //!
 //! Channels are lock-free SPSC rings ([`crate::spsc::SpscRing`]) — the
 //! single-reader single-writer restriction Theorem 1 already demands means
 //! no channel ever has contending senders or receivers, so the hot path is
-//! one release/acquire pair per transfer with no `Mutex` or `Condvar` at
-//! all. Threads park only on the empty/full edges and are unparked by
-//! their peer's next transfer (see `spsc.rs` and DESIGN.md §10). Still
-//! `std::sync` only: no external lock crates.
+//! one release/acquire pair per transfer. A rank that blocks (recv on an
+//! empty ring, send on a full one) parks *its task*, yielding the worker
+//! back to the pool; the peer's next transfer requeues it (DESIGN.md §12).
+//!
+//! Real threads cannot inspect each other's state to prove a deadlock, so
+//! detection here is a *watchdog*: when [`ThreadedConfig::watchdog`] is
+//! set, a monitor thread samples the run and, if every unfinished rank has
+//! been parked on a channel edge with no traffic and empty run queues for
+//! the configured window, poisons the run and reports the same typed
+//! [`RunError::Deadlock`] (with its wait-for cycle) the simulator would
+//! have produced — instead of hanging forever. Without a watchdog,
+//! deadlocked programs block forever, as before; validate programs under
+//! [`crate::sim::Simulator`] first. Still `std::sync` only: no external
+//! lock or executor crates.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crate::chan::{ChannelId, Topology};
+use crate::chan::Topology;
 use crate::error::RunError;
 use crate::fault::FaultPlan;
-use crate::proc::{Effect, ProcId, Process};
-use crate::spsc::{ParkSlot, SpscRing};
-use crate::trace::{ProcMetrics, RunMetrics};
-use crate::waitgraph::{self, BlockKind};
-
-/// How long a parked thread sleeps between re-checks of its wait
-/// condition. Wakes also happen eagerly via unpark; this only bounds how
-/// stale a poison check can get.
-const WAIT_SLICE: Duration = Duration::from_millis(50);
+use crate::proc::Process;
+use crate::sched;
+use crate::trace::RunMetrics;
 
 /// Options for [`run_threaded_with`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ThreadedConfig {
     /// If set, a watchdog thread declares a deadlock after the whole system
-    /// has been blocked with zero progress for this long, aborting the run
-    /// with a typed [`RunError::Deadlock`] instead of hanging. Choose a
-    /// window comfortably longer than any legitimate compute step (the
-    /// watchdog only fires when *every* live process is blocked on a
-    /// channel, so compute-heavy phases cannot trigger it spuriously).
+    /// has been parked with zero progress and empty run queues for this
+    /// long, aborting the run with a typed [`RunError::Deadlock`] instead
+    /// of hanging. Choose a window comfortably longer than any legitimate
+    /// compute step (the watchdog only fires when *every* unfinished rank
+    /// is parked on a channel edge and nothing is queued, so compute-heavy
+    /// phases and oversubscribed-but-runnable ranks cannot trigger it
+    /// spuriously).
     pub watchdog: Option<Duration>,
+    /// Worker-pool size. `None` (the default) falls back to the
+    /// `SSP_WORKERS` environment variable, then to the host's available
+    /// parallelism. Always clamped to `1..=n_ranks`.
+    pub workers: Option<usize>,
 }
 
 impl ThreadedConfig {
     /// Config with a deadlock watchdog of the given window.
     pub fn with_watchdog(window: Duration) -> Self {
-        ThreadedConfig { watchdog: Some(window) }
+        ThreadedConfig { watchdog: Some(window), workers: None }
+    }
+
+    /// Same config with an explicit worker-pool size (clamped to at least
+    /// 1 and at most the number of ranks at run time).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
     }
 }
 
@@ -66,197 +76,17 @@ impl ThreadedConfig {
 pub struct ThreadedOutcome {
     /// Byte snapshot of each process's final state, indexed by process id.
     pub snapshots: Vec<Vec<u8>>,
-    /// Per-channel and per-process execution metrics. `blocked_nanos` is
-    /// real wall-clock blocking; `blocked_steps` counts wait episodes.
+    /// Per-channel, per-process, and scheduler execution metrics.
+    /// `blocked_nanos` is real wall-clock time a rank spent parked;
+    /// `blocked_steps` counts block episodes; `metrics.sched` describes
+    /// the worker pool (size, steals, yields, task parks).
     pub metrics: RunMetrics,
 }
 
-/// A single-reader single-writer channel: a lock-free ring plus park slots
-/// for the two endpoints and relaxed traffic counters (only the writer
-/// bumps `messages`/`bytes`/`max_depth`, so relaxed ordering is exact).
-struct SpscChan<M> {
-    id: ChannelId,
-    ring: SpscRing<M>,
-    /// Parking state of the channel's reader (woken after each push).
-    reader: ParkSlot,
-    /// Parking state of the channel's writer (woken after each pop).
-    writer: ParkSlot,
-    messages: AtomicU64,
-    bytes: AtomicU64,
-    max_depth: AtomicUsize,
-}
-
-/// Run-wide coordination shared by every process thread and the watchdog.
-struct Control {
-    /// Set when the run is aborted (deadlock declared, a process faulted,
-    /// or a thread panicked). Blocked threads observe it and exit.
-    poisoned: AtomicBool,
-    /// Bumped on every completed send and receive; the watchdog's notion
-    /// of "the system is still moving".
-    progress: AtomicU64,
-    /// Number of threads currently inside a blocking wait.
-    blocked_count: AtomicUsize,
-    /// Number of threads that have exited (halted, faulted, or panicked).
-    finished: AtomicUsize,
-    /// What each blocked thread is waiting on (`None` = not blocked).
-    waits: Mutex<Vec<Option<(ChannelId, BlockKind)>>>,
-    /// The error that aborted the run, if any. First writer wins.
-    verdict: Mutex<Option<RunError>>,
-}
-
-impl Control {
-    fn new(n_procs: usize) -> Self {
-        Control {
-            poisoned: AtomicBool::new(false),
-            progress: AtomicU64::new(0),
-            blocked_count: AtomicUsize::new(0),
-            finished: AtomicUsize::new(0),
-            waits: Mutex::new(vec![None; n_procs]),
-            verdict: Mutex::new(None),
-        }
-    }
-
-    fn is_poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::SeqCst)
-    }
-
-    fn enter_wait(&self, pid: ProcId, chan: ChannelId, kind: BlockKind) {
-        self.waits.lock().unwrap()[pid] = Some((chan, kind));
-        self.blocked_count.fetch_add(1, Ordering::SeqCst);
-    }
-
-    fn leave_wait(&self, pid: ProcId) {
-        self.waits.lock().unwrap()[pid] = None;
-        self.blocked_count.fetch_sub(1, Ordering::SeqCst);
-    }
-
-    /// Abort the run with `err` (first error wins) and wake every waiter so
-    /// blocked threads can observe the poison and exit.
-    fn fail<M>(&self, err: RunError, chans: &[Arc<SpscChan<M>>]) {
-        self.verdict.lock().unwrap().get_or_insert(err);
-        self.poisoned.store(true, Ordering::SeqCst);
-        for c in chans {
-            c.reader.force_wake();
-            c.writer.force_wake();
-        }
-    }
-}
-
-impl<M> SpscChan<M> {
-    fn new(id: ChannelId, capacity: Option<usize>) -> Self {
-        SpscChan {
-            id,
-            ring: SpscRing::new(capacity),
-            reader: ParkSlot::new(),
-            writer: ParkSlot::new(),
-            messages: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
-            max_depth: AtomicUsize::new(0),
-        }
-    }
-
-    /// Send, parking while a bounded channel is full. Returns `false` if
-    /// the run was poisoned while waiting (the message is dropped — the run
-    /// is aborting anyway). Only the declared writer thread may call this.
-    fn send(&self, msg: M, bytes: u64, ctl: &Control, pid: ProcId, pm: &mut ProcMetrics) -> bool {
-        let depth = match self.ring.try_push(msg) {
-            Ok(depth) => depth,
-            Err(mut msg) => {
-                // Full: publish the park intent, re-check, park. The
-                // reader's wake after its next pop cannot be lost (unpark
-                // token), and WAIT_SLICE bounds poison-check staleness.
-                ctl.enter_wait(pid, self.id, BlockKind::Send);
-                pm.blocked_steps += 1;
-                let t0 = Instant::now();
-                let depth = loop {
-                    self.writer.prepare_park();
-                    match self.ring.try_push(msg) {
-                        Ok(depth) => {
-                            self.writer.cancel_park();
-                            break Some(depth);
-                        }
-                        Err(back) => msg = back,
-                    }
-                    if ctl.is_poisoned() {
-                        self.writer.cancel_park();
-                        break None;
-                    }
-                    self.writer.park(WAIT_SLICE);
-                };
-                pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
-                ctl.leave_wait(pid);
-                match depth {
-                    Some(d) => d,
-                    None => return false,
-                }
-            }
-        };
-        // Writer-side counters: exact under relaxed ordering (single
-        // writer); `depth` is the producer-observed high-water bound.
-        self.messages.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes, Ordering::Relaxed);
-        if depth > self.max_depth.load(Ordering::Relaxed) {
-            self.max_depth.store(depth, Ordering::Relaxed);
-        }
-        self.reader.wake();
-        ctl.progress.fetch_add(1, Ordering::Relaxed);
-        true
-    }
-
-    /// Receive, parking while the queue is empty. Returns `None` if the
-    /// run was poisoned while waiting. Only the declared reader thread may
-    /// call this.
-    fn recv(&self, ctl: &Control, pid: ProcId, pm: &mut ProcMetrics) -> Option<M> {
-        let msg = match self.ring.try_pop() {
-            Some(m) => m,
-            None => {
-                ctl.enter_wait(pid, self.id, BlockKind::Recv);
-                pm.blocked_steps += 1;
-                let t0 = Instant::now();
-                let msg = loop {
-                    self.reader.prepare_park();
-                    if let Some(m) = self.ring.try_pop() {
-                        self.reader.cancel_park();
-                        break Some(m);
-                    }
-                    if ctl.is_poisoned() {
-                        self.reader.cancel_park();
-                        break None;
-                    }
-                    self.reader.park(WAIT_SLICE);
-                };
-                pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
-                ctl.leave_wait(pid);
-                msg?
-            }
-        };
-        self.writer.wake();
-        ctl.progress.fetch_add(1, Ordering::Relaxed);
-        Some(msg)
-    }
-}
-
-/// Runs on drop — including during a panic unwind — so the run-wide
-/// accounting stays correct and peers are released no matter how a process
-/// thread exits.
-struct ExitGuard<M> {
-    pid: ProcId,
-    ctl: Arc<Control>,
-    chans: Vec<Arc<SpscChan<M>>>,
-}
-
-impl<M> Drop for ExitGuard<M> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            self.ctl.fail(RunError::ThreadPanic { proc: self.pid }, &self.chans);
-        }
-        self.ctl.finished.fetch_add(1, Ordering::SeqCst);
-    }
-}
-
-/// Run a process collection on real threads to termination and return each
-/// process's final snapshot, indexed by process id (legacy entry point,
-/// equivalent to [`run_threaded_with`] with a default config: no watchdog).
+/// Run a process collection on the worker pool to termination and return
+/// each process's final snapshot, indexed by process id (legacy entry
+/// point, equivalent to [`run_threaded_with`] with a default config: no
+/// watchdog, pool sized to the host).
 pub fn run_threaded<P>(topo: &Topology, procs: Vec<P>) -> Result<Vec<Vec<u8>>, RunError>
 where
     P: Process + 'static,
@@ -264,12 +94,12 @@ where
     run_threaded_with(topo, procs, ThreadedConfig::default()).map(|o| o.snapshots)
 }
 
-/// Run a process collection on real threads to termination.
+/// Run a process collection on the worker pool to termination.
 ///
-/// Channel endpoint violations, [`Effect::Fault`]s, thread panics, and
-/// (with [`ThreadedConfig::watchdog`]) deadlocks all abort the run with a
-/// typed error and wake every blocked peer, so an erroneous run returns
-/// instead of hanging.
+/// Channel endpoint violations, [`crate::proc::Effect::Fault`]s, process
+/// panics, and (with [`ThreadedConfig::watchdog`]) deadlocks all abort the
+/// run with a typed error and release the pool, so an erroneous run
+/// returns instead of hanging.
 pub fn run_threaded_with<P>(
     topo: &Topology,
     procs: Vec<P>,
@@ -284,12 +114,14 @@ where
 /// [`run_threaded_with`] under a deterministic [`FaultPlan`].
 ///
 /// A crash keyed to a process's own step count fires at the same point of
-/// that process's action sequence as on the simulated backend (the
-/// sequence is schedule-independent in the paper's model): the thread
-/// aborts the run with [`RunError::Injected`] and wakes every blocked peer.
-/// A channel stall makes the reader sleep before the matching delivery —
-/// delaying, never changing, the result. For automatic restart after an
-/// injected crash, see [`crate::recover::run_threaded_recovering`].
+/// that process's action sequence as on the simulated backend — the M:N
+/// scheduler retries a blocked channel operation without re-stepping the
+/// process, so local step counts are schedule-independent exactly as in
+/// the paper's model. The crashed run aborts with [`RunError::Injected`]
+/// and releases the pool. A channel stall makes the reader sleep before
+/// the matching delivery — delaying, never changing, the result. For
+/// automatic restart after an injected crash, see
+/// [`crate::recover::run_threaded_recovering`].
 pub fn run_threaded_faulted<P>(
     topo: &Topology,
     procs: Vec<P>,
@@ -299,180 +131,7 @@ pub fn run_threaded_faulted<P>(
 where
     P: Process + 'static,
 {
-    assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
-    let faults = Arc::new(faults.clone());
-    let n = procs.len();
-    let chans: Vec<Arc<SpscChan<P::Msg>>> = topo
-        .specs()
-        .iter()
-        .enumerate()
-        .map(|(i, s)| Arc::new(SpscChan::new(ChannelId(i), s.capacity)))
-        .collect();
-    let ctl = Arc::new(Control::new(n));
-
-    let mut handles = Vec::with_capacity(n);
-    for (pid, mut proc) in procs.into_iter().enumerate() {
-        let chans = chans.clone();
-        let topo = topo.clone();
-        let ctl = Arc::clone(&ctl);
-        let faults = Arc::clone(&faults);
-        handles.push(std::thread::spawn(
-            move || -> Result<(Vec<u8>, ProcMetrics), RunError> {
-                let _guard = ExitGuard { pid, ctl: Arc::clone(&ctl), chans: chans.clone() };
-                // Bind this thread's park slots: it is the sole reader of
-                // its input channels and sole writer of its outputs (the
-                // SRSW declarations in the topology), so registration here
-                // is what makes peer wakes reach the right thread.
-                for (i, spec) in topo.specs().iter().enumerate() {
-                    if spec.reader == pid {
-                        chans[i].reader.register();
-                    }
-                    if spec.writer == pid {
-                        chans[i].writer.register();
-                    }
-                }
-                let mut pm = ProcMetrics::default();
-                let mut delivery: Option<P::Msg> = None;
-                // Per-channel deliveries completed by this thread, for
-                // matching stall ordinals (this thread is each input
-                // channel's sole reader, so a local count is exact).
-                let mut recvs_done = vec![0u64; chans.len()];
-                loop {
-                    if ctl.is_poisoned() {
-                        // The run is aborting; the verdict carries the error.
-                        return Ok((Vec::new(), pm));
-                    }
-                    pm.steps += 1;
-                    if faults.crash_at(pid, pm.steps) {
-                        let e = RunError::Injected { proc: pid, step: pm.steps };
-                        ctl.fail(e.clone(), &chans);
-                        return Err(e);
-                    }
-                    match proc.resume(delivery.take()) {
-                        Effect::Compute { units } => pm.compute_units += units,
-                        Effect::Send { chan, msg } => {
-                            if let Err(e) = topo.check_writer(chan, pid) {
-                                ctl.fail(e.clone(), &chans);
-                                return Err(e);
-                            }
-                            let bytes = P::msg_size_bytes(&msg);
-                            if !chans[chan.0].send(msg, bytes, &ctl, pid, &mut pm) {
-                                return Ok((Vec::new(), pm));
-                            }
-                            pm.sends += 1;
-                        }
-                        Effect::Recv { chan } => {
-                            if let Err(e) = topo.check_reader(chan, pid) {
-                                ctl.fail(e.clone(), &chans);
-                                return Err(e);
-                            }
-                            // An injected stall delays this delivery; the
-                            // message still arrives, so the result cannot
-                            // change (Theorem 1).
-                            if let Some(d) = faults.stall_sleep(chan, recvs_done[chan.0]) {
-                                std::thread::sleep(d);
-                            }
-                            match chans[chan.0].recv(&ctl, pid, &mut pm) {
-                                Some(m) => {
-                                    pm.receives += 1;
-                                    recvs_done[chan.0] += 1;
-                                    delivery = Some(m);
-                                }
-                                None => return Ok((Vec::new(), pm)),
-                            }
-                        }
-                        Effect::Halt => return Ok((proc.snapshot(), pm)),
-                        Effect::Fault { error } => {
-                            ctl.fail(error.clone(), &chans);
-                            return Err(error);
-                        }
-                    }
-                }
-            },
-        ));
-    }
-
-    let watchdog = config.watchdog.map(|window| {
-        let ctl = Arc::clone(&ctl);
-        let chans = chans.clone();
-        let topo = topo.clone();
-        std::thread::spawn(move || {
-            let poll = (window / 4).clamp(Duration::from_millis(1), WAIT_SLICE);
-            let mut last_progress = ctl.progress.load(Ordering::SeqCst);
-            let mut stalled_since: Option<Instant> = None;
-            loop {
-                std::thread::sleep(poll);
-                if ctl.is_poisoned() || ctl.finished.load(Ordering::SeqCst) == n {
-                    return;
-                }
-                let progress = ctl.progress.load(Ordering::SeqCst);
-                let blocked = ctl.blocked_count.load(Ordering::SeqCst);
-                let finished = ctl.finished.load(Ordering::SeqCst);
-                let wedged = progress == last_progress && blocked > 0 && blocked + finished == n;
-                if !wedged {
-                    last_progress = progress;
-                    stalled_since = None;
-                    continue;
-                }
-                let t0 = *stalled_since.get_or_insert_with(Instant::now);
-                if t0.elapsed() < window {
-                    continue;
-                }
-                // Declare the deadlock: snapshot the wait set, re-verify
-                // nothing moved while we took the lock, and poison the run.
-                let waits: Vec<(ProcId, ChannelId, BlockKind)> = {
-                    let w = ctl.waits.lock().unwrap();
-                    w.iter()
-                        .enumerate()
-                        .filter_map(|(p, e)| e.map(|(c, k)| (p, c, k)))
-                        .collect()
-                };
-                if ctl.progress.load(Ordering::SeqCst) != last_progress
-                    || waits.len() + ctl.finished.load(Ordering::SeqCst) != n
-                {
-                    stalled_since = None;
-                    continue;
-                }
-                ctl.fail(waitgraph::deadlock_error(&topo, &waits), &chans);
-                return;
-            }
-        })
-    });
-
-    let mut snapshots = vec![Vec::new(); n];
-    let mut metrics = RunMetrics::for_topology(topo);
-    let mut first_err: Option<RunError> = None;
-    for (pid, h) in handles.into_iter().enumerate() {
-        match h.join() {
-            Ok(Ok((snap, pm))) => {
-                snapshots[pid] = snap;
-                metrics.procs[pid] = pm;
-            }
-            Ok(Err(e)) => {
-                first_err.get_or_insert(e);
-            }
-            Err(_) => {
-                first_err.get_or_insert(RunError::ThreadPanic { proc: pid });
-            }
-        }
-    }
-    if let Some(h) = watchdog {
-        let _ = h.join();
-    }
-    // A watchdog- or fault-declared verdict describes the root cause better
-    // than whatever secondary error the individual threads exited with.
-    if let Some(v) = ctl.verdict.lock().unwrap().take() {
-        return Err(v);
-    }
-    if let Some(e) = first_err {
-        return Err(e);
-    }
-    for (i, c) in chans.iter().enumerate() {
-        metrics.channels[i].messages = c.messages.load(Ordering::Relaxed);
-        metrics.channels[i].bytes = c.bytes.load(Ordering::Relaxed);
-        metrics.channels[i].max_queue_depth = c.max_depth.load(Ordering::Relaxed);
-    }
-    Ok(ThreadedOutcome { snapshots, metrics })
+    sched::run_scheduled(topo, procs, config, faults)
 }
 
 #[cfg(test)]
@@ -480,8 +139,9 @@ mod tests {
     use super::*;
     use crate::chan::ChannelId;
     use crate::policy::RoundRobin;
-    use crate::proc::push_u64;
+    use crate::proc::{push_u64, Effect};
     use crate::sim::run_simulated;
+    use crate::waitgraph::BlockKind;
 
     /// A ring of processes circulating an incrementing token. Node 0 injects
     /// the token with value 1; every node forwards `token + 1`; each node
@@ -566,9 +226,9 @@ mod tests {
 
     #[test]
     fn threaded_bounded_channels_block_and_wake() {
-        // A bounded channel in the threaded runner: the sender must block
-        // when the queue is full and be woken as the receiver drains —
-        // the run completes and the receiver sees FIFO order.
+        // A bounded channel on the pool: the sender's task must park when
+        // the queue is full and be requeued as the receiver drains — the
+        // run completes and the receiver sees FIFO order.
         use crate::chan::ChannelSpec;
         enum Role {
             Burst { out: ChannelId, n: u64, sent: u64 },
@@ -633,6 +293,8 @@ mod tests {
         assert!(out.metrics.channels[0].max_queue_depth <= 2);
         assert_eq!(out.metrics.procs[0].sends, 200);
         assert_eq!(out.metrics.procs[1].receives, 200);
+        // The pool reports its shape in the metrics.
+        assert!(out.metrics.sched.workers >= 1);
     }
 
     #[test]
@@ -646,6 +308,30 @@ mod tests {
         for _ in 0..10 {
             let (topo, procs) = ring(5, 2);
             assert_eq!(run_threaded(&topo, procs).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn threaded_result_is_identical_across_pool_sizes() {
+        // Theorem 1 at the scheduler level: 1, 2, and 4 workers produce
+        // bitwise-identical snapshots (different interleavings, same
+        // final state).
+        let reference = {
+            let (topo, procs) = ring(6, 4);
+            run_threaded_with(&topo, procs, ThreadedConfig::default().with_workers(1))
+                .unwrap()
+                .snapshots
+        };
+        for workers in [2, 4] {
+            let (topo, procs) = ring(6, 4);
+            let out = run_threaded_with(
+                &topo,
+                procs,
+                ThreadedConfig::default().with_workers(workers),
+            )
+            .unwrap();
+            assert_eq!(out.snapshots, reference, "pool size {workers} changed the result");
+            assert_eq!(out.metrics.sched.workers, workers.min(6));
         }
     }
 
@@ -723,6 +409,25 @@ mod tests {
         let err = run_threaded_faulted(&topo, procs, ThreadedConfig::default(), &faults)
             .unwrap_err();
         assert_eq!(err, RunError::Injected { proc: 2, step: 2 });
+    }
+
+    #[test]
+    fn injected_crash_step_is_pool_size_independent() {
+        // Local step counts key fault injection; they must not depend on
+        // how many workers the pool has (blocked-op retries don't
+        // re-step the process).
+        for workers in [1, 2, 4] {
+            let (topo, procs) = ring(4, 3);
+            let faults = FaultPlan::none().crash(2, 2);
+            let err = run_threaded_faulted(
+                &topo,
+                procs,
+                ThreadedConfig::default().with_workers(workers),
+                &faults,
+            )
+            .unwrap_err();
+            assert_eq!(err, RunError::Injected { proc: 2, step: 2 }, "workers={workers}");
+        }
     }
 
     #[test]

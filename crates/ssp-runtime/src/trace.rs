@@ -170,14 +170,32 @@ pub struct ProcMetrics {
     pub blocked_nanos: u64,
 }
 
+/// Scheduler-level counters of a threaded run: the worker pool's shape and
+/// how hard the M:N machinery worked. All zero for the simulator, whose
+/// "scheduler" is the policy under test, not a worker pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedMetrics {
+    /// Worker threads in the pool (0 = not a pooled run).
+    pub workers: usize,
+    /// Rank tasks taken from another worker's deque.
+    pub steals: u64,
+    /// Budget-exhaustion yields (a compute-heavy rank returning its worker).
+    pub yields: u64,
+    /// Times a rank task parked on a channel edge (recv-empty/send-full).
+    pub task_parks: u64,
+}
+
 /// Quantitative profile of a run: per-channel traffic and queue pressure,
-/// per-process work and blocking. Populated by both runners.
+/// per-process work and blocking, plus scheduler counters. Populated by
+/// both runners.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunMetrics {
     /// One entry per channel, indexed by [`ChannelId`].
     pub channels: Vec<ChannelMetrics>,
     /// One entry per process, indexed by [`ProcId`].
     pub procs: Vec<ProcMetrics>,
+    /// Worker-pool counters (all zero outside the threaded runner).
+    pub sched: SchedMetrics,
 }
 
 impl RunMetrics {
@@ -196,6 +214,7 @@ impl RunMetrics {
                 })
                 .collect(),
             procs: vec![ProcMetrics::default(); topo.n_procs()],
+            sched: SchedMetrics::default(),
         }
     }
 
@@ -267,7 +286,12 @@ impl RunMetrics {
         }
         let _ = write!(
             s,
-            "],\"total_messages\":{},\"total_bytes\":{},\"max_queue_depth\":{}}}",
+            "],\"sched\":{{\"workers\":{},\"steals\":{},\"yields\":{},\"task_parks\":{}}},\
+             \"total_messages\":{},\"total_bytes\":{},\"max_queue_depth\":{}}}",
+            self.sched.workers,
+            self.sched.steals,
+            self.sched.yields,
+            self.sched.task_parks,
             self.total_messages(),
             self.total_bytes(),
             self.max_queue_depth()
@@ -339,7 +363,19 @@ impl RunMetrics {
             });
         }
 
-        let m = RunMetrics { channels, procs };
+        // Profiles dumped before the M:N scheduler have no "sched" object;
+        // read them as a zeroed pool rather than rejecting the file.
+        let sched = match doc.get("sched") {
+            Some(s) => SchedMetrics {
+                workers: field(s, "workers")? as usize,
+                steals: field(s, "steals")?,
+                yields: field(s, "yields")?,
+                task_parks: field(s, "task_parks")?,
+            },
+            None => SchedMetrics::default(),
+        };
+
+        let m = RunMetrics { channels, procs, sched };
         if field(&doc, "total_messages")? != m.total_messages()
             || field(&doc, "total_bytes")? != m.total_bytes()
             || field(&doc, "max_queue_depth")? as usize != m.max_queue_depth()
@@ -435,8 +471,26 @@ mod tests {
         m.procs[0].compute_units = 123;
         m.procs[1].blocked_steps = 2;
         m.procs[2].blocked_nanos = 987;
+        m.sched = SchedMetrics { workers: 4, steals: 9, yields: 3, task_parks: 17 };
 
         assert_eq!(RunMetrics::from_json(&m.to_json()), Ok(m));
+    }
+
+    #[test]
+    fn from_json_accepts_pre_scheduler_profiles() {
+        // A profile dumped before the M:N scheduler existed has no "sched"
+        // object; it must parse with a zeroed pool, not be rejected.
+        let mut t = Topology::new(2);
+        let c = t.connect(0, 1);
+        let mut m = RunMetrics::for_topology(&t);
+        m.on_send(c, 8, 1);
+        let with_sched = m.to_json();
+        let legacy = with_sched.replace(
+            ",\"sched\":{\"workers\":0,\"steals\":0,\"yields\":0,\"task_parks\":0}",
+            "",
+        );
+        assert_ne!(legacy, with_sched, "the sched object was present to strip");
+        assert_eq!(RunMetrics::from_json(&legacy), Ok(m));
     }
 
     #[test]
@@ -472,6 +526,7 @@ mod tests {
                         \"receives\":0,\"blocked_steps\":0,\"blocked_nanos\":0},\
                         {\"id\":1,\"steps\":0,\"compute_units\":0,\"sends\":0,\"receives\":0,\
                         \"blocked_steps\":0,\"blocked_nanos\":0}],\
+                        \"sched\":{\"workers\":0,\"steals\":0,\"yields\":0,\"task_parks\":0},\
                         \"total_messages\":1,\"total_bytes\":8,\"max_queue_depth\":1}";
         assert_eq!(m.to_json(), expected);
     }

@@ -1,0 +1,330 @@
+//! The M:N scheduler under heavy oversubscription: many more ranks than
+//! workers.
+//!
+//! Three things must hold when 64+ ranks share a 2-worker pool:
+//!
+//! 1. the watchdog must *not* fire while ranks are queued-but-runnable or
+//!    mid-compute, even under a window tighter than a compute phase
+//!    (the thread-per-rank condition "no progress for the window" would
+//!    false-positive here);
+//! 2. a *genuine* deadlock — every rank parked on a channel edge, run
+//!    queues empty — must still be detected and typed;
+//! 3. work stealing must actually move tasks between workers, and the
+//!    stolen interleaving must still reach the simulator's final state
+//!    bitwise (Theorem 1).
+
+use std::time::{Duration, Instant};
+
+use ssp_runtime::proc::push_u64;
+use ssp_runtime::{
+    run_simulated, run_threaded_with, ChannelId, Effect, Process, RoundRobin, RunError,
+    ThreadedConfig, Topology,
+};
+
+/// Token-ring node: forwards an incrementing token `laps` times; node 0
+/// injects and finally keeps it. Optionally burns real wall-clock time on
+/// each handling, to model a compute phase longer than a watchdog window.
+struct RingNode {
+    id: usize,
+    laps: u64,
+    inp: ChannelId,
+    out: ChannelId,
+    spin: Duration,
+    sent_initial: bool,
+    handled: u64,
+    state: u64,
+}
+
+impl Process for RingNode {
+    type Msg = u64;
+    fn resume(&mut self, delivery: Option<u64>) -> Effect<u64> {
+        if let Some(tok) = delivery {
+            self.handled += 1;
+            if !self.spin.is_zero() {
+                // A real compute phase: the worker is occupied, no channel
+                // traffic, progress counter flat.
+                let t0 = Instant::now();
+                while t0.elapsed() < self.spin {
+                    std::hint::spin_loop();
+                }
+            }
+            if self.id == 0 && self.handled == self.laps {
+                self.state = tok;
+                return Effect::Halt;
+            }
+            return Effect::Send { chan: self.out, msg: tok + 1 };
+        }
+        if self.id == 0 && !self.sent_initial {
+            self.sent_initial = true;
+            return Effect::Send { chan: self.out, msg: 1 };
+        }
+        if self.handled < self.laps {
+            Effect::Recv { chan: self.inp }
+        } else {
+            Effect::Halt
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        push_u64(&mut b, self.state);
+        push_u64(&mut b, self.handled);
+        b
+    }
+}
+
+fn ring_nodes(topo: &Topology, n: usize, laps: u64, spin_every: usize, spin: Duration) -> Vec<RingNode> {
+    (0..n)
+        .map(|i| RingNode {
+            id: i,
+            laps,
+            inp: topo.find((i + n - 1) % n, i).unwrap(),
+            out: topo.find(i, (i + 1) % n).unwrap(),
+            spin: if spin_every > 0 && i % spin_every == 0 { spin } else { Duration::ZERO },
+            sent_initial: false,
+            handled: 0,
+            state: 0,
+        })
+        .collect()
+}
+
+/// Satellite regression: 64 ranks on 2 workers under a watchdog window
+/// *tighter than the compute phases*. Every 8th rank burns ~4× the window
+/// in compute on each token handling, so the progress counter is flat for
+/// well over the window while 63 ranks are parked — but one rank is
+/// running (or queued), so the revised condition (every unfinished rank
+/// parked AND run queues empty) must hold the watchdog back.
+#[test]
+fn tight_watchdog_does_not_fire_on_64_oversubscribed_ranks() {
+    let n = 64;
+    let topo = Topology::ring(n);
+    let procs = ring_nodes(&topo, n, 1, 8, Duration::from_millis(40));
+    let out = run_threaded_with(
+        &topo,
+        procs,
+        ThreadedConfig::with_watchdog(Duration::from_millis(10)).with_workers(2),
+    )
+    .unwrap_or_else(|e| panic!("watchdog false positive under oversubscription: {e}"));
+    let mut expect = Vec::new();
+    push_u64(&mut expect, n as u64); // token value after n hops, 1 lap
+    push_u64(&mut expect, 1);
+    assert_eq!(out.snapshots[0], expect);
+    assert_eq!(out.metrics.sched.workers, 2);
+}
+
+/// The flip side: a genuine deadlock among 64 oversubscribed ranks is
+/// still detected, typed, and names the full receive cycle.
+#[test]
+fn genuine_deadlock_is_still_detected_on_2_workers() {
+    /// Receives before ever sending; a ring of these deadlocks instantly.
+    struct RecvFirst {
+        inp: ChannelId,
+    }
+    impl Process for RecvFirst {
+        type Msg = u64;
+        fn resume(&mut self, _d: Option<u64>) -> Effect<u64> {
+            Effect::Recv { chan: self.inp }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            Vec::new()
+        }
+    }
+    let n = 64;
+    let topo = Topology::ring(n);
+    let procs: Vec<RecvFirst> =
+        (0..n).map(|i| RecvFirst { inp: topo.find((i + n - 1) % n, i).unwrap() }).collect();
+    let err = run_threaded_with(
+        &topo,
+        procs,
+        ThreadedConfig::with_watchdog(Duration::from_millis(50)).with_workers(2),
+    )
+    .unwrap_err();
+    let RunError::Deadlock { blocked, cycle } = err else {
+        panic!("expected a typed deadlock under oversubscription");
+    };
+    assert_eq!(blocked.len(), n);
+    assert_eq!(cycle.len(), n, "the full ring receive cycle is named");
+}
+
+/// Hub of a star: sends one token to every spoke, then folds the replies
+/// (received in spoke order, so the fold is schedule-independent).
+struct Hub {
+    n_spokes: usize,
+    outs: Vec<ChannelId>,
+    ins: Vec<ChannelId>,
+    phase: usize,
+    state: u64,
+}
+
+impl Process for Hub {
+    type Msg = u64;
+    fn resume(&mut self, delivery: Option<u64>) -> Effect<u64> {
+        if let Some(v) = delivery {
+            self.state = self.state.wrapping_mul(31).wrapping_add(v);
+        }
+        let p = self.phase;
+        self.phase += 1;
+        if p < self.n_spokes {
+            Effect::Send { chan: self.outs[p], msg: (p as u64 + 1) * 1001 }
+        } else if p < 2 * self.n_spokes {
+            Effect::Recv { chan: self.ins[p - self.n_spokes] }
+        } else {
+            Effect::Halt
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        push_u64(&mut b, self.state);
+        b
+    }
+}
+
+/// Spoke: receives the hub's token, does a deliberately *hot* amount of
+/// work for spoke 1 and almost none for the rest (the skew that makes
+/// one deque deep while the other drains), replies with a value derived
+/// from the compute.
+struct Spoke {
+    id: usize,
+    inp: ChannelId,
+    out: ChannelId,
+    iters: u64,
+    got: Option<u64>,
+    sent: bool,
+}
+
+impl Process for Spoke {
+    type Msg = u64;
+    fn resume(&mut self, delivery: Option<u64>) -> Effect<u64> {
+        if let Some(v) = delivery {
+            self.got = Some(v);
+        }
+        match self.got {
+            None => Effect::Recv { chan: self.inp },
+            Some(v) if !self.sent => {
+                self.sent = true;
+                // Deterministic compute: the same value on every backend
+                // and pool size, only the wall time varies.
+                let mut acc = v;
+                for i in 0..self.iters {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i ^ self.id as u64);
+                }
+                Effect::Send { chan: self.out, msg: acc }
+            }
+            Some(_) => Effect::Halt,
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        push_u64(&mut b, self.got.unwrap_or(0));
+        push_u64(&mut b, u64::from(self.sent));
+        b
+    }
+}
+
+fn star_procs(topo: &Topology, n_spokes: usize) -> (Hub, Vec<Spoke>) {
+    let hub = Hub {
+        n_spokes,
+        outs: (1..=n_spokes).map(|s| topo.find(0, s).unwrap()).collect(),
+        ins: (1..=n_spokes).map(|s| topo.find(s, 0).unwrap()).collect(),
+        phase: 0,
+        state: 0,
+    };
+    let spokes = (1..=n_spokes)
+        .map(|s| Spoke {
+            id: s,
+            inp: topo.find(0, s).unwrap(),
+            out: topo.find(s, 0).unwrap(),
+            // One hot spoke, the rest near-idle: skewed per-rank work.
+            iters: if s == 1 { 2_000_000 } else { 10 },
+            got: None,
+            sent: false,
+        })
+        .collect();
+    (hub, spokes)
+}
+
+/// Wrapper so hub and spokes can share one `Vec<P>`.
+enum Star {
+    Hub(Hub),
+    Spoke(Spoke),
+}
+
+impl Process for Star {
+    type Msg = u64;
+    fn resume(&mut self, d: Option<u64>) -> Effect<u64> {
+        match self {
+            Star::Hub(h) => h.resume(d),
+            Star::Spoke(s) => s.resume(d),
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        match self {
+            Star::Hub(h) => h.snapshot(),
+            Star::Spoke(s) => s.snapshot(),
+        }
+    }
+    fn msg_size_bytes(_msg: &u64) -> u64 {
+        8
+    }
+}
+
+fn star_system(n_spokes: usize) -> (Topology, Vec<Star>) {
+    let topo = Topology::star(n_spokes + 1, 0);
+    let (hub, spokes) = star_procs(&topo, n_spokes);
+    let mut procs = vec![Star::Hub(hub)];
+    procs.extend(spokes.into_iter().map(Star::Spoke));
+    (topo, procs)
+}
+
+/// Satellite: the steal path under skewed per-rank work. The hub (worker
+/// 0's first task) wakes all 64 spokes onto worker 0's deque while it
+/// keeps running; worker 1 can only get them by stealing. The stolen
+/// interleaving must still produce the simulator's exact snapshots, and
+/// the steal counter must show the path was really taken.
+#[test]
+fn skewed_work_steals_tasks_and_matches_the_simulated_state_bitwise() {
+    let n_spokes = 64;
+    let (topo, procs) = star_system(n_spokes);
+    let reference = run_simulated(topo.clone(), procs, &mut RoundRobin::new()).unwrap();
+
+    let (topo, procs) = star_system(n_spokes);
+    let out = run_threaded_with(
+        &topo,
+        procs,
+        ThreadedConfig::with_watchdog(Duration::from_secs(10)).with_workers(2),
+    )
+    .unwrap();
+
+    assert_eq!(
+        out.snapshots, reference.snapshots,
+        "stolen interleaving diverged from the simulated reference"
+    );
+    assert!(
+        out.metrics.sched.steals > 0,
+        "no steals recorded: the skewed load never exercised the steal path"
+    );
+    assert!(out.metrics.sched.task_parks > 0, "spokes must have parked on empty rings");
+    assert_eq!(out.metrics.sched.workers, 2);
+    // Traffic is exact despite migration: one token out and one reply back
+    // per spoke, 8 bytes each.
+    assert_eq!(out.metrics.total_messages(), 2 * n_spokes as u64);
+    assert_eq!(out.metrics.total_bytes(), 16 * n_spokes as u64);
+}
+
+/// Pool-size sweep on the same skewed program: 1, 2, 3 and 64 workers all
+/// reach the identical final state (Theorem 1 at the scheduler level).
+#[test]
+fn skewed_work_result_is_pool_size_invariant() {
+    let n_spokes = 16;
+    let (topo, procs) = star_system(n_spokes);
+    let reference =
+        run_threaded_with(&topo, procs, ThreadedConfig::default().with_workers(1))
+            .unwrap()
+            .snapshots;
+    for workers in [2, 3, 64] {
+        let (topo, procs) = star_system(n_spokes);
+        let out =
+            run_threaded_with(&topo, procs, ThreadedConfig::default().with_workers(workers))
+                .unwrap();
+        assert_eq!(out.snapshots, reference, "pool size {workers} changed the final state");
+    }
+}

@@ -11,6 +11,10 @@
 #   scripts/bench.sh full     the paper's full 512-step workload
 #
 # REPRO_SCALE can always be overridden from the environment.
+#
+# SSP_WORKERS (optional) pins the M:N scheduler's worker-pool size for the
+# threaded series (recorded per point as "workers"/"sched" in the JSON);
+# unset, the pool sizes itself to the host's available cores.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +28,7 @@ case "$mode" in
 esac
 
 out="$PWD/BENCH_figure2.json"
-echo "bench.sh: mode=$mode REPRO_SCALE=$scale -> $out"
+echo "bench.sh: mode=$mode REPRO_SCALE=$scale SSP_WORKERS=${SSP_WORKERS:-auto} -> $out"
 # Absolute path: cargo runs bench binaries from the package directory.
 REPRO_SCALE="$scale" BENCH_JSON="$out" cargo bench -p bench --bench figure2
 
