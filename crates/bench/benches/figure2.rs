@@ -95,7 +95,15 @@ fn main() {
 
     let predictions = predicted_curves(&params);
     let threaded = measured_threaded(&params);
-    write_bench_json(&params, machine.name, &measured_points, &predictions, &threaded);
+    let distributed = measured_distributed();
+    write_bench_json(
+        &params,
+        machine.name,
+        &measured_points,
+        &predictions,
+        &threaded,
+        &distributed,
+    );
 
     comm_profile();
 
@@ -246,6 +254,81 @@ fn cores() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// One point of the distributed series: the same version-A program spread
+/// across real worker *processes* via the ssp-dist supervisor.
+struct DistPoint {
+    workers: usize,
+    wall: f64,
+    migrations: u64,
+    frames_routed: u64,
+    killed: bool,
+    identical: bool,
+}
+
+/// Measured wall times of the multi-process backend on the tiny grid:
+/// clean runs at 1/2/3 workers, plus one run where a worker is SIGKILLed
+/// mid-flight and its ranks migrate to a survivor. Every point's final
+/// state is checked bitwise against the deterministic simulator — the
+/// point of the series is that the `identical` column stays `true` even
+/// on the killed run. Needs `SSP_WORKER_BIN` (scripts/bench.sh sets it);
+/// skipped with a note otherwise, so `cargo bench` alone still works.
+fn measured_distributed() -> Vec<DistPoint> {
+    let Ok(bin) = std::env::var("SSP_WORKER_BIN") else {
+        println!(
+            "\ndistributed series skipped: SSP_WORKER_BIN not set \
+             (scripts/bench.sh builds ssp-worker and sets it)"
+        );
+        return Vec::new();
+    };
+    let args = ssp_dist::fdtd_a_args("tiny", 4);
+    let reference = ssp_dist::build_workload("fdtd-a", &args)
+        .expect("registry knows fdtd-a")
+        .run_reference()
+        .expect("reference simulation");
+    let mut points = Vec::new();
+    for (workers, kill) in [(1usize, false), (2, false), (3, false), (2, true)] {
+        let mut cfg = ssp_dist::DistConfig::new(workers, &bin);
+        if kill {
+            cfg.chaos_kill = Some(ssp_dist::ChaosKill { worker: 1, after_frames: 25 });
+        }
+        let t0 = std::time::Instant::now();
+        let out = match ssp_dist::run_distributed("fdtd-a", &args, &cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                println!("distributed point (workers={workers}, kill={kill}) failed: {e}");
+                continue;
+            }
+        };
+        points.push(DistPoint {
+            workers,
+            wall: t0.elapsed().as_secs_f64(),
+            migrations: out.stats.migrations,
+            frames_routed: out.stats.frames_routed,
+            killed: kill,
+            identical: out.snapshots == reference,
+        });
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.workers.to_string(),
+                if pt.killed { "SIGKILL mid-run" } else { "clean" }.to_string(),
+                secs(pt.wall),
+                pt.migrations.to_string(),
+                pt.frames_routed.to_string(),
+                pt.identical.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "measured distributed execution (supervisor + worker processes, tiny grid)",
+        &["workers", "fault", "wall (s)", "migrations", "frames routed", "bitwise identical"],
+        &rows,
+    );
+    points
+}
+
 /// Write the run's measured and predicted numbers as JSON when `BENCH_JSON`
 /// names an output path (`scripts/bench.sh` sets it to
 /// `BENCH_figure2.json`). Hand-rolled writer, like the rest of the
@@ -256,6 +339,7 @@ fn write_bench_json(
     measured: &[RunPoint],
     predictions: &[(&'static str, Vec<(usize, DesOutcome)>)],
     threaded: &[ThreadedPoint],
+    distributed: &[DistPoint],
 ) {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
@@ -292,6 +376,18 @@ fn write_bench_json(
             pt.workers,
             ssp_runtime::sched::SCHED_MODE,
             pt.steals
+        );
+    }
+    s.push_str("],\"distributed\":[");
+    for (i, pt) in distributed.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"workers\":{},\"wall\":{},\"migrations\":{},\"frames_routed\":{},\
+             \"killed\":{},\"identical\":{}}}",
+            pt.workers, pt.wall, pt.migrations, pt.frames_routed, pt.killed, pt.identical
         );
     }
     s.push_str("],\"predicted\":[");

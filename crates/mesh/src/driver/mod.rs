@@ -17,6 +17,7 @@
 mod msg;
 mod seq;
 mod simpar;
+mod wire;
 
 pub use msg::{
     build_msg_processes, build_msg_processes_hosted, build_msg_processes_with_slack,
@@ -25,6 +26,7 @@ pub use msg::{
     run_msg_threaded_slack, MeshMsg, MsgProcess,
 };
 pub use seq::run_seq;
+pub use wire::{decode_mesh_msg, encode_mesh_msg};
 pub use simpar::{
     ordered_sum, run_simpar, try_run_simpar, GatherShapeError, HostMode, SimParConfig,
     SimParOutcome, ValidationLevel,

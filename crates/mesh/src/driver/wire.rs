@@ -1,0 +1,220 @@
+//! Byte codec for [`MeshMsg`] — the payload format of the distributed
+//! backend's DATA frames.
+//!
+//! The distributed supervisor routes messages between worker processes as
+//! opaque bytes; this module is where a mesh message becomes those bytes
+//! and back. Two properties matter:
+//!
+//! * **Bitwise fidelity.** Floats cross the wire as their IEEE-754 bit
+//!   patterns (`f64::to_bits`, little-endian), so a value survives the
+//!   round trip exactly — including negative zero and NaN payloads. This
+//!   is what lets the distributed run's final snapshots be *bitwise*
+//!   identical to the in-process drivers' (the paper's §4.5 standard).
+//! * **Hostility tolerance.** [`decode_mesh_msg`] is network-facing: every
+//!   malformed input — short buffer, unknown tag, truncated payload,
+//!   trailing garbage — yields a typed [`RunError::Protocol`], never a
+//!   panic. Allocation is bounded by the input length (element counts are
+//!   validated against the remaining bytes *before* any allocation).
+//!
+//! Layout: `[tag: u8][count: u32 le][elements…]` where tag 0=Halo, 1=Vec,
+//! 2=Contribs, 3=Block. Float variants carry `count` × 8-byte bit
+//! patterns; `Contribs` carries `count` × 20-byte records
+//! `(bin: u32 le, order: u64 le, value: f64 bits le)` — the same 20-byte
+//! element size [`MeshMsg::size_bytes`] already accounts, so traffic
+//! metrics and wire bytes agree up to the fixed 5-byte header.
+
+use ssp_runtime::RunError;
+
+use crate::plan::Contribution;
+
+use super::msg::MeshMsg;
+
+/// Wire tag of each [`MeshMsg`] variant.
+const TAG_HALO: u8 = 0;
+const TAG_VEC: u8 = 1;
+const TAG_CONTRIBS: u8 = 2;
+const TAG_BLOCK: u8 = 3;
+
+fn corrupt(detail: String) -> RunError {
+    RunError::Protocol { proc: 0, detail }
+}
+
+fn push_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    for v in vs {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Encode a mesh message for a DATA frame. Infallible; the inverse of
+/// [`decode_mesh_msg`].
+pub fn encode_mesh_msg(msg: &MeshMsg) -> Vec<u8> {
+    let (tag, count) = match msg {
+        MeshMsg::Halo(v) => (TAG_HALO, v.len()),
+        MeshMsg::Vec(v) => (TAG_VEC, v.len()),
+        MeshMsg::Contribs(c) => (TAG_CONTRIBS, c.len()),
+        MeshMsg::Block(v) => (TAG_BLOCK, v.len()),
+    };
+    let elem = if tag == TAG_CONTRIBS { 20 } else { 8 };
+    let mut out = Vec::with_capacity(5 + elem * count);
+    out.push(tag);
+    out.extend_from_slice(&(count as u32).to_le_bytes());
+    match msg {
+        MeshMsg::Halo(v) | MeshMsg::Vec(v) | MeshMsg::Block(v) => push_f64s(&mut out, v),
+        MeshMsg::Contribs(cs) => {
+            for c in cs {
+                out.extend_from_slice(&c.bin.to_le_bytes());
+                out.extend_from_slice(&c.order.to_le_bytes());
+                out.extend_from_slice(&c.value.to_bits().to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Fixed-width field reader over a byte slice; every read is bounds-checked
+/// and a failure reports how the buffer fell short.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], RunError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            corrupt(format!(
+                "mesh msg truncated reading {what}: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len().saturating_sub(self.pos)
+            ))
+        })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, RunError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, RunError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, RunError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, RunError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+}
+
+/// Decode a DATA-frame payload back into a [`MeshMsg`].
+///
+/// Total function over arbitrary bytes: any malformed input yields
+/// [`RunError::Protocol`] naming what was wrong. The element count is
+/// validated against the remaining buffer before anything is allocated,
+/// so a hostile count cannot force an oversized allocation.
+pub fn decode_mesh_msg(buf: &[u8]) -> Result<MeshMsg, RunError> {
+    let mut r = Reader { buf, pos: 0 };
+    let tag = r.u8("tag")?;
+    let count = r.u32("count")? as usize;
+    let elem = match tag {
+        TAG_CONTRIBS => 20,
+        TAG_HALO | TAG_VEC | TAG_BLOCK => 8,
+        t => return Err(corrupt(format!("mesh msg has unknown tag {t}"))),
+    };
+    let need = count
+        .checked_mul(elem)
+        .ok_or_else(|| corrupt(format!("mesh msg count {count} overflows")))?;
+    let have = buf.len() - r.pos;
+    if have != need {
+        return Err(corrupt(format!(
+            "mesh msg payload length mismatch: tag {tag} count {count} needs {need} bytes, \
+             have {have}"
+        )));
+    }
+    if tag == TAG_CONTRIBS {
+        let mut cs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bin = r.u32("contrib bin")?;
+            let order = r.u64("contrib order")?;
+            let value = r.f64("contrib value")?;
+            cs.push(Contribution { bin, order, value });
+        }
+        return Ok(MeshMsg::Contribs(cs));
+    }
+    let mut vs = Vec::with_capacity(count);
+    for _ in 0..count {
+        vs.push(r.f64("float element")?);
+    }
+    Ok(match tag {
+        TAG_HALO => MeshMsg::Halo(vs),
+        TAG_VEC => MeshMsg::Vec(vs),
+        _ => MeshMsg::Block(vs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_every_variant_bitwise() {
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001); // payload-carrying NaN
+        let msgs = vec![
+            MeshMsg::Halo(vec![1.5, -0.0, nan]),
+            MeshMsg::Vec(vec![]),
+            MeshMsg::Vec(vec![f64::MIN, f64::MAX, f64::EPSILON]),
+            MeshMsg::Contribs(vec![
+                Contribution { bin: 7, order: u64::MAX, value: -3.25 },
+                Contribution { bin: 0, order: 0, value: nan },
+            ]),
+            MeshMsg::Block(vec![2.0_f64.powi(-1040)]), // subnormal
+        ];
+        for m in msgs {
+            let bytes = encode_mesh_msg(&m);
+            let back = decode_mesh_msg(&bytes).unwrap();
+            // PartialEq is false for NaN; compare bit patterns instead.
+            assert_eq!(encode_mesh_msg(&back), bytes, "round trip changed {m:?}");
+        }
+    }
+
+    #[test]
+    fn encoded_length_is_header_plus_size_bytes() {
+        let m = MeshMsg::Halo(vec![1.0; 9]);
+        assert_eq!(encode_mesh_msg(&m).len() as u64, 5 + m.size_bytes());
+        let m = MeshMsg::Contribs(vec![Contribution { bin: 1, order: 2, value: 3.0 }; 4]);
+        assert_eq!(encode_mesh_msg(&m).len() as u64, 5 + m.size_bytes());
+    }
+
+    #[test]
+    fn malformed_inputs_yield_protocol_errors_not_panics() {
+        // Empty, bare tag, truncated count.
+        for bad in [&[][..], &[0][..], &[1, 3, 0][..]] {
+            assert!(matches!(decode_mesh_msg(bad), Err(RunError::Protocol { .. })));
+        }
+        // Unknown tag.
+        let r = decode_mesh_msg(&[9, 0, 0, 0, 0]);
+        assert!(matches!(r, Err(RunError::Protocol { .. })), "got {r:?}");
+        // Count promises more than the buffer holds (no allocation bomb).
+        let r = decode_mesh_msg(&[1, 255, 255, 255, 255]);
+        assert!(matches!(r, Err(RunError::Protocol { .. })), "got {r:?}");
+        // Trailing garbage after a valid payload.
+        let mut ok = encode_mesh_msg(&MeshMsg::Vec(vec![1.0]));
+        ok.push(0);
+        assert!(matches!(decode_mesh_msg(&ok), Err(RunError::Protocol { .. })));
+        // Truncated mid-element.
+        let full = encode_mesh_msg(&MeshMsg::Contribs(vec![Contribution {
+            bin: 1,
+            order: 2,
+            value: 3.0,
+        }]));
+        for cut in 1..full.len() {
+            let r = decode_mesh_msg(&full[..cut]);
+            assert!(matches!(r, Err(RunError::Protocol { .. })), "cut at {cut}: {r:?}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The worker executable: `ssp-worker <socket path> <worker index>
+//! [threads per group]`. Spawned by the supervisor; never run by hand.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (path, idx) = match (args.get(1), args.get(2).and_then(|s| s.parse().ok())) {
+        (Some(p), Some(i)) => (p.as_str(), i),
+        _ => {
+            eprintln!("usage: ssp-worker <socket path> <worker index> [threads per group]");
+            return ExitCode::FAILURE;
+        }
+    };
+    // 0 (or absent) means "auto": let the scheduler size its pool.
+    let group_workers = match args.get(3).map(|s| s.parse::<usize>()) {
+        None | Some(Ok(0)) => None,
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => {
+            eprintln!("ssp-worker: threads per group must be an integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ssp_dist::worker_main(path, idx, group_workers) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Length-prefixed frame protocol for the supervisor⇄worker sockets.
+//!
+//! Wire layout of one frame:
+//!
+//! ```text
+//! [length: u32 le][type: u8][payload: length-1 bytes]
+//! ```
+//!
+//! `length` counts the type byte plus the payload, so an empty-payload
+//! frame has `length == 1`. Frames are the *only* thing on the socket;
+//! there is no out-of-band data, so a reader is always either at a frame
+//! boundary (where a clean close is a normal [`FrameError::Eof`]) or
+//! mid-frame (where a close is a *torn frame*, reported as
+//! [`FrameError::Io`] — the signature of a killed peer).
+//!
+//! `length` is capped at [`MAX_FRAME_LEN`]; an oversized header is a
+//! protocol violation ([`FrameError::Malformed`]), not an allocation —
+//! the cap is checked before any buffer is reserved, so a hostile or
+//! corrupt peer cannot force an allocation bomb.
+//!
+//! Writes lock nothing here — callers that share a socket between threads
+//! (the worker's pump + completion threads) serialize whole frames under
+//! their own mutex so frames never interleave.
+
+use std::io::{self, Read, Write};
+
+use ssp_runtime::RunError;
+
+/// Upper bound on the `length` field (type byte + payload): 64 MiB.
+/// Generous for checkpointed snapshots, far below anything a corrupt
+/// header could use to exhaust memory.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// The kind of a frame, carried as the byte after the length prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Worker → supervisor, first frame: identifies the worker index.
+    Hello = 0,
+    /// Supervisor → worker: host a group of ranks (JSON payload).
+    Assign = 1,
+    /// Either direction: one message on one cross-group channel.
+    /// Payload: `[chan: u32 le][encoded message bytes]`.
+    Data = 2,
+    /// Worker → supervisor: a group finished; snapshots + metrics.
+    GroupDone = 3,
+    /// Worker → supervisor: fatal worker-side error (UTF-8 detail).
+    Error = 4,
+    /// Supervisor → worker: exit cleanly. Empty payload.
+    Shutdown = 5,
+    /// Supervisor → worker liveness probe. Empty payload.
+    Ping = 6,
+    /// Worker → supervisor liveness reply. Empty payload.
+    Pong = 7,
+}
+
+impl FrameType {
+    fn from_u8(b: u8) -> Option<FrameType> {
+        Some(match b {
+            0 => FrameType::Hello,
+            1 => FrameType::Assign,
+            2 => FrameType::Data,
+            3 => FrameType::GroupDone,
+            4 => FrameType::Error,
+            5 => FrameType::Shutdown,
+            6 => FrameType::Ping,
+            7 => FrameType::Pong,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame: its type and raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What kind of frame this is.
+    pub ty: FrameType,
+    /// The bytes after the type byte.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Build a frame.
+    pub fn new(ty: FrameType, payload: Vec<u8>) -> Frame {
+        Frame { ty, payload }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream closed cleanly at a frame boundary.
+    Eof,
+    /// The stream failed or closed mid-frame (a torn frame — the
+    /// signature of a killed peer).
+    Io(io::Error),
+    /// The bytes violate the frame grammar (oversized length, unknown
+    /// frame type).
+    Malformed(String),
+}
+
+impl FrameError {
+    /// Convert into the runtime's typed error space, attributing the
+    /// failure to `who` (a rank id or 0 for the supervisor).
+    pub fn into_run_error(self, who: usize) -> RunError {
+        let detail = match self {
+            FrameError::Eof => "unexpected end of stream".to_string(),
+            FrameError::Io(e) => format!("torn frame: {e}"),
+            FrameError::Malformed(m) => m,
+        };
+        RunError::Protocol { proc: who, detail }
+    }
+}
+
+/// Write one frame. The caller serializes concurrent writers; this
+/// performs a single buffered write so a frame hits the socket whole.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let len = frame
+        .payload
+        .len()
+        .checked_add(1)
+        .filter(|&l| l <= MAX_FRAME_LEN as usize)
+        .expect("frame payload exceeds MAX_FRAME_LEN");
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.push(frame.ty as u8);
+    buf.extend_from_slice(&frame.payload);
+    w.write_all(&buf)
+}
+
+/// Read exactly `buf.len()` bytes. Distinguishes a clean close before the
+/// first byte (`Ok(false)`) from a short read after it (`Err`).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, io::Error> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream closed after {filled} of {} bytes", buf.len()),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame. A clean close at a frame boundary is [`FrameError::Eof`];
+/// a close anywhere inside a frame is a torn frame ([`FrameError::Io`]).
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header) {
+        Ok(true) => {}
+        Ok(false) => return Err(FrameError::Eof),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_le_bytes(header);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(FrameError::Malformed(format!(
+            "frame length {len} outside 1..={MAX_FRAME_LEN}"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    match read_exact_or_eof(r, &mut body) {
+        Ok(true) => {}
+        Ok(false) => {
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream closed between frame header and body",
+            )))
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let ty = FrameType::from_u8(body[0])
+        .ok_or_else(|| FrameError::Malformed(format!("unknown frame type {}", body[0])))?;
+    Ok(Frame { ty, payload: body.split_off(1) })
+}
+
+/// Encode a DATA payload: `[chan: u32 le][message bytes]`.
+pub fn encode_data(chan: usize, msg: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + msg.len());
+    out.extend_from_slice(&(chan as u32).to_le_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+/// Decode a DATA payload into `(chan, message bytes)`.
+pub fn decode_data(payload: &[u8]) -> Result<(usize, &[u8]), RunError> {
+    if payload.len() < 4 {
+        return Err(RunError::Protocol {
+            proc: 0,
+            detail: format!("DATA payload too short: {} bytes", payload.len()),
+        });
+    }
+    let chan = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+    Ok((chan, &payload[4..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            Frame::new(FrameType::Hello, vec![3]),
+            Frame::new(FrameType::Data, encode_data(42, b"payload")),
+            Frame::new(FrameType::Ping, vec![]),
+            Frame::new(FrameType::GroupDone, vec![0xff; 1000]),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut r = Cursor::new(wire);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn torn_frames_are_io_errors_not_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::new(FrameType::Data, encode_data(1, b"abcdef"))).unwrap();
+        // Every possible truncation point inside the frame is torn, not a
+        // clean EOF — this is how a SIGKILLed peer looks to the reader.
+        for cut in 1..wire.len() {
+            let r = read_frame(&mut Cursor::new(&wire[..cut]));
+            assert!(matches!(r, Err(FrameError::Io(_))), "cut at {cut}: {r:?}");
+        }
+        // Zero bytes is the clean close.
+        assert!(matches!(read_frame(&mut Cursor::new(&[][..])), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn hostile_headers_are_malformed_without_allocation() {
+        // Length zero.
+        let r = read_frame(&mut Cursor::new(0u32.to_le_bytes().to_vec()));
+        assert!(matches!(r, Err(FrameError::Malformed(_))), "{r:?}");
+        // Length far over the cap: rejected before any buffer is reserved.
+        let r = read_frame(&mut Cursor::new(u32::MAX.to_le_bytes().to_vec()));
+        assert!(matches!(r, Err(FrameError::Malformed(_))), "{r:?}");
+        // Unknown frame type.
+        let mut wire = 1u32.to_le_bytes().to_vec();
+        wire.push(99);
+        let r = read_frame(&mut Cursor::new(wire));
+        assert!(matches!(r, Err(FrameError::Malformed(_))), "{r:?}");
+    }
+
+    #[test]
+    fn data_payload_codec_round_trips_and_rejects_short_input() {
+        let p = encode_data(7, b"xyz");
+        assert_eq!(decode_data(&p).unwrap(), (7, &b"xyz"[..]));
+        assert_eq!(decode_data(&encode_data(0, b"")).unwrap(), (0, &b""[..]));
+        for cut in 0..4 {
+            assert!(decode_data(&p[..cut]).is_err());
+        }
+    }
+}

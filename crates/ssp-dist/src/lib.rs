@@ -1,0 +1,39 @@
+//! # ssp-dist — multi-process distributed backend with live rank migration
+//!
+//! The third execution substrate for the paper's message-passing programs,
+//! after the deterministic simulator and the in-process M:N scheduler: a
+//! **supervisor process** plus N **worker processes** connected by
+//! Unix-domain sockets speaking a length-prefixed frame protocol.
+//!
+//! * [`frame`] — the wire format: `[u32 le length][u8 type][payload]`.
+//! * [`proto`] — control payloads (ASSIGN as JSON through the runtime's
+//!   hardened parser, GROUP_DONE as framed binary + metrics JSON).
+//! * [`registry`] — named workloads both sides rebuild from `(name, args)`;
+//!   code never crosses the wire.
+//! * [`worker`] — hosts *groups* (one [`ssp_runtime::launch_partial`]
+//!   scheduler instance each) and bridges their cross-group channels to
+//!   DATA frames.
+//! * [`supervisor`] — owns the topology, routes and logs every cross-group
+//!   message (star topology), and on a worker death migrates its unfinished
+//!   ranks onto a survivor or a fresh process, replaying channel history.
+//!
+//! The correctness claim, inherited from the paper's Theorem 1: processes
+//! are deterministic and interact only via SRSW channels, so a rank rebuilt
+//! from its initial state in another process — fed the same channel history
+//! — reaches the same state, and the whole distributed run's final
+//! snapshots are **bitwise identical** to the single-process simulator's,
+//! migrations and all. The integration tests assert exactly that, including
+//! under a mid-run SIGKILL.
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod proto;
+pub mod registry;
+pub mod supervisor;
+pub mod worker;
+
+pub use registry::{build_workload, fdtd_a_args, ring_args, Workload};
+pub use supervisor::{
+    run_distributed, ChaosKill, DistConfig, DistOutcome, DistStats, MigrationPolicy,
+};
+pub use worker::worker_main;

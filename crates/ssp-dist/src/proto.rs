@@ -1,0 +1,224 @@
+//! Payload codecs for the control frames (HELLO / ASSIGN / GROUP_DONE).
+//!
+//! ASSIGN rides as JSON through [`ssp_runtime::json`] — deliberately: the
+//! runtime's JSON reader is the same code that parses checkpoint manifests
+//! and metrics dumps, and making it network-facing here is what motivates
+//! hardening it against hostile input (the parser is a total function with
+//! a depth cap; everything malformed surfaces as a typed error).
+//! GROUP_DONE is framed binary (snapshots are raw bytes) with the run's
+//! [`RunMetrics`] embedded as its own JSON document, parsed back with
+//! [`RunMetrics::from_json`].
+//!
+//! All decoders are total over arbitrary bytes: malformed input yields
+//! [`RunError::Protocol`], never a panic, and element counts are validated
+//! against the remaining buffer before any allocation.
+
+use std::collections::BTreeMap;
+
+use ssp_runtime::json::{parse, JsonValue};
+use ssp_runtime::{RunError, RunMetrics};
+
+fn corrupt(detail: String) -> RunError {
+    RunError::Protocol { proc: 0, detail }
+}
+
+/// HELLO payload: the worker's index, `[u32 le]`.
+pub fn encode_hello(worker: usize) -> Vec<u8> {
+    (worker as u32).to_le_bytes().to_vec()
+}
+
+/// Decode a HELLO payload.
+pub fn decode_hello(payload: &[u8]) -> Result<usize, RunError> {
+    let b: [u8; 4] = payload
+        .try_into()
+        .map_err(|_| corrupt(format!("HELLO payload must be 4 bytes, got {}", payload.len())))?;
+    Ok(u32::from_le_bytes(b) as usize)
+}
+
+/// An ASSIGN order: host `ranks` as one group of `workload`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// Supervisor-issued group id, echoed back in GROUP_DONE.
+    pub group: u64,
+    /// Registry name of the workload (e.g. `"ring"`, `"fdtd-a"`).
+    pub workload: String,
+    /// Workload-specific parameters, passed to the registry verbatim.
+    pub args: JsonValue,
+    /// The global rank ids this group hosts.
+    pub ranks: Vec<usize>,
+}
+
+impl Assign {
+    /// Serialize as a JSON document.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut obj = BTreeMap::new();
+        obj.insert("group".to_string(), JsonValue::Num(self.group as f64));
+        obj.insert("workload".to_string(), JsonValue::Str(self.workload.clone()));
+        obj.insert("args".to_string(), self.args.clone());
+        obj.insert(
+            "ranks".to_string(),
+            JsonValue::Arr(self.ranks.iter().map(|&r| JsonValue::Num(r as f64)).collect()),
+        );
+        JsonValue::Obj(obj).to_json().into_bytes()
+    }
+
+    /// Parse an ASSIGN payload; anything malformed is a typed error.
+    pub fn decode(payload: &[u8]) -> Result<Assign, RunError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| corrupt(format!("ASSIGN payload is not UTF-8: {e}")))?;
+        let doc = parse(text).map_err(|e| corrupt(format!("ASSIGN payload: {e}")))?;
+        let group = doc
+            .get("group")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| corrupt("ASSIGN missing integer 'group'".to_string()))?;
+        let workload = match doc.get("workload") {
+            Some(JsonValue::Str(s)) => s.clone(),
+            _ => return Err(corrupt("ASSIGN missing string 'workload'".to_string())),
+        };
+        let args = doc.get("args").cloned().unwrap_or(JsonValue::Null);
+        let ranks = doc
+            .get("ranks")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| corrupt("ASSIGN missing array 'ranks'".to_string()))?
+            .iter()
+            .map(|v| {
+                v.as_usize().ok_or_else(|| corrupt("ASSIGN rank is not an integer".to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Assign { group, workload, args, ranks })
+    }
+}
+
+/// A GROUP_DONE report: the group's final snapshots and metrics.
+#[derive(Debug, Clone)]
+pub struct GroupDone {
+    /// The group id from the ASSIGN this answers.
+    pub group: u64,
+    /// `(rank, snapshot bytes)` for every rank the group hosted.
+    pub snapshots: Vec<(usize, Vec<u8>)>,
+    /// The group's full run metrics (global rank/channel ids).
+    pub metrics: RunMetrics,
+}
+
+impl GroupDone {
+    /// Serialize: `[u64 group][u32 n] n×([u32 rank][u32 len][bytes])
+    /// [u32 mlen][metrics JSON]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let metrics_json = self.metrics.to_json();
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.group.to_le_bytes());
+        out.extend_from_slice(&(self.snapshots.len() as u32).to_le_bytes());
+        for (rank, bytes) in &self.snapshots {
+            out.extend_from_slice(&(*rank as u32).to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        out.extend_from_slice(&(metrics_json.len() as u32).to_le_bytes());
+        out.extend_from_slice(metrics_json.as_bytes());
+        out
+    }
+
+    /// Parse a GROUP_DONE payload; total over arbitrary bytes.
+    pub fn decode(payload: &[u8]) -> Result<GroupDone, RunError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize, what: &str| -> Result<&[u8], RunError> {
+            let end = pos.checked_add(n).filter(|&e| e <= payload.len()).ok_or_else(|| {
+                corrupt(format!("GROUP_DONE truncated reading {what} at offset {pos}"))
+            })?;
+            let s = &payload[*pos..end];
+            *pos = end;
+            Ok(s)
+        };
+        let u32f = |pos: &mut usize, what: &str| -> Result<u32, RunError> {
+            let b = take(pos, 4, what)?;
+            Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        };
+        let g = take(&mut pos, 8, "group id")?;
+        let group = u64::from_le_bytes([g[0], g[1], g[2], g[3], g[4], g[5], g[6], g[7]]);
+        let n = u32f(&mut pos, "snapshot count")? as usize;
+        // Each snapshot record is at least 8 bytes; reject counts the
+        // buffer cannot possibly hold before allocating for them.
+        if n.checked_mul(8).map(|need| need > payload.len() - pos).unwrap_or(true) {
+            return Err(corrupt(format!("GROUP_DONE claims {n} snapshots in too few bytes")));
+        }
+        let mut snapshots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rank = u32f(&mut pos, "snapshot rank")? as usize;
+            let len = u32f(&mut pos, "snapshot length")? as usize;
+            let bytes = take(&mut pos, len, "snapshot bytes")?.to_vec();
+            snapshots.push((rank, bytes));
+        }
+        let mlen = u32f(&mut pos, "metrics length")? as usize;
+        let mbytes = take(&mut pos, mlen, "metrics JSON")?;
+        if pos != payload.len() {
+            return Err(corrupt(format!(
+                "GROUP_DONE has {} trailing bytes",
+                payload.len() - pos
+            )));
+        }
+        let mtext = std::str::from_utf8(mbytes)
+            .map_err(|e| corrupt(format!("GROUP_DONE metrics not UTF-8: {e}")))?;
+        let metrics = RunMetrics::from_json(mtext)
+            .map_err(|e| corrupt(format!("GROUP_DONE metrics: {e}")))?;
+        Ok(GroupDone { group, snapshots, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_runtime::Topology;
+
+    #[test]
+    fn hello_and_assign_round_trip() {
+        assert_eq!(decode_hello(&encode_hello(5)).unwrap(), 5);
+        assert!(decode_hello(b"abc").is_err());
+
+        let mut args = BTreeMap::new();
+        args.insert("n".to_string(), JsonValue::Num(4.0));
+        let a = Assign {
+            group: 9,
+            workload: "ring".to_string(),
+            args: JsonValue::Obj(args),
+            ranks: vec![2, 3],
+        };
+        assert_eq!(Assign::decode(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn assign_rejects_malformed_documents() {
+        for bad in [
+            &b"\xff\xfe"[..],                       // not UTF-8
+            b"{",                                   // not JSON
+            b"{\"group\":1}",                       // missing fields
+            b"{\"group\":\"x\",\"workload\":\"r\",\"ranks\":[]}", // non-integer group
+            b"{\"group\":1,\"workload\":\"r\",\"ranks\":[\"a\"]}", // non-integer rank
+        ] {
+            let r = Assign::decode(bad);
+            assert!(matches!(r, Err(RunError::Protocol { .. })), "{bad:?} -> {r:?}");
+        }
+    }
+
+    #[test]
+    fn group_done_round_trips_and_rejects_truncation() {
+        let topo = Topology::ring(3);
+        let gd = GroupDone {
+            group: 7,
+            snapshots: vec![(0, vec![1, 2, 3]), (2, vec![])],
+            metrics: RunMetrics::for_topology(&topo),
+        };
+        let bytes = gd.encode();
+        let back = GroupDone::decode(&bytes).unwrap();
+        assert_eq!(back.group, 7);
+        assert_eq!(back.snapshots, gd.snapshots);
+        assert_eq!(back.metrics.channels.len(), 3);
+        for cut in 0..bytes.len() {
+            let r = GroupDone::decode(&bytes[..cut]);
+            assert!(matches!(r, Err(RunError::Protocol { .. })), "cut {cut}: {r:?}");
+        }
+        // A hostile snapshot count cannot force a huge allocation.
+        let mut bomb = 0u64.to_le_bytes().to_vec();
+        bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(GroupDone::decode(&bomb).is_err());
+    }
+}

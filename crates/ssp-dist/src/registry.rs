@@ -1,0 +1,435 @@
+//! The workload registry: named program families both sides can rebuild.
+//!
+//! The supervisor never ships code — an ASSIGN carries only a *name* plus
+//! JSON args, and both processes construct the identical program from the
+//! registry ([`build_workload`]). This works because processes are
+//! deterministic functions of their initial state (the paper's model):
+//! rebuilding rank `r` fresh in another process and replaying its inbound
+//! channel logs reproduces exactly the state the dead copy would have
+//! reached (Theorem 1), which is what makes migration semantics-preserving.
+//!
+//! A [`Workload`] also type-erases the message codec: the distributed
+//! layer below routes opaque `Vec<u8>` payloads, while each workload pins
+//! a concrete [`Process`] type and a bitwise-faithful encode/decode pair.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use fdtd::par::{init_a, plan_a, LocalA};
+use fdtd::Params;
+use mesh_archetype::driver::{
+    build_msg_processes, decode_mesh_msg, encode_mesh_msg, MeshMsg, MsgProcess,
+};
+use meshgrid::ProcGrid3;
+use ssp_runtime::json::JsonValue;
+use ssp_runtime::{
+    launch_partial, ChannelId, Effect, FaultPlan, Gateway, PartialRun, Process, RoundRobin,
+    RunError, RunMetrics, Simulator, ThreadedConfig, Topology,
+};
+
+fn bad_args(detail: String) -> RunError {
+    RunError::Protocol { proc: 0, detail }
+}
+
+/// Sink for outbound DATA payloads: `(channel id, encoded message)`.
+pub type DataSink = Box<dyn FnMut(usize, Vec<u8>) -> Result<(), RunError> + Send>;
+
+/// Ingress half of a running group: feeds decoded remote messages in.
+/// Shared with the worker's socket-read loop.
+pub trait GroupIngress: Send + Sync {
+    /// Deliver one DATA payload for `chan` into the group.
+    fn push_inbound(&self, chan: usize, bytes: &[u8]) -> Result<(), RunError>;
+    /// Abort the group with `err`.
+    fn poison(&self, err: RunError);
+}
+
+/// What a finished group reports: `(rank, snapshot)` pairs for every
+/// hosted rank, plus the group's metrics.
+pub type GroupOutcome = (Vec<(usize, Vec<u8>)>, RunMetrics);
+
+/// Completion half of a running group: blocks until done.
+pub trait GroupJoin: Send {
+    /// Wait for the group to finish. All outbound DATA has been handed
+    /// to the sink before this returns.
+    fn join(self: Box<Self>) -> Result<GroupOutcome, RunError>;
+}
+
+/// A named program family the registry can instantiate.
+pub trait Workload: Send + Sync {
+    /// Total number of ranks in the program.
+    fn n_ranks(&self) -> usize;
+    /// The full channel topology (global ids — identical on every host).
+    fn topology(&self) -> Topology;
+    /// Launch a group hosting `ranks` on a local scheduler instance.
+    /// Outbound cross-group messages go to `sink`; inbound ones arrive
+    /// through the returned [`GroupIngress`].
+    fn launch_group(
+        &self,
+        ranks: &[usize],
+        workers: Option<usize>,
+        sink: DataSink,
+    ) -> (Arc<dyn GroupIngress>, Box<dyn GroupJoin>);
+    /// The single-process reference run: final snapshots under the
+    /// deterministic simulator. The distributed result must match this
+    /// bitwise (Theorem 1's standard).
+    fn run_reference(&self) -> Result<Vec<Vec<u8>>, RunError>;
+}
+
+/// Typed ingress: decodes bytes and hands them to the scheduler gateway.
+struct TypedIngress<P: Process> {
+    gateway: Gateway<P>,
+    decode: fn(&[u8]) -> Result<P::Msg, RunError>,
+}
+
+impl<P: Process> GroupIngress for TypedIngress<P> {
+    fn push_inbound(&self, chan: usize, bytes: &[u8]) -> Result<(), RunError> {
+        let msg = (self.decode)(bytes)?;
+        self.gateway.push_inbound(ChannelId(chan), msg)
+    }
+
+    fn poison(&self, err: RunError) {
+        self.gateway.poison(err);
+    }
+}
+
+/// Typed join handle: outbound pump first (so every DATA precedes the
+/// GROUP_DONE the worker sends after us), then the scheduler itself.
+struct TypedJoin<P: Process> {
+    run: PartialRun<P>,
+    pump: JoinHandle<Result<(), RunError>>,
+}
+
+impl<P: Process + 'static> GroupJoin for TypedJoin<P> {
+    fn join(self: Box<Self>) -> Result<GroupOutcome, RunError> {
+        let pump_res = self
+            .pump
+            .join()
+            .map_err(|_| RunError::ThreadPanic { proc: 0 })?;
+        let out = self.run.join()?;
+        pump_res?;
+        Ok((out.snapshots, out.metrics))
+    }
+}
+
+/// Launch a typed group and erase it behind the two group traits.
+fn launch_typed<P>(
+    topo: &Topology,
+    procs: Vec<(usize, P)>,
+    workers: Option<usize>,
+    encode: fn(&P::Msg) -> Vec<u8>,
+    decode: fn(&[u8]) -> Result<P::Msg, RunError>,
+    mut sink: DataSink,
+) -> (Arc<dyn GroupIngress>, Box<dyn GroupJoin>)
+where
+    P: Process + 'static,
+{
+    let config = ThreadedConfig { watchdog: None, workers };
+    let run = launch_partial(topo, procs, config, &FaultPlan::none());
+    let gateway = run.gateway();
+    let pump_gw = gateway.clone();
+    let pump =
+        thread::spawn(move || pump_gw.pump_outbound(|chan, msg| sink(chan.0, encode(&msg))));
+    (Arc::new(TypedIngress { gateway, decode }), Box::new(TypedJoin { run, pump }))
+}
+
+// ---------------------------------------------------------------------------
+// "ring" — a self-contained token ring, the protocol smoke test.
+// ---------------------------------------------------------------------------
+
+/// One rank of the token ring. Rank 0 injects a token per lap and absorbs
+/// it after a full circuit; every other rank receives, accumulates, and
+/// forwards `token + 1`. Final state: the accumulated sum — a value every
+/// rank's history feeds into, so any lost or duplicated message shows.
+#[derive(Clone)]
+struct RingNode {
+    rank: usize,
+    n: usize,
+    laps: u64,
+    lap: u64,
+    acc: u64,
+    st: RingSt,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum RingSt {
+    Start,
+    Waiting,
+    Forward(u64),
+    Done,
+}
+
+impl Process for RingNode {
+    type Msg = u64;
+
+    fn resume(&mut self, delivery: Option<u64>) -> Effect<u64> {
+        let inbound = ChannelId((self.rank + self.n - 1) % self.n);
+        let outbound = ChannelId(self.rank);
+        match self.st {
+            RingSt::Start => {
+                if self.rank == 0 {
+                    if self.lap == self.laps {
+                        self.st = RingSt::Done;
+                        return Effect::Halt;
+                    }
+                    self.lap += 1;
+                    self.st = RingSt::Waiting;
+                    return Effect::Send { chan: outbound, msg: self.lap * 1000 };
+                }
+                self.st = RingSt::Waiting;
+                Effect::Recv { chan: inbound }
+            }
+            RingSt::Waiting => match delivery {
+                Some(tok) => {
+                    self.acc = self.acc.wrapping_mul(31).wrapping_add(tok);
+                    if self.rank == 0 {
+                        // Token completed a circuit; start the next lap.
+                        self.st = RingSt::Start;
+                        Effect::Compute { units: 1 }
+                    } else {
+                        self.st = RingSt::Forward(tok + 1);
+                        Effect::Compute { units: 1 }
+                    }
+                }
+                None => Effect::Recv { chan: inbound },
+            },
+            RingSt::Forward(tok) => {
+                self.lap += 1;
+                self.st = if self.lap == self.laps { RingSt::Done } else { RingSt::Waiting };
+                Effect::Send { chan: outbound, msg: tok }
+            }
+            RingSt::Done => Effect::Halt,
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(&(self.rank as u64).to_le_bytes());
+        b.extend_from_slice(&self.acc.to_le_bytes());
+        b.extend_from_slice(&self.lap.to_le_bytes());
+        b
+    }
+
+    fn progress(&self) -> u64 {
+        self.lap * 8
+            + match self.st {
+                RingSt::Start => 0,
+                RingSt::Waiting => 1,
+                RingSt::Forward(_) => 2,
+                RingSt::Done => 3,
+            }
+    }
+
+    fn msg_size_bytes(_: &u64) -> u64 {
+        8
+    }
+}
+
+struct RingWorkload {
+    n: usize,
+    laps: u64,
+}
+
+impl RingWorkload {
+    fn procs(&self) -> Vec<RingNode> {
+        (0..self.n)
+            .map(|rank| RingNode {
+                rank,
+                n: self.n,
+                laps: self.laps,
+                lap: 0,
+                acc: 0,
+                st: RingSt::Start,
+            })
+            .collect()
+    }
+}
+
+fn encode_u64(m: &u64) -> Vec<u8> {
+    m.to_le_bytes().to_vec()
+}
+
+fn decode_u64(b: &[u8]) -> Result<u64, RunError> {
+    let arr: [u8; 8] = b.try_into().map_err(|_| RunError::Protocol {
+        proc: 0,
+        detail: format!("ring token must be 8 bytes, got {}", b.len()),
+    })?;
+    Ok(u64::from_le_bytes(arr))
+}
+
+impl Workload for RingWorkload {
+    fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    fn topology(&self) -> Topology {
+        Topology::ring(self.n)
+    }
+
+    fn launch_group(
+        &self,
+        ranks: &[usize],
+        workers: Option<usize>,
+        sink: DataSink,
+    ) -> (Arc<dyn GroupIngress>, Box<dyn GroupJoin>) {
+        let all = self.procs();
+        let procs: Vec<(usize, RingNode)> =
+            ranks.iter().map(|&r| (r, all[r].clone())).collect();
+        launch_typed(&self.topology(), procs, workers, encode_u64, decode_u64, sink)
+    }
+
+    fn run_reference(&self) -> Result<Vec<Vec<u8>>, RunError> {
+        let out = Simulator::new(self.topology(), self.procs()).run(&mut RoundRobin::new())?;
+        Ok(out.snapshots)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// "fdtd-a" — the paper's FDTD Version A over the mesh archetype.
+// ---------------------------------------------------------------------------
+
+struct FdtdAWorkload {
+    params: Arc<Params>,
+    pg: ProcGrid3,
+}
+
+impl FdtdAWorkload {
+    fn build(&self) -> (Topology, Vec<MsgProcess<LocalA>>) {
+        let plan = plan_a(&self.params);
+        let init = init_a(self.params.clone());
+        build_msg_processes(&plan, self.pg, &init)
+    }
+}
+
+fn encode_mesh(m: &MeshMsg) -> Vec<u8> {
+    encode_mesh_msg(m)
+}
+
+impl Workload for FdtdAWorkload {
+    fn n_ranks(&self) -> usize {
+        self.pg.nprocs()
+    }
+
+    fn topology(&self) -> Topology {
+        self.build().0
+    }
+
+    fn launch_group(
+        &self,
+        ranks: &[usize],
+        workers: Option<usize>,
+        sink: DataSink,
+    ) -> (Arc<dyn GroupIngress>, Box<dyn GroupJoin>) {
+        let (topo, all) = self.build();
+        let mut slots: Vec<Option<MsgProcess<LocalA>>> = all.into_iter().map(Some).collect();
+        let procs: Vec<(usize, MsgProcess<LocalA>)> = ranks
+            .iter()
+            .map(|&r| (r, slots[r].take().expect("rank assigned twice")))
+            .collect();
+        launch_typed(&topo, procs, workers, encode_mesh, decode_mesh_msg, sink)
+    }
+
+    fn run_reference(&self) -> Result<Vec<Vec<u8>>, RunError> {
+        let (topo, procs) = self.build();
+        let out = Simulator::new(topo, procs).run(&mut RoundRobin::new())?;
+        Ok(out.snapshots)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry front door.
+// ---------------------------------------------------------------------------
+
+/// Instantiate a workload by registry name. Both the supervisor and every
+/// worker call this with the same `(name, args)` from the ASSIGN, so all
+/// processes agree on the topology and initial states by construction.
+pub fn build_workload(name: &str, args: &JsonValue) -> Result<Box<dyn Workload>, RunError> {
+    match name {
+        "ring" => {
+            let n = args
+                .get("n")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| bad_args("ring args need integer 'n'".to_string()))?;
+            let laps = args
+                .get("laps")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| bad_args("ring args need integer 'laps'".to_string()))?;
+            if !(2..=4096).contains(&n) {
+                return Err(bad_args(format!("ring size {n} outside 2..=4096")));
+            }
+            Ok(Box::new(RingWorkload { n, laps }))
+        }
+        "fdtd-a" => {
+            let preset = match args.get("preset") {
+                Some(JsonValue::Str(s)) => s.as_str(),
+                _ => return Err(bad_args("fdtd-a args need string 'preset'".to_string())),
+            };
+            let params = match preset {
+                "tiny" => Params::tiny(),
+                "figure2" => Params::figure2(),
+                other => return Err(bad_args(format!("unknown fdtd preset '{other}'"))),
+            };
+            let p = args
+                .get("p")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| bad_args("fdtd-a args need integer 'p' (rank count)".to_string()))?;
+            if p == 0 || p > 512 {
+                return Err(bad_args(format!("fdtd-a rank count {p} outside 1..=512")));
+            }
+            let pg = ProcGrid3::choose(params.n, p);
+            Ok(Box::new(FdtdAWorkload { params: Arc::new(params), pg }))
+        }
+        other => Err(bad_args(format!("unknown workload '{other}'"))),
+    }
+}
+
+/// Build the JSON args object for the `ring` workload.
+pub fn ring_args(n: usize, laps: u64) -> JsonValue {
+    let mut m = BTreeMap::new();
+    m.insert("n".to_string(), JsonValue::Num(n as f64));
+    m.insert("laps".to_string(), JsonValue::Num(laps as f64));
+    JsonValue::Obj(m)
+}
+
+/// Build the JSON args object for the `fdtd-a` workload.
+pub fn fdtd_a_args(preset: &str, p: usize) -> JsonValue {
+    let mut m = BTreeMap::new();
+    m.insert("preset".to_string(), JsonValue::Str(preset.to_string()));
+    m.insert("p".to_string(), JsonValue::Num(p as f64));
+    JsonValue::Obj(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_reference_is_deterministic_and_nontrivial() {
+        let w = build_workload("ring", &ring_args(4, 3)).unwrap();
+        assert_eq!(w.n_ranks(), 4);
+        let a = w.run_reference().unwrap();
+        let b = w.run_reference().unwrap();
+        assert_eq!(a, b);
+        // Every rank accumulated something.
+        for s in &a {
+            let acc = u64::from_le_bytes(s[8..16].try_into().unwrap());
+            assert_ne!(acc, 0);
+        }
+    }
+
+    #[test]
+    fn unknown_names_and_bad_args_are_typed_errors() {
+        assert!(matches!(
+            build_workload("nope", &JsonValue::Null),
+            Err(RunError::Protocol { .. })
+        ));
+        assert!(matches!(
+            build_workload("ring", &JsonValue::Null),
+            Err(RunError::Protocol { .. })
+        ));
+        assert!(matches!(
+            build_workload("fdtd-a", &fdtd_a_args("huge", 2)),
+            Err(RunError::Protocol { .. })
+        ));
+    }
+}

@@ -1,0 +1,719 @@
+//! The supervisor: topology owner, message router, and migration driver.
+//!
+//! One supervisor process spawns N worker processes, connects to each over
+//! a Unix-domain socket, and partitions the program's ranks into *groups*
+//! (one scheduler instance per group, initially one group per worker).
+//! Channels internal to a group run entirely inside its worker; every
+//! cross-group channel is routed through the supervisor as DATA frames —
+//! a star topology, which is what makes the supervisor able to *log* every
+//! cross-group message and therefore to migrate ranks.
+//!
+//! ## Migration
+//!
+//! When a worker dies (socket EOF, failed write, or a heartbeat probe
+//! hitting a closed socket), the supervisor merges all of that worker's
+//! unfinished groups into one new group and assigns it to a survivor (or a
+//! freshly spawned worker, per [`MigrationPolicy`]). The new group rebuilds
+//! its ranks *from their initial state* — the registry reconstructs the
+//! processes, and determinism (Theorem 1) guarantees re-execution
+//! reproduces exactly the lost state, provided the channel environment is
+//! reproduced too:
+//!
+//! * channels *into* the group: the supervisor replays its full per-channel
+//!   log after the ASSIGN (socket FIFO means the group is registered before
+//!   the replay arrives);
+//! * channels *out of* the group: re-execution regenerates messages the
+//!   supervisor already routed, so a *replay window* is armed — the first
+//!   `log.len()` regenerated messages are byte-compared against the log
+//!   (a live determinism check) and dropped instead of double-delivered;
+//! * channels that become internal to the merged group regenerate locally
+//!   and are neither routed nor compared.
+//!
+//! Frames from a worker already marked dead are dropped: a corpse's
+//! leftover frames describe sends the replacement group will regenerate.
+//!
+//! The result is *live rank migration with bitwise-identical output* — the
+//! distributed generalization of `run_recovering`'s restart-in-place.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ssp_runtime::json::JsonValue;
+use ssp_runtime::{RunError, RunMetrics, Topology};
+
+use crate::frame::{
+    decode_data, encode_data, read_frame, write_frame, Frame, FrameError, FrameType,
+};
+use crate::proto::{decode_hello, Assign, GroupDone};
+use crate::registry::build_workload;
+
+fn proto_err(detail: String) -> RunError {
+    RunError::Protocol { proc: 0, detail }
+}
+
+fn wlock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Where a dead worker's ranks go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPolicy {
+    /// Merge onto the surviving worker with the fewest active ranks
+    /// (elastic shrink). Falls back to spawning if none survive.
+    Survivor,
+    /// Spawn a fresh worker process for the orphaned ranks (elastic grow).
+    Spawn,
+}
+
+/// Fault-injection knob: SIGKILL a worker after the supervisor has routed
+/// a given number of DATA frames — a mid-run, non-graceful death.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosKill {
+    /// Index of the worker to kill.
+    pub worker: usize,
+    /// Kill once this many DATA frames have been routed.
+    pub after_frames: u64,
+}
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Number of initial worker processes.
+    pub workers: usize,
+    /// Path to the `ssp-worker` binary.
+    pub worker_bin: PathBuf,
+    /// OS threads per group scheduler inside each worker (`None` = auto).
+    pub group_workers: Option<usize>,
+    /// Where orphaned ranks migrate.
+    pub policy: MigrationPolicy,
+    /// Migration budget; exceeding it aborts with [`RunError::WorkerLost`].
+    pub max_migrations: u64,
+    /// Abort the whole run after this long.
+    pub timeout: Duration,
+    /// Optional mid-run SIGKILL (for recovery tests).
+    pub chaos_kill: Option<ChaosKill>,
+}
+
+impl DistConfig {
+    /// A config with the given worker count and worker binary, Survivor
+    /// migration, and a 2-minute timeout.
+    pub fn new(workers: usize, worker_bin: impl Into<PathBuf>) -> DistConfig {
+        DistConfig {
+            workers,
+            worker_bin: worker_bin.into(),
+            group_workers: None,
+            policy: MigrationPolicy::Survivor,
+            max_migrations: 4,
+            timeout: Duration::from_secs(120),
+            chaos_kill: None,
+        }
+    }
+}
+
+/// Counters describing what the supervisor did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistStats {
+    /// Dead-worker group migrations performed.
+    pub migrations: u64,
+    /// Worker processes spawned beyond the initial fleet.
+    pub workers_spawned: u64,
+    /// DATA frames routed between groups (replays excluded).
+    pub frames_routed: u64,
+    /// DATA frames replayed into migrated groups from the channel logs.
+    pub frames_replayed: u64,
+    /// Regenerated duplicates byte-verified against the log and dropped.
+    pub duplicates_dropped: u64,
+}
+
+/// The result of a distributed run.
+#[derive(Debug)]
+pub struct DistOutcome {
+    /// Final snapshot of every rank, indexed by rank — bitwise comparable
+    /// with [`ssp_runtime::run_simulated`]'s.
+    pub snapshots: Vec<Vec<u8>>,
+    /// Aggregated run metrics (per-rank from each rank's final group;
+    /// per-channel from the final group of the channel's writer).
+    pub metrics: RunMetrics,
+    /// Supervisor counters.
+    pub stats: DistStats,
+}
+
+enum Event {
+    Frame(usize, Frame),
+    Dead(usize),
+    Bad(usize, String),
+}
+
+struct Slot {
+    child: Option<Child>,
+    write: Option<Arc<Mutex<UnixStream>>>,
+    alive: bool,
+}
+
+struct GroupRec {
+    ranks: Vec<usize>,
+    worker: usize,
+    done: bool,
+}
+
+struct Supervisor<'a> {
+    cfg: &'a DistConfig,
+    workload_name: String,
+    workload_args: JsonValue,
+    topo: Topology,
+    listener: UnixListener,
+    sock_path: PathBuf,
+    tx: Sender<Event>,
+    rx: Receiver<Event>,
+    slots: Vec<Slot>,
+    groups: Vec<GroupRec>,
+    rank_group: Vec<usize>,
+    log: Vec<Vec<Vec<u8>>>,
+    replay_pos: Vec<usize>,
+    replay_until: Vec<usize>,
+    done_ranks: usize,
+    snapshots: Vec<Option<Vec<u8>>>,
+    metrics: RunMetrics,
+    stats: DistStats,
+    chaos_pending: Option<ChaosKill>,
+}
+
+impl Drop for Supervisor<'_> {
+    fn drop(&mut self) {
+        for s in &mut self.slots {
+            if let Some(child) = &mut s.child {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        let _ = std::fs::remove_file(&self.sock_path);
+        if let Some(dir) = self.sock_path.parent() {
+            let _ = std::fs::remove_dir(dir);
+        }
+    }
+}
+
+/// Disambiguates concurrent runs in one process (tests run in parallel).
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Run `workload` (a registry name + its JSON args) across worker
+/// processes, surviving worker deaths by live rank migration.
+pub fn run_distributed(
+    workload: &str,
+    args: &JsonValue,
+    cfg: &DistConfig,
+) -> Result<DistOutcome, RunError> {
+    if cfg.workers == 0 {
+        return Err(proto_err("distributed run needs at least one worker".to_string()));
+    }
+    // Validate the workload and capture the topology before spawning
+    // anything; the same (name, args) goes to every worker verbatim.
+    let w = build_workload(workload, args)?;
+    let topo = w.topology();
+    let n = w.n_ranks();
+    drop(w);
+
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("ssp-dist-{}-{seq}", std::process::id()));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| proto_err(format!("create socket dir {}: {e}", dir.display())))?;
+    let sock_path = dir.join("sup.sock");
+    let listener = UnixListener::bind(&sock_path)
+        .map_err(|e| proto_err(format!("bind {}: {e}", sock_path.display())))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| proto_err(format!("listener nonblocking: {e}")))?;
+
+    let (tx, rx) = channel();
+    let n_chans = topo.n_channels();
+    let mut sup = Supervisor {
+        cfg,
+        workload_name: workload.to_string(),
+        workload_args: args.clone(),
+        metrics: RunMetrics::for_topology(&topo),
+        topo,
+        listener,
+        sock_path,
+        tx,
+        rx,
+        slots: Vec::new(),
+        groups: Vec::new(),
+        rank_group: vec![usize::MAX; n],
+        log: vec![Vec::new(); n_chans],
+        replay_pos: vec![0; n_chans],
+        replay_until: vec![0; n_chans],
+        done_ranks: 0,
+        snapshots: vec![None; n],
+        stats: DistStats::default(),
+        chaos_pending: cfg.chaos_kill,
+    };
+    sup.metrics.sched.workers = 0;
+    sup.run(n)
+}
+
+impl Supervisor<'_> {
+    fn run(&mut self, n: usize) -> Result<DistOutcome, RunError> {
+        let deadline = Instant::now() + self.cfg.timeout;
+
+        for _ in 0..self.cfg.workers {
+            self.spawn_worker(deadline)?;
+        }
+
+        // Initial partition: contiguous rank blocks, one group per worker.
+        let k = self.cfg.workers.min(n);
+        let (base, rem) = (n / k, n % k);
+        let mut next = 0;
+        for w in 0..k {
+            let len = base + usize::from(w < rem);
+            let ranks: Vec<usize> = (next..next + len).collect();
+            next += len;
+            self.assign_group(w, ranks)?;
+        }
+
+        while self.done_ranks < n {
+            if Instant::now() > deadline {
+                return Err(RunError::WorkerLost {
+                    worker: 0,
+                    detail: format!("supervisor timed out after {:?}", self.cfg.timeout),
+                });
+            }
+            match self.rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(Event::Frame(w, f)) => self.handle_frame(w, f, deadline)?,
+                Ok(Event::Dead(w)) => self.worker_dead(w, deadline)?,
+                Ok(Event::Bad(w, detail)) => {
+                    return Err(proto_err(format!("worker {w} sent garbage: {detail}")));
+                }
+                Err(RecvTimeoutError::Timeout) => self.heartbeat(deadline)?,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(proto_err("supervisor event channel closed".to_string()));
+                }
+            }
+        }
+
+        self.shutdown_workers();
+        let snapshots = std::mem::take(&mut self.snapshots)
+            .into_iter()
+            .enumerate()
+            .map(|(r, s)| s.ok_or_else(|| proto_err(format!("rank {r} finished without snapshot"))))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DistOutcome {
+            snapshots,
+            metrics: self.metrics.clone(),
+            stats: self.stats,
+        })
+    }
+
+    // -- worker lifecycle ---------------------------------------------------
+
+    /// Spawn one worker process and complete its HELLO handshake.
+    fn spawn_worker(&mut self, deadline: Instant) -> Result<usize, RunError> {
+        let idx = self.slots.len();
+        let gw = self.cfg.group_workers.unwrap_or(0);
+        let child = Command::new(&self.cfg.worker_bin)
+            .arg(&self.sock_path)
+            .arg(idx.to_string())
+            .arg(gw.to_string())
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                proto_err(format!("spawn {}: {e}", self.cfg.worker_bin.display()))
+            })?;
+        self.slots.push(Slot { child: Some(child), write: None, alive: false });
+
+        let (hello_idx, stream) = self.accept_hello(deadline)?;
+        if hello_idx != idx {
+            return Err(proto_err(format!(
+                "expected HELLO from worker {idx}, got {hello_idx}"
+            )));
+        }
+        let write = Arc::new(Mutex::new(
+            stream.try_clone().map_err(|e| proto_err(format!("clone socket: {e}")))?,
+        ));
+        self.slots[idx].write = Some(write);
+        self.slots[idx].alive = true;
+
+        let tx = self.tx.clone();
+        let mut read_half = stream;
+        thread::spawn(move || loop {
+            match read_frame(&mut read_half) {
+                Ok(f) => {
+                    if tx.send(Event::Frame(idx, f)).is_err() {
+                        return;
+                    }
+                }
+                Err(FrameError::Malformed(m)) => {
+                    let _ = tx.send(Event::Bad(idx, m));
+                    return;
+                }
+                Err(_) => {
+                    // EOF or torn frame: the worker is gone either way.
+                    let _ = tx.send(Event::Dead(idx));
+                    return;
+                }
+            }
+        });
+        Ok(idx)
+    }
+
+    /// Accept one connection and read its HELLO, polling the nonblocking
+    /// listener until `deadline`.
+    fn accept_hello(&mut self, deadline: Instant) -> Result<(usize, UnixStream), RunError> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| proto_err(format!("stream blocking: {e}")))?;
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(10)))
+                        .map_err(|e| proto_err(format!("read timeout: {e}")))?;
+                    let frame = read_frame(&mut (&stream))
+                        .map_err(|e| e.into_run_error(0))?;
+                    stream
+                        .set_read_timeout(None)
+                        .map_err(|e| proto_err(format!("read timeout: {e}")))?;
+                    if frame.ty != FrameType::Hello {
+                        return Err(proto_err(format!(
+                            "first frame was {:?}, expected HELLO",
+                            frame.ty
+                        )));
+                    }
+                    return Ok((decode_hello(&frame.payload)?, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(proto_err("timed out waiting for worker HELLO".to_string()));
+                    }
+                    // A worker that died before connecting will never come.
+                    for (i, s) in self.slots.iter_mut().enumerate() {
+                        if let (false, Some(child)) = (s.alive, &mut s.child) {
+                            if let Ok(Some(status)) = child.try_wait() {
+                                return Err(proto_err(format!(
+                                    "worker {i} exited before HELLO: {status}"
+                                )));
+                            }
+                        }
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(proto_err(format!("accept: {e}"))),
+            }
+        }
+    }
+
+    /// Write a frame to worker `w`; `Err` means the worker is unreachable.
+    fn send_to(&self, w: usize, frame: &Frame) -> std::io::Result<()> {
+        let slot = &self.slots[w];
+        let mtx = slot.write.as_ref().expect("worker has no socket");
+        let mut s = wlock(mtx);
+        write_frame(&mut *s, frame)?;
+        s.flush()
+    }
+
+    /// Gracefully stop all live workers and reap every child.
+    fn shutdown_workers(&mut self) {
+        for w in 0..self.slots.len() {
+            if self.slots[w].alive {
+                let _ = self.send_to(w, &Frame::new(FrameType::Shutdown, vec![]));
+            }
+        }
+        let grace = Instant::now() + Duration::from_secs(5);
+        for s in &mut self.slots {
+            if let Some(child) = &mut s.child {
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() > grace => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                        Ok(None) => thread::sleep(Duration::from_millis(10)),
+                        Err(_) => break,
+                    }
+                }
+            }
+            s.child = None;
+        }
+    }
+
+    // -- group assignment and migration -------------------------------------
+
+    /// Create a group of `ranks` on worker `target`: send the ASSIGN,
+    /// replay logged traffic into the group, and arm replay windows on its
+    /// outbound channels. Used for both initial placement (empty logs make
+    /// the replay a no-op) and migration.
+    fn assign_group(&mut self, target: usize, ranks: Vec<usize>) -> Result<(), RunError> {
+        let gid = self.groups.len();
+        let mut member = vec![false; self.topo.n_procs()];
+        for &r in &ranks {
+            member[r] = true;
+            self.rank_group[r] = gid;
+        }
+        self.groups.push(GroupRec { ranks, worker: target, done: false });
+
+        let assign = Assign {
+            group: gid as u64,
+            workload: self.workload_name.clone(),
+            args: self.workload_args.clone(),
+            ranks: self.groups[gid].ranks.clone(),
+        };
+        if self.send_to(target, &Frame::new(FrameType::Assign, assign.encode())).is_err() {
+            // The target died under us; its own death handling re-migrates
+            // everything it hosted, including the group just recorded.
+            return self.worker_dead(target, Instant::now() + self.cfg.timeout);
+        }
+
+        for c in 0..self.topo.n_channels() {
+            let spec = &self.topo.specs()[c];
+            let (win, rin) = (member[spec.writer], member[spec.reader]);
+            if rin && !win {
+                // Inbound edge: the rebuilt readers need the full message
+                // history. FIFO after the ASSIGN on the same socket.
+                for i in 0..self.log[c].len() {
+                    let payload = encode_data(c, &self.log[c][i]);
+                    if self.send_to(target, &Frame::new(FrameType::Data, payload)).is_err() {
+                        return self.worker_dead(target, Instant::now() + self.cfg.timeout);
+                    }
+                    self.stats.frames_replayed += 1;
+                }
+            }
+            if win && !rin {
+                // Outbound edge: re-execution will regenerate everything
+                // already logged; verify-and-drop those duplicates.
+                self.replay_pos[c] = 0;
+                self.replay_until[c] = self.log[c].len();
+            }
+            if win && rin {
+                // Became internal to the merged group: regenerated locally,
+                // never routed again.
+                self.replay_pos[c] = 0;
+                self.replay_until[c] = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle the death of worker `w`: migrate all its unfinished groups,
+    /// merged, to a target chosen by policy. Idempotent.
+    fn worker_dead(&mut self, w: usize, deadline: Instant) -> Result<(), RunError> {
+        if !self.slots[w].alive {
+            return Ok(());
+        }
+        self.slots[w].alive = false;
+        if let Some(child) = &mut self.slots[w].child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.slots[w].child = None;
+
+        let mut merged: Vec<usize> = Vec::new();
+        for g in &self.groups {
+            if g.worker == w && !g.done {
+                merged.extend_from_slice(&g.ranks);
+            }
+        }
+        if merged.is_empty() {
+            return Ok(());
+        }
+        merged.sort_unstable();
+
+        self.stats.migrations += 1;
+        if self.stats.migrations > self.cfg.max_migrations {
+            return Err(RunError::WorkerLost {
+                worker: w,
+                detail: format!(
+                    "migration budget ({}) exhausted migrating ranks {merged:?}",
+                    self.cfg.max_migrations
+                ),
+            });
+        }
+
+        let target = match self.cfg.policy {
+            MigrationPolicy::Spawn => None,
+            MigrationPolicy::Survivor => self.least_loaded_survivor(),
+        };
+        let target = match target {
+            Some(t) => t,
+            None => {
+                self.stats.workers_spawned += 1;
+                self.spawn_worker(deadline)?
+            }
+        };
+        self.assign_group(target, merged)
+    }
+
+    /// The live worker currently hosting the fewest unfinished ranks.
+    fn least_loaded_survivor(&self) -> Option<usize> {
+        let mut load: HashMap<usize, usize> = HashMap::new();
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.alive {
+                load.insert(i, 0);
+            }
+        }
+        for g in &self.groups {
+            if !g.done {
+                if let Some(l) = load.get_mut(&g.worker) {
+                    *l += g.ranks.len();
+                }
+            }
+        }
+        load.into_iter().min_by_key(|&(i, l)| (l, i)).map(|(i, _)| i)
+    }
+
+    /// Probe live workers; a failed write is how we notice a peer whose
+    /// EOF got lost. Also reaps children that exited without closing.
+    fn heartbeat(&mut self, deadline: Instant) -> Result<(), RunError> {
+        for w in 0..self.slots.len() {
+            if !self.slots[w].alive {
+                continue;
+            }
+            let exited = match &mut self.slots[w].child {
+                Some(child) => matches!(child.try_wait(), Ok(Some(_))),
+                None => false,
+            };
+            if exited || self.send_to(w, &Frame::new(FrameType::Ping, vec![])).is_err() {
+                self.worker_dead(w, deadline)?;
+            }
+        }
+        Ok(())
+    }
+
+    // -- frame handling ------------------------------------------------------
+
+    fn handle_frame(&mut self, w: usize, f: Frame, deadline: Instant) -> Result<(), RunError> {
+        if !self.slots[w].alive {
+            // A corpse's leftovers: sends its replacement regenerates.
+            return Ok(());
+        }
+        match f.ty {
+            FrameType::Data => self.route_data(w, &f.payload, deadline),
+            FrameType::GroupDone => self.handle_group_done(w, &f.payload),
+            FrameType::Pong => Ok(()),
+            FrameType::Error => Err(proto_err(format!(
+                "worker {w} failed: {}",
+                String::from_utf8_lossy(&f.payload)
+            ))),
+            other => Err(proto_err(format!("worker {w} sent unexpected {other:?}"))),
+        }
+    }
+
+    fn route_data(
+        &mut self,
+        from: usize,
+        payload: &[u8],
+        deadline: Instant,
+    ) -> Result<(), RunError> {
+        let (chan, bytes) = decode_data(payload)?;
+        if chan >= self.topo.n_channels() {
+            return Err(proto_err(format!("worker {from} sent DATA for channel {chan}")));
+        }
+        self.stats.frames_routed += 1;
+
+        if let Some(ck) = self.chaos_pending {
+            if self.stats.frames_routed >= ck.after_frames {
+                self.chaos_pending = None;
+                if let Some(child) =
+                    self.slots.get_mut(ck.worker).and_then(|s| s.child.as_mut())
+                {
+                    // SIGKILL — no cleanup, no goodbye; the reader thread's
+                    // EOF event drives the migration.
+                    let _ = child.kill();
+                }
+            }
+        }
+
+        if self.replay_pos[chan] < self.replay_until[chan] {
+            // A migrated group regenerating its history: verify the send
+            // matches what the lost instance sent (determinism check),
+            // then drop it — the reader already got the original.
+            let expect = &self.log[chan][self.replay_pos[chan]];
+            if bytes != &expect[..] {
+                return Err(proto_err(format!(
+                    "determinism violation: channel {chan} message {} differs between \
+                     original and re-executed sender",
+                    self.replay_pos[chan]
+                )));
+            }
+            self.replay_pos[chan] += 1;
+            self.stats.duplicates_dropped += 1;
+            return Ok(());
+        }
+
+        // Log before forwarding: a message that reaches the log survives
+        // any downstream loss (a dead reader's replacement gets it from
+        // the replay), so forwarding failures are never message loss.
+        self.log[chan].push(bytes.to_vec());
+        let reader = self.topo.specs()[chan].reader;
+        let dest = self.groups[self.rank_group[reader]].worker;
+        if self.send_to(dest, &Frame::new(FrameType::Data, payload.to_vec())).is_err() {
+            // The frame just logged is part of the history assign_group
+            // replays, so migration both reroutes and redelivers it.
+            self.worker_dead(dest, deadline)?;
+        }
+        Ok(())
+    }
+
+    fn handle_group_done(&mut self, from: usize, payload: &[u8]) -> Result<(), RunError> {
+        let gd = GroupDone::decode(payload)?;
+        let gid = gd.group as usize;
+        if gid >= self.groups.len() || self.groups[gid].worker != from {
+            return Err(proto_err(format!(
+                "worker {from} reported GROUP_DONE for group {gid} it does not host"
+            )));
+        }
+        if self.groups[gid].done {
+            return Err(proto_err(format!("group {gid} reported done twice")));
+        }
+        let n = self.topo.n_procs();
+        if gd.metrics.procs.len() != n || gd.metrics.channels.len() != self.topo.n_channels() {
+            return Err(proto_err(format!(
+                "group {gid} metrics have wrong shape ({} procs, {} channels)",
+                gd.metrics.procs.len(),
+                gd.metrics.channels.len()
+            )));
+        }
+        let mut hosted = vec![false; n];
+        for &r in &self.groups[gid].ranks {
+            hosted[r] = true;
+        }
+        let mut reported = vec![false; n];
+        for (rank, snap) in gd.snapshots {
+            if rank >= n || !hosted[rank] || reported[rank] {
+                return Err(proto_err(format!(
+                    "group {gid} reported a snapshot for unexpected rank {rank}"
+                )));
+            }
+            reported[rank] = true;
+            self.snapshots[rank] = Some(snap);
+            self.metrics.procs[rank] = gd.metrics.procs[rank];
+        }
+        if (0..n).any(|r| hosted[r] && !reported[r]) {
+            return Err(proto_err(format!("group {gid} omitted snapshots for some ranks")));
+        }
+        // Channel totals come from the final instance of the channel's
+        // writer: a re-executed group counts from zero to the full total,
+        // so its numbers stand alone.
+        for c in 0..self.topo.n_channels() {
+            if hosted[self.topo.specs()[c].writer] {
+                self.metrics.channels[c] = gd.metrics.channels[c].clone();
+            }
+        }
+        self.metrics.sched.workers += gd.metrics.sched.workers;
+        self.metrics.sched.steals += gd.metrics.sched.steals;
+        self.metrics.sched.yields += gd.metrics.sched.yields;
+        self.metrics.sched.task_parks += gd.metrics.sched.task_parks;
+
+        self.groups[gid].done = true;
+        self.done_ranks += self.groups[gid].ranks.len();
+        Ok(())
+    }
+}

@@ -1,0 +1,184 @@
+//! The worker process: hosts groups of ranks on behalf of the supervisor.
+//!
+//! A worker is a thin shell around the runtime's partial scheduler
+//! ([`ssp_runtime::launch_partial`]): it connects to the supervisor's
+//! socket, says HELLO, and then serves a frame loop. Each ASSIGN spins up
+//! one *group* — an independent scheduler instance hosting some ranks —
+//! whose cross-group channel ends are bridged to the socket: an outbound
+//! pump thread turns egress messages into DATA frames, and the read loop
+//! feeds inbound DATA into the matching group's ingress rings.
+//!
+//! Ingress registration happens *synchronously inside the ASSIGN
+//! dispatch*, before the read loop touches the next frame. That ordering
+//! is what makes migration replay safe: the supervisor sends ASSIGN
+//! followed immediately by the replayed channel log on the same socket,
+//! and FIFO delivery guarantees the group exists by the time its replayed
+//! messages arrive.
+//!
+//! A worker never exits on its own initiative: it leaves on SHUTDOWN, on
+//! supervisor EOF, or by being killed — the latter being precisely the
+//! failure the supervisor's migration path exists to absorb.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+
+use ssp_runtime::RunError;
+
+use crate::frame::{
+    decode_data, encode_data, read_frame, write_frame, Frame, FrameError, FrameType,
+};
+use crate::proto::{encode_hello, Assign, GroupDone};
+use crate::registry::{build_workload, DataSink, GroupIngress};
+
+/// Lock that shrugs off poisoning: a panicked peer thread must not stop
+/// the worker from reporting its error frame.
+fn wlock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Send one frame on the shared write half, serializing whole frames.
+fn send(stream: &Arc<Mutex<UnixStream>>, frame: &Frame) -> std::io::Result<()> {
+    let mut s = wlock(stream);
+    write_frame(&mut *s, frame)?;
+    s.flush()
+}
+
+/// Run a worker against the supervisor socket at `path`, identifying as
+/// `worker_id`. `group_workers` caps OS threads per group scheduler.
+/// Returns when the supervisor says SHUTDOWN or hangs up.
+pub fn worker_main(
+    path: &str,
+    worker_id: usize,
+    group_workers: Option<usize>,
+) -> Result<(), String> {
+    let stream = UnixStream::connect(path)
+        .map_err(|e| format!("worker {worker_id}: connect {path}: {e}"))?;
+    let mut read_half =
+        stream.try_clone().map_err(|e| format!("worker {worker_id}: clone socket: {e}"))?;
+    let write_half = Arc::new(Mutex::new(stream));
+
+    send(&write_half, &Frame::new(FrameType::Hello, encode_hello(worker_id)))
+        .map_err(|e| format!("worker {worker_id}: hello: {e}"))?;
+
+    // chan id -> the ingress of whichever local group reads that channel.
+    let mut ingress: HashMap<usize, Arc<dyn GroupIngress>> = HashMap::new();
+
+    loop {
+        let frame = match read_frame(&mut read_half) {
+            Ok(f) => f,
+            // Supervisor hung up: nothing left to serve.
+            Err(FrameError::Eof) => return Ok(()),
+            Err(e) => {
+                return Err(format!(
+                    "worker {worker_id}: {}",
+                    e.into_run_error(worker_id)
+                ))
+            }
+        };
+        match frame.ty {
+            FrameType::Assign => {
+                if let Err(e) = handle_assign(
+                    &frame.payload,
+                    group_workers,
+                    &write_half,
+                    &mut ingress,
+                ) {
+                    report(&write_half, &e);
+                }
+            }
+            FrameType::Data => {
+                let r = decode_data(&frame.payload).and_then(|(chan, bytes)| {
+                    ingress
+                        .get(&chan)
+                        .ok_or_else(|| RunError::Protocol {
+                            proc: 0,
+                            detail: format!(
+                                "worker {worker_id}: DATA for channel {chan} which no local \
+                                 group reads"
+                            ),
+                        })?
+                        .push_inbound(chan, bytes)
+                });
+                if let Err(e) = r {
+                    report(&write_half, &e);
+                }
+            }
+            FrameType::Ping => {
+                let _ = send(&write_half, &Frame::new(FrameType::Pong, vec![]));
+            }
+            FrameType::Shutdown => return Ok(()),
+            other => {
+                report(
+                    &write_half,
+                    &RunError::Protocol {
+                        proc: 0,
+                        detail: format!("worker {worker_id}: unexpected frame {other:?}"),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Tell the supervisor something went wrong. Best effort — if the socket
+/// is gone the supervisor has already noticed via EOF.
+fn report(stream: &Arc<Mutex<UnixStream>>, err: &RunError) {
+    let _ = send(stream, &Frame::new(FrameType::Error, err.to_string().into_bytes()));
+}
+
+/// Launch the group an ASSIGN describes and register its ingress ends.
+fn handle_assign(
+    payload: &[u8],
+    group_workers: Option<usize>,
+    write_half: &Arc<Mutex<UnixStream>>,
+    ingress: &mut HashMap<usize, Arc<dyn GroupIngress>>,
+) -> Result<(), RunError> {
+    let assign = Assign::decode(payload)?;
+    let workload = build_workload(&assign.workload, &assign.args)?;
+    let topo = workload.topology();
+    let n = topo.n_procs();
+    let mut hosted = vec![false; n];
+    for &r in &assign.ranks {
+        if r >= n {
+            return Err(RunError::Protocol {
+                proc: r,
+                detail: format!("ASSIGN rank {r} outside topology of {n}"),
+            });
+        }
+        hosted[r] = true;
+    }
+
+    let sink_stream = Arc::clone(write_half);
+    let sink: DataSink = Box::new(move |chan, bytes| {
+        send(&sink_stream, &Frame::new(FrameType::Data, encode_data(chan, &bytes))).map_err(
+            |e| RunError::Protocol { proc: 0, detail: format!("DATA write failed: {e}") },
+        )
+    });
+
+    let (group_ingress, join) = workload.launch_group(&assign.ranks, group_workers, sink);
+
+    // Register ingress channels (reader hosted here, writer elsewhere)
+    // before returning to the read loop — replayed DATA follows this
+    // ASSIGN on the same socket and must find the group ready.
+    for (c, spec) in topo.specs().iter().enumerate() {
+        if hosted[spec.reader] && !hosted[spec.writer] {
+            ingress.insert(c, Arc::clone(&group_ingress));
+        }
+    }
+
+    let done_stream = Arc::clone(write_half);
+    let group_id = assign.group;
+    thread::spawn(move || {
+        match join.join() {
+            Ok((snapshots, metrics)) => {
+                let gd = GroupDone { group: group_id, snapshots, metrics };
+                let _ = send(&done_stream, &Frame::new(FrameType::GroupDone, gd.encode()));
+            }
+            Err(e) => report(&done_stream, &e),
+        }
+    });
+    Ok(())
+}

@@ -76,6 +76,15 @@ pub enum RunError {
         /// The process-local step count (1-based) the crash fired at.
         step: u64,
     },
+    /// A distributed worker process died (socket EOF or heartbeat loss)
+    /// and the supervisor could not — or was configured not to — migrate
+    /// its ranks to another worker.
+    WorkerLost {
+        /// The supervisor-assigned index of the lost worker.
+        worker: usize,
+        /// Why migration was not possible (budget exhausted, spawn failed…).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -122,6 +131,9 @@ impl std::fmt::Display for RunError {
             }
             RunError::Injected { proc, step } => {
                 write!(f, "injected crash killed process {proc} at its step {step}")
+            }
+            RunError::WorkerLost { worker, detail } => {
+                write!(f, "distributed worker {worker} lost: {detail}")
             }
         }
     }

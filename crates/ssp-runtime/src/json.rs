@@ -169,10 +169,17 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts. The reader is
+/// network-facing (checkpoint manifests arrive over the distributed
+/// backend's sockets), and the parser recurses per nesting level, so a
+/// hostile `[[[[…` document must hit a typed error before it can exhaust
+/// the stack — a stack overflow aborts the process and is not catchable.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse one JSON document (surrounding whitespace allowed, trailing
 /// garbage rejected).
 pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -185,6 +192,7 @@ pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -222,8 +230,8 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<JsonValue, JsonError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Parser::object),
+            Some(b'[') => self.nested(Parser::array),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -231,6 +239,21 @@ impl<'a> Parser<'a> {
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    /// Run a container parser one nesting level down, rejecting documents
+    /// deeper than [`MAX_DEPTH`] before recursion can exhaust the stack.
+    fn nested(
+        &mut self,
+        inner: fn(&mut Self) -> Result<JsonValue, JsonError>,
+    ) -> Result<JsonValue, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        self.depth += 1;
+        let v = inner(self);
+        self.depth -= 1;
+        v
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonError> {
@@ -428,6 +451,20 @@ mod tests {
     fn writer_maps_non_finite_numbers_to_null() {
         assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
         assert_eq!(JsonValue::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn hostile_nesting_yields_an_error_not_a_stack_overflow() {
+        let deep_arr = "[".repeat(200_000);
+        let err = parse(&deep_arr).unwrap_err();
+        assert!(err.msg.contains("MAX_DEPTH"), "got: {err}");
+        let deep_obj = "{\"k\":".repeat(200_000);
+        assert!(parse(&deep_obj).is_err());
+        // Exactly MAX_DEPTH levels still parse.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let too_deep = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&too_deep).is_err());
     }
 
     #[test]

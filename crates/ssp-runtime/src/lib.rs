@@ -83,9 +83,11 @@ pub use recover::{
     replay_checkpoint, run_recovering, run_recovering_observed, run_threaded_recovering,
     Checkpoint, RecoveryConfig, RecoveryOutcome, RecoveryStats,
 };
-pub use sim::{run_simulated, RunOutcome, Simulator};
+pub use sched::{launch_partial, Gateway, PartialOutcome, PartialRun};
+pub use sim::{run_simulated, ProcState, RunOutcome, SimState, Simulator};
 pub use threaded::{
-    run_threaded, run_threaded_faulted, run_threaded_with, ThreadedConfig, ThreadedOutcome,
+    run_threaded, run_threaded_faulted, run_threaded_seeded, run_threaded_with, ThreadedConfig,
+    ThreadedOutcome,
 };
 pub use trace::{ChannelMetrics, Event, EventKind, ProcMetrics, RunMetrics, SchedMetrics, Trace};
 pub use waitgraph::{BlockKind, WaitFor};

@@ -27,19 +27,24 @@
 //!   outside the checkpointed state), so recovery cannot livelock on the
 //!   same fault; `max_restarts` bounds genuinely recurring failures.
 //! * [`run_threaded_recovering`] — the threaded counterpart. OS threads
-//!   cannot be snapshotted mid-flight, so the only checkpoint is the
-//!   initial state; Theorem 1 makes restart-from-start equivalent to any
-//!   finer-grained recovery, just costlier (all steps re-execute).
+//!   cannot be snapshotted mid-flight, so the supervisor borrows the
+//!   simulator as its checkpointing device: it re-derives the crash
+//!   frontier by simulation (process-local step ordinals are
+//!   schedule-independent), round-trips the cut through the JSON wire
+//!   format, and seeds a fresh pool from the restored state — resuming,
+//!   not restarting.
 
 use crate::chan::Topology;
 use crate::error::RunError;
 use crate::fault::{Crash, FaultPlan};
 use crate::json::{parse, JsonValue};
 use crate::observer::{NoopObserver, StepObserver};
-use crate::policy::SchedulePolicy;
+use crate::policy::{RoundRobin, SchedulePolicy};
 use crate::proc::{ProcId, Process};
 use crate::sim::Simulator;
-use crate::threaded::{run_threaded_faulted, ThreadedConfig, ThreadedOutcome};
+use crate::threaded::{
+    run_threaded_faulted, run_threaded_seeded, ThreadedConfig, ThreadedOutcome,
+};
 use crate::trace::{RunMetrics, Trace};
 
 /// Supervisor tuning: how often to checkpoint and how many restarts to
@@ -75,6 +80,11 @@ pub struct RecoveryStats {
     pub checkpoints_taken: u64,
     /// Steps that were executed, lost to a crash, and executed again.
     pub steps_reexecuted: u64,
+    /// Steps executed *in the simulator* to rebuild a crash frontier for
+    /// the threaded hybrid path ([`run_threaded_recovering`]); zero for
+    /// purely simulated recovery and for the pre-PR 7 restart-from-scratch
+    /// behavior this stat exists to guard against regressing to.
+    pub steps_replayed: u64,
     /// The errors that triggered each restart, in order.
     pub faults_fired: Vec<RunError>,
 }
@@ -357,38 +367,158 @@ where
     })
 }
 
-/// Crash recovery for the threaded backend: run under `faults`; on an
-/// injected crash (or a watchdog-declared deadlock) consume the fired fault
-/// and restart from the initial state — the only checkpoint OS threads
-/// admit. Theorem 1 makes the restarted run's final state identical to an
-/// uninjected one's; the price is that every step re-executes, which is
-/// exactly the trade [`run_recovering`]'s periodic checkpoints exist to
-/// avoid on the simulated backend.
+/// Simulate the program from its initial state until `target` has
+/// completed `target_steps` local steps, and checkpoint that cut. This is
+/// how the threaded recovery path rebuilds a crash frontier: process-local
+/// step ordinals are schedule-independent in the paper's model, so the
+/// round-robin simulation passes through exactly the state the threaded
+/// lineage crashed out of. Crashes planned before the frontier fire *here*
+/// (the plan's bookkeeping advances exactly as a live run's would); each
+/// is consumed, counted, and recovered via the latest mini-checkpoint,
+/// just like [`run_recovering`].
+fn frontier_checkpoint<P>(
+    topo: Topology,
+    procs: Vec<P>,
+    faults: &mut FaultPlan,
+    target: ProcId,
+    target_steps: u64,
+    cfg: RecoveryConfig,
+    stats: &mut RecoveryStats,
+) -> Result<Checkpoint<P>, RunError>
+where
+    P: Process + Clone,
+    P::Msg: Clone,
+{
+    let every = cfg.checkpoint_every.max(1);
+    let mut policy = RoundRobin::new();
+    let mut sim = Simulator::new(topo, procs);
+    let mut trace = Trace::new();
+    let mut picks: Vec<ProcId> = Vec::new();
+    let mut steps: u64 = 0;
+    let mut fired: Vec<Crash> = Vec::new();
+    let mut latest = Checkpoint::take(0, &picks, &sim, faults, &trace);
+    while sim.metrics().procs[target].steps < target_steps && !sim.is_done() {
+        let runnable = sim.runnable_under(faults);
+        if runnable.is_empty() {
+            return Err(sim.deadlock_error());
+        }
+        let p = policy.pick(&runnable);
+        match sim.step_process_injected(p, faults, &mut trace, &mut NoopObserver) {
+            Ok(()) => {
+                picks.push(p);
+                steps += 1;
+                stats.steps_replayed += 1;
+                if steps.is_multiple_of(every) {
+                    latest = Checkpoint::take(steps, &picks, &sim, faults, &trace);
+                    stats.checkpoints_taken += 1;
+                }
+            }
+            Err(e @ RunError::Injected { .. }) => {
+                stats.faults_fired.push(e.clone());
+                stats.restarts += 1;
+                if stats.restarts as usize > cfg.max_restarts {
+                    return Err(e);
+                }
+                if let RunError::Injected { proc, step } = e {
+                    fired.push(Crash { proc, at_step: step });
+                }
+                // Restore; every crash that has ever fired stays consumed
+                // (the plan lives outside the checkpointed state).
+                *faults = latest.faults().clone();
+                for c in &fired {
+                    faults.remove_crash(*c);
+                }
+                sim = latest.restore_sim();
+                trace = latest.trace().clone();
+                picks = latest.picks().to_vec();
+                stats.steps_reexecuted += steps - latest.step();
+                steps = latest.step();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Checkpoint::take(steps, &picks, &sim, faults, &trace))
+}
+
+/// Crash recovery for the threaded backend — *resuming*, not restarting.
+///
+/// OS threads cannot be snapshotted mid-flight, so this path borrows the
+/// simulator as its checkpointing device. On an injected crash at
+/// `(proc, step)` the supervisor:
+///
+/// 1. re-derives the crash frontier by simulating the same deterministic
+///    program to the cut where `proc` has completed `step − 1` actions
+///    (sound by Theorem 1: process-local step ordinals are
+///    schedule-independent, so the simulated prefix passes through the
+///    state the threaded lineage crashed out of);
+/// 2. serializes that cut through the [`Checkpoint::to_json`] wire format
+///    and restores it with [`replay_checkpoint`] — fingerprint-verified,
+///    the same code path the distributed supervisor uses to migrate ranks;
+/// 3. seeds a fresh pool with the restored state via
+///    [`crate::threaded::run_threaded_seeded`] and runs to completion.
+///
+/// Only the pre-crash prefix re-executes, in the cheap simulator — closing
+/// the PR 3 gap where this function restarted the whole threaded run from
+/// scratch. Crashes that fire during the frontier replay itself are
+/// consumed and recovered with mini-checkpoints exactly like
+/// [`run_recovering`]; watchdog-declared deadlocks retry from the latest
+/// cut. `msg_bytes` is the per-message serializer the wire format needs
+/// (same contract as [`Checkpoint::to_json`]).
+///
+/// Step-ordinal caveat: for paper-model (unbounded) channels the two
+/// backends count local steps identically. A *bounded* channel counts a
+/// completed blocked send as a simulator step but not a threaded one, so
+/// frontiers for such programs land near, not exactly on, the crash point
+/// — the final state is bitwise exact either way (Theorem 1).
 pub fn run_threaded_recovering<P, F>(
     topo: &Topology,
     make_procs: F,
     faults: FaultPlan,
     config: ThreadedConfig,
-    max_restarts: usize,
+    cfg: RecoveryConfig,
+    msg_bytes: impl Fn(&P::Msg) -> Vec<u8>,
 ) -> Result<(ThreadedOutcome, RecoveryStats), RunError>
 where
-    P: Process + 'static,
+    P: Process + Clone + 'static,
+    P::Msg: Clone,
     F: Fn() -> Vec<P>,
 {
     let mut faults = faults;
     let mut stats = RecoveryStats::default();
+    // JSON manifest of the cut to resume from; none until the first crash.
+    let mut resume_json: Option<String> = None;
     loop {
-        match run_threaded_faulted(topo, make_procs(), config, &faults) {
+        let attempt = match &resume_json {
+            None => run_threaded_faulted(topo, make_procs(), config, &faults),
+            Some(json) => {
+                let (sim, _) =
+                    replay_checkpoint(json, topo.clone(), make_procs(), &msg_bytes)?;
+                run_threaded_seeded(topo, sim.into_state(), config, &faults)
+            }
+        };
+        match attempt {
             Ok(out) => return Ok((out, stats)),
             Err(e @ (RunError::Injected { .. } | RunError::Deadlock { .. })) => {
                 stats.faults_fired.push(e.clone());
                 stats.restarts += 1;
-                if stats.restarts as usize > max_restarts {
+                if stats.restarts as usize > cfg.max_restarts {
                     return Err(e);
                 }
                 if let RunError::Injected { proc, step } = e {
                     faults.remove_crash(Crash { proc, at_step: step });
+                    let ck = frontier_checkpoint(
+                        topo.clone(),
+                        make_procs(),
+                        &mut faults,
+                        proc,
+                        step.saturating_sub(1),
+                        cfg,
+                        &mut stats,
+                    )?;
+                    stats.checkpoints_taken += 1;
+                    resume_json = Some(ck.to_json(&msg_bytes));
                 }
+                // A deadlock retries from the latest cut (or from scratch).
             }
             Err(e) => return Err(e),
         }

@@ -57,12 +57,14 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::chan::{ChannelId, Topology};
 use crate::error::RunError;
 use crate::fault::FaultPlan;
 use crate::proc::{Effect, ProcId, Process};
+use crate::sim::{ProcState, SimState};
 use crate::spsc::{ParkSlot, SpscRing};
 use crate::threaded::{ThreadedConfig, ThreadedOutcome};
 use crate::trace::{ProcMetrics, RunMetrics};
@@ -130,6 +132,26 @@ struct Task<P: Process> {
     result: Option<Vec<u8>>,
 }
 
+/// How one channel is realized by this scheduler instance. A full-program
+/// run hosts both endpoints of every channel (`Direct`); a *partial* run
+/// ([`launch_partial`], the distributed backend's worker side) hosts a
+/// subset of the ranks, and a channel whose peer rank lives in another
+/// process becomes a port: `Egress` (local writer, remote reader — the ring
+/// is drained by the transport pump instead of a local task) or `Ingress`
+/// (remote writer, local reader — the ring is fed by the transport's
+/// inbound thread via [`Gateway::push_inbound`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ChanKind {
+    /// Both endpoints hosted here: the normal task-to-task ring.
+    Direct,
+    /// Writer hosted here; messages leave the process via the egress pump.
+    Egress,
+    /// Reader hosted here; messages arrive via [`Gateway::push_inbound`].
+    Ingress,
+    /// Neither endpoint hosted here; the ring exists but is never touched.
+    Absent,
+}
+
 /// A single-reader single-writer channel: lock-free ring, the two endpoint
 /// ranks, their task-level waiting flags, and relaxed traffic counters
 /// (only the writer bumps them, so relaxed ordering is exact).
@@ -137,6 +159,8 @@ struct Chan<M> {
     ring: SpscRing<M>,
     writer: ProcId,
     reader: ProcId,
+    /// How this instance hosts the channel's endpoints (fixed at launch).
+    kind: ChanKind,
     /// The reader rank parked (or is about to park) on the empty edge.
     reader_waiting: AtomicBool,
     /// The writer rank parked (or is about to park) on the full edge.
@@ -182,6 +206,14 @@ struct Shared<P: Process> {
     workers: Vec<WorkerState>,
     /// Overflow queue for wakes issued by non-worker threads.
     injector: Mutex<VecDeque<ProcId>>,
+    /// Ranks hosted by this instance; a full run hosts all of them. The
+    /// run is over when `finished` reaches this.
+    target: usize,
+    /// Channel indices with [`ChanKind::Egress`], in id order — the set
+    /// the egress pump drains.
+    egress: Vec<usize>,
+    /// Where the egress pump sleeps; sends on egress channels wake it.
+    egress_park: ParkSlot,
     faults: FaultPlan,
     /// Set when the run is aborted; workers drop their task and exit.
     poisoned: AtomicBool,
@@ -224,6 +256,7 @@ impl<P: Process> Shared<P> {
             w.park.force_wake();
         }
         self.watchdog_park.force_wake();
+        self.egress_park.force_wake();
     }
 
     /// Put a runnable rank on a queue: the waking worker's own deque when
@@ -325,87 +358,112 @@ enum After<P: Process> {
     Release,
 }
 
-/// Entry point: run `procs` over a worker pool. Called by
-/// [`crate::threaded::run_threaded_faulted`]; same contract.
-pub(crate) fn run_scheduled<P>(
-    topo: &Topology,
-    procs: Vec<P>,
-    config: ThreadedConfig,
-    faults: &FaultPlan,
-) -> Result<ThreadedOutcome, RunError>
-where
-    P: Process + 'static,
-{
-    assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
-    let n = procs.len();
-    if n == 0 {
-        return Ok(ThreadedOutcome {
-            snapshots: Vec::new(),
-            metrics: RunMetrics::for_topology(topo),
-        });
-    }
-    let n_workers = resolve_workers(config.workers, n);
-
-    let chans: Vec<Chan<P::Msg>> = topo
+/// Build the channel fabric for one scheduler instance. `hosted` marks the
+/// ranks this instance runs: `None` hosts all of them (every channel
+/// [`ChanKind::Direct`], spec capacity honored); otherwise a channel with a
+/// remote endpoint becomes `Egress`/`Ingress` — forced *unbounded*, because
+/// flow control across the process boundary belongs to the transport and a
+/// bounded port ring could wedge the pump — or `Absent`. Returns the
+/// channels plus the egress index list in id order.
+fn build_chans<M>(topo: &Topology, hosted: Option<&[bool]>) -> (Vec<Chan<M>>, Vec<usize>) {
+    let mut egress = Vec::new();
+    let chans = topo
         .specs()
         .iter()
-        .map(|s| Chan {
-            ring: SpscRing::new(s.capacity),
-            writer: s.writer,
-            reader: s.reader,
-            reader_waiting: AtomicBool::new(false),
-            writer_waiting: AtomicBool::new(false),
-            messages: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
-            max_depth: AtomicUsize::new(0),
+        .enumerate()
+        .map(|(i, s)| {
+            let kind = match hosted {
+                None => ChanKind::Direct,
+                Some(h) => match (h[s.writer], h[s.reader]) {
+                    (true, true) => ChanKind::Direct,
+                    (true, false) => ChanKind::Egress,
+                    (false, true) => ChanKind::Ingress,
+                    (false, false) => ChanKind::Absent,
+                },
+            };
+            if kind == ChanKind::Egress {
+                egress.push(i);
+            }
+            let capacity = if kind == ChanKind::Direct { s.capacity } else { None };
+            Chan {
+                ring: SpscRing::new(capacity),
+                writer: s.writer,
+                reader: s.reader,
+                kind,
+                reader_waiting: AtomicBool::new(false),
+                writer_waiting: AtomicBool::new(false),
+                messages: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                max_depth: AtomicUsize::new(0),
+            }
         })
         .collect();
-    let n_chans = chans.len();
+    (chans, egress)
+}
 
-    let shared = Arc::new(Shared {
+/// Fresh task box for a rank entering the scheduler at its initial state.
+fn fresh_task<P: Process>(proc: P, n_chans: usize) -> Task<P> {
+    Task {
+        proc,
+        delivery: None,
+        pending: None,
+        pm: ProcMetrics::default(),
+        recvs_done: vec![0; n_chans],
+        parked_since: None,
+        result: None,
+    }
+}
+
+/// Assemble the shared state for a pool of `n_workers` over `slots` (one
+/// box per rank; `None` for ranks this instance does not host).
+#[allow(clippy::too_many_arguments)]
+fn build_shared<P: Process>(
+    topo: &Topology,
+    slots: Vec<Option<Task<P>>>,
+    chans: Vec<Chan<P::Msg>>,
+    egress: Vec<usize>,
+    target: usize,
+    finished: usize,
+    n_workers: usize,
+    faults: &FaultPlan,
+) -> Arc<Shared<P>> {
+    let n = slots.len();
+    Arc::new(Shared {
         topo: topo.clone(),
         chans,
-        slots: procs
-            .into_iter()
-            .map(|proc| {
-                Mutex::new(Some(Task {
-                    proc,
-                    delivery: None,
-                    pending: None,
-                    pm: ProcMetrics::default(),
-                    recvs_done: vec![0; n_chans],
-                    parked_since: None,
-                    result: None,
-                }))
-            })
-            .collect(),
+        slots: slots.into_iter().map(Mutex::new).collect(),
         states: (0..n).map(|_| AtomicU8::new(RUN)).collect(),
         waits: Mutex::new(vec![None; n]),
         workers: (0..n_workers)
             .map(|_| WorkerState { deque: Mutex::new(VecDeque::new()), park: ParkSlot::new() })
             .collect(),
         injector: Mutex::new(VecDeque::new()),
+        target,
+        egress,
+        egress_park: ParkSlot::new(),
         faults: faults.clone(),
         poisoned: AtomicBool::new(false),
         done: AtomicBool::new(false),
         progress: AtomicU64::new(0),
-        finished: AtomicUsize::new(0),
+        finished: AtomicUsize::new(finished),
         idle_workers: AtomicUsize::new(0),
         steals: AtomicU64::new(0),
         yields: AtomicU64::new(0),
         task_parks: AtomicU64::new(0),
         verdict: Mutex::new(None),
         watchdog_park: ParkSlot::new(),
-    });
+    })
+}
 
-    // Seed the deques round-robin so every worker starts with local work.
-    for rank in 0..n {
-        lock(&shared.workers[rank % n_workers].deque).push_back(rank);
-    }
-
-    let handles: Vec<_> = (0..n_workers)
+/// Spawn the worker pool (and the watchdog, if a window is given).
+fn spawn_pool<P: Process + 'static>(
+    shared: &Arc<Shared<P>>,
+    n_workers: usize,
+    watchdog: Option<Duration>,
+) -> (Vec<JoinHandle<()>>, Option<JoinHandle<()>>) {
+    let handles = (0..n_workers)
         .map(|w| {
-            let shared = Arc::clone(&shared);
+            let shared = Arc::clone(shared);
             std::thread::spawn(move || {
                 // A panic here would be a scheduler bug, not a process
                 // panic (those are caught per-resume); still convert it to
@@ -416,25 +474,33 @@ where
             })
         })
         .collect();
-
-    let watchdog = config.watchdog.map(|window| {
-        let shared = Arc::clone(&shared);
+    let watchdog = watchdog.map(|window| {
+        let shared = Arc::clone(shared);
         std::thread::spawn(move || watchdog_loop(&shared, window))
     });
+    (handles, watchdog)
+}
 
+/// Join the pool and harvest the verdict, metrics, and snapshots. The
+/// verdict describes the root cause better than any secondary state the
+/// tasks were left in, so it wins over partial results.
+fn harvest<P: Process>(
+    shared: &Arc<Shared<P>>,
+    handles: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+    n_workers: usize,
+) -> Result<ThreadedOutcome, RunError> {
     for h in handles {
         let _ = h.join();
     }
     if let Some(h) = watchdog {
         let _ = h.join();
     }
-
-    // Harvest. The verdict describes the root cause better than any
-    // secondary state the tasks were left in.
     if let Some(v) = lock(&shared.verdict).take() {
         return Err(v);
     }
-    let mut metrics = RunMetrics::for_topology(topo);
+    let n = shared.topo.n_procs();
+    let mut metrics = RunMetrics::for_topology(&shared.topo);
     metrics.sched.workers = n_workers;
     metrics.sched.steals = shared.steals.load(Ordering::Relaxed);
     metrics.sched.yields = shared.yields.load(Ordering::Relaxed);
@@ -457,6 +523,335 @@ where
         metrics.channels[i].max_queue_depth = c.max_depth.load(Ordering::Relaxed);
     }
     Ok(ThreadedOutcome { snapshots, metrics })
+}
+
+/// Entry point: run `procs` over a worker pool. Called by
+/// [`crate::threaded::run_threaded_faulted`]; same contract.
+pub(crate) fn run_scheduled<P>(
+    topo: &Topology,
+    procs: Vec<P>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+) -> Result<ThreadedOutcome, RunError>
+where
+    P: Process + 'static,
+{
+    assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
+    let n = procs.len();
+    if n == 0 {
+        return Ok(ThreadedOutcome {
+            snapshots: Vec::new(),
+            metrics: RunMetrics::for_topology(topo),
+        });
+    }
+    let n_workers = resolve_workers(config.workers, n);
+    let (chans, egress) = build_chans(topo, None);
+    let n_chans = chans.len();
+    let slots = procs.into_iter().map(|p| Some(fresh_task(p, n_chans))).collect();
+    let shared = build_shared(topo, slots, chans, egress, n, 0, n_workers, faults);
+
+    // Seed the deques round-robin so every worker starts with local work.
+    for rank in 0..n {
+        lock(&shared.workers[rank % n_workers].deque).push_back(rank);
+    }
+    let (handles, watchdog) = spawn_pool(&shared, n_workers, config.watchdog);
+    harvest(&shared, handles, watchdog, n_workers)
+}
+
+/// Resume a run from a simulator cut ([`SimState`], typically obtained by
+/// replaying a fingerprint-verified checkpoint): seed tasks, rings, and
+/// counters from `state`, then drive the remainder over the pool. The
+/// prefix's metrics are carried forward, so process-local step ordinals
+/// (which key fault injection) and traffic counters continue rather than
+/// restart — and by Theorem 1 the final snapshots are the same as if the
+/// whole run had happened on either backend alone.
+pub(crate) fn run_seeded<P>(
+    topo: &Topology,
+    state: SimState<P>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+) -> Result<ThreadedOutcome, RunError>
+where
+    P: Process + 'static,
+{
+    let SimState { procs, status, queues, metrics } = state;
+    assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
+    let n = procs.len();
+    if n == 0 {
+        return Ok(ThreadedOutcome {
+            snapshots: Vec::new(),
+            metrics: RunMetrics::for_topology(topo),
+        });
+    }
+    let n_workers = resolve_workers(config.workers, n);
+    let (chans, egress) = build_chans::<P::Msg>(topo, None);
+    let n_chans = chans.len();
+
+    // Deliveries completed per channel *before* the cut: sends counted by
+    // the prefix minus messages still in flight. Seeds the reader's
+    // `recvs_done` so stall-fault ordinals stay aligned across the cut.
+    let delivered: Vec<u64> = (0..n_chans)
+        .map(|i| metrics.channels[i].messages.saturating_sub(queues[i].len() as u64))
+        .collect();
+
+    // Pre-fill the rings single-threaded (no worker is running yet) and
+    // seed the writer-side traffic counters from the prefix.
+    for (i, q) in queues.into_iter().enumerate() {
+        let c = &chans[i];
+        c.messages.store(metrics.channels[i].messages, Ordering::Relaxed);
+        c.bytes.store(metrics.channels[i].bytes, Ordering::Relaxed);
+        c.max_depth.store(metrics.channels[i].max_queue_depth, Ordering::Relaxed);
+        for m in q {
+            assert!(
+                c.ring.try_push(m).is_ok(),
+                "seed queue exceeds channel capacity (state/topology mismatch)"
+            );
+        }
+    }
+
+    let mut finished = 0usize;
+    let mut runnable: Vec<ProcId> = Vec::new();
+    let mut slots: Vec<Option<Task<P>>> = Vec::with_capacity(n);
+    for (rank, (proc, st)) in procs.into_iter().zip(status).enumerate() {
+        let mut task = fresh_task(proc, n_chans);
+        task.pm = metrics.procs[rank];
+        for (i, d) in delivered.iter().enumerate() {
+            if chans[i].reader == rank {
+                task.recvs_done[i] = *d;
+            }
+        }
+        match st {
+            ProcState::Ready => runnable.push(rank),
+            ProcState::BlockedRecv(chan) => {
+                // Retried as a pending op with `fresh = false`: the block
+                // episode was already counted by the prefix.
+                task.pending = Some(Pending::Recv { chan });
+                runnable.push(rank);
+            }
+            ProcState::BlockedSend(chan, msg) => {
+                let bytes = P::msg_size_bytes(&msg);
+                task.pending = Some(Pending::Send { chan, msg, bytes });
+                runnable.push(rank);
+            }
+            ProcState::Halted => {
+                task.result = Some(task.proc.snapshot());
+                finished += 1;
+            }
+        }
+        slots.push(Some(task));
+    }
+
+    let shared = build_shared(topo, slots, chans, egress, n, finished, n_workers, faults);
+    if finished == n {
+        shared.finish();
+    }
+    for (i, &rank) in runnable.iter().enumerate() {
+        lock(&shared.workers[i % n_workers].deque).push_back(rank);
+    }
+    let (handles, watchdog) = spawn_pool(&shared, n_workers, config.watchdog);
+    harvest(&shared, handles, watchdog, n_workers)
+}
+
+/// A scheduler instance hosting a *subset* of a topology's ranks — the
+/// distributed backend's worker side. Obtain one from [`launch_partial`],
+/// bridge its port channels through [`PartialRun::gateway`], then collect
+/// the hosted ranks' results with [`PartialRun::join`].
+pub struct PartialRun<P: Process> {
+    shared: Arc<Shared<P>>,
+    hosted: Vec<ProcId>,
+    n_workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Final state of a partial run: snapshots for the hosted ranks only, plus
+/// this instance's *slice* of the run metrics (its ranks' step counts, and
+/// traffic counters for every channel whose writer it hosts). The
+/// supervisor sums slices across workers to reconstruct full-run metrics.
+pub struct PartialOutcome {
+    /// `(rank, snapshot)` for each hosted rank, in assignment order.
+    pub snapshots: Vec<(ProcId, Vec<u8>)>,
+    /// This instance's metrics slice.
+    pub metrics: RunMetrics,
+}
+
+impl<P: Process> PartialRun<P> {
+    /// A transport-side handle to this run; clone one per bridge thread.
+    pub fn gateway(&self) -> Gateway<P> {
+        Gateway { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Block until every hosted rank halts (or the run is poisoned) and
+    /// harvest snapshots and the local metrics slice.
+    pub fn join(self) -> Result<PartialOutcome, RunError> {
+        let outcome = harvest(&self.shared, self.handles, None, self.n_workers)?;
+        let mut snapshots = outcome.snapshots;
+        let snaps = self
+            .hosted
+            .iter()
+            .map(|&r| (r, std::mem::take(&mut snapshots[r])))
+            .collect();
+        Ok(PartialOutcome { snapshots: snaps, metrics: outcome.metrics })
+    }
+}
+
+/// Launch a scheduler instance that hosts only `procs` — pairs of *global*
+/// rank id and process — out of `topo`'s ranks. Channels whose peer rank is
+/// not hosted become ports: sends queue on an unbounded egress ring drained
+/// by [`Gateway::pump_outbound`], and receives block until the transport
+/// feeds the ring via [`Gateway::push_inbound`].
+///
+/// Global ids are used throughout — rank ids and channel ids mean the same
+/// here as in the full topology, so checkpoints and wire frames never
+/// renumber anything.
+///
+/// No watchdog runs regardless of `config.watchdog`: a partial instance
+/// blocked on a remote peer is locally indistinguishable from deadlock, so
+/// liveness belongs to the supervisor (socket EOF / heartbeat).
+pub fn launch_partial<P>(
+    topo: &Topology,
+    procs: Vec<(ProcId, P)>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+) -> PartialRun<P>
+where
+    P: Process + 'static,
+{
+    let n = topo.n_procs();
+    let mut hosted_mask = vec![false; n];
+    let hosted: Vec<ProcId> = procs.iter().map(|&(r, _)| r).collect();
+    for &r in &hosted {
+        assert!(r < n, "hosted rank {r} outside topology");
+        assert!(!hosted_mask[r], "rank {r} hosted twice");
+        hosted_mask[r] = true;
+    }
+    let target = hosted.len();
+    let n_workers = resolve_workers(config.workers, target);
+    let (chans, egress) = build_chans(topo, Some(&hosted_mask));
+    let n_chans = chans.len();
+    let mut slots: Vec<Option<Task<P>>> = (0..n).map(|_| None).collect();
+    for (r, p) in procs {
+        slots[r] = Some(fresh_task(p, n_chans));
+    }
+    let shared = build_shared(topo, slots, chans, egress, target, 0, n_workers, faults);
+    if target == 0 {
+        shared.finish();
+    }
+    for (i, &rank) in hosted.iter().enumerate() {
+        lock(&shared.workers[i % n_workers].deque).push_back(rank);
+    }
+    let (handles, _) = spawn_pool(&shared, n_workers, None);
+    PartialRun { shared, hosted, n_workers, handles }
+}
+
+/// Transport-side handle to a partial run: the bridge between this
+/// instance's port channels and whatever carries the bytes (the distributed
+/// backend's socket threads). All clones address the same run.
+pub struct Gateway<P: Process> {
+    shared: Arc<Shared<P>>,
+}
+
+impl<P: Process> Clone for Gateway<P> {
+    fn clone(&self) -> Self {
+        Gateway { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<P: Process> Gateway<P> {
+    /// Deliver a message that arrived from a remote writer into its ingress
+    /// channel, waking the hosted reader if it is parked — the transport's
+    /// copy of the send path's push → fence → consume-flag → wake
+    /// discipline, so the Dekker argument for lost-wake freedom carries
+    /// over unchanged. Local traffic counters are *not* bumped: the remote
+    /// writer's instance counts the send, and the supervisor sums slices.
+    ///
+    /// Errors with [`RunError::Protocol`] if `chan` is not an ingress
+    /// channel of this instance (a routing bug or a corrupted frame) —
+    /// never panics, since this path is network-facing.
+    pub fn push_inbound(&self, chan: ChannelId, msg: P::Msg) -> Result<(), RunError> {
+        let Some(c) = self.shared.chans.get(chan.0) else {
+            return Err(RunError::Protocol {
+                proc: 0,
+                detail: format!("inbound frame for unknown channel {chan}"),
+            });
+        };
+        if c.kind != ChanKind::Ingress {
+            return Err(RunError::Protocol {
+                proc: c.reader,
+                detail: format!("inbound frame for non-ingress channel {chan} ({:?})", c.kind),
+            });
+        }
+        if c.ring.try_push(msg).is_err() {
+            // Ingress rings are unbounded, so this is unreachable — but a
+            // typed error beats a panic on a network-facing path.
+            return Err(RunError::Protocol {
+                proc: c.reader,
+                detail: format!("ingress ring for {chan} rejected a push"),
+            });
+        }
+        fence(Ordering::SeqCst);
+        if c.reader_waiting.swap(false, Ordering::SeqCst) {
+            self.shared.wake_task(c.reader, None);
+        }
+        self.shared.progress.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drain egress rings into `sink` until the run completes, parking on
+    /// the egress [`ParkSlot`] between bursts (every egress send wakes it;
+    /// so does run teardown). Call from the transport's outbound thread.
+    /// Returns after a final post-completion sweep — a rank's sends
+    /// happen-before its halt is published, so every message is handed to
+    /// `sink` before this returns. A sink error poisons the run and is
+    /// returned.
+    pub fn pump_outbound(
+        &self,
+        mut sink: impl FnMut(ChannelId, P::Msg) -> Result<(), RunError>,
+    ) -> Result<(), RunError> {
+        let shared = &self.shared;
+        shared.egress_park.register();
+        loop {
+            shared.egress_park.prepare_park();
+            let mut drained = 0usize;
+            for &i in &shared.egress {
+                while let Some(m) = shared.chans[i].ring.try_pop() {
+                    drained += 1;
+                    if let Err(e) = sink(ChannelId(i), m) {
+                        shared.egress_park.cancel_park();
+                        shared.fail(e.clone());
+                        return Err(e);
+                    }
+                }
+            }
+            if drained > 0 {
+                shared.egress_park.cancel_park();
+                continue;
+            }
+            if shared.done.load(Ordering::SeqCst) {
+                shared.egress_park.cancel_park();
+                break;
+            }
+            shared.egress_park.park(WAIT_SLICE);
+        }
+        // Final sweep: sends that raced the `done` observation are visible
+        // now (they happen-before the finishing rank's counter increment).
+        for &i in &shared.egress {
+            while let Some(m) = shared.chans[i].ring.try_pop() {
+                sink(ChannelId(i), m)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True once the run is over (all hosted ranks halted, or poisoned).
+    pub fn is_done(&self) -> bool {
+        self.shared.done.load(Ordering::SeqCst)
+    }
+
+    /// Abort the run with `err` (first error wins) and wake everything —
+    /// the transport's lever when the socket to the supervisor dies.
+    pub fn poison(&self, err: RunError) {
+        self.shared.fail(err);
+    }
 }
 
 fn worker_loop<P: Process>(shared: &Shared<P>, me: usize) {
@@ -604,7 +999,7 @@ fn step_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId, mut task: 
                 }
             }
             *lock(&shared.slots[rank]) = Some(task);
-            if shared.finished.fetch_add(1, Ordering::SeqCst) + 1 == shared.topo.n_procs() {
+            if shared.finished.fetch_add(1, Ordering::SeqCst) + 1 == shared.target {
                 shared.finish();
             }
             After::Release
@@ -705,7 +1100,11 @@ fn attempt_send<P: Process>(
                 }
                 task.pm.sends += 1;
                 fence(Ordering::SeqCst);
-                if c.reader_waiting.swap(false, Ordering::SeqCst) {
+                // An egress ring's consumer is the transport pump, not a
+                // local task; wake it instead of a rank.
+                if c.kind == ChanKind::Egress {
+                    shared.egress_park.wake();
+                } else if c.reader_waiting.swap(false, Ordering::SeqCst) {
                     shared.wake_task(c.reader, Some(me));
                 }
                 shared.progress.fetch_add(1, Ordering::Relaxed);
@@ -859,6 +1258,9 @@ mod tests {
                 park: ParkSlot::new(),
             }],
             injector: Mutex::new(VecDeque::new()),
+            target: 1,
+            egress: Vec::new(),
+            egress_park: ParkSlot::new(),
             faults: FaultPlan::none(),
             poisoned: AtomicBool::new(false),
             done: AtomicBool::new(false),

@@ -72,6 +72,40 @@ enum Status<M> {
     Halted,
 }
 
+/// Public mirror of a process's scheduling status, used when a simulator's
+/// state is exported ([`Simulator::into_state`]) to seed another backend —
+/// notably the threaded scheduler resuming from a replayed checkpoint.
+#[derive(Debug, Clone)]
+pub enum ProcState<M> {
+    /// Can be resumed with no delivery.
+    Ready,
+    /// A receive is posted on the channel; the delivery has not happened.
+    BlockedRecv(ChannelId),
+    /// A send is pending on a full bounded channel; holds the message.
+    BlockedSend(ChannelId, M),
+    /// The process has halted.
+    Halted,
+}
+
+/// The full data plane of a simulator at some consistent cut: processes
+/// (mid-state), their statuses, the in-flight queue contents, and the
+/// metrics accumulated so far. Any backend that starts from this state and
+/// runs to completion reaches the same final state as continuing the
+/// simulation would (Theorem 1: the steps before the cut plus the steps
+/// after form one maximal interleaving).
+pub struct SimState<P: Process> {
+    /// The processes, each at its post-prefix state.
+    pub procs: Vec<P>,
+    /// Per-process scheduling status at the cut.
+    pub status: Vec<ProcState<P::Msg>>,
+    /// Per-channel in-flight messages, FIFO order.
+    pub queues: Vec<VecDeque<P::Msg>>,
+    /// Metrics accumulated by the prefix (steps, sends, channel counters);
+    /// a resuming backend continues these counts, keeping proc-local step
+    /// ordinals (which key fault injection) consistent across the cut.
+    pub metrics: RunMetrics,
+}
+
 /// Simulated executor for one process collection over one topology.
 pub struct Simulator<P: Process> {
     topo: Topology,
@@ -477,6 +511,27 @@ impl<P: Process> Simulator<P> {
             bytes_arr(&self.state_fingerprint(&msg_bytes)),
         );
         JsonValue::Obj(top)
+    }
+
+    /// Export the simulator's entire data plane for another backend to
+    /// resume from (see [`SimState`]). Consumes the simulator: the state is
+    /// moved, not copied.
+    pub fn into_state(self) -> SimState<P> {
+        SimState {
+            procs: self.procs,
+            status: self
+                .status
+                .into_iter()
+                .map(|s| match s {
+                    Status::Ready => ProcState::Ready,
+                    Status::BlockedRecv(c) => ProcState::BlockedRecv(c),
+                    Status::BlockedSend(c, m) => ProcState::BlockedSend(c, m),
+                    Status::Halted => ProcState::Halted,
+                })
+                .collect(),
+            queues: self.queues,
+            metrics: self.metrics,
+        }
     }
 
     /// Run to termination under `policy`, producing the maximal interleaving

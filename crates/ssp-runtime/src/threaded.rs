@@ -37,6 +37,7 @@ use crate::error::RunError;
 use crate::fault::FaultPlan;
 use crate::proc::Process;
 use crate::sched;
+use crate::sim::SimState;
 use crate::trace::RunMetrics;
 
 /// Options for [`run_threaded_with`].
@@ -134,6 +135,27 @@ where
     sched::run_scheduled(topo, procs, config, faults)
 }
 
+/// Resume a run on the worker pool from a simulator cut ([`SimState`],
+/// typically the product of replaying a fingerprint-verified checkpoint
+/// with [`crate::recover::replay_checkpoint`]). The prefix's metrics ride
+/// along: process-local step ordinals keep counting from where the prefix
+/// left them (so [`FaultPlan`] crashes keyed past the cut still fire at the
+/// right action), and channel traffic counters continue instead of
+/// restarting. By Theorem 1 the final snapshots equal those of any
+/// uninterrupted run. Used by [`crate::recover::run_threaded_recovering`]
+/// to resume after a crash rather than restart from scratch.
+pub fn run_threaded_seeded<P>(
+    topo: &Topology,
+    state: SimState<P>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+) -> Result<ThreadedOutcome, RunError>
+where
+    P: Process + 'static,
+{
+    sched::run_seeded(topo, state, config, faults)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +169,7 @@ mod tests {
     /// the token with value 1; every node forwards `token + 1`; each node
     /// handles the token `laps` times, and node 0 keeps (rather than
     /// forwards) the final token. The final token value is `n * laps`.
+    #[derive(Clone)]
     struct RingNode {
         id: usize,
         laps: u64,
@@ -431,8 +454,8 @@ mod tests {
     }
 
     #[test]
-    fn threaded_recovery_restarts_to_the_uninjected_final_state() {
-        use crate::recover::run_threaded_recovering;
+    fn threaded_recovery_resumes_to_the_uninjected_final_state() {
+        use crate::recover::{run_threaded_recovering, RecoveryConfig};
         let reference = {
             let (topo, procs) = ring(4, 3);
             run_threaded(&topo, procs).unwrap()
@@ -445,12 +468,28 @@ mod tests {
             || ring(4, 3).1,
             faults,
             ThreadedConfig::default(),
-            4,
+            RecoveryConfig::every(2),
+            |m: &u64| m.to_le_bytes().to_vec(),
         )
         .unwrap();
-        assert_eq!(out.snapshots, reference, "Theorem 1: restart reaches the same state");
+        assert_eq!(out.snapshots, reference, "Theorem 1: recovery reaches the same state");
         assert_eq!(stats.restarts, 1);
         assert!(matches!(stats.faults_fired[0], RunError::Injected { proc: 1, step: 3 }));
+        // Regression guard for the PR 3 gap: the crash fired at proc 1's
+        // step 3, so the supervisor must have *resumed* from a simulated
+        // frontier (proc 1 at 2 completed steps) rather than restarted
+        // from scratch — restart-from-scratch replays nothing.
+        assert!(
+            stats.steps_replayed > 0,
+            "recovery must rebuild the crash frontier by simulation, not restart"
+        );
+        // The resumed lineage continues the crashed one's metrics: proc 1's
+        // final step count matches a clean run's, not a truncated restart.
+        let clean = {
+            let (topo, procs) = ring(4, 3);
+            run_threaded_with(&topo, procs, ThreadedConfig::default()).unwrap()
+        };
+        assert_eq!(out.metrics.procs[1].steps, clean.metrics.procs[1].steps);
     }
 
     #[test]

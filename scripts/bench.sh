@@ -29,6 +29,14 @@ esac
 
 out="$PWD/BENCH_figure2.json"
 echo "bench.sh: mode=$mode REPRO_SCALE=$scale SSP_WORKERS=${SSP_WORKERS:-auto} -> $out"
+
+# The distributed series needs the worker executable: build it in release
+# and hand its path to the bench via SSP_WORKER_BIN. The series archives
+# worker counts, migration counts, and bitwise-identity per point
+# (including one SIGKILL-mid-run migration point) into the JSON.
+cargo build --release -p ssp-dist --bin ssp-worker
+export SSP_WORKER_BIN="$PWD/target/release/ssp-worker"
+
 # Absolute path: cargo runs bench binaries from the package directory.
 REPRO_SCALE="$scale" BENCH_JSON="$out" cargo bench -p bench --bench figure2
 
