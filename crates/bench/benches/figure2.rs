@@ -11,8 +11,9 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use bench::stencil::StencilReport;
 use bench::{price, print_table, run_version_a, scaled_steps, secs, spd, RunPoint};
-use fdtd::par::{init_a, plan_a};
+use fdtd::par::{init_a, plan_a, plan_a_overlap};
 use fdtd::Params;
 use machine_model::{ibm_sp, ideal_time, network_of_suns, perfect_speedup, SpeedupSeries};
 use mesh_archetype::{run_msg_predicted, run_msg_simulated_slack};
@@ -94,15 +95,27 @@ fn main() {
     );
 
     let predictions = predicted_curves(&params);
-    let threaded = measured_threaded(&params);
+    let overlap_pred = predicted_overlap(&params);
+    let threaded =
+        measured_threaded(&params, plan_a(&params), "baseline plan (bulk-synchronous exchange)");
+    let threaded_overlap = measured_threaded(
+        &params,
+        plan_a_overlap(&params),
+        "boundary-first plan (interior compute overlaps exchange)",
+    );
+    compare_threaded(&threaded, &threaded_overlap);
     let distributed = measured_distributed();
+    let stencil = stencil_summary();
     write_bench_json(
         &params,
         machine.name,
         &measured_points,
         &predictions,
+        &overlap_pred,
         &threaded,
+        &threaded_overlap,
         &distributed,
+        &stencil,
     );
 
     comm_profile();
@@ -170,6 +183,90 @@ fn predicted_curves(params: &Arc<Params>) -> Vec<(&'static str, Vec<(usize, DesO
     predictions
 }
 
+/// Head-to-head of the baseline plan against the boundary-first overlap
+/// plan on the discrete-event clock: same grid, same machines, same rank
+/// counts. The column that matters is the critical path's *non-compute*
+/// exposure — everything the terminal rank spent waiting on communication:
+/// latency + bandwidth (a delayed receive walks the critical path through
+/// the sender's wire) + blocked (back-pressure space waits). The overlap
+/// plan computes its boundary shells first, posts the halo sends, and does
+/// the interior work while the wires are busy, so the receive that used to
+/// stall the critical path finds its message already delivered and the
+/// wire drops off the path. EXPERIMENTS.md E14 reads its headline from
+/// this table.
+#[allow(clippy::type_complexity)]
+fn predicted_overlap(
+    params: &Arc<Params>,
+) -> Vec<(&'static str, Vec<(usize, DesOutcome, DesOutcome)>)> {
+    let base = plan_a(params);
+    let over = plan_a_overlap(params);
+    let init = init_a(params.clone());
+    let ps = [1usize, 2, 4, 8, 16];
+    let mut all = Vec::new();
+    let mut blocked_shrinks = true;
+    for machine in [network_of_suns(), ibm_sp()] {
+        let mut points: Vec<(usize, DesOutcome, DesOutcome)> = Vec::new();
+        for &p in &ps {
+            let pg = ProcGrid3::choose(params.n, p);
+            let b = run_msg_predicted(&base, pg, &init, &machine)
+                .expect("infinite-slack message-passing plans cannot deadlock");
+            let o = run_msg_predicted(&over, pg, &init, &machine)
+                .expect("the overlap plan is deadlock-free at infinite slack");
+            points.push((p, b, o));
+        }
+        let noncompute = |out: &DesOutcome| {
+            let bd = out.critical.breakdown;
+            bd.latency + bd.bandwidth + bd.blocked
+        };
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|(p, b, o)| {
+                let (bc, oc) = (noncompute(b), noncompute(o));
+                let cut = if bc > 0.0 {
+                    format!("{:.0}%", (1.0 - oc / bc) * 100.0)
+                } else {
+                    "-".to_string()
+                };
+                vec![
+                    p.to_string(),
+                    secs(b.makespan),
+                    secs(o.makespan),
+                    spd(b.makespan / o.makespan),
+                    secs(bc),
+                    secs(oc),
+                    cut,
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("compute/communication overlap, predicted on {}", machine.name),
+            &[
+                "P",
+                "baseline (s)",
+                "overlap (s)",
+                "speedup",
+                "base comm+blocked",
+                "ovl comm+blocked",
+                "exposure cut",
+            ],
+            &rows,
+        );
+        for (p, b, o) in &points {
+            if *p >= 4 {
+                blocked_shrinks &= noncompute(o) < noncompute(b)
+                    && o.critical.breakdown.blocked <= b.critical.breakdown.blocked;
+            }
+        }
+        all.push((machine.name, points));
+    }
+    println!(
+        "boundary-first overlap shrinks the critical path's communication exposure \
+         (latency + bandwidth + blocked) at P>=4 on every machine: {}",
+        if blocked_shrinks { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    all
+}
+
 /// One measured point of the real threaded execution: rank count, wall
 /// time, and the scheduler configuration that produced it (worker-pool
 /// size and steal count), so the curve is interpretable from the JSON
@@ -192,8 +289,14 @@ struct ThreadedPoint {
 /// wall (graceful oversubscription: rank tasks share one worker instead
 /// of paying per-rank context-switch tax; see EXPERIMENTS.md E12). The
 /// pool shape is printed and recorded so the JSON is interpretable.
-fn measured_threaded(params: &Arc<Params>) -> Vec<ThreadedPoint> {
-    let plan = plan_a(params);
+/// Runs whichever `plan` it is handed — the baseline bulk-synchronous plan
+/// or the boundary-first overlap plan — so the two series are produced by
+/// the same harness and are directly comparable.
+fn measured_threaded(
+    params: &Arc<Params>,
+    plan: mesh_archetype::Plan<fdtd::par::LocalA>,
+    title: &str,
+) -> Vec<ThreadedPoint> {
     let init = init_a(params.clone());
     let cfg = ssp_runtime::ThreadedConfig::with_watchdog(std::time::Duration::from_secs(60));
     let mut points = Vec::new();
@@ -238,7 +341,7 @@ fn measured_threaded(params: &Arc<Params>) -> Vec<ThreadedPoint> {
         })
         .collect();
     print_table(
-        "measured threaded execution (M:N pool on SPSC rings, this machine)",
+        &format!("measured threaded execution, {title}"),
         &["P", "wall (s)", "speedup", "workers", "steals"],
         &rows,
     );
@@ -248,6 +351,44 @@ fn measured_threaded(params: &Arc<Params>) -> Vec<ThreadedPoint> {
         ssp_runtime::sched::SCHED_MODE
     );
     points
+}
+
+/// Side-by-side of the two threaded series. On a multi-core host the
+/// overlap plan should pull ahead at P >= 4, where there are enough halo
+/// exchanges in flight for interior compute to hide; on a one-core host
+/// (`workers: 1`) there is no second core to run the interior while a
+/// ring blocks, so parity within noise is the honest expectation — the
+/// predicted table above is the series that isolates the overlap effect
+/// from host topology.
+fn compare_threaded(base: &[ThreadedPoint], over: &[ThreadedPoint]) {
+    let rows: Vec<Vec<String>> = base
+        .iter()
+        .zip(over)
+        .map(|(b, o)| {
+            vec![b.p.to_string(), secs(b.wall), secs(o.wall), spd(b.wall / o.wall)]
+        })
+        .collect();
+    print_table(
+        "threaded: baseline vs boundary-first overlap (this machine)",
+        &["P", "baseline (s)", "overlap (s)", "ratio"],
+        &rows,
+    );
+}
+
+/// One stencil microbench point embedded in the archive: the
+/// section-shaped grid (the regime the decomposed per-rank kernels
+/// actually run in), so `BENCH_figure2.json` carries the kernel-level
+/// speedup next to the plan-level series it feeds. The standalone
+/// `stencil` bench sweeps more shapes.
+fn stencil_summary() -> StencilReport {
+    let report = bench::stencil::run((512, 8, 8), scaled_steps(16));
+    let best = report.points.iter().skip(1).map(|p| p.speedup).fold(0.0f64, f64::max);
+    println!(
+        "\nstencil microbench (512x8x8 section, {} steps): flat/tiled best {best:.2}x over \
+         scalar get/set, bitwise identical: {}",
+        report.reps, report.bitwise_identical
+    );
+    report
 }
 
 fn cores() -> usize {
@@ -262,6 +403,7 @@ struct DistPoint {
     migrations: u64,
     frames_routed: u64,
     killed: bool,
+    overlap: bool,
     identical: bool,
 }
 
@@ -280,22 +422,38 @@ fn measured_distributed() -> Vec<DistPoint> {
         );
         return Vec::new();
     };
-    let args = ssp_dist::fdtd_a_args("tiny", 4);
-    let reference = ssp_dist::build_workload("fdtd-a", &args)
+    let base_args = ssp_dist::fdtd_a_args("tiny", 4);
+    let overlap_args = ssp_dist::fdtd_a_overlap_args("tiny", 4);
+    // One reference for both series: the overlap plan is bitwise identical
+    // to the unsplit plan by construction, so every row — clean, killed,
+    // or overlapped — is held to the same simulator snapshots.
+    let reference = ssp_dist::build_workload("fdtd-a", &base_args)
         .expect("registry knows fdtd-a")
         .run_reference()
         .expect("reference simulation");
     let mut points = Vec::new();
-    for (workers, kill) in [(1usize, false), (2, false), (3, false), (2, true)] {
+    for (workers, kill, overlap) in [
+        (1usize, false, false),
+        (2, false, false),
+        (3, false, false),
+        (2, true, false),
+        (1, false, true),
+        (2, false, true),
+        (3, false, true),
+    ] {
         let mut cfg = ssp_dist::DistConfig::new(workers, &bin);
         if kill {
             cfg.chaos_kill = Some(ssp_dist::ChaosKill { worker: 1, after_frames: 25 });
         }
+        let args = if overlap { &overlap_args } else { &base_args };
         let t0 = std::time::Instant::now();
-        let out = match ssp_dist::run_distributed("fdtd-a", &args, &cfg) {
+        let out = match ssp_dist::run_distributed("fdtd-a", args, &cfg) {
             Ok(out) => out,
             Err(e) => {
-                println!("distributed point (workers={workers}, kill={kill}) failed: {e}");
+                println!(
+                    "distributed point (workers={workers}, kill={kill}, overlap={overlap}) \
+                     failed: {e}"
+                );
                 continue;
             }
         };
@@ -305,6 +463,7 @@ fn measured_distributed() -> Vec<DistPoint> {
             migrations: out.stats.migrations,
             frames_routed: out.stats.frames_routed,
             killed: kill,
+            overlap,
             identical: out.snapshots == reference,
         });
     }
@@ -313,6 +472,7 @@ fn measured_distributed() -> Vec<DistPoint> {
         .map(|pt| {
             vec![
                 pt.workers.to_string(),
+                if pt.overlap { "boundary-first" } else { "baseline" }.to_string(),
                 if pt.killed { "SIGKILL mid-run" } else { "clean" }.to_string(),
                 secs(pt.wall),
                 pt.migrations.to_string(),
@@ -323,7 +483,15 @@ fn measured_distributed() -> Vec<DistPoint> {
         .collect();
     print_table(
         "measured distributed execution (supervisor + worker processes, tiny grid)",
-        &["workers", "fault", "wall (s)", "migrations", "frames routed", "bitwise identical"],
+        &[
+            "workers",
+            "plan",
+            "fault",
+            "wall (s)",
+            "migrations",
+            "frames routed",
+            "bitwise identical",
+        ],
         &rows,
     );
     points
@@ -333,17 +501,39 @@ fn measured_distributed() -> Vec<DistPoint> {
 /// names an output path (`scripts/bench.sh` sets it to
 /// `BENCH_figure2.json`). Hand-rolled writer, like the rest of the
 /// workspace's JSON.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn write_bench_json(
     params: &Arc<Params>,
     machine_name: &str,
     measured: &[RunPoint],
     predictions: &[(&'static str, Vec<(usize, DesOutcome)>)],
+    overlap_pred: &[(&'static str, Vec<(usize, DesOutcome, DesOutcome)>)],
     threaded: &[ThreadedPoint],
+    threaded_overlap: &[ThreadedPoint],
     distributed: &[DistPoint],
+    stencil: &StencilReport,
 ) {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
     };
+    fn threaded_json(s: &mut String, points: &[ThreadedPoint]) {
+        for (i, pt) in points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            // Scheduler config per point: without it a flat curve on a
+            // small host is indistinguishable from a broken scheduler.
+            let _ = write!(
+                s,
+                "{{\"p\":{},\"wall\":{},\"workers\":{},\"sched\":\"{}\",\"steals\":{}}}",
+                pt.p,
+                pt.wall,
+                pt.workers,
+                ssp_runtime::sched::SCHED_MODE,
+                pt.steals
+            );
+        }
+    }
     let mut s = String::new();
     let _ = write!(
         s,
@@ -362,22 +552,9 @@ fn write_bench_json(
         );
     }
     let _ = write!(s, "],\"threaded_cores\":{},\"threaded\":[", cores());
-    for (i, pt) in threaded.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        // Scheduler config per point: without it a flat curve on a small
-        // host is indistinguishable from a broken scheduler.
-        let _ = write!(
-            s,
-            "{{\"p\":{},\"wall\":{},\"workers\":{},\"sched\":\"{}\",\"steals\":{}}}",
-            pt.p,
-            pt.wall,
-            pt.workers,
-            ssp_runtime::sched::SCHED_MODE,
-            pt.steals
-        );
-    }
+    threaded_json(&mut s, threaded);
+    s.push_str("],\"threaded_overlap\":[");
+    threaded_json(&mut s, threaded_overlap);
     s.push_str("],\"distributed\":[");
     for (i, pt) in distributed.iter().enumerate() {
         if i > 0 {
@@ -386,9 +563,57 @@ fn write_bench_json(
         let _ = write!(
             s,
             "{{\"workers\":{},\"wall\":{},\"migrations\":{},\"frames_routed\":{},\
-             \"killed\":{},\"identical\":{}}}",
-            pt.workers, pt.wall, pt.migrations, pt.frames_routed, pt.killed, pt.identical
+             \"killed\":{},\"overlap\":{},\"identical\":{}}}",
+            pt.workers,
+            pt.wall,
+            pt.migrations,
+            pt.frames_routed,
+            pt.killed,
+            pt.overlap,
+            pt.identical
         );
+    }
+    s.push_str("],\"stencil\":{");
+    let _ = write!(
+        s,
+        "\"n\":[{},{},{}],\"reps\":{},\"bitwise_identical\":{},\"points\":[",
+        stencil.n.0, stencil.n.1, stencil.n.2, stencil.reps, stencil.bitwise_identical
+    );
+    for (i, pt) in stencil.points.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"kernel\":\"{}\",\"per_cell_ns\":{},\"speedup\":{}}}",
+            pt.kernel, pt.per_cell_ns, pt.speedup
+        );
+    }
+    s.push_str("]},\"predicted_overlap\":[");
+    for (i, (name, points)) in overlap_pred.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"machine\":\"{name}\",\"points\":[");
+        for (j, (p, b, o)) in points.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let (bb, ob) = (b.critical.breakdown, o.critical.breakdown);
+            let _ = write!(
+                s,
+                "{{\"p\":{p},\"baseline\":{},\"overlap\":{},\
+                 \"baseline_comm\":{},\"overlap_comm\":{},\
+                 \"baseline_blocked\":{},\"overlap_blocked\":{}}}",
+                b.makespan,
+                o.makespan,
+                bb.latency + bb.bandwidth + bb.blocked,
+                ob.latency + ob.bandwidth + ob.blocked,
+                bb.blocked,
+                ob.blocked
+            );
+        }
+        s.push_str("]}");
     }
     s.push_str("],\"predicted\":[");
     for (i, (name, points)) in predictions.iter().enumerate() {

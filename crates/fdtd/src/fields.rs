@@ -42,11 +42,20 @@ impl Fields {
 
     /// Σ(E² + H²) over the interior — a cheap energy proxy for stability
     /// tests (exact conservation is not expected with lossy media/PEC).
+    /// Folds over contiguous interior rows in place — this sits inside
+    /// per-step stability checks, so it must not allocate. The row order
+    /// matches the old per-component `interior_to_vec` walk, so the sum
+    /// (and its rounding) is unchanged.
     pub fn energy(&self) -> f64 {
+        let (nx, ny, nz) = self.extent();
         let mut e = 0.0;
         for g in [&self.ex, &self.ey, &self.ez, &self.hx, &self.hy, &self.hz] {
-            for v in g.interior_to_vec() {
-                e += v * v;
+            for i in 0..nx as isize {
+                for j in 0..ny as isize {
+                    for &v in g.row(i, j, 0, nz as isize) {
+                        e += v * v;
+                    }
+                }
             }
         }
         e

@@ -22,15 +22,18 @@ use mesh_archetype::driver::MeshLocal;
 use mesh_archetype::plan::InitFn;
 use mesh_archetype::reduce::ReduceOp;
 use mesh_archetype::{Env, Plan};
-use meshgrid::Block3;
+use meshgrid::{Block3, ProcGrid3};
+use ssp_runtime::RunError;
 
 use crate::farfield::{FarFieldAccumulator, FarFieldSpec, FarFieldStrategy};
 use crate::fields::Fields;
 use crate::material::Material;
 use crate::params::{BoundaryCondition, Params};
 use crate::update::{
-    apply_bc, save_mur_layers, update_e, update_h, BoundaryFlags, MurSaved,
-    FLOPS_PER_CELL_E, FLOPS_PER_CELL_H,
+    apply_bc, boundary_cells, in_shell, interior_cells, save_mur_layers, update_e,
+    update_e_boundary, update_e_interior, update_h, update_h_boundary, update_h_interior,
+    BoundaryFlags, MurGeometryError, MurSaved, E_SHELL, FLOPS_PER_CELL_E, FLOPS_PER_CELL_H,
+    H_SHELL,
 };
 
 /// Per-rank state of the archetype Version A.
@@ -103,19 +106,86 @@ pub fn init_a(params: Arc<Params>) -> InitFn<LocalA> {
     })
 }
 
+/// Surface a geometry error as the runtime's typed fault for this rank.
+fn geometry_fault(env: &Env, e: MurGeometryError) -> RunError {
+    RunError::Protocol { proc: env.rank, detail: e.to_string() }
+}
+
+/// Add the soft source into `Ez` at the rank-local source cell.
+fn add_source(fields: &mut Fields, params: &Params, pos: (isize, isize, isize), step: usize) {
+    let (si, sj, sk) = pos;
+    let v = fields.ez.get(si, sj, sk) + params.source.value(step, params.dt);
+    fields.ez.set(si, sj, sk, v);
+}
+
 /// One rank's E-side update: Mur layer save, E update, soft source,
 /// boundary condition, step advance. Shared by Versions A and C.
-fn e_side_step(fields: &mut Fields, material: &Material, params: &Params, flags: &BoundaryFlags, source_local: Option<(isize, isize, isize)>, step: &mut usize) {
+fn e_side_step(
+    fields: &mut Fields,
+    material: &Material,
+    params: &Params,
+    flags: &BoundaryFlags,
+    source_local: Option<(isize, isize, isize)>,
+    step: &mut usize,
+) -> Result<(), MurGeometryError> {
     let saved = match params.bc {
-        BoundaryCondition::Mur1 => save_mur_layers(fields, flags),
+        BoundaryCondition::Mur1 => save_mur_layers(fields, flags)?,
         BoundaryCondition::Pec => MurSaved::default(),
     };
     update_e(fields, material);
-    if let Some((si, sj, sk)) = source_local {
-        let v = fields.ez.get(si, sj, sk) + params.source.value(*step, params.dt);
-        fields.ez.set(si, sj, sk, v);
+    if let Some(pos) = source_local {
+        add_source(fields, params, pos, *step);
     }
     apply_bc(fields, params.bc, flags, &saved, params.dt);
+    *step += 1;
+    Ok(())
+}
+
+/// The boundary half of a split E update: Mur layer save (the saved shell
+/// layers and the inner layers Mur reads back are all within the
+/// [`E_SHELL`]-deep shell), boundary-shell E update, soft source if the
+/// source cell sits in the shell, boundary condition. Everything the E
+/// halo sends will carry is final after this.
+fn e_boundary_step(
+    fields: &mut Fields,
+    material: &Material,
+    params: &Params,
+    flags: &BoundaryFlags,
+    source_local: Option<(isize, isize, isize)>,
+    step: usize,
+) -> Result<(), MurGeometryError> {
+    let saved = match params.bc {
+        BoundaryCondition::Mur1 => save_mur_layers(fields, flags)?,
+        BoundaryCondition::Pec => MurSaved::default(),
+    };
+    update_e_boundary(fields, material);
+    if let Some(pos) = source_local {
+        if in_shell(fields.extent(), E_SHELL, pos) {
+            add_source(fields, params, pos, step);
+        }
+    }
+    apply_bc(fields, params.bc, flags, &saved, params.dt);
+    Ok(())
+}
+
+/// The interior half of a split E update, overlapping the in-flight E
+/// sends: interior-core E update, soft source if the source cell sits in
+/// the core, step advance. Disjoint from every cell the boundary half
+/// wrote or the halo sends read, so boundary+interior is bitwise the
+/// unsplit [`e_side_step`].
+fn e_interior_step(
+    fields: &mut Fields,
+    material: &Material,
+    params: &Params,
+    source_local: Option<(isize, isize, isize)>,
+    step: &mut usize,
+) {
+    update_e_interior(fields, material);
+    if let Some(pos) = source_local {
+        if !in_shell(fields.extent(), E_SHELL, pos) {
+            add_source(fields, params, pos, *step);
+        }
+    }
     *step += 1;
 }
 
@@ -124,7 +194,7 @@ fn e_side_step(fields: &mut Fields, material: &Material, params: &Params, flags:
 fn time_step_phases<L: 'static>(
     b: mesh_archetype::PlanBuilder<L>,
     fields_of: impl Fn(&mut L) -> &mut Fields + Send + Sync + Copy + 'static,
-    step_e: impl Fn(&Env, &mut L) + Send + Sync + 'static,
+    step_e: impl Fn(&Env, &mut L) -> Result<(), RunError> + Send + Sync + 'static,
     step_h: impl Fn(&Env, &mut L) + Send + Sync + 'static,
 ) -> mesh_archetype::PlanBuilder<L> {
     b.exchange("x:ex", move |l| &mut fields_of(l).ex)
@@ -136,7 +206,7 @@ fn time_step_phases<L: 'static>(
         .exchange("x:hx", move |l| &mut fields_of(l).hx)
         .exchange("x:hy", move |l| &mut fields_of(l).hy)
         .exchange("x:hz", move |l| &mut fields_of(l).hz)
-        .local_with_flops("update-e", step_e, |env, _| {
+        .local_fallible_with_flops("update-e", step_e, |env, _| {
             FLOPS_PER_CELL_E * env.block.len() as u64
         })
 }
@@ -148,7 +218,7 @@ pub fn plan_a(params: &Params) -> Plan<LocalA> {
             time_step_phases(
                 b,
                 |l: &mut LocalA| &mut l.fields,
-                |_, l: &mut LocalA| {
+                |env, l: &mut LocalA| {
                     // Disjoint field borrows: no per-step Arc/flags clones.
                     e_side_step(
                         &mut l.fields,
@@ -158,11 +228,123 @@ pub fn plan_a(params: &Params) -> Plan<LocalA> {
                         l.source_local,
                         &mut l.step,
                     )
+                    .map_err(|e| geometry_fault(env, e))
                 },
                 |_, l: &mut LocalA| update_h(&mut l.fields, &l.material),
             )
         })
         .build()
+}
+
+/// The overlapped archetype plan for Version A: each half-step splits into
+/// boundary-compute → post halo sends → interior-compute → receive ghosts,
+/// so the interior update runs while the halos are in flight (DESIGN.md
+/// §14). A prologue exchange of the (all-zero) E ghosts rotates the loop:
+/// each iteration then receives the previous E update's halos only after
+/// its own H boundary work has been posted.
+///
+/// Bitwise identical to [`plan_a`] on every backend: the boundary/interior
+/// split performs the same per-cell arithmetic (cells within a pass are
+/// independent), the boundary half finalizes every cell the sends carry
+/// (E_SHELL = 2 covers the layers Mur reads and writes), and the soft
+/// source fires in whichever half owns its cell.
+///
+/// Caveat: each split posts three face messages per channel before any
+/// receive, so bounded-slack channels need `slack ≥ 3`; slack 1 yields a
+/// typed [`RunError::Deadlock`].
+pub fn plan_a_overlap(params: &Params) -> Plan<LocalA> {
+    let h_boundary_flops = |env: &Env, _: &LocalA| {
+        FLOPS_PER_CELL_H * boundary_cells(env.block.extent(), H_SHELL)
+    };
+    let h_interior_flops = |env: &Env, _: &LocalA| {
+        FLOPS_PER_CELL_H * interior_cells(env.block.extent(), H_SHELL)
+    };
+    let e_boundary_flops = |env: &Env, _: &LocalA| {
+        FLOPS_PER_CELL_E * boundary_cells(env.block.extent(), E_SHELL)
+    };
+    let e_interior_flops = |env: &Env, _: &LocalA| {
+        FLOPS_PER_CELL_E * interior_cells(env.block.extent(), E_SHELL)
+    };
+    Plan::builder()
+        .exchange_send("tx:ex", |l: &mut LocalA| &mut l.fields.ex)
+        .exchange_send("tx:ey", |l: &mut LocalA| &mut l.fields.ey)
+        .exchange_send("tx:ez", |l: &mut LocalA| &mut l.fields.ez)
+        .exchange_recv("rx:ex", |l: &mut LocalA| &mut l.fields.ex)
+        .exchange_recv("rx:ey", |l: &mut LocalA| &mut l.fields.ey)
+        .exchange_recv("rx:ez", |l: &mut LocalA| &mut l.fields.ez)
+        .loop_n(params.steps, |b| {
+            b.local_with_flops(
+                "update-h-boundary",
+                |_, l: &mut LocalA| update_h_boundary(&mut l.fields, &l.material),
+                h_boundary_flops,
+            )
+            .exchange_send("tx:hx", |l: &mut LocalA| &mut l.fields.hx)
+            .exchange_send("tx:hy", |l: &mut LocalA| &mut l.fields.hy)
+            .exchange_send("tx:hz", |l: &mut LocalA| &mut l.fields.hz)
+            .local_with_flops(
+                "update-h-interior",
+                |_, l: &mut LocalA| update_h_interior(&mut l.fields, &l.material),
+                h_interior_flops,
+            )
+            .exchange_recv("rx:hx", |l: &mut LocalA| &mut l.fields.hx)
+            .exchange_recv("rx:hy", |l: &mut LocalA| &mut l.fields.hy)
+            .exchange_recv("rx:hz", |l: &mut LocalA| &mut l.fields.hz)
+            .local_fallible_with_flops(
+                "update-e-boundary",
+                |env, l: &mut LocalA| {
+                    e_boundary_step(
+                        &mut l.fields,
+                        &l.material,
+                        &l.params,
+                        &l.flags,
+                        l.source_local,
+                        l.step,
+                    )
+                    .map_err(|e| geometry_fault(env, e))
+                },
+                e_boundary_flops,
+            )
+            .exchange_send("tx:ex", |l: &mut LocalA| &mut l.fields.ex)
+            .exchange_send("tx:ey", |l: &mut LocalA| &mut l.fields.ey)
+            .exchange_send("tx:ez", |l: &mut LocalA| &mut l.fields.ez)
+            .local_with_flops(
+                "update-e-interior",
+                |_, l: &mut LocalA| {
+                    e_interior_step(
+                        &mut l.fields,
+                        &l.material,
+                        &l.params,
+                        l.source_local,
+                        &mut l.step,
+                    )
+                },
+                e_interior_flops,
+            )
+            .exchange_recv("rx:ex", |l: &mut LocalA| &mut l.fields.ex)
+            .exchange_recv("rx:ey", |l: &mut LocalA| &mut l.fields.ey)
+            .exchange_recv("rx:ez", |l: &mut LocalA| &mut l.fields.ez)
+        })
+        .build()
+}
+
+/// Reject a partition whose sections are too thin to carry the configured
+/// boundary condition, *before* building or running a plan — the
+/// plan-build-time counterpart of the typed fault the running plans raise.
+pub fn validate_partition(params: &Params, pg: &ProcGrid3) -> Result<(), MurGeometryError> {
+    if !matches!(params.bc, BoundaryCondition::Mur1) {
+        return Ok(());
+    }
+    for r in 0..pg.nprocs() {
+        let env = Env::new(*pg, r);
+        let flags = boundary_flags(&env);
+        let (nx, ny, nz) = env.block.extent();
+        for (axis, extent) in [(0, nx), (1, ny), (2, nz)] {
+            if (flags.at_lo[axis] || flags.at_hi[axis]) && extent < 2 {
+                return Err(MurGeometryError { axis, extent });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Per-rank state of the archetype Version C.
@@ -228,7 +410,7 @@ pub fn plan_c(params: &Params, spec: &FarFieldSpec, strategy: FarFieldStrategy) 
         time_step_phases(
             b,
             |l: &mut LocalC| &mut l.a.fields,
-            |_, l: &mut LocalC| {
+            |env, l: &mut LocalC| {
                 e_side_step(
                     &mut l.a.fields,
                     &l.a.material,
@@ -237,6 +419,7 @@ pub fn plan_c(params: &Params, spec: &FarFieldSpec, strategy: FarFieldStrategy) 
                     l.a.source_local,
                     &mut l.a.step,
                 )
+                .map_err(|e| geometry_fault(env, e))
             },
             |_, l: &mut LocalC| update_h(&mut l.a.fields, &l.a.material),
         )
@@ -287,6 +470,46 @@ mod tests {
             assert_eq!(l.step, params.steps);
             assert!(l.fields.energy().is_finite());
         }
+    }
+
+    #[test]
+    fn plan_a_overlap_matches_plan_a_bitwise_under_simpar() {
+        let params = Arc::new(Params::tiny());
+        let pg = ProcGrid3::choose(params.n, 4);
+        let init = init_a(params.clone());
+        let base = run_simpar(&plan_a(&params), pg, SimParConfig::default(), |e| init(e));
+        let over = run_simpar(&plan_a_overlap(&params), pg, SimParConfig::default(), |e| init(e));
+        assert!(base.report.is_clean() && over.report.is_clean());
+        for (a, b) in base.locals.iter().zip(&over.locals) {
+            assert_eq!(a.step, b.step);
+            assert!(a.fields.bitwise_eq(&b.fields), "overlap reordering changed a bit");
+        }
+    }
+
+    #[test]
+    fn overlap_plan_structure_is_the_rotated_split() {
+        let params = Params::tiny();
+        let plan = plan_a_overlap(&params);
+        // Six prologue half-exchanges + one loop of 12 half-exchanges and
+        // 4 local updates.
+        assert_eq!(plan.phases.len(), 7);
+        assert_eq!(plan.phase_count(), 7 + 16);
+        assert_eq!(plan.comm_phase_count(), 18);
+    }
+
+    #[test]
+    fn validate_partition_rejects_thin_mur_sections() {
+        let mut params = Params::tiny();
+        params.bc = BoundaryCondition::Mur1;
+        // One rank per x-layer: sections 1 cell wide touching Mur faces.
+        let thin = ProcGrid3::new(params.n, (params.n.0, 1, 1));
+        let err = validate_partition(&params, &thin).unwrap_err();
+        assert_eq!(err, MurGeometryError { axis: 0, extent: 1 });
+        // A coarser partition is fine, and PEC never cares.
+        let ok = ProcGrid3::choose(params.n, 2);
+        assert!(validate_partition(&params, &ok).is_ok());
+        params.bc = BoundaryCondition::Pec;
+        assert!(validate_partition(&params, &thin).is_ok());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::fields::Fields;
 use crate::material::Material;
 use crate::params::{BoundaryCondition, Params};
 use crate::update::{
-    apply_bc, save_mur_layers, update_e, update_h, BoundaryFlags, MurSaved,
+    apply_bc, save_mur_layers, update_e, update_h, BoundaryFlags, MurGeometryError, MurSaved,
 };
 
 /// Output of the sequential Version A run.
@@ -21,18 +21,27 @@ pub struct SeqOutputA {
 }
 
 /// Run Version A (near-field only) sequentially.
+///
+/// Panics on degenerate geometry (a Mur boundary on a < 2-cell domain);
+/// use [`try_run_seq_version_a`] for a typed error.
 pub fn run_seq_version_a(p: &Params) -> SeqOutputA {
+    try_run_seq_version_a(p).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run Version A (near-field only) sequentially, rejecting degenerate
+/// geometry with a typed error.
+pub fn try_run_seq_version_a(p: &Params) -> Result<SeqOutputA, MurGeometryError> {
     let whole = Block3 { lo: (0, 0, 0), hi: p.n };
     let mut fields = Fields::zeros(p.n.0, p.n.1, p.n.2);
     let material = Material::build(&p.material, whole, p.dt);
     let flags = BoundaryFlags::whole();
     let mut probe = Vec::with_capacity(p.steps);
     for step in 0..p.steps {
-        step_once(&mut fields, &material, p, &flags, step);
+        step_once(&mut fields, &material, p, &flags, step)?;
         let (si, sj, sk) = p.source.pos;
         probe.push(fields.ez.get(si as isize, sj as isize, sk as isize));
     }
-    SeqOutputA { fields, probe }
+    Ok(SeqOutputA { fields, probe })
 }
 
 /// One full time step: H update, E update, source, boundary condition —
@@ -43,10 +52,10 @@ pub(crate) fn step_once(
     p: &Params,
     flags: &BoundaryFlags,
     step: usize,
-) {
+) -> Result<(), MurGeometryError> {
     update_h(fields, material);
     let saved = match p.bc {
-        BoundaryCondition::Mur1 => save_mur_layers(fields, flags),
+        BoundaryCondition::Mur1 => save_mur_layers(fields, flags)?,
         BoundaryCondition::Pec => MurSaved::default(),
     };
     update_e(fields, material);
@@ -56,6 +65,7 @@ pub(crate) fn step_once(
     let v = fields.ez.get(si, sj, sk) + p.source.value(step, p.dt);
     fields.ez.set(si, sj, sk, v);
     apply_bc(fields, p.bc, flags, &saved, p.dt);
+    Ok(())
 }
 
 /// Output of the sequential Version C run.
@@ -73,22 +83,34 @@ pub struct SeqOutputC {
 /// Run Version C (near + far field) sequentially. The far-field double sum
 /// is accumulated in global (time-step, surface-point) order — the
 /// reference order every parallel strategy is judged against.
+///
+/// Panics on degenerate geometry; use [`try_run_seq_version_c`] for a
+/// typed error.
 pub fn run_seq_version_c(p: &Params, spec: &FarFieldSpec) -> SeqOutputC {
+    try_run_seq_version_c(p, spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run Version C sequentially, rejecting degenerate geometry with a typed
+/// error.
+pub fn try_run_seq_version_c(
+    p: &Params,
+    spec: &FarFieldSpec,
+) -> Result<SeqOutputC, MurGeometryError> {
     let whole = Block3 { lo: (0, 0, 0), hi: p.n };
     let mut fields = Fields::zeros(p.n.0, p.n.1, p.n.2);
     let material = Material::build(&p.material, whole, p.dt);
     let flags = BoundaryFlags::whole();
     let mut acc = FarFieldAccumulator::new(spec, p.n, whole, p.steps, p.dt, false);
     for step in 0..p.steps {
-        step_once(&mut fields, &material, p, &flags, step);
+        step_once(&mut fields, &material, p, &flags, step)?;
         acc.accumulate(&fields);
     }
-    SeqOutputC {
+    Ok(SeqOutputC {
         fields,
         potentials: acc.flat_bins(),
         n_bins: acc.n_bins(),
         n_dirs: acc.n_dirs(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -16,15 +16,40 @@
 //!
 //! Hence the exchange pattern of one time step: exchange E → update H →
 //! exchange H → update E.
+//!
+//! ## Kernel shape
+//!
+//! The kernels walk flat contiguous z-rows ([`meshgrid::Grid3::row`] /
+//! [`meshgrid::Grid3::row_pair`]) in `LANES`-wide `chunks_exact` blocks
+//! with an explicit `mul_add`, so LLVM autovectorizes the inner loop and
+//! the multiply-accumulate lowers to hardware FMA. An `(i, j)` tiling loop
+//! keeps the ~14 rows a tile touches resident in cache. Because each cell
+//! of one pass depends only on the *pre-pass* values of the other field,
+//! cells within a pass are independent: any partition of the cell set —
+//! flat, tiled, or the boundary-shell/interior split the overlapped plans
+//! use — performs the identical per-cell arithmetic and is therefore
+//! bitwise identical (DESIGN.md §14).
 
 use crate::fields::Fields;
 use crate::material::Material;
 use crate::params::BoundaryCondition;
 
-/// Flops per cell of one E update (3 components × (2 mul + 3 sub + 1 add)).
+/// Flops per cell of one E update (3 components × (2 mul + 3 sub + 1 add);
+/// a fused multiply-add still counts as two).
 pub const FLOPS_PER_CELL_E: u64 = 18;
 /// Flops per cell of one H update.
 pub const FLOPS_PER_CELL_H: u64 = 18;
+
+/// Width of the E-side boundary shell in the split update: the first-order
+/// Mur condition reads the *post-update* first inner layer (index 1 /
+/// `n−2`), so the shell computed before the halo sends must be ≥ 2 deep.
+pub const E_SHELL: usize = 2;
+/// Width of the H-side boundary shell: only the outermost layer feeds the
+/// halo sends.
+pub const H_SHELL: usize = 1;
+
+/// Default `(i, j)` tile edge of the cache-tiling loop.
+const TILE: usize = 8;
 
 /// Which global boundaries this section touches (low/high per axis) — the
 /// §4.4 "calculations that must be done differently in different grid
@@ -44,54 +69,313 @@ impl BoundaryFlags {
     }
 }
 
-/// Advance E one step: `E ← Ca·E + Cb·curl(H)`.
-pub fn update_e(f: &mut Fields, m: &Material) {
-    let (nx, ny, nz) = f.extent();
-    for i in 0..nx as isize {
-        for j in 0..ny as isize {
-            for k in 0..nz as isize {
-                let ca = m.ca.get(i, j, k);
-                let cb = m.cb.get(i, j, k);
-                let ex = ca * f.ex.get(i, j, k)
-                    + cb * ((f.hz.get(i, j, k) - f.hz.get(i, j - 1, k))
-                        - (f.hy.get(i, j, k) - f.hy.get(i, j, k - 1)));
-                let ey = ca * f.ey.get(i, j, k)
-                    + cb * ((f.hx.get(i, j, k) - f.hx.get(i, j, k - 1))
-                        - (f.hz.get(i, j, k) - f.hz.get(i - 1, j, k)));
-                let ez = ca * f.ez.get(i, j, k)
-                    + cb * ((f.hy.get(i, j, k) - f.hy.get(i - 1, j, k))
-                        - (f.hx.get(i, j, k) - f.hx.get(i, j - 1, k)));
-                f.ex.set(i, j, k, ex);
-                f.ey.set(i, j, k, ey);
-                f.ez.set(i, j, k, ez);
-            }
+/// A half-open `(i, j, k)` box of a section's interior cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Inclusive low i.
+    pub i0: isize,
+    /// Exclusive high i.
+    pub i1: isize,
+    /// Inclusive low j.
+    pub j0: isize,
+    /// Exclusive high j.
+    pub j1: isize,
+    /// Inclusive low k.
+    pub k0: isize,
+    /// Exclusive high k.
+    pub k1: isize,
+}
+
+impl Span {
+    /// The whole interior of a section with the given extent.
+    pub fn whole(extent: (usize, usize, usize)) -> Span {
+        Span {
+            i0: 0,
+            i1: extent.0 as isize,
+            j0: 0,
+            j1: extent.1 as isize,
+            k0: 0,
+            k1: extent.2 as isize,
+        }
+    }
+
+    /// True if the box contains no cells.
+    pub fn is_empty(&self) -> bool {
+        self.i0 >= self.i1 || self.j0 >= self.j1 || self.k0 >= self.k1
+    }
+
+    /// Number of cells in the box.
+    pub fn cells(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.i1 - self.i0) as u64 * (self.j1 - self.j0) as u64 * (self.k1 - self.k0) as u64
+        }
+    }
+
+    /// True if the box contains the cell `(i, j, k)`.
+    pub fn contains(&self, i: isize, j: isize, k: isize) -> bool {
+        i >= self.i0 && i < self.i1 && j >= self.j0 && j < self.j1 && k >= self.k0 && k < self.k1
+    }
+}
+
+/// The *defining* per-cell arithmetic of one Yee curl update:
+///
+/// ```text
+/// out = a·out ± b·((p0 − m0) − (p1 − m1))
+/// ```
+///
+/// (`+` for E, `−` for H, selected by `NEG` at compile time). The
+/// multiply-accumulate is an explicit `mul_add` that `target-cpu=native`
+/// lowers to hardware FMA. Every caller — sequential driver, archetype
+/// plan, flat or tiled or boundary/interior split — funnels through this
+/// one function, so per-cell results are bitwise identical by
+/// construction.
+#[inline(always)]
+fn yee_cell<const NEG: bool>(
+    o: f64,
+    a: f64,
+    b: f64,
+    p0: f64,
+    m0: f64,
+    p1: f64,
+    m1: f64,
+) -> f64 {
+    let c = b * ((p0 - m0) - (p1 - m1));
+    a.mul_add(o, if NEG { -c } else { c })
+}
+
+/// One z-row of a Yee curl update — the shared inner body of both kernels,
+/// applying [`yee_cell`] to contiguous slices. Every input is re-sliced to
+/// the output's length up front, so the indexed loop body carries no
+/// bounds checks and LLVM autovectorizes it. Two rejected alternatives,
+/// both measured slower on this kernel: a seven-deep `chunks_exact` zip
+/// (same codegen in the loop body, but its prologue dominated short
+/// z-rows), and fusing all three components of a pass into one loop (the
+/// three-output body spills and vectorizes worse than three tight
+/// single-output loops).
+#[inline]
+fn curl_row<const NEG: bool>(
+    out: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    p0: &[f64],
+    m0: &[f64],
+    p1: &[f64],
+    m1: &[f64],
+) {
+    let n = out.len();
+    let (a, b) = (&a[..n], &b[..n]);
+    let (p0, m0, p1, m1) = (&p0[..n], &m0[..n], &p1[..n], &m1[..n]);
+    for k in 0..n {
+        out[k] = yee_cell::<NEG>(out[k], a[k], b[k], p0[k], m0[k], p1[k], m1[k]);
+    }
+}
+
+/// Advance E over one `(i, j)` box: `E ← Ca·E + Cb·curl(H)`, one z-row of
+/// slices per component.
+fn update_e_span(f: &mut Fields, m: &Material, s: Span) {
+    if s.is_empty() {
+        return;
+    }
+    let (k0, k1) = (s.k0, s.k1);
+    for i in s.i0..s.i1 {
+        for j in s.j0..s.j1 {
+            let ca = m.ca.row(i, j, k0, k1);
+            let cb = m.cb.row(i, j, k0, k1);
+            // ex += cb·((hz − hz[j−1]) − (hy − hy[k−1]))
+            let (hy_c, hy_km) = f.hy.row_pair(i, j, k0, k1);
+            curl_row::<false>(
+                f.ex.row_mut(i, j, k0, k1),
+                ca,
+                cb,
+                f.hz.row(i, j, k0, k1),
+                f.hz.row(i, j - 1, k0, k1),
+                hy_c,
+                hy_km,
+            );
+            // ey += cb·((hx − hx[k−1]) − (hz − hz[i−1]))
+            let (hx_c, hx_km) = f.hx.row_pair(i, j, k0, k1);
+            curl_row::<false>(
+                f.ey.row_mut(i, j, k0, k1),
+                ca,
+                cb,
+                hx_c,
+                hx_km,
+                f.hz.row(i, j, k0, k1),
+                f.hz.row(i - 1, j, k0, k1),
+            );
+            // ez += cb·((hy − hy[i−1]) − (hx − hx[j−1]))
+            curl_row::<false>(
+                f.ez.row_mut(i, j, k0, k1),
+                ca,
+                cb,
+                f.hy.row(i, j, k0, k1),
+                f.hy.row(i - 1, j, k0, k1),
+                f.hx.row(i, j, k0, k1),
+                f.hx.row(i, j - 1, k0, k1),
+            );
         }
     }
 }
 
-/// Advance H one half-step: `H ← Da·H − Db·curl(E)`.
-pub fn update_h(f: &mut Fields, m: &Material) {
-    let (nx, ny, nz) = f.extent();
-    for i in 0..nx as isize {
-        for j in 0..ny as isize {
-            for k in 0..nz as isize {
-                let da = m.da.get(i, j, k);
-                let db = m.db.get(i, j, k);
-                let hx = da * f.hx.get(i, j, k)
-                    - db * ((f.ez.get(i, j + 1, k) - f.ez.get(i, j, k))
-                        - (f.ey.get(i, j, k + 1) - f.ey.get(i, j, k)));
-                let hy = da * f.hy.get(i, j, k)
-                    - db * ((f.ex.get(i, j, k + 1) - f.ex.get(i, j, k))
-                        - (f.ez.get(i + 1, j, k) - f.ez.get(i, j, k)));
-                let hz = da * f.hz.get(i, j, k)
-                    - db * ((f.ey.get(i + 1, j, k) - f.ey.get(i, j, k))
-                        - (f.ex.get(i, j + 1, k) - f.ex.get(i, j, k)));
-                f.hx.set(i, j, k, hx);
-                f.hy.set(i, j, k, hy);
-                f.hz.set(i, j, k, hz);
-            }
+/// Advance H over one `(i, j)` box: `H ← Da·H − Db·curl(E)` (forward
+/// differences — the z-shifted pairs come from `row_pair(…, k0+1, k1+1)`).
+fn update_h_span(f: &mut Fields, m: &Material, s: Span) {
+    if s.is_empty() {
+        return;
+    }
+    let (k0, k1) = (s.k0, s.k1);
+    for i in s.i0..s.i1 {
+        for j in s.j0..s.j1 {
+            let da = m.da.row(i, j, k0, k1);
+            let db = m.db.row(i, j, k0, k1);
+            // hx −= db·((ez[j+1] − ez) − (ey[k+1] − ey))
+            let (ey_kp, ey_c) = f.ey.row_pair(i, j, k0 + 1, k1 + 1);
+            curl_row::<true>(
+                f.hx.row_mut(i, j, k0, k1),
+                da,
+                db,
+                f.ez.row(i, j + 1, k0, k1),
+                f.ez.row(i, j, k0, k1),
+                ey_kp,
+                ey_c,
+            );
+            // hy −= db·((ex[k+1] − ex) − (ez[i+1] − ez))
+            let (ex_kp, ex_c) = f.ex.row_pair(i, j, k0 + 1, k1 + 1);
+            curl_row::<true>(
+                f.hy.row_mut(i, j, k0, k1),
+                da,
+                db,
+                ex_kp,
+                ex_c,
+                f.ez.row(i + 1, j, k0, k1),
+                f.ez.row(i, j, k0, k1),
+            );
+            // hz −= db·((ey[i+1] − ey) − (ex[j+1] − ex))
+            curl_row::<true>(
+                f.hz.row_mut(i, j, k0, k1),
+                da,
+                db,
+                f.ey.row(i + 1, j, k0, k1),
+                f.ey.row(i, j, k0, k1),
+                f.ex.row(i, j + 1, k0, k1),
+                f.ex.row(i, j, k0, k1),
+            );
         }
     }
+}
+
+/// Visit `span` as `(i, j)` tiles of edge `tile` (k untouched), in
+/// lexicographic tile order.
+fn for_each_tile(s: Span, tile: usize, mut f: impl FnMut(Span)) {
+    let t = tile.min(isize::MAX as usize) as isize;
+    let mut i0 = s.i0;
+    while i0 < s.i1 {
+        let i1 = s.i1.min(i0.saturating_add(t));
+        let mut j0 = s.j0;
+        while j0 < s.j1 {
+            let j1 = s.j1.min(j0.saturating_add(t));
+            f(Span { i0, i1, j0, j1, k0: s.k0, k1: s.k1 });
+            j0 = j1;
+        }
+        i0 = i1;
+    }
+}
+
+/// Advance E over `span`, visiting `(i, j)` in `tile`-edge cache tiles
+/// (`usize::MAX` degenerates to one flat pass). Cell independence within a
+/// pass makes every tiling bitwise identical.
+pub fn update_e_region(f: &mut Fields, m: &Material, span: Span, tile: usize) {
+    for_each_tile(span, tile, |t| update_e_span(f, m, t));
+}
+
+/// Advance H over `span`, tiled like [`update_e_region`].
+pub fn update_h_region(f: &mut Fields, m: &Material, span: Span, tile: usize) {
+    for_each_tile(span, tile, |t| update_h_span(f, m, t));
+}
+
+/// Advance E one step: `E ← Ca·E + Cb·curl(H)`.
+pub fn update_e(f: &mut Fields, m: &Material) {
+    update_e_region(f, m, Span::whole(f.extent()), TILE);
+}
+
+/// Advance H one half-step: `H ← Da·H − Db·curl(E)`.
+pub fn update_h(f: &mut Fields, m: &Material) {
+    update_h_region(f, m, Span::whole(f.extent()), TILE);
+}
+
+/// Clamp the interior range of one axis to a shell of width `s`.
+fn clamp_shell(n: isize, s: isize) -> (isize, isize) {
+    let lo = s.min(n);
+    (lo, (n - s).max(lo))
+}
+
+/// Decompose a section's interior into six disjoint boundary slabs (some
+/// possibly empty) plus the interior core, for shell width `shell`. The
+/// seven boxes partition the interior exactly, whatever the extents.
+pub fn shell_spans(extent: (usize, usize, usize), shell: usize) -> ([Span; 6], Span) {
+    let (nx, ny, nz) = (extent.0 as isize, extent.1 as isize, extent.2 as isize);
+    let s = shell as isize;
+    let (ilo, ihi) = clamp_shell(nx, s);
+    let (jlo, jhi) = clamp_shell(ny, s);
+    let (klo, khi) = clamp_shell(nz, s);
+    let slabs = [
+        Span { i0: 0, i1: ilo, j0: 0, j1: ny, k0: 0, k1: nz },
+        Span { i0: ihi, i1: nx, j0: 0, j1: ny, k0: 0, k1: nz },
+        Span { i0: ilo, i1: ihi, j0: 0, j1: jlo, k0: 0, k1: nz },
+        Span { i0: ilo, i1: ihi, j0: jhi, j1: ny, k0: 0, k1: nz },
+        Span { i0: ilo, i1: ihi, j0: jlo, j1: jhi, k0: 0, k1: klo },
+        Span { i0: ilo, i1: ihi, j0: jlo, j1: jhi, k0: khi, k1: nz },
+    ];
+    (slabs, Span { i0: ilo, i1: ihi, j0: jlo, j1: jhi, k0: klo, k1: khi })
+}
+
+/// Cells in the interior core left by a shell of width `shell`.
+pub fn interior_cells(extent: (usize, usize, usize), shell: usize) -> u64 {
+    shell_spans(extent, shell).1.cells()
+}
+
+/// Cells in the boundary shell of width `shell`.
+pub fn boundary_cells(extent: (usize, usize, usize), shell: usize) -> u64 {
+    (extent.0 * extent.1 * extent.2) as u64 - interior_cells(extent, shell)
+}
+
+/// True if local cell `pos` lies inside the boundary shell of width
+/// `shell` — decides which half of a split update owns a cell-local
+/// side effect (the soft source).
+pub fn in_shell(extent: (usize, usize, usize), shell: usize, pos: (isize, isize, isize)) -> bool {
+    !shell_spans(extent, shell).1.contains(pos.0, pos.1, pos.2)
+}
+
+/// Advance E over the [`E_SHELL`]-deep boundary shell only (the half of
+/// the split update that must finish before the halo sends).
+pub fn update_e_boundary(f: &mut Fields, m: &Material) {
+    let (slabs, _) = shell_spans(f.extent(), E_SHELL);
+    for s in slabs {
+        update_e_span(f, m, s);
+    }
+}
+
+/// Advance E over the interior core only (overlaps the in-flight halo
+/// exchange in the split plans).
+pub fn update_e_interior(f: &mut Fields, m: &Material) {
+    let (_, core) = shell_spans(f.extent(), E_SHELL);
+    update_e_region(f, m, core, TILE);
+}
+
+/// Advance H over the [`H_SHELL`]-deep boundary shell only.
+pub fn update_h_boundary(f: &mut Fields, m: &Material) {
+    let (slabs, _) = shell_spans(f.extent(), H_SHELL);
+    for s in slabs {
+        update_h_span(f, m, s);
+    }
+}
+
+/// Advance H over the interior core only.
+pub fn update_h_interior(f: &mut Fields, m: &Material) {
+    let (_, core) = shell_spans(f.extent(), H_SHELL);
+    update_h_region(f, m, core, TILE);
 }
 
 /// Pin tangential E to zero on the touched global boundary faces (PEC box).
@@ -102,10 +386,8 @@ pub fn apply_pec(f: &mut Fields, flags: &BoundaryFlags) {
     for (cond, i) in [(flags.at_lo[0], 0), (flags.at_hi[0], nxi - 1)] {
         if cond {
             for j in 0..nyi {
-                for k in 0..nzi {
-                    f.ey.set(i, j, k, 0.0);
-                    f.ez.set(i, j, k, 0.0);
-                }
+                f.ey.row_mut(i, j, 0, nzi).fill(0.0);
+                f.ez.row_mut(i, j, 0, nzi).fill(0.0);
             }
         }
     }
@@ -113,10 +395,8 @@ pub fn apply_pec(f: &mut Fields, flags: &BoundaryFlags) {
     for (cond, j) in [(flags.at_lo[1], 0), (flags.at_hi[1], nyi - 1)] {
         if cond {
             for i in 0..nxi {
-                for k in 0..nzi {
-                    f.ex.set(i, j, k, 0.0);
-                    f.ez.set(i, j, k, 0.0);
-                }
+                f.ex.row_mut(i, j, 0, nzi).fill(0.0);
+                f.ez.row_mut(i, j, 0, nzi).fill(0.0);
             }
         }
     }
@@ -133,76 +413,137 @@ pub fn apply_pec(f: &mut Fields, flags: &BoundaryFlags) {
     }
 }
 
+/// A Mur boundary was requested for a section too thin to carry it: the
+/// first-order condition needs both a boundary layer and an inner layer,
+/// so every axis touching a Mur face must span at least two cells. A
+/// high-P partition can produce 1-cell sections; this is a configuration/
+/// geometry error, not a programming error, so it is typed rather than a
+/// panic (surfaced as `RunError::Protocol` by the plan drivers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MurGeometryError {
+    /// The offending axis (0 = x, 1 = y, 2 = z).
+    pub axis: usize,
+    /// The section's extent on that axis.
+    pub extent: usize,
+}
+
+impl std::fmt::Display for MurGeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Mur boundary on axis {} needs a section at least 2 cells wide, got {}",
+            self.axis, self.extent
+        )
+    }
+}
+
+impl std::error::Error for MurGeometryError {}
+
+/// Saved pre-update layers of one touched Mur face: the boundary layer and
+/// the first inner layer of each of the two tangential E components,
+/// indexed `[a1 * n2 + a2]` over the face's two in-plane axes in ascending
+/// axis order (`n2` = extent of the faster, higher-numbered axis).
+#[derive(Debug, Clone)]
+struct MurFace {
+    /// First tangential component (component order x < y < z): boundary
+    /// layer, then inner layer.
+    t1_b: Vec<f64>,
+    t1_i: Vec<f64>,
+    /// Second tangential component: boundary layer, then inner layer.
+    t2_b: Vec<f64>,
+    t2_i: Vec<f64>,
+}
+
+impl MurFace {
+    fn with_capacity(plane: usize) -> MurFace {
+        MurFace {
+            t1_b: Vec::with_capacity(plane),
+            t1_i: Vec::with_capacity(plane),
+            t2_b: Vec::with_capacity(plane),
+            t2_i: Vec::with_capacity(plane),
+        }
+    }
+}
+
 /// Saved pre-update boundary layers for the first-order Mur ABC: for each
-/// touched face, copies of the two outermost layers of the tangential E
-/// components taken *before* `update_e`.
+/// touched face, indexed planes of the two outermost layers of the
+/// tangential E components taken *before* `update_e`. Save and apply are
+/// both O(face): the planes are addressed directly, replacing the former
+/// per-cell linear scan of coordinate tuples that made `apply_mur`
+/// O(face²).
 #[derive(Debug, Clone, Default)]
 pub struct MurSaved {
-    ex: Vec<(isize, isize, isize, f64)>,
-    ey: Vec<(isize, isize, isize, f64)>,
-    ez: Vec<(isize, isize, isize, f64)>,
+    /// Face order: x-lo, x-hi, y-lo, y-hi, z-lo, z-hi.
+    faces: [Option<MurFace>; 6],
 }
 
 /// Record the layers [`apply_mur`] will need. Call immediately before
-/// `update_e`. Requires every touched axis to span at least two cells.
-pub fn save_mur_layers(f: &Fields, flags: &BoundaryFlags) -> MurSaved {
+/// `update_e`. Every axis touching a Mur face must span at least two
+/// cells; thinner sections yield a typed [`MurGeometryError`].
+pub fn save_mur_layers(f: &Fields, flags: &BoundaryFlags) -> Result<MurSaved, MurGeometryError> {
     let (nx, ny, nz) = f.extent();
+    // Validate every touched axis up front so failure never leaves a
+    // partially-populated save.
+    for (axis, extent) in [(0, nx), (1, ny), (2, nz)] {
+        if (flags.at_lo[axis] || flags.at_hi[axis]) && extent < 2 {
+            return Err(MurGeometryError { axis, extent });
+        }
+    }
     let (nxi, nyi, nzi) = (nx as isize, ny as isize, nz as isize);
     let mut saved = MurSaved::default();
-    let mut grab = |comp: usize, i: isize, j: isize, k: isize, v: f64| match comp {
-        0 => saved.ex.push((i, j, k, v)),
-        1 => saved.ey.push((i, j, k, v)),
-        _ => saved.ez.push((i, j, k, v)),
-    };
-    // x faces (tangential ey, ez): layers i = {0, 1} and {n-1, n-2}.
-    for (cond, layers) in [(flags.at_lo[0], [0, 1]), (flags.at_hi[0], [nxi - 1, nxi - 2])] {
+    // x faces (tangential ey, ez): layers i = {0, 1} and {n-1, n-2}; the
+    // plane runs over (j, k), z contiguous — whole-row copies.
+    for (cond, slot, b, inner) in [
+        (flags.at_lo[0], 0, 0, 1),
+        (flags.at_hi[0], 1, nxi - 1, nxi - 2),
+    ] {
         if cond {
-            assert!(nxi >= 2, "Mur needs sections at least 2 cells wide");
-            for &i in &layers {
+            let mut face = MurFace::with_capacity(ny * nz);
+            for j in 0..nyi {
+                face.t1_b.extend_from_slice(f.ey.row(b, j, 0, nzi));
+                face.t1_i.extend_from_slice(f.ey.row(inner, j, 0, nzi));
+                face.t2_b.extend_from_slice(f.ez.row(b, j, 0, nzi));
+                face.t2_i.extend_from_slice(f.ez.row(inner, j, 0, nzi));
+            }
+            saved.faces[slot] = Some(face);
+        }
+    }
+    // y faces (tangential ex, ez): plane over (i, k), rows contiguous.
+    for (cond, slot, b, inner) in [
+        (flags.at_lo[1], 2, 0, 1),
+        (flags.at_hi[1], 3, nyi - 1, nyi - 2),
+    ] {
+        if cond {
+            let mut face = MurFace::with_capacity(nx * nz);
+            for i in 0..nxi {
+                face.t1_b.extend_from_slice(f.ex.row(i, b, 0, nzi));
+                face.t1_i.extend_from_slice(f.ex.row(i, inner, 0, nzi));
+                face.t2_b.extend_from_slice(f.ez.row(i, b, 0, nzi));
+                face.t2_i.extend_from_slice(f.ez.row(i, inner, 0, nzi));
+            }
+            saved.faces[slot] = Some(face);
+        }
+    }
+    // z faces (tangential ex, ey): plane over (i, j) at fixed k — strided,
+    // per-cell reads, still O(face).
+    for (cond, slot, b, inner) in [
+        (flags.at_lo[2], 4, 0, 1),
+        (flags.at_hi[2], 5, nzi - 1, nzi - 2),
+    ] {
+        if cond {
+            let mut face = MurFace::with_capacity(nx * ny);
+            for i in 0..nxi {
                 for j in 0..nyi {
-                    for k in 0..nzi {
-                        grab(1, i, j, k, f.ey.get(i, j, k));
-                        grab(2, i, j, k, f.ez.get(i, j, k));
-                    }
+                    face.t1_b.push(f.ex.get(i, j, b));
+                    face.t1_i.push(f.ex.get(i, j, inner));
+                    face.t2_b.push(f.ey.get(i, j, b));
+                    face.t2_i.push(f.ey.get(i, j, inner));
                 }
             }
+            saved.faces[slot] = Some(face);
         }
     }
-    for (cond, layers) in [(flags.at_lo[1], [0, 1]), (flags.at_hi[1], [nyi - 1, nyi - 2])] {
-        if cond {
-            assert!(nyi >= 2, "Mur needs sections at least 2 cells wide");
-            for &j in &layers {
-                for i in 0..nxi {
-                    for k in 0..nzi {
-                        grab(0, i, j, k, f.ex.get(i, j, k));
-                        grab(2, i, j, k, f.ez.get(i, j, k));
-                    }
-                }
-            }
-        }
-    }
-    for (cond, layers) in [(flags.at_lo[2], [0, 1]), (flags.at_hi[2], [nzi - 1, nzi - 2])] {
-        if cond {
-            assert!(nzi >= 2, "Mur needs sections at least 2 cells wide");
-            for &k in &layers {
-                for i in 0..nxi {
-                    for j in 0..nyi {
-                        grab(0, i, j, k, f.ex.get(i, j, k));
-                        grab(1, i, j, k, f.ey.get(i, j, k));
-                    }
-                }
-            }
-        }
-    }
-    saved
-}
-
-fn saved_lookup(saved: &[(isize, isize, isize, f64)], i: isize, j: isize, k: isize) -> f64 {
-    saved
-        .iter()
-        .find(|&&(si, sj, sk, _)| si == i && sj == j && sk == k)
-        .map(|&(_, _, _, v)| v)
-        .expect("Mur layer was saved")
+    Ok(saved)
 }
 
 /// Apply the first-order Mur condition to the tangential E components of
@@ -212,56 +553,66 @@ fn saved_lookup(saved: &[(isize, isize, isize, f64)], i: isize, j: isize, k: isi
 /// E_tan^{n+1}(boundary) = E_tan^n(inner) + k · (E_tan^{n+1}(inner) − E_tan^n(boundary))
 /// k = (c·Δt − Δx)/(c·Δt + Δx)
 /// ```
+///
+/// Faces are applied in the fixed order x-lo, x-hi, y-lo, y-hi, z-lo,
+/// z-hi; later faces read edge cells already rewritten by earlier ones,
+/// which is part of the defined (and deterministic) update.
 pub fn apply_mur(f: &mut Fields, saved: &MurSaved, flags: &BoundaryFlags, dt: f64) {
     let kc = (dt - 1.0) / (dt + 1.0);
     let (nx, ny, nz) = f.extent();
     let (nxi, nyi, nzi) = (nx as isize, ny as isize, nz as isize);
+    let face = |slot: usize| {
+        saved.faces[slot].as_ref().expect("Mur layers were saved for every touched face")
+    };
     // x faces.
-    for (cond, b, inner) in [(flags.at_lo[0], 0, 1), (flags.at_hi[0], nxi - 1, nxi - 2)] {
+    for (cond, slot, b, inner) in [
+        (flags.at_lo[0], 0, 0, 1),
+        (flags.at_hi[0], 1, nxi - 1, nxi - 2),
+    ] {
         if cond {
+            let s = face(slot);
             for j in 0..nyi {
                 for k in 0..nzi {
-                    let old_b = saved_lookup(&saved.ey, b, j, k);
-                    let old_i = saved_lookup(&saved.ey, inner, j, k);
-                    let v = old_i + kc * (f.ey.get(inner, j, k) - old_b);
+                    let p = (j * nzi + k) as usize;
+                    let v = s.t1_i[p] + kc * (f.ey.get(inner, j, k) - s.t1_b[p]);
                     f.ey.set(b, j, k, v);
-                    let old_b = saved_lookup(&saved.ez, b, j, k);
-                    let old_i = saved_lookup(&saved.ez, inner, j, k);
-                    let v = old_i + kc * (f.ez.get(inner, j, k) - old_b);
+                    let v = s.t2_i[p] + kc * (f.ez.get(inner, j, k) - s.t2_b[p]);
                     f.ez.set(b, j, k, v);
                 }
             }
         }
     }
     // y faces.
-    for (cond, b, inner) in [(flags.at_lo[1], 0, 1), (flags.at_hi[1], nyi - 1, nyi - 2)] {
+    for (cond, slot, b, inner) in [
+        (flags.at_lo[1], 2, 0, 1),
+        (flags.at_hi[1], 3, nyi - 1, nyi - 2),
+    ] {
         if cond {
+            let s = face(slot);
             for i in 0..nxi {
                 for k in 0..nzi {
-                    let old_b = saved_lookup(&saved.ex, i, b, k);
-                    let old_i = saved_lookup(&saved.ex, i, inner, k);
-                    let v = old_i + kc * (f.ex.get(i, inner, k) - old_b);
+                    let p = (i * nzi + k) as usize;
+                    let v = s.t1_i[p] + kc * (f.ex.get(i, inner, k) - s.t1_b[p]);
                     f.ex.set(i, b, k, v);
-                    let old_b = saved_lookup(&saved.ez, i, b, k);
-                    let old_i = saved_lookup(&saved.ez, i, inner, k);
-                    let v = old_i + kc * (f.ez.get(i, inner, k) - old_b);
+                    let v = s.t2_i[p] + kc * (f.ez.get(i, inner, k) - s.t2_b[p]);
                     f.ez.set(i, b, k, v);
                 }
             }
         }
     }
     // z faces.
-    for (cond, b, inner) in [(flags.at_lo[2], 0, 1), (flags.at_hi[2], nzi - 1, nzi - 2)] {
+    for (cond, slot, b, inner) in [
+        (flags.at_lo[2], 4, 0, 1),
+        (flags.at_hi[2], 5, nzi - 1, nzi - 2),
+    ] {
         if cond {
+            let s = face(slot);
             for i in 0..nxi {
                 for j in 0..nyi {
-                    let old_b = saved_lookup(&saved.ex, i, j, b);
-                    let old_i = saved_lookup(&saved.ex, i, j, inner);
-                    let v = old_i + kc * (f.ex.get(i, j, inner) - old_b);
+                    let p = (i * nyi + j) as usize;
+                    let v = s.t1_i[p] + kc * (f.ex.get(i, j, inner) - s.t1_b[p]);
                     f.ex.set(i, j, b, v);
-                    let old_b = saved_lookup(&saved.ey, i, j, b);
-                    let old_i = saved_lookup(&saved.ey, i, j, inner);
-                    let v = old_i + kc * (f.ey.get(i, j, inner) - old_b);
+                    let v = s.t2_i[p] + kc * (f.ey.get(i, j, inner) - s.t2_b[p]);
                     f.ey.set(i, j, b, v);
                 }
             }
@@ -295,6 +646,85 @@ mod tests {
         Material::build(&MaterialSpec::Vacuum, Block3 { lo: (0, 0, 0), hi: n }, 0.5)
     }
 
+    /// Deterministic pseudo-random field content (SplitMix64-flavoured).
+    fn scramble(f: &mut Fields, seed: u64) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z = z ^ (z >> 31);
+            (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for g in [&mut f.ex, &mut f.ey, &mut f.ez, &mut f.hx, &mut f.hy, &mut f.hz] {
+            g.for_each_interior(|_, _, _, v| *v = next());
+        }
+    }
+
+    /// The scalar get/set reference for `update_e`: the same per-cell
+    /// arithmetic (fused multiply-add) expressed cell by cell.
+    fn scalar_update_e(f: &mut Fields, m: &Material) {
+        let (nx, ny, nz) = f.extent();
+        for i in 0..nx as isize {
+            for j in 0..ny as isize {
+                for k in 0..nz as isize {
+                    let ca = m.ca.get(i, j, k);
+                    let cb = m.cb.get(i, j, k);
+                    let ex = ca.mul_add(
+                        f.ex.get(i, j, k),
+                        cb * ((f.hz.get(i, j, k) - f.hz.get(i, j - 1, k))
+                            - (f.hy.get(i, j, k) - f.hy.get(i, j, k - 1))),
+                    );
+                    let ey = ca.mul_add(
+                        f.ey.get(i, j, k),
+                        cb * ((f.hx.get(i, j, k) - f.hx.get(i, j, k - 1))
+                            - (f.hz.get(i, j, k) - f.hz.get(i - 1, j, k))),
+                    );
+                    let ez = ca.mul_add(
+                        f.ez.get(i, j, k),
+                        cb * ((f.hy.get(i, j, k) - f.hy.get(i - 1, j, k))
+                            - (f.hx.get(i, j, k) - f.hx.get(i, j - 1, k))),
+                    );
+                    f.ex.set(i, j, k, ex);
+                    f.ey.set(i, j, k, ey);
+                    f.ez.set(i, j, k, ez);
+                }
+            }
+        }
+    }
+
+    /// The scalar get/set reference for `update_h`.
+    fn scalar_update_h(f: &mut Fields, m: &Material) {
+        let (nx, ny, nz) = f.extent();
+        for i in 0..nx as isize {
+            for j in 0..ny as isize {
+                for k in 0..nz as isize {
+                    let da = m.da.get(i, j, k);
+                    let db = m.db.get(i, j, k);
+                    let hx = da.mul_add(
+                        f.hx.get(i, j, k),
+                        -(db * ((f.ez.get(i, j + 1, k) - f.ez.get(i, j, k))
+                            - (f.ey.get(i, j, k + 1) - f.ey.get(i, j, k)))),
+                    );
+                    let hy = da.mul_add(
+                        f.hy.get(i, j, k),
+                        -(db * ((f.ex.get(i, j, k + 1) - f.ex.get(i, j, k))
+                            - (f.ez.get(i + 1, j, k) - f.ez.get(i, j, k)))),
+                    );
+                    let hz = da.mul_add(
+                        f.hz.get(i, j, k),
+                        -(db * ((f.ey.get(i + 1, j, k) - f.ey.get(i, j, k))
+                            - (f.ex.get(i, j + 1, k) - f.ex.get(i, j, k)))),
+                    );
+                    f.hx.set(i, j, k, hx);
+                    f.hy.set(i, j, k, hy);
+                    f.hz.set(i, j, k, hz);
+                }
+            }
+        }
+    }
+
     #[test]
     fn zero_fields_stay_zero() {
         let n = (5, 5, 5);
@@ -317,6 +747,93 @@ mod tests {
         assert_ne!(f.hx.get(4, 3, 4), 0.0);
         assert_eq!(f.hx.get(4, 0, 4), 0.0, "far cells untouched after one step");
         assert!(f.energy() > 0.0);
+    }
+
+    #[test]
+    fn row_kernels_match_the_scalar_reference_bitwise() {
+        for n in [(9, 9, 9), (6, 5, 4), (1, 7, 3), (4, 1, 1), (2, 2, 17)] {
+            let m = vacuum(n);
+            let mut a = Fields::zeros(n.0, n.1, n.2);
+            scramble(&mut a, 42);
+            let mut b = a.clone();
+            for _ in 0..3 {
+                update_h(&mut a, &m);
+                update_e(&mut a, &m);
+                scalar_update_h(&mut b, &m);
+                scalar_update_e(&mut b, &m);
+            }
+            assert!(a.bitwise_eq(&b), "row kernel diverged from scalar reference at {n:?}");
+        }
+    }
+
+    #[test]
+    fn every_tiling_is_bitwise_identical() {
+        let n = (11, 9, 13);
+        let m = vacuum(n);
+        let mut base = Fields::zeros(n.0, n.1, n.2);
+        scramble(&mut base, 7);
+        let mut reference = base.clone();
+        update_h(&mut reference, &m);
+        update_e(&mut reference, &m);
+        for tile in [1, 3, 8, usize::MAX] {
+            let mut f = base.clone();
+            update_h_region(&mut f, &m, Span::whole(n), tile);
+            update_e_region(&mut f, &m, Span::whole(n), tile);
+            assert!(f.bitwise_eq(&reference), "tile = {tile} changed a bit");
+        }
+    }
+
+    #[test]
+    fn boundary_plus_interior_equals_the_full_update() {
+        for n in [(12, 10, 9), (5, 5, 5), (2, 3, 9), (1, 1, 1), (4, 2, 2)] {
+            let m = vacuum(n);
+            let mut whole = Fields::zeros(n.0, n.1, n.2);
+            scramble(&mut whole, 99);
+            let mut split = whole.clone();
+            update_h(&mut whole, &m);
+            update_e(&mut whole, &m);
+            update_h_boundary(&mut split, &m);
+            update_h_interior(&mut split, &m);
+            update_e_boundary(&mut split, &m);
+            update_e_interior(&mut split, &m);
+            assert!(split.bitwise_eq(&whole), "split diverged at {n:?}");
+        }
+    }
+
+    #[test]
+    fn shell_spans_partition_the_interior_exactly() {
+        for n in [(12, 10, 9), (4, 4, 4), (2, 3, 9), (1, 1, 1), (3, 1, 5)] {
+            for shell in [1usize, 2, 3] {
+                let (slabs, core) = shell_spans(n, shell);
+                let mut count: u64 = core.cells();
+                for s in &slabs {
+                    count += s.cells();
+                }
+                assert_eq!(count, (n.0 * n.1 * n.2) as u64, "n={n:?} shell={shell}");
+                assert_eq!(
+                    boundary_cells(n, shell) + interior_cells(n, shell),
+                    (n.0 * n.1 * n.2) as u64
+                );
+                // Disjointness: every cell claimed by exactly one box.
+                let mut seen = vec![false; n.0 * n.1 * n.2];
+                let mut claim = |s: &Span| {
+                    for i in s.i0..s.i1 {
+                        for j in s.j0..s.j1 {
+                            for k in s.k0..s.k1 {
+                                let idx = ((i as usize) * n.1 + j as usize) * n.2 + k as usize;
+                                assert!(!seen[idx], "cell ({i},{j},{k}) claimed twice");
+                                seen[idx] = true;
+                            }
+                        }
+                    }
+                };
+                for s in &slabs {
+                    claim(s);
+                }
+                claim(&core);
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
     }
 
     #[test]
@@ -367,7 +884,9 @@ mod tests {
             let flags = BoundaryFlags::whole();
             for _ in 0..60 {
                 let saved = match bc {
-                    BoundaryCondition::Mur1 => save_mur_layers(&f, &flags),
+                    BoundaryCondition::Mur1 => {
+                        save_mur_layers(&f, &flags).expect("12-cell sections carry Mur")
+                    }
                     BoundaryCondition::Pec => MurSaved::default(),
                 };
                 update_h(&mut f, &m);
@@ -380,6 +899,200 @@ mod tests {
         let mur = run(BoundaryCondition::Mur1);
         assert!(mur < pec * 0.5, "Mur {mur} vs PEC {pec}");
         assert!(mur.is_finite() && mur >= 0.0);
+    }
+
+    /// The retired tuple-scan form of the Mur save/apply, replicated
+    /// verbatim as the regression oracle for the indexed-plane rewrite.
+    mod tuple_form {
+        use super::*;
+
+        #[derive(Default)]
+        pub struct TupleSaved {
+            ex: Vec<(isize, isize, isize, f64)>,
+            ey: Vec<(isize, isize, isize, f64)>,
+            ez: Vec<(isize, isize, isize, f64)>,
+        }
+
+        pub fn save(f: &Fields, flags: &BoundaryFlags) -> TupleSaved {
+            let (nx, ny, nz) = f.extent();
+            let (nxi, nyi, nzi) = (nx as isize, ny as isize, nz as isize);
+            let mut saved = TupleSaved::default();
+            let mut grab = |comp: usize, i: isize, j: isize, k: isize, v: f64| match comp {
+                0 => saved.ex.push((i, j, k, v)),
+                1 => saved.ey.push((i, j, k, v)),
+                _ => saved.ez.push((i, j, k, v)),
+            };
+            for (cond, layers) in
+                [(flags.at_lo[0], [0, 1]), (flags.at_hi[0], [nxi - 1, nxi - 2])]
+            {
+                if cond {
+                    for &i in &layers {
+                        for j in 0..nyi {
+                            for k in 0..nzi {
+                                grab(1, i, j, k, f.ey.get(i, j, k));
+                                grab(2, i, j, k, f.ez.get(i, j, k));
+                            }
+                        }
+                    }
+                }
+            }
+            for (cond, layers) in
+                [(flags.at_lo[1], [0, 1]), (flags.at_hi[1], [nyi - 1, nyi - 2])]
+            {
+                if cond {
+                    for &j in &layers {
+                        for i in 0..nxi {
+                            for k in 0..nzi {
+                                grab(0, i, j, k, f.ex.get(i, j, k));
+                                grab(2, i, j, k, f.ez.get(i, j, k));
+                            }
+                        }
+                    }
+                }
+            }
+            for (cond, layers) in
+                [(flags.at_lo[2], [0, 1]), (flags.at_hi[2], [nzi - 1, nzi - 2])]
+            {
+                if cond {
+                    for &k in &layers {
+                        for i in 0..nxi {
+                            for j in 0..nyi {
+                                grab(0, i, j, k, f.ex.get(i, j, k));
+                                grab(1, i, j, k, f.ey.get(i, j, k));
+                            }
+                        }
+                    }
+                }
+            }
+            saved
+        }
+
+        fn lookup(saved: &[(isize, isize, isize, f64)], i: isize, j: isize, k: isize) -> f64 {
+            saved
+                .iter()
+                .find(|&&(si, sj, sk, _)| si == i && sj == j && sk == k)
+                .map(|&(_, _, _, v)| v)
+                .expect("Mur layer was saved")
+        }
+
+        pub fn apply(f: &mut Fields, saved: &TupleSaved, flags: &BoundaryFlags, dt: f64) {
+            let kc = (dt - 1.0) / (dt + 1.0);
+            let (nx, ny, nz) = f.extent();
+            let (nxi, nyi, nzi) = (nx as isize, ny as isize, nz as isize);
+            for (cond, b, inner) in
+                [(flags.at_lo[0], 0, 1), (flags.at_hi[0], nxi - 1, nxi - 2)]
+            {
+                if cond {
+                    for j in 0..nyi {
+                        for k in 0..nzi {
+                            let old_b = lookup(&saved.ey, b, j, k);
+                            let old_i = lookup(&saved.ey, inner, j, k);
+                            let v = old_i + kc * (f.ey.get(inner, j, k) - old_b);
+                            f.ey.set(b, j, k, v);
+                            let old_b = lookup(&saved.ez, b, j, k);
+                            let old_i = lookup(&saved.ez, inner, j, k);
+                            let v = old_i + kc * (f.ez.get(inner, j, k) - old_b);
+                            f.ez.set(b, j, k, v);
+                        }
+                    }
+                }
+            }
+            for (cond, b, inner) in
+                [(flags.at_lo[1], 0, 1), (flags.at_hi[1], nyi - 1, nyi - 2)]
+            {
+                if cond {
+                    for i in 0..nxi {
+                        for k in 0..nzi {
+                            let old_b = lookup(&saved.ex, i, b, k);
+                            let old_i = lookup(&saved.ex, i, inner, k);
+                            let v = old_i + kc * (f.ex.get(i, inner, k) - old_b);
+                            f.ex.set(i, b, k, v);
+                            let old_b = lookup(&saved.ez, i, b, k);
+                            let old_i = lookup(&saved.ez, i, inner, k);
+                            let v = old_i + kc * (f.ez.get(i, inner, k) - old_b);
+                            f.ez.set(i, b, k, v);
+                        }
+                    }
+                }
+            }
+            for (cond, b, inner) in
+                [(flags.at_lo[2], 0, 1), (flags.at_hi[2], nzi - 1, nzi - 2)]
+            {
+                if cond {
+                    for i in 0..nxi {
+                        for j in 0..nyi {
+                            let old_b = lookup(&saved.ex, i, j, b);
+                            let old_i = lookup(&saved.ex, i, j, inner);
+                            let v = old_i + kc * (f.ex.get(i, j, inner) - old_b);
+                            f.ex.set(i, j, b, v);
+                            let old_b = lookup(&saved.ey, i, j, b);
+                            let old_i = lookup(&saved.ey, i, j, inner);
+                            let v = old_i + kc * (f.ey.get(i, j, inner) - old_b);
+                            f.ey.set(i, j, b, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_mur_planes_match_the_tuple_scan_bitwise() {
+        // Both forms save the same pre-update state, both apply after the
+        // same update: final fields must agree to the bit. Partial flag
+        // sets cover sections touching only some global faces.
+        let cases = [
+            (BoundaryFlags::whole(), (7, 6, 5)),
+            (
+                BoundaryFlags { at_lo: [true, false, true], at_hi: [false, true, false] },
+                (6, 6, 6),
+            ),
+            (
+                BoundaryFlags { at_lo: [false, false, false], at_hi: [false, false, true] },
+                (4, 5, 6),
+            ),
+        ];
+        for (flags, n) in cases {
+            let m = vacuum(n);
+            let mut a = Fields::zeros(n.0, n.1, n.2);
+            scramble(&mut a, 1234);
+            let mut b = a.clone();
+            for _ in 0..4 {
+                // Indexed-plane path.
+                let saved = save_mur_layers(&a, &flags).expect("sections are wide enough");
+                update_h(&mut a, &m);
+                update_e(&mut a, &m);
+                apply_mur(&mut a, &saved, &flags, 0.5);
+                // Tuple-scan oracle.
+                let old = tuple_form::save(&b, &flags);
+                update_h(&mut b, &m);
+                update_e(&mut b, &m);
+                tuple_form::apply(&mut b, &old, &flags, 0.5);
+            }
+            assert!(a.bitwise_eq(&b), "indexed planes diverged for flags {flags:?}");
+        }
+    }
+
+    #[test]
+    fn thin_sections_yield_a_typed_error_not_a_panic() {
+        let flags = BoundaryFlags::whole();
+        let f = Fields::zeros(1, 5, 5);
+        assert_eq!(
+            save_mur_layers(&f, &flags).unwrap_err(),
+            MurGeometryError { axis: 0, extent: 1 },
+            "1-cell x section touching a Mur face is rejected"
+        );
+        let f = Fields::zeros(5, 5, 1);
+        let err = save_mur_layers(&f, &flags).unwrap_err();
+        assert_eq!(err, MurGeometryError { axis: 2, extent: 1 });
+        assert!(err.to_string().contains("axis 2"), "{err}");
+        // A thin axis that touches no Mur face is fine.
+        let narrow = BoundaryFlags { at_lo: [true, true, false], at_hi: [true, true, false] };
+        let f = Fields::zeros(5, 5, 1);
+        assert!(save_mur_layers(&f, &narrow).is_ok());
+        // Exactly two cells is the minimum and succeeds.
+        let f = Fields::zeros(2, 2, 2);
+        assert!(save_mur_layers(&f, &flags).is_ok());
     }
 
     #[test]

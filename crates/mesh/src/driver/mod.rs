@@ -29,7 +29,7 @@ pub use seq::run_seq;
 pub use wire::{decode_mesh_msg, encode_mesh_msg};
 pub use simpar::{
     ordered_sum, run_simpar, try_run_simpar, GatherShapeError, HostMode, SimParConfig,
-    SimParOutcome, ValidationLevel,
+    SimParError, SimParOutcome, ValidationLevel,
 };
 
 /// Local state of a mesh process: anything sendable with a canonical byte

@@ -189,6 +189,25 @@ fn flatten<L>(
                     ops.push(Op::RecvFace { spec: spec.clone(), link: *link });
                 }
             }
+            Phase::ExchangeSend(spec) => {
+                if n == 1 || is_host {
+                    continue;
+                }
+                // The send half only: the matching ExchangeRecv later in
+                // the plan issues the receives, and whatever local ops sit
+                // between them run while the messages are in flight.
+                for link in &face_links(pg, rank) {
+                    ops.push(Op::SendFace { spec: spec.clone(), link: *link });
+                }
+            }
+            Phase::ExchangeRecv(spec) => {
+                if n == 1 || is_host {
+                    continue;
+                }
+                for link in &face_links(pg, rank) {
+                    ops.push(Op::RecvFace { spec: spec.clone(), link: *link });
+                }
+            }
             Phase::Reduce(spec) => {
                 if is_host {
                     // A separate host only receives the finished result
@@ -435,8 +454,10 @@ impl<L: MeshLocal> MsgProcess<L> {
             match &ops[pc] {
                 Op::Local(step) => {
                     let units = (step.flops)(&self.env, &self.local);
-                    (step.f)(&self.env, &mut self.local);
-                    return Effect::Compute { units };
+                    return match (step.f)(&self.env, &mut self.local) {
+                        Ok(()) => Effect::Compute { units },
+                        Err(error) => Effect::Fault { error },
+                    };
                 }
                 Op::SendFace { spec, link } => {
                     // Pack the face straight from grid storage into a

@@ -9,8 +9,11 @@
 //! message-passing program would send is recorded in a [`CommTrace`] for
 //! the machine model.
 
-use meshgrid::halo::{extract_face3, insert_ghost3};
+use std::collections::VecDeque;
+
+use meshgrid::halo::{extract_face3, insert_ghost3, Face3};
 use meshgrid::{Grid3, ProcGrid3};
+use ssp_runtime::RunError;
 
 use crate::driver::MeshLocal;
 use crate::env::Env;
@@ -96,6 +99,34 @@ impl std::fmt::Display for GatherShapeError {
 
 impl std::error::Error for GatherShapeError {}
 
+/// A simulated-parallel run failed: either the plan itself was malformed
+/// (a mis-sized gather) or a local-computation block reported a typed
+/// error (e.g. degenerate boundary geometry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimParError {
+    /// A gather found a mis-sized field.
+    GatherShape(GatherShapeError),
+    /// A local step failed; carries the step's own [`RunError`].
+    Local(RunError),
+}
+
+impl std::fmt::Display for SimParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimParError::GatherShape(e) => e.fmt(f),
+            SimParError::Local(e) => write!(f, "local step failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimParError {}
+
+impl From<GatherShapeError> for SimParError {
+    fn from(e: GatherShapeError) -> Self {
+        SimParError::GatherShape(e)
+    }
+}
+
 /// Result of a simulated-parallel run.
 pub struct SimParOutcome<L> {
     /// Final local state of every simulated process.
@@ -152,6 +183,9 @@ pub fn ordered_sum(mut contribs: Vec<Contribution>, n_bins: usize, method: SumMe
     bins.into_iter().map(|b| method.sum(&b)).collect()
 }
 
+/// Extracted exchange payloads in flight: `(src, dst, src_face, data)`.
+type Payloads = Vec<(usize, usize, Face3, Vec<f64>)>;
+
 struct SimPar<'p, L> {
     pg: ProcGrid3,
     grid_n: usize,
@@ -160,14 +194,19 @@ struct SimPar<'p, L> {
     cfg: SimParConfig,
     trace: CommTrace,
     report: ValidationReport,
+    /// Payload batches posted by `ExchangeSend` phases awaiting their
+    /// matching `ExchangeRecv` (FIFO — splits of the same plan pair up in
+    /// program order, exactly as the per-channel FIFO of the
+    /// message-passing driver does).
+    staged: VecDeque<Payloads>,
     _plan: std::marker::PhantomData<&'p ()>,
 }
 
 /// Run `plan` as a sequential simulated-parallel program over the process
 /// topology `pg`, with initial local states built by `init`.
 ///
-/// Panics if a gather finds a mis-sized field (a malformed plan); use
-/// [`try_run_simpar`] for the typed error instead.
+/// Panics if a gather finds a mis-sized field (a malformed plan) or a
+/// local step fails; use [`try_run_simpar`] for the typed error instead.
 pub fn run_simpar<L: MeshLocal>(
     plan: &Plan<L>,
     pg: ProcGrid3,
@@ -177,14 +216,14 @@ pub fn run_simpar<L: MeshLocal>(
     try_run_simpar(plan, pg, cfg, init).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Like [`run_simpar`], but a malformed plan surfaces as a typed
-/// [`GatherShapeError`] instead of a panic.
+/// Like [`run_simpar`], but a malformed plan or failed local step surfaces
+/// as a typed [`SimParError`] instead of a panic.
 pub fn try_run_simpar<L: MeshLocal>(
     plan: &Plan<L>,
     pg: ProcGrid3,
     cfg: SimParConfig,
     init: impl Fn(&Env) -> L,
-) -> Result<SimParOutcome<L>, GatherShapeError> {
+) -> Result<SimParOutcome<L>, SimParError> {
     let grid_n = pg.nprocs();
     let mut envs: Vec<Env> = (0..grid_n).map(|r| Env::new(pg, r)).collect();
     if cfg.host_mode == HostMode::Separate {
@@ -200,6 +239,7 @@ pub fn try_run_simpar<L: MeshLocal>(
         cfg,
         trace: CommTrace::new(total),
         report: ValidationReport::default(),
+        staged: VecDeque::new(),
         _plan: std::marker::PhantomData,
     };
     driver.run_phases(&plan.phases)?;
@@ -226,20 +266,23 @@ impl<L: MeshLocal> SimPar<'_, L> {
         }
     }
 
-    fn run_phases(&mut self, phases: &[Phase<L>]) -> Result<(), GatherShapeError> {
+    fn run_phases(&mut self, phases: &[Phase<L>]) -> Result<(), SimParError> {
         for phase in phases {
             match phase {
                 Phase::Local(step) => {
                     let mut flops = vec![0u64; self.n()];
                     for (i, f) in flops.iter_mut().enumerate().take(self.grid_n) {
                         *f = (step.flops)(&self.envs[i], &self.locals[i]);
-                        (step.f)(&self.envs[i], &mut self.locals[i]);
+                        (step.f)(&self.envs[i], &mut self.locals[i])
+                            .map_err(SimParError::Local)?;
                     }
                     if self.cfg.record_trace {
                         self.trace.push(PhaseCost::compute(&step.name, flops));
                     }
                 }
                 Phase::Exchange(spec) => self.exchange(spec),
+                Phase::ExchangeSend(spec) => self.exchange_send(spec),
+                Phase::ExchangeRecv(spec) => self.exchange_recv(spec),
                 Phase::Reduce(spec) => self.reduce(spec),
                 Phase::OrderedReduce(spec) => self.ordered_reduce(spec),
                 Phase::Broadcast(spec) => {
@@ -302,13 +345,61 @@ impl<L: MeshLocal> SimPar<'_, L> {
     /// Boundary exchange as a data-exchange operation: all payload
     /// extractions ("sends"), then all ghost insertions ("receives").
     fn exchange(&mut self, spec: &ExchangeSpec<L>) {
+        let payloads = self.extract_payloads(spec);
+        self.insert_payloads(spec, payloads);
+    }
+
+    /// The send half of a split exchange: extract (and validate) the
+    /// payloads from the pre-send state, stage them for the matching
+    /// `ExchangeRecv`, and charge the messages to this phase.
+    fn exchange_send(&mut self, spec: &ExchangeSpec<L>) {
+        let payloads = self.extract_payloads(spec);
+        if self.cfg.record_trace {
+            let msgs = payloads
+                .iter()
+                .map(|(src, dst, _, payload)| MsgRecord {
+                    src: *src,
+                    dst: *dst,
+                    bytes: 8 * payload.len() as u64,
+                })
+                .collect();
+            self.trace.push(PhaseCost {
+                name: spec.name.clone(),
+                flops: vec![0; self.n()],
+                msgs,
+                rounds: 1,
+            });
+        }
+        self.staged.push_back(payloads);
+    }
+
+    /// The receive half of a split exchange: install the oldest staged
+    /// payload batch into destination ghosts (messages were already charged
+    /// to the send phase).
+    fn exchange_recv(&mut self, spec: &ExchangeSpec<L>) {
+        let payloads = self.staged.pop_front().unwrap_or_default();
+        for (_, dst, face, payload) in payloads {
+            insert_ghost3((spec.field)(&mut self.locals[dst]), face.opposite(), &payload);
+        }
+        if self.cfg.record_trace {
+            self.trace.push(PhaseCost {
+                name: spec.name.clone(),
+                flops: vec![0; self.n()],
+                msgs: Vec::new(),
+                rounds: 1,
+            });
+        }
+    }
+
+    /// Extract every rank's face payloads from the pre-exchange state and
+    /// validate them against the §2.2 restrictions.
+    fn extract_payloads(&mut self, spec: &ExchangeSpec<L>) -> Payloads {
         let n = self.grid_n;
         if n == 1 {
             // Degenerate: no neighbours, no exchange.
-            return;
+            return Vec::new();
         }
-        // Sends: extract every payload from the pre-exchange state.
-        let mut payloads: Vec<(usize, usize, meshgrid::halo::Face3, Vec<f64>)> = Vec::new();
+        let mut payloads: Payloads = Vec::new();
         for r in 0..n {
             for link in face_links(&self.pg, r) {
                 let payload = extract_face3((spec.field)(&mut self.locals[r]), link.face);
@@ -349,8 +440,16 @@ impl<L: MeshLocal> SimPar<'_, L> {
                 }
             }
         }
-        // Receives: insert into destination ghosts. The destination's name
-        // for the shared face is the opposite of the sender's.
+        payloads
+    }
+
+    /// Install extracted payloads into destination ghosts and record the
+    /// messages. The destination's name for the shared face is the
+    /// opposite of the sender's.
+    fn insert_payloads(&mut self, spec: &ExchangeSpec<L>, payloads: Payloads) {
+        if payloads.is_empty() {
+            return;
+        }
         let mut msgs = Vec::with_capacity(payloads.len());
         for (src, dst, face, payload) in payloads {
             let bytes = 8 * payload.len() as u64;

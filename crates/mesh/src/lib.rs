@@ -127,7 +127,7 @@ pub mod validate;
 pub use driver::{
     run_msg_predicted, run_msg_predicted_slack, run_msg_recovering, run_msg_simulated,
     run_msg_simulated_slack, run_msg_threaded, run_msg_threaded_slack, run_seq, run_simpar,
-    try_run_simpar, GatherShapeError, SimParOutcome,
+    try_run_simpar, GatherShapeError, SimParError, SimParOutcome,
 };
 pub use env::{AxisOutOfRange, Env};
 pub use plan::{Contribution, Phase, Plan, PlanBuilder};

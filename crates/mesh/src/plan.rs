@@ -13,14 +13,17 @@
 use std::sync::Arc;
 
 use meshgrid::Grid3;
+use ssp_runtime::RunError;
 
 use crate::env::Env;
 use crate::reduce::{ReduceAlgo, ReduceOp};
 use crate::sum::SumMethod;
 
 /// A local-computation body: may read the environment and mutate only this
-/// process's local state.
-pub type LocalFn<L> = Arc<dyn Fn(&Env, &mut L) + Send + Sync>;
+/// process's local state. A step that detects an unrunnable configuration
+/// (e.g. degenerate boundary geometry) returns `Err`, which the drivers
+/// surface as a typed fault instead of a panic.
+pub type LocalFn<L> = Arc<dyn Fn(&Env, &mut L) -> Result<(), RunError> + Send + Sync>;
 /// Reports the abstract cost (flops) of one execution of a local step.
 pub type FlopsFn<L> = Arc<dyn Fn(&Env, &L) -> u64 + Send + Sync>;
 /// Accessor selecting the exchanged/gathered grid field inside `L`.
@@ -211,6 +214,16 @@ pub enum Phase<L> {
     Local(LocalStep<L>),
     /// A boundary exchange.
     Exchange(ExchangeSpec<L>),
+    /// The send half of a split boundary exchange: post this rank's face
+    /// slabs to every neighbour and return without waiting. Must be paired
+    /// with a later [`Phase::ExchangeRecv`] of the same field, with no
+    /// other communication on the same field in between. The split lets a
+    /// plan overlap local computation with the in-flight exchange
+    /// (DESIGN.md §14).
+    ExchangeSend(ExchangeSpec<L>),
+    /// The receive half of a split boundary exchange: install every
+    /// neighbour's face slabs into this rank's ghost layers.
+    ExchangeRecv(ExchangeSpec<L>),
     /// An elementwise reduction.
     Reduce(ReduceSpec<L>),
     /// A deterministic-global-order reduction.
@@ -250,6 +263,8 @@ impl<L> Clone for Phase<L> {
         match self {
             Phase::Local(s) => Phase::Local(s.clone()),
             Phase::Exchange(s) => Phase::Exchange(s.clone()),
+            Phase::ExchangeSend(s) => Phase::ExchangeSend(s.clone()),
+            Phase::ExchangeRecv(s) => Phase::ExchangeRecv(s.clone()),
             Phase::Reduce(s) => Phase::Reduce(s.clone()),
             Phase::OrderedReduce(s) => Phase::OrderedReduce(s.clone()),
             Phase::Broadcast(s) => Phase::Broadcast(s.clone()),
@@ -272,6 +287,8 @@ impl<L> Phase<L> {
         match self {
             Phase::Local(s) => &s.name,
             Phase::Exchange(s) => &s.name,
+            Phase::ExchangeSend(s) => &s.name,
+            Phase::ExchangeRecv(s) => &s.name,
             Phase::Reduce(s) => &s.name,
             Phase::OrderedReduce(s) => &s.name,
             Phase::Broadcast(s) => &s.name,
@@ -347,9 +364,36 @@ impl<L> PlanBuilder<L> {
     /// Append a local-computation block with a cost estimate for the
     /// machine model.
     pub fn local_with_flops(
-        mut self,
+        self,
         name: &str,
         f: impl Fn(&Env, &mut L) + Send + Sync + 'static,
+        flops: impl Fn(&Env, &L) -> u64 + Send + Sync + 'static,
+    ) -> Self {
+        self.local_fallible_with_flops(
+            name,
+            move |env, l| {
+                f(env, l);
+                Ok(())
+            },
+            flops,
+        )
+    }
+
+    /// Append a local-computation block that may fail with a typed
+    /// [`RunError`] (surfaced by the drivers as a fault, not a panic).
+    pub fn local_fallible(
+        self,
+        name: &str,
+        f: impl Fn(&Env, &mut L) -> Result<(), RunError> + Send + Sync + 'static,
+    ) -> Self {
+        self.local_fallible_with_flops(name, f, |_, _| 0)
+    }
+
+    /// Append a fallible local-computation block with a cost estimate.
+    pub fn local_fallible_with_flops(
+        mut self,
+        name: &str,
+        f: impl Fn(&Env, &mut L) -> Result<(), RunError> + Send + Sync + 'static,
         flops: impl Fn(&Env, &L) -> u64 + Send + Sync + 'static,
     ) -> Self {
         self.phases.push(Phase::Local(LocalStep {
@@ -368,6 +412,33 @@ impl<L> PlanBuilder<L> {
     ) -> Self {
         self.phases
             .push(Phase::Exchange(ExchangeSpec { name: name.to_string(), field: Arc::new(field) }));
+        self
+    }
+
+    /// Append the send half of a split boundary exchange. Must precede a
+    /// matching [`Self::exchange_recv`] of the same field.
+    pub fn exchange_send(
+        mut self,
+        name: &str,
+        field: impl Fn(&mut L) -> &mut Grid3<f64> + Send + Sync + 'static,
+    ) -> Self {
+        self.phases.push(Phase::ExchangeSend(ExchangeSpec {
+            name: name.to_string(),
+            field: Arc::new(field),
+        }));
+        self
+    }
+
+    /// Append the receive half of a split boundary exchange.
+    pub fn exchange_recv(
+        mut self,
+        name: &str,
+        field: impl Fn(&mut L) -> &mut Grid3<f64> + Send + Sync + 'static,
+    ) -> Self {
+        self.phases.push(Phase::ExchangeRecv(ExchangeSpec {
+            name: name.to_string(),
+            field: Arc::new(field),
+        }));
         self
     }
 

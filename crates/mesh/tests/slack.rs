@@ -224,7 +224,14 @@ fn mis_sized_gather_is_a_typed_error() {
     })
     .err()
     .expect("mis-sized gather must not succeed");
-    assert_eq!(err, GatherShapeError { rank: 0, got: 8, expected: pg.block(0).len() });
+    assert_eq!(
+        err,
+        mesh_archetype::SimParError::GatherShape(GatherShapeError {
+            rank: 0,
+            got: 8,
+            expected: pg.block(0).len(),
+        })
+    );
     let msg = err.to_string();
     assert!(msg.contains("rank 0") && msg.contains("8"), "{msg}");
 }

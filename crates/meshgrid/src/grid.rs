@@ -102,17 +102,32 @@ impl<T: Copy + Default> Grid3<T> {
     }
 
     /// The contiguous storage run `k0..k1` of row `(i, j)` — z is the
-    /// contiguous axis, so slab pack/unpack can move whole rows with
-    /// slice copies instead of per-cell index arithmetic.
-    pub(crate) fn row(&self, i: isize, j: isize, k0: isize, k1: isize) -> &[T] {
+    /// contiguous axis, so slab pack/unpack and stencil kernels can move
+    /// whole rows with slice operations instead of per-cell index
+    /// arithmetic. `k0`/`k1` may reach into the ghost layers.
+    pub fn row(&self, i: isize, j: isize, k0: isize, k1: isize) -> &[T] {
         let lo = self.offset(i, j, k0);
         &self.data[lo..lo + (k1 - k0) as usize]
     }
 
     /// Mutable form of [`Grid3::row`].
-    pub(crate) fn row_mut(&mut self, i: isize, j: isize, k0: isize, k1: isize) -> &mut [T] {
+    pub fn row_mut(&mut self, i: isize, j: isize, k0: isize, k1: isize) -> &mut [T] {
         let lo = self.offset(i, j, k0);
         &mut self.data[lo..lo + (k1 - k0) as usize]
+    }
+
+    /// The row `k0..k1` of `(i, j)` together with its one-cell z-shifted
+    /// companion `k0-1..k1-1`, as two equal-length slices over the same
+    /// storage. Stencil kernels use the pair for backward z-differences
+    /// (`v[k] - v[k-1]`) without per-cell offset arithmetic; shifting the
+    /// arguments by one (`row_pair(i, j, k0+1, k1+1)`) yields the forward
+    /// difference pair `(v[k+1], v[k])`. Requires `ghost ≥ 1` (or
+    /// `k0 ≥ 1`) so the shifted slice stays in bounds.
+    pub fn row_pair(&self, i: isize, j: isize, k0: isize, k1: isize) -> (&[T], &[T]) {
+        let lo = self.offset(i, j, k0 - 1);
+        let n = (k1 - k0) as usize;
+        let s = &self.data[lo..lo + n + 1];
+        (&s[1..], &s[..n])
     }
 
     /// Visit every interior cell in `(i, j, k)` lexicographic order.
@@ -508,6 +523,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn row_and_row_pair_expose_contiguous_z_runs() {
+        let mut g: Grid3<f64> = Grid3::new(3, 3, 5, 1);
+        for k in -1..6isize {
+            g.set(1, 2, k, k as f64);
+        }
+        assert_eq!(g.row(1, 2, 0, 5), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(g.row(1, 2, -1, 6), &[-1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let (cur, zm1) = g.row_pair(1, 2, 0, 5);
+        assert_eq!(cur, g.row(1, 2, 0, 5));
+        assert_eq!(zm1, &[-1.0, 0.0, 1.0, 2.0, 3.0]);
+        // Shifted by one: the forward-difference pair (v[k+1], v[k]).
+        let (zp1, cur2) = g.row_pair(1, 2, 1, 6);
+        assert_eq!(zp1, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(cur2, cur);
+        g.row_mut(0, 0, 0, 5).fill(7.0);
+        assert_eq!(g.get(0, 0, 3), 7.0);
+        assert_eq!(g.get(0, 0, -1), 0.0, "ghost untouched by interior row");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod registry;
 pub mod supervisor;
 pub mod worker;
 
-pub use registry::{build_workload, fdtd_a_args, ring_args, Workload};
+pub use registry::{build_workload, fdtd_a_args, fdtd_a_overlap_args, ring_args, Workload};
 pub use supervisor::{
     run_distributed, ChaosKill, DistConfig, DistOutcome, DistStats, MigrationPolicy,
 };

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
-use fdtd::par::{init_a, plan_a, LocalA};
+use fdtd::par::{init_a, plan_a, plan_a_overlap, LocalA};
 use fdtd::Params;
 use mesh_archetype::driver::{
     build_msg_processes, decode_mesh_msg, encode_mesh_msg, MeshMsg, MsgProcess,
@@ -291,11 +291,16 @@ impl Workload for RingWorkload {
 struct FdtdAWorkload {
     params: Arc<Params>,
     pg: ProcGrid3,
+    /// Use the boundary-first overlapped plan ([`plan_a_overlap`]) instead
+    /// of the unsplit one — bitwise the same results (Theorem 1), halos in
+    /// flight during the interior updates.
+    overlap: bool,
 }
 
 impl FdtdAWorkload {
     fn build(&self) -> (Topology, Vec<MsgProcess<LocalA>>) {
-        let plan = plan_a(&self.params);
+        let plan =
+            if self.overlap { plan_a_overlap(&self.params) } else { plan_a(&self.params) };
         let init = init_a(self.params.clone());
         build_msg_processes(&plan, self.pg, &init)
     }
@@ -376,8 +381,9 @@ pub fn build_workload(name: &str, args: &JsonValue) -> Result<Box<dyn Workload>,
             if p == 0 || p > 512 {
                 return Err(bad_args(format!("fdtd-a rank count {p} outside 1..=512")));
             }
+            let overlap = matches!(args.get("overlap"), Some(JsonValue::Bool(true)));
             let pg = ProcGrid3::choose(params.n, p);
-            Ok(Box::new(FdtdAWorkload { params: Arc::new(params), pg }))
+            Ok(Box::new(FdtdAWorkload { params: Arc::new(params), pg, overlap }))
         }
         other => Err(bad_args(format!("unknown workload '{other}'"))),
     }
@@ -399,6 +405,17 @@ pub fn fdtd_a_args(preset: &str, p: usize) -> JsonValue {
     JsonValue::Obj(m)
 }
 
+/// [`fdtd_a_args`] selecting the overlapped plan (boundary-first halves
+/// with halos in flight during the interior updates).
+pub fn fdtd_a_overlap_args(preset: &str, p: usize) -> JsonValue {
+    let mut m = match fdtd_a_args(preset, p) {
+        JsonValue::Obj(m) => m,
+        _ => unreachable!("fdtd_a_args builds an object"),
+    };
+    m.insert("overlap".to_string(), JsonValue::Bool(true));
+    JsonValue::Obj(m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +432,18 @@ mod tests {
             let acc = u64::from_le_bytes(s[8..16].try_into().unwrap());
             assert_ne!(acc, 0);
         }
+    }
+
+    #[test]
+    fn fdtd_overlap_reference_matches_the_unsplit_plan_bitwise() {
+        let base = build_workload("fdtd-a", &fdtd_a_args("tiny", 4)).unwrap();
+        let over = build_workload("fdtd-a", &fdtd_a_overlap_args("tiny", 4)).unwrap();
+        assert_eq!(base.n_ranks(), over.n_ranks());
+        assert_eq!(
+            base.run_reference().unwrap(),
+            over.run_reference().unwrap(),
+            "overlap reordering changed a distributed reference bit"
+        );
     }
 
     #[test]

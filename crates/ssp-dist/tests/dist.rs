@@ -6,8 +6,8 @@
 //! or without workers dying mid-run.
 
 use ssp_dist::{
-    build_workload, fdtd_a_args, ring_args, run_distributed, ChaosKill, DistConfig,
-    MigrationPolicy,
+    build_workload, fdtd_a_args, fdtd_a_overlap_args, ring_args, run_distributed, ChaosKill,
+    DistConfig, MigrationPolicy,
 };
 use ssp_runtime::RunError;
 
@@ -45,6 +45,29 @@ fn fdtd_version_a_across_workers_matches_the_simulator_bitwise() {
         );
         assert_eq!(out.stats.migrations, 0);
         assert!(out.stats.frames_routed > 0);
+    }
+}
+
+#[test]
+fn fdtd_overlap_across_workers_matches_the_unsplit_plan_bitwise() {
+    // The boundary-first overlapped plan, end to end over real sockets:
+    // same bitwise snapshots as the *unsplit* plan's simulator reference,
+    // at every worker count — the communication restructuring changes when
+    // halos fly, never what they carry.
+    let reference = build_workload("fdtd-a", &fdtd_a_args("tiny", 4))
+        .unwrap()
+        .run_reference()
+        .unwrap();
+    let args = fdtd_a_overlap_args("tiny", 4);
+    for workers in [1, 2, 3] {
+        let cfg = DistConfig::new(workers, worker_bin());
+        let out = run_distributed("fdtd-a", &args, &cfg)
+            .unwrap_or_else(|e| panic!("distributed overlap at {workers} workers: {e}"));
+        assert_eq!(
+            out.snapshots, reference,
+            "overlapped FDTD at {workers} workers diverged from the unsplit plan"
+        );
+        assert_eq!(out.stats.migrations, 0);
     }
 }
 

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Run the figure2 bench and capture its numbers as BENCH_figure2.json at the
 # repo root: measured (closed-form-priced) times, DES-predicted times with
-# the critical-path breakdown per machine, measured wall times of the real
-# threaded execution per P (with the host's core count, so flat curves on
-# small machines are interpretable), the machine preset, and the grid.
+# the critical-path breakdown per machine (baseline plan and the
+# boundary-first overlap plan side by side), measured wall times of the real
+# threaded execution per P for both plans (with the host's core count, so
+# flat curves on small machines are interpretable), the distributed series
+# for both plans, the Yee-stencil kernel microbench point, the machine
+# preset, and the grid. The standalone stencil shape sweep is
+# `cargo bench -p bench --bench stencil`.
 #
 # Modes:
 #   scripts/bench.sh          quick run  (REPRO_SCALE=0.1 unless set)
