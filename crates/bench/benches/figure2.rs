@@ -106,6 +106,7 @@ fn main() {
     compare_threaded(&threaded, &threaded_overlap);
     let distributed = measured_distributed();
     let stencil = stencil_summary();
+    let (trace, recorder_overhead) = trace_series(&params);
     write_bench_json(
         &params,
         machine.name,
@@ -116,6 +117,8 @@ fn main() {
         &threaded_overlap,
         &distributed,
         &stencil,
+        &trace,
+        recorder_overhead,
     );
 
     comm_profile();
@@ -391,6 +394,135 @@ fn stencil_summary() -> StencilReport {
     report
 }
 
+/// One point of the flight-trace series: how far the DES prediction
+/// drifted from a *measured* (flight-recorded) threaded run at rank
+/// count `p`.
+struct TracePoint {
+    p: usize,
+    mean_drift: f64,
+    max_drift: f64,
+    makespan_ratio: f64,
+}
+
+/// The predicted-vs-measured trace series (EXPERIMENTS.md E15): at each
+/// rank count, run the DES prediction and a flight-recorded threaded
+/// execution of the same version-A program, reconstruct measured
+/// timelines from the flight log, and report the per-rank activity-share
+/// drift. The drift sweep runs on the tiny grid like the other
+/// runtime-heavy series (`comm_profile`, `recovery_overhead`) so the
+/// bench stays minutes, not hours; the recorder-overhead measurement
+/// runs on the *figure2 grid itself* (`params`, P=4, best-of-3
+/// interleaved pairs), because overhead is per-event and only the real
+/// grid's compute-per-event ratio answers the question the 5% gate
+/// asks. When `TRACE_JSON` names a path, the P=4 drift point also
+/// writes the combined Chrome trace — the DES prediction and the
+/// measured run as two process tracks in one `chrome://tracing` view.
+fn trace_series(params: &Arc<Params>) -> (Vec<TracePoint>, f64) {
+    let tiny = Arc::new(Params::tiny());
+    let plan = plan_a(&tiny);
+    let init = init_a(tiny.clone());
+    let machine = ibm_sp();
+    let cfg = ssp_runtime::ThreadedConfig::with_watchdog(std::time::Duration::from_secs(60));
+    let mut points = Vec::new();
+    for &p in &[2usize, 4, 8, 16] {
+        let pg = ProcGrid3::choose(tiny.n, p);
+        let des = run_msg_predicted(&plan, pg, &init, &machine)
+            .expect("infinite-slack message-passing plans cannot deadlock");
+        let out = mesh_archetype::run_msg_threaded_slack(
+            &plan,
+            pg,
+            &init,
+            None,
+            cfg.with_flight(1 << 15),
+        )
+        .expect("recording does not change the deadlock-freedom story");
+        let log = out.flight.expect("flight-enabled runs return a log");
+        let measured = perf_sim::measured_timelines(&log, des.timelines.len());
+        let report = perf_sim::drift_report(&des.timelines, &measured);
+        if p == 4 {
+            if let Ok(path) = std::env::var("TRACE_JSON") {
+                let doc = perf_sim::overlay_chrome_trace(&des.timelines, &measured);
+                match std::fs::write(&path, &doc) {
+                    Ok(()) => println!("wrote predicted-vs-measured overlay to {path}"),
+                    Err(e) => eprintln!("failed to write {path}: {e}"),
+                }
+            }
+        }
+        points.push(TracePoint {
+            p,
+            mean_drift: report.mean_drift,
+            max_drift: report.max_drift,
+            makespan_ratio: report.makespan_ratio,
+        });
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.p.to_string(),
+                format!("{:.3}", pt.mean_drift),
+                format!("{:.3}", pt.max_drift),
+                format!("{:.2}", pt.makespan_ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        "flight trace: predicted-vs-measured activity-share drift (tiny grid)",
+        &["P", "mean drift", "max drift", "wall/virtual"],
+        &rows,
+    );
+    println!(
+        "drift is the largest |predicted - measured| activity share (compute/comm/blocked) \
+         per rank; wall/virtual is the single scale factor between the two clocks"
+    );
+
+    // Recorder overhead on the real grid, interleaved best-of-5 pairs so
+    // machine noise hits both sides equally. The step count is floored at
+    // 64 regardless of REPRO_SCALE: below that the run is so short that
+    // thread spawn and park/wake jitter swamp the ~25ns-per-event cost
+    // being measured, and the smoke gate turns into a coin flip.
+    let ovh = Arc::new(Params {
+        steps: params.steps.max(64),
+        ..(**params).clone()
+    });
+    let plan = plan_a(&ovh);
+    let init = init_a(ovh.clone());
+    let pg = ProcGrid3::choose(ovh.n, 4);
+    let mut wall_off = f64::INFINITY;
+    let mut wall_on = f64::INFINITY;
+    let warm = mesh_archetype::run_msg_threaded_slack(&plan, pg, &init, None, cfg)
+        .expect("infinite-slack message-passing plans cannot deadlock");
+    std::hint::black_box(warm.snapshots);
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        let out = mesh_archetype::run_msg_threaded_slack(&plan, pg, &init, None, cfg)
+            .expect("infinite-slack message-passing plans cannot deadlock");
+        wall_off = wall_off.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(out.snapshots);
+
+        let t0 = std::time::Instant::now();
+        let out = mesh_archetype::run_msg_threaded_slack(
+            &plan,
+            pg,
+            &init,
+            None,
+            cfg.with_flight(1 << 15),
+        )
+        .expect("recording does not change the deadlock-freedom story");
+        wall_on = wall_on.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(out.snapshots);
+    }
+    let overhead = wall_on / wall_off - 1.0;
+    println!(
+        "recorder overhead on the figure2 grid (P=4, {} steps, best-of-5 interleaved): {:+.2}% \
+         (gate: <= 5%) — {}",
+        ovh.steps,
+        overhead * 100.0,
+        if overhead <= 0.05 { "PASS" } else { "FAIL" }
+    );
+    (points, overhead)
+}
+
 fn cores() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
@@ -512,6 +644,8 @@ fn write_bench_json(
     threaded_overlap: &[ThreadedPoint],
     distributed: &[DistPoint],
     stencil: &StencilReport,
+    trace: &[TracePoint],
+    recorder_overhead: f64,
 ) {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
@@ -587,6 +721,17 @@ fn write_bench_json(
             s,
             "{{\"kernel\":\"{}\",\"per_cell_ns\":{},\"speedup\":{}}}",
             pt.kernel, pt.per_cell_ns, pt.speedup
+        );
+    }
+    let _ = write!(s, "]}},\"trace\":{{\"recorder_overhead\":{recorder_overhead},\"points\":[");
+    for (i, pt) in trace.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"p\":{},\"mean_drift\":{},\"max_drift\":{},\"makespan_ratio\":{}}}",
+            pt.p, pt.mean_drift, pt.max_drift, pt.makespan_ratio
         );
     }
     s.push_str("]},\"predicted_overlap\":[");

@@ -38,12 +38,17 @@
 
 pub mod critical;
 pub mod engine;
+pub mod overlay;
 pub mod predict;
 pub mod recovery;
 pub mod timeline;
 
 pub use critical::{CostBreakdown, CpEdge, CriticalPath, EdgeKind};
 pub use engine::{run_des, run_des_default, DesOutcome};
+pub use overlay::{drift_report, measured_timelines, DriftReport, ProcDrift};
 pub use predict::{predict_speedup, PredictedPoint};
 pub use recovery::{price_recovery, RecoveryCosts, RecoveryOverhead};
-pub use timeline::{chrome_trace_json, timelines_to_json, BlockReason, Span, SpanKind, Timeline};
+pub use timeline::{
+    chrome_trace_json, overlay_chrome_trace, timelines_to_json, BlockReason, Span, SpanKind,
+    Timeline,
+};

@@ -176,9 +176,20 @@ pub fn timelines_to_json(timelines: &[Timeline]) -> String {
 /// microseconds, one `tid` per process. Load the file in `chrome://tracing`
 /// or Perfetto to see the predicted execution as a Gantt chart.
 pub fn chrome_trace_json(timelines: &[Timeline]) -> String {
-    use std::fmt::Write;
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-    let mut first = true;
+    push_chrome_events(&mut out, timelines, "des", 0, true);
+    out.push_str("]}");
+    out
+}
+
+fn push_chrome_events(
+    out: &mut String,
+    timelines: &[Timeline],
+    cat: &str,
+    pid: u32,
+    mut first: bool,
+) {
+    use std::fmt::Write;
     for tl in timelines {
         for s in &tl.spans {
             if s.dur() == 0.0 {
@@ -190,7 +201,7 @@ pub fn chrome_trace_json(timelines: &[Timeline]) -> String {
             first = false;
             let _ = write!(
                 out,
-                "{{\"name\":\"{}\",\"cat\":\"des\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\
+                "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\
                  \"ts\":{},\"dur\":{}}}",
                 s.kind.label(),
                 tl.proc,
@@ -199,6 +210,26 @@ pub fn chrome_trace_json(timelines: &[Timeline]) -> String {
             );
         }
     }
+}
+
+/// A Chrome trace with **two** process tracks on shared axes: the DES
+/// prediction as pid 0 (cat `"des"`) and a measured run reconstructed
+/// from a flight log as pid 1 (cat `"measured"`), one tid per rank in
+/// each. Metadata events name the tracks, so `chrome://tracing` shows
+/// "predicted (des)" above "measured" and scrolling compares the two
+/// executions of the same program rank by rank. The clocks differ — DES
+/// time is virtual, measured time is wall — so compare *shapes*, and
+/// read the scale factor off [`crate::overlay::DriftReport`].
+pub fn overlay_chrome_trace(predicted: &[Timeline], measured: &[Timeline]) -> String {
+    let mut out = String::from(
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+          \"args\":{\"name\":\"predicted (des)\"}},\
+         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+          \"args\":{\"name\":\"measured\"}}",
+    );
+    push_chrome_events(&mut out, predicted, "des", 0, false);
+    push_chrome_events(&mut out, measured, "measured", 1, false);
     out.push_str("]}");
     out
 }

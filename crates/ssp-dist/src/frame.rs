@@ -50,8 +50,14 @@ pub enum FrameType {
     Shutdown = 5,
     /// Supervisor → worker liveness probe. Empty payload.
     Ping = 6,
-    /// Worker → supervisor liveness reply. Empty payload.
+    /// Worker → supervisor liveness reply. Payload: either empty
+    /// (legacy liveness-only) or a fixed-size
+    /// [`crate::proto::WorkerTelemetry`] snapshot.
     Pong = 7,
+    /// Worker → supervisor: a finished group's drained flight log,
+    /// sent immediately after that group's GROUP_DONE. Payload:
+    /// `[group: u64 le][FlightLog JSON]`.
+    Trace = 8,
 }
 
 impl FrameType {
@@ -65,6 +71,7 @@ impl FrameType {
             5 => FrameType::Shutdown,
             6 => FrameType::Ping,
             7 => FrameType::Pong,
+            8 => FrameType::Trace,
             _ => return None,
         })
     }

@@ -32,8 +32,9 @@ pub mod registry;
 pub mod supervisor;
 pub mod worker;
 
+pub use proto::WorkerTelemetry;
 pub use registry::{build_workload, fdtd_a_args, fdtd_a_overlap_args, ring_args, Workload};
 pub use supervisor::{
-    run_distributed, ChaosKill, DistConfig, DistOutcome, DistStats, MigrationPolicy,
+    run_distributed, ChaosKill, DistConfig, DistOutcome, DistStats, MigrationPolicy, WorkerRow,
 };
 pub use worker::worker_main;

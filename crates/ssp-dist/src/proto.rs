@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use ssp_runtime::json::{parse, JsonValue};
-use ssp_runtime::{RunError, RunMetrics};
+use ssp_runtime::{FlightLog, RunError, RunMetrics};
 
 fn corrupt(detail: String) -> RunError {
     RunError::Protocol { proc: 0, detail }
@@ -46,6 +46,10 @@ pub struct Assign {
     pub args: JsonValue,
     /// The global rank ids this group hosts.
     pub ranks: Vec<usize>,
+    /// Flight-recorder window (events per lane) to enable on the group's
+    /// scheduler, or `None` for the zero-cost disabled build. Optional on
+    /// the wire: an ASSIGN without the key decodes as `None`.
+    pub flight: Option<usize>,
 }
 
 impl Assign {
@@ -59,6 +63,9 @@ impl Assign {
             "ranks".to_string(),
             JsonValue::Arr(self.ranks.iter().map(|&r| JsonValue::Num(r as f64)).collect()),
         );
+        if let Some(cap) = self.flight {
+            obj.insert("flight".to_string(), JsonValue::Num(cap as f64));
+        }
         JsonValue::Obj(obj).to_json().into_bytes()
     }
 
@@ -85,8 +92,101 @@ impl Assign {
                 v.as_usize().ok_or_else(|| corrupt("ASSIGN rank is not an integer".to_string()))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Assign { group, workload, args, ranks })
+        let flight = match doc.get("flight") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(v.as_usize().ok_or_else(|| {
+                corrupt("ASSIGN 'flight' must be an integer window".to_string())
+            })?),
+        };
+        Ok(Assign { group, workload, args, ranks, flight })
     }
+}
+
+/// One worker's live counters, snapshotted into each PONG heartbeat
+/// reply. Fixed-size little-endian binary: five `u64`s, 40 bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    /// Ranks hosted by the worker's groups that have not yet halted.
+    pub ranks_live: u64,
+    /// Sum of rank progress counters (monotone; a flat value between two
+    /// heartbeats with ranks still live means the worker is stuck).
+    pub steps: u64,
+    /// Tasks stolen across the worker's scheduler pools.
+    pub steals: u64,
+    /// Flight-recorder events currently retained across lanes (0 when
+    /// recording is disabled).
+    pub ring_occupancy: u64,
+    /// DATA payload bytes the worker has routed to the supervisor.
+    pub bytes_routed: u64,
+}
+
+impl WorkerTelemetry {
+    const WIRE_LEN: usize = 40;
+
+    /// Serialize: `[u64 ranks_live][u64 steps][u64 steals]
+    /// [u64 ring_occupancy][u64 bytes_routed]`, all little-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_LEN);
+        for v in [self.ranks_live, self.steps, self.steals, self.ring_occupancy, self.bytes_routed]
+        {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse a PONG payload. An *empty* payload is a legacy liveness-only
+    /// PONG and decodes as `None`; anything else must be exactly the
+    /// fixed wire size or it is a typed error, never a panic.
+    pub fn decode(payload: &[u8]) -> Result<Option<WorkerTelemetry>, RunError> {
+        if payload.is_empty() {
+            return Ok(None);
+        }
+        if payload.len() != Self::WIRE_LEN {
+            return Err(corrupt(format!(
+                "PONG telemetry must be {} bytes, got {}",
+                Self::WIRE_LEN,
+                payload.len()
+            )));
+        }
+        let u64_at = |i: usize| {
+            let b: [u8; 8] = payload[i * 8..i * 8 + 8].try_into().expect("sliced 8 bytes");
+            u64::from_le_bytes(b)
+        };
+        Ok(Some(WorkerTelemetry {
+            ranks_live: u64_at(0),
+            steps: u64_at(1),
+            steals: u64_at(2),
+            ring_occupancy: u64_at(3),
+            bytes_routed: u64_at(4),
+        }))
+    }
+}
+
+/// TRACE payload: `[u64 group le][FlightLog JSON]` — a finished group's
+/// drained flight log, sent by the worker right after its GROUP_DONE.
+pub fn encode_trace(group: u64, log: &FlightLog) -> Vec<u8> {
+    let json = log.to_json();
+    let mut out = Vec::with_capacity(8 + json.len());
+    out.extend_from_slice(&group.to_le_bytes());
+    out.extend_from_slice(json.as_bytes());
+    out
+}
+
+/// Parse a TRACE payload; total over arbitrary bytes (truncation, bad
+/// UTF-8, and malformed or schema-violating JSON are all typed errors).
+pub fn decode_trace(payload: &[u8]) -> Result<(u64, FlightLog), RunError> {
+    if payload.len() < 8 {
+        return Err(corrupt(format!(
+            "TRACE payload truncated: {} bytes, need at least 8",
+            payload.len()
+        )));
+    }
+    let g: [u8; 8] = payload[..8].try_into().expect("sliced 8 bytes");
+    let group = u64::from_le_bytes(g);
+    let text = std::str::from_utf8(&payload[8..])
+        .map_err(|e| corrupt(format!("TRACE log is not UTF-8: {e}")))?;
+    let log = FlightLog::from_json(text).map_err(|e| corrupt(format!("TRACE log: {e}")))?;
+    Ok((group, log))
 }
 
 /// A GROUP_DONE report: the group's final snapshots and metrics.
@@ -181,8 +281,19 @@ mod tests {
             workload: "ring".to_string(),
             args: JsonValue::Obj(args),
             ranks: vec![2, 3],
+            flight: None,
         };
         assert_eq!(Assign::decode(&a.encode()).unwrap(), a);
+
+        // The optional flight window survives the trip, stays absent when
+        // None, and rejects non-integer values.
+        let with = Assign { flight: Some(4096), ..a.clone() };
+        assert_eq!(Assign::decode(&with.encode()).unwrap(), with);
+        assert!(!String::from_utf8(a.encode()).unwrap().contains("flight"));
+        assert!(Assign::decode(
+            b"{\"group\":1,\"workload\":\"r\",\"ranks\":[],\"flight\":\"big\"}"
+        )
+        .is_err());
     }
 
     #[test]
@@ -220,5 +331,52 @@ mod tests {
         let mut bomb = 0u64.to_le_bytes().to_vec();
         bomb.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(GroupDone::decode(&bomb).is_err());
+    }
+
+    #[test]
+    fn telemetry_round_trips_and_rejects_odd_sizes() {
+        let t = WorkerTelemetry {
+            ranks_live: 3,
+            steps: 123_456,
+            steals: 7,
+            ring_occupancy: 4096,
+            bytes_routed: 1 << 32,
+        };
+        let bytes = t.encode();
+        assert_eq!(bytes.len(), 40);
+        assert_eq!(WorkerTelemetry::decode(&bytes).unwrap(), Some(t));
+        // Empty is the legacy liveness-only PONG.
+        assert_eq!(WorkerTelemetry::decode(&[]).unwrap(), None);
+        // Every truncation and any over-length payload is a typed error.
+        for cut in 1..bytes.len() {
+            let r = WorkerTelemetry::decode(&bytes[..cut]);
+            assert!(matches!(r, Err(RunError::Protocol { .. })), "cut {cut}: {r:?}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(WorkerTelemetry::decode(&long).is_err());
+    }
+
+    #[test]
+    fn trace_payload_round_trips_and_survives_hostile_bytes() {
+        let mut log = FlightLog::default();
+        log.push_lifecycle(0, ssp_runtime::FlightKind::Migrate, 2, 1, 9);
+        let bytes = encode_trace(42, &log);
+        let (group, back) = decode_trace(&bytes).unwrap();
+        assert_eq!(group, 42);
+        assert_eq!(back, log);
+        // Truncations inside the header and inside the JSON body, a
+        // non-UTF-8 body, and structurally valid but schema-violating
+        // JSON all come back as typed errors.
+        for cut in [0, 4, 7, 9, bytes.len() - 1] {
+            let r = decode_trace(&bytes[..cut.min(bytes.len())]);
+            assert!(matches!(r, Err(RunError::Protocol { .. })), "cut {cut}: {r:?}");
+        }
+        let mut garbled = bytes.clone();
+        garbled[10] ^= 0x80;
+        assert!(decode_trace(&garbled).is_err());
+        let mut wrong_shape = 7u64.to_le_bytes().to_vec();
+        wrong_shape.extend_from_slice(b"{\"version\":1,\"lanes\":7}");
+        assert!(decode_trace(&wrong_shape).is_err());
     }
 }

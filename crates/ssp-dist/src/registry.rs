@@ -24,8 +24,9 @@ use mesh_archetype::driver::{
 use meshgrid::ProcGrid3;
 use ssp_runtime::json::JsonValue;
 use ssp_runtime::{
-    launch_partial, ChannelId, Effect, FaultPlan, Gateway, PartialRun, Process, RoundRobin,
-    RunError, RunMetrics, Simulator, ThreadedConfig, Topology,
+    launch_partial, launch_partial_flight, ChannelId, Effect, FaultPlan, FlightLog, FlightSink,
+    Gateway, LiveTelemetry, PartialRun, Process, RoundRobin, RunError, RunMetrics, Simulator,
+    ThreadedConfig, Topology,
 };
 
 fn bad_args(detail: String) -> RunError {
@@ -42,11 +43,15 @@ pub trait GroupIngress: Send + Sync {
     fn push_inbound(&self, chan: usize, bytes: &[u8]) -> Result<(), RunError>;
     /// Abort the group with `err`.
     fn poison(&self, err: RunError);
+    /// Cheap live counters for heartbeat telemetry (atomic loads only;
+    /// safe to call from the worker's socket loop while the group runs).
+    fn telemetry(&self) -> LiveTelemetry;
 }
 
 /// What a finished group reports: `(rank, snapshot)` pairs for every
-/// hosted rank, plus the group's metrics.
-pub type GroupOutcome = (Vec<(usize, Vec<u8>)>, RunMetrics);
+/// hosted rank, the group's metrics, and — when the flight recorder was
+/// enabled for the run — the group's drained [`FlightLog`].
+pub type GroupOutcome = (Vec<(usize, Vec<u8>)>, RunMetrics, Option<FlightLog>);
 
 /// Completion half of a running group: blocks until done.
 pub trait GroupJoin: Send {
@@ -68,6 +73,7 @@ pub trait Workload: Send + Sync {
         &self,
         ranks: &[usize],
         workers: Option<usize>,
+        flight: Option<usize>,
         sink: DataSink,
     ) -> (Arc<dyn GroupIngress>, Box<dyn GroupJoin>);
     /// The single-process reference run: final snapshots under the
@@ -77,12 +83,12 @@ pub trait Workload: Send + Sync {
 }
 
 /// Typed ingress: decodes bytes and hands them to the scheduler gateway.
-struct TypedIngress<P: Process> {
-    gateway: Gateway<P>,
+struct TypedIngress<P: Process, F: FlightSink> {
+    gateway: Gateway<P, F>,
     decode: fn(&[u8]) -> Result<P::Msg, RunError>,
 }
 
-impl<P: Process> GroupIngress for TypedIngress<P> {
+impl<P: Process, F: FlightSink> GroupIngress for TypedIngress<P, F> {
     fn push_inbound(&self, chan: usize, bytes: &[u8]) -> Result<(), RunError> {
         let msg = (self.decode)(bytes)?;
         self.gateway.push_inbound(ChannelId(chan), msg)
@@ -91,16 +97,20 @@ impl<P: Process> GroupIngress for TypedIngress<P> {
     fn poison(&self, err: RunError) {
         self.gateway.poison(err);
     }
+
+    fn telemetry(&self) -> LiveTelemetry {
+        self.gateway.telemetry()
+    }
 }
 
 /// Typed join handle: outbound pump first (so every DATA precedes the
 /// GROUP_DONE the worker sends after us), then the scheduler itself.
-struct TypedJoin<P: Process> {
-    run: PartialRun<P>,
+struct TypedJoin<P: Process, F: FlightSink> {
+    run: PartialRun<P, F>,
     pump: JoinHandle<Result<(), RunError>>,
 }
 
-impl<P: Process + 'static> GroupJoin for TypedJoin<P> {
+impl<P: Process + 'static, F: FlightSink> GroupJoin for TypedJoin<P, F> {
     fn join(self: Box<Self>) -> Result<GroupOutcome, RunError> {
         let pump_res = self
             .pump
@@ -108,29 +118,53 @@ impl<P: Process + 'static> GroupJoin for TypedJoin<P> {
             .map_err(|_| RunError::ThreadPanic { proc: 0 })?;
         let out = self.run.join()?;
         pump_res?;
-        Ok((out.snapshots, out.metrics))
+        Ok((out.snapshots, out.metrics, out.flight))
     }
 }
 
-/// Launch a typed group and erase it behind the two group traits.
-fn launch_typed<P>(
-    topo: &Topology,
-    procs: Vec<(usize, P)>,
-    workers: Option<usize>,
+/// Erase a launched run behind the two group traits, spawning its
+/// outbound pump.
+fn erase_run<P, F>(
+    run: PartialRun<P, F>,
     encode: fn(&P::Msg) -> Vec<u8>,
     decode: fn(&[u8]) -> Result<P::Msg, RunError>,
     mut sink: DataSink,
 ) -> (Arc<dyn GroupIngress>, Box<dyn GroupJoin>)
 where
     P: Process + 'static,
+    F: FlightSink,
 {
-    let config = ThreadedConfig { watchdog: None, workers };
-    let run = launch_partial(topo, procs, config, &FaultPlan::none());
     let gateway = run.gateway();
     let pump_gw = gateway.clone();
     let pump =
         thread::spawn(move || pump_gw.pump_outbound(|chan, msg| sink(chan.0, encode(&msg))));
     (Arc::new(TypedIngress { gateway, decode }), Box::new(TypedJoin { run, pump }))
+}
+
+/// Launch a typed group and erase it behind the two group traits. The
+/// flight choice picks the scheduler monomorphization: `None` runs the
+/// zero-cost [`ssp_runtime::NoFlight`] build, `Some(cap)` the recording
+/// one — type-erased here so the distributed layer stays untyped.
+fn launch_typed<P>(
+    topo: &Topology,
+    procs: Vec<(usize, P)>,
+    workers: Option<usize>,
+    flight: Option<usize>,
+    encode: fn(&P::Msg) -> Vec<u8>,
+    decode: fn(&[u8]) -> Result<P::Msg, RunError>,
+    sink: DataSink,
+) -> (Arc<dyn GroupIngress>, Box<dyn GroupJoin>)
+where
+    P: Process + 'static,
+{
+    let config = ThreadedConfig { watchdog: None, workers, flight };
+    if flight.is_some() {
+        let run = launch_partial_flight(topo, procs, config, &FaultPlan::none());
+        erase_run(run, encode, decode, sink)
+    } else {
+        let run = launch_partial(topo, procs, config, &FaultPlan::none());
+        erase_run(run, encode, decode, sink)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -270,12 +304,13 @@ impl Workload for RingWorkload {
         &self,
         ranks: &[usize],
         workers: Option<usize>,
+        flight: Option<usize>,
         sink: DataSink,
     ) -> (Arc<dyn GroupIngress>, Box<dyn GroupJoin>) {
         let all = self.procs();
         let procs: Vec<(usize, RingNode)> =
             ranks.iter().map(|&r| (r, all[r].clone())).collect();
-        launch_typed(&self.topology(), procs, workers, encode_u64, decode_u64, sink)
+        launch_typed(&self.topology(), procs, workers, flight, encode_u64, decode_u64, sink)
     }
 
     fn run_reference(&self) -> Result<Vec<Vec<u8>>, RunError> {
@@ -323,6 +358,7 @@ impl Workload for FdtdAWorkload {
         &self,
         ranks: &[usize],
         workers: Option<usize>,
+        flight: Option<usize>,
         sink: DataSink,
     ) -> (Arc<dyn GroupIngress>, Box<dyn GroupJoin>) {
         let (topo, all) = self.build();
@@ -331,7 +367,7 @@ impl Workload for FdtdAWorkload {
             .iter()
             .map(|&r| (r, slots[r].take().expect("rank assigned twice")))
             .collect();
-        launch_typed(&topo, procs, workers, encode_mesh, decode_mesh_msg, sink)
+        launch_typed(&topo, procs, workers, flight, encode_mesh, decode_mesh_msg, sink)
     }
 
     fn run_reference(&self) -> Result<Vec<Vec<u8>>, RunError> {

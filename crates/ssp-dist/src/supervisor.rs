@@ -47,12 +47,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ssp_runtime::json::JsonValue;
-use ssp_runtime::{RunError, RunMetrics, Topology};
+use ssp_runtime::{FlightKind, FlightLog, RunError, RunMetrics, Topology};
 
 use crate::frame::{
     decode_data, encode_data, read_frame, write_frame, Frame, FrameError, FrameType,
 };
-use crate::proto::{decode_hello, Assign, GroupDone};
+use crate::proto::{decode_hello, decode_trace, Assign, GroupDone, WorkerTelemetry};
 use crate::registry::build_workload;
 
 fn proto_err(detail: String) -> RunError {
@@ -100,6 +100,11 @@ pub struct DistConfig {
     pub timeout: Duration,
     /// Optional mid-run SIGKILL (for recovery tests).
     pub chaos_kill: Option<ChaosKill>,
+    /// Flight-recorder window (events per lane) to enable on every
+    /// group's scheduler; workers send their drained logs back as TRACE
+    /// frames and the supervisor merges them into
+    /// [`DistOutcome::flight`]. `None` = recording off everywhere.
+    pub flight: Option<usize>,
 }
 
 impl DistConfig {
@@ -114,12 +119,28 @@ impl DistConfig {
             max_migrations: 4,
             timeout: Duration::from_secs(120),
             chaos_kill: None,
+            flight: None,
         }
     }
 }
 
-/// Counters describing what the supervisor did.
+/// Live telemetry the supervisor has accumulated about one worker from
+/// its PONG heartbeat replies.
 #[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerRow {
+    /// PONG replies received.
+    pub pongs: u64,
+    /// The worker's most recent counters.
+    pub last: WorkerTelemetry,
+    /// PING→PONG round trip of the most recent reply, in nanoseconds.
+    pub rtt_nanos: u64,
+    /// Heartbeat intervals in which the worker reported live ranks but
+    /// its step counter did not move (logged as a stall warning).
+    pub flatlines: u64,
+}
+
+/// Counters describing what the supervisor did.
+#[derive(Debug, Clone, Default)]
 pub struct DistStats {
     /// Dead-worker group migrations performed.
     pub migrations: u64,
@@ -131,6 +152,9 @@ pub struct DistStats {
     pub frames_replayed: u64,
     /// Regenerated duplicates byte-verified against the log and dropped.
     pub duplicates_dropped: u64,
+    /// Per-worker heartbeat telemetry, indexed by worker slot. Workers
+    /// that never answered a PING keep a zeroed row.
+    pub per_worker: Vec<WorkerRow>,
 }
 
 /// The result of a distributed run.
@@ -144,6 +168,13 @@ pub struct DistOutcome {
     pub metrics: RunMetrics,
     /// Supervisor counters.
     pub stats: DistStats,
+    /// The merged cross-process flight log: every finished group's lanes
+    /// relabeled `w<worker>/g<group>/<lane>`, plus a `lifecycle` lane of
+    /// supervisor-side migration marks. `Some` iff
+    /// [`DistConfig::flight`] was set. Per-worker timestamps share no
+    /// clock — each group's lanes are relative to its own scheduler
+    /// epoch (DESIGN.md §15 spells out the drift caveat).
+    pub flight: Option<FlightLog>,
 }
 
 enum Event {
@@ -156,6 +187,8 @@ struct Slot {
     child: Option<Child>,
     write: Option<Arc<Mutex<UnixStream>>>,
     alive: bool,
+    /// When the most recent unanswered PING left, for RTT measurement.
+    ping_sent: Option<Instant>,
 }
 
 struct GroupRec {
@@ -184,6 +217,11 @@ struct Supervisor<'a> {
     metrics: RunMetrics,
     stats: DistStats,
     chaos_pending: Option<ChaosKill>,
+    /// Merged cross-process flight lanes (empty when recording is off).
+    flight_log: FlightLog,
+    /// TRACE frames still owed by live workers: one per recorder-enabled
+    /// GROUP_DONE already seen (the worker sends them in that order).
+    traces_pending: usize,
 }
 
 impl Drop for Supervisor<'_> {
@@ -254,6 +292,8 @@ pub fn run_distributed(
         snapshots: vec![None; n],
         stats: DistStats::default(),
         chaos_pending: cfg.chaos_kill,
+        flight_log: FlightLog::default(),
+        traces_pending: 0,
     };
     sup.metrics.sched.workers = 0;
     sup.run(n)
@@ -261,6 +301,20 @@ pub fn run_distributed(
 
 impl Supervisor<'_> {
     fn run(&mut self, n: usize) -> Result<DistOutcome, RunError> {
+        let res = self.run_inner(n);
+        if let Err(e) = &res {
+            // Abnormal end (lost worker past the migration budget, timeout,
+            // protocol violation): whatever merged flight lanes exist —
+            // finished groups' traces plus the migration lifecycle — are
+            // the distributed black box.
+            if self.cfg.flight.is_some() && !self.flight_log.lanes.is_empty() {
+                ssp_runtime::flight::write_postmortem(e, &self.flight_log);
+            }
+        }
+        res
+    }
+
+    fn run_inner(&mut self, n: usize) -> Result<DistOutcome, RunError> {
         let deadline = Instant::now() + self.cfg.timeout;
 
         for _ in 0..self.cfg.workers {
@@ -298,6 +352,7 @@ impl Supervisor<'_> {
             }
         }
 
+        self.drain_traces();
         self.shutdown_workers();
         let snapshots = std::mem::take(&mut self.snapshots)
             .into_iter()
@@ -307,8 +362,38 @@ impl Supervisor<'_> {
         Ok(DistOutcome {
             snapshots,
             metrics: self.metrics.clone(),
-            stats: self.stats,
+            stats: self.stats.clone(),
+            flight: if self.cfg.flight.is_some() {
+                Some(std::mem::take(&mut self.flight_log))
+            } else {
+                None
+            },
         })
+    }
+
+    /// Collect the TRACE frames still in flight after the last
+    /// GROUP_DONE — each worker sends a group's trace immediately after
+    /// its GROUP_DONE on the same FIFO socket, so they are already on the
+    /// wire; the grace window only bounds a worker that dies in between.
+    fn drain_traces(&mut self) {
+        if self.cfg.flight.is_none() {
+            return;
+        }
+        let grace = Instant::now() + Duration::from_secs(5);
+        while self.traces_pending > 0 && Instant::now() < grace {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Event::Frame(w, f)) if f.ty == FrameType::Trace && self.slots[w].alive => {
+                    if self.handle_trace(w, &f.payload).is_err() {
+                        // A malformed trailing trace costs observability,
+                        // not the run's verdict.
+                        self.traces_pending = self.traces_pending.saturating_sub(1);
+                    }
+                }
+                Ok(Event::Dead(_)) | Ok(Event::Frame(..)) | Ok(Event::Bad(..)) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
     }
 
     // -- worker lifecycle ---------------------------------------------------
@@ -326,7 +411,7 @@ impl Supervisor<'_> {
             .map_err(|e| {
                 proto_err(format!("spawn {}: {e}", self.cfg.worker_bin.display()))
             })?;
-        self.slots.push(Slot { child: Some(child), write: None, alive: false });
+        self.slots.push(Slot { child: Some(child), write: None, alive: false, ping_sent: None });
 
         let (hello_idx, stream) = self.accept_hello(deadline)?;
         if hello_idx != idx {
@@ -465,6 +550,7 @@ impl Supervisor<'_> {
             workload: self.workload_name.clone(),
             args: self.workload_args.clone(),
             ranks: self.groups[gid].ranks.clone(),
+            flight: self.cfg.flight,
         };
         if self.send_to(target, &Frame::new(FrameType::Assign, assign.encode())).is_err() {
             // The target died under us; its own death handling re-migrates
@@ -548,6 +634,19 @@ impl Supervisor<'_> {
                 self.spawn_worker(deadline)?
             }
         };
+        if self.cfg.flight.is_some() {
+            // Lifecycle mark in the merged log: `chan` = source worker,
+            // `bytes` = destination (the FlightKind::Migrate convention).
+            // The ordinal stands in for a timestamp — supervisor marks
+            // share no clock with the workers' lane epochs.
+            self.flight_log.push_lifecycle(
+                self.stats.migrations,
+                FlightKind::Migrate,
+                merged[0],
+                w,
+                target as u64,
+            );
+        }
         self.assign_group(target, merged)
     }
 
@@ -580,8 +679,13 @@ impl Supervisor<'_> {
                 Some(child) => matches!(child.try_wait(), Ok(Some(_))),
                 None => false,
             };
+            let now = Instant::now();
             if exited || self.send_to(w, &Frame::new(FrameType::Ping, vec![])).is_err() {
                 self.worker_dead(w, deadline)?;
+            } else if self.slots[w].ping_sent.is_none() {
+                // Only arm the RTT clock when no PING is outstanding, so a
+                // slow worker's reply is matched to its own probe.
+                self.slots[w].ping_sent = Some(now);
             }
         }
         Ok(())
@@ -597,13 +701,55 @@ impl Supervisor<'_> {
         match f.ty {
             FrameType::Data => self.route_data(w, &f.payload, deadline),
             FrameType::GroupDone => self.handle_group_done(w, &f.payload),
-            FrameType::Pong => Ok(()),
+            FrameType::Trace => self.handle_trace(w, &f.payload),
+            FrameType::Pong => self.handle_pong(w, &f.payload),
             FrameType::Error => Err(proto_err(format!(
                 "worker {w} failed: {}",
                 String::from_utf8_lossy(&f.payload)
             ))),
             other => Err(proto_err(format!("worker {w} sent unexpected {other:?}"))),
         }
+    }
+
+    /// Fold one PONG's telemetry into the worker's row: record the RTT of
+    /// the probe it answers, and warn when a worker claims live ranks but
+    /// its step counter has not moved since the previous reply — the
+    /// heartbeat-visible signature of a stuck group.
+    fn handle_pong(&mut self, w: usize, payload: &[u8]) -> Result<(), RunError> {
+        let telemetry = WorkerTelemetry::decode(payload)?;
+        let rtt = self.slots[w].ping_sent.take().map(|t0| t0.elapsed().as_nanos() as u64);
+        if self.stats.per_worker.len() <= w {
+            self.stats.per_worker.resize_with(w + 1, WorkerRow::default);
+        }
+        let row = &mut self.stats.per_worker[w];
+        if let Some(rtt) = rtt {
+            row.rtt_nanos = rtt;
+        }
+        if let Some(t) = telemetry {
+            if row.pongs > 0 && t.ranks_live > 0 && t.steps == row.last.steps {
+                row.flatlines += 1;
+                eprintln!(
+                    "supervisor: worker {w} step rate flatlined at {} with {} ranks live \
+                     (heartbeat {})",
+                    t.steps, t.ranks_live, row.pongs
+                );
+            }
+            row.last = t;
+        }
+        row.pongs += 1;
+        Ok(())
+    }
+
+    /// Merge one finished group's flight log into the cross-process log,
+    /// prefixing lane labels with the worker and group that produced them.
+    fn handle_trace(&mut self, w: usize, payload: &[u8]) -> Result<(), RunError> {
+        let (group, log) = decode_trace(payload)?;
+        for mut lane in log.lanes {
+            lane.label = format!("w{w}/g{group}/{}", lane.label);
+            self.flight_log.lanes.push(lane);
+        }
+        self.traces_pending = self.traces_pending.saturating_sub(1);
+        Ok(())
     }
 
     fn route_data(
@@ -714,6 +860,11 @@ impl Supervisor<'_> {
 
         self.groups[gid].done = true;
         self.done_ranks += self.groups[gid].ranks.len();
+        if self.cfg.flight.is_some() {
+            // The worker sends the group's TRACE right behind this frame;
+            // drain_traces waits for it if the run ends first.
+            self.traces_pending += 1;
+        }
         Ok(())
     }
 }

@@ -22,6 +22,7 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 
@@ -30,7 +31,7 @@ use ssp_runtime::RunError;
 use crate::frame::{
     decode_data, encode_data, read_frame, write_frame, Frame, FrameError, FrameType,
 };
-use crate::proto::{encode_hello, Assign, GroupDone};
+use crate::proto::{encode_hello, encode_trace, Assign, GroupDone, WorkerTelemetry};
 use crate::registry::{build_workload, DataSink, GroupIngress};
 
 /// Lock that shrugs off poisoning: a panicked peer thread must not stop
@@ -65,6 +66,11 @@ pub fn worker_main(
 
     // chan id -> the ingress of whichever local group reads that channel.
     let mut ingress: HashMap<usize, Arc<dyn GroupIngress>> = HashMap::new();
+    // Every group ever assigned here, for heartbeat telemetry (finished
+    // groups report zero live ranks and simply stop moving the counters).
+    let mut groups: Vec<Arc<dyn GroupIngress>> = Vec::new();
+    // DATA payload bytes this worker has pushed toward the supervisor.
+    let bytes_routed = Arc::new(AtomicU64::new(0));
 
     loop {
         let frame = match read_frame(&mut read_half) {
@@ -85,6 +91,8 @@ pub fn worker_main(
                     group_workers,
                     &write_half,
                     &mut ingress,
+                    &mut groups,
+                    &bytes_routed,
                 ) {
                     report(&write_half, &e);
                 }
@@ -107,7 +115,8 @@ pub fn worker_main(
                 }
             }
             FrameType::Ping => {
-                let _ = send(&write_half, &Frame::new(FrameType::Pong, vec![]));
+                let t = snapshot_telemetry(&groups, &bytes_routed);
+                let _ = send(&write_half, &Frame::new(FrameType::Pong, t.encode()));
             }
             FrameType::Shutdown => return Ok(()),
             other => {
@@ -129,12 +138,31 @@ fn report(stream: &Arc<Mutex<UnixStream>>, err: &RunError) {
     let _ = send(stream, &Frame::new(FrameType::Error, err.to_string().into_bytes()));
 }
 
+/// Aggregate live counters across every group this worker hosts. Atomic
+/// loads only — callable from the read loop while groups run.
+fn snapshot_telemetry(
+    groups: &[Arc<dyn GroupIngress>],
+    bytes_routed: &AtomicU64,
+) -> WorkerTelemetry {
+    let mut t = WorkerTelemetry { bytes_routed: bytes_routed.load(Ordering::Relaxed), ..Default::default() };
+    for g in groups {
+        let live = g.telemetry();
+        t.ranks_live += live.ranks_live;
+        t.steps += live.progress;
+        t.steals += live.steals;
+        t.ring_occupancy += live.flight_occupancy;
+    }
+    t
+}
+
 /// Launch the group an ASSIGN describes and register its ingress ends.
 fn handle_assign(
     payload: &[u8],
     group_workers: Option<usize>,
     write_half: &Arc<Mutex<UnixStream>>,
     ingress: &mut HashMap<usize, Arc<dyn GroupIngress>>,
+    groups: &mut Vec<Arc<dyn GroupIngress>>,
+    bytes_routed: &Arc<AtomicU64>,
 ) -> Result<(), RunError> {
     let assign = Assign::decode(payload)?;
     let workload = build_workload(&assign.workload, &assign.args)?;
@@ -152,13 +180,17 @@ fn handle_assign(
     }
 
     let sink_stream = Arc::clone(write_half);
+    let sink_bytes = Arc::clone(bytes_routed);
     let sink: DataSink = Box::new(move |chan, bytes| {
+        sink_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         send(&sink_stream, &Frame::new(FrameType::Data, encode_data(chan, &bytes))).map_err(
             |e| RunError::Protocol { proc: 0, detail: format!("DATA write failed: {e}") },
         )
     });
 
-    let (group_ingress, join) = workload.launch_group(&assign.ranks, group_workers, sink);
+    let (group_ingress, join) =
+        workload.launch_group(&assign.ranks, group_workers, assign.flight, sink);
+    groups.push(Arc::clone(&group_ingress));
 
     // Register ingress channels (reader hosted here, writer elsewhere)
     // before returning to the read loop — replayed DATA follows this
@@ -173,9 +205,18 @@ fn handle_assign(
     let group_id = assign.group;
     thread::spawn(move || {
         match join.join() {
-            Ok((snapshots, metrics)) => {
+            Ok((snapshots, metrics, flight)) => {
                 let gd = GroupDone { group: group_id, snapshots, metrics };
                 let _ = send(&done_stream, &Frame::new(FrameType::GroupDone, gd.encode()));
+                // The trace follows its GROUP_DONE on the same socket
+                // (FIFO), so the supervisor knows one is coming for
+                // every recorder-enabled group it saw finish.
+                if let Some(log) = flight {
+                    let _ = send(
+                        &done_stream,
+                        &Frame::new(FrameType::Trace, encode_trace(group_id, &log)),
+                    );
+                }
             }
             Err(e) => report(&done_stream, &e),
         }

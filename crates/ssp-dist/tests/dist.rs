@@ -123,3 +123,78 @@ fn unknown_workload_fails_before_spawning_anything() {
         .expect_err("unknown workload");
     assert!(matches!(err, RunError::Protocol { .. }), "got {err:?}");
 }
+
+#[test]
+fn flight_enabled_distributed_run_merges_worker_traces_and_telemetry() {
+    let args = fdtd_a_args("tiny", 4);
+    let reference = build_workload("fdtd-a", &args).unwrap().run_reference().unwrap();
+    let mut cfg = DistConfig::new(2, worker_bin());
+    cfg.flight = Some(4096);
+    let out = run_distributed("fdtd-a", &args, &cfg).expect("flight-enabled distributed run");
+    assert_eq!(out.snapshots, reference, "recording changes no result byte over sockets");
+
+    // Every worker shipped its group's trace; lanes arrive namespaced
+    // w{worker}/g{group}/... so cross-process origins stay readable.
+    let log = out.flight.expect("flight-enabled run must return the merged log");
+    assert!(!log.lanes.is_empty(), "merged log has lanes");
+    for lane in &log.lanes {
+        assert!(
+            lane.label.starts_with('w') && lane.label.contains("/g"),
+            "lane label {:?} is not namespaced",
+            lane.label
+        );
+    }
+    let origins: std::collections::HashSet<&str> =
+        log.lanes.iter().filter_map(|l| l.label.split('/').next()).collect();
+    assert!(origins.len() >= 2, "both workers must contribute lanes: {origins:?}");
+    assert!(!log.merged().is_empty(), "merged log has events");
+    assert_eq!(
+        ssp_runtime::FlightLog::from_json(&log.to_json()).unwrap(),
+        log,
+        "merged cross-process log survives its own JSON"
+    );
+
+    // Telemetry rows exist only for workers that answered a PING within
+    // the run; a fast run may finish before the first heartbeat, so the
+    // assertions are tolerant of zero rows but strict about their shape.
+    assert!(out.stats.per_worker.len() <= 2, "stats: {:?}", out.stats);
+    for row in &out.stats.per_worker {
+        assert_eq!(row.flatlines, 0, "healthy run must not flatline: {row:?}");
+        if row.pongs > 0 {
+            assert!(
+                row.rtt_nanos < 10_000_000_000,
+                "PING RTT should be far under 10s: {row:?}"
+            );
+        }
+    }
+
+    // And with the recorder off, the same run returns no log at all.
+    let cfg_off = DistConfig::new(2, worker_bin());
+    let out_off = run_distributed("fdtd-a", &args, &cfg_off).unwrap();
+    assert!(out_off.flight.is_none(), "disabled runs must not collect traces");
+    assert_eq!(out_off.snapshots, reference);
+}
+
+#[test]
+fn flight_enabled_migration_marks_the_move_in_the_lifecycle_lane() {
+    let args = fdtd_a_args("tiny", 4);
+    let reference = build_workload("fdtd-a", &args).unwrap().run_reference().unwrap();
+    let mut cfg = DistConfig::new(2, worker_bin());
+    cfg.flight = Some(4096);
+    cfg.chaos_kill = Some(ChaosKill { worker: 1, after_frames: 25 });
+    cfg.policy = MigrationPolicy::Survivor;
+    let out = run_distributed("fdtd-a", &args, &cfg).expect("run must survive the kill");
+    assert_eq!(out.snapshots, reference);
+    assert_eq!(out.stats.migrations, 1, "stats: {:?}", out.stats);
+
+    let log = out.flight.expect("flight-enabled run must return the merged log");
+    let migrate_marks: Vec<_> = log
+        .merged()
+        .into_iter()
+        .filter(|e| e.kind == ssp_runtime::FlightKind::Migrate)
+        .collect();
+    assert_eq!(migrate_marks.len(), 1, "one migration, one Migrate mark");
+    // Convention: chan = source worker, bytes = destination worker.
+    assert_eq!(migrate_marks[0].chan, 1, "source was the killed worker");
+    assert_eq!(migrate_marks[0].bytes, 0, "Survivor policy moved ranks to worker 0");
+}

@@ -54,6 +54,7 @@
 pub mod chan;
 pub mod error;
 pub mod fault;
+pub mod flight;
 pub mod json;
 pub mod observer;
 pub mod policy;
@@ -71,6 +72,7 @@ pub mod waitgraph;
 pub use chan::{ChannelId, ChannelSpec, Topology};
 pub use error::RunError;
 pub use fault::{Crash, FaultPlan, Stall};
+pub use flight::{FlightRecorder, FlightSink, NoFlight, DEFAULT_FLIGHT_CAP, FLIGHT_DUMP_ENV};
 pub use json::JsonValue;
 pub use observer::{NoopObserver, RecordingObserver, StepEvent, StepObserver, Tee};
 pub use policy::{
@@ -78,16 +80,19 @@ pub use policy::{
 };
 pub use pool::BufPool;
 pub use proc::{Effect, ProcId, Process};
-pub use spsc::{ParkSlot, SpscRing};
+pub use spsc::{OverwriteRing, ParkSlot, SpscRing};
 pub use recover::{
     replay_checkpoint, run_recovering, run_recovering_observed, run_threaded_recovering,
     Checkpoint, RecoveryConfig, RecoveryOutcome, RecoveryStats,
 };
-pub use sched::{launch_partial, Gateway, PartialOutcome, PartialRun};
+pub use sched::{launch_partial, launch_partial_flight, Gateway, LiveTelemetry, PartialOutcome, PartialRun};
 pub use sim::{run_simulated, ProcState, RunOutcome, SimState, Simulator};
 pub use threaded::{
     run_threaded, run_threaded_faulted, run_threaded_seeded, run_threaded_with, ThreadedConfig,
     ThreadedOutcome,
 };
-pub use trace::{ChannelMetrics, Event, EventKind, ProcMetrics, RunMetrics, SchedMetrics, Trace};
+pub use trace::{
+    ChannelMetrics, Event, EventKind, FlightEvent, FlightKind, FlightLane, FlightLog,
+    ProcMetrics, RunMetrics, SchedMetrics, Trace,
+};
 pub use waitgraph::{BlockKind, WaitFor};

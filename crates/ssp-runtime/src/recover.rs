@@ -45,7 +45,7 @@ use crate::sim::Simulator;
 use crate::threaded::{
     run_threaded_faulted, run_threaded_seeded, ThreadedConfig, ThreadedOutcome,
 };
-use crate::trace::{RunMetrics, Trace};
+use crate::trace::{FlightKind, RunMetrics, Trace};
 
 /// Supervisor tuning: how often to checkpoint and how many restarts to
 /// tolerate before giving up.
@@ -487,6 +487,11 @@ where
     let mut stats = RecoveryStats::default();
     // JSON manifest of the cut to resume from; none until the first crash.
     let mut resume_json: Option<String> = None;
+    // Cross-leg lifecycle marks `(kind, rank, bytes)`; each leg's flight
+    // recorder (if any) starts a fresh epoch, so these are appended to the
+    // *final* leg's log as a `lifecycle` lane ordered by ordinal, not by
+    // wall clock.
+    let mut lifecycle: Vec<(FlightKind, ProcId, u64)> = Vec::new();
     loop {
         let attempt = match &resume_json {
             None => run_threaded_faulted(topo, make_procs(), config, &faults),
@@ -497,7 +502,14 @@ where
             }
         };
         match attempt {
-            Ok(out) => return Ok((out, stats)),
+            Ok(mut out) => {
+                if let Some(log) = out.flight.as_mut() {
+                    for (i, &(kind, rank, bytes)) in lifecycle.iter().enumerate() {
+                        log.push_lifecycle(i as u64, kind, rank, 0, bytes);
+                    }
+                }
+                return Ok((out, stats));
+            }
             Err(e @ (RunError::Injected { .. } | RunError::Deadlock { .. })) => {
                 stats.faults_fired.push(e.clone());
                 stats.restarts += 1;
@@ -506,6 +518,7 @@ where
                 }
                 if let RunError::Injected { proc, step } = e {
                     faults.remove_crash(Crash { proc, at_step: step });
+                    lifecycle.push((FlightKind::Fault, proc, step));
                     let ck = frontier_checkpoint(
                         topo.clone(),
                         make_procs(),
@@ -516,6 +529,8 @@ where
                         &mut stats,
                     )?;
                     stats.checkpoints_taken += 1;
+                    lifecycle.push((FlightKind::Checkpoint, proc, ck.step()));
+                    lifecycle.push((FlightKind::Restore, proc, ck.step()));
                     resume_json = Some(ck.to_json(&msg_bytes));
                 }
                 // A deadlock retries from the latest cut (or from scratch).

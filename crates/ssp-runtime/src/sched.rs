@@ -63,11 +63,12 @@ use std::time::{Duration, Instant};
 use crate::chan::{ChannelId, Topology};
 use crate::error::RunError;
 use crate::fault::FaultPlan;
+use crate::flight::{FlightRecorder, FlightSink, NoFlight, DEFAULT_FLIGHT_CAP};
 use crate::proc::{Effect, ProcId, Process};
 use crate::sim::{ProcState, SimState};
 use crate::spsc::{ParkSlot, SpscRing};
 use crate::threaded::{ThreadedConfig, ThreadedOutcome};
-use crate::trace::{ProcMetrics, RunMetrics};
+use crate::trace::{FlightKind, FlightLog, ProcMetrics, RunMetrics};
 use crate::waitgraph::{self, BlockKind};
 
 /// Scheduler-mode tag recorded in benchmark JSON so a scaling curve is
@@ -190,8 +191,10 @@ struct WorkerState {
     park: ParkSlot,
 }
 
-/// Everything shared between workers and the watchdog.
-struct Shared<P: Process> {
+/// Everything shared between workers and the watchdog. Generic over the
+/// flight-recorder sink so the disabled path ([`NoFlight`], zero-sized)
+/// monomorphizes to exactly the pre-recorder scheduler.
+struct Shared<P: Process, F: FlightSink> {
     topo: Topology,
     chans: Vec<Chan<P::Msg>>,
     /// Task boxes, one per rank. Possession of a rank id popped from a
@@ -235,9 +238,24 @@ struct Shared<P: Process> {
     /// Where the watchdog sleeps between polls; `finish` force-wakes it so
     /// run teardown never waits out a poll interval.
     watchdog_park: ParkSlot,
+    /// Flight-recorder sink. [`NoFlight`] (zero-sized, all methods empty)
+    /// when recording is disabled; [`FlightRecorder`] lanes are indexed
+    /// `0..n_workers` for workers, then `control` (watchdog + pre-spawn
+    /// lifecycle), then `gateway` (the transport's inbound thread).
+    flight: F,
 }
 
-impl<P: Process> Shared<P> {
+impl<P: Process, F: FlightSink> Shared<P, F> {
+    /// The flight lane owned by the watchdog/control side.
+    fn control_lane(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The flight lane owned by the transport's inbound thread.
+    fn gateway_lane(&self) -> usize {
+        self.workers.len() + 1
+    }
+
     fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::SeqCst)
     }
@@ -276,8 +294,10 @@ impl<P: Process> Shared<P> {
     /// Make a parked rank runnable, exactly once. Returns `true` if this
     /// call won the `PARKED → RUN` transition (and enqueued the rank);
     /// a wake racing a running task leaves a `NOTIFIED` token instead,
-    /// which the task consumes at its next park attempt.
-    fn wake_task(&self, rank: ProcId, home: Option<usize>) -> bool {
+    /// which the task consumes at its next park attempt. `lane` is the
+    /// *caller's* flight lane — a wake is recorded against the thread
+    /// that issued it.
+    fn wake_task(&self, rank: ProcId, home: Option<usize>, lane: usize) -> bool {
         loop {
             match self.states[rank].compare_exchange(
                 PARKED,
@@ -286,6 +306,7 @@ impl<P: Process> Shared<P> {
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
+                    self.flight.record(lane, FlightKind::Wake, rank, 0, 0);
                     self.enqueue(rank, home);
                     return true;
                 }
@@ -306,8 +327,8 @@ impl<P: Process> Shared<P> {
     /// Requeue every parked rank whose wait condition is already satisfied.
     /// Defense in depth against a lost wake; sound because only genuinely
     /// ready ranks move, so a real deadlock is never masked. Returns how
-    /// many ranks it woke.
-    fn rescue(&self) -> usize {
+    /// many ranks it woke. `lane` is the sweeping thread's flight lane.
+    fn rescue(&self, lane: usize) -> usize {
         let waits: Vec<Option<(ChannelId, BlockKind)>> = lock(&self.waits).clone();
         let mut woken = 0;
         for (rank, wait) in waits.iter().enumerate() {
@@ -320,7 +341,7 @@ impl<P: Process> Shared<P> {
                 BlockKind::Recv => !c.ring.is_empty(),
                 BlockKind::Send => c.has_space(),
             };
-            if ready && self.wake_task(rank, None) {
+            if ready && self.wake_task(rank, None, lane) {
                 woken += 1;
             }
         }
@@ -417,7 +438,7 @@ fn fresh_task<P: Process>(proc: P, n_chans: usize) -> Task<P> {
 /// Assemble the shared state for a pool of `n_workers` over `slots` (one
 /// box per rank; `None` for ranks this instance does not host).
 #[allow(clippy::too_many_arguments)]
-fn build_shared<P: Process>(
+fn build_shared<P: Process, F: FlightSink>(
     topo: &Topology,
     slots: Vec<Option<Task<P>>>,
     chans: Vec<Chan<P::Msg>>,
@@ -426,7 +447,8 @@ fn build_shared<P: Process>(
     finished: usize,
     n_workers: usize,
     faults: &FaultPlan,
-) -> Arc<Shared<P>> {
+    flight: F,
+) -> Arc<Shared<P, F>> {
     let n = slots.len();
     Arc::new(Shared {
         topo: topo.clone(),
@@ -452,12 +474,13 @@ fn build_shared<P: Process>(
         task_parks: AtomicU64::new(0),
         verdict: Mutex::new(None),
         watchdog_park: ParkSlot::new(),
+        flight,
     })
 }
 
 /// Spawn the worker pool (and the watchdog, if a window is given).
-fn spawn_pool<P: Process + 'static>(
-    shared: &Arc<Shared<P>>,
+fn spawn_pool<P: Process + 'static, F: FlightSink>(
+    shared: &Arc<Shared<P, F>>,
     n_workers: usize,
     watchdog: Option<Duration>,
 ) -> (Vec<JoinHandle<()>>, Option<JoinHandle<()>>) {
@@ -483,9 +506,11 @@ fn spawn_pool<P: Process + 'static>(
 
 /// Join the pool and harvest the verdict, metrics, and snapshots. The
 /// verdict describes the root cause better than any secondary state the
-/// tasks were left in, so it wins over partial results.
-fn harvest<P: Process>(
-    shared: &Arc<Shared<P>>,
+/// tasks were left in, so it wins over partial results. An abnormal end
+/// with the recorder enabled writes a post-mortem black box if
+/// [`crate::flight::FLIGHT_DUMP_ENV`] names a path.
+fn harvest<P: Process, F: FlightSink>(
+    shared: &Arc<Shared<P, F>>,
     handles: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
     n_workers: usize,
@@ -497,6 +522,11 @@ fn harvest<P: Process>(
         let _ = h.join();
     }
     if let Some(v) = lock(&shared.verdict).take() {
+        if F::ENABLED {
+            if let Some(log) = shared.flight.drain() {
+                crate::flight::write_postmortem(&v, &log);
+            }
+        }
         return Err(v);
     }
     let n = shared.topo.n_procs();
@@ -522,11 +552,14 @@ fn harvest<P: Process>(
         metrics.channels[i].bytes = c.bytes.load(Ordering::Relaxed);
         metrics.channels[i].max_queue_depth = c.max_depth.load(Ordering::Relaxed);
     }
-    Ok(ThreadedOutcome { snapshots, metrics })
+    Ok(ThreadedOutcome { snapshots, metrics, flight: shared.flight.drain() })
 }
 
 /// Entry point: run `procs` over a worker pool. Called by
-/// [`crate::threaded::run_threaded_faulted`]; same contract.
+/// [`crate::threaded::run_threaded_faulted`]; same contract. Dispatches
+/// between the two monomorphizations: [`NoFlight`] (the default — the
+/// compile-time no-op path) and [`FlightRecorder`] when
+/// [`ThreadedConfig::flight`] is set.
 pub(crate) fn run_scheduled<P>(
     topo: &Topology,
     procs: Vec<P>,
@@ -536,19 +569,41 @@ pub(crate) fn run_scheduled<P>(
 where
     P: Process + 'static,
 {
+    match config.flight {
+        None => run_scheduled_flight(topo, procs, config, faults, NoFlight),
+        Some(cap) => {
+            let n_workers = resolve_workers(config.workers, procs.len());
+            let flight = FlightRecorder::new(n_workers, cap);
+            run_scheduled_flight(topo, procs, config, faults, flight)
+        }
+    }
+}
+
+fn run_scheduled_flight<P, F>(
+    topo: &Topology,
+    procs: Vec<P>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+    flight: F,
+) -> Result<ThreadedOutcome, RunError>
+where
+    P: Process + 'static,
+    F: FlightSink,
+{
     assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
     let n = procs.len();
     if n == 0 {
         return Ok(ThreadedOutcome {
             snapshots: Vec::new(),
             metrics: RunMetrics::for_topology(topo),
+            flight: flight.drain(),
         });
     }
     let n_workers = resolve_workers(config.workers, n);
     let (chans, egress) = build_chans(topo, None);
     let n_chans = chans.len();
     let slots = procs.into_iter().map(|p| Some(fresh_task(p, n_chans))).collect();
-    let shared = build_shared(topo, slots, chans, egress, n, 0, n_workers, faults);
+    let shared = build_shared(topo, slots, chans, egress, n, 0, n_workers, faults, flight);
 
     // Seed the deques round-robin so every worker starts with local work.
     for rank in 0..n {
@@ -574,6 +629,27 @@ pub(crate) fn run_seeded<P>(
 where
     P: Process + 'static,
 {
+    match config.flight {
+        None => run_seeded_flight(topo, state, config, faults, NoFlight),
+        Some(cap) => {
+            let n_workers = resolve_workers(config.workers, state.procs.len());
+            let flight = FlightRecorder::new(n_workers, cap);
+            run_seeded_flight(topo, state, config, faults, flight)
+        }
+    }
+}
+
+fn run_seeded_flight<P, F>(
+    topo: &Topology,
+    state: SimState<P>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+    flight: F,
+) -> Result<ThreadedOutcome, RunError>
+where
+    P: Process + 'static,
+    F: FlightSink,
+{
     let SimState { procs, status, queues, metrics } = state;
     assert_eq!(procs.len(), topo.n_procs(), "process count must match topology");
     let n = procs.len();
@@ -581,6 +657,7 @@ where
         return Ok(ThreadedOutcome {
             snapshots: Vec::new(),
             metrics: RunMetrics::for_topology(topo),
+            flight: flight.drain(),
         });
     }
     let n_workers = resolve_workers(config.workers, n);
@@ -641,7 +718,10 @@ where
         slots.push(Some(task));
     }
 
-    let shared = build_shared(topo, slots, chans, egress, n, finished, n_workers, faults);
+    let shared = build_shared(topo, slots, chans, egress, n, finished, n_workers, faults, flight);
+    // No worker thread exists yet, so the control lane is safely ours for
+    // this single lifecycle mark (spawn establishes the happens-before).
+    shared.flight.record(shared.control_lane(), FlightKind::Restore, 0, 0, finished as u64);
     if finished == n {
         shared.finish();
     }
@@ -653,11 +733,12 @@ where
 }
 
 /// A scheduler instance hosting a *subset* of a topology's ranks — the
-/// distributed backend's worker side. Obtain one from [`launch_partial`],
-/// bridge its port channels through [`PartialRun::gateway`], then collect
-/// the hosted ranks' results with [`PartialRun::join`].
-pub struct PartialRun<P: Process> {
-    shared: Arc<Shared<P>>,
+/// distributed backend's worker side. Obtain one from [`launch_partial`]
+/// (or [`launch_partial_flight`] with the recorder on), bridge its port
+/// channels through [`PartialRun::gateway`], then collect the hosted
+/// ranks' results with [`PartialRun::join`].
+pub struct PartialRun<P: Process, F: FlightSink = NoFlight> {
+    shared: Arc<Shared<P, F>>,
     hosted: Vec<ProcId>,
     n_workers: usize,
     handles: Vec<JoinHandle<()>>,
@@ -672,11 +753,13 @@ pub struct PartialOutcome {
     pub snapshots: Vec<(ProcId, Vec<u8>)>,
     /// This instance's metrics slice.
     pub metrics: RunMetrics,
+    /// This instance's flight log (`Some` iff launched with the recorder).
+    pub flight: Option<FlightLog>,
 }
 
-impl<P: Process> PartialRun<P> {
+impl<P: Process, F: FlightSink> PartialRun<P, F> {
     /// A transport-side handle to this run; clone one per bridge thread.
-    pub fn gateway(&self) -> Gateway<P> {
+    pub fn gateway(&self) -> Gateway<P, F> {
         Gateway { shared: Arc::clone(&self.shared) }
     }
 
@@ -690,7 +773,7 @@ impl<P: Process> PartialRun<P> {
             .iter()
             .map(|&r| (r, std::mem::take(&mut snapshots[r])))
             .collect();
-        Ok(PartialOutcome { snapshots: snaps, metrics: outcome.metrics })
+        Ok(PartialOutcome { snapshots: snaps, metrics: outcome.metrics, flight: outcome.flight })
     }
 }
 
@@ -716,6 +799,41 @@ pub fn launch_partial<P>(
 where
     P: Process + 'static,
 {
+    launch_partial_sink(topo, procs, config, faults, NoFlight)
+}
+
+/// [`launch_partial`] with the flight recorder enabled: the instance's
+/// scheduler events land in per-worker lanes and drain into
+/// [`PartialOutcome::flight`] at join. The per-lane window comes from
+/// [`ThreadedConfig::flight`] (default [`DEFAULT_FLIGHT_CAP`]). The
+/// `gateway` lane is written by [`Gateway::push_inbound`]; the transport
+/// must call that from a *single* inbound thread (the ring is
+/// single-writer), which the distributed worker does.
+pub fn launch_partial_flight<P>(
+    topo: &Topology,
+    procs: Vec<(ProcId, P)>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+) -> PartialRun<P, FlightRecorder>
+where
+    P: Process + 'static,
+{
+    let n_workers = resolve_workers(config.workers, procs.len());
+    let cap = config.flight.unwrap_or(DEFAULT_FLIGHT_CAP);
+    launch_partial_sink(topo, procs, config, faults, FlightRecorder::new(n_workers, cap))
+}
+
+fn launch_partial_sink<P, F>(
+    topo: &Topology,
+    procs: Vec<(ProcId, P)>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+    flight: F,
+) -> PartialRun<P, F>
+where
+    P: Process + 'static,
+    F: FlightSink,
+{
     let n = topo.n_procs();
     let mut hosted_mask = vec![false; n];
     let hosted: Vec<ProcId> = procs.iter().map(|&(r, _)| r).collect();
@@ -732,7 +850,7 @@ where
     for (r, p) in procs {
         slots[r] = Some(fresh_task(p, n_chans));
     }
-    let shared = build_shared(topo, slots, chans, egress, target, 0, n_workers, faults);
+    let shared = build_shared(topo, slots, chans, egress, target, 0, n_workers, faults, flight);
     if target == 0 {
         shared.finish();
     }
@@ -746,17 +864,48 @@ where
 /// Transport-side handle to a partial run: the bridge between this
 /// instance's port channels and whatever carries the bytes (the distributed
 /// backend's socket threads). All clones address the same run.
-pub struct Gateway<P: Process> {
-    shared: Arc<Shared<P>>,
+pub struct Gateway<P: Process, F: FlightSink = NoFlight> {
+    shared: Arc<Shared<P, F>>,
 }
 
-impl<P: Process> Clone for Gateway<P> {
+impl<P: Process, F: FlightSink> Clone for Gateway<P, F> {
     fn clone(&self) -> Self {
         Gateway { shared: Arc::clone(&self.shared) }
     }
 }
 
-impl<P: Process> Gateway<P> {
+/// Live scheduler telemetry snapshot, cheap enough for a heartbeat: every
+/// field is one relaxed/SeqCst atomic load. The distributed worker embeds
+/// one per PONG so the supervisor sees per-worker liveness between runs'
+/// end-of-run metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveTelemetry {
+    /// Hosted ranks that have not yet halted.
+    pub ranks_live: u64,
+    /// Completed channel transfers so far (the watchdog's progress
+    /// counter) — a flatline between heartbeats with `ranks_live > 0`
+    /// means the instance is blocked on remote peers or wedged.
+    pub progress: u64,
+    /// Work-steal count so far.
+    pub steals: u64,
+    /// Flight-recorder events currently retained across lanes (0 when
+    /// recording is disabled).
+    pub flight_occupancy: u64,
+}
+
+impl<P: Process, F: FlightSink> Gateway<P, F> {
+    /// Snapshot live scheduler telemetry (racy but internally harmless:
+    /// each field is an independent atomic read).
+    pub fn telemetry(&self) -> LiveTelemetry {
+        let finished = self.shared.finished.load(Ordering::SeqCst) as u64;
+        LiveTelemetry {
+            ranks_live: (self.shared.target as u64).saturating_sub(finished),
+            progress: self.shared.progress.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            flight_occupancy: self.shared.flight.occupancy(),
+        }
+    }
+
     /// Deliver a message that arrived from a remote writer into its ingress
     /// channel, waking the hosted reader if it is parked — the transport's
     /// copy of the send path's push → fence → consume-flag → wake
@@ -780,6 +929,7 @@ impl<P: Process> Gateway<P> {
                 detail: format!("inbound frame for non-ingress channel {chan} ({:?})", c.kind),
             });
         }
+        let bytes = if F::ENABLED { P::msg_size_bytes(&msg) } else { 0 };
         if c.ring.try_push(msg).is_err() {
             // Ingress rings are unbounded, so this is unreachable — but a
             // typed error beats a panic on a network-facing path.
@@ -788,9 +938,14 @@ impl<P: Process> Gateway<P> {
                 detail: format!("ingress ring for {chan} rejected a push"),
             });
         }
+        // The inbound delivery is a remote writer's send landing here;
+        // record it in the gateway lane (single inbound thread by
+        // contract — see `launch_partial_flight`).
+        let lane = self.shared.gateway_lane();
+        self.shared.flight.record(lane, FlightKind::Send, c.writer, chan.0, bytes);
         fence(Ordering::SeqCst);
         if c.reader_waiting.swap(false, Ordering::SeqCst) {
-            self.shared.wake_task(c.reader, None);
+            self.shared.wake_task(c.reader, None, lane);
         }
         self.shared.progress.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -854,7 +1009,7 @@ impl<P: Process> Gateway<P> {
     }
 }
 
-fn worker_loop<P: Process>(shared: &Shared<P>, me: usize) {
+fn worker_loop<P: Process, F: FlightSink>(shared: &Shared<P, F>, me: usize) {
     shared.workers[me].park.register();
     loop {
         if shared.done.load(Ordering::SeqCst) {
@@ -869,7 +1024,7 @@ fn worker_loop<P: Process>(shared: &Shared<P>, me: usize) {
 
 /// Own deque first (FIFO — the fairness order), then the injector, then
 /// steal from the back of a sibling's deque.
-fn find_task<P: Process>(shared: &Shared<P>, me: usize) -> Option<ProcId> {
+fn find_task<P: Process, F: FlightSink>(shared: &Shared<P, F>, me: usize) -> Option<ProcId> {
     if let Some(r) = lock(&shared.workers[me].deque).pop_front() {
         return Some(r);
     }
@@ -878,8 +1033,11 @@ fn find_task<P: Process>(shared: &Shared<P>, me: usize) -> Option<ProcId> {
     }
     let n = shared.workers.len();
     for i in 1..n {
-        if let Some(r) = lock(&shared.workers[(me + i) % n].deque).pop_back() {
+        let victim = (me + i) % n;
+        if let Some(r) = lock(&shared.workers[victim].deque).pop_back() {
             shared.steals.fetch_add(1, Ordering::Relaxed);
+            // `chan` field carries the victim worker index for steals.
+            shared.flight.record(me, FlightKind::Steal, r, victim, 0);
             return Some(r);
         }
     }
@@ -889,11 +1047,11 @@ fn find_task<P: Process>(shared: &Shared<P>, me: usize) -> Option<ProcId> {
 /// The idle dance: publish the intent to sleep, re-check for work (the
 /// enqueue side checks `idle_workers` *after* pushing, so one of the two
 /// sides always notices), run a rescue sweep, then park briefly.
-fn idle<P: Process>(shared: &Shared<P>, me: usize) {
+fn idle<P: Process, F: FlightSink>(shared: &Shared<P, F>, me: usize) {
     shared.idle_workers.fetch_add(1, Ordering::SeqCst);
     let park = &shared.workers[me].park;
     park.prepare_park();
-    if shared.done.load(Ordering::SeqCst) || shared.queued_tasks() > 0 || shared.rescue() > 0 {
+    if shared.done.load(Ordering::SeqCst) || shared.queued_tasks() > 0 || shared.rescue(me) > 0 {
         park.cancel_park();
     } else {
         park.park(WAIT_SLICE);
@@ -903,13 +1061,14 @@ fn idle<P: Process>(shared: &Shared<P>, me: usize) {
 
 /// Run one rank until it parks, halts, faults, exhausts its yield budget,
 /// or the run is poisoned.
-fn run_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId) {
+fn run_task<P: Process, F: FlightSink>(shared: &Shared<P, F>, me: usize, rank: ProcId) {
     let mut task = lock(&shared.slots[rank])
         .take()
         .expect("a queued rank always has its task in the slot");
     if let Some(t0) = task.parked_since.take() {
         task.pm.blocked_nanos += t0.elapsed().as_nanos() as u64;
     }
+    shared.flight.record(me, FlightKind::Run, rank, 0, 0);
     let mut budget = YIELD_BUDGET;
     loop {
         if shared.is_poisoned() {
@@ -935,6 +1094,7 @@ fn run_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId) {
             // Yield: requeue at the back of our own deque so queued peers
             // get the worker (fair interleaving under oversubscription).
             shared.yields.fetch_add(1, Ordering::Relaxed);
+            shared.flight.record(me, FlightKind::Yield, rank, 0, 0);
             *lock(&shared.slots[rank]) = Some(task);
             shared.enqueue(rank, Some(me));
             return;
@@ -943,11 +1103,17 @@ fn run_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId) {
 }
 
 /// Perform the rank's next atomic action and dispatch its effect.
-fn step_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId, mut task: Task<P>) -> After<P> {
+fn step_task<P: Process, F: FlightSink>(
+    shared: &Shared<P, F>,
+    me: usize,
+    rank: ProcId,
+    mut task: Task<P>,
+) -> After<P> {
     task.pm.steps += 1;
     if shared.faults.crash_at(rank, task.pm.steps) {
         let step = task.pm.steps;
         *lock(&shared.slots[rank]) = Some(task);
+        shared.flight.record(me, FlightKind::Fault, rank, 0, step);
         shared.fail(RunError::Injected { proc: rank, step });
         return After::Release;
     }
@@ -963,6 +1129,7 @@ fn step_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId, mut task: 
     match effect {
         Effect::Compute { units } => {
             task.pm.compute_units += units;
+            shared.flight.record(me, FlightKind::Compute, rank, 0, units);
             After::Run(task)
         }
         Effect::Send { chan, msg } => {
@@ -999,6 +1166,7 @@ fn step_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId, mut task: 
                 }
             }
             *lock(&shared.slots[rank]) = Some(task);
+            shared.flight.record(me, FlightKind::Halt, rank, 0, 0);
             if shared.finished.fetch_add(1, Ordering::SeqCst) + 1 == shared.target {
                 shared.finish();
             }
@@ -1006,6 +1174,7 @@ fn step_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId, mut task: 
         }
         Effect::Fault { error } => {
             *lock(&shared.slots[rank]) = Some(task);
+            shared.flight.record(me, FlightKind::Fault, rank, 0, 0);
             shared.fail(error);
             After::Release
         }
@@ -1013,8 +1182,8 @@ fn step_task<P: Process>(shared: &Shared<P>, me: usize, rank: ProcId, mut task: 
 }
 
 /// Try to deliver from `chan`; park the task on the empty edge.
-fn attempt_recv<P: Process>(
-    shared: &Shared<P>,
+fn attempt_recv<P: Process, F: FlightSink>(
+    shared: &Shared<P, F>,
     me: usize,
     rank: ProcId,
     mut task: Task<P>,
@@ -1029,13 +1198,16 @@ fn attempt_recv<P: Process>(
         if let Some(m) = c.ring.try_pop() {
             task.pm.receives += 1;
             task.recvs_done[chan.0] += 1;
+            // `F::ENABLED` gates the byte sizing out of the no-op build.
+            let bytes = if F::ENABLED { P::msg_size_bytes(&m) } else { 0 };
+            shared.flight.record(me, FlightKind::Recv, rank, chan.0, bytes);
             task.delivery = Some(m);
             // Release the writer if it parked (or is parking) on the full
             // edge: pop, fence, consume the flag — the Dekker mirror of
             // the parking sequence below.
             fence(Ordering::SeqCst);
             if c.writer_waiting.swap(false, Ordering::SeqCst) {
-                shared.wake_task(c.writer, Some(me));
+                shared.wake_task(c.writer, Some(me), me);
             }
             shared.progress.fetch_add(1, Ordering::Relaxed);
             return After::Run(task);
@@ -1063,6 +1235,8 @@ fn attempt_recv<P: Process>(
         {
             Ok(_) => {
                 shared.task_parks.fetch_add(1, Ordering::Relaxed);
+                // `bytes = 0` tags a recv-wait park (1 = send-wait).
+                shared.flight.record(me, FlightKind::Park, rank, chan.0, 0);
                 return After::Release;
             }
             Err(_) => {
@@ -1076,8 +1250,8 @@ fn attempt_recv<P: Process>(
 
 /// Try to push onto `chan`; park the task on the full edge.
 #[allow(clippy::too_many_arguments)]
-fn attempt_send<P: Process>(
-    shared: &Shared<P>,
+fn attempt_send<P: Process, F: FlightSink>(
+    shared: &Shared<P, F>,
     me: usize,
     rank: ProcId,
     mut task: Task<P>,
@@ -1099,13 +1273,14 @@ fn attempt_send<P: Process>(
                     c.max_depth.store(depth, Ordering::Relaxed);
                 }
                 task.pm.sends += 1;
+                shared.flight.record(me, FlightKind::Send, rank, chan.0, bytes);
                 fence(Ordering::SeqCst);
                 // An egress ring's consumer is the transport pump, not a
                 // local task; wake it instead of a rank.
                 if c.kind == ChanKind::Egress {
                     shared.egress_park.wake();
                 } else if c.reader_waiting.swap(false, Ordering::SeqCst) {
-                    shared.wake_task(c.reader, Some(me));
+                    shared.wake_task(c.reader, Some(me), me);
                 }
                 shared.progress.fetch_add(1, Ordering::Relaxed);
                 return After::Run(task);
@@ -1139,6 +1314,8 @@ fn attempt_send<P: Process>(
                 ) {
                     Ok(_) => {
                         shared.task_parks.fetch_add(1, Ordering::Relaxed);
+                        // `bytes = 1` tags a send-wait park (0 = recv-wait).
+                        shared.flight.record(me, FlightKind::Park, rank, chan.0, 1);
                         return After::Release;
                     }
                     Err(_) => {
@@ -1159,7 +1336,7 @@ fn attempt_send<P: Process>(
 /// flat for the whole window *and* every unfinished rank is `PARKED` *and*
 /// the run queues are empty — queued-but-runnable ranks (oversubscription)
 /// never trip it. A rescue sweep gets the last word before declaring.
-fn watchdog_loop<P: Process>(shared: &Shared<P>, window: Duration) {
+fn watchdog_loop<P: Process, F: FlightSink>(shared: &Shared<P, F>, window: Duration) {
     let poll = (window / 4).clamp(Duration::from_millis(1), WAIT_SLICE);
     shared.watchdog_park.register();
     let n = shared.topo.n_procs();
@@ -1193,7 +1370,7 @@ fn watchdog_loop<P: Process>(shared: &Shared<P>, window: Duration) {
         }
         // Last line of defense against a lost wake: requeue any parked
         // rank whose channel is actually ready. A real deadlock has none.
-        if shared.rescue() > 0 {
+        if shared.rescue(shared.control_lane()) > 0 {
             stalled_since = None;
             continue;
         }
@@ -1247,7 +1424,7 @@ mod tests {
     fn wake_protocol_is_exactly_once() {
         // Two wakes of a parked rank enqueue it exactly once; the second
         // leaves at most a NOTIFIED token.
-        let shared: Shared<Nop> = Shared {
+        let shared: Shared<Nop, NoFlight> = Shared {
             topo: Topology::new(1),
             chans: Vec::new(),
             slots: vec![Mutex::new(None)],
@@ -1272,9 +1449,10 @@ mod tests {
             task_parks: AtomicU64::new(0),
             verdict: Mutex::new(None),
             watchdog_park: ParkSlot::new(),
+            flight: NoFlight,
         };
-        assert!(shared.wake_task(0, None));
-        assert!(!shared.wake_task(0, None));
+        assert!(shared.wake_task(0, None, 0));
+        assert!(!shared.wake_task(0, None, 0));
         assert_eq!(shared.queued_tasks(), 1);
         assert_eq!(shared.states[0].load(Ordering::SeqCst), NOTIFIED);
     }

@@ -58,7 +58,7 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread::Thread;
 use std::time::Duration;
@@ -346,6 +346,92 @@ impl<T> SpscRing<T> {
     }
 }
 
+/// Fixed-capacity single-writer ring that **overwrites the oldest** entry
+/// when full — the flight recorder's event lane. Where [`SpscRing`] rejects
+/// a push on the full edge (back-pressure is load-bearing for channel
+/// semantics), an event lane must never push back on the thread it is
+/// observing: the newest events are the valuable ones, so the ring keeps a
+/// sliding window of the last `capacity` pushes and counts what it dropped.
+///
+/// The SRSW discipline carries over with the roles collapsed: exactly one
+/// thread pushes for the ring's whole active life, and the counter is a
+/// monotonic total-push count published with `Release` so cross-thread
+/// *occupancy* reads ([`OverwriteRing::pushes`]) are always sound. Reading
+/// the slots themselves ([`OverwriteRing::snapshot`]) is only exact once
+/// the writer has quiesced (a happens-before edge separates its last push
+/// from the snapshot — e.g. `thread::join`); the scheduler drains lanes
+/// only after joining the pool.
+pub struct OverwriteRing<T> {
+    slots: Box<[UnsafeCell<T>]>,
+    /// Total pushes ever (writer-advanced, `Release` on store).
+    head: CachePadded<AtomicU64>,
+}
+
+// SAFETY: values of T cross from the writer thread to the draining thread
+// (so T: Send); the counter is atomic and the slots are written by exactly
+// one thread per the single-writer contract above.
+unsafe impl<T: Send> Send for OverwriteRing<T> {}
+unsafe impl<T: Send> Sync for OverwriteRing<T> {}
+
+impl<T: Copy + Default> OverwriteRing<T> {
+    /// A ring holding the last `capacity` pushes (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "overwrite ring needs capacity >= 1");
+        OverwriteRing {
+            slots: (0..capacity).map(|_| UnsafeCell::new(T::default())).collect(),
+            head: CachePadded(AtomicU64::new(0)),
+        }
+    }
+
+    /// Writer-only: record `v`, evicting the oldest entry when full. Never
+    /// fails and never blocks — the observed thread pays one slot write and
+    /// one `Release` store.
+    pub fn push(&self, v: T) {
+        let h = self.head.0.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        // SAFETY: single writer — only this thread writes slots, and
+        // snapshot() readers are required to have a happens-before edge
+        // after the writer's last push.
+        unsafe { *self.slots[(h % cap) as usize].get() = v };
+        self.head.0.store(h + 1, Ordering::Release);
+    }
+
+    /// Total pushes ever (any thread; the live-telemetry read).
+    pub fn pushes(&self) -> u64 {
+        self.head.0.load(Ordering::Acquire)
+    }
+
+    /// Entries currently retained: `min(pushes, capacity)`.
+    pub fn occupancy(&self) -> usize {
+        (self.pushes() as usize).min(self.slots.len())
+    }
+
+    /// The window size this ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pushes that fell out of the window: `pushes - occupancy`.
+    pub fn dropped(&self) -> u64 {
+        self.pushes() - self.occupancy() as u64
+    }
+
+    /// The retained window, oldest first. Exact only once the writer has
+    /// quiesced (see the type docs); the `Acquire` read of the counter
+    /// orders the writer's slot writes before these reads.
+    pub fn snapshot(&self) -> Vec<T> {
+        let h = self.pushes();
+        let cap = self.slots.len() as u64;
+        let start = h.saturating_sub(cap);
+        (start..h)
+            // SAFETY: slots in [h - occupancy, h) were fully written before
+            // the Release store of `h` that our Acquire load observed, and
+            // the quiesced-writer contract rules out concurrent overwrites.
+            .map(|pos| unsafe { *self.slots[(pos % cap) as usize].get() })
+            .collect()
+    }
+}
+
 /// One side's parking state: a "somebody may need to wake me" flag plus the
 /// registered thread handle. The flag keeps the peer's steady-state cost at
 /// one relaxed load; the unpark token makes the publish/re-check/park
@@ -536,6 +622,54 @@ mod tests {
             }
             assert_eq!(sum, expect);
         }
+    }
+
+    #[test]
+    fn overwrite_ring_keeps_the_newest_window() {
+        let ring: OverwriteRing<u64> = OverwriteRing::new(4);
+        assert_eq!(ring.capacity(), 4);
+        assert_eq!(ring.occupancy(), 0);
+        assert_eq!(ring.snapshot(), Vec::<u64>::new());
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.occupancy(), 2);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.snapshot(), vec![1, 2]);
+        for v in 3..=11 {
+            ring.push(v);
+        }
+        // 11 pushes into a 4-slot window: the last four, oldest first.
+        assert_eq!(ring.pushes(), 11);
+        assert_eq!(ring.occupancy(), 4);
+        assert_eq!(ring.dropped(), 7);
+        assert_eq!(ring.snapshot(), vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn overwrite_ring_occupancy_is_readable_across_threads() {
+        let ring: Arc<OverwriteRing<u64>> = Arc::new(OverwriteRing::new(8));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for v in 0..1000 {
+                    ring.push(v);
+                }
+            })
+        };
+        // Concurrent occupancy reads are sound (atomic counter only); the
+        // value is monotone and bounded by the capacity.
+        let mut last = 0;
+        while last < 8 {
+            let occ = ring.occupancy();
+            assert!(occ >= last && occ <= 8);
+            last = last.max(occ);
+            if ring.pushes() >= 1000 {
+                break;
+            }
+        }
+        writer.join().unwrap();
+        // Writer quiesced (join = happens-before): snapshot is exact.
+        assert_eq!(ring.snapshot(), (992..1000).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -56,12 +56,20 @@ pub struct ThreadedConfig {
     /// `SSP_WORKERS` environment variable, then to the host's available
     /// parallelism. Always clamped to `1..=n_ranks`.
     pub workers: Option<usize>,
+    /// Flight-recorder window: `Some(cap)` records the last `cap`
+    /// scheduler/channel/lifecycle events per writer thread into
+    /// lock-free overwrite-oldest rings ([`crate::flight::FlightRecorder`])
+    /// and drains them into [`ThreadedOutcome::flight`] at run end. `None`
+    /// (the default) monomorphizes the scheduler over
+    /// [`crate::flight::NoFlight`] — the exact pre-recorder code, with no
+    /// timestamp reads, branches, or ring state anywhere on the hot path.
+    pub flight: Option<usize>,
 }
 
 impl ThreadedConfig {
     /// Config with a deadlock watchdog of the given window.
     pub fn with_watchdog(window: Duration) -> Self {
-        ThreadedConfig { watchdog: Some(window), workers: None }
+        ThreadedConfig { watchdog: Some(window), ..ThreadedConfig::default() }
     }
 
     /// Same config with an explicit worker-pool size (clamped to at least
@@ -69,6 +77,19 @@ impl ThreadedConfig {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
         self
+    }
+
+    /// Same config with the flight recorder enabled at a per-lane window
+    /// of `cap` events (clamped to at least 1).
+    pub fn with_flight(mut self, cap: usize) -> Self {
+        self.flight = Some(cap);
+        self
+    }
+
+    /// Same config with the flight recorder enabled at the default
+    /// per-lane window ([`crate::flight::DEFAULT_FLIGHT_CAP`]).
+    pub fn with_flight_default(self) -> Self {
+        self.with_flight(crate::flight::DEFAULT_FLIGHT_CAP)
     }
 }
 
@@ -82,6 +103,11 @@ pub struct ThreadedOutcome {
     /// `blocked_steps` counts block episodes; `metrics.sched` describes
     /// the worker pool (size, steals, yields, task parks).
     pub metrics: RunMetrics,
+    /// Flight-recorder log: `Some` iff [`ThreadedConfig::flight`] was set,
+    /// holding the last-N timestamped events per writer thread, drained
+    /// after the pool joined. Feed to `perf-sim`'s overlay tooling for a
+    /// measured-vs-predicted Chrome trace, or inspect directly.
+    pub flight: Option<crate::trace::FlightLog>,
 }
 
 /// Run a process collection on the worker pool to termination and return

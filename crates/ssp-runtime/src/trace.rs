@@ -386,6 +386,300 @@ impl RunMetrics {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Flight-recorder events: wall-clock execution tracing (DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+/// What one flight-recorder event records. Where [`EventKind`] is the
+/// *model-level* action vocabulary (untimed, backend-independent),
+/// `FlightKind` is the *execution-level* one: scheduler transitions
+/// (run/park/wake/steal/yield), channel transfers with real byte counts,
+/// and lifecycle marks (checkpoint/restore/fault/migration) — each stamped
+/// with wall-clock nanoseconds by [`crate::flight::FlightRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A rank task started running on a worker (dequeue → resume).
+    Run,
+    /// A rank task parked on a channel edge. `chan` is the edge;
+    /// `bytes` is 0 for a recv-empty wait, 1 for a send-full wait.
+    Park,
+    /// A parked rank was made runnable (recorded in the waker's lane).
+    Wake,
+    /// A rank task was stolen from another worker's deque. `chan` holds
+    /// the victim worker's index.
+    Steal,
+    /// A rank exhausted its yield budget and requeued itself.
+    Yield,
+    /// A send completed: the message is in the channel ring.
+    Send,
+    /// A receive completed: the message was delivered to the rank.
+    Recv,
+    /// A compute effect completed. `bytes` holds the abstract units.
+    Compute,
+    /// The rank halted.
+    Halt,
+    /// Lifecycle: a checkpoint of the run was taken. `bytes` holds the
+    /// checkpoint's step ordinal.
+    Checkpoint,
+    /// Lifecycle: the run (re)started from a checkpoint cut. `bytes`
+    /// holds the restored step ordinal.
+    Restore,
+    /// Lifecycle: an injected fault fired. `bytes` holds the step.
+    Fault,
+    /// Lifecycle: a rank group migrated between workers (distributed
+    /// backend). `chan` holds the source worker, `bytes` the destination.
+    Migrate,
+}
+
+impl FlightKind {
+    /// Stable wire label (used by the JSON dump and Chrome trace names).
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightKind::Run => "run",
+            FlightKind::Park => "park",
+            FlightKind::Wake => "wake",
+            FlightKind::Steal => "steal",
+            FlightKind::Yield => "yield",
+            FlightKind::Send => "send",
+            FlightKind::Recv => "recv",
+            FlightKind::Compute => "compute",
+            FlightKind::Halt => "halt",
+            FlightKind::Checkpoint => "checkpoint",
+            FlightKind::Restore => "restore",
+            FlightKind::Fault => "fault",
+            FlightKind::Migrate => "migrate",
+        }
+    }
+
+    /// Inverse of [`FlightKind::label`]; `None` for unknown labels.
+    pub fn from_label(s: &str) -> Option<FlightKind> {
+        Some(match s {
+            "run" => FlightKind::Run,
+            "park" => FlightKind::Park,
+            "wake" => FlightKind::Wake,
+            "steal" => FlightKind::Steal,
+            "yield" => FlightKind::Yield,
+            "send" => FlightKind::Send,
+            "recv" => FlightKind::Recv,
+            "compute" => FlightKind::Compute,
+            "halt" => FlightKind::Halt,
+            "checkpoint" => FlightKind::Checkpoint,
+            "restore" => FlightKind::Restore,
+            "fault" => FlightKind::Fault,
+            "migrate" => FlightKind::Migrate,
+            _ => return None,
+        })
+    }
+}
+
+/// One timestamped flight-recorder event. `Copy` and fixed-size by design:
+/// recording is one slot write into an overwrite-oldest ring
+/// ([`crate::spsc::OverwriteRing`]), never an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Nanoseconds since the recorder's epoch (the run's start).
+    pub nanos: u64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// The rank the event is about.
+    pub rank: u32,
+    /// Channel id, victim worker (steals), or source worker (migrations);
+    /// 0 when not meaningful for the kind.
+    pub chan: u32,
+    /// Payload bytes, compute units, step ordinals, or a park-direction
+    /// flag, depending on the kind (see [`FlightKind`]).
+    pub bytes: u64,
+}
+
+impl Default for FlightEvent {
+    fn default() -> Self {
+        FlightEvent { nanos: 0, kind: FlightKind::Run, rank: 0, chan: 0, bytes: 0 }
+    }
+}
+
+/// One drained event lane: the events one writer thread recorded, oldest
+/// first, plus how many older events fell out of its window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightLane {
+    /// Who wrote this lane (`worker-3`, `control`, `gateway`, …).
+    pub label: String,
+    /// Events that were overwritten before the drain (oldest-first loss:
+    /// the retained window is always the *newest* events).
+    pub dropped: u64,
+    /// The retained window, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+/// A drained flight recording: every lane of one run (or, for the merged
+/// distributed dump, of several runs with per-worker lane prefixes).
+/// Timestamps are per-recorder relative nanoseconds; lanes from different
+/// processes share no clock (DESIGN.md §15 spells out the drift caveat).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightLog {
+    /// All lanes, in recorder order.
+    pub lanes: Vec<FlightLane>,
+}
+
+impl FlightLog {
+    /// Every event across all lanes, merged and sorted by timestamp
+    /// (stable, so same-stamp events keep lane order).
+    pub fn merged(&self) -> Vec<FlightEvent> {
+        let mut all: Vec<FlightEvent> =
+            self.lanes.iter().flat_map(|l| l.events.iter().copied()).collect();
+        all.sort_by_key(|e| e.nanos);
+        all
+    }
+
+    /// Total events retained across lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.events.len()).sum()
+    }
+
+    /// True when no lane retained any event.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The last `n` events of each lane that mention `rank`, merged and
+    /// time-sorted — the post-mortem's "final events of the blocked cycle".
+    pub fn last_events_for(&self, rank: usize, n: usize) -> Vec<FlightEvent> {
+        let mut hits: Vec<FlightEvent> = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.events.iter().copied())
+            .filter(|e| e.rank as usize == rank)
+            .collect();
+        hits.sort_by_key(|e| e.nanos);
+        if hits.len() > n {
+            hits.drain(..hits.len() - n);
+        }
+        hits
+    }
+
+    /// Append a lifecycle mark (checkpoint/restore/migration) recorded
+    /// outside any running scheduler, into a dedicated `lifecycle` lane.
+    /// `nanos` is relative to whatever epoch the caller is narrating.
+    pub fn push_lifecycle(&mut self, nanos: u64, kind: FlightKind, rank: usize, chan: usize, bytes: u64) {
+        let lane = match self.lanes.iter_mut().find(|l| l.label == "lifecycle") {
+            Some(l) => l,
+            None => {
+                self.lanes.push(FlightLane {
+                    label: "lifecycle".to_string(),
+                    dropped: 0,
+                    events: Vec::new(),
+                });
+                self.lanes.last_mut().expect("just pushed")
+            }
+        };
+        lane.events.push(FlightEvent {
+            nanos,
+            kind,
+            rank: rank as u32,
+            chan: chan as u32,
+            bytes,
+        });
+    }
+
+    /// Dump as JSON (hand-rolled like every other writer in the
+    /// workspace). Events are compact arrays `[nanos, "kind", rank, chan,
+    /// bytes]` so a 64-rank post-mortem stays small.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("{\"version\":1,\"lanes\":[");
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            // Labels are generated in-tree ("worker-3") — no escaping
+            // needed, but strip quotes defensively if one ever sneaks in.
+            let label: String = lane.label.chars().filter(|&c| c != '"' && c != '\\').collect();
+            let _ = write!(s, "{{\"label\":\"{label}\",\"dropped\":{},\"events\":[", lane.dropped);
+            for (j, e) in lane.events.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "[{},\"{}\",{},{},{}]",
+                    e.nanos,
+                    e.kind.label(),
+                    e.rank,
+                    e.chan,
+                    e.bytes
+                );
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse a dump written by [`FlightLog::to_json`]. Network-facing (the
+    /// distributed TRACE frame carries this): every failure is a typed
+    /// [`RunError::Protocol`], never a panic — the hostile-input suite
+    /// pins that.
+    pub fn from_json(input: &str) -> Result<Self, crate::error::RunError> {
+        use crate::json::JsonValue;
+        let bad = |detail: String| crate::error::RunError::Protocol { proc: 0, detail };
+        let doc = crate::json::parse(input)
+            .map_err(|e| bad(format!("flight dump is not JSON: {}", e.msg)))?;
+        match doc.get("version").and_then(JsonValue::as_u64) {
+            Some(1) => {}
+            other => return Err(bad(format!("unsupported flight-dump version {other:?}"))),
+        }
+        let mut lanes = Vec::new();
+        for lane in doc
+            .get("lanes")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| bad("flight dump missing 'lanes' array".to_string()))?
+        {
+            let label = match lane.get("label") {
+                Some(JsonValue::Str(s)) => s.clone(),
+                _ => return Err(bad("lane missing string 'label'".to_string())),
+            };
+            let dropped = lane
+                .get("dropped")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| bad(format!("lane '{label}' missing integer 'dropped'")))?;
+            let mut events = Vec::new();
+            for e in lane
+                .get("events")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| bad(format!("lane '{label}' missing 'events' array")))?
+            {
+                let arr = e
+                    .as_arr()
+                    .filter(|a| a.len() == 5)
+                    .ok_or_else(|| bad("event must be a 5-element array".to_string()))?;
+                let num = |i: usize, what: &str| {
+                    arr[i]
+                        .as_u64()
+                        .ok_or_else(|| bad(format!("event {what} must be an integer")))
+                };
+                let kind = match &arr[1] {
+                    JsonValue::Str(s) => FlightKind::from_label(s)
+                        .ok_or_else(|| bad(format!("unknown event kind '{s}'")))?,
+                    _ => return Err(bad("event kind must be a string".to_string())),
+                };
+                let rank = num(2, "rank")?;
+                let chan = num(3, "chan")?;
+                if rank > u32::MAX as u64 || chan > u32::MAX as u64 {
+                    return Err(bad("event rank/chan out of range".to_string()));
+                }
+                events.push(FlightEvent {
+                    nanos: num(0, "timestamp")?,
+                    kind,
+                    rank: rank as u32,
+                    chan: chan as u32,
+                    bytes: num(4, "bytes")?,
+                });
+            }
+            lanes.push(FlightLane { label, dropped, events });
+        }
+        Ok(FlightLog { lanes })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +823,94 @@ mod tests {
                         \"sched\":{\"workers\":0,\"steals\":0,\"yields\":0,\"task_parks\":0},\
                         \"total_messages\":1,\"total_bytes\":8,\"max_queue_depth\":1}";
         assert_eq!(m.to_json(), expected);
+    }
+
+    fn sample_flight_log() -> FlightLog {
+        let mk = |nanos, kind, rank, chan, bytes| FlightEvent { nanos, kind, rank, chan, bytes };
+        FlightLog {
+            lanes: vec![
+                FlightLane {
+                    label: "worker-0".to_string(),
+                    dropped: 3,
+                    events: vec![
+                        mk(10, FlightKind::Run, 0, 0, 0),
+                        mk(25, FlightKind::Send, 0, 2, 64),
+                        mk(40, FlightKind::Park, 0, 1, 0),
+                    ],
+                },
+                FlightLane {
+                    label: "control".to_string(),
+                    dropped: 0,
+                    events: vec![mk(18, FlightKind::Wake, 1, 0, 0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn flight_log_round_trips_through_json() {
+        let log = sample_flight_log();
+        let json = log.to_json();
+        assert_eq!(FlightLog::from_json(&json).unwrap(), log);
+        // Merged view is time-sorted across lanes.
+        let merged = log.merged();
+        let stamps: Vec<u64> = merged.iter().map(|e| e.nanos).collect();
+        assert_eq!(stamps, vec![10, 18, 25, 40]);
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn flight_kind_labels_round_trip() {
+        for kind in [
+            FlightKind::Run,
+            FlightKind::Park,
+            FlightKind::Wake,
+            FlightKind::Steal,
+            FlightKind::Yield,
+            FlightKind::Send,
+            FlightKind::Recv,
+            FlightKind::Compute,
+            FlightKind::Halt,
+            FlightKind::Checkpoint,
+            FlightKind::Restore,
+            FlightKind::Fault,
+            FlightKind::Migrate,
+        ] {
+            assert_eq!(FlightKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FlightKind::from_label("nonsense"), None);
+    }
+
+    #[test]
+    fn flight_log_last_events_filter_by_rank() {
+        let log = sample_flight_log();
+        let last = log.last_events_for(0, 2);
+        assert_eq!(last.len(), 2);
+        assert!(last.iter().all(|e| e.rank == 0));
+        assert_eq!(last[1].kind, FlightKind::Park);
+    }
+
+    #[test]
+    fn flight_log_rejects_malformed_dumps_with_typed_errors() {
+        use crate::error::RunError;
+        let cases = [
+            "not json".to_string(),
+            "{}".to_string(),
+            "{\"version\":2,\"lanes\":[]}".to_string(),
+            "{\"version\":1}".to_string(),
+            "{\"version\":1,\"lanes\":[{\"label\":7,\"dropped\":0,\"events\":[]}]}".to_string(),
+            "{\"version\":1,\"lanes\":[{\"label\":\"w\",\"dropped\":0,\"events\":[[1,2]]}]}"
+                .to_string(),
+            "{\"version\":1,\"lanes\":[{\"label\":\"w\",\"dropped\":0,\
+             \"events\":[[1,\"nope\",0,0,0]]}]}"
+                .to_string(),
+        ];
+        for c in &cases {
+            match FlightLog::from_json(c) {
+                Err(RunError::Protocol { .. }) => {}
+                other => panic!("expected Protocol error for {c:?}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

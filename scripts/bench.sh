@@ -41,8 +41,20 @@ echo "bench.sh: mode=$mode REPRO_SCALE=$scale SSP_WORKERS=${SSP_WORKERS:-auto} -
 cargo build --release -p ssp-dist --bin ssp-worker
 export SSP_WORKER_BIN="$PWD/target/release/ssp-worker"
 
-# Absolute path: cargo runs bench binaries from the package directory.
-REPRO_SCALE="$scale" BENCH_JSON="$out" cargo bench -p bench --bench figure2
+# The flight-trace series also writes the predicted-vs-measured Chrome
+# overlay (P=4 point) — one file, two process tracks, load it in
+# chrome://tracing or Perfetto.
+trace="$PWD/TRACE_figure2.json"
+
+# Absolute paths: cargo runs bench binaries from the package directory.
+REPRO_SCALE="$scale" BENCH_JSON="$out" TRACE_JSON="$trace" \
+  cargo bench -p bench --bench figure2
 
 test -s "$out" || { echo "bench.sh: $out was not written" >&2; exit 1; }
-echo "bench.sh: wrote $out"
+test -s "$trace" || { echo "bench.sh: $trace was not written" >&2; exit 1; }
+# The overlay must be a loadable trace: valid JSON with complete events on
+# both the predicted (pid 0) and measured (pid 1) tracks.
+grep -q '"traceEvents"' "$trace" || { echo "bench.sh: $trace lacks traceEvents" >&2; exit 1; }
+grep -q '"pid":0' "$trace" || { echo "bench.sh: $trace lacks the predicted track" >&2; exit 1; }
+grep -q '"pid":1' "$trace" || { echo "bench.sh: $trace lacks the measured track" >&2; exit 1; }
+echo "bench.sh: wrote $out and $trace"
