@@ -105,8 +105,9 @@ fn main() {
     );
     compare_threaded(&threaded, &threaded_overlap);
     let distributed = measured_distributed();
+    let (distributed_direct, route_log) = measured_distributed_direct();
     let stencil = stencil_summary();
-    let (trace, recorder_overhead) = trace_series(&params);
+    let (trace, recorder_overhead) = trace_series(&params, route_log.as_ref());
     write_bench_json(
         &params,
         machine.name,
@@ -116,6 +117,7 @@ fn main() {
         &threaded,
         &threaded_overlap,
         &distributed,
+        &distributed_direct,
         &stencil,
         &trace,
         recorder_overhead,
@@ -416,8 +418,14 @@ struct TracePoint {
 /// grid's compute-per-event ratio answers the question the 5% gate
 /// asks. When `TRACE_JSON` names a path, the P=4 drift point also
 /// writes the combined Chrome trace — the DES prediction and the
-/// measured run as two process tracks in one `chrome://tracing` view.
-fn trace_series(params: &Arc<Params>) -> (Vec<TracePoint>, f64) {
+/// measured run as two process tracks in one `chrome://tracing` view,
+/// plus (when the direct-plane series captured one) a third track of the
+/// distributed run's route marks: which plane — star, direct socket, or
+/// shm ring — carried each cross-group payload.
+fn trace_series(
+    params: &Arc<Params>,
+    routes: Option<&ssp_runtime::FlightLog>,
+) -> (Vec<TracePoint>, f64) {
     let tiny = Arc::new(Params::tiny());
     let plan = plan_a(&tiny);
     let init = init_a(tiny.clone());
@@ -441,9 +449,19 @@ fn trace_series(params: &Arc<Params>) -> (Vec<TracePoint>, f64) {
         let report = perf_sim::drift_report(&des.timelines, &measured);
         if p == 4 {
             if let Ok(path) = std::env::var("TRACE_JSON") {
-                let doc = perf_sim::overlay_chrome_trace(&des.timelines, &measured);
+                let doc = match routes {
+                    Some(log) => perf_sim::overlay_chrome_trace_with_routes(
+                        &des.timelines,
+                        &measured,
+                        log,
+                    ),
+                    None => perf_sim::overlay_chrome_trace(&des.timelines, &measured),
+                };
                 match std::fs::write(&path, &doc) {
-                    Ok(()) => println!("wrote predicted-vs-measured overlay to {path}"),
+                    Ok(()) => println!(
+                        "wrote predicted-vs-measured overlay to {path}{}",
+                        if routes.is_some() { " (with distributed route marks)" } else { "" }
+                    ),
                     Err(e) => eprintln!("failed to write {path}: {e}"),
                 }
             }
@@ -574,6 +592,9 @@ fn measured_distributed() -> Vec<DistPoint> {
         (3, false, true),
     ] {
         let mut cfg = ssp_dist::DistConfig::new(workers, &bin);
+        // Pinned to the PR 7 star plane: this series is the longitudinal
+        // baseline the direct-plane series below is compared against.
+        cfg.transport = ssp_dist::TransportMode::Star;
         if kill {
             cfg.chaos_kill = Some(ssp_dist::ChaosKill { worker: 1, after_frames: 25 });
         }
@@ -629,6 +650,121 @@ fn measured_distributed() -> Vec<DistPoint> {
     points
 }
 
+/// One point of the direct-plane series: the same distributed program
+/// under a chosen transport, with the per-plane frame counts that show
+/// *where* the traffic actually went.
+struct DirectPoint {
+    workers: usize,
+    mode: &'static str,
+    wall: f64,
+    star_frames: u64,
+    direct_frames: u64,
+    shm_frames: u64,
+    log_bytes_truncated: u64,
+    replay_steps: u64,
+    killed: bool,
+    identical: bool,
+}
+
+/// The phase-2 data-plane series: the same version-A program at each
+/// transport (star / direct / direct+shm), plus a SIGKILL run resumed
+/// from a shadow checkpoint. The columns make the two claims measurable:
+/// steady-state star frames drop to zero under the direct planes, and the
+/// migration's re-execution distance stays within the checkpoint
+/// interval. The clean 2-worker direct+shm point runs flight-enabled and
+/// its merged log is returned so [`trace_series`] can add the route marks
+/// as a track of the `TRACE_JSON` overlay.
+fn measured_distributed_direct() -> (Vec<DirectPoint>, Option<ssp_runtime::FlightLog>) {
+    let Ok(bin) = std::env::var("SSP_WORKER_BIN") else {
+        println!(
+            "\ndirect-plane series skipped: SSP_WORKER_BIN not set \
+             (scripts/bench.sh builds ssp-worker and sets it)"
+        );
+        return (Vec::new(), None);
+    };
+    let args = ssp_dist::fdtd_a_args("tiny", 4);
+    let reference = ssp_dist::build_workload("fdtd-a", &args)
+        .expect("registry knows fdtd-a")
+        .run_reference()
+        .expect("reference simulation");
+    let mut points = Vec::new();
+    let mut route_log: Option<ssp_runtime::FlightLog> = None;
+    for (workers, mode, transport, kill) in [
+        (2usize, "star", ssp_dist::TransportMode::Star, false),
+        (2, "direct", ssp_dist::TransportMode::Direct { shm: false }, false),
+        (2, "direct+shm", ssp_dist::TransportMode::Direct { shm: true }, false),
+        (3, "direct+shm", ssp_dist::TransportMode::Direct { shm: true }, false),
+        (2, "direct+shm", ssp_dist::TransportMode::Direct { shm: true }, true),
+    ] {
+        let record_routes =
+            workers == 2 && matches!(transport, ssp_dist::TransportMode::Direct { shm: true }) && !kill;
+        let mut cfg = ssp_dist::DistConfig::new(workers, &bin);
+        cfg.transport = transport;
+        if record_routes {
+            cfg.flight = Some(4096);
+        }
+        if kill {
+            cfg.chaos_kill = Some(ssp_dist::ChaosKill { worker: 1, after_frames: 25 });
+            cfg.checkpoint_every = Some(8);
+        }
+        let t0 = std::time::Instant::now();
+        let mut out = match ssp_dist::run_distributed("fdtd-a", &args, &cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                println!("direct-plane point (workers={workers}, {mode}, kill={kill}) failed: {e}");
+                continue;
+            }
+        };
+        if record_routes {
+            route_log = out.flight.take();
+        }
+        points.push(DirectPoint {
+            workers,
+            mode,
+            wall: t0.elapsed().as_secs_f64(),
+            star_frames: out.stats.star_frames,
+            direct_frames: out.stats.direct_frames,
+            shm_frames: out.stats.shm_frames,
+            log_bytes_truncated: out.stats.log_bytes_truncated,
+            replay_steps: out.stats.migration_replay_steps.iter().copied().max().unwrap_or(0),
+            killed: kill,
+            identical: out.snapshots == reference,
+        });
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.workers.to_string(),
+                pt.mode.to_string(),
+                if pt.killed { "SIGKILL, ckpt=8" } else { "clean" }.to_string(),
+                secs(pt.wall),
+                pt.star_frames.to_string(),
+                pt.direct_frames.to_string(),
+                pt.shm_frames.to_string(),
+                pt.replay_steps.to_string(),
+                pt.identical.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "direct data planes (steady-state frames per route, tiny grid)",
+        &[
+            "workers",
+            "transport",
+            "fault",
+            "wall (s)",
+            "star",
+            "direct",
+            "shm",
+            "replay steps",
+            "bitwise identical",
+        ],
+        &rows,
+    );
+    (points, route_log)
+}
+
 /// Write the run's measured and predicted numbers as JSON when `BENCH_JSON`
 /// names an output path (`scripts/bench.sh` sets it to
 /// `BENCH_figure2.json`). Hand-rolled writer, like the rest of the
@@ -643,6 +779,7 @@ fn write_bench_json(
     threaded: &[ThreadedPoint],
     threaded_overlap: &[ThreadedPoint],
     distributed: &[DistPoint],
+    distributed_direct: &[DirectPoint],
     stencil: &StencilReport,
     trace: &[TracePoint],
     recorder_overhead: f64,
@@ -704,6 +841,28 @@ fn write_bench_json(
             pt.frames_routed,
             pt.killed,
             pt.overlap,
+            pt.identical
+        );
+    }
+    s.push_str("],\"distributed_direct\":[");
+    for (i, pt) in distributed_direct.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"workers\":{},\"mode\":\"{}\",\"wall\":{},\"star_frames\":{},\
+             \"direct_frames\":{},\"shm_frames\":{},\"log_bytes_truncated\":{},\
+             \"replay_steps\":{},\"killed\":{},\"identical\":{}}}",
+            pt.workers,
+            pt.mode,
+            pt.wall,
+            pt.star_frames,
+            pt.direct_frames,
+            pt.shm_frames,
+            pt.log_bytes_truncated,
+            pt.replay_steps,
+            pt.killed,
             pt.identical
         );
     }

@@ -61,6 +61,67 @@ impl MeshLocal for LocalA {
     }
 }
 
+impl mesh_archetype::driver::MeshLocalCodec for LocalA {
+    /// Full dynamic state: the step counter and all six field grids *with
+    /// ghost cells* — a consistent cut can land mid-exchange, when received
+    /// ghost slabs are live state the next update reads. Material, params,
+    /// boundary flags, and the source position are static per rank and come
+    /// from the decode template. (`MurSaved` boundary planes are rebuilt
+    /// inside each E-step and never live across an effect boundary, so they
+    /// are not state here.)
+    fn encode_local(&self) -> Vec<u8> {
+        let grids =
+            [&self.fields.ex, &self.fields.ey, &self.fields.ez, &self.fields.hx, &self.fields.hy, &self.fields.hz];
+        let cells: usize = grids.iter().map(|g| g.raw().len()).sum();
+        let mut out = Vec::with_capacity(8 + 4 + cells * 8);
+        out.extend_from_slice(&(self.step as u64).to_le_bytes());
+        out.extend_from_slice(&(cells as u32).to_le_bytes());
+        for g in grids {
+            for v in g.raw() {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode_local(template: &Self, buf: &[u8]) -> Result<Self, ssp_runtime::RunError> {
+        let err = |detail: String| ssp_runtime::RunError::Protocol { proc: 0, detail };
+        let mut local = template.clone();
+        let grids = [
+            &mut local.fields.ex,
+            &mut local.fields.ey,
+            &mut local.fields.ez,
+            &mut local.fields.hx,
+            &mut local.fields.hy,
+            &mut local.fields.hz,
+        ];
+        let expected: usize = grids.iter().map(|g| g.raw().len()).sum();
+        if buf.len() != 12 + expected * 8 {
+            return Err(err(format!(
+                "fdtd local state is {} bytes, this rank's section needs {}",
+                buf.len(),
+                12 + expected * 8
+            )));
+        }
+        let step = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        let cells = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        if cells != expected {
+            return Err(err(format!(
+                "fdtd local state carries {cells} cells, this rank's section holds {expected}"
+            )));
+        }
+        local.step = step as usize;
+        let mut at = 12;
+        for g in grids {
+            for v in g.raw_mut() {
+                *v = f64::from_bits(u64::from_le_bytes(buf[at..at + 8].try_into().unwrap()));
+                at += 8;
+            }
+        }
+        Ok(local)
+    }
+}
+
 fn boundary_flags(env: &Env) -> BoundaryFlags {
     // Axes are the literals 0..3, so the out-of-range error is unreachable;
     // the expect documents that rather than discarding the Result.

@@ -40,3 +40,22 @@ pub trait MeshLocal: Send + 'static {
     /// Canonical byte encoding of the observable final state.
     fn snapshot_bytes(&self) -> Vec<u8>;
 }
+
+/// A [`MeshLocal`] whose *complete* dynamic state round-trips through
+/// bytes — what checkpoint-resumed migration needs (where
+/// [`MeshLocal::snapshot_bytes`] only needs the observable final state).
+///
+/// Decoding is template-based: static configuration (geometry, physics
+/// parameters, compiled plans) is rebuilt from the workload spec on the
+/// receiving worker, and only the evolving state crosses the wire. The
+/// contract is bitwise: `decode_local(&t, &x.encode_local())` must be
+/// indistinguishable from `x` to every future step — the distributed
+/// suites hold resumed runs to byte-identical final snapshots.
+pub trait MeshLocalCodec: MeshLocal + Sized {
+    /// Encode the evolving state (template fields may be skipped).
+    fn encode_local(&self) -> Vec<u8>;
+    /// Rebuild from `template` (a freshly initialized rank-local state for
+    /// the same spec and rank) plus encoded bytes. Must fail typed on any
+    /// malformed input — this path reads network bytes.
+    fn decode_local(template: &Self, buf: &[u8]) -> Result<Self, ssp_runtime::RunError>;
+}

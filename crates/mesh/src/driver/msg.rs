@@ -23,11 +23,12 @@ use ssp_runtime::{
 };
 
 use machine_model::MachineModel;
-use meshgrid::halo::{extract_face3_into, slab_len3, try_insert_ghost3};
+use meshgrid::halo::{extract_face3_into, slab_len3, try_insert_ghost3, Face3};
 use meshgrid::{Grid3, ProcGrid3};
 
 use crate::driver::simpar::{ordered_sum, HostMode};
-use crate::driver::MeshLocal;
+use crate::driver::wire::Reader;
+use crate::driver::{MeshLocal, MeshLocalCodec};
 use crate::env::Env;
 use crate::exchange::{face_links, FaceLink};
 use crate::plan::{
@@ -383,6 +384,246 @@ impl PendingRecv {
             PendingRecv::Contribs => "Contribs",
             PendingRecv::GatherBlock { .. } | PendingRecv::ScatterBlock { .. } => "Block",
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-state codec: what a checkpoint-resumed migration moves.
+// ---------------------------------------------------------------------------
+
+fn state_err(rank: usize, detail: impl Into<String>) -> RunError {
+    RunError::Protocol { proc: rank, detail: format!("mesh state: {}", detail.into()) }
+}
+
+fn push_u32s(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64s(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_reduce_op(op: ReduceOp) -> u8 {
+    match op {
+        ReduceOp::Sum => 0,
+        ReduceOp::Max => 1,
+        ReduceOp::Min => 2,
+    }
+}
+
+fn decode_reduce_op(rank: usize, t: u8) -> Result<ReduceOp, RunError> {
+    Ok(match t {
+        0 => ReduceOp::Sum,
+        1 => ReduceOp::Max,
+        2 => ReduceOp::Min,
+        t => return Err(state_err(rank, format!("unknown reduce op tag {t}"))),
+    })
+}
+
+impl<L: MeshLocalCodec> MsgProcess<L> {
+    /// Encode this process's complete dynamic state: program counter, local
+    /// state (via [`MeshLocalCodec`]), scratch/contrib buffers, an
+    /// in-progress gather/scatter grid (ghosts included — a cut can land
+    /// mid-collective), control stacks, and the pending-receive descriptor.
+    /// Static structure (the compiled program, channels, geometry) is *not*
+    /// encoded; [`MsgProcess::decode_state`] takes it from a template.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_u64s(&mut out, self.pc as u64);
+        let local = self.local.encode_local();
+        push_u32s(&mut out, local.len() as u32);
+        out.extend_from_slice(&local);
+        push_u32s(&mut out, self.scratch.len() as u32);
+        for v in &self.scratch {
+            push_u64s(&mut out, v.to_bits());
+        }
+        push_u32s(&mut out, self.contribs.len() as u32);
+        for c in &self.contribs {
+            push_u32s(&mut out, c.bin);
+            push_u64s(&mut out, c.order);
+            push_u64s(&mut out, c.value.to_bits());
+        }
+        match &self.global {
+            None => out.push(0),
+            Some(g) => {
+                out.push(1);
+                let (nx, ny, nz) = g.extent();
+                for d in [nx, ny, nz, g.ghost()] {
+                    push_u32s(&mut out, d as u32);
+                }
+                let raw = g.raw();
+                push_u32s(&mut out, raw.len() as u32);
+                for v in raw {
+                    push_u64s(&mut out, v.to_bits());
+                }
+            }
+        }
+        push_u32s(&mut out, self.loop_stack.len() as u32);
+        for &v in &self.loop_stack {
+            push_u64s(&mut out, v as u64);
+        }
+        push_u32s(&mut out, self.while_stack.len() as u32);
+        for &v in &self.while_stack {
+            push_u64s(&mut out, v);
+        }
+        match &self.pending {
+            None => out.push(0),
+            Some(PendingRecv::Face { op, link }) => {
+                out.push(1);
+                push_u64s(&mut out, *op as u64);
+                let face = Face3::ALL
+                    .iter()
+                    .position(|f| *f == link.face)
+                    .expect("Face3::ALL is exhaustive") as u8;
+                out.push(face);
+                push_u32s(&mut out, link.neighbor as u32);
+            }
+            Some(PendingRecv::Combine { op }) => {
+                out.push(2);
+                out.push(encode_reduce_op(*op));
+            }
+            Some(PendingRecv::Replace) => out.push(3),
+            Some(PendingRecv::Contribs) => out.push(4),
+            Some(PendingRecv::Result) => out.push(5),
+            Some(PendingRecv::Bcast) => out.push(6),
+            Some(PendingRecv::GatherBlock { src }) => {
+                out.push(7);
+                push_u32s(&mut out, *src as u32);
+            }
+            Some(PendingRecv::ScatterBlock { op }) => {
+                out.push(8);
+                push_u64s(&mut out, *op as u64);
+            }
+        }
+        out
+    }
+
+    /// Rebuild a process from `template` (a freshly built process for the
+    /// same rank, spec, and topology) plus [`MsgProcess::encode_state`]
+    /// bytes. Total over arbitrary bytes: malformed or forged input fails
+    /// with a typed [`RunError::Protocol`] — bounds and op indices are
+    /// validated against the template's program, so a hostile manifest can
+    /// neither panic the interpreter nor make it index out of range.
+    pub fn decode_state(template: MsgProcess<L>, buf: &[u8]) -> Result<MsgProcess<L>, RunError> {
+        let rank = template.env.rank;
+        let n_ops = template.ops.len();
+        let mut r = Reader::new(buf);
+        let pc = r.u64("pc")? as usize;
+        if pc > n_ops {
+            return Err(state_err(rank, format!("pc {pc} outside program of {n_ops} ops")));
+        }
+        let local_len = r.count(1, "local state")?;
+        let local = L::decode_local(&template.local, r.take(local_len, "local state")?)?;
+        let n_scratch = r.count(8, "scratch")?;
+        let mut scratch = Vec::with_capacity(n_scratch);
+        for _ in 0..n_scratch {
+            scratch.push(r.f64("scratch element")?);
+        }
+        let n_contribs = r.count(20, "contribs")?;
+        let mut contribs = Vec::with_capacity(n_contribs);
+        for _ in 0..n_contribs {
+            let bin = r.u32("contrib bin")?;
+            let order = r.u64("contrib order")?;
+            let value = r.f64("contrib value")?;
+            contribs.push(Contribution { bin, order, value });
+        }
+        let global = match r.u8("global flag")? {
+            0 => None,
+            1 => {
+                let nx = r.u32("global nx")? as usize;
+                let ny = r.u32("global ny")? as usize;
+                let nz = r.u32("global nz")? as usize;
+                let ghost = r.u32("global ghost")? as usize;
+                let expected = [nx, ny, nz]
+                    .iter()
+                    .try_fold(1usize, |acc, &d| {
+                        acc.checked_mul(d.checked_add(2usize.checked_mul(ghost)?)?)
+                    })
+                    .ok_or_else(|| state_err(rank, "global grid dims overflow"))?;
+                let count = r.count(8, "global grid")?;
+                if count != expected {
+                    return Err(state_err(
+                        rank,
+                        format!("global grid carries {count} cells, dims need {expected}"),
+                    ));
+                }
+                let mut g = Grid3::new(nx, ny, nz, ghost);
+                for cell in g.raw_mut() {
+                    *cell = r.f64("global cell")?;
+                }
+                Some(g)
+            }
+            t => return Err(state_err(rank, format!("unknown global flag {t}"))),
+        };
+        let n_loop = r.count(8, "loop stack")?;
+        let mut loop_stack = Vec::with_capacity(n_loop);
+        for _ in 0..n_loop {
+            loop_stack.push(r.u64("loop counter")? as usize);
+        }
+        let n_while = r.count(8, "while stack")?;
+        let mut while_stack = Vec::with_capacity(n_while);
+        for _ in 0..n_while {
+            while_stack.push(r.u64("while budget")?);
+        }
+        let op_index = |what: &str, op: u64| -> Result<usize, RunError> {
+            let op = op as usize;
+            if op >= n_ops {
+                return Err(state_err(rank, format!("{what} op {op} outside program")));
+            }
+            Ok(op)
+        };
+        let pending = match r.u8("pending tag")? {
+            0 => None,
+            1 => {
+                let op = op_index("pending face", r.u64("pending face op")?)?;
+                let face = r.u8("pending face index")?;
+                let face = *Face3::ALL
+                    .get(face as usize)
+                    .ok_or_else(|| state_err(rank, format!("unknown face index {face}")))?;
+                let neighbor = r.u32("pending face neighbor")? as usize;
+                if template.chan_from.get(neighbor).is_none_or(|c| c.is_none()) {
+                    return Err(state_err(rank, format!("no channel from rank {neighbor}")));
+                }
+                Some(PendingRecv::Face { op, link: FaceLink { face, neighbor } })
+            }
+            2 => Some(PendingRecv::Combine {
+                op: decode_reduce_op(rank, r.u8("pending reduce op")?)?,
+            }),
+            3 => Some(PendingRecv::Replace),
+            4 => Some(PendingRecv::Contribs),
+            5 => Some(PendingRecv::Result),
+            6 => Some(PendingRecv::Bcast),
+            7 => {
+                let src = r.u32("pending gather src")? as usize;
+                if src >= template.env.pg.nprocs() {
+                    return Err(state_err(rank, format!("gather src {src} outside grid")));
+                }
+                Some(PendingRecv::GatherBlock { src })
+            }
+            8 => Some(PendingRecv::ScatterBlock {
+                op: op_index("pending scatter", r.u64("pending scatter op")?)?,
+            }),
+            t => return Err(state_err(rank, format!("unknown pending tag {t}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(state_err(rank, format!("{} trailing bytes", r.remaining())));
+        }
+        let MsgProcess { env, ops, chan_to, chan_from, pool, .. } = template;
+        Ok(MsgProcess {
+            env,
+            local,
+            ops,
+            pc,
+            chan_to,
+            chan_from,
+            scratch,
+            contribs,
+            global,
+            loop_stack,
+            while_stack,
+            pool,
+            pending,
+        })
     }
 }
 

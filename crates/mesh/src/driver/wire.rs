@@ -72,14 +72,24 @@ pub fn encode_mesh_msg(msg: &MeshMsg) -> Vec<u8> {
 }
 
 /// Fixed-width field reader over a byte slice; every read is bounds-checked
-/// and a failure reports how the buffer fell short.
-struct Reader<'a> {
+/// and a failure reports how the buffer fell short. Shared with the
+/// process-state codec in `msg.rs` (same hostility contract).
+pub(super) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], RunError> {
+    pub(super) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(super) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(super) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], RunError> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
             corrupt(format!(
                 "mesh msg truncated reading {what}: need {n} bytes at offset {}, have {}",
@@ -92,22 +102,38 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, RunError> {
+    pub(super) fn u8(&mut self, what: &str) -> Result<u8, RunError> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32, RunError> {
+    pub(super) fn u32(&mut self, what: &str) -> Result<u32, RunError> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64, RunError> {
+    pub(super) fn u64(&mut self, what: &str) -> Result<u64, RunError> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
-    fn f64(&mut self, what: &str) -> Result<f64, RunError> {
+    pub(super) fn f64(&mut self, what: &str) -> Result<f64, RunError> {
         Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// An element count that `min_each` bytes per element must follow:
+    /// rejected before any allocation if the buffer cannot hold it.
+    pub(super) fn count(&mut self, min_each: usize, what: &str) -> Result<usize, RunError> {
+        let n = self.u32(what)? as usize;
+        let need = n
+            .checked_mul(min_each)
+            .ok_or_else(|| corrupt(format!("{what} count {n} overflows")))?;
+        if need > self.remaining() {
+            return Err(corrupt(format!(
+                "{what} count {n} needs {need} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        Ok(n)
     }
 }
 

@@ -181,6 +181,13 @@ impl<T: Copy + Default> Grid3<T> {
     pub fn raw(&self) -> &[T] {
         &self.data
     }
+
+    /// Mutable raw storage (including ghost cells) — for state codecs that
+    /// restore a grid bitwise, ghosts and all (a consistent cut can land
+    /// mid-exchange, when ghost contents are live state).
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
 }
 
 impl Grid3<f64> {

@@ -1,0 +1,217 @@
+//! Pricing the distributed data plane: star vs direct vs shared memory.
+//!
+//! The distributed supervisor ([`ssp-dist`]'s `DistStats`) counts *which
+//! plane carried each cross-group message* — star forwards, direct peer
+//! frames, shm ring frames — but not what each hop costs. This module is
+//! the companion of [`crate::recovery`]: it combines those counters with
+//! per-plane hop costs to predict the communication time of a run under
+//! each transport, and so to answer the question PR-level benchmarks ask
+//! empirically — *how much does taking the supervisor out of the data
+//! path buy on this machine?*
+//!
+//! The model follows the paper's α/β convention, specialized per plane:
+//!
+//! * a **star-routed** message crosses two sockets (worker→supervisor,
+//!   supervisor→worker) and pays the supervisor's dispatch once:
+//!   `2(α + β·b) + t_dispatch`;
+//! * a **direct** message crosses one socket: `α + β·b`;
+//! * a **shm** message pays the ring copy at memory bandwidth plus a
+//!   doorbell frame that carries no payload: `α + β_mem·b`;
+//! * every message additionally pays one *mirror* `α + β·b` toward the
+//!   supervisor in direct modes — the logging traffic that licenses
+//!   migration replay. Mirrors are fire-and-forget and off the delivery
+//!   path, so callers comparing *latency* rather than *load* can zero
+//!   `mirror_on_path`.
+//!
+//! Like all of perf-sim, costs are virtual seconds and deliberately
+//! simple; the point is the *ratio* between plans, not nanosecond truth.
+
+/// Per-plane hop costs (virtual seconds), in the α/β convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneCosts {
+    /// Per-message socket latency (the α of a Unix/TCP hop).
+    pub alpha_socket: f64,
+    /// Per-byte socket cost (the β of a Unix/TCP hop).
+    pub beta_socket: f64,
+    /// Per-byte cost of the shared-memory ring copy.
+    pub beta_shm: f64,
+    /// Supervisor dispatch cost per forwarded frame (decode, log, route).
+    pub t_dispatch: f64,
+    /// Fraction of each mirror's cost charged to the data path (0.0 =
+    /// mirrors fully overlapped, 1.0 = mirrors serialize with delivery).
+    pub mirror_on_path: f64,
+}
+
+impl Default for PlaneCosts {
+    /// Defaults in the spirit of the paper's machine constants: ~10 µs
+    /// socket latency, ~1 GB/s socket streams, ~10 GB/s memory copies,
+    /// ~5 µs of supervisor dispatch, mirrors fully overlapped.
+    fn default() -> Self {
+        PlaneCosts {
+            alpha_socket: 10e-6,
+            beta_socket: 1e-9,
+            beta_shm: 0.1e-9,
+            t_dispatch: 5e-6,
+            mirror_on_path: 0.0,
+        }
+    }
+}
+
+/// What each plane carried in a run — the shape of `DistStats`' per-plane
+/// counters, kept as plain numbers so this crate stays decoupled from
+/// `ssp-dist`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlaneTraffic {
+    /// Frames the supervisor forwarded (all frames in star mode, relay
+    /// fallbacks in direct modes).
+    pub star_frames: u64,
+    /// Payload bytes across those forwarded frames.
+    pub star_bytes: u64,
+    /// Frames delivered over direct peer sockets.
+    pub direct_frames: u64,
+    /// Payload bytes across direct frames.
+    pub direct_bytes: u64,
+    /// Frames delivered through shared-memory rings.
+    pub shm_frames: u64,
+    /// Payload bytes through the rings.
+    pub shm_bytes: u64,
+}
+
+impl PlaneTraffic {
+    /// The same messages with every frame rerouted through the star —
+    /// what PR 7 would have done with this traffic. The counterfactual
+    /// baseline for [`plane_speedup`].
+    pub fn all_star(&self) -> PlaneTraffic {
+        PlaneTraffic {
+            star_frames: self.star_frames + self.direct_frames + self.shm_frames,
+            star_bytes: self.star_bytes + self.direct_bytes + self.shm_bytes,
+            ..PlaneTraffic::default()
+        }
+    }
+}
+
+/// Predicted communication time of a run's traffic, decomposed by plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneBreakdown {
+    /// Time in star hops (two sockets + dispatch each).
+    pub star_time: f64,
+    /// Time in direct peer hops.
+    pub direct_time: f64,
+    /// Time in shm ring copies and doorbells.
+    pub shm_time: f64,
+    /// On-path share of the mirror traffic (per `mirror_on_path`).
+    pub mirror_time: f64,
+}
+
+impl PlaneBreakdown {
+    /// Total predicted communication time.
+    pub fn total(&self) -> f64 {
+        self.star_time + self.direct_time + self.shm_time + self.mirror_time
+    }
+}
+
+/// Price `traffic` under `costs`.
+pub fn price_data_plane(traffic: &PlaneTraffic, costs: &PlaneCosts) -> PlaneBreakdown {
+    let sock = |frames: u64, bytes: u64| {
+        frames as f64 * costs.alpha_socket + bytes as f64 * costs.beta_socket
+    };
+    let star = 2.0 * sock(traffic.star_frames, traffic.star_bytes)
+        + traffic.star_frames as f64 * costs.t_dispatch;
+    let direct = sock(traffic.direct_frames, traffic.direct_bytes);
+    // A shm delivery = ring copy at memory bandwidth + a payload-free
+    // doorbell frame on the peer socket.
+    let shm = traffic.shm_frames as f64 * costs.alpha_socket
+        + traffic.shm_bytes as f64 * costs.beta_shm;
+    // Every directly-delivered message also mirrors its payload to the
+    // supervisor for logging; star frames ARE their own mirror.
+    let mirror = costs.mirror_on_path
+        * sock(
+            traffic.direct_frames + traffic.shm_frames,
+            traffic.direct_bytes + traffic.shm_bytes,
+        );
+    PlaneBreakdown { star_time: star, direct_time: direct, shm_time: shm, mirror_time: mirror }
+}
+
+/// The predicted communication speedup of carrying `traffic` as measured
+/// versus rerouting all of it through the star: `>1` means the direct
+/// planes pay for themselves on this machine.
+pub fn plane_speedup(traffic: &PlaneTraffic, costs: &PlaneCosts) -> f64 {
+    let as_measured = price_data_plane(traffic, costs).total();
+    let all_star = price_data_plane(&traffic.all_star(), costs).total();
+    if as_measured > 0.0 {
+        all_star / as_measured
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlaneTraffic {
+        PlaneTraffic {
+            star_frames: 0,
+            star_bytes: 0,
+            direct_frames: 40,
+            direct_bytes: 40 * 512,
+            shm_frames: 160,
+            shm_bytes: 160 * 4096,
+        }
+    }
+
+    #[test]
+    fn star_routing_costs_strictly_more_per_message() {
+        let costs = PlaneCosts::default();
+        let measured = price_data_plane(&sample(), &costs);
+        let starred = price_data_plane(&sample().all_star(), &costs);
+        assert!(measured.star_time == 0.0);
+        assert!(starred.direct_time == 0.0 && starred.shm_time == 0.0);
+        assert!(
+            starred.total() > measured.total(),
+            "two hops + dispatch must cost more than one: {starred:?} vs {measured:?}"
+        );
+        let speedup = plane_speedup(&sample(), &costs);
+        assert!(speedup > 1.5, "direct planes should win clearly, got {speedup}");
+    }
+
+    #[test]
+    fn breakdown_components_sum_and_scale_with_traffic() {
+        let costs = PlaneCosts { mirror_on_path: 1.0, ..PlaneCosts::default() };
+        let one = price_data_plane(&sample(), &costs);
+        let double = PlaneTraffic {
+            star_frames: 0,
+            star_bytes: 0,
+            direct_frames: 80,
+            direct_bytes: 80 * 512,
+            shm_frames: 320,
+            shm_bytes: 320 * 4096,
+        };
+        let two = price_data_plane(&double, &costs);
+        assert!((two.total() - 2.0 * one.total()).abs() < 1e-12, "pricing is linear");
+        assert!(one.mirror_time > 0.0, "on-path mirrors must be charged");
+        let sum = one.star_time + one.direct_time + one.shm_time + one.mirror_time;
+        assert!((sum - one.total()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shm_beats_sockets_for_large_payloads_only() {
+        let costs = PlaneCosts::default();
+        // Same frame count, tiny payloads: the doorbell α dominates and
+        // shm ~ direct (both one socket latency each).
+        let tiny_shm = PlaneTraffic { shm_frames: 100, shm_bytes: 100 * 8, ..Default::default() };
+        let tiny_direct =
+            PlaneTraffic { direct_frames: 100, direct_bytes: 100 * 8, ..Default::default() };
+        let t_shm = price_data_plane(&tiny_shm, &costs).total();
+        let t_direct = price_data_plane(&tiny_direct, &costs).total();
+        assert!((t_shm - t_direct).abs() / t_direct < 0.01, "α-bound regime: {t_shm} {t_direct}");
+        // Large payloads: memory bandwidth wins by ~β ratio.
+        let big_shm =
+            PlaneTraffic { shm_frames: 100, shm_bytes: 100 << 20, ..Default::default() };
+        let big_direct =
+            PlaneTraffic { direct_frames: 100, direct_bytes: 100 << 20, ..Default::default() };
+        let t_shm = price_data_plane(&big_shm, &costs).total();
+        let t_direct = price_data_plane(&big_direct, &costs).total();
+        assert!(t_direct / t_shm > 5.0, "β-bound regime: {t_shm} {t_direct}");
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod critical;
+pub mod dataplane;
 pub mod engine;
 pub mod overlay;
 pub mod predict;
@@ -44,11 +45,12 @@ pub mod recovery;
 pub mod timeline;
 
 pub use critical::{CostBreakdown, CpEdge, CriticalPath, EdgeKind};
+pub use dataplane::{plane_speedup, price_data_plane, PlaneBreakdown, PlaneCosts, PlaneTraffic};
 pub use engine::{run_des, run_des_default, DesOutcome};
 pub use overlay::{drift_report, measured_timelines, DriftReport, ProcDrift};
 pub use predict::{predict_speedup, PredictedPoint};
 pub use recovery::{price_recovery, RecoveryCosts, RecoveryOverhead};
 pub use timeline::{
-    chrome_trace_json, overlay_chrome_trace, timelines_to_json, BlockReason, Span, SpanKind,
-    Timeline,
+    chrome_trace_json, overlay_chrome_trace, overlay_chrome_trace_with_routes, timelines_to_json,
+    BlockReason, Span, SpanKind, Timeline,
 };

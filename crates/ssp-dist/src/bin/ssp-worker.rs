@@ -1,5 +1,6 @@
 //! The worker executable: `ssp-worker <socket path> <worker index>
-//! [threads per group]`. Spawned by the supervisor; never run by hand.
+//! [threads per group] [peer transport]`. Spawned by the supervisor;
+//! never run by hand.
 
 use std::process::ExitCode;
 
@@ -8,7 +9,10 @@ fn main() -> ExitCode {
     let (path, idx) = match (args.get(1), args.get(2).and_then(|s| s.parse().ok())) {
         (Some(p), Some(i)) => (p.as_str(), i),
         _ => {
-            eprintln!("usage: ssp-worker <socket path> <worker index> [threads per group]");
+            eprintln!(
+                "usage: ssp-worker <socket path> <worker index> [threads per group] \
+                 [peer transport: unix|tcp]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -21,7 +25,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match ssp_dist::worker_main(path, idx, group_workers) {
+    let peer_tcp = match args.get(4).map(String::as_str) {
+        None | Some("unix") => false,
+        Some("tcp") => true,
+        Some(other) => {
+            eprintln!("ssp-worker: unknown peer transport {other:?} (want unix|tcp)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ssp_dist::worker_main(path, idx, group_workers, peer_tcp) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{e}");

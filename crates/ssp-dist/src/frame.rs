@@ -40,7 +40,11 @@ pub enum FrameType {
     /// Supervisor → worker: host a group of ranks (JSON payload).
     Assign = 1,
     /// Either direction: one message on one cross-group channel.
-    /// Payload: `[chan: u32 le][encoded message bytes]`.
+    /// Payload: `[chan: u32 le][seq: u64 le][encoded message bytes]`
+    /// where `seq` is the message's absolute per-channel ordinal. In
+    /// direct transport modes a worker→supervisor DATA is a *mirror*
+    /// of a message already delivered on the direct plane: the
+    /// supervisor logs it for migration but does not forward it.
     Data = 2,
     /// Worker → supervisor: a group finished; snapshots + metrics.
     GroupDone = 3,
@@ -58,6 +62,35 @@ pub enum FrameType {
     /// sent immediately after that group's GROUP_DONE. Payload:
     /// `[group: u64 le][FlightLog JSON]`.
     Trace = 8,
+    /// Worker → worker, first frame on a direct peer connection:
+    /// identifies the dialer. Payload:
+    /// `[from worker: u32 le][generation: u64 le]`.
+    PeerHello = 9,
+    /// Supervisor → worker: refreshed rank placement + peer address
+    /// table after a membership change (JSON payload).
+    Peers = 10,
+    /// Supervisor → worker, immediately before a migration ASSIGN: the
+    /// checkpoint manifest the assigned group resumes from. Payload:
+    /// `[group: u64 le][GroupManifest bytes]`.
+    Resume = 11,
+    /// Worker → supervisor, in response to SHUTDOWN: final data-plane
+    /// counters. Payload: 4 × u64 le (direct frames, direct bytes,
+    /// shm frames, shm bytes).
+    Bye = 12,
+    /// Worker → worker: one message on one cross-group channel,
+    /// bypassing the supervisor. Same payload layout as [`Data`].
+    DataDirect = 13,
+    /// Worker → worker: a shared-memory ring doorbell. Payload:
+    /// `[chan: u32 le][seq: u64 le][ring offset: u64 le][len: u32 le]
+    /// [fnv1a-64 checksum: u64 le]`.
+    DataShm = 14,
+    /// Worker → worker: cumulative shm-ring consumption ack. Payload:
+    /// `[consumed bytes: u64 le]`.
+    ShmAck = 15,
+    /// Worker → supervisor: a DATA mirror whose direct delivery failed
+    /// (peer unreachable); the supervisor must log **and** forward it.
+    /// Same payload layout as [`Data`].
+    DataRelay = 16,
 }
 
 impl FrameType {
@@ -72,6 +105,14 @@ impl FrameType {
             6 => FrameType::Ping,
             7 => FrameType::Pong,
             8 => FrameType::Trace,
+            9 => FrameType::PeerHello,
+            10 => FrameType::Peers,
+            11 => FrameType::Resume,
+            12 => FrameType::Bye,
+            13 => FrameType::DataDirect,
+            14 => FrameType::DataShm,
+            15 => FrameType::ShmAck,
+            16 => FrameType::DataRelay,
             _ => return None,
         })
     }
@@ -187,24 +228,58 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     Ok(Frame { ty, payload: body.split_off(1) })
 }
 
-/// Encode a DATA payload: `[chan: u32 le][message bytes]`.
-pub fn encode_data(chan: usize, msg: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + msg.len());
+/// Encode a DATA / DATA_DIRECT / DATA_RELAY payload:
+/// `[chan: u32 le][seq: u64 le][message bytes]`.
+pub fn encode_data(chan: usize, seq: u64, msg: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + msg.len());
     out.extend_from_slice(&(chan as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(msg);
     out
 }
 
-/// Decode a DATA payload into `(chan, message bytes)`.
-pub fn decode_data(payload: &[u8]) -> Result<(usize, &[u8]), RunError> {
-    if payload.len() < 4 {
+/// Decode a DATA-family payload into `(chan, seq, message bytes)`.
+pub fn decode_data(payload: &[u8]) -> Result<(usize, u64, &[u8]), RunError> {
+    if payload.len() < 12 {
         return Err(RunError::Protocol {
             proc: 0,
             detail: format!("DATA payload too short: {} bytes", payload.len()),
         });
     }
-    let chan = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
-    Ok((chan, &payload[4..]))
+    let chan = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+    let seq = u64::from_le_bytes(payload[4..12].try_into().unwrap());
+    Ok((chan, seq, &payload[12..]))
+}
+
+/// Encode a DATA_SHM doorbell payload:
+/// `[chan: u32 le][seq: u64 le][ring offset: u64 le][len: u32 le]
+/// [checksum: u64 le]`.
+pub fn encode_shm_doorbell(chan: usize, seq: u64, off: u64, len: u32, checksum: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&(chan as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&off.to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decode a DATA_SHM doorbell into `(chan, seq, offset, len, checksum)`.
+/// Total over arbitrary bytes; exact length is enforced (a doorbell is
+/// fixed-size, so trailing garbage means corruption).
+pub fn decode_shm_doorbell(payload: &[u8]) -> Result<(usize, u64, u64, u32, u64), RunError> {
+    if payload.len() != 32 {
+        return Err(RunError::Protocol {
+            proc: 0,
+            detail: format!("DATA_SHM doorbell is {} bytes, want 32", payload.len()),
+        });
+    }
+    let chan = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+    let seq = u64::from_le_bytes(payload[4..12].try_into().unwrap());
+    let off = u64::from_le_bytes(payload[12..20].try_into().unwrap());
+    let len = u32::from_le_bytes(payload[20..24].try_into().unwrap());
+    let checksum = u64::from_le_bytes(payload[24..32].try_into().unwrap());
+    Ok((chan, seq, off, len, checksum))
 }
 
 #[cfg(test)]
@@ -216,7 +291,12 @@ mod tests {
     fn frames_round_trip() {
         let frames = vec![
             Frame::new(FrameType::Hello, vec![3]),
-            Frame::new(FrameType::Data, encode_data(42, b"payload")),
+            Frame::new(FrameType::Data, encode_data(42, 9, b"payload")),
+            Frame::new(FrameType::DataDirect, encode_data(1, 0, b"p2p")),
+            Frame::new(FrameType::DataRelay, encode_data(2, 7, b"fallback")),
+            Frame::new(FrameType::DataShm, encode_shm_doorbell(3, 11, 4096, 24, 0xfeed)),
+            Frame::new(FrameType::ShmAck, 4120u64.to_le_bytes().to_vec()),
+            Frame::new(FrameType::PeerHello, vec![0; 12]),
             Frame::new(FrameType::Ping, vec![]),
             Frame::new(FrameType::GroupDone, vec![0xff; 1000]),
         ];
@@ -234,7 +314,7 @@ mod tests {
     #[test]
     fn torn_frames_are_io_errors_not_eof() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, &Frame::new(FrameType::Data, encode_data(1, b"abcdef"))).unwrap();
+        write_frame(&mut wire, &Frame::new(FrameType::Data, encode_data(1, 0, b"abcdef"))).unwrap();
         // Every possible truncation point inside the frame is torn, not a
         // clean EOF — this is how a SIGKILLed peer looks to the reader.
         for cut in 1..wire.len() {
@@ -262,11 +342,23 @@ mod tests {
 
     #[test]
     fn data_payload_codec_round_trips_and_rejects_short_input() {
-        let p = encode_data(7, b"xyz");
-        assert_eq!(decode_data(&p).unwrap(), (7, &b"xyz"[..]));
-        assert_eq!(decode_data(&encode_data(0, b"")).unwrap(), (0, &b""[..]));
-        for cut in 0..4 {
+        let p = encode_data(7, 41, b"xyz");
+        assert_eq!(decode_data(&p).unwrap(), (7, 41, &b"xyz"[..]));
+        assert_eq!(decode_data(&encode_data(0, 0, b"")).unwrap(), (0, 0, &b""[..]));
+        for cut in 0..12 {
             assert!(decode_data(&p[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn shm_doorbell_codec_round_trips_and_rejects_wrong_sizes() {
+        let p = encode_shm_doorbell(5, 99, 1 << 33, 4096, 0xdead_beef_cafe);
+        assert_eq!(decode_shm_doorbell(&p).unwrap(), (5, 99, 1 << 33, 4096, 0xdead_beef_cafe));
+        for cut in 0..32 {
+            assert!(decode_shm_doorbell(&p[..cut]).is_err(), "cut {cut}");
+        }
+        let mut long = p.clone();
+        long.push(0);
+        assert!(decode_shm_doorbell(&long).is_err(), "trailing garbage accepted");
     }
 }

@@ -13,9 +13,17 @@
 //! * [`worker`] — hosts *groups* (one [`ssp_runtime::launch_partial`]
 //!   scheduler instance each) and bridges their cross-group channels to
 //!   DATA frames.
-//! * [`supervisor`] — owns the topology, routes and logs every cross-group
-//!   message (star topology), and on a worker death migrates its unfinished
-//!   ranks onto a survivor or a fresh process, replaying channel history.
+//! * [`transport`] — direct worker↔worker sockets (Unix-domain or TCP)
+//!   the supervisor brokers after ASSIGN, so steady-state DATA frames skip
+//!   the star's double hop.
+//! * [`shm`] — a file-backed SPSC byte ring for co-located workers; halo
+//!   payloads move through shared memory, only a 32-byte doorbell rides
+//!   the peer socket.
+//! * [`supervisor`] — owns the topology, logs every cross-group message
+//!   (and, in star mode, forwards it), brokers peer introductions, takes
+//!   periodic shadow checkpoints, and on a worker death migrates the dead
+//!   ranks onto a survivor or a fresh process, resuming from the last
+//!   checkpoint and replaying only the bounded in-flight window.
 //!
 //! The correctness claim, inherited from the paper's Theorem 1: processes
 //! are deterministic and interact only via SRSW channels, so a rank rebuilt
@@ -29,12 +37,18 @@
 pub mod frame;
 pub mod proto;
 pub mod registry;
+pub mod shm;
 pub mod supervisor;
+pub mod transport;
 pub mod worker;
 
-pub use proto::WorkerTelemetry;
-pub use registry::{build_workload, fdtd_a_args, fdtd_a_overlap_args, ring_args, Workload};
-pub use supervisor::{
-    run_distributed, ChaosKill, DistConfig, DistOutcome, DistStats, MigrationPolicy, WorkerRow,
+pub use proto::{PeerTable, WorkerTelemetry};
+pub use registry::{
+    build_workload, fdtd_a_args, fdtd_a_overlap_args, ring_args, ProgramShadow, Workload,
 };
+pub use supervisor::{
+    run_distributed, ChaosKill, DistConfig, DistOutcome, DistStats, MigrationPolicy, TransportMode,
+    WorkerRow,
+};
+pub use transport::{PeerAddr, PeerListener, PeerStream};
 pub use worker::worker_main;

@@ -22,17 +22,173 @@ fn corrupt(detail: String) -> RunError {
     RunError::Protocol { proc: 0, detail }
 }
 
-/// HELLO payload: the worker's index, `[u32 le]`.
-pub fn encode_hello(worker: usize) -> Vec<u8> {
-    (worker as u32).to_le_bytes().to_vec()
+/// HELLO payload: the worker's index plus its direct-plane listening
+/// address, `[u32 le][addr utf-8]`. The address may be empty (a worker
+/// running star-only opens no peer listener).
+pub fn encode_hello(worker: usize, addr: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + addr.len());
+    out.extend_from_slice(&(worker as u32).to_le_bytes());
+    out.extend_from_slice(addr.as_bytes());
+    out
 }
 
-/// Decode a HELLO payload.
-pub fn decode_hello(payload: &[u8]) -> Result<usize, RunError> {
-    let b: [u8; 4] = payload
-        .try_into()
-        .map_err(|_| corrupt(format!("HELLO payload must be 4 bytes, got {}", payload.len())))?;
-    Ok(u32::from_le_bytes(b) as usize)
+/// Decode a HELLO payload into `(worker index, peer address or "")`.
+pub fn decode_hello(payload: &[u8]) -> Result<(usize, String), RunError> {
+    if payload.len() < 4 {
+        return Err(corrupt(format!(
+            "HELLO payload must be at least 4 bytes, got {}",
+            payload.len()
+        )));
+    }
+    let worker = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+    let addr = std::str::from_utf8(&payload[4..])
+        .map_err(|e| corrupt(format!("HELLO peer address is not UTF-8: {e}")))?;
+    Ok((worker, addr.to_string()))
+}
+
+/// PEER_HELLO payload, the first frame on a direct worker↔worker
+/// connection: `[from worker: u32 le][generation: u64 le]`.
+pub fn encode_peer_hello(from_worker: usize, generation: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&(from_worker as u32).to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out
+}
+
+/// Decode a PEER_HELLO into `(from worker, generation)`. Fixed-size;
+/// anything else is a typed error (this is the introduction gate that
+/// keeps stale or hostile peers from cross-wiring data).
+pub fn decode_peer_hello(payload: &[u8]) -> Result<(usize, u64), RunError> {
+    if payload.len() != 12 {
+        return Err(corrupt(format!(
+            "PEER_HELLO payload must be 12 bytes, got {}",
+            payload.len()
+        )));
+    }
+    let from = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+    let generation = u64::from_le_bytes(payload[4..12].try_into().unwrap());
+    Ok((from, generation))
+}
+
+/// BYE payload: final worker-side data-plane counters, 4 × u64 le
+/// (direct frames, direct bytes, shm frames, shm bytes).
+pub fn encode_bye(direct_frames: u64, direct_bytes: u64, shm_frames: u64, shm_bytes: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    for v in [direct_frames, direct_bytes, shm_frames, shm_bytes] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a BYE payload into its four counters.
+pub fn decode_bye(payload: &[u8]) -> Result<(u64, u64, u64, u64), RunError> {
+    if payload.len() != 32 {
+        return Err(corrupt(format!("BYE payload must be 32 bytes, got {}", payload.len())));
+    }
+    let at = |i: usize| u64::from_le_bytes(payload[i * 8..i * 8 + 8].try_into().unwrap());
+    Ok((at(0), at(1), at(2), at(3)))
+}
+
+/// RESUME payload: `[group: u64 le][GroupManifest bytes]`. The manifest
+/// bytes are fingerprint-sealed by `recover.rs`'s own codec; this frame
+/// only pairs them with the group id of the ASSIGN that follows.
+pub fn encode_resume(group: u64, manifest: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + manifest.len());
+    out.extend_from_slice(&group.to_le_bytes());
+    out.extend_from_slice(manifest);
+    out
+}
+
+/// Decode a RESUME payload into `(group, manifest bytes)`.
+pub fn decode_resume(payload: &[u8]) -> Result<(u64, &[u8]), RunError> {
+    if payload.len() < 8 {
+        return Err(corrupt(format!(
+            "RESUME payload truncated: {} bytes, need at least 8",
+            payload.len()
+        )));
+    }
+    let group = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    Ok((group, &payload[8..]))
+}
+
+/// The supervisor-brokered peer introduction table: which worker hosts
+/// each rank, and how to dial each live worker directly. Carried inside
+/// ASSIGN (so a group can open its data plane immediately) and re-broadcast
+/// as a standalone PEERS frame after membership changes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PeerTable {
+    /// Membership generation; bumped by the supervisor on every worker
+    /// death. Introductions from older generations are stale.
+    pub gen: u64,
+    /// `placement[rank]` = worker index hosting that rank.
+    pub placement: Vec<usize>,
+    /// `(worker index, dialable address)` for every live worker with an
+    /// open peer listener.
+    pub peers: Vec<(usize, String)>,
+}
+
+impl PeerTable {
+    fn to_json_value(&self) -> JsonValue {
+        let mut obj = BTreeMap::new();
+        obj.insert("gen".to_string(), JsonValue::Num(self.gen as f64));
+        obj.insert(
+            "placement".to_string(),
+            JsonValue::Arr(self.placement.iter().map(|&w| JsonValue::Num(w as f64)).collect()),
+        );
+        let mut peers = BTreeMap::new();
+        for (w, a) in &self.peers {
+            peers.insert(w.to_string(), JsonValue::Str(a.clone()));
+        }
+        obj.insert("peers".to_string(), JsonValue::Obj(peers));
+        JsonValue::Obj(obj)
+    }
+
+    fn from_json_value(doc: &JsonValue) -> Result<PeerTable, RunError> {
+        let gen = doc
+            .get("gen")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| corrupt("peer table missing integer 'gen'".to_string()))?;
+        let placement = doc
+            .get("placement")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| corrupt("peer table missing array 'placement'".to_string()))?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .ok_or_else(|| corrupt("peer table placement entry not an integer".to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let peers_obj = match doc.get("peers") {
+            Some(JsonValue::Obj(m)) => m,
+            _ => return Err(corrupt("peer table missing object 'peers'".to_string())),
+        };
+        let mut peers = Vec::with_capacity(peers_obj.len());
+        for (k, v) in peers_obj {
+            let w: usize = k
+                .parse()
+                .map_err(|_| corrupt(format!("peer table worker key {k:?} not an integer")))?;
+            let addr = match v {
+                JsonValue::Str(s) => s.clone(),
+                _ => return Err(corrupt("peer table address is not a string".to_string())),
+            };
+            peers.push((w, addr));
+        }
+        peers.sort_unstable();
+        Ok(PeerTable { gen, placement, peers })
+    }
+
+    /// Serialize a standalone PEERS frame payload (JSON).
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_json_value().to_json().into_bytes()
+    }
+
+    /// Parse a PEERS payload; anything malformed is a typed error.
+    pub fn decode(payload: &[u8]) -> Result<PeerTable, RunError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| corrupt(format!("PEERS payload is not UTF-8: {e}")))?;
+        let doc = parse(text).map_err(|e| corrupt(format!("PEERS payload: {e}")))?;
+        PeerTable::from_json_value(&doc)
+    }
 }
 
 /// An ASSIGN order: host `ranks` as one group of `workload`.
@@ -50,6 +206,13 @@ pub struct Assign {
     /// scheduler, or `None` for the zero-cost disabled build. Optional on
     /// the wire: an ASSIGN without the key decodes as `None`.
     pub flight: Option<usize>,
+    /// Transport mode for the group's cross-group traffic: `"star"`,
+    /// `"direct"` or `"direct+shm"`. Optional on the wire; absent means
+    /// star (the PR 7 behavior).
+    pub mode: Option<String>,
+    /// Peer introduction table for the direct plane. Optional; required
+    /// by workers whenever `mode` is a direct flavor.
+    pub table: Option<PeerTable>,
 }
 
 impl Assign {
@@ -65,6 +228,12 @@ impl Assign {
         );
         if let Some(cap) = self.flight {
             obj.insert("flight".to_string(), JsonValue::Num(cap as f64));
+        }
+        if let Some(mode) = &self.mode {
+            obj.insert("mode".to_string(), JsonValue::Str(mode.clone()));
+        }
+        if let Some(table) = &self.table {
+            obj.insert("table".to_string(), table.to_json_value());
         }
         JsonValue::Obj(obj).to_json().into_bytes()
     }
@@ -98,7 +267,16 @@ impl Assign {
                 corrupt("ASSIGN 'flight' must be an integer window".to_string())
             })?),
         };
-        Ok(Assign { group, workload, args, ranks, flight })
+        let mode = match doc.get("mode") {
+            None | Some(JsonValue::Null) => None,
+            Some(JsonValue::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(corrupt("ASSIGN 'mode' must be a string".to_string())),
+        };
+        let table = match doc.get("table") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(PeerTable::from_json_value(v)?),
+        };
+        Ok(Assign { group, workload, args, ranks, flight, mode, table })
     }
 }
 
@@ -271,8 +449,11 @@ mod tests {
 
     #[test]
     fn hello_and_assign_round_trip() {
-        assert_eq!(decode_hello(&encode_hello(5)).unwrap(), 5);
+        assert_eq!(decode_hello(&encode_hello(5, "")).unwrap(), (5, String::new()));
+        let addr = "unix:/tmp/run/peer-5.sock";
+        assert_eq!(decode_hello(&encode_hello(5, addr)).unwrap(), (5, addr.to_string()));
         assert!(decode_hello(b"abc").is_err());
+        assert!(decode_hello(&[0, 0, 0, 0, 0xff, 0xfe]).is_err()); // non-UTF-8 addr
 
         let mut args = BTreeMap::new();
         args.insert("n".to_string(), JsonValue::Num(4.0));
@@ -282,6 +463,8 @@ mod tests {
             args: JsonValue::Obj(args),
             ranks: vec![2, 3],
             flight: None,
+            mode: None,
+            table: None,
         };
         assert_eq!(Assign::decode(&a.encode()).unwrap(), a);
 
@@ -294,6 +477,72 @@ mod tests {
             b"{\"group\":1,\"workload\":\"r\",\"ranks\":[],\"flight\":\"big\"}"
         )
         .is_err());
+
+        // Transport fields: absent when None, round-trip when set.
+        let wire = String::from_utf8(a.encode()).unwrap();
+        assert!(!wire.contains("mode") && !wire.contains("table"));
+        let table = PeerTable {
+            gen: 3,
+            placement: vec![0, 0, 1, 1],
+            peers: vec![(0, "unix:/tmp/p0".to_string()), (1, "tcp:127.0.0.1:9000".to_string())],
+        };
+        let with = Assign {
+            mode: Some("direct+shm".to_string()),
+            table: Some(table),
+            ..a.clone()
+        };
+        assert_eq!(Assign::decode(&with.encode()).unwrap(), with);
+        assert!(Assign::decode(
+            b"{\"group\":1,\"workload\":\"r\",\"ranks\":[],\"mode\":7}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn peer_hello_bye_resume_codecs_round_trip_and_reject_hostile_sizes() {
+        let p = encode_peer_hello(3, 17);
+        assert_eq!(decode_peer_hello(&p).unwrap(), (3, 17));
+        for cut in 0..p.len() {
+            assert!(decode_peer_hello(&p[..cut]).is_err(), "cut {cut}");
+        }
+        let mut long = p.clone();
+        long.push(0);
+        assert!(decode_peer_hello(&long).is_err());
+
+        let b = encode_bye(10, 2048, 7, 896);
+        assert_eq!(decode_bye(&b).unwrap(), (10, 2048, 7, 896));
+        for cut in 0..b.len() {
+            assert!(decode_bye(&b[..cut]).is_err(), "cut {cut}");
+        }
+
+        let r = encode_resume(42, b"manifest-bytes");
+        assert_eq!(decode_resume(&r).unwrap(), (42, &b"manifest-bytes"[..]));
+        assert!(decode_resume(&r[..7]).is_err());
+        // An empty manifest body is structurally valid here; the sealed
+        // manifest codec downstream is what rejects it.
+        assert_eq!(decode_resume(&encode_resume(1, b"")).unwrap(), (1, &b""[..]));
+    }
+
+    #[test]
+    fn peer_table_round_trips_and_rejects_malformed_documents() {
+        let t = PeerTable {
+            gen: 9,
+            placement: vec![1, 0, 2],
+            peers: vec![(0, "unix:/a".to_string()), (2, "tcp:[::1]:4".to_string())],
+        };
+        assert_eq!(PeerTable::decode(&t.encode()).unwrap(), t);
+        for bad in [
+            &b"\xff"[..],                                       // not UTF-8
+            b"[",                                               // not JSON
+            b"{\"gen\":1}",                                     // missing fields
+            b"{\"gen\":\"x\",\"placement\":[],\"peers\":{}}",   // non-integer gen
+            b"{\"gen\":1,\"placement\":[\"a\"],\"peers\":{}}",  // bad placement entry
+            b"{\"gen\":1,\"placement\":[],\"peers\":{\"x\":\"u\"}}", // bad worker key
+            b"{\"gen\":1,\"placement\":[],\"peers\":{\"0\":7}}", // non-string addr
+        ] {
+            let r = PeerTable::decode(bad);
+            assert!(matches!(r, Err(RunError::Protocol { .. })), "{bad:?} -> {r:?}");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! layer below routes opaque `Vec<u8>` payloads, while each workload pins
 //! a concrete [`Process`] type and a bitwise-faithful encode/decode pair.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
@@ -24,9 +24,10 @@ use mesh_archetype::driver::{
 use meshgrid::ProcGrid3;
 use ssp_runtime::json::JsonValue;
 use ssp_runtime::{
-    launch_partial, launch_partial_flight, ChannelId, Effect, FaultPlan, FlightLog, FlightSink,
-    Gateway, LiveTelemetry, PartialRun, Process, RoundRobin, RunError, RunMetrics, Simulator,
-    ThreadedConfig, Topology,
+    launch_partial, launch_partial_flight, launch_partial_seeded, launch_partial_seeded_flight,
+    ChannelId, Effect, FaultPlan, FlightKind, FlightLog, FlightSink, Gateway, GroupManifest,
+    LiveTelemetry, ManifestRank, ManifestStatus, PartialRun, PartialSeed, ProcMetrics, ProcState,
+    Process, RoundRobin, RunError, RunMetrics, Simulator, ThreadedConfig, Topology,
 };
 
 fn bad_args(detail: String) -> RunError {
@@ -46,6 +47,14 @@ pub trait GroupIngress: Send + Sync {
     /// Cheap live counters for heartbeat telemetry (atomic loads only;
     /// safe to call from the worker's socket loop while the group runs).
     fn telemetry(&self) -> LiveTelemetry;
+    /// Record an *inbound* route-provenance mark (`FlightKind::DataStar` /
+    /// `DataDirect` / `DataShm`) in the group's flight log. Gateway-lane
+    /// single-writer contract: call only from the worker's (mutually
+    /// excluded) inbound router path. No-op when recording is disabled.
+    fn record_route_in(&self, _kind: FlightKind, _chan: usize, _bytes: u64) {}
+    /// Record an *outbound* route-provenance mark in the control lane.
+    /// Call only from the group's (single) outbound pump thread.
+    fn record_route_out(&self, _kind: FlightKind, _chan: usize, _bytes: u64) {}
 }
 
 /// What a finished group reports: `(rank, snapshot)` pairs for every
@@ -59,6 +68,10 @@ pub trait GroupJoin: Send {
     /// to the sink before this returns.
     fn join(self: Box<Self>) -> Result<GroupOutcome, RunError>;
 }
+
+/// What launching a group yields: its inbound ingress plus the join
+/// handle that waits for completion.
+pub type LaunchedGroup = (Arc<dyn GroupIngress>, Box<dyn GroupJoin>);
 
 /// A named program family the registry can instantiate.
 pub trait Workload: Send + Sync {
@@ -80,6 +93,461 @@ pub trait Workload: Send + Sync {
     /// deterministic simulator. The distributed result must match this
     /// bitwise (Theorem 1's standard).
     fn run_reference(&self) -> Result<Vec<Vec<u8>>, RunError>;
+    /// Build the supervisor's whole-program shadow executor with a cut
+    /// every `every` shadow steps (see [`ProgramShadow`]).
+    fn shadow(&self, every: u64) -> Box<dyn ProgramShadow>;
+    /// [`Workload::launch_group`], but resuming `ranks` from a checkpoint
+    /// manifest instead of their initial states. Every manifest field is
+    /// validated (this path reads network bytes): unknown ranks, channel
+    /// ids out of range, queues on non-internal channels and undecodable
+    /// states or messages all fail typed.
+    fn launch_group_seeded(
+        &self,
+        ranks: &[usize],
+        manifest: &GroupManifest,
+        workers: Option<usize>,
+        flight: Option<usize>,
+        sink: DataSink,
+    ) -> Result<LaunchedGroup, RunError>;
+}
+
+// ---------------------------------------------------------------------------
+// The supervisor's whole-program shadow.
+// ---------------------------------------------------------------------------
+
+/// The supervisor's untyped handle on a [`ShadowExec`].
+///
+/// In checkpointed transport modes the supervisor re-executes the *entire*
+/// program from the registry, one deterministic step at a time, gated by
+/// the DATA mirrors workers send it. Theorem 1 is what makes this a shadow
+/// rather than a guess: deterministic processes on SRSW channels produce
+/// the same per-channel message *sequences* under every maximal
+/// interleaving, so the shadow's trajectory is the real system's
+/// trajectory — and any periodic cut of the shadow is a consistent global
+/// state the supervisor can hand to a merged group as a resume manifest.
+/// Mismatched mirror bytes therefore prove a determinism violation, which
+/// surfaces as a typed error instead of a silently-wrong resume.
+pub trait ProgramShadow: Send {
+    /// Mark `chan` as gated (cross-group: shadow sends must wait for and
+    /// byte-match a mirror) or free-running (group-internal). Un-gating
+    /// drops any queued credits.
+    fn set_gated(&mut self, chan: usize, gated: bool);
+    /// Feed one logged DATA mirror (in per-channel seq order).
+    fn on_mirror(&mut self, chan: usize, bytes: &[u8]);
+    /// Run every rank until the next gated send without a credit (or
+    /// completion), taking a cut each `every` steps. Errors are
+    /// determinism violations or process faults.
+    fn advance(&mut self) -> Result<(), RunError>;
+    /// Shadow steps executed so far.
+    fn steps(&self) -> u64;
+    /// Step ordinal of the latest cut.
+    fn cut_steps(&self) -> u64;
+    /// Cuts taken so far (≥ 1: the initial state counts).
+    fn cuts_taken(&self) -> u64;
+    /// Deliveries consumed on `chan` at the latest cut — the supervisor's
+    /// channel-log truncation frontier.
+    fn cut_consumed(&self, chan: usize) -> u64;
+    /// Encode the latest cut's state for `ranks` as a sealed
+    /// [`GroupManifest`].
+    fn manifest(&self, ranks: &[usize]) -> Vec<u8>;
+}
+
+/// Shadow scheduler status of one rank (an untyped mirror of
+/// [`ProcState`], kept separate so gated sends can *hold* the message
+/// while waiting for a mirror credit).
+#[derive(Clone)]
+enum ShStatus<M> {
+    Ready,
+    BlockedRecv(usize),
+    BlockedSend(usize, M),
+    Halted,
+}
+
+/// One consistent cut of the shadow (a clone of its whole data plane).
+struct ShadowCut<P: Process + Clone>
+where
+    P::Msg: Clone,
+{
+    procs: Vec<P>,
+    status: Vec<ShStatus<P::Msg>>,
+    queues: Vec<VecDeque<P::Msg>>,
+    consumed: Vec<u64>,
+    counters: Vec<(u64, u64, u64)>,
+    pm: Vec<ProcMetrics>,
+    steps: u64,
+}
+
+/// The typed whole-program shadow executor behind [`ProgramShadow`].
+///
+/// Step semantics replicate [`Simulator`] exactly (delivery = pop +
+/// resume(Some); a blocked send completes *without* resuming the process),
+/// with one addition: sends on *gated* channels complete only when a
+/// mirror credit is queued, and the completed message's encoding must
+/// byte-match that credit. Gating keeps the shadow at-or-behind the real
+/// execution on every cross-group channel, which is what makes the cut's
+/// in-flight window `[consumed, sent)` provably present in the
+/// supervisor's channel logs (every gated send the shadow completed was
+/// first logged as a mirror).
+struct ShadowExec<P: Process + Clone>
+where
+    P::Msg: Clone,
+{
+    topo: Topology,
+    procs: Vec<P>,
+    status: Vec<ShStatus<P::Msg>>,
+    queues: Vec<VecDeque<P::Msg>>,
+    /// Deliveries completed per channel.
+    consumed: Vec<u64>,
+    /// Writer-side `(messages, bytes, max_depth)` per channel.
+    counters: Vec<(u64, u64, u64)>,
+    pm: Vec<ProcMetrics>,
+    gated: Vec<bool>,
+    /// Mirror credits per gated channel: the logged wire bytes, in seq
+    /// order, not yet consumed by a shadow send.
+    credits: Vec<VecDeque<Vec<u8>>>,
+    steps: u64,
+    cuts: u64,
+    every: u64,
+    cut: ShadowCut<P>,
+    encode: fn(&P::Msg) -> Vec<u8>,
+    state: fn(&P) -> Vec<u8>,
+}
+
+impl<P: Process + Clone> ShadowExec<P>
+where
+    P::Msg: Clone,
+{
+    fn new(
+        topo: Topology,
+        procs: Vec<P>,
+        encode: fn(&P::Msg) -> Vec<u8>,
+        state: fn(&P) -> Vec<u8>,
+        every: u64,
+    ) -> ShadowExec<P> {
+        let n = topo.n_channels();
+        let status: Vec<ShStatus<P::Msg>> = vec![ShStatus::Ready; procs.len()];
+        let queues: Vec<VecDeque<P::Msg>> = vec![VecDeque::new(); n];
+        let pm = vec![ProcMetrics::default(); procs.len()];
+        let cut = ShadowCut {
+            procs: procs.clone(),
+            status: status.clone(),
+            queues: queues.clone(),
+            consumed: vec![0; n],
+            counters: vec![(0, 0, 0); n],
+            pm: pm.clone(),
+            steps: 0,
+        };
+        ShadowExec {
+            topo,
+            procs,
+            status,
+            queues,
+            consumed: vec![0; n],
+            counters: vec![(0, 0, 0); n],
+            pm,
+            gated: vec![false; n],
+            credits: vec![VecDeque::new(); n],
+            steps: 0,
+            cuts: 1,
+            every: every.max(1),
+            cut,
+            encode,
+            state,
+        }
+    }
+
+    fn can_complete_send(&self, c: usize) -> bool {
+        if self.gated[c] {
+            return !self.credits[c].is_empty();
+        }
+        match self.topo.spec(ChannelId(c)).capacity {
+            Some(k) => self.queues[c].len() < k,
+            None => true,
+        }
+    }
+
+    fn is_runnable(&self, p: usize) -> bool {
+        match &self.status[p] {
+            ShStatus::Ready => true,
+            ShStatus::BlockedRecv(c) => !self.queues[*c].is_empty(),
+            ShStatus::BlockedSend(c, _) => self.can_complete_send(*c),
+            ShStatus::Halted => false,
+        }
+    }
+
+    /// Complete a send on `c` (gated: consume + byte-verify the credit).
+    fn complete_send(&mut self, p: usize, c: usize, msg: P::Msg) -> Result<(), RunError> {
+        if self.gated[c] {
+            let credit = self.credits[c].pop_front().expect("send gated without credit");
+            let enc = (self.encode)(&msg);
+            if enc != credit {
+                return Err(RunError::Protocol {
+                    proc: p,
+                    detail: format!(
+                        "determinism violation on ch{c}: shadow send #{} encodes to {} bytes \
+                         that differ from the mirrored frame ({} bytes)",
+                        self.counters[c].0,
+                        enc.len(),
+                        credit.len()
+                    ),
+                });
+            }
+        }
+        let ctr = &mut self.counters[c];
+        ctr.0 += 1;
+        ctr.1 += P::msg_size_bytes(&msg);
+        self.queues[c].push_back(msg);
+        ctr.2 = ctr.2.max(self.queues[c].len() as u64);
+        self.pm[p].sends += 1;
+        Ok(())
+    }
+
+    fn apply_effect(&mut self, p: usize, effect: Effect<P::Msg>) -> Result<(), RunError> {
+        match effect {
+            Effect::Compute { units } => {
+                self.pm[p].compute_units += units;
+                self.status[p] = ShStatus::Ready;
+            }
+            Effect::Send { chan, msg } => {
+                let c = chan.0;
+                if self.can_complete_send(c) {
+                    self.complete_send(p, c, msg)?;
+                    self.status[p] = ShStatus::Ready;
+                } else {
+                    self.status[p] = ShStatus::BlockedSend(c, msg);
+                }
+            }
+            Effect::Recv { chan } => self.status[p] = ShStatus::BlockedRecv(chan.0),
+            Effect::Halt => self.status[p] = ShStatus::Halted,
+            Effect::Fault { error } => {
+                self.status[p] = ShStatus::Halted;
+                return Err(error);
+            }
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, p: usize) -> Result<(), RunError> {
+        self.steps += 1;
+        self.pm[p].steps += 1;
+        match std::mem::replace(&mut self.status[p], ShStatus::Ready) {
+            ShStatus::Ready => {
+                let effect = self.procs[p].resume(None);
+                self.apply_effect(p, effect)?;
+            }
+            ShStatus::BlockedRecv(c) => {
+                let msg = self.queues[c].pop_front().expect("recv stepped on empty queue");
+                self.consumed[c] += 1;
+                self.pm[p].receives += 1;
+                let effect = self.procs[p].resume(Some(msg));
+                self.apply_effect(p, effect)?;
+            }
+            // Like the simulator: completing a blocked send does not
+            // resume the process in the same step.
+            ShStatus::BlockedSend(c, msg) => self.complete_send(p, c, msg)?,
+            ShStatus::Halted => unreachable!("halted rank stepped"),
+        }
+        if self.steps - self.cut.steps >= self.every {
+            self.take_cut();
+        }
+        Ok(())
+    }
+
+    fn take_cut(&mut self) {
+        self.cut = ShadowCut {
+            procs: self.procs.clone(),
+            status: self.status.clone(),
+            queues: self.queues.clone(),
+            consumed: self.consumed.clone(),
+            counters: self.counters.clone(),
+            pm: self.pm.clone(),
+            steps: self.steps,
+        };
+        self.cuts += 1;
+    }
+}
+
+impl<P: Process + Clone + 'static> ProgramShadow for ShadowExec<P>
+where
+    P::Msg: Clone,
+{
+    fn set_gated(&mut self, chan: usize, gated: bool) {
+        self.gated[chan] = gated;
+        if !gated {
+            self.credits[chan].clear();
+        }
+    }
+
+    fn on_mirror(&mut self, chan: usize, bytes: &[u8]) {
+        if self.gated[chan] {
+            self.credits[chan].push_back(bytes.to_vec());
+        }
+    }
+
+    fn advance(&mut self) -> Result<(), RunError> {
+        loop {
+            let mut progressed = false;
+            for p in 0..self.procs.len() {
+                while self.is_runnable(p) {
+                    self.step(p)?;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn cut_steps(&self) -> u64 {
+        self.cut.steps
+    }
+
+    fn cuts_taken(&self) -> u64 {
+        self.cuts
+    }
+
+    fn cut_consumed(&self, chan: usize) -> u64 {
+        self.cut.consumed[chan]
+    }
+
+    fn manifest(&self, ranks: &[usize]) -> Vec<u8> {
+        let rset: BTreeSet<usize> = ranks.iter().copied().collect();
+        let cut = &self.cut;
+        let mranks = ranks
+            .iter()
+            .map(|&r| {
+                let status = match &cut.status[r] {
+                    ShStatus::Ready => ManifestStatus::Ready,
+                    ShStatus::BlockedRecv(c) => ManifestStatus::BlockedRecv(*c as u32),
+                    ShStatus::BlockedSend(c, m) => {
+                        ManifestStatus::BlockedSend(*c as u32, (self.encode)(m))
+                    }
+                    ShStatus::Halted => ManifestStatus::Halted,
+                };
+                ManifestRank {
+                    rank: r as u32,
+                    status,
+                    state: (self.state)(&cut.procs[r]),
+                    metrics: cut.pm[r],
+                }
+            })
+            .collect();
+        // Only channels *internal* to the resumed set travel as seeded
+        // queues; in-flight messages on inbound channels are replayed
+        // from the supervisor's logs (gating guarantees they are there).
+        let queues = self
+            .topo
+            .specs()
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                rset.contains(&s.writer) && rset.contains(&s.reader) && !cut.queues[*i].is_empty()
+            })
+            .map(|(i, _)| (i as u32, cut.queues[i].iter().map(|m| (self.encode)(m)).collect()))
+            .collect();
+        GroupManifest {
+            steps: cut.steps,
+            ranks: mranks,
+            queues,
+            consumed: cut.consumed.clone(),
+            counters: cut.counters.clone(),
+        }
+        .encode()
+    }
+}
+
+/// Build a [`PartialSeed`] for `ranks` from a decoded manifest and launch
+/// it. Validation is exhaustive (network-facing): rank set mismatches,
+/// channel ids out of range, seeded queues on non-internal channels and
+/// undecodable payloads are typed errors, never panics.
+#[allow(clippy::too_many_arguments)] // one codec hook per manifest field
+fn launch_typed_seeded<P>(
+    topo: &Topology,
+    templates: Vec<(usize, P)>,
+    manifest: &GroupManifest,
+    workers: Option<usize>,
+    flight: Option<usize>,
+    encode: fn(&P::Msg) -> Vec<u8>,
+    decode: fn(&[u8]) -> Result<P::Msg, RunError>,
+    decode_state: impl Fn(&P, &[u8]) -> Result<P, RunError>,
+    sink: DataSink,
+) -> Result<LaunchedGroup, RunError>
+where
+    P: Process + 'static,
+{
+    let bad = |detail: String| RunError::Protocol { proc: 0, detail };
+    let n_chans = topo.n_channels();
+    if manifest.consumed.len() != n_chans || manifest.counters.len() != n_chans {
+        return Err(bad(format!(
+            "manifest channel vectors ({}, {}) do not match topology ({n_chans})",
+            manifest.consumed.len(),
+            manifest.counters.len()
+        )));
+    }
+    let by_rank: BTreeMap<usize, &ManifestRank> =
+        manifest.ranks.iter().map(|r| (r.rank as usize, r)).collect();
+    let rset: BTreeSet<usize> = templates.iter().map(|&(r, _)| r).collect();
+    if by_rank.len() != templates.len() || !rset.iter().all(|r| by_rank.contains_key(r)) {
+        return Err(bad(format!(
+            "manifest rank set {:?} does not match assigned ranks {:?}",
+            by_rank.keys().collect::<Vec<_>>(),
+            rset
+        )));
+    }
+    let chan_of = |c: u32, what: &str| -> Result<usize, RunError> {
+        let c = c as usize;
+        if c >= n_chans {
+            return Err(bad(format!("manifest {what} channel {c} out of range 0..{n_chans}")));
+        }
+        Ok(c)
+    };
+    let mut procs = Vec::with_capacity(templates.len());
+    for (rank, template) in templates {
+        let mr = by_rank[&rank];
+        let proc = decode_state(&template, &mr.state)?;
+        let status = match &mr.status {
+            ManifestStatus::Ready => ProcState::Ready,
+            ManifestStatus::BlockedRecv(c) => {
+                ProcState::BlockedRecv(ChannelId(chan_of(*c, "blocked-recv")?))
+            }
+            ManifestStatus::BlockedSend(c, bytes) => {
+                ProcState::BlockedSend(ChannelId(chan_of(*c, "blocked-send")?), decode(bytes)?)
+            }
+            ManifestStatus::Halted => ProcState::Halted,
+        };
+        procs.push((rank, proc, status, mr.metrics));
+    }
+    let mut queues = Vec::with_capacity(manifest.queues.len());
+    for (chan, msgs) in &manifest.queues {
+        let c = chan_of(*chan, "queue")?;
+        let spec = topo.spec(ChannelId(c));
+        if !(rset.contains(&spec.writer) && rset.contains(&spec.reader)) {
+            return Err(bad(format!(
+                "manifest seeds queue on ch{c}, which is not internal to the resumed ranks"
+            )));
+        }
+        let decoded = msgs.iter().map(|m| decode(m)).collect::<Result<Vec<_>, _>>()?;
+        queues.push((c, decoded));
+    }
+    let seed = PartialSeed {
+        procs,
+        queues,
+        consumed: manifest.consumed.clone(),
+        counters: manifest.counters.clone(),
+    };
+    let config = ThreadedConfig { watchdog: None, workers, flight };
+    Ok(if flight.is_some() {
+        let run = launch_partial_seeded_flight(topo, seed, config, &FaultPlan::none());
+        erase_run(run, encode, decode, sink)
+    } else {
+        let run = launch_partial_seeded(topo, seed, config, &FaultPlan::none());
+        erase_run(run, encode, decode, sink)
+    })
 }
 
 /// Typed ingress: decodes bytes and hands them to the scheduler gateway.
@@ -100,6 +568,14 @@ impl<P: Process, F: FlightSink> GroupIngress for TypedIngress<P, F> {
 
     fn telemetry(&self) -> LiveTelemetry {
         self.gateway.telemetry()
+    }
+
+    fn record_route_in(&self, kind: FlightKind, chan: usize, bytes: u64) {
+        self.gateway.record_gateway(kind, 0, chan, bytes);
+    }
+
+    fn record_route_out(&self, kind: FlightKind, chan: usize, bytes: u64) {
+        self.gateway.record_control(kind, 0, chan, bytes);
     }
 }
 
@@ -279,6 +755,60 @@ impl RingWorkload {
     }
 }
 
+/// Evolving-state codec for checkpoint manifests: `[lap u64][acc u64]
+/// [st tag u8][token u64 if Forward]`. Static fields (rank, n, laps)
+/// come from the receiving worker's template.
+fn ring_state_encode(p: &RingNode) -> Vec<u8> {
+    let mut b = Vec::with_capacity(25);
+    b.extend_from_slice(&p.lap.to_le_bytes());
+    b.extend_from_slice(&p.acc.to_le_bytes());
+    match p.st {
+        RingSt::Start => b.push(0),
+        RingSt::Waiting => b.push(1),
+        RingSt::Forward(tok) => {
+            b.push(2);
+            b.extend_from_slice(&tok.to_le_bytes());
+        }
+        RingSt::Done => b.push(3),
+    }
+    b
+}
+
+fn ring_state_decode(template: &RingNode, buf: &[u8]) -> Result<RingNode, RunError> {
+    let bad = |detail: String| RunError::Protocol { proc: template.rank, detail };
+    let need = |n: usize| -> Result<(), RunError> {
+        if buf.len() != n {
+            return Err(bad(format!("ring state must be {n} bytes for this tag, got {}", buf.len())));
+        }
+        Ok(())
+    };
+    if buf.len() < 17 {
+        return Err(bad(format!("ring state truncated: {} bytes", buf.len())));
+    }
+    let lap = u64::from_le_bytes(buf[..8].try_into().unwrap());
+    let acc = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    let st = match buf[16] {
+        0 => {
+            need(17)?;
+            RingSt::Start
+        }
+        1 => {
+            need(17)?;
+            RingSt::Waiting
+        }
+        2 => {
+            need(25)?;
+            RingSt::Forward(u64::from_le_bytes(buf[17..25].try_into().unwrap()))
+        }
+        3 => {
+            need(17)?;
+            RingSt::Done
+        }
+        t => return Err(bad(format!("ring state has unknown tag {t}"))),
+    };
+    Ok(RingNode { lap, acc, st, ..*template })
+}
+
 fn encode_u64(m: &u64) -> Vec<u8> {
     m.to_le_bytes().to_vec()
 }
@@ -317,6 +847,40 @@ impl Workload for RingWorkload {
         let out = Simulator::new(self.topology(), self.procs()).run(&mut RoundRobin::new())?;
         Ok(out.snapshots)
     }
+
+    fn shadow(&self, every: u64) -> Box<dyn ProgramShadow> {
+        Box::new(ShadowExec::new(
+            self.topology(),
+            self.procs(),
+            encode_u64,
+            ring_state_encode,
+            every,
+        ))
+    }
+
+    fn launch_group_seeded(
+        &self,
+        ranks: &[usize],
+        manifest: &GroupManifest,
+        workers: Option<usize>,
+        flight: Option<usize>,
+        sink: DataSink,
+    ) -> Result<LaunchedGroup, RunError> {
+        let all = self.procs();
+        let templates: Vec<(usize, RingNode)> =
+            ranks.iter().map(|&r| (r, all[r].clone())).collect();
+        launch_typed_seeded(
+            &self.topology(),
+            templates,
+            manifest,
+            workers,
+            flight,
+            encode_u64,
+            decode_u64,
+            ring_state_decode,
+            sink,
+        )
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -343,6 +907,10 @@ impl FdtdAWorkload {
 
 fn encode_mesh(m: &MeshMsg) -> Vec<u8> {
     encode_mesh_msg(m)
+}
+
+fn mesh_state_encode(p: &MsgProcess<LocalA>) -> Vec<u8> {
+    p.encode_state()
 }
 
 impl Workload for FdtdAWorkload {
@@ -374,6 +942,38 @@ impl Workload for FdtdAWorkload {
         let (topo, procs) = self.build();
         let out = Simulator::new(topo, procs).run(&mut RoundRobin::new())?;
         Ok(out.snapshots)
+    }
+
+    fn shadow(&self, every: u64) -> Box<dyn ProgramShadow> {
+        let (topo, procs) = self.build();
+        Box::new(ShadowExec::new(topo, procs, encode_mesh, mesh_state_encode, every))
+    }
+
+    fn launch_group_seeded(
+        &self,
+        ranks: &[usize],
+        manifest: &GroupManifest,
+        workers: Option<usize>,
+        flight: Option<usize>,
+        sink: DataSink,
+    ) -> Result<LaunchedGroup, RunError> {
+        let (topo, all) = self.build();
+        let mut slots: Vec<Option<MsgProcess<LocalA>>> = all.into_iter().map(Some).collect();
+        let templates: Vec<(usize, MsgProcess<LocalA>)> = ranks
+            .iter()
+            .map(|&r| (r, slots[r].take().expect("rank assigned twice")))
+            .collect();
+        launch_typed_seeded(
+            &topo,
+            templates,
+            manifest,
+            workers,
+            flight,
+            encode_mesh,
+            decode_mesh_msg,
+            |t, b| MsgProcess::decode_state(t.clone(), b),
+            sink,
+        )
     }
 }
 
@@ -480,6 +1080,93 @@ mod tests {
             over.run_reference().unwrap(),
             "overlap reordering changed a distributed reference bit"
         );
+    }
+
+    #[test]
+    fn ungated_shadow_cut_resumes_to_the_reference_result() {
+        // Run the shadow to a mid-run cut (cut every step so the final
+        // advance leaves a fresh one), manifest ALL ranks, seed a single
+        // threaded group from it, and demand the reference snapshots.
+        let w = build_workload("ring", &ring_args(3, 4)).unwrap();
+        let mut sh = w.shadow(1);
+        sh.advance().unwrap();
+        assert!(sh.steps() > 0);
+        assert_eq!(sh.cut_steps(), sh.steps());
+        assert!(sh.cuts_taken() > 1);
+        let ranks = vec![0, 1, 2];
+        let m = GroupManifest::decode(&sh.manifest(&ranks)).unwrap();
+        // Whole program halted in the shadow; resume should agree.
+        let (_, join) = w
+            .launch_group_seeded(
+                &ranks,
+                &m,
+                Some(2),
+                None,
+                Box::new(|c, _| panic!("no cross-group sends expected on ch{c}")),
+            )
+            .unwrap();
+        let (mut snaps, _, _) = join.join().unwrap();
+        snaps.sort_by_key(|&(r, _)| r);
+        let reference = w.run_reference().unwrap();
+        for (r, bytes) in snaps {
+            assert_eq!(bytes, reference[r], "rank {r} diverged after resume");
+        }
+    }
+
+    #[test]
+    fn gated_shadow_waits_for_credits_and_detects_mirror_mismatch() {
+        let w = build_workload("ring", &ring_args(2, 2)).unwrap();
+        // Gate channel 0 (rank 0 → rank 1): the shadow may not complete
+        // a send on it until the matching mirror arrives.
+        let mut sh = w.shadow(8);
+        sh.set_gated(0, true);
+        sh.advance().unwrap();
+        let stalled = sh.steps();
+        sh.advance().unwrap();
+        assert_eq!(sh.steps(), stalled, "shadow advanced past a gated send without credit");
+        // Correct mirrors (lap tokens 1000 then 2000) unblock it...
+        sh.on_mirror(0, &1000u64.to_le_bytes());
+        sh.advance().unwrap();
+        assert!(sh.steps() > stalled);
+        // ...and a corrupted mirror is a determinism violation, typed.
+        sh.on_mirror(0, &9999u64.to_le_bytes());
+        let r = sh.advance();
+        assert!(
+            matches!(r, Err(RunError::Protocol { ref detail, .. }) if detail.contains("determinism")),
+            "got {r:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_launch_rejects_malformed_manifests_typed() {
+        let w = build_workload("ring", &ring_args(3, 2)).unwrap();
+        let mut sh = w.shadow(1);
+        sh.advance().unwrap();
+        let good = GroupManifest::decode(&sh.manifest(&[0, 1])).unwrap();
+        let sink = || Box::new(|_, _| Ok(())) as DataSink;
+        // Rank set mismatch.
+        let r = w.launch_group_seeded(&[0, 2], &good, None, None, sink());
+        assert!(matches!(r, Err(RunError::Protocol { .. })));
+        // Channel vectors of the wrong length.
+        let mut bad = good.clone();
+        bad.consumed.pop();
+        let r = w.launch_group_seeded(&[0, 1], &bad, None, None, sink());
+        assert!(matches!(r, Err(RunError::Protocol { .. })));
+        // A seeded queue on a channel that is not internal to the ranks.
+        let mut bad = good.clone();
+        bad.queues = vec![(2, vec![7u64.to_le_bytes().to_vec()])];
+        let r = w.launch_group_seeded(&[0, 1], &bad, None, None, sink());
+        assert!(matches!(r, Err(RunError::Protocol { .. })));
+        // An undecodable blocked-send message.
+        let mut bad = good.clone();
+        bad.ranks[0].status = ManifestStatus::BlockedSend(0, vec![1, 2, 3]);
+        let r = w.launch_group_seeded(&[0, 1], &bad, None, None, sink());
+        assert!(matches!(r, Err(RunError::Protocol { .. })));
+        // A truncated rank state.
+        let mut bad = good;
+        bad.ranks[1].state.truncate(3);
+        let r = w.launch_group_seeded(&[0, 1], &bad, None, None, sink());
+        assert!(matches!(r, Err(RunError::Protocol { .. })));
     }
 
     #[test]

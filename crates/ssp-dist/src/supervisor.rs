@@ -1,41 +1,56 @@
-//! The supervisor: topology owner, message router, and migration driver.
+//! The supervisor: topology owner, peer broker, checkpointer, and
+//! migration driver.
 //!
 //! One supervisor process spawns N worker processes, connects to each over
 //! a Unix-domain socket, and partitions the program's ranks into *groups*
 //! (one scheduler instance per group, initially one group per worker).
-//! Channels internal to a group run entirely inside its worker; every
-//! cross-group channel is routed through the supervisor as DATA frames —
-//! a star topology, which is what makes the supervisor able to *log* every
-//! cross-group message and therefore to migrate ranks.
 //!
-//! ## Migration
+//! ## Data planes
 //!
-//! When a worker dies (socket EOF, failed write, or a heartbeat probe
-//! hitting a closed socket), the supervisor merges all of that worker's
-//! unfinished groups into one new group and assigns it to a survivor (or a
-//! freshly spawned worker, per [`MigrationPolicy`]). The new group rebuilds
-//! its ranks *from their initial state* — the registry reconstructs the
-//! processes, and determinism (Theorem 1) guarantees re-execution
-//! reproduces exactly the lost state, provided the channel environment is
-//! reproduced too:
+//! PR 7 routed every cross-group message through the supervisor — a star
+//! topology, two hops per message. Phase 2 keeps the star's *logging* role
+//! but moves steady-state payload traffic off it:
 //!
-//! * channels *into* the group: the supervisor replays its full per-channel
-//!   log after the ASSIGN (socket FIFO means the group is registered before
-//!   the replay arrives);
-//! * channels *out of* the group: re-execution regenerates messages the
-//!   supervisor already routed, so a *replay window* is armed — the first
-//!   `log.len()` regenerated messages are byte-compared against the log
-//!   (a live determinism check) and dropped instead of double-delivered;
-//! * channels that become internal to the merged group regenerate locally
-//!   and are neither routed nor compared.
+//! * In [`TransportMode::Direct`] the supervisor brokers a peer table
+//!   (worker addresses from their HELLOs, rank placement from its own
+//!   group map) inside every ASSIGN and re-broadcasts it as PEERS after a
+//!   membership change. Workers then deliver to each other directly —
+//!   worker↔worker sockets, or shared-memory rings with socket doorbells —
+//!   and send the supervisor a `DATA` **mirror** of every message, which
+//!   is logged but *not forwarded*. Only `DATA_RELAY` frames (a worker's
+//!   direct delivery failed) are logged *and* forwarded; the
+//!   steady-state star-routed frame count is ~0, measured by
+//!   [`DistStats::star_frames`].
+//! * In [`TransportMode::Star`] every `DATA` frame is forwarded exactly as
+//!   in PR 7 — the fallback mode, still exercised by CI.
 //!
-//! Frames from a worker already marked dead are dropped: a corpse's
-//! leftover frames describe sends the replacement group will regenerate.
+//! Every DATA/RELAY frame carries an absolute per-channel sequence number.
+//! The supervisor's per-channel log is indexed by it, which makes the
+//! duplicate/dedup/determinism logic uniform: a mirror below the log head
+//! is byte-compared against the logged original (re-executed senders are a
+//! live determinism check, Theorem 1 applied); a mirror at the head is
+//! appended; a gap is a protocol violation.
 //!
-//! The result is *live rank migration with bitwise-identical output* — the
-//! distributed generalization of `run_recovering`'s restart-in-place.
+//! ## Checkpoint-resumed migration
+//!
+//! With [`DistConfig::checkpoint_every`] set, the supervisor maintains a
+//! whole-program **shadow execution** ([`crate::registry::ProgramShadow`]):
+//! deterministic replicas of every rank, advanced on the supervisor using
+//! the logged mirrors as *credits* for cross-group sends — so the shadow
+//! never runs ahead of what actually happened on any cross-group channel,
+//! and any state it reaches is a consistent global cut (the paper's
+//! Theorem 1 argument). Every `checkpoint_every` shadow steps it clones a
+//! cut. On a worker death the dead ranks resume *from the latest cut*: the
+//! supervisor sends a RESUME frame (a sealed [`ssp_runtime::GroupManifest`]
+//! of the cut state) before the ASSIGN, replays only the logged in-flight
+//! window `[cut consumed .. head)` per inbound channel, and truncates every
+//! channel log at the cut's consumed frontier — making both replay cost
+//! and log retention O(checkpoint interval) instead of O(history).
+//!
+//! Without `checkpoint_every` the PR 7 behavior is preserved: migrated
+//! groups rebuild from their initial state and the full logs replay.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -52,8 +67,11 @@ use ssp_runtime::{FlightKind, FlightLog, RunError, RunMetrics, Topology};
 use crate::frame::{
     decode_data, encode_data, read_frame, write_frame, Frame, FrameError, FrameType,
 };
-use crate::proto::{decode_hello, decode_trace, Assign, GroupDone, WorkerTelemetry};
-use crate::registry::build_workload;
+use crate::proto::{
+    decode_bye, decode_hello, decode_trace, encode_resume, Assign, GroupDone, PeerTable,
+    WorkerTelemetry,
+};
+use crate::registry::{build_workload, ProgramShadow};
 
 fn proto_err(detail: String) -> RunError {
     RunError::Protocol { proc: 0, detail }
@@ -73,13 +91,48 @@ pub enum MigrationPolicy {
     Spawn,
 }
 
-/// Fault-injection knob: SIGKILL a worker after the supervisor has routed
+/// How cross-group payload traffic travels in steady state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Every DATA frame is routed through the supervisor (PR 7).
+    Star,
+    /// Workers deliver to each other over brokered peer sockets and only
+    /// mirror to the supervisor for logging. With `shm`, co-located pairs
+    /// move payloads through shared-memory rings (socket doorbells).
+    Direct {
+        /// Enable the shared-memory plane on top of peer sockets.
+        shm: bool,
+    },
+}
+
+impl TransportMode {
+    /// Read `SSP_DIST_TRANSPORT` (`star` | `direct` | `direct+shm`);
+    /// unset or unrecognized means the full direct+shm plane.
+    pub fn from_env() -> TransportMode {
+        match std::env::var("SSP_DIST_TRANSPORT").as_deref() {
+            Ok("star") => TransportMode::Star,
+            Ok("direct") => TransportMode::Direct { shm: false },
+            _ => TransportMode::Direct { shm: true },
+        }
+    }
+
+    /// The ASSIGN `mode` string, `None` for star (absent = PR 7 wire).
+    fn wire(&self) -> Option<String> {
+        match self {
+            TransportMode::Star => None,
+            TransportMode::Direct { shm: false } => Some("direct".to_string()),
+            TransportMode::Direct { shm: true } => Some("direct+shm".to_string()),
+        }
+    }
+}
+
+/// Fault-injection knob: SIGKILL a worker after the supervisor has seen
 /// a given number of DATA frames — a mid-run, non-graceful death.
 #[derive(Debug, Clone, Copy)]
 pub struct ChaosKill {
     /// Index of the worker to kill.
     pub worker: usize,
-    /// Kill once this many DATA frames have been routed.
+    /// Kill once this many DATA frames have been seen.
     pub after_frames: u64,
 }
 
@@ -105,11 +158,23 @@ pub struct DistConfig {
     /// frames and the supervisor merges them into
     /// [`DistOutcome::flight`]. `None` = recording off everywhere.
     pub flight: Option<usize>,
+    /// Steady-state data plane. [`DistConfig::new`] seeds it from
+    /// `SSP_DIST_TRANSPORT`.
+    pub transport: TransportMode,
+    /// Take a shadow checkpoint every this many shadow steps; migrations
+    /// then resume from the latest cut and channel logs are truncated at
+    /// its consumed frontiers. `None` = PR 7 from-zero resume, full logs.
+    pub checkpoint_every: Option<u64>,
+    /// Use loopback TCP instead of Unix-domain sockets for the direct
+    /// worker↔worker plane. [`DistConfig::new`] seeds it from
+    /// `SSP_DIST_PEER_TCP=1`.
+    pub peer_tcp: bool,
 }
 
 impl DistConfig {
     /// A config with the given worker count and worker binary, Survivor
-    /// migration, and a 2-minute timeout.
+    /// migration, a 2-minute timeout, and the transport selected by
+    /// `SSP_DIST_TRANSPORT` (default: direct+shm).
     pub fn new(workers: usize, worker_bin: impl Into<PathBuf>) -> DistConfig {
         DistConfig {
             workers,
@@ -120,6 +185,9 @@ impl DistConfig {
             timeout: Duration::from_secs(120),
             chaos_kill: None,
             flight: None,
+            transport: TransportMode::from_env(),
+            checkpoint_every: None,
+            peer_tcp: std::env::var("SSP_DIST_PEER_TCP").as_deref() == Ok("1"),
         }
     }
 }
@@ -139,19 +207,42 @@ pub struct WorkerRow {
     pub flatlines: u64,
 }
 
-/// Counters describing what the supervisor did.
+/// Counters describing what the supervisor (and, via BYE reports, the
+/// worker fleet) did.
 #[derive(Debug, Clone, Default)]
 pub struct DistStats {
     /// Dead-worker group migrations performed.
     pub migrations: u64,
     /// Worker processes spawned beyond the initial fleet.
     pub workers_spawned: u64,
-    /// DATA frames routed between groups (replays excluded).
+    /// DATA/RELAY frames seen by the supervisor (mirrors included,
+    /// replays excluded).
     pub frames_routed: u64,
     /// DATA frames replayed into migrated groups from the channel logs.
     pub frames_replayed: u64,
-    /// Regenerated duplicates byte-verified against the log and dropped.
+    /// Duplicate sends byte-verified against the log and dropped.
     pub duplicates_dropped: u64,
+    /// Frames appended to the supervisor's channel logs.
+    pub frames_logged: u64,
+    /// Frames the supervisor actually forwarded to a reader's worker —
+    /// every frame in star mode, only relays (broken peer fallback) in
+    /// direct modes, where steady state keeps this ~0.
+    pub star_frames: u64,
+    /// Worker-reported direct-plane frames (from BYE).
+    pub direct_frames: u64,
+    /// Worker-reported direct-plane payload bytes (from BYE).
+    pub direct_bytes: u64,
+    /// Worker-reported shm-plane frames (from BYE).
+    pub shm_frames: u64,
+    /// Worker-reported shm-plane payload bytes (from BYE).
+    pub shm_bytes: u64,
+    /// Channel-log bytes freed by truncation at checkpoint frontiers.
+    pub log_bytes_truncated: u64,
+    /// Shadow checkpoints taken (excluding the implicit initial cut).
+    pub checkpoints_taken: u64,
+    /// Per migration: shadow steps between the resumed cut and the crash
+    /// frontier — the re-execution cost, bounded by `checkpoint_every`.
+    pub migration_replay_steps: Vec<u64>,
     /// Per-worker heartbeat telemetry, indexed by worker slot. Workers
     /// that never answered a PING keep a zeroed row.
     pub per_worker: Vec<WorkerRow>,
@@ -187,6 +278,8 @@ struct Slot {
     child: Option<Child>,
     write: Option<Arc<Mutex<UnixStream>>>,
     alive: bool,
+    /// The worker's direct-plane listening address from its HELLO.
+    addr: String,
     /// When the most recent unanswered PING left, for RTT measurement.
     ping_sent: Option<Instant>,
 }
@@ -195,6 +288,55 @@ struct GroupRec {
     ranks: Vec<usize>,
     worker: usize,
     done: bool,
+}
+
+/// One channel's message log, indexed by absolute sequence number.
+/// Truncation advances `base` — the supervisor only ever retains the
+/// in-flight window above the latest checkpoint's consumed frontier.
+#[derive(Default)]
+struct ChanLog {
+    base: u64,
+    entries: VecDeque<Vec<u8>>,
+}
+
+impl ChanLog {
+    /// The next sequence number to append (the log head).
+    fn next(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    fn get(&self, seq: u64) -> Option<&Vec<u8>> {
+        let i = seq.checked_sub(self.base)?;
+        self.entries.get(i as usize)
+    }
+
+    fn push(&mut self, bytes: Vec<u8>) {
+        self.entries.push_back(bytes);
+    }
+
+    /// Drop entries below `frontier`; returns payload bytes freed.
+    fn truncate_to(&mut self, frontier: u64) -> u64 {
+        let mut freed = 0;
+        while self.base < frontier {
+            match self.entries.pop_front() {
+                Some(e) => {
+                    freed += e.len() as u64;
+                    self.base += 1;
+                }
+                None => break,
+            }
+        }
+        freed
+    }
+
+    /// Drop everything (the channel became group-internal); returns
+    /// payload bytes freed.
+    fn clear_all(&mut self) -> u64 {
+        let freed: u64 = self.entries.iter().map(|e| e.len() as u64).sum();
+        self.base = self.next();
+        self.entries.clear();
+        freed
+    }
 }
 
 struct Supervisor<'a> {
@@ -209,9 +351,14 @@ struct Supervisor<'a> {
     slots: Vec<Slot>,
     groups: Vec<GroupRec>,
     rank_group: Vec<usize>,
-    log: Vec<Vec<Vec<u8>>>,
-    replay_pos: Vec<usize>,
-    replay_until: Vec<usize>,
+    /// rank → worker currently hosting it (maintained with rank_group).
+    placement: Vec<usize>,
+    /// Peer-table membership generation; bumped on every worker death.
+    generation: u64,
+    log: Vec<ChanLog>,
+    /// The whole-program shadow execution, present iff
+    /// [`DistConfig::checkpoint_every`] is set.
+    shadow: Option<Box<dyn ProgramShadow>>,
     done_ranks: usize,
     snapshots: Vec<Option<Vec<u8>>>,
     metrics: RunMetrics,
@@ -232,9 +379,10 @@ impl Drop for Supervisor<'_> {
                 let _ = child.wait();
             }
         }
-        let _ = std::fs::remove_file(&self.sock_path);
+        // The run directory also holds peer listener sockets and shm
+        // ring files — sweep it whole.
         if let Some(dir) = self.sock_path.parent() {
-            let _ = std::fs::remove_dir(dir);
+            let _ = std::fs::remove_dir_all(dir);
         }
     }
 }
@@ -257,6 +405,7 @@ pub fn run_distributed(
     let w = build_workload(workload, args)?;
     let topo = w.topology();
     let n = w.n_ranks();
+    let shadow = cfg.checkpoint_every.map(|k| w.shadow(k.max(1)));
     drop(w);
 
     let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
@@ -285,9 +434,10 @@ pub fn run_distributed(
         slots: Vec::new(),
         groups: Vec::new(),
         rank_group: vec![usize::MAX; n],
-        log: vec![Vec::new(); n_chans],
-        replay_pos: vec![0; n_chans],
-        replay_until: vec![0; n_chans],
+        placement: vec![usize::MAX; n],
+        generation: 0,
+        log: (0..n_chans).map(|_| ChanLog::default()).collect(),
+        shadow,
         done_ranks: 0,
         snapshots: vec![None; n],
         stats: DistStats::default(),
@@ -322,14 +472,32 @@ impl Supervisor<'_> {
         }
 
         // Initial partition: contiguous rank blocks, one group per worker.
+        // Placement is computed in full *before* the first ASSIGN so every
+        // brokered peer table is complete from the start.
         let k = self.cfg.workers.min(n);
         let (base, rem) = (n / k, n % k);
+        let mut plan: Vec<(usize, Vec<usize>)> = Vec::with_capacity(k);
         let mut next = 0;
         for w in 0..k {
             let len = base + usize::from(w < rem);
             let ranks: Vec<usize> = (next..next + len).collect();
             next += len;
-            self.assign_group(w, ranks)?;
+            for &r in &ranks {
+                self.placement[r] = w;
+            }
+            plan.push((w, ranks));
+        }
+        for (w, ranks) in plan {
+            self.assign_group(w, ranks, false)?;
+        }
+        // Gate the shadow on the initial partition: cross-group sends
+        // wait for mirror credits, internal channels free-run. This must
+        // precede the first route_data (same thread, so it does).
+        if let Some(sh) = &mut self.shadow {
+            for c in 0..self.topo.n_channels() {
+                let s = &self.topo.specs()[c];
+                sh.set_gated(c, self.rank_group[s.writer] != self.rank_group[s.reader]);
+            }
         }
 
         while self.done_ranks < n {
@@ -354,6 +522,9 @@ impl Supervisor<'_> {
 
         self.drain_traces();
         self.shutdown_workers();
+        if let Some(sh) = &self.shadow {
+            self.stats.checkpoints_taken = sh.cuts_taken().saturating_sub(1);
+        }
         let snapshots = std::mem::take(&mut self.snapshots)
             .into_iter()
             .enumerate()
@@ -402,18 +573,26 @@ impl Supervisor<'_> {
     fn spawn_worker(&mut self, deadline: Instant) -> Result<usize, RunError> {
         let idx = self.slots.len();
         let gw = self.cfg.group_workers.unwrap_or(0);
+        let flavor = if self.cfg.peer_tcp { "tcp" } else { "unix" };
         let child = Command::new(&self.cfg.worker_bin)
             .arg(&self.sock_path)
             .arg(idx.to_string())
             .arg(gw.to_string())
+            .arg(flavor)
             .stdin(Stdio::null())
             .spawn()
             .map_err(|e| {
                 proto_err(format!("spawn {}: {e}", self.cfg.worker_bin.display()))
             })?;
-        self.slots.push(Slot { child: Some(child), write: None, alive: false, ping_sent: None });
+        self.slots.push(Slot {
+            child: Some(child),
+            write: None,
+            alive: false,
+            addr: String::new(),
+            ping_sent: None,
+        });
 
-        let (hello_idx, stream) = self.accept_hello(deadline)?;
+        let (hello_idx, addr, stream) = self.accept_hello(deadline)?;
         if hello_idx != idx {
             return Err(proto_err(format!(
                 "expected HELLO from worker {idx}, got {hello_idx}"
@@ -424,6 +603,7 @@ impl Supervisor<'_> {
         ));
         self.slots[idx].write = Some(write);
         self.slots[idx].alive = true;
+        self.slots[idx].addr = addr;
 
         let tx = self.tx.clone();
         let mut read_half = stream;
@@ -450,7 +630,10 @@ impl Supervisor<'_> {
 
     /// Accept one connection and read its HELLO, polling the nonblocking
     /// listener until `deadline`.
-    fn accept_hello(&mut self, deadline: Instant) -> Result<(usize, UnixStream), RunError> {
+    fn accept_hello(
+        &mut self,
+        deadline: Instant,
+    ) -> Result<(usize, String, UnixStream), RunError> {
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -471,7 +654,8 @@ impl Supervisor<'_> {
                             frame.ty
                         )));
                     }
-                    return Ok((decode_hello(&frame.payload)?, stream));
+                    let (idx, addr) = decode_hello(&frame.payload)?;
+                    return Ok((idx, addr, stream));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if Instant::now() > deadline {
@@ -503,11 +687,30 @@ impl Supervisor<'_> {
         s.flush()
     }
 
-    /// Gracefully stop all live workers and reap every child.
+    /// Gracefully stop all live workers, folding their BYE counter
+    /// reports into the stats, then reap every child.
     fn shutdown_workers(&mut self) {
+        let mut awaiting = 0usize;
         for w in 0..self.slots.len() {
-            if self.slots[w].alive {
-                let _ = self.send_to(w, &Frame::new(FrameType::Shutdown, vec![]));
+            if self.slots[w].alive
+                && self.send_to(w, &Frame::new(FrameType::Shutdown, vec![])).is_ok()
+            {
+                awaiting += 1;
+            }
+        }
+        let grace = Instant::now() + Duration::from_secs(5);
+        while awaiting > 0 && Instant::now() < grace {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Event::Frame(w, f))
+                    if f.ty == FrameType::Bye && self.slots[w].alive =>
+                {
+                    if self.fold_bye(&f.payload).is_ok() {
+                        awaiting -= 1;
+                    }
+                }
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         let grace = Instant::now() + Duration::from_secs(5);
@@ -530,20 +733,91 @@ impl Supervisor<'_> {
         }
     }
 
+    fn fold_bye(&mut self, payload: &[u8]) -> Result<(), RunError> {
+        let (df, db, sf, sb) = decode_bye(payload)?;
+        self.stats.direct_frames += df;
+        self.stats.direct_bytes += db;
+        self.stats.shm_frames += sf;
+        self.stats.shm_bytes += sb;
+        Ok(())
+    }
+
+    // -- peer brokering ------------------------------------------------------
+
+    /// The current peer introduction table: rank placement plus every
+    /// live worker's dialable address.
+    fn peer_table(&self) -> PeerTable {
+        PeerTable {
+            gen: self.generation,
+            placement: self.placement.clone(),
+            peers: self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.alive && !s.addr.is_empty())
+                .map(|(i, s)| (i, s.addr.clone()))
+                .collect(),
+        }
+    }
+
+    /// Re-broadcast the peer table to every live worker (after a
+    /// membership change). A failed write is a death notice.
+    fn broadcast_peers(&mut self, deadline: Instant) -> Result<(), RunError> {
+        if self.cfg.transport == TransportMode::Star {
+            return Ok(());
+        }
+        let frame = Frame::new(FrameType::Peers, self.peer_table().encode());
+        for w in 0..self.slots.len() {
+            if self.slots[w].alive && self.send_to(w, &frame).is_err() {
+                self.worker_dead(w, deadline)?;
+            }
+        }
+        Ok(())
+    }
+
     // -- group assignment and migration -------------------------------------
 
-    /// Create a group of `ranks` on worker `target`: send the ASSIGN,
-    /// replay logged traffic into the group, and arm replay windows on its
-    /// outbound channels. Used for both initial placement (empty logs make
-    /// the replay a no-op) and migration.
-    fn assign_group(&mut self, target: usize, ranks: Vec<usize>) -> Result<(), RunError> {
+    /// Create a group of `ranks` on worker `target`. For a migration with
+    /// checkpointing on, a RESUME frame (the latest cut's manifest for
+    /// these ranks) precedes the ASSIGN on the same FIFO socket, and only
+    /// the logged in-flight window above the cut's consumed frontier is
+    /// replayed; otherwise the group starts from scratch and the full
+    /// logs replay. Channels that become internal to the merged group are
+    /// un-gated in the shadow and their logs dropped.
+    fn assign_group(
+        &mut self,
+        target: usize,
+        ranks: Vec<usize>,
+        migration: bool,
+    ) -> Result<(), RunError> {
         let gid = self.groups.len();
         let mut member = vec![false; self.topo.n_procs()];
         for &r in &ranks {
             member[r] = true;
             self.rank_group[r] = gid;
+            self.placement[r] = target;
         }
         self.groups.push(GroupRec { ranks, worker: target, done: false });
+        let deadline = Instant::now() + self.cfg.timeout;
+
+        // Replay baseline per channel: the cut's consumed frontier when
+        // resuming from a checkpoint, zero (full history) otherwise.
+        let n_chans = self.topo.n_channels();
+        let mut replay_from = vec![0u64; n_chans];
+        if migration {
+            if let Some(sh) = &mut self.shadow {
+                let replay_steps = sh.steps().saturating_sub(sh.cut_steps());
+                self.stats.migration_replay_steps.push(replay_steps);
+                let manifest = sh.manifest(&self.groups[gid].ranks);
+                for (c, slot) in replay_from.iter_mut().enumerate() {
+                    *slot = sh.cut_consumed(c);
+                }
+                let payload = encode_resume(gid as u64, &manifest);
+                if self.send_to(target, &Frame::new(FrameType::Resume, payload)).is_err() {
+                    return self.worker_dead(target, deadline);
+                }
+            }
+        }
 
         let assign = Assign {
             group: gid as u64,
@@ -551,50 +825,60 @@ impl Supervisor<'_> {
             args: self.workload_args.clone(),
             ranks: self.groups[gid].ranks.clone(),
             flight: self.cfg.flight,
+            mode: self.cfg.transport.wire(),
+            table: if self.cfg.transport == TransportMode::Star {
+                None
+            } else {
+                Some(self.peer_table())
+            },
         };
         if self.send_to(target, &Frame::new(FrameType::Assign, assign.encode())).is_err() {
             // The target died under us; its own death handling re-migrates
             // everything it hosted, including the group just recorded.
-            return self.worker_dead(target, Instant::now() + self.cfg.timeout);
+            return self.worker_dead(target, deadline);
         }
 
-        for c in 0..self.topo.n_channels() {
+        for (c, &replay_base) in replay_from.iter().enumerate() {
             let spec = &self.topo.specs()[c];
             let (win, rin) = (member[spec.writer], member[spec.reader]);
             if rin && !win {
-                // Inbound edge: the rebuilt readers need the full message
-                // history. FIFO after the ASSIGN on the same socket.
-                for i in 0..self.log[c].len() {
-                    let payload = encode_data(c, &self.log[c][i]);
+                // Inbound edge: replay the logged window the seeded state
+                // has not consumed. FIFO after the ASSIGN on the same
+                // socket, and the worker's gates drop anything stale.
+                let start = replay_base.max(self.log[c].base);
+                let end = self.log[c].next();
+                for seq in start..end {
+                    let payload = {
+                        let entry = self.log[c].get(seq).expect("seq in [base, next)");
+                        encode_data(c, seq, entry)
+                    };
                     if self.send_to(target, &Frame::new(FrameType::Data, payload)).is_err() {
-                        return self.worker_dead(target, Instant::now() + self.cfg.timeout);
+                        return self.worker_dead(target, deadline);
                     }
                     self.stats.frames_replayed += 1;
                 }
             }
-            if win && !rin {
-                // Outbound edge: re-execution will regenerate everything
-                // already logged; verify-and-drop those duplicates.
-                self.replay_pos[c] = 0;
-                self.replay_until[c] = self.log[c].len();
-            }
             if win && rin {
-                // Became internal to the merged group: regenerated locally,
-                // never routed again.
-                self.replay_pos[c] = 0;
-                self.replay_until[c] = 0;
+                // Became internal to the merged group: regenerated and
+                // consumed locally, never routed or logged again.
+                if let Some(sh) = &mut self.shadow {
+                    sh.set_gated(c, false);
+                }
+                self.stats.log_bytes_truncated += self.log[c].clear_all();
             }
         }
         Ok(())
     }
 
     /// Handle the death of worker `w`: migrate all its unfinished groups,
-    /// merged, to a target chosen by policy. Idempotent.
+    /// merged, to a target chosen by policy, then re-broker the peer
+    /// table under a bumped generation. Idempotent.
     fn worker_dead(&mut self, w: usize, deadline: Instant) -> Result<(), RunError> {
         if !self.slots[w].alive {
             return Ok(());
         }
         self.slots[w].alive = false;
+        self.generation += 1;
         if let Some(child) = &mut self.slots[w].child {
             let _ = child.kill();
             let _ = child.wait();
@@ -608,7 +892,9 @@ impl Supervisor<'_> {
             }
         }
         if merged.is_empty() {
-            return Ok(());
+            // Nothing hosted here — the survivors still need to learn the
+            // membership change so they stop dialing the corpse.
+            return self.broadcast_peers(deadline);
         }
         merged.sort_unstable();
 
@@ -647,7 +933,8 @@ impl Supervisor<'_> {
                 target as u64,
             );
         }
-        self.assign_group(target, merged)
+        self.assign_group(target, merged, true)?;
+        self.broadcast_peers(deadline)
     }
 
     /// The live worker currently hosting the fewest unfinished ranks.
@@ -699,10 +986,12 @@ impl Supervisor<'_> {
             return Ok(());
         }
         match f.ty {
-            FrameType::Data => self.route_data(w, &f.payload, deadline),
+            FrameType::Data => self.route_data(w, &f.payload, false, deadline),
+            FrameType::DataRelay => self.route_data(w, &f.payload, true, deadline),
             FrameType::GroupDone => self.handle_group_done(w, &f.payload),
             FrameType::Trace => self.handle_trace(w, &f.payload),
             FrameType::Pong => self.handle_pong(w, &f.payload),
+            FrameType::Bye => self.fold_bye(&f.payload),
             FrameType::Error => Err(proto_err(format!(
                 "worker {w} failed: {}",
                 String::from_utf8_lossy(&f.payload)
@@ -752,13 +1041,27 @@ impl Supervisor<'_> {
         Ok(())
     }
 
+    /// The unified DATA/RELAY path. Every frame is a (chan, seq, bytes)
+    /// triple against the channel's absolute-sequence log:
+    ///
+    /// * below the log base — a re-send the truncation already judged
+    ///   (the checkpoint consumed past it); dropped silently;
+    /// * inside the log — byte-compared against the original (a failed
+    ///   compare is a determinism violation), then dropped;
+    /// * at the head — appended, credited to the shadow, and the logs
+    ///   truncated to the (possibly new) cut's consumed frontiers;
+    /// * past the head — a protocol violation (per-channel FIFO mirrors
+    ///   cannot skip).
+    ///
+    /// Forwarding: every frame in star mode; only relays in direct mode.
     fn route_data(
         &mut self,
         from: usize,
         payload: &[u8],
+        relay: bool,
         deadline: Instant,
     ) -> Result<(), RunError> {
-        let (chan, bytes) = decode_data(payload)?;
+        let (chan, seq, bytes) = decode_data(payload)?;
         if chan >= self.topo.n_channels() {
             return Err(proto_err(format!("worker {from} sent DATA for channel {chan}")));
         }
@@ -777,33 +1080,54 @@ impl Supervisor<'_> {
             }
         }
 
-        if self.replay_pos[chan] < self.replay_until[chan] {
-            // A migrated group regenerating its history: verify the send
-            // matches what the lost instance sent (determinism check),
-            // then drop it — the reader already got the original.
-            let expect = &self.log[chan][self.replay_pos[chan]];
-            if bytes != &expect[..] {
-                return Err(proto_err(format!(
-                    "determinism violation: channel {chan} message {} differs between \
-                     original and re-executed sender",
-                    self.replay_pos[chan]
-                )));
-            }
-            self.replay_pos[chan] += 1;
+        let log = &mut self.log[chan];
+        if seq < log.base {
+            // Truncated past: a resumed writer re-sending below the cut's
+            // consumed frontier (its reader consumed it pre-checkpoint).
             self.stats.duplicates_dropped += 1;
             return Ok(());
         }
-
+        if seq < log.next() {
+            let expect = log.get(seq).expect("seq in [base, next)");
+            if bytes != &expect[..] {
+                return Err(proto_err(format!(
+                    "determinism violation: channel {chan} message {seq} differs between \
+                     original and re-executed sender"
+                )));
+            }
+            self.stats.duplicates_dropped += 1;
+            return Ok(());
+        }
+        if seq > log.next() {
+            return Err(proto_err(format!(
+                "worker {from} skipped channel {chan} sequence {} (sent {seq})",
+                log.next()
+            )));
+        }
         // Log before forwarding: a message that reaches the log survives
         // any downstream loss (a dead reader's replacement gets it from
         // the replay), so forwarding failures are never message loss.
-        self.log[chan].push(bytes.to_vec());
-        let reader = self.topo.specs()[chan].reader;
-        let dest = self.groups[self.rank_group[reader]].worker;
-        if self.send_to(dest, &Frame::new(FrameType::Data, payload.to_vec())).is_err() {
-            // The frame just logged is part of the history assign_group
-            // replays, so migration both reroutes and redelivers it.
-            self.worker_dead(dest, deadline)?;
+        log.push(bytes.to_vec());
+        self.stats.frames_logged += 1;
+        if let Some(sh) = &mut self.shadow {
+            sh.on_mirror(chan, bytes);
+            sh.advance()?;
+            for c in 0..self.topo.n_channels() {
+                let frontier = sh.cut_consumed(c);
+                self.stats.log_bytes_truncated += self.log[c].truncate_to(frontier);
+            }
+        }
+
+        if self.cfg.transport == TransportMode::Star || relay {
+            self.stats.star_frames += 1;
+            let reader = self.topo.specs()[chan].reader;
+            let dest = self.groups[self.rank_group[reader]].worker;
+            if self.send_to(dest, &Frame::new(FrameType::Data, payload.to_vec())).is_err() {
+                // The frame just logged is part of the history
+                // assign_group replays, so migration both reroutes and
+                // redelivers it.
+                self.worker_dead(dest, deadline)?;
+            }
         }
         Ok(())
     }
@@ -847,7 +1171,8 @@ impl Supervisor<'_> {
         }
         // Channel totals come from the final instance of the channel's
         // writer: a re-executed group counts from zero to the full total,
-        // so its numbers stand alone.
+        // so its numbers stand alone. A checkpoint-resumed group counts
+        // from the manifest's counters for the same effect.
         for c in 0..self.topo.n_channels() {
             if hosted[self.topo.specs()[c].writer] {
                 self.metrics.channels[c] = gd.metrics.channels[c].clone();

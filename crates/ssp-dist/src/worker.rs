@@ -4,35 +4,77 @@
 //! ([`ssp_runtime::launch_partial`]): it connects to the supervisor's
 //! socket, says HELLO, and then serves a frame loop. Each ASSIGN spins up
 //! one *group* — an independent scheduler instance hosting some ranks —
-//! whose cross-group channel ends are bridged to the socket: an outbound
-//! pump thread turns egress messages into DATA frames, and the read loop
-//! feeds inbound DATA into the matching group's ingress rings.
+//! whose cross-group channel ends are bridged to the data plane.
 //!
-//! Ingress registration happens *synchronously inside the ASSIGN
-//! dispatch*, before the read loop touches the next frame. That ordering
-//! is what makes migration replay safe: the supervisor sends ASSIGN
-//! followed immediately by the replayed channel log on the same socket,
-//! and FIFO delivery guarantees the group exists by the time its replayed
-//! messages arrive.
+//! ## Data planes (phase 2)
 //!
-//! A worker never exits on its own initiative: it leaves on SHUTDOWN, on
-//! supervisor EOF, or by being killed — the latter being precisely the
-//! failure the supervisor's migration path exists to absorb.
+//! Every cross-group message now carries an absolute per-channel sequence
+//! number, and a worker reaches the channel's reader over the cheapest
+//! plane available:
+//!
+//! * **shm** — the reader's worker is a live direct peer and the shared
+//!   ring ([`crate::shm`]) has space: payload bytes go through the ring,
+//!   a 32-byte doorbell rides the peer socket.
+//! * **direct** — a `DATA_DIRECT` frame on the worker↔worker socket
+//!   ([`crate::transport`]), brokered by the supervisor's peer table.
+//! * **star** — the PR 7 path: the supervisor forwards. Used when the
+//!   mode is star, before a peer table arrives, and as the *relay*
+//!   fallback when a peer connection breaks (`DATA_RELAY`).
+//!
+//! Whatever the plane, the worker **always mirrors the message to the
+//! supervisor** (as `DATA` after a successful direct delivery — logged,
+//! not forwarded — or as `DATA_RELAY` when direct delivery failed). The
+//! mirror is what keeps the supervisor's channel logs complete, which is
+//! what licenses migration replay and log truncation at checkpoint
+//! frontiers. The invariant: a message the supervisor logged was either
+//! already delivered directly or is being forwarded by the supervisor.
+//!
+//! ## Inbound ordering
+//!
+//! All inbound deliveries — star, direct, shm — converge on one
+//! [`Router`]: a per-channel *gate* tracks the next expected sequence
+//! number, stashes out-of-order arrivals, and drops duplicates (the same
+//! message can legitimately arrive twice, e.g. once directly and once via
+//! a migration replay). Direct frames may even arrive *before* the ASSIGN
+//! that creates their reader group; they wait in the gate's stash and
+//! drain the moment the group registers.
+//!
+//! ## Checkpoint-resumed migration
+//!
+//! A RESUME frame (checkpoint manifest) may precede an ASSIGN for the
+//! same group id on the supervisor socket. The worker stashes it; the
+//! matching ASSIGN then launches the group *seeded* from the manifest
+//! ([`crate::registry::Workload::launch_group_seeded`]), seeds its
+//! outbound sequence counters from the manifest's channel counters, and
+//! sets its inbound gates to the manifest's consumed frontiers — so
+//! replay starts where the checkpoint ends, not at step zero.
+//!
+//! A worker never exits on its own initiative: it leaves on SHUTDOWN
+//! (answering with a BYE carrying its per-plane counters), on supervisor
+//! EOF, or by being killed — the latter being precisely the failure the
+//! supervisor's migration path exists to absorb.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::Write;
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 
-use ssp_runtime::RunError;
+use ssp_runtime::{fnv1a_64, FlightKind, GroupManifest, RunError};
 
 use crate::frame::{
-    decode_data, encode_data, read_frame, write_frame, Frame, FrameError, FrameType,
+    decode_data, decode_shm_doorbell, encode_data, encode_shm_doorbell, read_frame, write_frame,
+    Frame, FrameError, FrameType,
 };
-use crate::proto::{encode_hello, encode_trace, Assign, GroupDone, WorkerTelemetry};
+use crate::proto::{
+    decode_peer_hello, decode_resume, encode_bye, encode_hello, encode_peer_hello, encode_trace,
+    Assign, GroupDone, PeerTable, WorkerTelemetry,
+};
 use crate::registry::{build_workload, DataSink, GroupIngress};
+use crate::shm::{ShmReceiver, ShmSender, SHM_CAPACITY};
+use crate::transport::{PeerAddr, PeerListener, PeerStream};
 
 /// Lock that shrugs off poisoning: a panicked peer thread must not stop
 /// the worker from reporting its error frame.
@@ -47,13 +89,148 @@ fn send(stream: &Arc<Mutex<UnixStream>>, frame: &Frame) -> std::io::Result<()> {
     s.flush()
 }
 
+fn encode_shm_ack(consumed: u64) -> Vec<u8> {
+    consumed.to_le_bytes().to_vec()
+}
+
+fn decode_shm_ack(payload: &[u8]) -> Option<u64> {
+    <[u8; 8]>::try_from(payload).ok().map(u64::from_le_bytes)
+}
+
+/// One channel's inbound sequence gate: the next ordinal the reader group
+/// has not yet seen, plus a stash of early arrivals keyed by ordinal.
+struct Gate {
+    expected: u64,
+    stash: BTreeMap<u64, (Vec<u8>, FlightKind)>,
+}
+
+/// The single funnel for *all* inbound cross-group messages on this
+/// worker, whatever plane they arrived on. Guarded by one mutex, which
+/// doubles as the gateway-lane single-writer token for route marks.
+#[derive(Default)]
+struct Router {
+    /// chan id → the ingress of whichever local group reads that channel.
+    ingress: HashMap<usize, Arc<dyn GroupIngress>>,
+    gates: HashMap<usize, Gate>,
+}
+
+impl Router {
+    /// Deliver one message: drop it if the gate already passed its
+    /// ordinal (duplicate from a slower plane or a replay), otherwise
+    /// stash it and drain everything now in order.
+    fn deliver(
+        &mut self,
+        chan: usize,
+        seq: u64,
+        bytes: Vec<u8>,
+        kind: FlightKind,
+    ) -> Result<(), RunError> {
+        let gate = self
+            .gates
+            .entry(chan)
+            .or_insert_with(|| Gate { expected: 0, stash: BTreeMap::new() });
+        if seq < gate.expected {
+            return Ok(());
+        }
+        gate.stash.insert(seq, (bytes, kind));
+        Self::drain(&self.ingress, chan, gate)
+    }
+
+    fn drain(
+        ingress: &HashMap<usize, Arc<dyn GroupIngress>>,
+        chan: usize,
+        gate: &mut Gate,
+    ) -> Result<(), RunError> {
+        let Some(g) = ingress.get(&chan) else {
+            // No reader group yet: frames wait for its ASSIGN.
+            return Ok(());
+        };
+        while let Some((bytes, kind)) = gate.stash.remove(&gate.expected) {
+            g.record_route_in(kind, chan, bytes.len() as u64);
+            g.push_inbound(chan, &bytes)?;
+            gate.expected += 1;
+        }
+        Ok(())
+    }
+
+    /// Register a group as the reader of `chan`, fast-forward the gate to
+    /// `expected` (a resumed group's checkpoint frontier — everything
+    /// below it is already inside the seeded state), and drain the stash.
+    fn register(
+        &mut self,
+        chan: usize,
+        ingress: &Arc<dyn GroupIngress>,
+        expected: u64,
+    ) -> Result<(), RunError> {
+        self.ingress.insert(chan, Arc::clone(ingress));
+        let gate = self
+            .gates
+            .entry(chan)
+            .or_insert_with(|| Gate { expected: 0, stash: BTreeMap::new() });
+        if expected > gate.expected {
+            gate.expected = expected;
+        }
+        gate.stash = gate.stash.split_off(&gate.expected);
+        Self::drain(&self.ingress, chan, gate)
+    }
+}
+
+/// One live direct connection to a peer worker: the write half of the
+/// socket (a reader thread owns a clone) plus, when shm is on, the
+/// producer side of the shared ring toward that peer.
+struct PeerConn {
+    stream: PeerStream,
+    shm: Option<ShmSender>,
+}
+
+/// The worker's view of the peer world, updated from ASSIGN tables and
+/// PEERS broadcasts.
+#[derive(Default)]
+struct PeerBook {
+    gen: u64,
+    /// `placement[rank]` = worker hosting that rank.
+    placement: Vec<usize>,
+    addrs: HashMap<usize, String>,
+    conns: HashMap<usize, PeerConn>,
+    /// Peers whose connection broke mid-generation. Never redialed while
+    /// their table row is unchanged: a broken socket may have torn a
+    /// frame, and the shared ring must not be re-truncated under a
+    /// receiver that could still be draining. Relay covers them.
+    broken: HashSet<usize>,
+}
+
+/// Everything the frame loop, the peer-accept threads, and the group
+/// sinks share.
+struct Shared {
+    id: usize,
+    /// The run's temp directory (where the supervisor socket, the peer
+    /// listener sockets and the shm ring files live).
+    dir: PathBuf,
+    sup: Arc<Mutex<UnixStream>>,
+    router: Mutex<Router>,
+    peers: Mutex<PeerBook>,
+    /// Latest table generation seen; the PEER_HELLO acceptance bar.
+    gen: AtomicU64,
+    /// Whether any ASSIGN enabled the shm plane (`direct+shm` mode).
+    shm_on: AtomicBool,
+    direct_frames: AtomicU64,
+    direct_bytes: AtomicU64,
+    shm_frames: AtomicU64,
+    shm_bytes: AtomicU64,
+    /// DATA payload bytes mirrored toward the supervisor.
+    bytes_routed: AtomicU64,
+}
+
 /// Run a worker against the supervisor socket at `path`, identifying as
-/// `worker_id`. `group_workers` caps OS threads per group scheduler.
-/// Returns when the supervisor says SHUTDOWN or hangs up.
+/// `worker_id`. `group_workers` caps OS threads per group scheduler;
+/// `peer_tcp` selects TCP (loopback) instead of Unix-domain sockets for
+/// the direct peer plane. Returns when the supervisor says SHUTDOWN or
+/// hangs up.
 pub fn worker_main(
     path: &str,
     worker_id: usize,
     group_workers: Option<usize>,
+    peer_tcp: bool,
 ) -> Result<(), String> {
     let stream = UnixStream::connect(path)
         .map_err(|e| format!("worker {worker_id}: connect {path}: {e}"))?;
@@ -61,16 +238,52 @@ pub fn worker_main(
         stream.try_clone().map_err(|e| format!("worker {worker_id}: clone socket: {e}"))?;
     let write_half = Arc::new(Mutex::new(stream));
 
-    send(&write_half, &Frame::new(FrameType::Hello, encode_hello(worker_id)))
+    let dir = Path::new(path).parent().unwrap_or_else(|| Path::new(".")).to_path_buf();
+    // The peer listener must exist before HELLO carries its address:
+    // a peer may dial the moment the supervisor brokers the table.
+    let (listener, addr) = if peer_tcp {
+        PeerListener::bind_tcp()
+    } else {
+        PeerListener::bind_unix(dir.join(format!("peer-{worker_id}.sock")))
+    }
+    .map_err(|e| format!("worker {worker_id}: bind peer listener: {e}"))?;
+
+    send(&write_half, &Frame::new(FrameType::Hello, encode_hello(worker_id, &addr.to_wire())))
         .map_err(|e| format!("worker {worker_id}: hello: {e}"))?;
 
-    // chan id -> the ingress of whichever local group reads that channel.
-    let mut ingress: HashMap<usize, Arc<dyn GroupIngress>> = HashMap::new();
+    let shared = Arc::new(Shared {
+        id: worker_id,
+        dir,
+        sup: Arc::clone(&write_half),
+        router: Mutex::new(Router::default()),
+        peers: Mutex::new(PeerBook::default()),
+        gen: AtomicU64::new(0),
+        shm_on: AtomicBool::new(false),
+        direct_frames: AtomicU64::new(0),
+        direct_bytes: AtomicU64::new(0),
+        shm_frames: AtomicU64::new(0),
+        shm_bytes: AtomicU64::new(0),
+        bytes_routed: AtomicU64::new(0),
+    });
+
+    {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || loop {
+            match listener.accept() {
+                Ok(conn) => {
+                    let shared = Arc::clone(&shared);
+                    thread::spawn(move || serve_peer_conn(&shared, conn));
+                }
+                Err(_) => return,
+            }
+        });
+    }
+
     // Every group ever assigned here, for heartbeat telemetry (finished
     // groups report zero live ranks and simply stop moving the counters).
     let mut groups: Vec<Arc<dyn GroupIngress>> = Vec::new();
-    // DATA payload bytes this worker has pushed toward the supervisor.
-    let bytes_routed = Arc::new(AtomicU64::new(0));
+    // Checkpoint manifests awaiting their ASSIGN, keyed by group id.
+    let mut pending_resume: HashMap<u64, Vec<u8>> = HashMap::new();
 
     loop {
         let frame = match read_frame(&mut read_half) {
@@ -87,38 +300,47 @@ pub fn worker_main(
         match frame.ty {
             FrameType::Assign => {
                 if let Err(e) = handle_assign(
+                    &shared,
                     &frame.payload,
                     group_workers,
-                    &write_half,
-                    &mut ingress,
                     &mut groups,
-                    &bytes_routed,
+                    &mut pending_resume,
                 ) {
                     report(&write_half, &e);
                 }
             }
             FrameType::Data => {
-                let r = decode_data(&frame.payload).and_then(|(chan, bytes)| {
-                    ingress
-                        .get(&chan)
-                        .ok_or_else(|| RunError::Protocol {
-                            proc: 0,
-                            detail: format!(
-                                "worker {worker_id}: DATA for channel {chan} which no local \
-                                 group reads"
-                            ),
-                        })?
-                        .push_inbound(chan, bytes)
+                let r = decode_data(&frame.payload).and_then(|(chan, seq, bytes)| {
+                    wlock(&shared.router).deliver(chan, seq, bytes.to_vec(), FlightKind::DataStar)
                 });
                 if let Err(e) = r {
                     report(&write_half, &e);
                 }
             }
+            FrameType::Resume => match decode_resume(&frame.payload) {
+                Ok((group, manifest)) => {
+                    pending_resume.insert(group, manifest.to_vec());
+                }
+                Err(e) => report(&write_half, &e),
+            },
+            FrameType::Peers => match PeerTable::decode(&frame.payload) {
+                Ok(table) => apply_table(&shared, &table),
+                Err(e) => report(&write_half, &e),
+            },
             FrameType::Ping => {
-                let t = snapshot_telemetry(&groups, &bytes_routed);
+                let t = snapshot_telemetry(&groups, &shared.bytes_routed);
                 let _ = send(&write_half, &Frame::new(FrameType::Pong, t.encode()));
             }
-            FrameType::Shutdown => return Ok(()),
+            FrameType::Shutdown => {
+                let bye = encode_bye(
+                    shared.direct_frames.load(Ordering::Relaxed),
+                    shared.direct_bytes.load(Ordering::Relaxed),
+                    shared.shm_frames.load(Ordering::Relaxed),
+                    shared.shm_bytes.load(Ordering::Relaxed),
+                );
+                let _ = send(&write_half, &Frame::new(FrameType::Bye, bye));
+                return Ok(());
+            }
             other => {
                 report(
                     &write_half,
@@ -138,6 +360,228 @@ fn report(stream: &Arc<Mutex<UnixStream>>, err: &RunError) {
     let _ = send(stream, &Frame::new(FrameType::Error, err.to_string().into_bytes()));
 }
 
+/// Fold a brokered peer table in. Stale generations are ignored; workers
+/// whose row vanished or changed address lose their connection (their
+/// process is dead or replaced) and their `broken` mark, so a replacement
+/// at the same index becomes dialable again.
+fn apply_table(shared: &Shared, table: &PeerTable) {
+    let mut p = wlock(&shared.peers);
+    if table.gen < p.gen {
+        return;
+    }
+    p.gen = table.gen;
+    shared.gen.store(table.gen, Ordering::Release);
+    p.placement = table.placement.clone();
+    let fresh: HashMap<usize, String> =
+        table.peers.iter().map(|(w, a)| (*w, a.clone())).collect();
+    let stale: Vec<usize> = p
+        .conns
+        .keys()
+        .filter(|w| fresh.get(w) != p.addrs.get(w))
+        .copied()
+        .collect();
+    for w in stale {
+        if let Some(conn) = p.conns.remove(&w) {
+            conn.stream.close();
+        }
+    }
+    let addrs = std::mem::take(&mut p.addrs);
+    p.broken.retain(|w| fresh.get(w) == addrs.get(w));
+    p.addrs = fresh;
+}
+
+/// Serve one accepted peer connection: gate on its PEER_HELLO, then feed
+/// its direct frames and shm doorbells into the router. Every reject or
+/// decode failure closes the connection and ends the thread — a hostile
+/// or stale peer can waste a socket, never cross-wire a channel or crash
+/// the worker.
+fn serve_peer_conn(shared: &Arc<Shared>, mut stream: PeerStream) {
+    let hello = match read_frame(&mut stream) {
+        Ok(f) if f.ty == FrameType::PeerHello => f,
+        _ => return stream.close(),
+    };
+    let (from, gen) = match decode_peer_hello(&hello.payload) {
+        Ok(v) => v,
+        Err(_) => return stream.close(),
+    };
+    if from == shared.id || gen < shared.gen.load(Ordering::Acquire) {
+        // Self-dials and introductions from an older membership
+        // generation are stale by definition.
+        return stream.close();
+    }
+    // The peer's ring toward us, opened lazily at the first doorbell (the
+    // dialer creates the file before sending any).
+    let mut ring: Option<ShmReceiver> = None;
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            // EOF, a torn frame from a half-written timeout, or garbage:
+            // the conn is done either way; relay covers whatever was lost.
+            Err(_) => return stream.close(),
+        };
+        match frame.ty {
+            FrameType::DataDirect => {
+                let Ok((chan, seq, bytes)) = decode_data(&frame.payload) else {
+                    return stream.close();
+                };
+                let r = wlock(&shared.router).deliver(
+                    chan,
+                    seq,
+                    bytes.to_vec(),
+                    FlightKind::DataDirect,
+                );
+                if let Err(e) = r {
+                    report(&shared.sup, &e);
+                    return stream.close();
+                }
+            }
+            FrameType::DataShm => {
+                let Ok((chan, seq, off, len, checksum)) = decode_shm_doorbell(&frame.payload)
+                else {
+                    return stream.close();
+                };
+                if ring.is_none() {
+                    let path = shared.dir.join(format!("shm-{from}-{}.ring", shared.id));
+                    match ShmReceiver::open(&path) {
+                        Ok(r) => ring = Some(r),
+                        Err(_) => return stream.close(),
+                    }
+                }
+                let (bytes, ack) = match ring.as_mut().unwrap().read(off, len, checksum) {
+                    Ok(v) => v,
+                    // Checksum/cursor mismatch: a corrupt or stale ring.
+                    // Dropping the conn (not the run) is safe — the sender
+                    // sees the break and relays via the supervisor.
+                    Err(_) => return stream.close(),
+                };
+                let r =
+                    wlock(&shared.router).deliver(chan, seq, bytes, FlightKind::DataShm);
+                if let Err(e) = r {
+                    report(&shared.sup, &e);
+                    return stream.close();
+                }
+                let ack = Frame::new(FrameType::ShmAck, encode_shm_ack(ack));
+                if write_frame(&mut stream, &ack).and_then(|()| stream.flush()).is_err() {
+                    return stream.close();
+                }
+            }
+            _ => return stream.close(),
+        }
+    }
+}
+
+/// Outcome of one attempt to deliver directly to a peer.
+enum DirectAttempt {
+    Sent(FlightKind),
+    /// The connection broke mid-send: close it, mark the peer, relay.
+    Broke,
+}
+
+/// Try to deliver `(chan, seq, bytes)` straight to worker `dest` — shm
+/// ring first, `DATA_DIRECT` frame second. `None` means the direct plane
+/// is unavailable (no address, broken peer) and the caller must relay.
+fn send_direct(
+    shared: &Shared,
+    dest: usize,
+    chan: usize,
+    seq: u64,
+    bytes: &[u8],
+) -> Option<FlightKind> {
+    let mut p = wlock(&shared.peers);
+    if p.broken.contains(&dest) {
+        return None;
+    }
+    if !p.conns.contains_key(&dest) {
+        let conn = match dial_peer(shared, &p, dest) {
+            Ok(c) => c,
+            Err(()) => {
+                p.broken.insert(dest);
+                return None;
+            }
+        };
+        p.conns.insert(dest, conn);
+    }
+    let conn = p.conns.get_mut(&dest).expect("just ensured");
+    let attempt = try_conn(conn, chan, seq, bytes);
+    match attempt {
+        DirectAttempt::Sent(kind) => {
+            let (frames, bytes_ctr) = match kind {
+                FlightKind::DataShm => (&shared.shm_frames, &shared.shm_bytes),
+                _ => (&shared.direct_frames, &shared.direct_bytes),
+            };
+            frames.fetch_add(1, Ordering::Relaxed);
+            bytes_ctr.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            Some(kind)
+        }
+        DirectAttempt::Broke => {
+            if let Some(conn) = p.conns.remove(&dest) {
+                conn.stream.close();
+            }
+            p.broken.insert(dest);
+            None
+        }
+    }
+}
+
+/// Dial `dest`, introduce ourselves, and (when shm is on) create the
+/// outbound ring plus the ack-reader thread that recycles its space.
+fn dial_peer(shared: &Shared, book: &PeerBook, dest: usize) -> Result<PeerConn, ()> {
+    let addr = book.addrs.get(&dest).ok_or(())?;
+    let mut stream = PeerAddr::parse(addr).map_err(|_| ())?.connect().map_err(|_| ())?;
+    let hello = Frame::new(FrameType::PeerHello, encode_peer_hello(shared.id, book.gen));
+    if write_frame(&mut stream, &hello).and_then(|()| stream.flush()).is_err() {
+        stream.close();
+        return Err(());
+    }
+    let shm = if shared.shm_on.load(Ordering::Acquire) {
+        let ring_path = shared.dir.join(format!("shm-{}-{dest}.ring", shared.id));
+        match (ShmSender::create(&ring_path, SHM_CAPACITY), stream.try_clone()) {
+            (Ok(tx), Ok(mut rd)) => {
+                let acked = tx.acked_handle();
+                thread::spawn(move || loop {
+                    match read_frame(&mut rd) {
+                        Ok(f) if f.ty == FrameType::ShmAck => {
+                            match decode_shm_ack(&f.payload) {
+                                Some(v) => {
+                                    acked.fetch_max(v, Ordering::AcqRel);
+                                }
+                                None => return rd.close(),
+                            }
+                        }
+                        _ => return rd.close(),
+                    }
+                });
+                Some(tx)
+            }
+            // No ring, no ack reader: the conn still works frame-only.
+            _ => None,
+        }
+    } else {
+        None
+    };
+    Ok(PeerConn { stream, shm })
+}
+
+fn try_conn(conn: &mut PeerConn, chan: usize, seq: u64, bytes: &[u8]) -> DirectAttempt {
+    if let Some(tx) = &mut conn.shm {
+        if let Ok(Some(off)) = tx.push(bytes) {
+            let bell = encode_shm_doorbell(chan, seq, off, bytes.len() as u32, fnv1a_64(bytes));
+            let frame = Frame::new(FrameType::DataShm, bell);
+            return match write_frame(&mut conn.stream, &frame).and_then(|()| conn.stream.flush())
+            {
+                Ok(()) => DirectAttempt::Sent(FlightKind::DataShm),
+                Err(_) => DirectAttempt::Broke,
+            };
+        }
+        // Ring full (receiver lagging): degrade to the socket frame.
+    }
+    let frame = Frame::new(FrameType::DataDirect, encode_data(chan, seq, bytes));
+    match write_frame(&mut conn.stream, &frame).and_then(|()| conn.stream.flush()) {
+        Ok(()) => DirectAttempt::Sent(FlightKind::DataDirect),
+        Err(_) => DirectAttempt::Broke,
+    }
+}
+
 /// Aggregate live counters across every group this worker hosts. Atomic
 /// loads only — callable from the read loop while groups run.
 fn snapshot_telemetry(
@@ -155,19 +599,21 @@ fn snapshot_telemetry(
     t
 }
 
-/// Launch the group an ASSIGN describes and register its ingress ends.
+/// Launch the group an ASSIGN describes — seeded from a stashed RESUME
+/// manifest if one arrived for this group id — and register its ingress
+/// ends.
 fn handle_assign(
+    shared: &Arc<Shared>,
     payload: &[u8],
     group_workers: Option<usize>,
-    write_half: &Arc<Mutex<UnixStream>>,
-    ingress: &mut HashMap<usize, Arc<dyn GroupIngress>>,
     groups: &mut Vec<Arc<dyn GroupIngress>>,
-    bytes_routed: &Arc<AtomicU64>,
+    pending_resume: &mut HashMap<u64, Vec<u8>>,
 ) -> Result<(), RunError> {
     let assign = Assign::decode(payload)?;
     let workload = build_workload(&assign.workload, &assign.args)?;
     let topo = workload.topology();
     let n = topo.n_procs();
+    let n_chans = topo.n_channels();
     let mut hosted = vec![false; n];
     for &r in &assign.ranks {
         if r >= n {
@@ -178,30 +624,119 @@ fn handle_assign(
         }
         hosted[r] = true;
     }
+    let direct = matches!(assign.mode.as_deref(), Some("direct") | Some("direct+shm"));
+    if assign.mode.as_deref() == Some("direct+shm") {
+        shared.shm_on.store(true, Ordering::Release);
+    }
+    if let Some(table) = &assign.table {
+        apply_table(shared, table);
+    }
+    let manifest = match pending_resume.remove(&assign.group) {
+        Some(bytes) => Some(GroupManifest::decode(&bytes)?),
+        None => None,
+    };
+    if let Some(m) = &manifest {
+        if m.consumed.len() != n_chans || m.counters.len() != n_chans {
+            return Err(RunError::Protocol {
+                proc: 0,
+                detail: format!(
+                    "RESUME manifest shaped for {} channels, topology has {n_chans}",
+                    m.consumed.len()
+                ),
+            });
+        }
+    }
 
-    let sink_stream = Arc::clone(write_half);
-    let sink_bytes = Arc::clone(bytes_routed);
+    // Outbound sequence counters: a resumed writer continues from the
+    // number of messages the checkpoint already accounts for, so the
+    // supervisor and the reader's gate can dedup its re-sends.
+    let mut seqs: Vec<u64> = match &manifest {
+        Some(m) => m.counters.iter().map(|&(messages, _, _)| messages).collect(),
+        None => vec![0; n_chans],
+    };
+    let readers: Vec<usize> = topo.specs().iter().map(|s| s.reader).collect();
+    // Filled in right after launch; lets the sink (which runs on the
+    // group's single outbound pump thread) stamp route-provenance marks.
+    let out_marks: Arc<Mutex<Option<Arc<dyn GroupIngress>>>> = Arc::new(Mutex::new(None));
+
+    let sink_shared = Arc::clone(shared);
+    let sink_marks = Arc::clone(&out_marks);
     let sink: DataSink = Box::new(move |chan, bytes| {
-        sink_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
-        send(&sink_stream, &Frame::new(FrameType::Data, encode_data(chan, &bytes))).map_err(
+        let seq = sink_shared.bump_seq(&mut seqs, chan)?;
+        let kind = if !direct {
+            FlightKind::DataStar
+        } else {
+            let dest = {
+                let p = wlock(&sink_shared.peers);
+                readers.get(chan).and_then(|&r| p.placement.get(r).copied())
+            };
+            match dest {
+                Some(d) if d == sink_shared.id => {
+                    // Loopback: the reader group lives on this worker.
+                    wlock(&sink_shared.router).deliver(
+                        chan,
+                        seq,
+                        bytes.clone(),
+                        FlightKind::DataDirect,
+                    )?;
+                    sink_shared.direct_frames.fetch_add(1, Ordering::Relaxed);
+                    sink_shared.direct_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    FlightKind::DataDirect
+                }
+                Some(d) => match send_direct(&sink_shared, d, chan, seq, &bytes) {
+                    Some(kind) => kind,
+                    None => FlightKind::DataStar,
+                },
+                // No placement known (yet): the supervisor still routes.
+                None => FlightKind::DataStar,
+            }
+        };
+        if let Some(g) = wlock(&sink_marks).as_ref() {
+            g.record_route_out(kind, chan, bytes.len() as u64);
+        }
+        // Mirror to the supervisor ALWAYS: DATA (log only) after a direct
+        // delivery, DATA_RELAY (log and forward) when the direct plane
+        // did not carry it. This is what keeps the channel logs complete.
+        let mirror = if !direct || kind != FlightKind::DataStar {
+            FrameType::Data
+        } else {
+            FrameType::DataRelay
+        };
+        sink_shared.bytes_routed.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        send(&sink_shared.sup, &Frame::new(mirror, encode_data(chan, seq, &bytes))).map_err(
             |e| RunError::Protocol { proc: 0, detail: format!("DATA write failed: {e}") },
         )
     });
 
-    let (group_ingress, join) =
-        workload.launch_group(&assign.ranks, group_workers, assign.flight, sink);
+    let (group_ingress, join) = match &manifest {
+        Some(m) => workload.launch_group_seeded(
+            &assign.ranks,
+            m,
+            group_workers,
+            assign.flight,
+            sink,
+        )?,
+        None => workload.launch_group(&assign.ranks, group_workers, assign.flight, sink),
+    };
+    *wlock(&out_marks) = Some(Arc::clone(&group_ingress));
     groups.push(Arc::clone(&group_ingress));
 
     // Register ingress channels (reader hosted here, writer elsewhere)
-    // before returning to the read loop — replayed DATA follows this
-    // ASSIGN on the same socket and must find the group ready.
-    for (c, spec) in topo.specs().iter().enumerate() {
-        if hosted[spec.reader] && !hosted[spec.writer] {
-            ingress.insert(c, Arc::clone(&group_ingress));
+    // before returning to the read loop: replayed DATA follows this
+    // ASSIGN on the same socket, and early direct frames may already be
+    // waiting in the gates' stashes. A resumed group's gates start at the
+    // checkpoint's consumed frontier.
+    {
+        let mut router = wlock(&shared.router);
+        for (c, spec) in topo.specs().iter().enumerate() {
+            if hosted[spec.reader] && !hosted[spec.writer] {
+                let expected = manifest.as_ref().map_or(0, |m| m.consumed[c]);
+                router.register(c, &group_ingress, expected)?;
+            }
         }
     }
 
-    let done_stream = Arc::clone(write_half);
+    let done_stream = Arc::clone(&shared.sup);
     let group_id = assign.group;
     thread::spawn(move || {
         match join.join() {
@@ -222,4 +757,252 @@ fn handle_assign(
         }
     });
     Ok(())
+}
+
+impl Shared {
+    /// Take the next outbound ordinal for `chan`, guarding the index (the
+    /// sink is driven by scheduler-produced channel ids, but defensively).
+    fn bump_seq(&self, seqs: &mut [u64], chan: usize) -> Result<u64, RunError> {
+        let slot = seqs.get_mut(chan).ok_or_else(|| RunError::Protocol {
+            proc: 0,
+            detail: format!("outbound message on unknown channel {chan}"),
+        })?;
+        let seq = *slot;
+        *slot += 1;
+        Ok(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Hostile-input coverage for the peer plane: whatever arrives on the
+    //! direct socket — garbage, truncation, stale identities, doorbells
+    //! for rings that do not exist — must close that one connection and
+    //! nothing else: no panic, no Error frame to the supervisor, no
+    //! message cross-wired into the router.
+
+    use super::*;
+
+    use std::io::Read;
+    use std::sync::atomic::AtomicUsize;
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn test_dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ssp-worker-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// A worker's shared state with a socketpair standing in for the
+    /// supervisor; returns our end of that pair for spying on reports.
+    fn test_shared(id: usize, gen: u64) -> (Arc<Shared>, UnixStream) {
+        let (sup, spy) = UnixStream::pair().unwrap();
+        let shared = Arc::new(Shared {
+            id,
+            dir: test_dir(),
+            sup: Arc::new(Mutex::new(sup)),
+            router: Mutex::new(Router::default()),
+            peers: Mutex::new(PeerBook::default()),
+            gen: AtomicU64::new(gen),
+            shm_on: AtomicBool::new(false),
+            direct_frames: AtomicU64::new(0),
+            direct_bytes: AtomicU64::new(0),
+            shm_frames: AtomicU64::new(0),
+            shm_bytes: AtomicU64::new(0),
+            bytes_routed: AtomicU64::new(0),
+        });
+        (shared, spy)
+    }
+
+    /// Drive `serve_peer_conn` with a scripted byte stream and assert the
+    /// hostile-conn contract: returns (never panics), closes the socket
+    /// (we observe EOF), sends the supervisor nothing, delivers nothing.
+    fn assert_rejected(shared: &Arc<Shared>, mut spy: UnixStream, script: &[Vec<u8>]) {
+        let (ours, theirs) = UnixStream::pair().unwrap();
+        let mut ours = PeerStream::Unix(ours);
+        for chunk in script {
+            use std::io::Write as _;
+            ours.write_all(chunk).unwrap();
+            ours.flush().unwrap();
+        }
+        serve_peer_conn(shared, PeerStream::Unix(theirs));
+        // The worker closed its end: our next read sees EOF (possibly
+        // after draining nothing — serve never writes on reject paths).
+        let mut buf = [0u8; 64];
+        // EOF, or a reset if the worker closed with script bytes unread —
+        // either way the conn is down, not half-open.
+        match ours.read(&mut buf) {
+            Ok(0) => {}
+            Ok(n) => panic!("reject path must not write, got {n} bytes"),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+            Err(e) => panic!("unexpected read error after close: {e}"),
+        }
+        // No Error frame leaked toward the supervisor.
+        spy.set_nonblocking(true).unwrap();
+        let leaked = spy.read(&mut buf);
+        assert!(
+            matches!(leaked, Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock),
+            "hostile peer conn must not reach the supervisor: {leaked:?}"
+        );
+        // Nothing crossed into the router.
+        let router = wlock(&shared.router);
+        assert!(router.gates.is_empty(), "no gate may exist after a rejected conn");
+    }
+
+    fn frame_bytes(ty: FrameType, payload: Vec<u8>) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, &Frame::new(ty, payload)).unwrap();
+        out
+    }
+
+    #[test]
+    fn garbage_and_truncated_first_frames_close_the_conn() {
+        for script in [
+            vec![b"not a frame at all".to_vec()],               // raw garbage
+            vec![vec![0xff, 0xff, 0xff, 0x7f]],                  // huge length, no body
+            vec![frame_bytes(FrameType::Data, vec![1, 2, 3])],   // wrong type first
+            vec![frame_bytes(FrameType::PeerHello, vec![7])],    // truncated hello
+        ] {
+            let (shared, spy) = test_shared(0, 0);
+            assert_rejected(&shared, spy, &script);
+        }
+    }
+
+    #[test]
+    fn self_dials_and_stale_generations_are_rejected() {
+        // A peer claiming to be ourselves.
+        let (shared, spy) = test_shared(3, 0);
+        assert_rejected(
+            &shared,
+            spy,
+            &[frame_bytes(FrameType::PeerHello, encode_peer_hello(3, 0))],
+        );
+        // A peer introducing itself under an older membership generation:
+        // its table predates a migration, so it may be aiming at a corpse.
+        let (shared, spy) = test_shared(0, 5);
+        assert_rejected(
+            &shared,
+            spy,
+            &[frame_bytes(FrameType::PeerHello, encode_peer_hello(1, 4))],
+        );
+    }
+
+    #[test]
+    fn hostile_payloads_after_a_valid_hello_close_the_conn() {
+        let hello = frame_bytes(FrameType::PeerHello, encode_peer_hello(1, 0));
+        for tail in [
+            frame_bytes(FrameType::DataDirect, vec![0; 5]), // truncated data header
+            frame_bytes(FrameType::DataShm, vec![0; 31]),   // truncated doorbell
+            frame_bytes(FrameType::Shutdown, vec![]),       // not a peer-plane frame
+            // A well-formed doorbell for a ring file that was never
+            // created: open fails typed, conn closes.
+            frame_bytes(FrameType::DataShm, encode_shm_doorbell(0, 0, 0, 8, 0)),
+        ] {
+            let (shared, spy) = test_shared(0, 0);
+            assert_rejected(&shared, spy, &[hello.clone(), tail]);
+        }
+    }
+
+    #[test]
+    fn byte_flipped_doorbell_checksum_cannot_cross_wire_a_payload() {
+        // Build a real ring with a real payload, then ring the doorbell
+        // with a flipped checksum: the receiver must refuse the bytes and
+        // drop the connection rather than deliver corrupt data.
+        let (shared, spy) = test_shared(0, 0);
+        let ring_path = shared.dir.join("shm-1-0.ring");
+        let mut tx = ShmSender::create(&ring_path, 4096).unwrap();
+        let payload = b"halo bytes".to_vec();
+        let off = tx.push(&payload).unwrap().unwrap();
+        let bell = encode_shm_doorbell(
+            0,
+            0,
+            off,
+            payload.len() as u32,
+            fnv1a_64(&payload) ^ 1, // one bit off
+        );
+        let hello = frame_bytes(FrameType::PeerHello, encode_peer_hello(1, 0));
+        assert_rejected(&shared, spy, &[hello, frame_bytes(FrameType::DataShm, bell)]);
+    }
+
+    #[test]
+    fn stale_peer_tables_are_ignored_and_replaced_rows_clear_broken_marks() {
+        let (shared, _spy) = test_shared(0, 0);
+        let newer = PeerTable {
+            gen: 2,
+            placement: vec![0, 1],
+            peers: vec![(1, "unix:/tmp/x.sock".to_string())],
+        };
+        apply_table(&shared, &newer);
+        assert_eq!(wlock(&shared.peers).gen, 2);
+        wlock(&shared.peers).broken.insert(1);
+
+        // Stale broadcast: must change nothing, not even un-break peers.
+        let stale = PeerTable { gen: 1, placement: vec![1, 0], peers: vec![] };
+        apply_table(&shared, &stale);
+        {
+            let p = wlock(&shared.peers);
+            assert_eq!(p.gen, 2);
+            assert_eq!(p.placement, vec![0, 1]);
+            assert!(p.broken.contains(&1), "stale tables must not clear broken marks");
+        }
+
+        // Same-gen-or-newer with a *changed* row: the old process is gone,
+        // its replacement is dialable, so the broken mark lifts.
+        let replaced = PeerTable {
+            gen: 3,
+            placement: vec![0, 1],
+            peers: vec![(1, "unix:/tmp/y.sock".to_string())],
+        };
+        apply_table(&shared, &replaced);
+        let p = wlock(&shared.peers);
+        assert_eq!(p.gen, 3);
+        assert!(!p.broken.contains(&1), "a replaced row means a replaced process");
+    }
+
+    #[test]
+    fn router_gates_reorder_dedup_and_wait_for_registration() {
+        // Pure-router behavior, no sockets: out-of-order arrivals stash,
+        // registration fast-forwards past a resume frontier, duplicates
+        // below the gate vanish.
+        let (shared, _spy) = test_shared(0, 0);
+        let mut router = wlock(&shared.router);
+        // Frames arrive before any group is assigned: they wait.
+        router.deliver(0, 1, vec![1], FlightKind::DataDirect).unwrap();
+        router.deliver(0, 0, vec![0], FlightKind::DataShm).unwrap();
+        assert_eq!(router.gates[&0].stash.len(), 2);
+        assert_eq!(router.gates[&0].expected, 0, "nothing drains without an ingress");
+        // A resumed group registers at frontier 2: the stale stash drops.
+        // (Registering with a dummy ingress is enough to observe gates.)
+        struct Sink(AtomicU64);
+        impl GroupIngress for Sink {
+            fn push_inbound(&self, _chan: usize, _bytes: &[u8]) -> Result<(), RunError> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            fn poison(&self, _err: RunError) {}
+            fn telemetry(&self) -> ssp_runtime::LiveTelemetry {
+                ssp_runtime::LiveTelemetry::default()
+            }
+        }
+        let sink = Arc::new(Sink(AtomicU64::new(0)));
+        let ingress: Arc<dyn GroupIngress> = sink.clone();
+        router.register(0, &ingress, 2).unwrap();
+        assert_eq!(router.gates[&0].expected, 2);
+        assert!(router.gates[&0].stash.is_empty(), "pre-frontier stash must drop");
+        assert_eq!(sink.0.load(Ordering::Relaxed), 0);
+        // Late duplicate of an already-consumed ordinal: dropped.
+        router.deliver(0, 1, vec![1], FlightKind::DataStar).unwrap();
+        assert_eq!(sink.0.load(Ordering::Relaxed), 0);
+        // The real next ordinal flows through, plus a stashed successor.
+        router.deliver(0, 3, vec![3], FlightKind::DataDirect).unwrap();
+        assert_eq!(sink.0.load(Ordering::Relaxed), 0, "seq 3 waits for seq 2");
+        router.deliver(0, 2, vec![2], FlightKind::DataStar).unwrap();
+        assert_eq!(sink.0.load(Ordering::Relaxed), 2, "2 then 3 drain in order");
+        assert_eq!(router.gates[&0].expected, 4);
+    }
 }

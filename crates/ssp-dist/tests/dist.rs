@@ -7,7 +7,7 @@
 
 use ssp_dist::{
     build_workload, fdtd_a_args, fdtd_a_overlap_args, ring_args, run_distributed, ChaosKill,
-    DistConfig, MigrationPolicy,
+    DistConfig, MigrationPolicy, TransportMode,
 };
 use ssp_runtime::RunError;
 
@@ -173,6 +173,175 @@ fn flight_enabled_distributed_run_merges_worker_traces_and_telemetry() {
     let out_off = run_distributed("fdtd-a", &args, &cfg_off).unwrap();
     assert!(out_off.flight.is_none(), "disabled runs must not collect traces");
     assert_eq!(out_off.snapshots, reference);
+}
+
+#[test]
+fn direct_mode_keeps_steady_state_traffic_off_the_star() {
+    let args = fdtd_a_args("tiny", 4);
+    let reference = build_workload("fdtd-a", &args).unwrap().run_reference().unwrap();
+
+    // Full direct+shm plane: payloads ride rings and peer sockets, the
+    // supervisor only logs mirrors — it forwards nothing.
+    let mut cfg = DistConfig::new(2, worker_bin());
+    cfg.transport = TransportMode::Direct { shm: true };
+    let out = run_distributed("fdtd-a", &args, &cfg).expect("direct+shm run");
+    assert_eq!(out.snapshots, reference);
+    assert_eq!(
+        out.stats.star_frames, 0,
+        "steady state must not route through the supervisor: {:?}",
+        out.stats
+    );
+    assert!(
+        out.stats.shm_frames > 0,
+        "co-located workers should use the shared ring: {:?}",
+        out.stats
+    );
+    assert_eq!(
+        out.stats.frames_logged, out.stats.frames_routed,
+        "every mirror is logged exactly once in a healthy run"
+    );
+
+    // Sockets-only direct plane: same invariants, no shm traffic.
+    let mut cfg = DistConfig::new(2, worker_bin());
+    cfg.transport = TransportMode::Direct { shm: false };
+    let out = run_distributed("fdtd-a", &args, &cfg).expect("direct run");
+    assert_eq!(out.snapshots, reference);
+    assert_eq!(out.stats.star_frames, 0, "stats: {:?}", out.stats);
+    assert_eq!(out.stats.shm_frames, 0, "shm is off in plain direct mode");
+    assert!(out.stats.direct_frames > 0, "stats: {:?}", out.stats);
+
+    // Star mode: the PR 7 plane — the supervisor forwards everything and
+    // no worker ever opens a peer connection.
+    let mut cfg = DistConfig::new(2, worker_bin());
+    cfg.transport = TransportMode::Star;
+    let out = run_distributed("fdtd-a", &args, &cfg).expect("star run");
+    assert_eq!(out.snapshots, reference);
+    assert_eq!(out.stats.direct_frames + out.stats.shm_frames, 0, "stats: {:?}", out.stats);
+    assert_eq!(
+        out.stats.star_frames, out.stats.frames_routed,
+        "star mode forwards every frame"
+    );
+}
+
+#[test]
+fn tcp_peer_plane_matches_bitwise_too() {
+    // The cross-host wire flavor, on loopback: same bytes, same results.
+    let args = ring_args(6, 4);
+    let reference = build_workload("ring", &args).unwrap().run_reference().unwrap();
+    let mut cfg = DistConfig::new(2, worker_bin());
+    cfg.transport = TransportMode::Direct { shm: false };
+    cfg.peer_tcp = true;
+    let out = run_distributed("ring", &args, &cfg).expect("tcp-peer run");
+    assert_eq!(out.snapshots, reference);
+    assert_eq!(out.stats.star_frames, 0, "stats: {:?}", out.stats);
+    assert!(out.stats.direct_frames > 0, "stats: {:?}", out.stats);
+}
+
+#[test]
+fn healthy_checkpointed_run_truncates_logs_and_changes_no_byte() {
+    let args = fdtd_a_args("tiny", 4);
+    let reference = build_workload("fdtd-a", &args).unwrap().run_reference().unwrap();
+    let mut cfg = DistConfig::new(2, worker_bin());
+    cfg.checkpoint_every = Some(4);
+    let out = run_distributed("fdtd-a", &args, &cfg).expect("checkpointed run");
+    assert_eq!(out.snapshots, reference, "checkpointing must not change results");
+    assert_eq!(out.stats.migrations, 0);
+    assert!(out.stats.checkpoints_taken > 0, "stats: {:?}", out.stats);
+    assert!(
+        out.stats.log_bytes_truncated > 0,
+        "advancing cuts must shed log bytes: {:?}",
+        out.stats
+    );
+    assert!(out.stats.migration_replay_steps.is_empty(), "no migration, no replay cost");
+}
+
+#[test]
+fn checkpoint_resumed_migration_is_bitwise_identical_across_intervals() {
+    // The tentpole acceptance sweep: SIGKILL mid-run at checkpoint
+    // intervals 1, 8 and 64 — results stay bitwise identical to the
+    // simulator, and the recorded re-execution distance stays within the
+    // interval (the whole point of resuming from a cut instead of zero).
+    let args = fdtd_a_args("tiny", 4);
+    let reference = build_workload("fdtd-a", &args).unwrap().run_reference().unwrap();
+    for k in [1u64, 8, 64] {
+        let mut cfg = DistConfig::new(2, worker_bin());
+        cfg.chaos_kill = Some(ChaosKill { worker: 1, after_frames: 25 });
+        cfg.policy = MigrationPolicy::Survivor;
+        cfg.checkpoint_every = Some(k);
+        let out = run_distributed("fdtd-a", &args, &cfg)
+            .unwrap_or_else(|e| panic!("checkpointed (every {k}) run must survive: {e}"));
+        assert_eq!(out.snapshots, reference, "interval {k} diverged from the simulator");
+        assert_eq!(out.stats.migrations, 1, "interval {k} stats: {:?}", out.stats);
+        assert_eq!(out.stats.migration_replay_steps.len(), 1);
+        assert!(
+            out.stats.migration_replay_steps[0] <= k,
+            "interval {k}: replayed {} shadow steps, more than one interval",
+            out.stats.migration_replay_steps[0]
+        );
+        if k == 1 {
+            assert!(
+                out.stats.log_bytes_truncated > 0,
+                "tight cuts must truncate logs: {:?}",
+                out.stats
+            );
+            assert!(out.stats.checkpoints_taken > 0, "stats: {:?}", out.stats);
+        }
+    }
+}
+
+#[test]
+fn checkpointed_ring_survives_sigkill_at_every_interval() {
+    let args = ring_args(6, 8);
+    let reference = build_workload("ring", &args).unwrap().run_reference().unwrap();
+    for k in [1u64, 8, 64] {
+        let mut cfg = DistConfig::new(2, worker_bin());
+        cfg.chaos_kill = Some(ChaosKill { worker: 0, after_frames: 10 });
+        cfg.policy = MigrationPolicy::Survivor;
+        cfg.checkpoint_every = Some(k);
+        let out = run_distributed("ring", &args, &cfg)
+            .unwrap_or_else(|e| panic!("ring (every {k}) must survive: {e}"));
+        assert_eq!(out.snapshots, reference, "interval {k} diverged");
+        assert_eq!(out.stats.migrations, 1, "interval {k} stats: {:?}", out.stats);
+        assert!(out.stats.migration_replay_steps[0] <= k, "stats: {:?}", out.stats);
+    }
+}
+
+#[test]
+fn flight_marks_record_which_plane_carried_each_message() {
+    use std::collections::HashSet;
+    let args = fdtd_a_args("tiny", 4);
+
+    // Direct+shm: the merged trace must attribute messages to the fast
+    // planes, and a healthy run never marks a star route.
+    let mut cfg = DistConfig::new(2, worker_bin());
+    cfg.transport = TransportMode::Direct { shm: true };
+    cfg.flight = Some(4096);
+    let out = run_distributed("fdtd-a", &args, &cfg).expect("flight direct run");
+    let kinds: HashSet<ssp_runtime::FlightKind> =
+        out.flight.expect("log").merged().into_iter().map(|e| e.kind).collect();
+    assert!(
+        kinds.contains(&ssp_runtime::FlightKind::DataShm)
+            || kinds.contains(&ssp_runtime::FlightKind::DataDirect),
+        "direct-plane routes must appear in the trace: {kinds:?}"
+    );
+    assert!(
+        !kinds.contains(&ssp_runtime::FlightKind::DataStar),
+        "no message should ride the star in a healthy direct run: {kinds:?}"
+    );
+
+    // Star mode: every route mark is a star mark.
+    let mut cfg = DistConfig::new(2, worker_bin());
+    cfg.transport = TransportMode::Star;
+    cfg.flight = Some(4096);
+    let out = run_distributed("fdtd-a", &args, &cfg).expect("flight star run");
+    let kinds: HashSet<ssp_runtime::FlightKind> =
+        out.flight.expect("log").merged().into_iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&ssp_runtime::FlightKind::DataStar), "kinds: {kinds:?}");
+    assert!(
+        !kinds.contains(&ssp_runtime::FlightKind::DataDirect)
+            && !kinds.contains(&ssp_runtime::FlightKind::DataShm),
+        "star mode must not mark direct routes: {kinds:?}"
+    );
 }
 
 #[test]

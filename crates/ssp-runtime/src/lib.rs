@@ -82,10 +82,14 @@ pub use pool::BufPool;
 pub use proc::{Effect, ProcId, Process};
 pub use spsc::{OverwriteRing, ParkSlot, SpscRing};
 pub use recover::{
-    replay_checkpoint, run_recovering, run_recovering_observed, run_threaded_recovering,
-    Checkpoint, RecoveryConfig, RecoveryOutcome, RecoveryStats,
+    fnv1a_64, replay_checkpoint, run_recovering, run_recovering_observed,
+    run_threaded_recovering, Checkpoint, GroupManifest, ManifestRank, ManifestStatus,
+    RecoveryConfig, RecoveryOutcome, RecoveryStats,
 };
-pub use sched::{launch_partial, launch_partial_flight, Gateway, LiveTelemetry, PartialOutcome, PartialRun};
+pub use sched::{
+    launch_partial, launch_partial_flight, launch_partial_seeded, launch_partial_seeded_flight,
+    Gateway, LiveTelemetry, PartialOutcome, PartialRun, PartialSeed,
+};
 pub use sim::{run_simulated, ProcState, RunOutcome, SimState, Simulator};
 pub use threaded::{
     run_threaded, run_threaded_faulted, run_threaded_seeded, run_threaded_with, ThreadedConfig,

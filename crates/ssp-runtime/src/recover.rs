@@ -539,3 +539,362 @@ where
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Group manifests: the distributed backend's migration payload.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash — the manifest fingerprint. Cheap, dependency-free,
+/// and plenty for *corruption detection* (the threat model is a truncated
+/// or bit-flipped frame, not an adversary forging collisions).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A hosted rank's entry in a [`GroupManifest`]: scheduler status plus the
+/// process state, both as opaque bytes — the typed side (the workload
+/// registry) owns the codecs, so this container stays workload-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestRank {
+    /// Global rank id.
+    pub rank: u32,
+    /// Scheduler status at the cut.
+    pub status: ManifestStatus,
+    /// Encoded process state ([`crate::sim::ProcState`]'s payload).
+    pub state: Vec<u8>,
+    /// Metrics accumulated by the prefix (step ordinals key fault
+    /// injection, so they must survive the move).
+    pub metrics: crate::trace::ProcMetrics,
+}
+
+/// Untyped [`crate::sim::ProcState`]: blocked-send messages travel encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestStatus {
+    /// The rank can take a step.
+    Ready,
+    /// Blocked receiving on the channel.
+    BlockedRecv(u32),
+    /// Blocked sending the encoded message on the channel.
+    BlockedSend(u32, Vec<u8>),
+    /// The rank halted.
+    Halted,
+}
+
+/// A fingerprint-verified consistent cut of a rank subset — what migrates
+/// when a distributed worker dies. Decodes into a
+/// [`crate::sched::PartialSeed`] on the receiving worker (via the typed
+/// workload registry), resuming the merged group from the supervisor's
+/// last checkpoint instead of step zero.
+///
+/// Theorem 1 licenses this exactly as it licenses [`Checkpoint`]: the cut
+/// plus the resumed execution is just another maximal interleaving of the
+/// same deterministic processes, so the final state is unchanged — which
+/// the distributed suites assert bitwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupManifest {
+    /// Global shadow step ordinal of the cut (diagnostics; replay-cost
+    /// accounting).
+    pub steps: u64,
+    /// One entry per hosted rank.
+    pub ranks: Vec<ManifestRank>,
+    /// Queue contents at the cut for channels internal to the rank set:
+    /// `(chan, encoded messages front-to-back)`.
+    pub queues: Vec<(u32, Vec<Vec<u8>>)>,
+    /// Deliveries completed before the cut, per channel (full topology).
+    pub consumed: Vec<u64>,
+    /// Writer-side traffic counters at the cut, per channel:
+    /// `(messages, bytes, max_depth)`.
+    pub counters: Vec<(u64, u64, u64)>,
+}
+
+const GMAN_MAGIC: &[u8; 8] = b"SSPGMAN1";
+
+fn gman_err(detail: impl Into<String>) -> RunError {
+    RunError::Protocol { proc: 0, detail: format!("group manifest: {}", detail.into()) }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RunError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| gman_err("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(gman_err("truncated"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8f(&mut self) -> Result<u8, RunError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32f(&mut self) -> Result<u32, RunError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64f(&mut self) -> Result<u64, RunError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A count that will be followed by at least `min_each` bytes per item:
+    /// rejects allocation bombs before reserving anything.
+    fn count(&mut self, min_each: usize, what: &str) -> Result<usize, RunError> {
+        let n = self.u32f()? as usize;
+        let need = n.checked_mul(min_each).ok_or_else(|| gman_err("length overflow"))?;
+        if need > self.buf.len() - self.pos {
+            return Err(gman_err(format!("{what} count {n} exceeds payload")));
+        }
+        Ok(n)
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, RunError> {
+        let n = self.count(1, what)?;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64v(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    push_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+impl GroupManifest {
+    /// Binary wire form, fingerprint-sealed: the last 8 bytes are the
+    /// FNV-1a-64 of everything before them.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(GMAN_MAGIC);
+        push_u64v(&mut out, self.steps);
+        push_u32(&mut out, self.consumed.len() as u32);
+        for &c in &self.consumed {
+            push_u64v(&mut out, c);
+        }
+        push_u32(&mut out, self.counters.len() as u32);
+        for &(m, b, d) in &self.counters {
+            push_u64v(&mut out, m);
+            push_u64v(&mut out, b);
+            push_u64v(&mut out, d);
+        }
+        push_u32(&mut out, self.ranks.len() as u32);
+        for r in &self.ranks {
+            push_u32(&mut out, r.rank);
+            for v in [
+                r.metrics.steps,
+                r.metrics.compute_units,
+                r.metrics.sends,
+                r.metrics.receives,
+                r.metrics.blocked_steps,
+                r.metrics.blocked_nanos,
+            ] {
+                push_u64v(&mut out, v);
+            }
+            match &r.status {
+                ManifestStatus::Ready => out.push(0),
+                ManifestStatus::BlockedRecv(c) => {
+                    out.push(1);
+                    push_u32(&mut out, *c);
+                }
+                ManifestStatus::BlockedSend(c, msg) => {
+                    out.push(2);
+                    push_u32(&mut out, *c);
+                    push_bytes(&mut out, msg);
+                }
+                ManifestStatus::Halted => out.push(3),
+            }
+            push_bytes(&mut out, &r.state);
+        }
+        push_u32(&mut out, self.queues.len() as u32);
+        for (chan, msgs) in &self.queues {
+            push_u32(&mut out, *chan);
+            push_u32(&mut out, msgs.len() as u32);
+            for m in msgs {
+                push_bytes(&mut out, m);
+            }
+        }
+        let fp = fnv1a_64(&out);
+        push_u64v(&mut out, fp);
+        out
+    }
+
+    /// Decode and fingerprint-verify a wire manifest. Every failure is a
+    /// typed [`RunError::Protocol`] — this path reads network bytes, so it
+    /// must never panic and never allocate proportionally to a forged
+    /// count.
+    pub fn decode(buf: &[u8]) -> Result<GroupManifest, RunError> {
+        if buf.len() < GMAN_MAGIC.len() + 8 {
+            return Err(gman_err("truncated"));
+        }
+        let (body, fp_bytes) = buf.split_at(buf.len() - 8);
+        let want = u64::from_le_bytes(fp_bytes.try_into().unwrap());
+        let got = fnv1a_64(body);
+        if want != got {
+            return Err(gman_err(format!(
+                "fingerprint mismatch (manifest says {want:#018x}, bytes hash to {got:#018x})"
+            )));
+        }
+        let mut c = Cursor { buf: body, pos: 0 };
+        if c.take(GMAN_MAGIC.len())? != GMAN_MAGIC {
+            return Err(gman_err("bad magic"));
+        }
+        let steps = c.u64f()?;
+        let n_consumed = c.count(8, "consumed")?;
+        let mut consumed = Vec::with_capacity(n_consumed);
+        for _ in 0..n_consumed {
+            consumed.push(c.u64f()?);
+        }
+        let n_counters = c.count(24, "counters")?;
+        let mut counters = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            counters.push((c.u64f()?, c.u64f()?, c.u64f()?));
+        }
+        let n_ranks = c.count(4 + 48 + 1 + 4, "ranks")?;
+        let mut ranks = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let rank = c.u32f()?;
+            let mut m = [0u64; 6];
+            for v in &mut m {
+                *v = c.u64f()?;
+            }
+            let metrics = crate::trace::ProcMetrics {
+                steps: m[0],
+                compute_units: m[1],
+                sends: m[2],
+                receives: m[3],
+                blocked_steps: m[4],
+                blocked_nanos: m[5],
+            };
+            let status = match c.u8f()? {
+                0 => ManifestStatus::Ready,
+                1 => ManifestStatus::BlockedRecv(c.u32f()?),
+                2 => {
+                    let chan = c.u32f()?;
+                    ManifestStatus::BlockedSend(chan, c.bytes("blocked send message")?)
+                }
+                3 => ManifestStatus::Halted,
+                t => return Err(gman_err(format!("unknown status tag {t}"))),
+            };
+            let state = c.bytes("rank state")?;
+            ranks.push(ManifestRank { rank, status, state, metrics });
+        }
+        let n_queues = c.count(8, "queues")?;
+        let mut queues = Vec::with_capacity(n_queues);
+        for _ in 0..n_queues {
+            let chan = c.u32f()?;
+            let n_msgs = c.count(4, "queued messages")?;
+            let mut msgs = Vec::with_capacity(n_msgs);
+            for _ in 0..n_msgs {
+                msgs.push(c.bytes("queued message")?);
+            }
+            queues.push((chan, msgs));
+        }
+        if c.pos != body.len() {
+            return Err(gman_err(format!("{} trailing bytes", body.len() - c.pos)));
+        }
+        Ok(GroupManifest { steps, ranks, queues, consumed, counters })
+    }
+}
+
+#[cfg(test)]
+mod manifest_tests {
+    use super::*;
+
+    fn sample() -> GroupManifest {
+        GroupManifest {
+            steps: 913,
+            ranks: vec![
+                ManifestRank {
+                    rank: 2,
+                    status: ManifestStatus::BlockedSend(7, vec![1, 2, 3]),
+                    state: vec![9; 33],
+                    metrics: crate::trace::ProcMetrics {
+                        steps: 41,
+                        compute_units: 5,
+                        sends: 11,
+                        receives: 12,
+                        blocked_steps: 3,
+                        blocked_nanos: 77,
+                    },
+                },
+                ManifestRank {
+                    rank: 5,
+                    status: ManifestStatus::Halted,
+                    state: Vec::new(),
+                    metrics: Default::default(),
+                },
+            ],
+            queues: vec![(3, vec![vec![0xAA], vec![]]), (4, vec![])],
+            consumed: vec![0, 4, 9],
+            counters: vec![(5, 600, 2), (0, 0, 0), (9, 901, 3)],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_is_fingerprint_sealed() {
+        let m = sample();
+        let wire = m.encode();
+        assert_eq!(GroupManifest::decode(&wire).unwrap(), m);
+        // Tail fingerprint really covers the body.
+        assert_eq!(
+            u64::from_le_bytes(wire[wire.len() - 8..].try_into().unwrap()),
+            fnv1a_64(&wire[..wire.len() - 8])
+        );
+    }
+
+    #[test]
+    fn every_truncation_fails_typed() {
+        let wire = sample().encode();
+        for cut in 0..wire.len() {
+            let err = GroupManifest::decode(&wire[..cut]).expect_err("truncation must fail");
+            assert!(matches!(err, RunError::Protocol { .. }), "cut {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_fails_typed_or_decodes_nothing_silently_wrong() {
+        let wire = sample().encode();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x40;
+            // A flip anywhere lands on the fingerprint check (body flips
+            // change the hash; tail flips change the expectation).
+            let err = GroupManifest::decode(&bad).expect_err("bit flip must fail");
+            assert!(matches!(err, RunError::Protocol { .. }), "flip {i}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn forged_counts_fail_before_allocating() {
+        // A fingerprint-correct manifest whose rank count is absurd: the
+        // count guard must reject it (the fingerprint can't help against a
+        // *well-formed* hostile sender).
+        let mut body = Vec::new();
+        body.extend_from_slice(GMAN_MAGIC);
+        push_u64v(&mut body, 0);
+        push_u32(&mut body, 0); // consumed
+        push_u32(&mut body, 0); // counters
+        push_u32(&mut body, u32::MAX); // ranks: 4B entries, ~230 B payload
+        let fp = fnv1a_64(&body);
+        push_u64v(&mut body, fp);
+        let err = GroupManifest::decode(&body).expect_err("forged count must fail");
+        let detail = err.to_string();
+        assert!(detail.contains("exceeds payload"), "{detail}");
+    }
+}

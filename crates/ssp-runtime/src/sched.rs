@@ -861,6 +861,155 @@ where
     PartialRun { shared, hosted, n_workers, handles }
 }
 
+/// A consistent cut of a rank subset, ready to seed a resumed partial
+/// instance — the distributed backend's checkpoint-resumed migration
+/// payload, decoded. The same Theorem-1 argument that licenses
+/// [`run_seeded`] applies per subset: given every hosted rank's state, the
+/// contents of internal queues, and the delivery ordinals of cross
+/// channels, resuming is just another maximal interleaving.
+pub struct PartialSeed<P: Process> {
+    /// `(global rank, process, scheduler status, prefix metrics)` for each
+    /// hosted rank.
+    pub procs: Vec<(ProcId, P, ProcState<P::Msg>, ProcMetrics)>,
+    /// Queue contents at the cut for channels *internal* to the hosted
+    /// set: `(chan, messages front-to-back)`.
+    pub queues: Vec<(usize, Vec<P::Msg>)>,
+    /// Deliveries completed before the cut, per channel (full topology
+    /// length) — seeds hosted readers' receive ordinals so stall-fault
+    /// keys and dedup gates stay aligned across the cut.
+    pub consumed: Vec<u64>,
+    /// Writer-side traffic counters at the cut, per channel:
+    /// `(messages, bytes, max_depth)`. Applied to channels whose writer
+    /// is hosted; `messages` also tells the transport where the channel's
+    /// outbound sequence numbering resumes.
+    pub counters: Vec<(u64, u64, u64)>,
+}
+
+/// [`launch_partial`], but resuming from `seed` instead of starting every
+/// hosted rank at its initial state. Used by the distributed worker to
+/// resume a migrated group from the supervisor's checkpoint cut.
+pub fn launch_partial_seeded<P>(
+    topo: &Topology,
+    seed: PartialSeed<P>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+) -> PartialRun<P>
+where
+    P: Process + 'static,
+{
+    launch_partial_seeded_sink(topo, seed, config, faults, NoFlight)
+}
+
+/// [`launch_partial_seeded`] with the flight recorder enabled (see
+/// [`launch_partial_flight`] for the lane contract).
+pub fn launch_partial_seeded_flight<P>(
+    topo: &Topology,
+    seed: PartialSeed<P>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+) -> PartialRun<P, FlightRecorder>
+where
+    P: Process + 'static,
+{
+    let n_workers = resolve_workers(config.workers, seed.procs.len());
+    let cap = config.flight.unwrap_or(DEFAULT_FLIGHT_CAP);
+    launch_partial_seeded_sink(topo, seed, config, faults, FlightRecorder::new(n_workers, cap))
+}
+
+fn launch_partial_seeded_sink<P, F>(
+    topo: &Topology,
+    seed: PartialSeed<P>,
+    config: ThreadedConfig,
+    faults: &FaultPlan,
+    flight: F,
+) -> PartialRun<P, F>
+where
+    P: Process + 'static,
+    F: FlightSink,
+{
+    let PartialSeed { procs, queues, consumed, counters } = seed;
+    let n = topo.n_procs();
+    let mut hosted_mask = vec![false; n];
+    let hosted: Vec<ProcId> = procs.iter().map(|t| t.0).collect();
+    for &r in &hosted {
+        assert!(r < n, "hosted rank {r} outside topology");
+        assert!(!hosted_mask[r], "rank {r} hosted twice");
+        hosted_mask[r] = true;
+    }
+    let target = hosted.len();
+    let n_workers = resolve_workers(config.workers, target);
+    let (chans, egress) = build_chans(topo, Some(&hosted_mask));
+    let n_chans = chans.len();
+    assert_eq!(consumed.len(), n_chans, "seed consumed vector must cover the topology");
+    assert_eq!(counters.len(), n_chans, "seed counter vector must cover the topology");
+
+    // Seed writer-side counters for hosted-writer channels (the slice this
+    // instance reports; the supervisor takes channel totals from the final
+    // hosting group), then pre-fill internal rings single-threaded.
+    for (i, c) in chans.iter().enumerate() {
+        if matches!(c.kind, ChanKind::Direct | ChanKind::Egress) {
+            let (m, b, d) = counters[i];
+            c.messages.store(m, Ordering::Relaxed);
+            c.bytes.store(b, Ordering::Relaxed);
+            c.max_depth.store(d as usize, Ordering::Relaxed);
+        }
+    }
+    for (i, q) in queues {
+        assert!(
+            chans.get(i).is_some_and(|c| c.kind == ChanKind::Direct),
+            "seed queue {i} is not an internal channel of the hosted set"
+        );
+        for m in q {
+            assert!(
+                chans[i].ring.try_push(m).is_ok(),
+                "seed queue exceeds channel capacity (state/topology mismatch)"
+            );
+        }
+    }
+
+    let mut finished = 0usize;
+    let mut runnable: Vec<ProcId> = Vec::new();
+    let mut slots: Vec<Option<Task<P>>> = (0..n).map(|_| None).collect();
+    for (rank, proc, st, pm) in procs {
+        let mut task = fresh_task(proc, n_chans);
+        task.pm = pm;
+        for (i, c) in chans.iter().enumerate() {
+            if c.reader == rank {
+                task.recvs_done[i] = consumed[i];
+            }
+        }
+        match st {
+            ProcState::Ready => runnable.push(rank),
+            ProcState::BlockedRecv(chan) => {
+                task.pending = Some(Pending::Recv { chan });
+                runnable.push(rank);
+            }
+            ProcState::BlockedSend(chan, msg) => {
+                let bytes = P::msg_size_bytes(&msg);
+                task.pending = Some(Pending::Send { chan, msg, bytes });
+                runnable.push(rank);
+            }
+            ProcState::Halted => {
+                task.result = Some(task.proc.snapshot());
+                finished += 1;
+            }
+        }
+        slots[rank] = Some(task);
+    }
+
+    let shared = build_shared(topo, slots, chans, egress, target, finished, n_workers, faults, flight);
+    // Pre-spawn, so the control lane is safely ours for the lifecycle mark.
+    shared.flight.record(shared.control_lane(), FlightKind::Restore, 0, 0, finished as u64);
+    if finished == target {
+        shared.finish();
+    }
+    for (i, &rank) in runnable.iter().enumerate() {
+        lock(&shared.workers[i % n_workers].deque).push_back(rank);
+    }
+    let (handles, _) = spawn_pool(&shared, n_workers, None);
+    PartialRun { shared, hosted, n_workers, handles }
+}
+
 /// Transport-side handle to a partial run: the bridge between this
 /// instance's port channels and whatever carries the bytes (the distributed
 /// backend's socket threads). All clones address the same run.
@@ -995,6 +1144,20 @@ impl<P: Process, F: FlightSink> Gateway<P, F> {
             }
         }
         Ok(())
+    }
+
+    /// Record a provenance/lifecycle mark in the *gateway* lane. Same
+    /// single-writer contract as [`Gateway::push_inbound`]: call only from
+    /// the transport's (mutually excluded) inbound path.
+    pub fn record_gateway(&self, kind: FlightKind, rank: usize, chan: usize, bytes: u64) {
+        self.shared.flight.record(self.shared.gateway_lane(), kind, rank, chan, bytes);
+    }
+
+    /// Record a provenance/lifecycle mark in the *control* lane. Partial
+    /// instances run no watchdog, so the transport's (single) outbound
+    /// thread owns this lane.
+    pub fn record_control(&self, kind: FlightKind, rank: usize, chan: usize, bytes: u64) {
+        self.shared.flight.record(self.shared.control_lane(), kind, rank, chan, bytes);
     }
 
     /// True once the run is over (all hosted ranks halted, or poisoned).

@@ -396,7 +396,7 @@ impl RunMetrics {
 /// (run/park/wake/steal/yield), channel transfers with real byte counts,
 /// and lifecycle marks (checkpoint/restore/fault/migration) — each stamped
 /// with wall-clock nanoseconds by [`crate::flight::FlightRecorder`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlightKind {
     /// A rank task started running on a worker (dequeue → resume).
     Run,
@@ -429,6 +429,16 @@ pub enum FlightKind {
     /// Lifecycle: a rank group migrated between workers (distributed
     /// backend). `chan` holds the source worker, `bytes` the destination.
     Migrate,
+    /// Distributed route provenance: a cross-group DATA frame traveled
+    /// through the supervisor star. `chan` is the channel, `bytes` the
+    /// payload size.
+    DataStar,
+    /// Distributed route provenance: a cross-group DATA frame traveled a
+    /// direct worker↔worker connection.
+    DataDirect,
+    /// Distributed route provenance: a cross-group payload traveled the
+    /// shared-memory ring (doorbell over the direct connection).
+    DataShm,
 }
 
 impl FlightKind {
@@ -448,6 +458,9 @@ impl FlightKind {
             FlightKind::Restore => "restore",
             FlightKind::Fault => "fault",
             FlightKind::Migrate => "migrate",
+            FlightKind::DataStar => "data-star",
+            FlightKind::DataDirect => "data-direct",
+            FlightKind::DataShm => "data-shm",
         }
     }
 
@@ -467,6 +480,9 @@ impl FlightKind {
             "restore" => FlightKind::Restore,
             "fault" => FlightKind::Fault,
             "migrate" => FlightKind::Migrate,
+            "data-star" => FlightKind::DataStar,
+            "data-direct" => FlightKind::DataDirect,
+            "data-shm" => FlightKind::DataShm,
             _ => return None,
         })
     }
@@ -875,6 +891,9 @@ mod tests {
             FlightKind::Restore,
             FlightKind::Fault,
             FlightKind::Migrate,
+            FlightKind::DataStar,
+            FlightKind::DataDirect,
+            FlightKind::DataShm,
         ] {
             assert_eq!(FlightKind::from_label(kind.label()), Some(kind));
         }

@@ -5,7 +5,10 @@
 # boundary-first overlap plan side by side), measured wall times of the real
 # threaded execution per P for both plans (with the host's core count, so
 # flat curves on small machines are interpretable), the distributed series
-# for both plans, the Yee-stencil kernel microbench point, the machine
+# for both plans (star transport — the longitudinal baseline), the
+# `distributed_direct` data-plane series (star vs direct vs direct+shm
+# per-plane frame counts, plus a checkpoint-resumed SIGKILL point with its
+# replay distance), the Yee-stencil kernel microbench point, the machine
 # preset, and the grid. The standalone stencil shape sweep is
 # `cargo bench -p bench --bench stencil`.
 #
@@ -51,10 +54,16 @@ REPRO_SCALE="$scale" BENCH_JSON="$out" TRACE_JSON="$trace" \
   cargo bench -p bench --bench figure2
 
 test -s "$out" || { echo "bench.sh: $out was not written" >&2; exit 1; }
+grep -q '"distributed_direct"' "$out" \
+  || { echo "bench.sh: $out lacks the direct-plane series" >&2; exit 1; }
 test -s "$trace" || { echo "bench.sh: $trace was not written" >&2; exit 1; }
 # The overlay must be a loadable trace: valid JSON with complete events on
 # both the predicted (pid 0) and measured (pid 1) tracks.
 grep -q '"traceEvents"' "$trace" || { echo "bench.sh: $trace lacks traceEvents" >&2; exit 1; }
 grep -q '"pid":0' "$trace" || { echo "bench.sh: $trace lacks the predicted track" >&2; exit 1; }
 grep -q '"pid":1' "$trace" || { echo "bench.sh: $trace lacks the measured track" >&2; exit 1; }
+# The direct-plane run mirrors its route marks into the trace: the third
+# track must attribute payloads to the fast planes (data-direct/data-shm).
+grep -Eq '"name":"data-(direct|shm)"' "$trace" \
+  || { echo "bench.sh: $trace lacks distributed route marks" >&2; exit 1; }
 echo "bench.sh: wrote $out and $trace"
